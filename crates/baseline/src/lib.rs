@@ -1,0 +1,293 @@
+//! llama.cpp-style dequantization baseline for mixed-precision GEMM.
+//!
+//! This crate is the comparator system of the paper's evaluation: the
+//! "general practice" path of Figure 1(a) and Figure 3 (right). Weights are
+//! stored in packed per-bit-width block formats; at inference time
+//! activations are quantized to `Q8_0`, weights are *decoded* back to `i8`,
+//! and the product is an integer dot plus per-block scale FMAs. Two mpGEMM
+//! strategies are provided, matching llama.cpp's behaviour:
+//!
+//! * [`DequantLinear::gemv`]-per-row mixed-precision kernels — fastest for
+//!   GEMV (token generation);
+//! * [`sgemm::gemm_blas`] — dequantize to `f32` and run a blocked SGEMM,
+//!   which llama.cpp (BLAS) uses for big GEMMs (prefill): "llama.cpp (BLAS)
+//!   is slower for mpGEMV but faster for mpGEMM" (§5.1).
+//!
+//! The kernels deliberately reproduce llama.cpp's cost structure: decode
+//! work per weight does **not** shrink with bit-width (and grows for 3-bit
+//! due to the 2+1 split), which is the baseline behaviour T-MAC's Figure 6
+//! is contrasted against.
+
+pub mod avx2;
+pub mod kernels;
+pub mod sgemm;
+
+use tmac_quant::formats::{
+    pack_row_q1_0, pack_row_q2_0, pack_row_q3s, pack_row_q4_0, quantize_q8_0, BlockQ1_0,
+    BlockQ2_0, BlockQ3S, BlockQ4_0, QK,
+};
+use tmac_quant::{QuantError, QuantizedMatrix};
+use tmac_threadpool::ThreadPool;
+
+/// Packed weight rows in one of the llama.cpp-style formats.
+#[derive(Debug, Clone)]
+pub enum PackedRows {
+    /// 1-bit sign blocks.
+    Q1(Vec<BlockQ1_0>),
+    /// 2-bit blocks.
+    Q2(Vec<BlockQ2_0>),
+    /// 3-bit 2+1-split blocks.
+    Q3(Vec<BlockQ3S>),
+    /// 4-bit split-halves blocks.
+    Q4(Vec<BlockQ4_0>),
+}
+
+/// A dequantization-baseline linear layer (row-major `rows × cols`).
+#[derive(Debug, Clone)]
+pub struct DequantLinear {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    blocks_per_row: usize,
+    packed: PackedRows,
+    /// Retained for the BLAS path (on-the-fly dequantization).
+    qm: QuantizedMatrix,
+}
+
+/// Shared-output wrapper: threads write disjoint row ranges.
+struct OutPtr(*mut f32);
+// SAFETY: dispatches partition rows disjointly and the output outlives the
+// dispatch (the pool blocks until completion).
+unsafe impl Sync for OutPtr {}
+
+impl DequantLinear {
+    /// Packs a canonical quantized matrix into the baseline's block format.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `qm` is malformed or `group_size != 32` (block formats are
+    /// 32-wide, like llama.cpp's `QK`).
+    pub fn new(qm: &QuantizedMatrix) -> Result<Self, QuantError> {
+        qm.validate()?;
+        let blocks_per_row = qm.cols / QK;
+        let packed = match qm.bits {
+            1 => {
+                let mut v = Vec::with_capacity(qm.rows * blocks_per_row);
+                for r in 0..qm.rows {
+                    v.extend(pack_row_q1_0(qm, r)?);
+                }
+                PackedRows::Q1(v)
+            }
+            2 => {
+                let mut v = Vec::with_capacity(qm.rows * blocks_per_row);
+                for r in 0..qm.rows {
+                    v.extend(pack_row_q2_0(qm, r)?);
+                }
+                PackedRows::Q2(v)
+            }
+            3 => {
+                let mut v = Vec::with_capacity(qm.rows * blocks_per_row);
+                for r in 0..qm.rows {
+                    v.extend(pack_row_q3s(qm, r)?);
+                }
+                PackedRows::Q3(v)
+            }
+            4 => {
+                let mut v = Vec::with_capacity(qm.rows * blocks_per_row);
+                for r in 0..qm.rows {
+                    v.extend(pack_row_q4_0(qm, r)?);
+                }
+                PackedRows::Q4(v)
+            }
+            b => return Err(QuantError::UnsupportedBits(b)),
+        };
+        Ok(DequantLinear {
+            rows: qm.rows,
+            cols: qm.cols,
+            bits: qm.bits,
+            blocks_per_row,
+            packed,
+            qm: qm.clone(),
+        })
+    }
+
+    /// Output features `M`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input features `K`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Weight bit-width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The canonical matrix this layer was packed from.
+    pub fn quantized(&self) -> &QuantizedMatrix {
+        &self.qm
+    }
+
+    /// One output row's dot product against pre-quantized activations.
+    fn row_dot(&self, row: usize, aq: &[tmac_quant::formats::BlockQ8_0], use_avx2: bool) -> f32 {
+        let b0 = row * self.blocks_per_row;
+        let b1 = b0 + self.blocks_per_row;
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // SAFETY: `use_avx2` implies `avx2::available()`.
+            unsafe {
+                return match &self.packed {
+                    PackedRows::Q1(v) => avx2::vec_dot_q1(&v[b0..b1], aq),
+                    PackedRows::Q2(v) => avx2::vec_dot_q2(&v[b0..b1], aq),
+                    PackedRows::Q3(v) => avx2::vec_dot_q3(&v[b0..b1], aq),
+                    PackedRows::Q4(v) => avx2::vec_dot_q4(&v[b0..b1], aq),
+                };
+            }
+        }
+        let _ = use_avx2;
+        match &self.packed {
+            PackedRows::Q1(v) => kernels::vec_dot_q1(&v[b0..b1], aq),
+            PackedRows::Q2(v) => kernels::vec_dot_q2(&v[b0..b1], aq),
+            PackedRows::Q3(v) => kernels::vec_dot_q3(&v[b0..b1], aq),
+            PackedRows::Q4(v) => kernels::vec_dot_q4(&v[b0..b1], aq),
+        }
+    }
+
+    /// Mixed-precision GEMV (llama.cpp's token-generation path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Shape`] on length mismatches.
+    pub fn gemv(
+        &self,
+        act: &[f32],
+        out: &mut [f32],
+        pool: &ThreadPool,
+    ) -> Result<(), QuantError> {
+        if act.len() != self.cols {
+            return Err(QuantError::Shape(format!(
+                "activation length {} != K {}",
+                act.len(),
+                self.cols
+            )));
+        }
+        if out.len() != self.rows {
+            return Err(QuantError::Shape(format!(
+                "output length {} != M {}",
+                out.len(),
+                self.rows
+            )));
+        }
+        let aq = quantize_q8_0(act);
+        let use_avx2 = avx2::available();
+        let out_ptr = OutPtr(out.as_mut_ptr());
+        let out_ref = &out_ptr;
+        pool.chunks(self.rows, 8, |range| {
+            for m in range {
+                let v = self.row_dot(m, &aq, use_avx2);
+                // SAFETY: row ranges are disjoint across threads; `out`
+                // outlives the dispatch.
+                unsafe { *out_ref.0.add(m) = v };
+            }
+        });
+        Ok(())
+    }
+
+    /// Mixed-precision GEMM as `n` successive GEMVs (llama.cpp's
+    /// non-BLAS path; see [`sgemm::gemm_blas`] for the BLAS route).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Shape`] on length mismatches.
+    pub fn gemm_mixed(
+        &self,
+        act: &[f32],
+        n: usize,
+        out: &mut [f32],
+        pool: &ThreadPool,
+    ) -> Result<(), QuantError> {
+        if act.len() != n * self.cols || out.len() != n * self.rows {
+            return Err(QuantError::Shape("gemm_mixed length mismatch".into()));
+        }
+        for ni in 0..n {
+            let a = &act[ni * self.cols..(ni + 1) * self.cols];
+            let o = &mut out[ni * self.rows..(ni + 1) * self.rows];
+            self.gemv(a, o, pool)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_quant::rtn;
+
+    fn setup(m: usize, k: usize, bits: u8) -> (QuantizedMatrix, Vec<f32>) {
+        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.17).sin() * 0.8).collect();
+        let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.09).cos()).collect();
+        (rtn::quantize(&w, m, k, bits, 32).unwrap(), act)
+    }
+
+    #[test]
+    fn gemv_tracks_f32_reference_all_bits() {
+        let pool = ThreadPool::new(2);
+        for bits in 1..=4u8 {
+            let (qm, act) = setup(64, 128, bits);
+            let lin = DequantLinear::new(&qm).unwrap();
+            let mut out = vec![0f32; 64];
+            lin.gemv(&act, &mut out, &pool).unwrap();
+            // Reference: dequantized weights x f32 activations.
+            let d = qm.dequantize();
+            let reference: Vec<f32> = (0..64)
+                .map(|m| {
+                    d[m * 128..(m + 1) * 128]
+                        .iter()
+                        .zip(&act)
+                        .map(|(w, a)| w * a)
+                        .sum()
+                })
+                .collect();
+            let nmse = tmac_simd::f32ops::nmse(&out, &reference);
+            // Activation quantization (Q8) is the only error source.
+            assert!(nmse < 1e-4, "bits={bits} nmse={nmse}");
+        }
+    }
+
+    #[test]
+    fn gemm_mixed_matches_gemv_rows() {
+        let (qm, _) = setup(32, 64, 2);
+        let lin = DequantLinear::new(&qm).unwrap();
+        let pool = ThreadPool::new(1);
+        let n = 3;
+        let act: Vec<f32> = (0..n * 64).map(|i| ((i as f32) * 0.21).sin()).collect();
+        let mut out = vec![0f32; n * 32];
+        lin.gemm_mixed(&act, n, &mut out, &pool).unwrap();
+        for ni in 0..n {
+            let mut row = vec![0f32; 32];
+            lin.gemv(&act[ni * 64..(ni + 1) * 64], &mut row, &pool).unwrap();
+            assert_eq!(&out[ni * 32..(ni + 1) * 32], &row[..]);
+        }
+    }
+
+    #[test]
+    fn rejects_group_size_other_than_32() {
+        let w: Vec<f32> = (0..64 * 64).map(|i| i as f32 * 0.01).collect();
+        let qm = rtn::quantize(&w, 64, 64, 4, 64).unwrap();
+        assert!(DequantLinear::new(&qm).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatches() {
+        let (qm, act) = setup(32, 64, 4);
+        let lin = DequantLinear::new(&qm).unwrap();
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0f32; 32];
+        assert!(lin.gemv(&act[..32], &mut out, &pool).is_err());
+        let mut short = vec![0f32; 31];
+        assert!(lin.gemv(&act, &mut short, &pool).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Bench of the online stage (Alg. 1 `Precompute`): table construction with
+//! and without the §3.3 compressions — mirror consolidation halves the
+//! entries built, table quantization adds the i8 rounding pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tmac_bench::gaussian;
+use tmac_core::{ActTables, KernelOpts};
+
+fn bench_precompute(c: &mut Criterion) {
+    let act = gaussian(4096, 17);
+    let mut group = c.benchmark_group("lut_precompute");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let cases: [(&str, KernelOpts); 4] = [
+        ("f32_tables", KernelOpts::tm_base()),
+        ("quantized", KernelOpts::plus_table_quant()),
+        ("quantized_mirror", KernelOpts::tmac_mirror()),
+        ("quantized_fa", KernelOpts::tmac_fast_aggregation()),
+    ];
+    for (name, opts) in cases {
+        group.bench_with_input(BenchmarkId::new("build", name), &name, |b, _| {
+            b.iter(|| ActTables::build(&act, 32, &opts).expect("tables"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute);
+criterion_main!(benches);

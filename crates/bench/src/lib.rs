@@ -1,0 +1,28 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each bench target regenerates one table/figure of the paper (see
+//! `DESIGN.md` §4); this library provides the deterministic inputs and a
+//! fast Criterion configuration suitable for the full-workspace bench run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-Gaussian data.
+pub fn gaussian(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>())
+        .collect()
+}
+
+/// Quantizes a fresh weight matrix for a bench case.
+pub fn quantized(m: usize, k: usize, bits: u8, seed: u64) -> tmac_quant::QuantizedMatrix {
+    let w = gaussian(m * k, seed);
+    tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize")
+}
+
+/// The bench shape used everywhere (modest so the suite finishes quickly;
+/// the eval binaries run the full Figure 6 grid).
+pub const BENCH_M: usize = 1024;
+/// Bench reduction length.
+pub const BENCH_K: usize = 4096;

@@ -1,0 +1,167 @@
+//! mpGEMM driver (`N > 1`, e.g. prefill with a 256-token sequence).
+//!
+//! The lookup table is the reusable operand (§3.2: "the weight `W[M, K]` can
+//! share the same pre-computed lookup table"), so the driver blocks the
+//! sequence dimension: for each block of `n_block` activation rows it builds
+//! their tables once, then sweeps all m-tiles with the block's rows innermost
+//! — each weight tile is read once per block instead of once per row.
+
+use crate::gemv::{build_tables, run_mtile};
+use crate::kernel;
+use crate::opts::TILE_M;
+use crate::plan::WeightPlan;
+use crate::table::ActTables;
+use crate::TmacError;
+use tmac_threadpool::ThreadPool;
+
+/// Shared-output wrapper: threads write disjoint `(n, m-tile)` blocks.
+struct OutPtr(*mut f32);
+// SAFETY: tiles are partitioned disjointly per dispatch and each write
+// targets `row n, columns [m0, m0+take)` for a tile this thread owns; the
+// dispatcher keeps the buffer alive until completion.
+unsafe impl Sync for OutPtr {}
+
+/// Computes `out[n][m] = Σ_k act[n][k] · W[m][k]`.
+///
+/// `act` is row-major `n × K`; `out` is row-major `n × M`.
+///
+/// # Errors
+///
+/// Returns [`TmacError::Shape`] on dimension mismatches or `n == 0`.
+pub fn mpgemm(
+    plan: &WeightPlan,
+    act: &[f32],
+    n: usize,
+    out: &mut [f32],
+    pool: &ThreadPool,
+) -> Result<(), TmacError> {
+    if n == 0 {
+        return Err(TmacError::Shape("mpgemm needs n >= 1".into()));
+    }
+    if act.len() != n * plan.k {
+        return Err(TmacError::Shape(format!(
+            "activation length {} != n*K = {}",
+            act.len(),
+            n * plan.k
+        )));
+    }
+    if out.len() != n * plan.m {
+        return Err(TmacError::Shape(format!(
+            "output length {} != n*M = {}",
+            out.len(),
+            n * plan.m
+        )));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = kernel::avx2::supported(&plan.opts);
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx2 = false;
+
+    let nb = plan.opts.n_block.max(1);
+    let (m, k) = (plan.m, plan.k);
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let out_ref = &out_ptr;
+
+    let mut n0 = 0;
+    while n0 < n {
+        let nblk = nb.min(n - n0);
+        // Online stage: tables for this block of activation rows. The cost
+        // is O(nblk · K), negligible against the O(nblk · M · K / g) lookup
+        // sweep, so it is built serially.
+        let mut tables: Vec<ActTables> = Vec::with_capacity(nblk);
+        for ni in 0..nblk {
+            tables.push(build_tables(plan, &act[(n0 + ni) * k..(n0 + ni + 1) * k])?);
+        }
+        let tables_ref = &tables;
+        pool.chunks(plan.m_tiles(), 1, |tiles| {
+            let mut buf = [0f32; TILE_M];
+            for mt in tiles {
+                let m0 = mt * TILE_M;
+                let take = TILE_M.min(m - m0);
+                for (ni, t) in tables_ref.iter().enumerate() {
+                    run_mtile(plan, t, mt, &mut buf, use_avx2);
+                    // SAFETY: this thread owns tile `mt`; the destination
+                    // range lies in row `n0 + ni` of `out`, within bounds;
+                    // the buffer outlives the dispatch.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            buf.as_ptr(),
+                            out_ref.0.add((n0 + ni) * m + m0),
+                            take,
+                        );
+                    }
+                }
+            }
+        });
+        n0 += nblk;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::scalar::gemv_reference;
+    use crate::opts::KernelOpts;
+    use tmac_quant::rtn;
+
+    fn setup(m: usize, k: usize, n: usize, bits: u8) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
+        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.31).sin() * 0.6).collect();
+        let act: Vec<f32> = (0..n * k).map(|i| ((i as f32) * 0.17).cos() * 0.8).collect();
+        (rtn::quantize(&w, m, k, bits, 32).unwrap(), act)
+    }
+
+    #[test]
+    fn gemm_rows_match_gemv_rows() {
+        let (m, k, n) = (64, 128, 5);
+        let (qm, act) = setup(m, k, n, 4);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0f32; n * m];
+        mpgemm(&plan, &act, n, &mut out, &pool).unwrap();
+        for ni in 0..n {
+            let mut row = vec![0f32; m];
+            crate::gemv::mpgemv(&plan, &act[ni * k..(ni + 1) * k], &mut row, &pool).unwrap();
+            assert_eq!(&out[ni * m..(ni + 1) * m], &row[..], "row {ni}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let (m, k, n) = (48, 96, 7);
+        let (qm, act) = setup(m, k, n, 2);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0f32; n * m];
+        mpgemm(&plan, &act, n, &mut out, &pool).unwrap();
+        for ni in 0..n {
+            let reference = gemv_reference(&qm, &act[ni * k..(ni + 1) * k]);
+            let nmse = tmac_simd::f32ops::nmse(&out[ni * m..(ni + 1) * m], &reference);
+            assert!(nmse < 2e-3, "row {ni} nmse={nmse}");
+        }
+    }
+
+    #[test]
+    fn n_not_multiple_of_block() {
+        let (m, k, n) = (32, 64, 3); // n_block = 8 > n
+        let (qm, act) = setup(m, k, n, 2);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0f32; n * m];
+        assert!(mpgemm(&plan, &act, n, &mut out, &pool).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (m, k, n) = (32, 64, 2);
+        let (qm, act) = setup(m, k, n, 2);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0f32; n * m];
+        assert!(mpgemm(&plan, &act, 0, &mut out, &pool).is_err());
+        assert!(mpgemm(&plan, &act[..k], n, &mut out, &pool).is_err());
+        let mut short = vec![0f32; n * m - 1];
+        assert!(mpgemm(&plan, &act, n, &mut short, &pool).is_err());
+    }
+}

@@ -1,0 +1,604 @@
+//! AVX2 production kernels.
+//!
+//! The materialization of the paper's Figure 3 tile on x86: for each
+//! 16-byte weight step, one `PSHUFB` performs 32 table lookups (table
+//! duplicated across both 128-bit lanes), results widen into `i16`
+//! accumulators, and each scale block folds into `f32` output accumulators
+//! with two FMAs. Layout/option combinations map to monomorphized kernels:
+//!
+//! | options | kernel |
+//! |---|---|
+//! | permuted, quantized, exact | [`mtile_permuted`]`<IL, MIRROR>` |
+//! | permuted, quantized, fast aggregation | [`mtile_permuted_fa`]`<IL, MIRROR>` |
+//! | flat, quantized (TM-base `+TQ`, `+Tiling`) | [`mtile_flat_quant`] |
+//! | flat, `f32` tables (TM-base) | [`mtile_flat_gather`] |
+//!
+//! Everything here is `#[target_feature(enable = "avx2,fma")]`; the driver
+//! checks [`tmac_simd::avx2::available`] once per call.
+
+#![allow(clippy::needless_range_loop)] // Index loops mirror the kernel structure.
+
+use crate::opts::{KernelOpts, LUT_GROUP, TILE_M};
+use crate::plan::{Layout, WeightPlan};
+use crate::table::ActTables;
+use std::arch::x86_64::*;
+use tmac_simd::avx2 as simd;
+
+/// Maximum supported k-groups per scale block (`group_size / 4`).
+pub const MAX_KG_PER_BLOCK: usize = 64;
+
+/// Whether an AVX2 kernel exists for this option combination.
+///
+/// Combinations without a dedicated kernel (e.g. mirror consolidation on a
+/// flat layout) fall back to the scalar plan kernel in the driver.
+pub fn supported(opts: &KernelOpts) -> bool {
+    if !simd::available() {
+        return false;
+    }
+    if opts.table_quant {
+        // Flat layouts support only the plain quantized kernel.
+        opts.permute || (!opts.mirror && !opts.fast_aggregation)
+    } else {
+        // f32 tables: gather kernel on flat layouts only.
+        !opts.permute
+    }
+}
+
+/// Executes one m-tile, dispatching to the right monomorphized kernel.
+///
+/// # Panics
+///
+/// Panics if the plan/tables combination has no AVX2 kernel (the driver
+/// checks [`supported`] first) or if `group_size / 4 > MAX_KG_PER_BLOCK`.
+#[target_feature(enable = "avx2,fma")]
+pub fn gemv_mtile(plan: &WeightPlan, tables: &ActTables, mt: usize, out: &mut [f32; TILE_M]) {
+    let o = &plan.opts;
+    match plan.layout() {
+        Layout::Permuted { interleaved } => {
+            debug_assert!(tables.quantized);
+            match (interleaved, o.mirror, o.fast_aggregation) {
+                (false, false, false) => mtile_permuted::<false, false>(plan, tables, mt, out),
+                (false, true, false) => mtile_permuted::<false, true>(plan, tables, mt, out),
+                (true, false, false) => mtile_permuted::<true, false>(plan, tables, mt, out),
+                (true, true, false) => mtile_permuted::<true, true>(plan, tables, mt, out),
+                (false, false, true) => mtile_permuted_fa::<false, false>(plan, tables, mt, out),
+                (false, true, true) => mtile_permuted_fa::<false, true>(plan, tables, mt, out),
+                (true, false, true) => mtile_permuted_fa::<true, false>(plan, tables, mt, out),
+                (true, true, true) => mtile_permuted_fa::<true, true>(plan, tables, mt, out),
+            }
+        }
+        Layout::Flat => {
+            if tables.quantized {
+                mtile_flat_quant(plan, tables, mt, out);
+            } else {
+                mtile_flat_gather(plan, tables, mt, out);
+            }
+        }
+    }
+}
+
+/// Loads the duplicated 16-entry table for k-group `kg`.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load_table(q_tables: &[i8], base: usize) -> __m256i {
+    let slice: &[i8; 16] = q_tables[base..base + 16]
+        .try_into()
+        .expect("table slice is 16 bytes");
+    simd::dup_table16(slice)
+}
+
+/// Four f32 output accumulators covering the 32 tile rows.
+struct OutAcc(__m256, __m256, __m256, __m256);
+
+impl OutAcc {
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn zero() -> Self {
+        OutAcc(
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+        )
+    }
+
+    /// `out += scales * (block * sc + bias)` — the per-scale-block fold.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn fold(&mut self, blk: &OutAcc, sc: __m256, bias: __m256, scales: &[f32]) {
+        let t0 = _mm256_fmadd_ps(blk.0, sc, bias);
+        let t1 = _mm256_fmadd_ps(blk.1, sc, bias);
+        let t2 = _mm256_fmadd_ps(blk.2, sc, bias);
+        let t3 = _mm256_fmadd_ps(blk.3, sc, bias);
+        self.0 = _mm256_fmadd_ps(t0, simd::loadu_ps(&scales[0..]), self.0);
+        self.1 = _mm256_fmadd_ps(t1, simd::loadu_ps(&scales[8..]), self.1);
+        self.2 = _mm256_fmadd_ps(t2, simd::loadu_ps(&scales[16..]), self.2);
+        self.3 = _mm256_fmadd_ps(t3, simd::loadu_ps(&scales[24..]), self.3);
+    }
+
+    /// Accumulates `weight * f32(acc_i16_pair)` into the block
+    /// (row-linear accumulator layout: `.0` = rows 0..16, `.1` = 16..32).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn add_weighted_i16(&mut self, acc: (__m256i, __m256i), weight: __m256) {
+        let (f0, f1) = simd::i16_to_f32x2(acc.0);
+        let (f2, f3) = simd::i16_to_f32x2(acc.1);
+        self.0 = _mm256_fmadd_ps(weight, f0, self.0);
+        self.1 = _mm256_fmadd_ps(weight, f1, self.1);
+        self.2 = _mm256_fmadd_ps(weight, f2, self.2);
+        self.3 = _mm256_fmadd_ps(weight, f3, self.3);
+    }
+
+    /// Accumulates `weight * f32(acc_i16_pair)` for the *paired* layout the
+    /// `maddubs` accumulation produces: `.0` = rows [0..8 | 16..24], `.1` =
+    /// rows [8..16 | 24..32].
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn add_weighted_i16_paired(&mut self, acc: (__m256i, __m256i), weight: __m256) {
+        let (f0, f1) = simd::i16_to_f32x2(acc.0);
+        let (f2, f3) = simd::i16_to_f32x2(acc.1);
+        self.0 = _mm256_fmadd_ps(weight, f0, self.0);
+        self.2 = _mm256_fmadd_ps(weight, f1, self.2);
+        self.1 = _mm256_fmadd_ps(weight, f2, self.1);
+        self.3 = _mm256_fmadd_ps(weight, f3, self.3);
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn store(&self, out: &mut [f32; TILE_M]) {
+        simd::storeu_ps(&mut out[0..], self.0);
+        simd::storeu_ps(&mut out[8..], self.1);
+        simd::storeu_ps(&mut out[16..], self.2);
+        simd::storeu_ps(&mut out[24..], self.3);
+    }
+}
+
+/// Looks up one 16-byte step's 32 indices (mirror-aware).
+#[inline]
+#[target_feature(enable = "avx2")]
+fn lookup_step<const MIRROR: bool>(tbl: __m256i, idx: __m256i, kg_odd: bool) -> __m256i {
+    if MIRROR {
+        let (mut folded, ctrl) = simd::mirror_fold(idx);
+        if kg_odd {
+            folded = _mm256_or_si256(folded, _mm256_set1_epi8(8));
+        }
+        simd::apply_sign(simd::tbl32(tbl, folded), ctrl)
+    } else {
+        simd::tbl32(tbl, idx)
+    }
+}
+
+/// Streaming kernel over the permuted layout (exact aggregation).
+///
+/// Two throughput refinements over the naive loop, both value-preserving:
+///
+/// * **bit-pair loads** — two consecutive bit planes of a k-group are 32
+///   adjacent stream bytes, so one 256-bit load feeds two `PSHUFB`s (the
+///   low/high nibbles of each 128-bit lane belong to one bit plane each);
+/// * **integer bit-serial combine** — when `Σ_i 2^i · |acc_i|` provably
+///   fits `i16` (group sizes ≤ 64), the per-bit accumulators are combined
+///   with shifts/adds in `i16` and converted to `f32` once, instead of four
+///   widening conversions per scale block. Integer sums are exact, so the
+///   result is bit-identical to the scalar reference either way.
+#[target_feature(enable = "avx2,fma")]
+fn mtile_permuted<const IL: bool, const MIRROR: bool>(
+    plan: &WeightPlan,
+    tables: &ActTables,
+    mt: usize,
+    out: &mut [f32; TILE_M],
+) {
+    let bits = plan.bits;
+    let gpr = plan.groups_per_row();
+    let kgb = plan.group_size / LUT_GROUP;
+    let stream = plan.mtile_stream(mt);
+    let mut off = 0usize;
+    let mut outacc = OutAcc::zero();
+    // Worst-case |combined| = kgb * 127 * (2^bits - 1) must fit i16.
+    let i16_combine_safe = kgb as u32 * 127 * ((1u32 << bits) - 1) <= i16::MAX as u32;
+
+    // One "step" is 16 stream bytes: one (k-group, bit plane). The layout
+    // is bit-major within a scale block, so consecutive steps of one bit
+    // cover adjacent k-groups: one 256-bit load feeds both, and the two
+    // lookup results interleave byte-wise so `maddubs(1, ·)` sums each
+    // row's pair into an `i16` lane — half the widening work of scalar
+    // `cvtepi8_epi16` accumulation. The paired accumulator rows are
+    // [0..8 | 16..24] in `.0` and [8..16 | 24..32] in `.1`; the fold stage
+    // un-permutes when converting to `f32`.
+    let table_for = |kg: usize| -> __m256i {
+        if MIRROR {
+            load_table(&tables.q_tables, (kg / 2) * 16)
+        } else {
+            load_table(&tables.q_tables, kg * 16)
+        }
+    };
+    let ones = _mm256_set1_epi8(1);
+    for sb in 0..gpr {
+        let kg0 = sb * kgb;
+        let mut acc = [(_mm256_setzero_si256(), _mm256_setzero_si256()); 4];
+        for acc_bit in acc.iter_mut().take(bits) {
+            let mut kgi = 0;
+            while kgi < kgb {
+                let pair = kgi + 1 < kgb;
+                let kg_a = kg0 + kgi;
+                let (vals_a, vals_b);
+                if pair {
+                    // One 32-byte load covers k-groups `kg_a` and `kg_a+1`.
+                    let raw2 = simd::loadu_256(&stream[off..]);
+                    off += TILE_M;
+                    let mask = _mm256_set1_epi8(0x0F);
+                    let lo_nib = _mm256_and_si256(raw2, mask);
+                    let hi_nib = _mm256_and_si256(_mm256_srli_epi16::<4>(raw2), mask);
+                    // Lane 0 of lo/hi belongs to kg_a, lane 1 to kg_a+1.
+                    let (idx_a, idx_b) = if IL {
+                        (
+                            _mm256_permute2x128_si256::<0x20>(lo_nib, hi_nib),
+                            _mm256_permute2x128_si256::<0x31>(lo_nib, hi_nib),
+                        )
+                    } else {
+                        let even_odd_lo = _mm256_unpacklo_epi8(lo_nib, hi_nib);
+                        let even_odd_hi = _mm256_unpackhi_epi8(lo_nib, hi_nib);
+                        (
+                            _mm256_permute2x128_si256::<0x20>(even_odd_lo, even_odd_hi),
+                            _mm256_permute2x128_si256::<0x31>(even_odd_lo, even_odd_hi),
+                        )
+                    };
+                    let tbl_a = table_for(kg_a);
+                    // Mirror packs the even/odd k-group pair in one table.
+                    let tbl_b = if MIRROR && kg_a % 2 == 0 {
+                        tbl_a
+                    } else {
+                        table_for(kg_a + 1)
+                    };
+                    vals_a = lookup_step::<MIRROR>(tbl_a, idx_a, kg_a % 2 == 1);
+                    vals_b = lookup_step::<MIRROR>(tbl_b, idx_b, kg_a % 2 == 0);
+                    kgi += 2;
+                } else {
+                    let raw = simd::loadu_128(&stream[off..]);
+                    off += TILE_M / 2;
+                    let idx = if IL {
+                        simd::unpack_nibbles_interleaved(raw)
+                    } else {
+                        simd::unpack_nibbles_sequential(raw)
+                    };
+                    vals_a = lookup_step::<MIRROR>(table_for(kg_a), idx, kg_a % 2 == 1);
+                    vals_b = _mm256_setzero_si256();
+                    kgi += 1;
+                }
+                // Byte-interleave the two lookups so each i16 lane holds one
+                // row's pair sum.
+                let inter_lo = _mm256_unpacklo_epi8(vals_a, vals_b);
+                let inter_hi = _mm256_unpackhi_epi8(vals_a, vals_b);
+                acc_bit.0 = _mm256_add_epi16(acc_bit.0, _mm256_maddubs_epi16(ones, inter_lo));
+                acc_bit.1 = _mm256_add_epi16(acc_bit.1, _mm256_maddubs_epi16(ones, inter_hi));
+            }
+        }
+        let mut blk = OutAcc::zero();
+        if i16_combine_safe {
+            let mut lo = acc[0].0;
+            let mut hi = acc[0].1;
+            for (bit, a) in acc.iter().enumerate().take(bits).skip(1) {
+                let sh = bit as i32;
+                lo = _mm256_add_epi16(lo, _mm256_sll_epi16(a.0, _mm_cvtsi32_si128(sh)));
+                hi = _mm256_add_epi16(hi, _mm256_sll_epi16(a.1, _mm_cvtsi32_si128(sh)));
+            }
+            blk.add_weighted_i16_paired((lo, hi), _mm256_set1_ps(1.0));
+        } else {
+            for (bit, a) in acc.iter().enumerate().take(bits) {
+                blk.add_weighted_i16_paired(*a, _mm256_set1_ps((1u32 << bit) as f32));
+            }
+        }
+        let sc = _mm256_set1_ps(0.5 * tables.q_scales[sb]);
+        let bias = _mm256_set1_ps(plan.cz * tables.asums[sb]);
+        outacc.fold(&blk, sc, bias, plan.tile_scales(mt, sb));
+    }
+    outacc.store(out);
+}
+
+/// Streaming kernel with fast 8-bit aggregation (lossy, paper §4).
+#[target_feature(enable = "avx2,fma")]
+fn mtile_permuted_fa<const IL: bool, const MIRROR: bool>(
+    plan: &WeightPlan,
+    tables: &ActTables,
+    mt: usize,
+    out: &mut [f32; TILE_M],
+) {
+    let bits = plan.bits;
+    let gpr = plan.groups_per_row();
+    let kgb = plan.group_size / LUT_GROUP;
+    assert!(
+        kgb.is_power_of_two() && kgb <= MAX_KG_PER_BLOCK,
+        "fast aggregation needs a power-of-two group_size/4 <= {MAX_KG_PER_BLOCK}"
+    );
+    let stream = plan.mtile_stream(mt);
+    let step = TILE_M / 2;
+    let mut base = 0usize;
+    let mut outacc = OutAcc::zero();
+
+    for sb in 0..gpr {
+        let mut blk = OutAcc::zero();
+        for bit in 0..bits {
+            let mut bufs = [_mm256_setzero_si256(); MAX_KG_PER_BLOCK];
+            for kgi in 0..kgb {
+                let kg = sb * kgb + kgi;
+                let tbl = if MIRROR {
+                    load_table_u8(&tables.u_tables, (kg / 2) * 16)
+                } else {
+                    load_table_u8(&tables.u_tables, kg * 16)
+                };
+                let raw = simd::loadu_128(&stream[base + (bit * kgb + kgi) * step..]);
+                let idx = if IL {
+                    simd::unpack_nibbles_interleaved(raw)
+                } else {
+                    simd::unpack_nibbles_sequential(raw)
+                };
+                bufs[kgi] = if MIRROR {
+                    let (mut folded, _) = simd::mirror_fold(idx);
+                    if kg % 2 == 1 {
+                        folded = _mm256_or_si256(folded, _mm256_set1_epi8(8));
+                    }
+                    let looked = simd::tbl32(tbl, folded);
+                    // Negation in the +128 offset domain is wrapping 0 - v
+                    // (entries are clamped to [1, 255], so 0 never occurs).
+                    let negmask = _mm256_cmpgt_epi8(idx, _mm256_set1_epi8(7));
+                    let negated = _mm256_sub_epi8(_mm256_setzero_si256(), looked);
+                    _mm256_blendv_epi8(looked, negated, negmask)
+                } else {
+                    simd::tbl32(tbl, idx)
+                };
+            }
+            // Balanced rounding-average tree: level by level, adjacent pairs
+            // (identical shape to the scalar reference).
+            let mut n = kgb;
+            while n > 1 {
+                for j in 0..n / 2 {
+                    bufs[j] = simd::avg_u8(bufs[2 * j], bufs[2 * j + 1]);
+                }
+                n /= 2;
+            }
+            let tree = bufs[0];
+            let off128 = _mm256_set1_epi16(128);
+            let lo = _mm256_sub_epi16(
+                _mm256_cvtepu8_epi16(_mm256_castsi256_si128(tree)),
+                off128,
+            );
+            let hi = _mm256_sub_epi16(
+                _mm256_cvtepu8_epi16(_mm256_extracti128_si256(tree, 1)),
+                off128,
+            );
+            // L ≈ (tree - 128) * kgb; bit weight folds in here.
+            let w = _mm256_set1_ps(((kgb as u32) << bit) as f32);
+            blk.add_weighted_i16((lo, hi), w);
+        }
+        // Probabilistic rounding-bias correction of the averaging tree
+        // (matches the scalar reference exactly; see its comment).
+        let depth = kgb.trailing_zeros() as f32;
+        let fa_delta = -0.25 * depth * kgb as f32 * (((1u32 << bits) - 1) as f32);
+        let lut_scale = tables.q_scales[sb];
+        let sc = _mm256_set1_ps(0.5 * lut_scale);
+        let bias = _mm256_set1_ps(plan.cz * tables.asums[sb] + 0.5 * lut_scale * fa_delta);
+        outacc.fold(&blk, sc, bias, plan.tile_scales(mt, sb));
+        base += kgb * bits * step;
+    }
+    outacc.store(out);
+}
+
+/// Loads a duplicated 16-entry unsigned table.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load_table_u8(u_tables: &[u8], base: usize) -> __m256i {
+    let v = simd::loadu_128(&u_tables[base..]);
+    _mm256_broadcastsi128_si256(v)
+}
+
+/// Assembles the interleaved 16-byte index step for `(kg, bit)` from the
+/// flat nibble planes — the per-step gather cost that the offline
+/// permutation removes (paper §3.2).
+#[inline]
+fn assemble_flat_step(plan: &WeightPlan, bit: usize, m0: usize, kg: usize, buf: &mut [u8; 16]) {
+    let plane = plan.flat_plane(bit);
+    let rb = plan.flat_row_bytes();
+    let byte_off = kg / 2;
+    let shift = 4 * (kg & 1);
+    for j in 0..TILE_M / 2 {
+        let lo = (plane[(m0 + j) * rb + byte_off] >> shift) & 0x0F;
+        let hi = (plane[(m0 + j + TILE_M / 2) * rb + byte_off] >> shift) & 0x0F;
+        buf[j] = lo | (hi << 4);
+    }
+}
+
+/// Gathers the 32 per-row weight scales of a scale block on the flat layout.
+#[inline]
+fn assemble_flat_scales(plan: &WeightPlan, m0: usize, sb: usize, buf: &mut [f32; TILE_M]) {
+    for (r, b) in buf.iter_mut().enumerate() {
+        *b = plan.scale(m0 + r, sb);
+    }
+}
+
+/// Quantized-table kernel over the flat layout (`+TQ`, `+Tiling` ladder
+/// stages): `PSHUFB` lookups but strided index assembly every step.
+#[target_feature(enable = "avx2,fma")]
+fn mtile_flat_quant(plan: &WeightPlan, tables: &ActTables, mt: usize, out: &mut [f32; TILE_M]) {
+    let bits = plan.bits;
+    let gpr = plan.groups_per_row();
+    let kgb = plan.group_size / LUT_GROUP;
+    let m0 = mt * TILE_M;
+    let mut outacc = OutAcc::zero();
+    let mut buf = [0u8; 16];
+    let mut sbuf = [0f32; TILE_M];
+
+    for sb in 0..gpr {
+        let mut acc = [(_mm256_setzero_si256(), _mm256_setzero_si256()); 4];
+        for kgi in 0..kgb {
+            let kg = sb * kgb + kgi;
+            let tbl = load_table(&tables.q_tables, kg * 16);
+            for bit in 0..bits {
+                assemble_flat_step(plan, bit, m0, kg, &mut buf);
+                let raw = simd::loadu_128(&buf);
+                let idx = simd::unpack_nibbles_interleaved(raw);
+                let vals = simd::tbl32(tbl, idx);
+                acc[bit] = simd::accumulate_i8_into_i16(acc[bit], vals);
+            }
+        }
+        let mut blk = OutAcc::zero();
+        for bit in 0..bits {
+            blk.add_weighted_i16(acc[bit], _mm256_set1_ps((1u32 << bit) as f32));
+        }
+        let sc = _mm256_set1_ps(0.5 * tables.q_scales[sb]);
+        let bias = _mm256_set1_ps(plan.cz * tables.asums[sb]);
+        assemble_flat_scales(plan, m0, sb, &mut sbuf);
+        outacc.fold(&blk, sc, bias, &sbuf);
+    }
+    outacc.store(out);
+}
+
+/// TM-base kernel: `f32` tables accessed with hardware gathers
+/// (`vgatherdps`) — a real lookup intrinsic, but neither in-register tables
+/// nor optimized memory access.
+#[target_feature(enable = "avx2,fma")]
+fn mtile_flat_gather(plan: &WeightPlan, tables: &ActTables, mt: usize, out: &mut [f32; TILE_M]) {
+    let bits = plan.bits;
+    let gpr = plan.groups_per_row();
+    let kgb = plan.group_size / LUT_GROUP;
+    let m0 = mt * TILE_M;
+    let mut outacc = OutAcc::zero();
+    let mut buf = [0u8; 16];
+    let mut sbuf = [0f32; TILE_M];
+
+    for sb in 0..gpr {
+        let mut blk = OutAcc::zero();
+        for kgi in 0..kgb {
+            let kg = sb * kgb + kgi;
+            let table = &tables.f32_tables[kg * 16..kg * 16 + 16];
+            for bit in 0..bits {
+                assemble_flat_step(plan, bit, m0, kg, &mut buf);
+                let raw = simd::loadu_128(&buf);
+                let idx = simd::unpack_nibbles_interleaved(raw);
+                let lanes_lo = _mm256_castsi256_si128(idx); // rows 0..16
+                let lanes_hi = _mm256_extracti128_si256(idx, 1); // rows 16..32
+                let (i0, i1) = simd::widen_u8_to_i32(lanes_lo);
+                let (i2, i3) = simd::widen_u8_to_i32(lanes_hi);
+                let w = _mm256_set1_ps((1u32 << bit) as f32);
+                blk.0 = _mm256_fmadd_ps(w, simd::gather_f32(table, i0), blk.0);
+                blk.1 = _mm256_fmadd_ps(w, simd::gather_f32(table, i1), blk.1);
+                blk.2 = _mm256_fmadd_ps(w, simd::gather_f32(table, i2), blk.2);
+                blk.3 = _mm256_fmadd_ps(w, simd::gather_f32(table, i3), blk.3);
+            }
+        }
+        let sc = _mm256_set1_ps(0.5);
+        let bias = _mm256_set1_ps(plan.cz * tables.asums[sb]);
+        assemble_flat_scales(plan, m0, sb, &mut sbuf);
+        outacc.fold(&blk, sc, bias, &sbuf);
+    }
+    outacc.store(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::scalar;
+    use tmac_quant::rtn;
+
+    fn setup(
+        m: usize,
+        k: usize,
+        bits: u8,
+        gs: usize,
+    ) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32 * 0.17).sin()) * 0.7 + ((i % 13) as f32 - 6.0) * 0.03)
+            .collect();
+        let act: Vec<f32> = (0..k).map(|i| ((i as f32 * 0.41).cos()) * 0.9).collect();
+        (rtn::quantize(&w, m, k, bits, gs).unwrap(), act)
+    }
+
+    fn compare_opts(opts: KernelOpts, bits: u8, tol: f32) {
+        if !simd::available() {
+            return;
+        }
+        let (qm, act) = setup(96, 256, bits, 32);
+        let plan = WeightPlan::new(&qm, opts).unwrap();
+        let tables = ActTables::build(&act, 32, &opts).unwrap();
+        assert!(supported(&opts), "opts {opts:?} should have an AVX2 kernel");
+        for mt in 0..plan.m_tiles() {
+            let mut want = [0f32; TILE_M];
+            scalar::gemv_plan_mtile(&plan, &tables, mt, &mut want);
+            let mut got = [0f32; TILE_M];
+            // SAFETY: AVX2+FMA verified by `simd::available()` above.
+            unsafe { gemv_mtile(&plan, &tables, mt, &mut got) };
+            for r in 0..TILE_M {
+                assert!(
+                    (want[r] - got[r]).abs() <= tol * (1.0 + want[r].abs()),
+                    "opts={opts:?} bits={bits} mt={mt} r={r}: {} vs {}",
+                    want[r],
+                    got[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_matches_scalar_all_bits() {
+        for bits in 1..=4u8 {
+            compare_opts(KernelOpts::plus_permute(), bits, 1e-5);
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_scalar() {
+        for bits in [2u8, 4] {
+            let mut o = KernelOpts::plus_permute();
+            o.interleave = true;
+            compare_opts(o, bits, 1e-5);
+        }
+    }
+
+    #[test]
+    fn mirror_matches_scalar() {
+        for bits in 1..=4u8 {
+            compare_opts(KernelOpts::tmac(), bits, 1e-5);
+        }
+    }
+
+    #[test]
+    fn fast_aggregation_matches_scalar_emulation() {
+        // The scalar kernel emulates the same avg tree, so even the lossy
+        // path must agree to f32 round-off.
+        for bits in [1u8, 2, 4] {
+            compare_opts(KernelOpts::tmac_fast_aggregation(), bits, 1e-5);
+            let mut no_mirror = KernelOpts::tmac_fast_aggregation();
+            no_mirror.mirror = false;
+            compare_opts(no_mirror, bits, 1e-5);
+        }
+    }
+
+    #[test]
+    fn flat_quant_matches_scalar() {
+        for bits in 1..=4u8 {
+            compare_opts(KernelOpts::plus_table_quant(), bits, 1e-5);
+            compare_opts(KernelOpts::plus_tiling(), bits, 1e-5);
+        }
+    }
+
+    #[test]
+    fn tm_base_gather_matches_scalar() {
+        for bits in 1..=4u8 {
+            compare_opts(KernelOpts::tm_base(), bits, 1e-4);
+        }
+    }
+
+    #[test]
+    fn unsupported_combos_reported() {
+        if !simd::available() {
+            return;
+        }
+        // Mirror without permutation has no AVX2 kernel.
+        let mut o = KernelOpts::plus_table_quant();
+        o.mirror = true;
+        assert!(!supported(&o));
+        // f32 tables with permutation: scalar fallback.
+        let mut o = KernelOpts::plus_permute();
+        o.table_quant = false;
+        o.mirror = false;
+        assert!(!supported(&o));
+    }
+}

@@ -1,0 +1,29 @@
+//! mpGEMV/mpGEMM kernels.
+//!
+//! * [`scalar`] — portable implementations of every option combination,
+//!   bit-compatible with the SIMD kernels (same integer accumulation, same
+//!   fast-aggregation tree shape, same per-block f32 application order).
+//!   They are the correctness oracle and the fallback backend.
+//! * `avx2` — the production kernels (x86-64). One `PSHUFB` per 32 lookups,
+//!   `i16` widening accumulation, per-scale-block f32 application.
+//!
+//! # Kernel math
+//!
+//! With codes `q = Σ_i 2^i b_i`, signs `w'_i = 2 b_i - 1 ∈ {-1, +1}`
+//! (paper §4's bit-serial linear transform), weight scales `s`, zero point
+//! `z`, and per-block activation sums `asum`:
+//!
+//! ```text
+//! out[m] = Σ_blocks s[m][sb] · ( 0.5 · Σ_i 2^i · L_i[m][sb] + cz · asum[sb] )
+//! L_i[m][sb] = Σ_{kg ∈ sb} table_kg[ idx_i(m, kg) ]      (the LUT lookups)
+//! cz = (2^bits - 1)/2 − z
+//! ```
+//!
+//! With table quantization `table_kg ≈ q_scale[sb] · q_table_kg`, so `L_i`
+//! is accumulated in integers and `0.5 · q_scale[sb]` folds into the final
+//! multiply.
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;

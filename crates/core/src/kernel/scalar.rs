@@ -1,0 +1,277 @@
+//! Portable reference kernels.
+//!
+//! [`gemv_reference`] computes the ground truth from dequantized weights in
+//! `f64` (no T-MAC machinery at all). [`gemv_plan`] executes the full T-MAC
+//! pipeline — plan layouts, quantized/mirrored tables, fast-aggregation
+//! trees — in scalar code, matching the SIMD kernels' arithmetic exactly so
+//! the two can be compared bit-for-bit in integer space.
+
+use crate::opts::{LUT_GROUP, TILE_M};
+use crate::plan::WeightPlan;
+use crate::table::{ActTables, FA_OFFSET};
+use crate::TmacError;
+use tmac_quant::QuantizedMatrix;
+
+/// Ground-truth mpGEMV: `out = act × dequant(W)^T` in `f64` accumulation.
+///
+/// # Panics
+///
+/// Panics if `act.len() != qm.cols`.
+pub fn gemv_reference(qm: &QuantizedMatrix, act: &[f32]) -> Vec<f32> {
+    assert_eq!(act.len(), qm.cols, "activation length mismatch");
+    let mut row = vec![0f32; qm.cols];
+    let mut out = vec![0f32; qm.rows];
+    for m in 0..qm.rows {
+        qm.dequantize_row(m, &mut row);
+        let mut acc = 0f64;
+        for (a, w) in act.iter().zip(&row) {
+            acc += (*a as f64) * (*w as f64);
+        }
+        out[m] = acc as f32;
+    }
+    out
+}
+
+/// Executes one m-tile of the T-MAC GEMV in scalar code.
+///
+/// `out` receives the `TILE_M` results of tile `mt`. The arithmetic —
+/// integer accumulation widths, fast-aggregation tree shape, per-block
+/// application order — replicates the AVX2 kernel exactly.
+pub fn gemv_plan_mtile(plan: &WeightPlan, tables: &ActTables, mt: usize, out: &mut [f32; TILE_M]) {
+    let bits = plan.bits;
+    let gpr = plan.groups_per_row();
+    let kg_per_block = plan.group_size / LUT_GROUP;
+    let m0 = mt * TILE_M;
+    out.fill(0.0);
+
+    for sb in 0..gpr {
+        let kg0 = sb * kg_per_block;
+        if tables.quantized {
+            let lut_scale = tables.q_scales[sb];
+            let asum = tables.asums[sb];
+            // Fast aggregation: each rounding average biases its output by
+            // +0.25 in expectation, and the bias of every tree level
+            // propagates to the root undiminished in aggregate — the root
+            // carries ≈ +0.25·depth. Subtract this probabilistic bias (the
+            // MADDNESS correction the paper adopts, §4), folded into the
+            // per-block bias term so the inner loop is untouched.
+            let fa_delta = if plan.opts.fast_aggregation {
+                let kgb = kg_per_block as f32;
+                let depth = kg_per_block.trailing_zeros() as f32;
+                -0.25 * depth * kgb * (((1u32 << bits) - 1) as f32)
+            } else {
+                0.0
+            };
+            let bias = plan.cz * asum + 0.5 * lut_scale * fa_delta;
+            for (r, o) in out.iter_mut().enumerate() {
+                let m = m0 + r;
+                let mut block = 0f32;
+                for bit in 0..bits {
+                    let lq: i32 = if plan.opts.fast_aggregation {
+                        fa_tree_row(plan, tables, m, bit, kg0, kg_per_block)
+                    } else {
+                        (0..kg_per_block)
+                            .map(|kgi| {
+                                let kg = kg0 + kgi;
+                                tables.lookup_q(kg, plan.index(bit, m, kg)) as i32
+                            })
+                            .sum()
+                    };
+                    block += (1u32 << bit) as f32 * lq as f32;
+                }
+                let s = plan.scale(m, sb);
+                *o += s * (0.5 * lut_scale * block + bias);
+            }
+        } else {
+            let asum = tables.asums[sb];
+            let bias = plan.cz * asum;
+            for (r, o) in out.iter_mut().enumerate() {
+                let m = m0 + r;
+                let mut block = 0f32;
+                for bit in 0..bits {
+                    let mut l = 0f32;
+                    for kgi in 0..kg_per_block {
+                        let kg = kg0 + kgi;
+                        l += tables.lookup_f32(kg, plan.index(bit, m, kg));
+                    }
+                    block += (1u32 << bit) as f32 * l;
+                }
+                let s = plan.scale(m, sb);
+                *o += s * (0.5 * block + bias);
+            }
+        }
+    }
+}
+
+/// Fast-aggregation tree for one row/bit within one scale block.
+///
+/// Looks up the `u8` (offset) tables and reduces them with the exact
+/// `avg_u8` pairing the SIMD kernel uses: level by level, adjacent pairs.
+/// Returns the reconstructed integer sum `(tree - 128) * n_groups`.
+fn fa_tree_row(
+    plan: &WeightPlan,
+    tables: &ActTables,
+    m: usize,
+    bit: usize,
+    kg0: usize,
+    kg_per_block: usize,
+) -> i32 {
+    debug_assert!(kg_per_block.is_power_of_two());
+    let mut vals = [0u8; 64];
+    for kgi in 0..kg_per_block {
+        let kg = kg0 + kgi;
+        let q = tables.lookup_q(kg, plan.index(bit, m, kg));
+        vals[kgi] = (q as i32 + FA_OFFSET) as u8;
+    }
+    let mut n = kg_per_block;
+    while n > 1 {
+        for j in 0..n / 2 {
+            vals[j] = tmac_simd::scalar::avg_u8(vals[2 * j], vals[2 * j + 1]);
+        }
+        n /= 2;
+    }
+    (vals[0] as i32 - FA_OFFSET) * kg_per_block as i32
+}
+
+/// Full scalar GEMV over all tiles (single-threaded helper; the driver
+/// parallelizes over tiles itself).
+///
+/// # Errors
+///
+/// Returns [`TmacError::Shape`] on length mismatches.
+pub fn gemv_plan(plan: &WeightPlan, tables: &ActTables, out: &mut [f32]) -> Result<(), TmacError> {
+    if out.len() != plan.m {
+        return Err(TmacError::Shape(format!(
+            "output length {} != M {}",
+            out.len(),
+            plan.m
+        )));
+    }
+    if tables.k != plan.k {
+        return Err(TmacError::Shape(format!(
+            "tables built for K {} but plan has K {}",
+            tables.k, plan.k
+        )));
+    }
+    let mut buf = [0f32; TILE_M];
+    for mt in 0..plan.m_tiles() {
+        gemv_plan_mtile(plan, tables, mt, &mut buf);
+        let m0 = mt * TILE_M;
+        let take = TILE_M.min(plan.m - m0);
+        out[m0..m0 + take].copy_from_slice(&buf[..take]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::KernelOpts;
+    use tmac_quant::rtn;
+
+    fn setup(m: usize, k: usize, bits: u8, gs: usize) -> (QuantizedMatrix, Vec<f32>) {
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32 * 0.13).sin() * 0.9) + ((i % 5) as f32 - 2.0) * 0.05)
+            .collect();
+        let act: Vec<f32> = (0..k).map(|i| ((i as f32 * 0.29).cos()) * 1.1).collect();
+        (rtn::quantize(&w, m, k, bits, gs).unwrap(), act)
+    }
+
+    /// The plan kernel with *unquantized* tables must equal the dequantized
+    /// reference to f32 round-off: the bit-serial identity (Eq. 1 plus the
+    /// {-1,+1} transform) is exact.
+    #[test]
+    fn bit_serial_identity_exact_all_bits() {
+        for bits in 1..=4u8 {
+            let (qm, act) = setup(48, 128, bits, 32);
+            let reference = gemv_reference(&qm, &act);
+            let plan = WeightPlan::new(&qm, KernelOpts::tm_base()).unwrap();
+            let tables = ActTables::build(&act, 32, &KernelOpts::tm_base()).unwrap();
+            let mut out = vec![0f32; 48];
+            gemv_plan(&plan, &tables, &mut out).unwrap();
+            for (m, (&r, &o)) in reference.iter().zip(&out).enumerate() {
+                let tol = 1e-3 * (1.0 + r.abs());
+                assert!((r - o).abs() < tol, "bits={bits} m={m}: {r} vs {o}");
+            }
+        }
+    }
+
+    /// Table quantization introduces only a bounded, small error.
+    #[test]
+    fn table_quantization_error_small() {
+        let (qm, act) = setup(64, 256, 4, 32);
+        let reference = gemv_reference(&qm, &act);
+        for opts in [
+            KernelOpts::plus_table_quant(),
+            KernelOpts::plus_tiling(),
+            KernelOpts::plus_permute(),
+            KernelOpts::tmac(),
+        ] {
+            let plan = WeightPlan::new(&qm, opts).unwrap();
+            let tables = ActTables::build(&act, 32, &opts).unwrap();
+            let mut out = vec![0f32; 64];
+            gemv_plan(&plan, &tables, &mut out).unwrap();
+            let nmse = tmac_simd::f32ops::nmse(&out, &reference);
+            assert!(nmse < 1e-4, "opts={opts:?} nmse={nmse}");
+        }
+    }
+
+    /// Fast aggregation is lossier but still correlated (paper Table 3:
+    /// NMSE grows ~2.5x but stays ~1e-2 relative).
+    #[test]
+    fn fast_aggregation_error_larger_but_bounded() {
+        let (qm, act) = setup(64, 256, 4, 32);
+        let reference = gemv_reference(&qm, &act);
+        let exact_opts = KernelOpts::tmac();
+        let fa_opts = KernelOpts::tmac_fast_aggregation();
+        let run = |opts: KernelOpts| {
+            let plan = WeightPlan::new(&qm, opts).unwrap();
+            let tables = ActTables::build(&act, 32, &opts).unwrap();
+            let mut out = vec![0f32; 64];
+            gemv_plan(&plan, &tables, &mut out).unwrap();
+            tmac_simd::f32ops::nmse(&out, &reference)
+        };
+        let exact = run(exact_opts);
+        let fa = run(fa_opts);
+        assert!(fa > exact, "FA should be lossier: {fa} vs {exact}");
+        assert!(fa < 5e-2, "FA error should stay bounded: {fa}");
+    }
+
+    /// All layout variants compute the identical result (integer paths are
+    /// bit-identical; the f32 fold order is the same).
+    #[test]
+    fn layouts_agree_exactly() {
+        let (qm, act) = setup(40, 128, 3, 32);
+        let base = {
+            let o = KernelOpts::plus_table_quant();
+            let plan = WeightPlan::new(&qm, o).unwrap();
+            let t = ActTables::build(&act, 32, &o).unwrap();
+            let mut out = vec![0f32; 40];
+            gemv_plan(&plan, &t, &mut out).unwrap();
+            out
+        };
+        for opts in [
+            KernelOpts::plus_tiling(),
+            KernelOpts::plus_permute(),
+            KernelOpts::plus_tuning(64, 4),
+            KernelOpts::tmac(),
+        ] {
+            let plan = WeightPlan::new(&qm, opts).unwrap();
+            let t = ActTables::build(&act, 32, &opts).unwrap();
+            let mut out = vec![0f32; 40];
+            gemv_plan(&plan, &t, &mut out).unwrap();
+            for (m, (&b, &o)) in base.iter().zip(&out).enumerate() {
+                assert_eq!(b, o, "opts={opts:?} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let (qm, act) = setup(32, 64, 2, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let tables = ActTables::build(&act, 32, &KernelOpts::tmac()).unwrap();
+        let mut bad = vec![0f32; 31];
+        assert!(gemv_plan(&plan, &tables, &mut bad).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! # T-MAC: LUT-based mixed-precision GEMM for low-bit LLM inference
+//!
+//! A from-scratch Rust implementation of the T-MAC kernel library
+//! (*T-MAC: CPU Renaissance via Table Lookup for Low-Bit LLM Deployment on
+//! Edge*, EuroSys 2025). T-MAC computes `A_f32 × W_intN^T` **without
+//! dequantization**: the n-bit weight matrix is decomposed into `n` one-bit
+//! matrices (Eq. 1), activations are precomputed into lookup tables over all
+//! `2^4` sign patterns of 4-element groups, and the GEMV reduces to table
+//! lookups and additions — no multiplications in the inner loop, and cost
+//! that scales linearly with the weight bit-width.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! offline:  QuantizedMatrix --(bit-serial decompose, tile, permute,
+//!                              interleave)--> WeightPlan
+//! online:   activation --(precompute, mirror-consolidate, table-quantize)
+//!                      --> ActTables
+//! kernel:   PSHUFB/TBL lookups + i16 accumulation + per-block f32 fold
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tmac_core::{KernelOpts, TmacLinear};
+//! use tmac_threadpool::ThreadPool;
+//!
+//! // Quantize a 64x128 weight matrix to 2 bits.
+//! let weights: Vec<f32> = (0..64 * 128).map(|i| (i as f32 * 0.1).sin()).collect();
+//! let qm = tmac_quant::rtn::quantize(&weights, 64, 128, 2, 32).unwrap();
+//!
+//! // Offline: build the plan. Online: multiply.
+//! let linear = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
+//! let act: Vec<f32> = (0..128).map(|i| (i as f32 * 0.2).cos()).collect();
+//! let pool = ThreadPool::new(2);
+//! let mut out = vec![0f32; 64];
+//! linear.gemv(&act, &mut out, &pool).unwrap();
+//! ```
+
+pub mod cost;
+pub mod gemm;
+pub mod gemv;
+pub mod kernel;
+pub mod opts;
+pub mod plan;
+pub mod table;
+pub mod tune;
+
+pub use opts::{KernelOpts, LUT_GROUP, TILE_M};
+pub use plan::{Layout, WeightPlan};
+pub use table::ActTables;
+
+use tmac_quant::{QuantError, QuantizedMatrix};
+use tmac_threadpool::ThreadPool;
+
+/// Errors produced by the T-MAC kernel library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmacError {
+    /// Underlying quantization error.
+    Quant(QuantError),
+    /// Dimension/length invariant violated.
+    Shape(String),
+    /// Inconsistent kernel option combination.
+    Opts(String),
+    /// Non-finite or otherwise unusable numeric input.
+    Numeric(String),
+}
+
+impl std::fmt::Display for TmacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TmacError::Quant(e) => write!(f, "quantization error: {e}"),
+            TmacError::Shape(msg) => write!(f, "shape error: {msg}"),
+            TmacError::Opts(msg) => write!(f, "kernel options error: {msg}"),
+            TmacError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TmacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TmacError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for TmacError {
+    fn from(e: QuantError) -> Self {
+        TmacError::Quant(e)
+    }
+}
+
+/// A planned linear layer: the high-level entry point.
+///
+/// Owns the offline-preprocessed weights; `gemv`/`gemm` run the online
+/// stage. One `TmacLinear` is immutable and shareable across threads.
+#[derive(Debug, Clone)]
+pub struct TmacLinear {
+    plan: WeightPlan,
+}
+
+impl TmacLinear {
+    /// Plans a quantized matrix for execution under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction failures ([`TmacError::Shape`],
+    /// [`TmacError::Opts`], [`TmacError::Quant`]).
+    pub fn new(qm: &QuantizedMatrix, opts: KernelOpts) -> Result<Self, TmacError> {
+        Ok(TmacLinear {
+            plan: WeightPlan::new(qm, opts)?,
+        })
+    }
+
+    /// Quantizes `weights` (row-major `rows × cols`) with RTN and plans it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization and planning failures.
+    pub fn from_f32(
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        bits: u8,
+        group_size: usize,
+        opts: KernelOpts,
+    ) -> Result<Self, TmacError> {
+        let qm = tmac_quant::rtn::quantize(weights, rows, cols, bits, group_size)?;
+        Self::new(&qm, opts)
+    }
+
+    /// Output features `M`.
+    pub fn rows(&self) -> usize {
+        self.plan.m
+    }
+
+    /// Input features `K`.
+    pub fn cols(&self) -> usize {
+        self.plan.k
+    }
+
+    /// Weight bit-width.
+    pub fn bits(&self) -> usize {
+        self.plan.bits
+    }
+
+    /// The underlying plan (cost analysis, diagnostics).
+    pub fn plan(&self) -> &WeightPlan {
+        &self.plan
+    }
+
+    /// Mixed-precision GEMV: `out[m] = Σ_k act[k] · W[m][k]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`gemv::mpgemv`].
+    pub fn gemv(&self, act: &[f32], out: &mut [f32], pool: &ThreadPool) -> Result<(), TmacError> {
+        gemv::mpgemv(&self.plan, act, out, pool)
+    }
+
+    /// GEMV with precomputed tables (reuse across layers sharing an input).
+    ///
+    /// # Errors
+    ///
+    /// See [`gemv::mpgemv_with_tables`].
+    pub fn gemv_with_tables(
+        &self,
+        tables: &ActTables,
+        out: &mut [f32],
+        pool: &ThreadPool,
+    ) -> Result<(), TmacError> {
+        gemv::mpgemv_with_tables(&self.plan, tables, out, pool)
+    }
+
+    /// Builds activation tables for this layer's shape.
+    ///
+    /// # Errors
+    ///
+    /// See [`gemv::build_tables`].
+    pub fn tables(&self, act: &[f32]) -> Result<ActTables, TmacError> {
+        gemv::build_tables(&self.plan, act)
+    }
+
+    /// Mixed-precision GEMM over `n` activation rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`gemm::mpgemm`].
+    pub fn gemm(
+        &self,
+        act: &[f32],
+        n: usize,
+        out: &mut [f32],
+        pool: &ThreadPool,
+    ) -> Result<(), TmacError> {
+        gemm::mpgemm(&self.plan, act, n, out, pool)
+    }
+
+    /// Analytical cost of one GEMV through this layer.
+    pub fn gemv_cost(&self) -> cost::KernelCost {
+        cost::tmac_gemv_cost(
+            self.plan.m,
+            self.plan.k,
+            self.plan.bits,
+            self.plan.group_size,
+            &self.plan.opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_end_to_end() {
+        let weights: Vec<f32> = (0..64 * 128).map(|i| (i as f32 * 0.05).sin()).collect();
+        let lin =
+            TmacLinear::from_f32(&weights, 64, 128, 4, 32, KernelOpts::tmac()).unwrap();
+        assert_eq!((lin.rows(), lin.cols(), lin.bits()), (64, 128, 4));
+        let act: Vec<f32> = (0..128).map(|i| (i as f32 * 0.11).cos()).collect();
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0f32; 64];
+        lin.gemv(&act, &mut out, &pool).unwrap();
+        // Against the f32 reference.
+        let qm = tmac_quant::rtn::quantize(&weights, 64, 128, 4, 32).unwrap();
+        let reference = kernel::scalar::gemv_reference(&qm, &act);
+        assert!(tmac_simd::f32ops::nmse(&out, &reference) < 1e-4);
+    }
+
+    #[test]
+    fn error_conversions() {
+        let qe = QuantError::UnsupportedBits(9);
+        let te: TmacError = qe.clone().into();
+        assert!(matches!(te, TmacError::Quant(_)));
+        assert!(te.to_string().contains('9'));
+        assert!(std::error::Error::source(&te).is_some());
+        let s = TmacError::Shape("x".into());
+        assert!(std::error::Error::source(&s).is_none());
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline weight preprocessing (paper Figure 2, "OFFLINE").
+//!
+//! An `n`-bit weight matrix is decomposed into `n` one-bit matrices
+//! (Eq. 1), each one-bit matrix is grouped into 4-bit lookup indices along
+//! `K`, and the indices are laid out according to the kernel options:
+//!
+//! * **Flat** (no permutation): one nibble-packed plane per bit, row-major —
+//!   the layout a naive implementation would use. Kernels must gather a
+//!   tile's indices from `TILE_M` strided rows on every step.
+//! * **Permuted** (`opts.permute`): indices are stored in the exact order
+//!   the kernel consumes them — m-tile by m-tile, k-tile by k-tile, k-group
+//!   by k-group, bit by bit, 16 bytes per step ("T-MAC flats the elements in
+//!   a tile sequentially and then concatenates the flatten tiles", §3.2).
+//!   Within the 16 bytes, nibbles are either *sequential* (rows `2j`,
+//!   `2j+1`) or *interleaved* (rows `j`, `j+16`, Figure 4) per
+//!   `opts.interleave`.
+//!
+//! The weight matrix never changes during inference, so all of this cost is
+//! paid once offline — exactly the paper's argument for why permutation and
+//! interleaving are free at inference time.
+
+use crate::opts::{KernelOpts, LUT_GROUP, TILE_M};
+use crate::TmacError;
+use tmac_quant::QuantizedMatrix;
+
+/// Physical index layout inside a [`WeightPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Row-major nibble planes, one per bit.
+    Flat,
+    /// Contiguous per-tile stream (optionally interleaved).
+    Permuted {
+        /// Nibble order within each 16-byte step.
+        interleaved: bool,
+    },
+}
+
+/// Offline-preprocessed weights ready for the T-MAC kernels.
+#[derive(Debug, Clone)]
+pub struct WeightPlan {
+    /// Logical output rows `M`.
+    pub m: usize,
+    /// `M` rounded up to a multiple of [`TILE_M`] (padding rows have zero
+    /// scales, so they contribute nothing).
+    pub m_padded: usize,
+    /// Reduction length `K`.
+    pub k: usize,
+    /// Weight bit-width.
+    pub bits: usize,
+    /// Scale group size along `K`.
+    pub group_size: usize,
+    /// Zero point in code space.
+    pub zero: f32,
+    /// Bit-serial bias constant `(2^bits - 1)/2 - zero` (see `tmac-core`
+    /// crate docs); multiplied by per-block activation sums at runtime.
+    pub cz: f32,
+    /// Options the plan was built for.
+    pub opts: KernelOpts,
+    /// Effective `K`-tile length in elements (whole `K` when not tiling).
+    pub tile_k: usize,
+    layout: Layout,
+    /// Flat layout: `bits` planes, each `m_padded * k/8` bytes.
+    flat_planes: Vec<Vec<u8>>,
+    /// Permuted layout: single stream (see module docs for the order).
+    perm_stream: Vec<u8>,
+    /// Row-major scales, padded: `m_padded * k/group_size`.
+    scales_flat: Vec<f32>,
+    /// Tile-permuted scales: per m-tile, per scale block, `TILE_M` floats.
+    scales_perm: Vec<f32>,
+}
+
+impl WeightPlan {
+    /// Builds a plan from a canonical quantized matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`TmacError::Opts`] if the option combination is inconsistent.
+    /// * [`TmacError::Shape`] if `K` is not a multiple of the LUT group (4),
+    ///   the scale group size is not a multiple of 4, or `tile_k` is not a
+    ///   multiple of the scale group size.
+    pub fn new(qm: &QuantizedMatrix, opts: KernelOpts) -> Result<WeightPlan, TmacError> {
+        opts.validate().map_err(TmacError::Opts)?;
+        qm.validate()?;
+        if qm.cols % LUT_GROUP != 0 {
+            return Err(TmacError::Shape(format!(
+                "K = {} must be a multiple of the LUT group {LUT_GROUP}",
+                qm.cols
+            )));
+        }
+        if qm.group_size % LUT_GROUP != 0 {
+            return Err(TmacError::Shape(format!(
+                "group_size {} must be a multiple of the LUT group {LUT_GROUP}",
+                qm.group_size
+            )));
+        }
+        let tile_k = if opts.tiling {
+            if opts.tile_k % qm.group_size != 0 {
+                return Err(TmacError::Shape(format!(
+                    "tile_k {} must be a multiple of group_size {}",
+                    opts.tile_k, qm.group_size
+                )));
+            }
+            opts.tile_k.min(qm.cols)
+        } else {
+            qm.cols
+        };
+
+        let (m, k, bits) = (qm.rows, qm.cols, qm.bits as usize);
+        let m_padded = m.div_ceil(TILE_M) * TILE_M;
+        let gpr = k / qm.group_size;
+
+        // Padded row-major scales.
+        let mut scales_flat = vec![0f32; m_padded * gpr];
+        scales_flat[..m * gpr].copy_from_slice(&qm.scales);
+
+        let layout = if opts.permute {
+            Layout::Permuted {
+                interleaved: opts.interleave,
+            }
+        } else {
+            Layout::Flat
+        };
+
+        let kg_total = k / LUT_GROUP;
+        let nibble = |row: usize, bit: usize, kg: usize| -> u8 {
+            if row >= m {
+                return 0;
+            }
+            let base = row * k + kg * LUT_GROUP;
+            let mut idx = 0u8;
+            for j in 0..LUT_GROUP {
+                let code = qm.codes[base + j];
+                idx |= ((code >> bit) & 1) << j;
+            }
+            idx
+        };
+
+        let mut flat_planes = Vec::new();
+        let mut perm_stream = Vec::new();
+        let mut scales_perm = Vec::new();
+        match layout {
+            Layout::Flat => {
+                let row_bytes = kg_total / 2 + kg_total % 2;
+                for bit in 0..bits {
+                    let mut plane = vec![0u8; m_padded * row_bytes];
+                    for row in 0..m {
+                        for kg in 0..kg_total {
+                            let v = nibble(row, bit, kg);
+                            let byte = &mut plane[row * row_bytes + kg / 2];
+                            if kg % 2 == 0 {
+                                *byte |= v;
+                            } else {
+                                *byte |= v << 4;
+                            }
+                        }
+                    }
+                    flat_planes.push(plane);
+                }
+            }
+            Layout::Permuted { interleaved } => {
+                // Stream order per m-tile: scale block → bit plane → k-group
+                // (bit-major *within* a scale block so the kernel can pair
+                // same-bit lookups of adjacent k-groups in one 256-bit
+                // load). Scale blocks never straddle k-tiles because
+                // `tile_k` is a multiple of `group_size`, so k-tiling does
+                // not alter the byte order.
+                perm_stream = vec![0u8; m_padded / TILE_M * kg_total * bits * (TILE_M / 2)];
+                let kg_per_block = qm.group_size / LUT_GROUP;
+                let mut off = 0;
+                for mt in 0..m_padded / TILE_M {
+                    let m0 = mt * TILE_M;
+                    for sb in 0..k / qm.group_size {
+                        for bit in 0..bits {
+                            for kg_in in 0..kg_per_block {
+                                let kg = sb * kg_per_block + kg_in;
+                                for j in 0..TILE_M / 2 {
+                                    let (rlo, rhi) = if interleaved {
+                                        (m0 + j, m0 + j + TILE_M / 2)
+                                    } else {
+                                        (m0 + 2 * j, m0 + 2 * j + 1)
+                                    };
+                                    perm_stream[off + j] = nibble(rlo, bit, kg)
+                                        | (nibble(rhi, bit, kg) << 4);
+                                }
+                                off += TILE_M / 2;
+                            }
+                        }
+                    }
+                }
+                debug_assert_eq!(off, perm_stream.len());
+                // Tile-permuted scales: per m-tile, per scale block, the
+                // TILE_M row scales contiguously.
+                scales_perm = vec![0f32; m_padded * gpr];
+                let mut soff = 0;
+                for mt in 0..m_padded / TILE_M {
+                    for sb in 0..gpr {
+                        for r in 0..TILE_M {
+                            scales_perm[soff] = scales_flat[(mt * TILE_M + r) * gpr + sb];
+                            soff += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let zero = qm.zero;
+        let cz = ((1u32 << bits) - 1) as f32 / 2.0 - zero;
+        Ok(WeightPlan {
+            m,
+            m_padded,
+            k,
+            bits,
+            group_size: qm.group_size,
+            zero,
+            cz,
+            opts,
+            tile_k,
+            layout,
+            flat_planes,
+            perm_stream,
+            scales_flat,
+            scales_perm,
+        })
+    }
+
+    /// The physical layout of this plan.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of k-groups (`K / 4`).
+    pub fn kg_total(&self) -> usize {
+        self.k / LUT_GROUP
+    }
+
+    /// Number of scale groups per row (`K / group_size`).
+    pub fn groups_per_row(&self) -> usize {
+        self.k / self.group_size
+    }
+
+    /// Number of m-tiles (`m_padded / TILE_M`).
+    pub fn m_tiles(&self) -> usize {
+        self.m_padded / TILE_M
+    }
+
+    /// The 4-bit lookup index of `(bit, row, kg)`, decoded from whichever
+    /// layout the plan stores.
+    ///
+    /// This is the layout oracle: kernels never call it (they stream), but
+    /// the scalar reference kernel and the layout tests do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit`, `row` or `kg` is out of range.
+    pub fn index(&self, bit: usize, row: usize, kg: usize) -> u8 {
+        assert!(bit < self.bits && row < self.m_padded && kg < self.kg_total());
+        match self.layout {
+            Layout::Flat => {
+                let kg_total = self.kg_total();
+                let row_bytes = kg_total / 2 + kg_total % 2;
+                let byte = self.flat_planes[bit][row * row_bytes + kg / 2];
+                if kg % 2 == 0 {
+                    byte & 0x0F
+                } else {
+                    byte >> 4
+                }
+            }
+            Layout::Permuted { interleaved } => {
+                let (mt, r) = (row / TILE_M, row % TILE_M);
+                let base = self.step_offset(mt, kg, bit);
+                let half = TILE_M / 2;
+                let (j, high) = if interleaved {
+                    (r % half, r >= half)
+                } else {
+                    (r / 2, r % 2 == 1)
+                };
+                let byte = self.perm_stream[base + j];
+                if high {
+                    byte >> 4
+                } else {
+                    byte & 0x0F
+                }
+            }
+        }
+    }
+
+    /// Byte offset of the 16-byte step `(m-tile, kg, bit)` in the permuted
+    /// stream (scale-block-major, bit-major within the block).
+    fn step_offset(&self, mt: usize, kg: usize, bit: usize) -> usize {
+        let half = TILE_M / 2;
+        let kg_per_block = self.group_size / LUT_GROUP;
+        let per_sb = self.bits * kg_per_block * half;
+        let per_mtile = self.kg_total() / kg_per_block * per_sb;
+        let (sb, kg_in) = (kg / kg_per_block, kg % kg_per_block);
+        mt * per_mtile + sb * per_sb + (bit * kg_per_block + kg_in) * half
+    }
+
+    /// The flat nibble plane of one bit (row-major, [`Self::flat_row_bytes`]
+    /// bytes per padded row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is permuted or `bit` is out of range.
+    pub fn flat_plane(&self, bit: usize) -> &[u8] {
+        assert!(matches!(self.layout, Layout::Flat), "plan is permuted");
+        &self.flat_planes[bit]
+    }
+
+    /// Bytes per row in the flat nibble planes.
+    pub fn flat_row_bytes(&self) -> usize {
+        let kg_total = self.kg_total();
+        kg_total / 2 + kg_total % 2
+    }
+
+    /// The permuted index stream of one m-tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not permuted or `mt` is out of range.
+    pub fn mtile_stream(&self, mt: usize) -> &[u8] {
+        assert!(matches!(self.layout, Layout::Permuted { .. }));
+        let per_mtile = self.kg_total() * self.bits * (TILE_M / 2);
+        &self.perm_stream[mt * per_mtile..(mt + 1) * per_mtile]
+    }
+
+    /// Row-major (padded) scale of `(row, scale-block)`.
+    #[inline]
+    pub fn scale(&self, row: usize, sb: usize) -> f32 {
+        self.scales_flat[row * self.groups_per_row() + sb]
+    }
+
+    /// Tile-permuted scales for `(m-tile, scale-block)`: `TILE_M` floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not permuted.
+    #[inline]
+    pub fn tile_scales(&self, mt: usize, sb: usize) -> &[f32] {
+        assert!(!self.scales_perm.is_empty(), "plan is not permuted");
+        let base = (mt * self.groups_per_row() + sb) * TILE_M;
+        &self.scales_perm[base..base + TILE_M]
+    }
+
+    /// Bytes of index data the kernel streams for one full GEMV pass.
+    pub fn index_bytes(&self) -> usize {
+        match self.layout {
+            Layout::Flat => self.flat_planes.iter().map(Vec::len).sum(),
+            Layout::Permuted { .. } => self.perm_stream.len(),
+        }
+    }
+}
+
+/// Reconstructs the 4-bit index directly from codes (test oracle).
+pub fn index_from_codes(qm: &QuantizedMatrix, bit: usize, row: usize, kg: usize) -> u8 {
+    let mut idx = 0u8;
+    for j in 0..LUT_GROUP {
+        let code = qm.codes[row * qm.cols + kg * LUT_GROUP + j];
+        idx |= ((code >> bit) & 1) << j;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_quant::rtn;
+
+    fn matrix(m: usize, k: usize, bits: u8, gs: usize) -> QuantizedMatrix {
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32 * 0.37).sin() + (i % 11) as f32 * 0.1) - 0.5)
+            .collect();
+        rtn::quantize(&w, m, k, bits, gs).unwrap()
+    }
+
+    #[test]
+    fn flat_layout_decodes_to_code_bits() {
+        let qm = matrix(7, 64, 3, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::plus_table_quant()).unwrap();
+        assert_eq!(plan.layout(), Layout::Flat);
+        for bit in 0..3 {
+            for row in 0..7 {
+                for kg in 0..16 {
+                    assert_eq!(
+                        plan.index(bit, row, kg),
+                        index_from_codes(&qm, bit, row, kg),
+                        "bit={bit} row={row} kg={kg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_layouts_decode_identically() {
+        let qm = matrix(40, 128, 4, 32);
+        let flat = WeightPlan::new(&qm, KernelOpts::plus_table_quant()).unwrap();
+        for interleave in [false, true] {
+            let mut opts = KernelOpts::plus_permute();
+            opts.interleave = interleave;
+            opts.tile_k = 64;
+            let perm = WeightPlan::new(&qm, opts).unwrap();
+            for bit in 0..4 {
+                for row in 0..perm.m_padded {
+                    for kg in 0..perm.kg_total() {
+                        assert_eq!(
+                            perm.index(bit, row, kg),
+                            flat.index(bit, row, kg),
+                            "interleave={interleave} bit={bit} row={row} kg={kg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_rows_are_zero() {
+        let qm = matrix(40, 64, 2, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        assert_eq!(plan.m_padded, 64);
+        for bit in 0..2 {
+            for row in 40..64 {
+                for kg in 0..16 {
+                    assert_eq!(plan.index(bit, row, kg), 0);
+                }
+                for sb in 0..2 {
+                    assert_eq!(plan.scale(row, sb), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_scales_match_flat_scales() {
+        let qm = matrix(64, 128, 4, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        for mt in 0..plan.m_tiles() {
+            for sb in 0..plan.groups_per_row() {
+                let ts = plan.tile_scales(mt, sb);
+                for r in 0..TILE_M {
+                    assert_eq!(ts[r], plan.scale(mt * TILE_M + r, sb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_opts() {
+        let qm = matrix(8, 64, 4, 32);
+        let mut bad = KernelOpts::tmac();
+        bad.tile_k = 48; // not a multiple of group_size 32
+        assert!(matches!(
+            WeightPlan::new(&qm, bad),
+            Err(TmacError::Shape(_))
+        ));
+        let mut bad = KernelOpts::tm_base();
+        bad.mirror = true;
+        assert!(matches!(WeightPlan::new(&qm, bad), Err(TmacError::Opts(_))));
+    }
+
+    #[test]
+    fn cz_constant_matches_convention() {
+        for bits in 1..=4u8 {
+            let qm = matrix(4, 32, bits, 32);
+            let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+            let expect = if bits == 1 { 0.0 } else { -0.5 };
+            assert_eq!(plan.cz, expect, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn index_bytes_scale_with_bits() {
+        let q2 = matrix(32, 128, 2, 32);
+        let q4 = matrix(32, 128, 4, 32);
+        let p2 = WeightPlan::new(&q2, KernelOpts::tmac()).unwrap();
+        let p4 = WeightPlan::new(&q4, KernelOpts::tmac()).unwrap();
+        assert_eq!(p4.index_bytes(), 2 * p2.index_bytes());
+    }
+
+    #[test]
+    fn tile_k_clamped_to_k() {
+        let qm = matrix(8, 64, 2, 32);
+        let mut opts = KernelOpts::tmac();
+        opts.tile_k = 4096;
+        let plan = WeightPlan::new(&qm, opts).unwrap();
+        assert_eq!(plan.tile_k, 64);
+    }
+}

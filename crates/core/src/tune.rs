@@ -1,0 +1,187 @@
+//! Tile-configuration tuner (the role AutoTVM plays in the paper's §4).
+//!
+//! "The number of on-chip LUTs is tuned for each hardware ... for different
+//! devices, tuning should assist in finding a better configuration"
+//! (§4, §5.5). This tuner measures real executions of candidate `tile_k` /
+//! `n_block` configurations on the actual plan and caches the winner per
+//! `(M, K, bits, threads)`.
+
+use crate::gemv::{build_tables, mpgemv_with_tables};
+use crate::opts::KernelOpts;
+use crate::plan::WeightPlan;
+use crate::TmacError;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+use tmac_quant::QuantizedMatrix;
+use tmac_threadpool::ThreadPool;
+
+/// Candidate `tile_k` values swept by the tuner (clamped to multiples of the
+/// weight group size and to `K`).
+pub const TILE_K_CANDIDATES: [usize; 4] = [128, 256, 512, 1024];
+
+/// Candidate `n_block` values for mpGEMM.
+pub const N_BLOCK_CANDIDATES: [usize; 3] = [4, 8, 16];
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TunedConfig {
+    /// The winning option set.
+    pub opts: KernelOpts,
+    /// Best observed latency for one GEMV, in seconds.
+    pub gemv_seconds: f64,
+}
+
+/// Measures the best of `iters` runs of a full mpGEMV (tables + kernel).
+///
+/// # Errors
+///
+/// Propagates plan/driver errors from the measured configuration.
+pub fn measure_gemv(
+    qm: &QuantizedMatrix,
+    opts: KernelOpts,
+    pool: &ThreadPool,
+    iters: usize,
+) -> Result<f64, TmacError> {
+    let plan = WeightPlan::new(qm, opts)?;
+    let act: Vec<f32> = (0..qm.cols).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let mut out = vec![0f32; qm.rows];
+    // Warm-up run (also validates the configuration end to end).
+    let tables = build_tables(&plan, &act)?;
+    mpgemv_with_tables(&plan, &tables, &mut out, pool)?;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let tables = build_tables(&plan, &act)?;
+        mpgemv_with_tables(&plan, &tables, &mut out, pool)?;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(best)
+}
+
+/// Sweeps `tile_k` candidates and returns the fastest full-T-MAC
+/// configuration for this matrix.
+///
+/// # Errors
+///
+/// Propagates plan construction or execution failures.
+pub fn tune(qm: &QuantizedMatrix, pool: &ThreadPool, iters: usize) -> Result<TunedConfig, TmacError> {
+    let mut best: Option<TunedConfig> = None;
+    for &tk in &TILE_K_CANDIDATES {
+        if tk % qm.group_size != 0 {
+            continue;
+        }
+        let mut opts = KernelOpts::tmac();
+        opts.tile_k = tk;
+        let secs = measure_gemv(qm, opts, pool, iters)?;
+        if best.map_or(true, |b| secs < b.gemv_seconds) {
+            best = Some(TunedConfig {
+                opts,
+                gemv_seconds: secs,
+            });
+        }
+    }
+    best.ok_or_else(|| {
+        TmacError::Shape(format!(
+            "no tile_k candidate is a multiple of group_size {}",
+            qm.group_size
+        ))
+    })
+}
+
+/// Process-wide tuning cache keyed by `(M, K, bits, threads)`.
+pub struct Tuner {
+    cache: Mutex<HashMap<(usize, usize, u8, usize), KernelOpts>>,
+}
+
+impl Tuner {
+    /// Creates an empty tuner cache.
+    pub fn new() -> Self {
+        Tuner {
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cached configuration for this shape, tuning on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuning failures (the result is then not cached).
+    pub fn get(
+        &self,
+        qm: &QuantizedMatrix,
+        pool: &ThreadPool,
+        iters: usize,
+    ) -> Result<KernelOpts, TmacError> {
+        let key = (qm.rows, qm.cols, qm.bits, pool.threads());
+        if let Some(hit) = self.cache.lock().expect("tuner lock").get(&key) {
+            return Ok(*hit);
+        }
+        let tuned = tune(qm, pool, iters)?;
+        self.cache
+            .lock()
+            .expect("tuner lock")
+            .insert(key, tuned.opts);
+        Ok(tuned.opts)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("tuner lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Tuner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_quant::rtn;
+
+    fn matrix(m: usize, k: usize) -> QuantizedMatrix {
+        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.21).sin()).collect();
+        rtn::quantize(&w, m, k, 2, 32).unwrap()
+    }
+
+    #[test]
+    fn tune_returns_valid_config() {
+        let qm = matrix(128, 256);
+        let pool = ThreadPool::new(1);
+        let cfg = tune(&qm, &pool, 1).unwrap();
+        assert!(cfg.opts.validate().is_ok());
+        assert!(cfg.gemv_seconds > 0.0);
+        assert!(TILE_K_CANDIDATES.contains(&cfg.opts.tile_k));
+    }
+
+    #[test]
+    fn tuner_caches_by_shape() {
+        let tuner = Tuner::new();
+        let pool = ThreadPool::new(1);
+        let qm = matrix(64, 128);
+        let a = tuner.get(&qm, &pool, 1).unwrap();
+        let b = tuner.get(&qm, &pool, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(tuner.len(), 1);
+        let qm2 = matrix(64, 256);
+        tuner.get(&qm2, &pool, 1).unwrap();
+        assert_eq!(tuner.len(), 2);
+    }
+
+    #[test]
+    fn measure_rejects_broken_opts() {
+        let qm = matrix(64, 128);
+        let pool = ThreadPool::new(1);
+        let mut opts = KernelOpts::tmac();
+        opts.tile_k = 48; // not a multiple of group_size
+        assert!(measure_gemv(&qm, opts, &pool, 1).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Edge-device profiles and performance/energy projection models.
+//!
+//! The paper evaluates on seven physical devices plus their GPUs and NPUs
+//! (Tables 2, 5, 6, 7; Figures 6–9, 11). This reproduction measures real
+//! kernels on one local x86-64 host; cross-device series are produced by
+//! the roofline models here, parameterized with the paper's device
+//! specifications and calibrated against the local measurements (see
+//! `DESIGN.md`, substitution table).
+//!
+//! * [`profiles`] — device parameter sets (paper Tables 2 & 6).
+//! * [`project`] — CPU/GPU/NPU latency and throughput projection.
+//! * [`energy`] — power and J/token model (paper Figure 9, Table 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use tmac_devices::{profiles, project};
+//! use tmac_core::KernelOpts;
+//!
+//! let cost = project::LLAMA2_7B.tmac_cost(2, &KernelOpts::tmac());
+//! let tps = project::cpu_tokens_per_sec(
+//!     &profiles::JETSON_AGX_ORIN,
+//!     &cost,
+//!     12,
+//!     project::Calibration::unit(),
+//!     0.25,
+//! );
+//! assert!(tps > 1.0);
+//! ```
+
+pub mod energy;
+pub mod profiles;
+pub mod project;
+
+pub use profiles::{CpuProfile, GpuProfile, NpuProfile};
+pub use project::{Calibration, ModelShape};

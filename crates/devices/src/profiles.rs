@@ -1,0 +1,247 @@
+//! Device profiles (paper Tables 2 and 6).
+//!
+//! Each profile captures the handful of parameters the projection models
+//! need: core count/frequency, SIMD lookup throughput, and memory
+//! bandwidth. Peak bandwidth numbers are the paper's Table 2; the sustained
+//! fraction reflects what a CPU-cluster stream achieves (unified-memory SoCs
+//! never give the CPU the full fabric bandwidth — notably M2-Ultra's
+//! 819 GB/s fabric feeds the CPU cluster only a fraction).
+
+/// CPU profile of one evaluation device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Device name as used in the paper's tables.
+    pub name: &'static str,
+    /// Cores used in the experiments ("Used Cores" of Table 6).
+    pub cores: usize,
+    /// Sustained clock in GHz.
+    pub freq_ghz: f64,
+    /// SIMD register width in bytes (16 NEON, 32 AVX2).
+    pub simd_bytes: usize,
+    /// Effective SIMD instructions per cycle for the lookup+accumulate mix
+    /// (Apple's wide NEON front-end sustains ~3, Cortex-A ~2, AVX2 desktop
+    /// cores ~1.5 with one shuffle port).
+    pub simd_ipc: f64,
+    /// Peak memory bandwidth, GB/s (Table 2).
+    pub peak_bw_gbs: f64,
+    /// Fraction of peak a CPU streaming kernel sustains.
+    pub sustained_bw_frac: f64,
+    /// Idle (package baseline) power in watts.
+    pub idle_w: f64,
+    /// Incremental power per active core at full tilt, watts.
+    pub core_w: f64,
+}
+
+/// Apple M2-Ultra (Mac Studio), 16 performance cores, 819.2 GB/s fabric.
+pub const M2_ULTRA: CpuProfile = CpuProfile {
+    name: "M2-Ultra",
+    cores: 16,
+    freq_ghz: 3.5,
+    simd_bytes: 16,
+    simd_ipc: 3.0,
+    peak_bw_gbs: 819.2,
+    sustained_bw_frac: 0.30,
+    idle_w: 15.0,
+    core_w: 3.0,
+};
+
+/// Raspberry Pi 5: 4 × Cortex-A76 @ 2.4 GHz, 17.1 GB/s LPDDR4X.
+pub const RASPBERRY_PI5: CpuProfile = CpuProfile {
+    name: "Raspberry Pi 5",
+    cores: 4,
+    freq_ghz: 2.4,
+    simd_bytes: 16,
+    simd_ipc: 2.0,
+    peak_bw_gbs: 17.1,
+    sustained_bw_frac: 0.75,
+    idle_w: 2.5,
+    core_w: 1.3,
+};
+
+/// Jetson AGX Orin: 12 × Cortex-A78AE @ 2.2 GHz, 204.8 GB/s shared LPDDR5.
+pub const JETSON_AGX_ORIN: CpuProfile = CpuProfile {
+    name: "Jetson AGX Orin",
+    cores: 12,
+    freq_ghz: 2.2,
+    simd_bytes: 16,
+    simd_ipc: 2.0,
+    peak_bw_gbs: 204.8,
+    sustained_bw_frac: 0.40,
+    idle_w: 8.0,
+    core_w: 1.8,
+};
+
+/// Surface Book 3: Intel i5-1035G7 (Ice Lake), 4 cores, AVX2, 58.2 GB/s.
+pub const SURFACE_BOOK3: CpuProfile = CpuProfile {
+    name: "Surface Book 3",
+    cores: 4,
+    freq_ghz: 3.3,
+    simd_bytes: 32,
+    simd_ipc: 1.5,
+    peak_bw_gbs: 58.2,
+    sustained_bw_frac: 0.55,
+    idle_w: 5.0,
+    core_w: 4.0,
+};
+
+/// Surface Laptop 7: Snapdragon X Elite, 4 of 12 Oryon cores used
+/// (Table 6), ~135 GB/s LPDDR5X.
+pub const SURFACE_LAPTOP7: CpuProfile = CpuProfile {
+    name: "Surface Laptop 7",
+    cores: 4,
+    freq_ghz: 3.8,
+    simd_bytes: 16,
+    simd_ipc: 3.0,
+    peak_bw_gbs: 135.0,
+    sustained_bw_frac: 0.60,
+    idle_w: 4.0,
+    core_w: 3.5,
+};
+
+/// OnePlus 12: Snapdragon 8 Gen 3, 1 × X4 + 5 × A720 used, 76.8 GB/s.
+pub const ONEPLUS_12: CpuProfile = CpuProfile {
+    name: "OnePlus 12",
+    cores: 6,
+    freq_ghz: 3.0,
+    simd_bytes: 16,
+    simd_ipc: 2.0,
+    peak_bw_gbs: 76.8,
+    sustained_bw_frac: 0.55,
+    idle_w: 2.0,
+    core_w: 2.2,
+};
+
+/// Jetson Orin NX: 6 of 8 Cortex-A78AE used, 102.4 GB/s.
+pub const JETSON_ORIN_NX: CpuProfile = CpuProfile {
+    name: "Jetson Orin NX",
+    cores: 6,
+    freq_ghz: 2.0,
+    simd_bytes: 16,
+    simd_ipc: 2.0,
+    peak_bw_gbs: 102.4,
+    sustained_bw_frac: 0.45,
+    idle_w: 5.0,
+    core_w: 1.5,
+};
+
+/// All CPU profiles, in the paper's device order (Table 2 then Table 6).
+pub const ALL_CPUS: [CpuProfile; 7] = [
+    M2_ULTRA,
+    RASPBERRY_PI5,
+    JETSON_AGX_ORIN,
+    SURFACE_BOOK3,
+    SURFACE_LAPTOP7,
+    ONEPLUS_12,
+    JETSON_ORIN_NX,
+];
+
+/// GPU profile for the llama.cpp GPU baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Peak memory bandwidth (shared with the CPU on these SoCs), GB/s.
+    pub peak_bw_gbs: f64,
+    /// Fraction of peak the dequant GEMV kernels sustain.
+    pub sustained_bw_frac: f64,
+    /// Per-kernel launch overhead in microseconds.
+    pub launch_us: f64,
+    /// Active power at full tilt, watts.
+    pub active_w: f64,
+    /// Idle contribution, watts.
+    pub idle_w: f64,
+}
+
+/// Jetson AGX Orin's Ampere GPU (llama.cpp CUDA backend).
+pub const ORIN_AGX_GPU: GpuProfile = GpuProfile {
+    name: "Orin AGX GPU (CUDA)",
+    peak_bw_gbs: 204.8,
+    sustained_bw_frac: 0.70,
+    launch_us: 12.0,
+    active_w: 25.0,
+    idle_w: 6.0,
+};
+
+/// Jetson Orin NX's Ampere GPU.
+pub const ORIN_NX_GPU: GpuProfile = GpuProfile {
+    name: "Orin NX GPU (CUDA)",
+    peak_bw_gbs: 102.4,
+    sustained_bw_frac: 0.65,
+    launch_us: 12.0,
+    active_w: 18.0,
+    idle_w: 5.0,
+};
+
+/// OnePlus 12's Adreno 750 via llama.cpp's OpenCL backend — the paper
+/// measures it at 1.6–1.7 tok/s for 7B, i.e. the backend sustains only a
+/// tiny fraction of bandwidth.
+pub const ADRENO_750_GPU: GpuProfile = GpuProfile {
+    name: "Adreno 750 (OpenCL)",
+    peak_bw_gbs: 76.8,
+    sustained_bw_frac: 0.045,
+    launch_us: 60.0,
+    active_w: 8.0,
+    idle_w: 1.5,
+};
+
+/// NPU throughput entries (paper Table 7, "sourced from official data
+/// released by Qualcomm via Qualcomm AI Hub"). The paper deduces 2-bit NPU
+/// performance from the 4-bit number (marked `*`), so one constant serves
+/// both bit-widths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Official Llama-2-7B-4bit tokens/s.
+    pub tokens_per_sec_7b_4bit: f64,
+}
+
+/// Hexagon NPU in Surface Laptop 7 (Snapdragon X Elite, 45 TOPS).
+pub const HEXAGON_X_ELITE: NpuProfile = NpuProfile {
+    name: "Hexagon (X Elite, 45 TOPS)",
+    tokens_per_sec_7b_4bit: 10.40,
+};
+
+/// Hexagon NPU in OnePlus 12 (Snapdragon 8 Gen 3, 15 TOPS).
+pub const HEXAGON_8GEN3: NpuProfile = NpuProfile {
+    name: "Hexagon (8 Gen 3, 15 TOPS)",
+    tokens_per_sec_7b_4bit: 11.30,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_physical() {
+        for p in ALL_CPUS {
+            assert!(p.cores > 0 && p.freq_ghz > 0.5 && p.freq_ghz < 6.0, "{}", p.name);
+            assert!(p.simd_bytes == 16 || p.simd_bytes == 32, "{}", p.name);
+            assert!(p.peak_bw_gbs > 5.0 && p.sustained_bw_frac <= 1.0, "{}", p.name);
+            assert!(p.idle_w > 0.0 && p.core_w > 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn bandwidths_match_table2() {
+        assert_eq!(M2_ULTRA.peak_bw_gbs, 819.2);
+        assert_eq!(RASPBERRY_PI5.peak_bw_gbs, 17.1);
+        assert_eq!(JETSON_AGX_ORIN.peak_bw_gbs, 204.8);
+        assert_eq!(SURFACE_BOOK3.peak_bw_gbs, 58.2);
+    }
+
+    #[test]
+    fn npu_numbers_match_table7() {
+        assert_eq!(HEXAGON_X_ELITE.tokens_per_sec_7b_4bit, 10.40);
+        assert_eq!(HEXAGON_8GEN3.tokens_per_sec_7b_4bit, 11.30);
+    }
+
+    #[test]
+    fn device_ordering_by_bandwidth_is_m2_first() {
+        let max = ALL_CPUS
+            .iter()
+            .map(|p| p.peak_bw_gbs)
+            .fold(0.0f64, f64::max);
+        assert_eq!(max, M2_ULTRA.peak_bw_gbs);
+    }
+}

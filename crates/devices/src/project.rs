@@ -1,0 +1,322 @@
+//! Latency/throughput projection models.
+//!
+//! A kernel execution is characterized by the op/byte counts from
+//! `tmac_core::cost`; a device by its [`CpuProfile`]/[`GpuProfile`]. The
+//! projection is a two-term roofline:
+//!
+//! ```text
+//! t = max( lane_ops / (cores · freq · ipc · simd_bytes),
+//!          dram_bytes / (peak_bw · sustained_frac) )  ·  1/efficiency
+//! ```
+//!
+//! `efficiency` is a single calibration scalar obtained by running the real
+//! kernel locally and dividing model time by measured time — it captures
+//! everything the roofline abstracts away (issue stalls, prefetch quality),
+//! and is assumed device-independent because the kernel structure is.
+
+use crate::profiles::{CpuProfile, GpuProfile, NpuProfile};
+use tmac_core::cost::KernelCost;
+
+/// Calibration scalar (model efficiency factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// `modelled_time / measured_time` for the calibration kernel; applied
+    /// multiplicatively to all projections.
+    pub efficiency: f64,
+}
+
+impl Calibration {
+    /// Uncalibrated (efficiency 1.0).
+    pub fn unit() -> Self {
+        Calibration { efficiency: 1.0 }
+    }
+
+    /// Calibrates from a measured local run: `modelled` seconds from
+    /// [`cpu_latency`] with unit calibration vs `measured` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is non-positive.
+    pub fn from_measurement(modelled: f64, measured: f64) -> Self {
+        assert!(modelled > 0.0 && measured > 0.0, "times must be positive");
+        Calibration {
+            efficiency: modelled / measured,
+        }
+    }
+
+    /// Representative efficiency for the T-MAC kernel family when no local
+    /// calibration is available (streaming lookups issue close to the
+    /// roofline).
+    pub fn default_tmac() -> Self {
+        Calibration { efficiency: 0.75 }
+    }
+
+    /// Representative efficiency for dequantization kernels: the
+    /// decode/center/widen mix issues far below the byte-lane roofline
+    /// (llama.cpp's measured per-core rates imply ~0.35).
+    pub fn default_dequant() -> Self {
+        Calibration { efficiency: 0.35 }
+    }
+}
+
+/// Projects the latency of a kernel with cost `c` on `cpu` using `threads`
+/// threads.
+///
+/// The calibration efficiency applies to the compute term only; memory-side
+/// efficiency is already captured by the profile's `sustained_bw_frac`.
+pub fn cpu_latency(cpu: &CpuProfile, c: &KernelCost, threads: usize, calib: Calibration) -> f64 {
+    let cores = threads.min(cpu.cores).max(1) as f64;
+    let lane_rate = cores * cpu.freq_ghz * 1e9 * cpu.simd_ipc * cpu.simd_bytes as f64;
+    // Scalar-equivalent f32 work runs on the FMA pipes, simd_bytes/4 lanes.
+    let f32_rate = cores * cpu.freq_ghz * 1e9 * cpu.simd_ipc * (cpu.simd_bytes / 4) as f64;
+    let compute = (c.lane_ops() as f64 / lane_rate + c.f32_ops as f64 / f32_rate)
+        / calib.efficiency;
+    // Streaming bandwidth saturates only with several cores: scale linearly
+    // up to ~30% of the device's cores (min 2), then flat.
+    let saturation_cores = (cpu.cores as f64 * 0.3).max(2.0);
+    let bw = cpu.peak_bw_gbs * 1e9 * cpu.sustained_bw_frac * (cores / saturation_cores).min(1.0);
+    let memory = c.dram_bytes() as f64 / bw;
+    compute.max(memory)
+}
+
+/// Projects a dequant-based GEMV on a GPU (llama.cpp CUDA/OpenCL backends):
+/// bandwidth-bound weight streaming plus a fixed launch overhead.
+pub fn gpu_latency(gpu: &GpuProfile, weight_bytes: u64) -> f64 {
+    gpu.launch_us * 1e-6 + weight_bytes as f64 / (gpu.peak_bw_gbs * 1e9 * gpu.sustained_bw_frac)
+}
+
+/// A model's decode-step footprint for end-to-end projection.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelShape {
+    /// Display name.
+    pub name: &'static str,
+    /// Hidden dimension.
+    pub dim: usize,
+    /// Layers.
+    pub n_layers: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// KV projection width.
+    pub kv_dim: usize,
+    /// Vocabulary (LM head rows).
+    pub vocab: usize,
+}
+
+/// Llama-2-7B decode shape.
+pub const LLAMA2_7B: ModelShape = ModelShape {
+    name: "Llama-2-7B",
+    dim: 4096,
+    n_layers: 32,
+    ffn_dim: 11008,
+    kv_dim: 4096,
+    vocab: 32000,
+};
+
+/// Llama-2-13B decode shape.
+pub const LLAMA2_13B: ModelShape = ModelShape {
+    name: "Llama-2-13B",
+    dim: 5120,
+    n_layers: 40,
+    ffn_dim: 13824,
+    kv_dim: 5120,
+    vocab: 32000,
+};
+
+/// BitNet-b1.58-3B decode shape.
+pub const BITNET_3B: ModelShape = ModelShape {
+    name: "BitNet-3B",
+    dim: 3200,
+    n_layers: 26,
+    ffn_dim: 8640,
+    kv_dim: 3200,
+    vocab: 32000,
+};
+
+impl ModelShape {
+    /// The GEMV shapes of one decode step: per-layer projections repeated
+    /// `n_layers` times plus the LM head.
+    pub fn gemv_shapes(&self) -> Vec<(usize, usize, usize)> {
+        // (m, k, count)
+        vec![
+            (self.dim, self.dim, 2 * self.n_layers),          // wq, wo
+            (self.kv_dim, self.dim, 2 * self.n_layers),       // wk, wv
+            (self.ffn_dim, self.dim, 2 * self.n_layers),      // w1, w3
+            (self.dim, self.ffn_dim, self.n_layers),          // w2
+            (self.vocab, self.dim, 1),                        // head
+        ]
+    }
+
+    /// Packed weight bytes per decoded token at `bits` (with f32 scales per
+    /// 32 weights).
+    pub fn bytes_per_token(&self, bits: u8) -> u64 {
+        self.gemv_shapes()
+            .iter()
+            .map(|&(m, k, n)| {
+                let p = (m * k * n) as u64;
+                p * bits as u64 / 8 + p / 32 * 4
+            })
+            .sum()
+    }
+
+    /// Total decode-step cost under T-MAC kernels.
+    pub fn tmac_cost(&self, bits: u8, opts: &tmac_core::KernelOpts) -> KernelCost {
+        let mut total = KernelCost::default();
+        for (m, k, n) in self.gemv_shapes() {
+            let c = tmac_core::cost::tmac_gemv_cost(m, k, bits as usize, 32, opts);
+            total = total.plus(&c.scaled(n as u64));
+        }
+        total
+    }
+
+    /// Total decode-step cost under dequant kernels.
+    pub fn dequant_cost(&self, bits: u8) -> KernelCost {
+        let mut total = KernelCost::default();
+        for (m, k, n) in self.gemv_shapes() {
+            let c = tmac_core::cost::dequant_gemv_cost(m, k, bits as usize);
+            total = total.plus(&c.scaled(n as u64));
+        }
+        total
+    }
+}
+
+/// End-to-end CPU decode projection: GEMV time from the roofline plus a
+/// fixed non-GEMV overhead share (attention, norms, sampling — the paper's
+/// §5.7 residual).
+pub fn cpu_tokens_per_sec(
+    cpu: &CpuProfile,
+    cost: &KernelCost,
+    threads: usize,
+    calib: Calibration,
+    non_gemv_frac: f64,
+) -> f64 {
+    let t = cpu_latency(cpu, cost, threads, calib);
+    1.0 / (t * (1.0 + non_gemv_frac))
+}
+
+/// End-to-end GPU decode projection.
+pub fn gpu_tokens_per_sec(gpu: &GpuProfile, shape: &ModelShape, bits: u8) -> f64 {
+    // One kernel launch per projection matmul.
+    let launches: usize = shape.gemv_shapes().iter().map(|&(_, _, n)| n).sum();
+    let bytes = shape.bytes_per_token(bits);
+    let t = launches as f64 * gpu.launch_us * 1e-6
+        + bytes as f64 / (gpu.peak_bw_gbs * 1e9 * gpu.sustained_bw_frac);
+    1.0 / (t * 1.10) // 10% non-GEMV overhead
+}
+
+/// NPU decode projection (official numbers; 2-bit deduced from 4-bit as the
+/// paper does, marked `*` in its Table 7).
+pub fn npu_tokens_per_sec(npu: &NpuProfile, _bits: u8) -> f64 {
+    npu.tokens_per_sec_7b_4bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::*;
+    use tmac_core::KernelOpts;
+
+    #[test]
+    fn latency_decreases_with_threads_until_memory_bound() {
+        let c = LLAMA2_7B.tmac_cost(4, &KernelOpts::tmac());
+        let t1 = cpu_latency(&RASPBERRY_PI5, &c, 1, Calibration::unit());
+        let t4 = cpu_latency(&RASPBERRY_PI5, &c, 4, Calibration::unit());
+        assert!(t4 < t1);
+        let t8 = cpu_latency(&RASPBERRY_PI5, &c, 8, Calibration::unit());
+        assert_eq!(t8, t4, "threads capped at core count");
+    }
+
+    #[test]
+    fn tmac_scales_with_bits_dequant_does_not() {
+        // Realistic per-family efficiencies; all cores active (the paper's
+        // multi-thread setting, where llama.cpp is decode-compute-bound).
+        let t2 = cpu_latency(
+            &SURFACE_BOOK3,
+            &LLAMA2_7B.tmac_cost(2, &KernelOpts::tmac()),
+            4,
+            Calibration::default_tmac(),
+        );
+        let t4 = cpu_latency(
+            &SURFACE_BOOK3,
+            &LLAMA2_7B.tmac_cost(4, &KernelOpts::tmac()),
+            4,
+            Calibration::default_tmac(),
+        );
+        assert!(t4 / t2 > 1.5, "T-MAC should scale ~linearly: {t2} vs {t4}");
+        let d2 = cpu_latency(
+            &SURFACE_BOOK3,
+            &LLAMA2_7B.dequant_cost(2),
+            4,
+            Calibration::default_dequant(),
+        );
+        let d4 = cpu_latency(
+            &SURFACE_BOOK3,
+            &LLAMA2_7B.dequant_cost(4),
+            4,
+            Calibration::default_dequant(),
+        );
+        // Dequant gains far less from dropping bits than T-MAC (its compute
+        // does not shrink; only the memory term does when memory-bound).
+        assert!(
+            d4 / d2 < t4 / t2 && d4 / d2 < 1.4,
+            "dequant should scale much less than T-MAC: {d2} vs {d4}"
+        );
+    }
+
+    #[test]
+    fn orin_table5_ordering_holds() {
+        // Paper Table 5 (Llama-2-7B-2bit on AGX Orin): GPU 20.0 > T-MAC
+        // 15.6 > llama.cpp CPU 7.1 tokens/s.
+        let tmac = cpu_tokens_per_sec(
+            &JETSON_AGX_ORIN,
+            &LLAMA2_7B.tmac_cost(2, &KernelOpts::tmac()),
+            12,
+            Calibration::default_tmac(),
+            0.25,
+        );
+        let cpu_base = cpu_tokens_per_sec(
+            &JETSON_AGX_ORIN,
+            &LLAMA2_7B.dequant_cost(2),
+            12,
+            Calibration::default_dequant(),
+            0.25,
+        );
+        let gpu = gpu_tokens_per_sec(&ORIN_AGX_GPU, &LLAMA2_7B, 2);
+        assert!(tmac > cpu_base, "T-MAC {tmac} vs llama.cpp {cpu_base}");
+        assert!(gpu > tmac, "GPU {gpu} vs T-MAC {tmac}");
+        // Magnitudes within ~2x of the paper's measurements.
+        assert!((7.0..45.0).contains(&tmac), "T-MAC tokens/s {tmac}");
+        assert!((3.0..16.0).contains(&cpu_base), "llama.cpp tokens/s {cpu_base}");
+    }
+
+    #[test]
+    fn adreno_is_pathologically_slow() {
+        // Paper Table 7: llama.cpp on the Adreno GPU reaches only ~1.7
+        // tokens/s for 7B-2bit.
+        let t = gpu_tokens_per_sec(&ADRENO_750_GPU, &LLAMA2_7B, 2);
+        assert!(t < 4.0, "Adreno projection too fast: {t}");
+    }
+
+    #[test]
+    fn bytes_per_token_matches_param_math() {
+        // 7B at 4-bit: ~6.6B layer+head params = ~3.3 GB at 4 bits + scales.
+        let b = LLAMA2_7B.bytes_per_token(4);
+        assert!((3.0e9..4.5e9).contains(&(b as f64)), "{b}");
+    }
+
+    #[test]
+    fn calibration_scales_compute_term() {
+        // Calibration divides compute only; pick a compute-bound case
+        // (single thread on the bandwidth-rich M2-Ultra).
+        let c = LLAMA2_7B.tmac_cost(4, &KernelOpts::tmac());
+        let t1 = cpu_latency(&M2_ULTRA, &c, 1, Calibration::unit());
+        let t2 = cpu_latency(&M2_ULTRA, &c, 1, Calibration { efficiency: 0.5 });
+        assert!(t2 > t1, "lower efficiency must not speed things up");
+        assert!((t2 - 2.0 * t1).abs() < 1e-9 * t1.max(1.0) || t2 >= t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn calibration_rejects_zero() {
+        let _ = Calibration::from_measurement(0.0, 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 6: mpGEMV latency, llama.cpp vs T-MAC, bits 1–4, shapes S0–S5.
+//!
+//! Measures both kernels on the local host (single- or multi-threaded per
+//! `--threads`), then prints the paper-shape summary: per (shape, bits) the
+//! latency of each system and the speedup. The paper's dashed 1-bit
+//! llama.cpp line is *deduced from 2-bit*; this reproduction also measures a
+//! real 1-bit dequant kernel and prints both.
+//!
+//! Usage: `fig6_mpgemv [--threads 1|max|N] [--quick] [--iters N]`
+
+use tmac_baseline::DequantLinear;
+use tmac_core::{KernelOpts, TmacLinear};
+use tmac_eval::{make_act, make_weights, ms, quick, time_best, Table, SHAPES};
+use tmac_threadpool::ThreadPool;
+
+fn main() {
+    let threads_arg = tmac_eval::arg("threads", "1");
+    let threads = if threads_arg == "max" {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads_arg.parse().expect("--threads")
+    };
+    let iters: usize = tmac_eval::arg("iters", "15").parse().expect("--iters");
+    let pool = ThreadPool::new(threads);
+    let shapes: &[(usize, usize)] = if quick() { &SHAPES[..2] } else { &SHAPES };
+
+    let mut table = Table::new(&[
+        "shape", "bits", "llama.cpp (ms)", "T-MAC (ms)", "speedup", "note",
+    ]);
+    for &(m, k) in shapes {
+        let w = make_weights(m, k, 11);
+        let act = make_act(k, 11);
+        let mut out = vec![0f32; m];
+        for bits in 1..=4u8 {
+            let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
+            let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
+            let bl = DequantLinear::new(&qm).expect("pack");
+            let t_tmac =
+                time_best(|| tl.gemv(&act, &mut out, &pool).expect("tmac gemv"), 3, iters);
+            let t_base =
+                time_best(|| bl.gemv(&act, &mut out, &pool).expect("base gemv"), 3, iters);
+            table.row(vec![
+                format!("{m}x{k}"),
+                bits.to_string(),
+                ms(t_base),
+                ms(t_tmac),
+                format!("{:.2}x", t_base / t_tmac),
+                // llama.cpp has no 1-bit kernel; the paper deduces its 1-bit
+                // line from 2-bit, whereas this baseline really measures one.
+                if bits == 1 { "measured (paper deduces from 2-bit)" } else { "" }.into(),
+            ]);
+        }
+    }
+    println!(
+        "Figure 6 ({}) mpGEMV latency, {threads} thread(s), local x86-64 AVX2 host\n",
+        if threads == 1 { "a: single-thread" } else { "b: multi-thread" }
+    );
+    table.emit(&format!("fig6_mpgemv_t{threads}"));
+    println!(
+        "Paper shape check: T-MAC scales ~linearly with bits; llama.cpp stays flat\n\
+         with its worst case at 3-bit (split 2+1 decode). Paper reports T-MAC\n\
+         single-thread speedups up to 11.2x/5.8x/4.7x/3.1x at 1/2/3/4 bits on ARM\n\
+         devices; AVX2 hosts sit at the low end of that range."
+    );
+}

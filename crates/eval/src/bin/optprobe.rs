@@ -1,0 +1,59 @@
+//! Kernel-variant diagnostic: times each option combination at one shape to
+//! attribute costs (development tool, not a paper figure).
+
+use tmac_core::{gemv, KernelOpts, WeightPlan};
+use tmac_eval::{make_act, make_weights, ms, time_best};
+use tmac_threadpool::ThreadPool;
+
+fn main() {
+    let m = tmac_eval::arg("m", "4096").parse::<usize>().expect("--m");
+    let k = tmac_eval::arg("k", "4096").parse::<usize>().expect("--k");
+    let bits = tmac_eval::arg("bits", "4").parse::<u8>().expect("--bits");
+    let threads = tmac_eval::arg("threads", "1").parse::<usize>().expect("--threads");
+    let pool = ThreadPool::new(threads);
+    let w = make_weights(m, k, 7);
+    let act = make_act(k, 7);
+    let mut out = vec![0f32; m];
+    let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
+
+    let mut variants: Vec<(&str, KernelOpts)> = vec![
+        ("perm (no IL, no mirror)", KernelOpts::plus_permute()),
+        ("perm+IL", {
+            let mut o = KernelOpts::plus_permute();
+            o.interleave = true;
+            o
+        }),
+        ("perm+IL+mirror (tmac)", KernelOpts::tmac()),
+        ("tmac tile_k=512", KernelOpts::plus_tuning(512, 8)),
+        ("tmac+FA", KernelOpts::tmac_fast_aggregation()),
+        ("flat+TQ", KernelOpts::plus_table_quant()),
+    ];
+    let mut no_mirror_il = KernelOpts::tmac();
+    no_mirror_il.mirror = false;
+    variants.insert(2, ("perm+IL no-mirror gs", no_mirror_il));
+
+    println!("shape {m}x{k} bits={bits} threads={threads}");
+    for (name, opts) in variants {
+        let plan = match WeightPlan::new(&qm, opts) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{name:28} SKIP ({e})");
+                continue;
+            }
+        };
+        let tables = gemv::build_tables(&plan, &act).expect("tables");
+        let t_table = time_best(|| {
+            let _ = gemv::build_tables(&plan, &act).expect("tables");
+        }, 2, 10);
+        let t_kernel = time_best(
+            || gemv::mpgemv_with_tables(&plan, &tables, &mut out, &pool).expect("gemv"),
+            3,
+            20,
+        );
+        println!(
+            "{name:28} kernel {} ms   precompute {} ms",
+            ms(t_kernel),
+            ms(t_table)
+        );
+    }
+}

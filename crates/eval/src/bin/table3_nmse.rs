@@ -1,0 +1,74 @@
+//! Table 3: NMSE of mpGEMV outputs relative to the unquantized
+//! `W_fp A_fp` kernel, for llama.cpp, T-MAC, and T-MAC (+FA), on the
+//! Llama-2-7B GEMV shapes, 4-bit weights, Gaussian inputs.
+//!
+//! Usage: `table3_nmse [--quick]`
+
+use tmac_baseline::DequantLinear;
+use tmac_core::{KernelOpts, TmacLinear};
+use tmac_eval::{make_act, make_weights, quick, Table, SHAPES};
+use tmac_simd::f32ops::nmse;
+use tmac_threadpool::ThreadPool;
+
+fn main() {
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let shapes: &[(usize, usize)] = if quick() { &SHAPES[..1] } else { &SHAPES[..3] };
+    // Paper-measured references (4096x4096, 11008x4096, 4096x11008).
+    let paper = [
+        (3.33e-3, 3.35e-3, 8.09e-3),
+        (3.44e-3, 3.46e-3, 8.27e-3),
+        (4.13e-3, 4.15e-3, 8.45e-3),
+    ];
+
+    let mut table = Table::new(&[
+        "MxKxN",
+        "llama.cpp",
+        "T-MAC",
+        "T-MAC (+FA)",
+        "paper (llama.cpp / T-MAC / +FA)",
+    ]);
+    for (si, &(m, k)) in shapes.iter().enumerate() {
+        let w = make_weights(m, k, 31);
+        let act = make_act(k, 31);
+        // Unquantized ground truth in f64.
+        let mut reference = vec![0f32; m];
+        for (mi, r) in reference.iter_mut().enumerate() {
+            let mut acc = 0f64;
+            for ki in 0..k {
+                acc += w[mi * k + ki] as f64 * act[ki] as f64;
+            }
+            *r = acc as f32;
+        }
+        let qm = tmac_quant::rtn::quantize(&w, m, k, 4, 32).expect("quantize");
+        let mut out = vec![0f32; m];
+
+        let bl = DequantLinear::new(&qm).expect("pack");
+        bl.gemv(&act, &mut out, &pool).expect("gemv");
+        let e_base = nmse(&out, &reference);
+
+        let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
+        tl.gemv(&act, &mut out, &pool).expect("gemv");
+        let e_tmac = nmse(&out, &reference);
+
+        let tf = TmacLinear::new(&qm, KernelOpts::tmac_fast_aggregation()).expect("plan");
+        tf.gemv(&act, &mut out, &pool).expect("gemv");
+        let e_fa = nmse(&out, &reference);
+
+        let p = paper.get(si).copied().unwrap_or(paper[0]);
+        table.row(vec![
+            format!("{m}x{k}x1"),
+            format!("{e_base:.2e}"),
+            format!("{e_tmac:.2e}"),
+            format!("{e_fa:.2e}"),
+            format!("{:.2e} / {:.2e} / {:.2e}", p.0, p.1, p.2),
+        ]);
+    }
+    println!("Table 3: NMSE vs unquantized GEMV (4-bit weights)\n");
+    table.emit("table3_nmse");
+    println!(
+        "Paper shape check: T-MAC's table quantization adds negligible error over\n\
+         llama.cpp's dequant path; fast aggregation multiplies NMSE by ~2.5x."
+    );
+}

@@ -1,0 +1,106 @@
+//! Table 7: token-generation throughput, T-MAC (CPU) vs llama.cpp (CPU),
+//! llama.cpp (GPU) and NPU, for Llama-2-7B 4-bit and 2-bit on
+//! Surface Laptop 7, OnePlus 12 and Jetson Orin NX.
+//!
+//! CPU/GPU columns come from the calibrated device models; NPU columns are
+//! the official Qualcomm AI Hub numbers the paper itself uses (2-bit NPU
+//! deduced from 4-bit, marked `*`, as in the paper).
+
+use tmac_devices::{profiles, project};
+use tmac_eval::Table;
+use tmac_threadpool::ThreadPool;
+
+fn main() {
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&pool);
+    let shape = project::LLAMA2_7B;
+
+    struct DeviceRow {
+        cpu: &'static profiles::CpuProfile,
+        gpu: Option<&'static profiles::GpuProfile>,
+        npu: Option<&'static profiles::NpuProfile>,
+        paper: [&'static str; 2], // 4-bit row, 2-bit row
+    }
+    let devices = [
+        DeviceRow {
+            cpu: &profiles::SURFACE_LAPTOP7,
+            gpu: None,
+            npu: Some(&profiles::HEXAGON_X_ELITE),
+            paper: ["21.63 / 10.64 / - / 10.40", "31.83 / 9.39 / - / 10.40*"],
+        },
+        DeviceRow {
+            cpu: &profiles::ONEPLUS_12,
+            gpu: Some(&profiles::ADRENO_750_GPU),
+            npu: Some(&profiles::HEXAGON_8GEN3),
+            paper: ["10.19 / 8.24 / 1.60 / 11.30", "16.62 / 6.95 / 1.72 / 11.30*"],
+        },
+        DeviceRow {
+            cpu: &profiles::JETSON_ORIN_NX,
+            gpu: Some(&profiles::ORIN_NX_GPU),
+            npu: None,
+            paper: ["7.53 / 3.97 / 14.76 / -", "11.41 / 3.20 / 7.94 / -"],
+        },
+    ];
+
+    let mut table = Table::new(&[
+        "device",
+        "model",
+        "T-MAC CPU",
+        "llama.cpp CPU",
+        "llama.cpp GPU",
+        "NPU",
+        "paper (same order)",
+    ]);
+    for row in &devices {
+        for (bi, bits) in [4u8, 2u8].iter().enumerate() {
+            let tmac = project::cpu_tokens_per_sec(
+                row.cpu,
+                &shape.tmac_cost(*bits, &tmac_core::KernelOpts::tmac()),
+                row.cpu.cores,
+                cal_tmac,
+                0.25,
+            );
+            let base = project::cpu_tokens_per_sec(
+                row.cpu,
+                &shape.dequant_cost(*bits),
+                row.cpu.cores,
+                cal_dequant,
+                0.25,
+            );
+            let gpu = row
+                .gpu
+                .map(|g| format!("{:.2}", project::gpu_tokens_per_sec(g, &shape, *bits)))
+                .unwrap_or_else(|| "-".into());
+            let npu = row
+                .npu
+                .map(|n| {
+                    let v = project::npu_tokens_per_sec(n, *bits);
+                    if *bits == 2 {
+                        format!("{v:.2}*")
+                    } else {
+                        format!("{v:.2}")
+                    }
+                })
+                .unwrap_or_else(|| "-".into());
+            table.row(vec![
+                row.cpu.name.into(),
+                format!("Llama-2-7B-{bits}bit"),
+                format!("{tmac:.2}"),
+                format!("{base:.2}"),
+                gpu,
+                npu,
+                row.paper[bi].into(),
+            ]);
+        }
+    }
+    println!("Table 7: tokens/s, T-MAC vs CPU/GPU/NPU baselines (modelled)\n");
+    table.emit("table7_devices");
+    println!(
+        "Paper shape check: T-MAC beats the NPU at 2-bit on both Snapdragon\n\
+         devices (3x on Surface Laptop 7 with 4 cores), crushes the Adreno\n\
+         OpenCL backend, and approaches the Orin NX GPU at 2-bit.\n\
+         (* = 2-bit NPU deduced from 4-bit, as in the paper.)"
+    );
+}

@@ -1,0 +1,280 @@
+//! Experiment harness shared by the per-figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index). This library holds what they share:
+//! the Llama-2-7B/13B kernel shapes, deterministic synthetic data, timing
+//! helpers, and plain-text table/CSV output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The six kernel shapes of the paper's Figures 6, 7 and 10 (`M × K`),
+/// drawn from Llama-2-7B (4096/11008) and Llama-2-13B (5120/13824).
+pub const SHAPES: [(usize, usize); 6] = [
+    (4096, 4096),
+    (11008, 4096),
+    (4096, 11008),
+    (5120, 5120),
+    (13824, 5120),
+    (5120, 13824),
+];
+
+/// Display names `S0..S5` used by Figure 10.
+pub fn shape_name(i: usize) -> String {
+    let (m, k) = SHAPES[i];
+    format!("{m}x{k}")
+}
+
+/// Deterministic pseudo-Gaussian weights (sum of uniforms), seeded.
+pub fn make_weights(m: usize, k: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m * k)
+        .map(|_| {
+            let s: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+            s * 0.6
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-Gaussian activations, seeded.
+pub fn make_act(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            let s: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+            s
+        })
+        .collect()
+}
+
+/// Times `f`, returning the best wall-clock seconds over `iters` runs after
+/// `warmup` runs (the paper's methodology: warm-up then average; best-of is
+/// used here for noise robustness on shared CI hosts).
+pub fn time_best<F: FnMut()>(mut f: F, warmup: usize, iters: usize) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `f` averaged over `iters` runs (for throughput-style numbers).
+pub fn time_avg<F: FnMut()>(mut f: F, warmup: usize, iters: usize) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters.max(1) as f64
+}
+
+/// A plain-text, aligned results table that can be pasted into
+/// `EXPERIMENTS.md`.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1))));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and also writes `results/<name>.csv` (best effort;
+    /// the directory is created if missing).
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{name}.csv")), self.to_csv());
+        }
+    }
+}
+
+/// Formats seconds as milliseconds with three significant decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// An approximate CPU profile for the local evaluation host, used as the
+/// calibration anchor for cross-device projections.
+pub fn local_profile(threads: usize) -> tmac_devices::CpuProfile {
+    tmac_devices::CpuProfile {
+        name: "local x86-64",
+        cores: threads.max(1),
+        freq_ghz: 3.0,
+        simd_bytes: 32,
+        simd_ipc: 1.5,
+        peak_bw_gbs: 25.0,
+        sustained_bw_frac: 0.7,
+        idle_w: 5.0,
+        core_w: 4.0,
+    }
+}
+
+/// Measures the local T-MAC and dequant GEMV at a reference shape and
+/// derives per-family calibration factors for the device models.
+///
+/// Returns `(tmac, dequant)` calibrations. Falls back to the representative
+/// defaults if a measurement fails.
+pub fn calibrate(pool: &tmac_threadpool::ThreadPool) -> (tmac_devices::Calibration, tmac_devices::Calibration) {
+    use tmac_devices::project::cpu_latency;
+    use tmac_devices::Calibration;
+    let (m, k, bits) = (2048usize, 2048usize, 2u8);
+    let w = make_weights(m, k, 99);
+    let act = make_act(k, 99);
+    let mut out = vec![0f32; m];
+    let profile = local_profile(pool.threads());
+    let Ok(qm) = tmac_quant::rtn::quantize(&w, m, k, bits, 32) else {
+        return (Calibration::default_tmac(), Calibration::default_dequant());
+    };
+    let tmac_cal = match tmac_core::TmacLinear::new(&qm, tmac_core::KernelOpts::tmac()) {
+        Ok(lin) => {
+            let measured = time_best(|| lin.gemv(&act, &mut out, pool).expect("gemv"), 3, 15);
+            let modelled = cpu_latency(
+                &profile,
+                &tmac_core::cost::tmac_gemv_cost(m, k, bits as usize, 32, &tmac_core::KernelOpts::tmac()),
+                pool.threads(),
+                Calibration::unit(),
+            );
+            Calibration::from_measurement(modelled, measured)
+        }
+        Err(_) => Calibration::default_tmac(),
+    };
+    let dequant_cal = match tmac_baseline::DequantLinear::new(&qm) {
+        Ok(lin) => {
+            let measured = time_best(|| lin.gemv(&act, &mut out, pool).expect("gemv"), 3, 15);
+            let modelled = cpu_latency(
+                &profile,
+                &tmac_core::cost::dequant_gemv_cost(m, k, bits as usize),
+                pool.threads(),
+                Calibration::unit(),
+            );
+            Calibration::from_measurement(modelled, measured)
+        }
+        Err(_) => Calibration::default_dequant(),
+    };
+    (tmac_cal, dequant_cal)
+}
+
+/// Parses `--key value` style flags from the command line.
+pub fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == format!("--{name}") && i + 1 < args.len() {
+            return args[i + 1].clone();
+        }
+    }
+    default.to_string()
+}
+
+/// True when `--quick` is passed (smaller iteration counts / fewer shapes).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(SHAPES.len(), 6);
+        assert_eq!(shape_name(0), "4096x4096");
+        assert_eq!(shape_name(5), "5120x13824");
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let a = make_weights(4, 8, 42);
+        let b = make_weights(4, 8, 42);
+        let c = make_weights(4, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["shape", "ms"]);
+        t.row(vec!["4096x4096".into(), "1.23".into()]);
+        t.row(vec!["s".into(), "400.0".into()]);
+        let r = t.render();
+        assert!(r.contains("4096x4096"));
+        assert!(r.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("shape,ms\n"));
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let mut x = 0u64;
+        let t = time_best(
+            || {
+                x = x.wrapping_add(1);
+            },
+            1,
+            3,
+        );
+        assert!(t >= 0.0);
+        assert!(x >= 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pluggable linear-layer backends.
+//!
+//! Every projection in the model forwards through a [`Linear`], so one model
+//! definition serves all the frameworks compared in the paper's evaluation:
+//! T-MAC (LUT kernels), the llama.cpp-style dequant baseline, and the
+//! unquantized `f32` reference.
+
+use tmac_baseline::DequantLinear;
+use tmac_core::{KernelOpts, TmacLinear};
+use tmac_quant::QuantizedMatrix;
+use tmac_threadpool::ThreadPool;
+
+/// Which compute backend a model's linear layers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// T-MAC LUT kernels with the given options.
+    Tmac(KernelOpts),
+    /// llama.cpp-style dequantization kernels.
+    Dequant,
+    /// Unquantized `f32` reference (ground truth for quality metrics).
+    F32,
+}
+
+impl BackendKind {
+    /// Display name used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Tmac(o) if o.fast_aggregation => "T-MAC (+FA)",
+            BackendKind::Tmac(_) => "T-MAC",
+            BackendKind::Dequant => "llama.cpp",
+            BackendKind::F32 => "f32",
+        }
+    }
+}
+
+/// Errors from backend construction or execution.
+#[derive(Debug, Clone)]
+pub enum BackendError {
+    /// T-MAC error.
+    Tmac(tmac_core::TmacError),
+    /// Quantization/baseline error.
+    Quant(tmac_quant::QuantError),
+    /// Dimension mismatch at forward time.
+    Shape(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Tmac(e) => write!(f, "tmac: {e}"),
+            BackendError::Quant(e) => write!(f, "quant: {e}"),
+            BackendError::Shape(m) => write!(f, "shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<tmac_core::TmacError> for BackendError {
+    fn from(e: tmac_core::TmacError) -> Self {
+        BackendError::Tmac(e)
+    }
+}
+
+impl From<tmac_quant::QuantError> for BackendError {
+    fn from(e: tmac_quant::QuantError) -> Self {
+        BackendError::Quant(e)
+    }
+}
+
+/// A linear layer bound to one backend.
+#[derive(Debug, Clone)]
+pub enum Linear {
+    /// T-MAC planned weights.
+    Tmac(TmacLinear),
+    /// Packed dequant-baseline weights.
+    Dequant(DequantLinear),
+    /// Row-major `f32` weights.
+    F32 {
+        /// Row-major `rows × cols` weights.
+        w: Vec<f32>,
+        /// Output features.
+        rows: usize,
+        /// Input features.
+        cols: usize,
+    },
+}
+
+/// Shared-output wrapper for the `f32` path.
+struct OutPtr(*mut f32);
+// SAFETY: row chunks are disjoint and the output outlives the dispatch.
+unsafe impl Sync for OutPtr {}
+
+impl Linear {
+    /// Builds a layer from a quantized matrix (plus the original `f32`
+    /// weights for the reference backend).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan/packing failures.
+    pub fn build(
+        kind: BackendKind,
+        qm: &QuantizedMatrix,
+        f32_weights: &[f32],
+    ) -> Result<Self, BackendError> {
+        match kind {
+            BackendKind::Tmac(opts) => Ok(Linear::Tmac(TmacLinear::new(qm, opts)?)),
+            BackendKind::Dequant => Ok(Linear::Dequant(DequantLinear::new(qm)?)),
+            BackendKind::F32 => {
+                if f32_weights.len() != qm.rows * qm.cols {
+                    return Err(BackendError::Shape(format!(
+                        "f32 weights len {} != {}x{}",
+                        f32_weights.len(),
+                        qm.rows,
+                        qm.cols
+                    )));
+                }
+                Ok(Linear::F32 {
+                    w: f32_weights.to_vec(),
+                    rows: qm.rows,
+                    cols: qm.cols,
+                })
+            }
+        }
+    }
+
+    /// Output features.
+    pub fn rows(&self) -> usize {
+        match self {
+            Linear::Tmac(l) => l.rows(),
+            Linear::Dequant(l) => l.rows(),
+            Linear::F32 { rows, .. } => *rows,
+        }
+    }
+
+    /// Input features.
+    pub fn cols(&self) -> usize {
+        match self {
+            Linear::Tmac(l) => l.cols(),
+            Linear::Dequant(l) => l.cols(),
+            Linear::F32 { cols, .. } => *cols,
+        }
+    }
+
+    /// `out = act × W^T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] on length mismatches.
+    pub fn forward(
+        &self,
+        act: &[f32],
+        out: &mut [f32],
+        pool: &ThreadPool,
+    ) -> Result<(), BackendError> {
+        if act.len() != self.cols() || out.len() != self.rows() {
+            return Err(BackendError::Shape(format!(
+                "forward: act {} out {} vs {}x{}",
+                act.len(),
+                out.len(),
+                self.rows(),
+                self.cols()
+            )));
+        }
+        match self {
+            Linear::Tmac(l) => l.gemv(act, out, pool)?,
+            Linear::Dequant(l) => l.gemv(act, out, pool)?,
+            Linear::F32 { w, rows, cols } => {
+                let out_ptr = OutPtr(out.as_mut_ptr());
+                let out_ref = &out_ptr;
+                pool.chunks(*rows, 8, |range| {
+                    for m in range {
+                        let v = tmac_simd::f32ops::dot(&w[m * cols..(m + 1) * cols], act);
+                        // SAFETY: row ranges disjoint; out outlives dispatch.
+                        unsafe { *out_ref.0.add(m) = v };
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Packed size in bytes (what streams from DRAM per token).
+    pub fn packed_bytes(&self) -> usize {
+        match self {
+            Linear::Tmac(l) => l.plan().index_bytes(),
+            Linear::Dequant(l) => l.quantized().packed_bytes(),
+            Linear::F32 { w, .. } => w.len() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_quant::rtn;
+
+    fn setup() -> (QuantizedMatrix, Vec<f32>, Vec<f32>) {
+        let (m, k) = (64, 96);
+        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.21).sin() * 0.4).collect();
+        let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.13).cos()).collect();
+        (rtn::quantize(&w, m, k, 4, 32).unwrap(), w, act)
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let (qm, w, act) = setup();
+        let pool = ThreadPool::new(2);
+        let mut outs = Vec::new();
+        for kind in [
+            BackendKind::F32,
+            BackendKind::Dequant,
+            BackendKind::Tmac(KernelOpts::tmac()),
+        ] {
+            let lin = Linear::build(kind, &qm, &w).unwrap();
+            assert_eq!((lin.rows(), lin.cols()), (64, 96));
+            let mut out = vec![0f32; 64];
+            lin.forward(&act, &mut out, &pool).unwrap();
+            outs.push(out);
+        }
+        // Quantized backends track the f32 reference within quant error.
+        for q in &outs[1..] {
+            let nmse = tmac_simd::f32ops::nmse(q, &outs[0]);
+            assert!(nmse < 5e-2, "nmse {nmse}");
+        }
+        // And track each other tightly (same quantized weights).
+        let nmse = tmac_simd::f32ops::nmse(&outs[2], &outs[1]);
+        assert!(nmse < 1e-3, "tmac vs dequant nmse {nmse}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BackendKind::F32.label(), "f32");
+        assert_eq!(BackendKind::Dequant.label(), "llama.cpp");
+        assert_eq!(BackendKind::Tmac(KernelOpts::tmac()).label(), "T-MAC");
+        assert_eq!(
+            BackendKind::Tmac(KernelOpts::tmac_fast_aggregation()).label(),
+            "T-MAC (+FA)"
+        );
+    }
+
+    #[test]
+    fn forward_rejects_bad_lengths() {
+        let (qm, w, act) = setup();
+        let pool = ThreadPool::new(1);
+        let lin = Linear::build(BackendKind::F32, &qm, &w).unwrap();
+        let mut out = vec![0f32; 63];
+        assert!(lin.forward(&act, &mut out, &pool).is_err());
+    }
+
+    #[test]
+    fn build_rejects_wrong_f32_len() {
+        let (qm, w, _) = setup();
+        assert!(Linear::build(BackendKind::F32, &qm, &w[..10]).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Llama-architecture transformer inference substrate.
+//!
+//! The end-to-end system of the paper's §5.3–§5.6: a from-scratch llama
+//! decoder (RMSNorm, RoPE, GQA attention with KV cache, SwiGLU) whose every
+//! projection runs on a pluggable mpGEMV backend — T-MAC LUT kernels, the
+//! llama.cpp-style dequant baseline, or the unquantized `f32` reference —
+//! plus a generation engine, throughput measurement with full-depth
+//! extrapolation, and model-quality evaluators (perplexity, choice
+//! agreement).
+//!
+//! # Examples
+//!
+//! ```
+//! use tmac_llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
+//! use tmac_threadpool::ThreadPool;
+//!
+//! let cfg = ModelConfig::tiny();
+//! let model = Model::synthetic(
+//!     &cfg,
+//!     WeightQuant::Rtn(2),
+//!     BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+//!     42,
+//! )
+//! .unwrap();
+//! let mut engine = Engine::new(model);
+//! let pool = ThreadPool::new(2);
+//! let tokens = engine.generate(&[1, 2, 3], 8, &pool).unwrap();
+//! assert_eq!(tokens.len(), 8);
+//! ```
+
+pub mod backend;
+pub mod config;
+pub mod engine;
+pub mod eval;
+pub mod model;
+pub mod ops;
+pub mod weights;
+
+pub use backend::{BackendError, BackendKind, Linear};
+pub use config::{ModelConfig, WeightQuant};
+pub use engine::{DecodeStats, Engine};
+pub use model::{KvCache, Model, Scratch};

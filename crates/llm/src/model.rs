@@ -1,0 +1,398 @@
+//! The llama-architecture transformer (decode path).
+//!
+//! Standard pre-norm decoder: RMSNorm → QKV projections → RoPE → causal
+//! attention over a KV cache → output projection → residual, then RMSNorm →
+//! SwiGLU FFN → residual. Every projection is a [`Linear`] bound to one of
+//! the compared backends, so the same model definition measures T-MAC, the
+//! dequant baseline and the `f32` reference.
+
+use crate::backend::{BackendError, BackendKind, Linear};
+use crate::config::{ModelConfig, WeightQuant};
+use crate::ops;
+use crate::weights::{gen_gain, gen_matrix, tensor_seed};
+use tmac_threadpool::ThreadPool;
+
+/// Per-layer weights.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection (`dim × dim`).
+    pub wq: Linear,
+    /// Key projection (`kv_dim × dim`).
+    pub wk: Linear,
+    /// Value projection (`kv_dim × dim`).
+    pub wv: Linear,
+    /// Output projection (`dim × dim`).
+    pub wo: Linear,
+    /// FFN gate (`ffn × dim`).
+    pub w1: Linear,
+    /// FFN down (`dim × ffn`).
+    pub w2: Linear,
+    /// FFN up (`ffn × dim`).
+    pub w3: Linear,
+    /// Attention-input RMSNorm gain.
+    pub rms_attn: Vec<f32>,
+    /// FFN-input RMSNorm gain.
+    pub rms_ffn: Vec<f32>,
+}
+
+/// A complete model instance.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Architecture.
+    pub cfg: ModelConfig,
+    /// Weight quantizer the linear layers were built with.
+    pub quant: WeightQuant,
+    /// Backend of the linear layers.
+    pub kind: BackendKind,
+    /// Token embeddings (`vocab × dim`, kept in `f32`: it is a lookup, not
+    /// a GEMV).
+    pub embed: Vec<f32>,
+    /// Final RMSNorm gain.
+    pub rms_final: Vec<f32>,
+    /// LM head (`vocab × dim`).
+    pub head: Linear,
+    /// Transformer layers.
+    pub layers: Vec<LayerWeights>,
+}
+
+/// KV cache for one generation stream.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    kv_dim: usize,
+    seq_max: usize,
+    /// `layers × seq × kv_dim` keys.
+    k: Vec<f32>,
+    /// `layers × seq × kv_dim` values.
+    v: Vec<f32>,
+    /// Filled positions.
+    pub len: usize,
+}
+
+impl KvCache {
+    /// Allocates a cache for `cfg`.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        let kv_dim = cfg.kv_dim();
+        KvCache {
+            kv_dim,
+            seq_max: cfg.seq_max,
+            k: vec![0f32; cfg.n_layers * cfg.seq_max * kv_dim],
+            v: vec![0f32; cfg.n_layers * cfg.seq_max * kv_dim],
+            len: 0,
+        }
+    }
+
+    /// Clears the cache.
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
+
+    fn k_at(&self, layer: usize, pos: usize) -> &[f32] {
+        let o = (layer * self.seq_max + pos) * self.kv_dim;
+        &self.k[o..o + self.kv_dim]
+    }
+
+    fn v_at(&self, layer: usize, pos: usize) -> &[f32] {
+        let o = (layer * self.seq_max + pos) * self.kv_dim;
+        &self.v[o..o + self.kv_dim]
+    }
+
+    fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        let o = (layer * self.seq_max + pos) * self.kv_dim;
+        self.k[o..o + self.kv_dim].copy_from_slice(k);
+        self.v[o..o + self.kv_dim].copy_from_slice(v);
+    }
+}
+
+/// Reusable forward-pass buffers (no allocation per token).
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    att: Vec<f32>,
+    proj: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    hidden: Vec<f32>,
+    ffn: Vec<f32>,
+    scores: Vec<f32>,
+    /// Output logits (`vocab`).
+    pub logits: Vec<f32>,
+}
+
+impl Scratch {
+    /// Allocates scratch for `cfg`.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        Scratch {
+            x: vec![0f32; cfg.dim],
+            xn: vec![0f32; cfg.dim],
+            q: vec![0f32; cfg.dim],
+            k: vec![0f32; cfg.kv_dim()],
+            v: vec![0f32; cfg.kv_dim()],
+            att: vec![0f32; cfg.dim],
+            proj: vec![0f32; cfg.dim],
+            gate: vec![0f32; cfg.ffn_dim],
+            up: vec![0f32; cfg.ffn_dim],
+            hidden: vec![0f32; cfg.ffn_dim],
+            ffn: vec![0f32; cfg.dim],
+            scores: vec![0f32; cfg.seq_max],
+            logits: vec![0f32; cfg.vocab],
+        }
+    }
+}
+
+impl Model {
+    /// Builds a model with synthetic structured weights, quantized per
+    /// `quant` and executed on `kind`.
+    ///
+    /// The same `(cfg, quant, seed)` produces bit-identical quantized
+    /// weights for every backend, so cross-backend quality comparisons
+    /// isolate kernel effects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and backend build failures.
+    pub fn synthetic(
+        cfg: &ModelConfig,
+        quant: WeightQuant,
+        kind: BackendKind,
+        seed: u64,
+    ) -> Result<Model, BackendError> {
+        cfg.validate().map_err(BackendError::Shape)?;
+        let quantize = |w: &[f32], rows: usize, cols: usize| match quant {
+            WeightQuant::Rtn(bits) => tmac_quant::rtn::quantize(w, rows, cols, bits, 32),
+            WeightQuant::BitnetTernary => tmac_quant::bitnet::quantize(w, rows, cols, 32),
+        };
+        let build = |rows: usize, cols: usize, seed: u64, scale: f32| -> Result<Linear, BackendError> {
+            let w = gen_matrix(rows, cols, seed, scale);
+            let qm = quantize(&w, rows, cols)?;
+            Linear::build(kind, &qm, &w)
+        };
+
+        let (dim, kv_dim, ffn) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
+        // Scales roughly follow 1/sqrt(dim) initialization.
+        let ws = 1.0 / (dim as f32).sqrt();
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for l in 0..cfg.n_layers {
+            layers.push(LayerWeights {
+                wq: build(dim, dim, tensor_seed(seed, l, "wq"), ws)?,
+                wk: build(kv_dim, dim, tensor_seed(seed, l, "wk"), ws)?,
+                wv: build(kv_dim, dim, tensor_seed(seed, l, "wv"), ws)?,
+                wo: build(dim, dim, tensor_seed(seed, l, "wo"), ws)?,
+                w1: build(ffn, dim, tensor_seed(seed, l, "w1"), ws)?,
+                w2: build(dim, ffn, tensor_seed(seed, l, "w2"), 1.0 / (ffn as f32).sqrt())?,
+                w3: build(ffn, dim, tensor_seed(seed, l, "w3"), ws)?,
+                rms_attn: gen_gain(dim, tensor_seed(seed, l, "rms_attn")),
+                rms_ffn: gen_gain(dim, tensor_seed(seed, l, "rms_ffn")),
+            });
+        }
+        let embed = gen_matrix(cfg.vocab, dim, tensor_seed(seed, usize::MAX, "embed"), 0.1);
+        let head = build(cfg.vocab, dim, tensor_seed(seed, usize::MAX, "head"), ws)?;
+        Ok(Model {
+            cfg: cfg.clone(),
+            quant,
+            kind,
+            embed,
+            rms_final: gen_gain(dim, tensor_seed(seed, usize::MAX, "rms_final")),
+            head,
+            layers,
+        })
+    }
+
+    /// Decodes one token at position `pos`, leaving logits in
+    /// `scratch.logits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] on invalid `token`/`pos` or kernel
+    /// failures.
+    pub fn forward(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+        pool: &ThreadPool,
+    ) -> Result<(), BackendError> {
+        let (layer_secs, _) = self.forward_timed(token, pos, cache, scratch, pool)?;
+        let _ = layer_secs;
+        Ok(())
+    }
+
+    /// [`Model::forward`] that also reports `(layer_seconds,
+    /// other_seconds)` — used to extrapolate full-depth throughput from
+    /// scaled models (see `engine`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::forward`].
+    pub fn forward_timed(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+        pool: &ThreadPool,
+    ) -> Result<(f64, f64), BackendError> {
+        let cfg = &self.cfg;
+        if token as usize >= cfg.vocab {
+            return Err(BackendError::Shape(format!(
+                "token {token} out of vocab {}",
+                cfg.vocab
+            )));
+        }
+        if pos >= cfg.seq_max {
+            return Err(BackendError::Shape(format!(
+                "position {pos} beyond seq_max {}",
+                cfg.seq_max
+            )));
+        }
+        let t_start = std::time::Instant::now();
+        let (dim, head_dim) = (cfg.dim, cfg.head_dim());
+        let kv_groups = cfg.n_heads / cfg.n_kv_heads;
+        let s = scratch;
+        s.x.copy_from_slice(&self.embed[token as usize * dim..(token as usize + 1) * dim]);
+
+        let t_layers = std::time::Instant::now();
+        for (l, lw) in self.layers.iter().enumerate() {
+            // Attention block.
+            ops::rmsnorm(&mut s.xn, &s.x, &lw.rms_attn, 1e-5);
+            lw.wq.forward(&s.xn, &mut s.q, pool)?;
+            lw.wk.forward(&s.xn, &mut s.k, pool)?;
+            lw.wv.forward(&s.xn, &mut s.v, pool)?;
+            ops::rope(&mut s.q, head_dim, pos, cfg.rope_theta);
+            ops::rope(&mut s.k, head_dim, pos, cfg.rope_theta);
+            cache.store(l, pos, &s.k, &s.v);
+
+            let scale = 1.0 / (head_dim as f32).sqrt();
+            for h in 0..cfg.n_heads {
+                let kvh = h / kv_groups;
+                let qh = &s.q[h * head_dim..(h + 1) * head_dim];
+                for t in 0..=pos {
+                    let kt = &cache.k_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
+                    s.scores[t] = tmac_simd::f32ops::dot(qh, kt) * scale;
+                }
+                ops::softmax(&mut s.scores[..=pos]);
+                let out = &mut s.att[h * head_dim..(h + 1) * head_dim];
+                out.fill(0.0);
+                for t in 0..=pos {
+                    let vt = &cache.v_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
+                    tmac_simd::f32ops::axpy(out, s.scores[t], vt);
+                }
+            }
+            lw.wo.forward(&s.att, &mut s.proj, pool)?;
+            ops::add_assign(&mut s.x, &s.proj);
+
+            // FFN block.
+            ops::rmsnorm(&mut s.xn, &s.x, &lw.rms_ffn, 1e-5);
+            lw.w1.forward(&s.xn, &mut s.gate, pool)?;
+            lw.w3.forward(&s.xn, &mut s.up, pool)?;
+            ops::swiglu(&mut s.hidden, &s.gate, &s.up);
+            lw.w2.forward(&s.hidden, &mut s.ffn, pool)?;
+            ops::add_assign(&mut s.x, &s.ffn);
+        }
+        let layer_secs = t_layers.elapsed().as_secs_f64();
+
+        ops::rmsnorm(&mut s.xn, &s.x, &self.rms_final, 1e-5);
+        self.head.forward(&s.xn, &mut s.logits, pool)?;
+        cache.len = cache.len.max(pos + 1);
+        let total = t_start.elapsed().as_secs_f64();
+        Ok((layer_secs, total - layer_secs))
+    }
+
+    /// Packed weight bytes streamed per decoded token (layers + head).
+    pub fn bytes_per_token(&self) -> usize {
+        let per_layer: usize = self
+            .layers
+            .first()
+            .map(|l| {
+                l.wq.packed_bytes()
+                    + l.wk.packed_bytes()
+                    + l.wv.packed_bytes()
+                    + l.wo.packed_bytes()
+                    + l.w1.packed_bytes()
+                    + l.w2.packed_bytes()
+                    + l.w3.packed_bytes()
+            })
+            .unwrap_or(0);
+        per_layer * self.layers.len() + self.head.packed_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model(kind: BackendKind) -> Model {
+        Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(4), kind, 42).unwrap()
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let pool = ThreadPool::new(1);
+        let m = tiny_model(BackendKind::F32);
+        let mut cache = KvCache::new(&m.cfg);
+        let mut s = Scratch::new(&m.cfg);
+        for pos in 0..4 {
+            m.forward(pos as u32 + 1, pos, &mut cache, &mut s, &pool).unwrap();
+            assert!(s.logits.iter().all(|x| x.is_finite()), "pos {pos}");
+        }
+        assert_eq!(cache.len, 4);
+    }
+
+    #[test]
+    fn backends_agree_on_logits() {
+        let pool = ThreadPool::new(2);
+        let f = tiny_model(BackendKind::F32);
+        let d = tiny_model(BackendKind::Dequant);
+        let t = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
+        let mut run = |m: &Model| {
+            let mut cache = KvCache::new(&m.cfg);
+            let mut s = Scratch::new(&m.cfg);
+            for pos in 0..3 {
+                m.forward(7 + pos as u32, pos, &mut cache, &mut s, &pool).unwrap();
+            }
+            s.logits.clone()
+        };
+        let lf = run(&f);
+        let ld = run(&d);
+        let lt = run(&t);
+        // Quantized backends deviate from f32 only through quant error...
+        assert!(tmac_simd::f32ops::nmse(&ld, &lf) < 0.3);
+        // ...and agree with each other much more tightly.
+        assert!(tmac_simd::f32ops::nmse(&lt, &ld) < 0.05);
+    }
+
+    #[test]
+    fn rejects_bad_token_and_pos() {
+        let pool = ThreadPool::new(1);
+        let m = tiny_model(BackendKind::F32);
+        let mut cache = KvCache::new(&m.cfg);
+        let mut s = Scratch::new(&m.cfg);
+        assert!(m.forward(10_000, 0, &mut cache, &mut s, &pool).is_err());
+        assert!(m
+            .forward(1, m.cfg.seq_max, &mut cache, &mut s, &pool)
+            .is_err());
+    }
+
+    #[test]
+    fn bytes_per_token_positive_and_bit_scaled() {
+        let m2 = Model::synthetic(
+            &ModelConfig::tiny(),
+            WeightQuant::Rtn(2),
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            1,
+        )
+        .unwrap();
+        let m4 = Model::synthetic(
+            &ModelConfig::tiny(),
+            WeightQuant::Rtn(4),
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            1,
+        )
+        .unwrap();
+        assert!(m4.bytes_per_token() > m2.bytes_per_token());
+    }
+}

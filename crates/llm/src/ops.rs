@@ -1,0 +1,227 @@
+//! Transformer math primitives (RMSNorm, softmax, RoPE, SwiGLU).
+//!
+//! These are the non-GEMM operators of the llama architecture. They are a
+//! small fraction of decode-time cost (the paper attributes the residual
+//! gap to them in §5.7) but must be numerically correct for the quality
+//! experiments.
+
+use tmac_simd::f32ops;
+
+/// RMS normalization: `out[i] = x[i] / rms(x) * gain[i]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn rmsnorm(out: &mut [f32], x: &[f32], gain: &[f32], eps: f32) {
+    assert_eq!(x.len(), gain.len(), "rmsnorm gain length");
+    assert_eq!(x.len(), out.len(), "rmsnorm out length");
+    let ss = f32ops::dot(x, x) / x.len() as f32;
+    let inv = 1.0 / (ss + eps).sqrt();
+    for ((o, &xi), &g) in out.iter_mut().zip(x).zip(gain) {
+        *o = xi * inv * g;
+    }
+}
+
+/// In-place numerically-stable softmax.
+pub fn softmax(v: &mut [f32]) {
+    if v.is_empty() {
+        return;
+    }
+    let max = v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0f32;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Log-softmax value of one index (for NLL/perplexity evaluation), computed
+/// in `f64` for stability.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range.
+pub fn log_softmax_at(logits: &[f32], idx: usize) -> f64 {
+    assert!(idx < logits.len(), "log_softmax_at index");
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x)) as f64;
+    let mut sum = 0f64;
+    for &x in logits {
+        sum += ((x as f64) - max).exp();
+    }
+    (logits[idx] as f64) - max - sum.ln()
+}
+
+/// Rotary position embedding applied in place to a `[n_heads × head_dim]`
+/// vector at position `pos`.
+///
+/// # Panics
+///
+/// Panics if `v.len()` is not a multiple of `head_dim` or `head_dim` is odd.
+pub fn rope(v: &mut [f32], head_dim: usize, pos: usize, theta: f32) {
+    assert!(head_dim % 2 == 0, "rope needs even head_dim");
+    assert_eq!(v.len() % head_dim, 0, "rope vector not head-aligned");
+    for head in v.chunks_mut(head_dim) {
+        for i in 0..head_dim / 2 {
+            let freq = 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32);
+            let angle = pos as f32 * freq;
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (head[2 * i], head[2 * i + 1]);
+            head[2 * i] = a * cos - b * sin;
+            head[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// SwiGLU combine: `out[i] = silu(gate[i]) * up[i]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn swiglu(out: &mut [f32], gate: &[f32], up: &[f32]) {
+    assert_eq!(gate.len(), up.len(), "swiglu length");
+    assert_eq!(gate.len(), out.len(), "swiglu out length");
+    for ((o, &g), &u) in out.iter_mut().zip(gate).zip(up) {
+        let silu = g / (1.0 + (-g).exp());
+        *o = silu * u;
+    }
+}
+
+/// `y += x` elementwise.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign length");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+/// Argmax index (greedy sampling). Returns 0 for an empty slice.
+pub fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut bv = f32::NEG_INFINITY;
+    for (i, &x) in v.iter().enumerate() {
+        if x > bv {
+            bv = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Indices of the two largest entries (for the choice-agreement task).
+///
+/// # Panics
+///
+/// Panics if `v.len() < 2`.
+pub fn top2(v: &[f32]) -> (usize, usize) {
+    assert!(v.len() >= 2, "top2 needs at least two entries");
+    let mut i1 = 0;
+    let mut i2 = 1;
+    if v[1] > v[0] {
+        (i1, i2) = (1, 0);
+    }
+    for (i, &x) in v.iter().enumerate().skip(2) {
+        if x > v[i1] {
+            i2 = i1;
+            i1 = i;
+        } else if x > v[i2] {
+            i2 = i;
+        }
+    }
+    (i1, i2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmsnorm_unit_gain() {
+        let x = vec![3.0f32, 4.0];
+        let gain = vec![1.0f32; 2];
+        let mut out = vec![0f32; 2];
+        rmsnorm(&mut out, &x, &gain, 0.0);
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert!((out[0] - 3.0 / rms).abs() < 1e-6);
+        assert!((out[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0f32, 2.0, 3.0, -1000.0];
+        softmax(&mut v);
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+        assert!(v[3] < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let v = vec![0.5f32, -1.0, 2.0, 0.0];
+        let mut s = v.clone();
+        softmax(&mut s);
+        for i in 0..v.len() {
+            assert!((log_softmax_at(&v, i) - (s[i] as f64).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_position_zero() {
+        let mut v: Vec<f32> = (0..8).map(|i| i as f32 - 3.5).collect();
+        let orig = v.clone();
+        rope(&mut v, 8, 0, 10000.0);
+        assert_eq!(v, orig, "position 0 must be identity");
+        rope(&mut v, 8, 17, 10000.0);
+        let n0: f32 = orig.iter().map(|x| x * x).sum();
+        let n1: f32 = v.iter().map(|x| x * x).sum();
+        assert!((n0 - n1).abs() < 1e-4, "rotation preserves norm");
+        assert_ne!(v, orig);
+    }
+
+    #[test]
+    fn rope_is_relative() {
+        // <rope(q, m), rope(k, n)> depends only on m - n for a single pair.
+        let q = [1.0f32, 0.5];
+        let k = [-0.3f32, 0.8];
+        let pairs = [(3usize, 1usize), (7, 5), (12, 10)];
+        let mut dots = Vec::new();
+        for (m, n) in pairs {
+            let mut qq = q;
+            let mut kk = k;
+            rope(&mut qq, 2, m, 10000.0);
+            rope(&mut kk, 2, n, 10000.0);
+            dots.push(qq[0] * kk[0] + qq[1] * kk[1]);
+        }
+        assert!((dots[0] - dots[1]).abs() < 1e-5);
+        assert!((dots[1] - dots[2]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn swiglu_basics() {
+        let gate = [0.0f32, 10.0, -10.0];
+        let up = [2.0f32, 3.0, 5.0];
+        let mut out = [0f32; 3];
+        swiglu(&mut out, &gate, &up);
+        assert_eq!(out[0], 0.0); // silu(0) = 0
+        assert!((out[1] - 30.0).abs() < 0.01); // silu(10) ~ 10
+        assert!(out[2].abs() < 0.01); // silu(-10) ~ 0
+    }
+
+    #[test]
+    fn argmax_and_top2() {
+        let v = [0.1f32, 0.9, 0.5, 0.8];
+        assert_eq!(argmax(&v), 1);
+        assert_eq!(top2(&v), (1, 3));
+        let v2 = [5.0f32, 1.0];
+        assert_eq!(top2(&v2), (0, 1));
+    }
+}

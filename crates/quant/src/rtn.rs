@@ -1,0 +1,170 @@
+//! Round-to-nearest (RTN) group quantization.
+//!
+//! The storage arithmetic shared by GPTQ, AWQ and llama.cpp's `Q*_0`
+//! formats: per-group symmetric scale chosen from the group's max
+//! magnitude, codes rounded to nearest.
+
+use crate::{QuantError, QuantizedMatrix};
+
+/// Quantizes a row-major `rows × cols` matrix to `bits` with per-`group_size`
+/// scales.
+///
+/// The scale maps the group's maximum magnitude to the most negative code
+/// (`-zero`), matching llama.cpp's `Q4_0` convention, so the representable
+/// range is `[-amax, amax * (2^bits - 1 - zero) / zero]`.
+///
+/// # Errors
+///
+/// Returns [`QuantError`] if `bits ∉ 1..=4`, dimensions don't match
+/// `weights.len()`, or `cols` is not divisible by `group_size`.
+///
+/// # Examples
+///
+/// ```
+/// let w: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.1).collect();
+/// let q = tmac_quant::rtn::quantize(&w, 2, 32, 4, 32).unwrap();
+/// let d = q.dequantize();
+/// for (x, y) in w.iter().zip(&d) {
+///     // Worst-case error is one step (scale = amax/8 = 0.4 here).
+///     assert!((x - y).abs() <= 0.4 + 1e-6);
+/// }
+/// ```
+pub fn quantize(
+    weights: &[f32],
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    group_size: usize,
+) -> Result<QuantizedMatrix, QuantError> {
+    if !(1..=4).contains(&bits) {
+        return Err(QuantError::UnsupportedBits(bits));
+    }
+    if weights.len() != rows * cols {
+        return Err(QuantError::Shape(format!(
+            "weights len {} != rows*cols {}",
+            weights.len(),
+            rows * cols
+        )));
+    }
+    if group_size == 0 || cols % group_size != 0 {
+        return Err(QuantError::Shape(format!(
+            "cols {cols} not divisible by group_size {group_size}"
+        )));
+    }
+    let zero = QuantizedMatrix::default_zero(bits);
+    let max_code = ((1u16 << bits) - 1) as f32;
+    let mut codes = vec![0u8; rows * cols];
+    let mut scales = vec![0f32; rows * cols / group_size];
+    let gpr = cols / group_size;
+    for r in 0..rows {
+        let wrow = &weights[r * cols..(r + 1) * cols];
+        for g in 0..gpr {
+            let grp = &wrow[g * group_size..(g + 1) * group_size];
+            let amax = grp.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let scale = if amax == 0.0 { 1e-8 } else { amax / zero };
+            scales[r * gpr + g] = scale;
+            let inv = 1.0 / scale;
+            for (j, &w) in grp.iter().enumerate() {
+                let q = (w * inv + zero).round().clamp(0.0, max_code);
+                codes[r * cols + g * group_size + j] = q as u8;
+            }
+        }
+    }
+    let qm = QuantizedMatrix {
+        rows,
+        cols,
+        bits,
+        group_size,
+        codes,
+        scales,
+        zero,
+    };
+    debug_assert!(qm.validate().is_ok());
+    Ok(qm)
+}
+
+/// Maximum absolute reconstruction error of RTN at a given scale: half a
+/// quantization step.
+pub fn step_error_bound(scale: f32) -> f32 {
+    scale * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| ((i as f32 * 0.618).sin()) * (1.0 + (i % 7) as f32 * 0.3))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_all_bitwidths() {
+        let (rows, cols, gs) = (4, 64, 32);
+        let w = ramp(rows, cols);
+        for bits in 1..=4u8 {
+            let q = quantize(&w, rows, cols, bits, gs).unwrap();
+            let d = q.dequantize();
+            for r in 0..rows {
+                for k in 0..cols {
+                    let s = q.scale_at(r, k);
+                    let err = (w[r * cols + k] - d[r * cols + k]).abs();
+                    // Codes at the clamped positive edge can carry up to one
+                    // full step of error (range asymmetry), otherwise half.
+                    assert!(
+                        err <= s * 1.0 + 1e-6,
+                        "bits={bits} r={r} k={k} err={err} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_bit_is_more_accurate_than_one_bit() {
+        let (rows, cols, gs) = (2, 128, 32);
+        let w = ramp(rows, cols);
+        let errs: Vec<f32> = [1u8, 4]
+            .iter()
+            .map(|&bits| {
+                let q = quantize(&w, rows, cols, bits, gs).unwrap();
+                let d = q.dequantize();
+                w.iter()
+                    .zip(&d)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+            })
+            .collect();
+        assert!(errs[1] < errs[0] * 0.25, "4-bit {} vs 1-bit {}", errs[1], errs[0]);
+    }
+
+    #[test]
+    fn zero_group_is_stable() {
+        let w = vec![0.0f32; 64];
+        let q = quantize(&w, 1, 64, 4, 32).unwrap();
+        let d = q.dequantize();
+        assert!(d.iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let w = vec![0.0f32; 64];
+        assert!(quantize(&w, 1, 64, 5, 32).is_err());
+        assert!(quantize(&w, 1, 64, 4, 33).is_err());
+        assert!(quantize(&w, 2, 64, 4, 32).is_err()); // len mismatch
+    }
+
+    #[test]
+    fn one_bit_codes_are_signs() {
+        let w: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let q = quantize(&w, 1, 32, 1, 32).unwrap();
+        for (i, &c) in q.codes.iter().enumerate() {
+            assert_eq!(c, if i % 2 == 0 { 1 } else { 0 });
+        }
+        let d = q.dequantize();
+        for (x, y) in w.iter().zip(&d) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! x86-64 AVX2 backend.
+//!
+//! Implements the paper's Table 1 mapping for x86: table look-up via
+//! `_mm256_shuffle_epi8` (`PSHUFB`) and fast aggregation via
+//! `_mm256_avg_epu8`. AVX2 is 256 bits wide but `PSHUFB` shuffles within each
+//! 128-bit lane, so — exactly as §4 of the paper describes — the 16-entry
+//! table is *duplicated* into both lanes and one instruction then looks up 32
+//! independent `u8` indices.
+//!
+//! Every function here is `#[target_feature(enable = "avx2")]`: it is a safe
+//! call from another function with the same feature set, and an `unsafe` call
+//! otherwise (the caller must have checked [`available`]). Raw-pointer loads
+//! and stores are the only `unsafe` operations inside, each justified with a
+//! `// SAFETY:` comment and guarded by slice-length assertions.
+
+#![allow(clippy::missing_safety_doc)] // Safety contract is the module-level target-feature rule.
+
+use std::arch::x86_64::*;
+use std::sync::OnceLock;
+
+/// Number of parallel byte lanes of this backend.
+pub const LANES: usize = 32;
+
+/// Returns `true` if the running CPU supports AVX2 *and* FMA.
+///
+/// The result is computed once and cached. All other functions in this
+/// module may only be invoked when this returns `true`.
+pub fn available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Loads / stores (length-checked slice wrappers around unaligned intrinsics).
+// ---------------------------------------------------------------------------
+
+/// Loads 32 bytes from `src` (unaligned).
+///
+/// # Panics
+///
+/// Panics if `src.len() < 32`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn loadu_256(src: &[u8]) -> __m256i {
+    assert!(src.len() >= 32, "loadu_256 needs 32 bytes");
+    // SAFETY: `src` has at least 32 readable bytes; unaligned load allowed.
+    unsafe { _mm256_loadu_si256(src.as_ptr() as *const __m256i) }
+}
+
+/// Loads 16 bytes from `src` (unaligned) into an `__m128i`.
+///
+/// # Panics
+///
+/// Panics if `src.len() < 16`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn loadu_128(src: &[u8]) -> __m128i {
+    assert!(src.len() >= 16, "loadu_128 needs 16 bytes");
+    // SAFETY: `src` has at least 16 readable bytes; unaligned load allowed.
+    unsafe { _mm_loadu_si128(src.as_ptr() as *const __m128i) }
+}
+
+/// Stores 32 bytes to `dst` (unaligned).
+///
+/// # Panics
+///
+/// Panics if `dst.len() < 32`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn storeu_256(dst: &mut [u8], v: __m256i) {
+    assert!(dst.len() >= 32, "storeu_256 needs 32 bytes");
+    // SAFETY: `dst` has at least 32 writable bytes; unaligned store allowed.
+    unsafe { _mm256_storeu_si256(dst.as_mut_ptr() as *mut __m256i, v) }
+}
+
+/// Loads 8 `f32` from `src` (unaligned).
+///
+/// # Panics
+///
+/// Panics if `src.len() < 8`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn loadu_ps(src: &[f32]) -> __m256 {
+    assert!(src.len() >= 8, "loadu_ps needs 8 floats");
+    // SAFETY: `src` has at least 8 readable floats; unaligned load allowed.
+    unsafe { _mm256_loadu_ps(src.as_ptr()) }
+}
+
+/// Stores 8 `f32` to `dst` (unaligned).
+///
+/// # Panics
+///
+/// Panics if `dst.len() < 8`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn storeu_ps(dst: &mut [f32], v: __m256) {
+    assert!(dst.len() >= 8, "storeu_ps needs 8 floats");
+    // SAFETY: `dst` has at least 8 writable floats; unaligned store allowed.
+    unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), v) }
+}
+
+// ---------------------------------------------------------------------------
+// Table lookup (the T-MAC core primitive).
+// ---------------------------------------------------------------------------
+
+/// Duplicates a 16-entry `i8` table into both 128-bit lanes of a register.
+///
+/// Paper §4: "we duplicate the table to fill the 256-bit LUT register and
+/// look up 32 different int8 weight indices with a single instruction".
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn dup_table16(table: &[i8; 16]) -> __m256i {
+    // SAFETY: `table` is exactly 16 readable bytes.
+    let t = unsafe { _mm_loadu_si128(table.as_ptr() as *const __m128i) };
+    _mm256_broadcastsi128_si256(t)
+}
+
+/// 32-way parallel 8-bit table lookup (`PSHUFB`).
+///
+/// `table` must hold the same 16 entries in both lanes (see
+/// [`dup_table16`]); `idx` holds 32 indices, each `< 16` (high bit clear).
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn tbl32(table: __m256i, idx: __m256i) -> __m256i {
+    _mm256_shuffle_epi8(table, idx)
+}
+
+/// Unpacks 16 nibble-packed bytes into 32 byte indices.
+///
+/// Input byte `j` holds row `j` in its low nibble and row `j + 16` in its
+/// high nibble (T-MAC's interleaved weight layout, paper Figure 4), so the
+/// result places rows `0..16` in the low lane and rows `16..32` in the high
+/// lane with nothing but `AND`/`SHR` — no reordering shuffle is needed.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn unpack_nibbles_interleaved(bytes: __m128i) -> __m256i {
+    let mask = _mm_set1_epi8(0x0F);
+    let lo = _mm_and_si128(bytes, mask);
+    let hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), mask);
+    _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1)
+}
+
+/// Unpacks 16 *sequentially* packed bytes into 32 byte indices in row order.
+///
+/// Without the offline interleave, byte `j` holds rows `2j` (low nibble) and
+/// `2j + 1` (high nibble). Restoring row order costs an extra per-lane
+/// interleave (`punpcklbw`/`punpckhbw`) on top of the `AND`/`SHR` — this is
+/// the overhead the interleaving optimization removes, kept here so the
+/// ablation (Figure 10, "IL") measures something real.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn unpack_nibbles_sequential(bytes: __m128i) -> __m256i {
+    let mask = _mm_set1_epi8(0x0F);
+    let lo = _mm_and_si128(bytes, mask); // rows 0,2,4,..,30
+    let hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), mask); // rows 1,3,5,..,31
+    // Interleave to restore row order: [r0 r1 r2 r3 ...].
+    let even_odd_lo = _mm_unpacklo_epi8(lo, hi); // rows 0..16
+    let even_odd_hi = _mm_unpackhi_epi8(lo, hi); // rows 16..32
+    _mm256_inserti128_si256(_mm256_castsi128_si256(even_odd_lo), even_odd_hi, 1)
+}
+
+/// Transforms raw indices for a mirror-consolidated table.
+///
+/// Returns `(idx', ctrl)`: `idx' = idx ^ 0x0F` where `idx >= 8` (folding the
+/// upper half of the table onto the lower, paper Figure 5), and a sign
+/// control vector for [`apply_sign`] that is negative exactly where the
+/// looked-up value must be negated (and never zero).
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn mirror_fold(idx: __m256i) -> (__m256i, __m256i) {
+    let seven = _mm256_set1_epi8(7);
+    let low_mask = _mm256_set1_epi8(0x0F);
+    // Bytes with idx >= 8 compare greater-than 7 -> 0xFF.
+    let neg = _mm256_cmpgt_epi8(idx, seven);
+    let folded = _mm256_xor_si256(idx, _mm256_and_si256(neg, low_mask));
+    // ctrl: 0xFF (negative) where mirrored, 0x01 (positive) elsewhere; never 0
+    // because `_mm256_sign_epi8` zeroes its output where ctrl == 0.
+    let ctrl = _mm256_or_si256(neg, _mm256_set1_epi8(1));
+    (folded, ctrl)
+}
+
+/// Applies a sign control to looked-up values (`_mm256_sign_epi8`).
+///
+/// `ctrl` bytes must be non-zero: negative negates, positive passes through.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn apply_sign(vals: __m256i, ctrl: __m256i) -> __m256i {
+    _mm256_sign_epi8(vals, ctrl)
+}
+
+// ---------------------------------------------------------------------------
+// Accumulation.
+// ---------------------------------------------------------------------------
+
+/// Widens 32 `i8` lanes and adds them into two 16-lane `i16` accumulators.
+///
+/// `acc.0` accumulates bytes `0..16` (rows `m..m+16`), `acc.1` bytes
+/// `16..32`. This is the exact-precision aggregation path: `i8` values sum
+/// into `i16` without overflow for up to 256 addends.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn accumulate_i8_into_i16(acc: (__m256i, __m256i), vals: __m256i) -> (__m256i, __m256i) {
+    let lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vals));
+    let hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vals, 1));
+    (_mm256_add_epi16(acc.0, lo), _mm256_add_epi16(acc.1, hi))
+}
+
+/// Rounding average of unsigned bytes (`_mm256_avg_epu8`), the fast
+/// aggregation primitive (paper Table 1).
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn avg_u8(a: __m256i, b: __m256i) -> __m256i {
+    _mm256_avg_epu8(a, b)
+}
+
+/// Converts 16 `i16` lanes to two 8-lane `f32` vectors (low, high).
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn i16_to_f32x2(v: __m256i) -> (__m256, __m256) {
+    let lo = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_castsi256_si128(v)));
+    let hi = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_extracti128_si256(v, 1)));
+    (lo, hi)
+}
+
+/// Horizontal sum of 8 `f32` lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn hsum_ps(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps(v, 1);
+    let lo = _mm256_castps256_ps128(v);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    _mm_cvtss_f32(s)
+}
+
+/// Horizontal sum of 8 `i32` lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn hsum_epi32(v: __m256i) -> i32 {
+    let hi = _mm256_extracti128_si256(v, 1);
+    let lo = _mm256_castsi256_si128(v);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_11_10));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    _mm_cvtsi128_si32(s)
+}
+
+/// Gathers 8 `f32` values `table[idx[i]]` (TM-base lookup path).
+///
+/// This is the *unoptimized* table access that the paper's breakdown starts
+/// from: a hardware gather from an in-memory `f32` table, before table
+/// quantization makes in-register `PSHUFB` lookups possible.
+///
+/// # Panics
+///
+/// Panics in debug builds if any index is out of bounds.
+///
+/// The caller must guarantee every `idx` lane indexes within `table`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn gather_f32(table: &[f32], idx: __m256i) -> __m256 {
+    #[cfg(debug_assertions)]
+    {
+        let mut lanes = [0i32; 8];
+        // SAFETY: `lanes` is exactly 32 writable bytes.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, idx) };
+        for &l in &lanes {
+            assert!((l as usize) < table.len(), "gather_f32 index out of range");
+        }
+    }
+    // SAFETY: all 8 indices address valid `f32` elements of `table` (asserted
+    // above in debug builds; guaranteed by kernel construction in release:
+    // indices are 4-bit values < 16 == table length).
+    unsafe { _mm256_i32gather_ps::<4>(table.as_ptr(), idx) }
+}
+
+/// Widens the low/high 8 bytes of a 16-byte vector to `i32` lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub fn widen_u8_to_i32(v: __m128i) -> (__m256i, __m256i) {
+    let lo = _mm256_cvtepu8_epi32(v);
+    let hi = _mm256_cvtepu8_epi32(_mm_srli_si128(v, 8));
+    (lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// f32 vector helpers (AVX2 + FMA).
+// ---------------------------------------------------------------------------
+
+/// Dot product of two equal-length `f32` slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2,fma")]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32 length mismatch");
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        let x0 = loadu_ps(&a[i..]);
+        let y0 = loadu_ps(&b[i..]);
+        let x1 = loadu_ps(&a[i + 8..]);
+        let y1 = loadu_ps(&b[i + 8..]);
+        acc0 = _mm256_fmadd_ps(x0, y0, acc0);
+        acc1 = _mm256_fmadd_ps(x1, y1, acc1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        let x = loadu_ps(&a[i..]);
+        let y = loadu_ps(&b[i..]);
+        acc0 = _mm256_fmadd_ps(x, y, acc0);
+        i += 8;
+    }
+    let mut sum = hsum_ps(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        sum += a[i] * b[i];
+        i += 1;
+    }
+    sum
+}
+
+/// `y[i] += a * x[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2,fma")]
+pub fn axpy_f32(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy_f32 length mismatch");
+    let n = y.len();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = loadu_ps(&x[i..]);
+        let yv = loadu_ps(&y[i..]);
+        storeu_ps(&mut y[i..], _mm256_fmadd_ps(av, xv, yv));
+        i += 8;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// Sum of a `f32` slice.
+#[target_feature(enable = "avx2")]
+pub fn sum_f32(v: &[f32]) -> f32 {
+    let n = v.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = _mm256_add_ps(acc, loadu_ps(&v[i..]));
+        i += 8;
+    }
+    let mut s = hsum_ps(acc);
+    while i < n {
+        s += v[i];
+        i += 1;
+    }
+    s
+}
+
+/// Maximum absolute value of a `f32` slice (0.0 if empty).
+#[target_feature(enable = "avx2")]
+pub fn max_abs_f32(v: &[f32]) -> f32 {
+    let n = v.len();
+    let signmask = _mm256_set1_ps(-0.0);
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = _mm256_andnot_ps(signmask, loadu_ps(&v[i..]));
+        acc = _mm256_max_ps(acc, x);
+        i += 8;
+    }
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let lo = _mm256_castps256_ps128(acc);
+    let m = _mm_max_ps(lo, hi);
+    let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    let m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 0x55));
+    let mut best = _mm_cvtss_f32(m);
+    while i < n {
+        best = best.max(v[i].abs());
+        i += 1;
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// i8 helpers (baseline dequant kernels).
+// ---------------------------------------------------------------------------
+
+/// Signed 8-bit dot product with `i32` accumulation.
+///
+/// Widens both operands to `i16` and uses `_mm256_madd_epi16`. This is exact
+/// for the full `i8` range including `-128` (the llama.cpp `maddubs` sign
+/// trick wraps on `a = b = -128`, so it is reserved for
+/// [`dot_i8_maddubs`], whose inputs are clamped quantized codes).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2")]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 32 <= n {
+        // SAFETY: both slices have at least `i + 32` elements, and `i8` has
+        // the same layout as `u8` for raw loads.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i),
+                _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i),
+            )
+        };
+        let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+        let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+        i += 32;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum += (a[i] as i32) * (b[i] as i32);
+        i += 1;
+    }
+    sum
+}
+
+/// Signed 8-bit dot product via the `maddubs` sign trick (llama.cpp style).
+///
+/// Faster than [`dot_i8`] but requires every element of both slices to be
+/// `> -128` (quantized codes are clamped to `-127..=127`, so this holds for
+/// all baseline kernels). Violating that wraps the sign of `(-128)·(-128)`
+/// terms.
+///
+/// # Panics
+///
+/// Panics if lengths differ; debug builds also panic on `-128` inputs.
+#[target_feature(enable = "avx2")]
+pub fn dot_i8_maddubs(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8_maddubs length mismatch");
+    debug_assert!(
+        a.iter().chain(b).all(|&x| x != i8::MIN),
+        "dot_i8_maddubs requires values > -128"
+    );
+    let n = a.len();
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 32 <= n {
+        // SAFETY: both slices have at least `i + 32` elements, and `i8` has
+        // the same layout as `u8` for raw loads.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i),
+                _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i),
+            )
+        };
+        let abs_a = _mm256_sign_epi8(va, va);
+        let sgn_b = _mm256_sign_epi8(vb, va);
+        let prod = _mm256_maddubs_epi16(abs_a, sgn_b);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prod, ones));
+        i += 32;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum += (a[i] as i32) * (b[i] as i32);
+        i += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+
+    fn skip() -> bool {
+        !available()
+    }
+
+    fn to_bytes(v: __m256i) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        // SAFETY: out is 32 writable bytes; test runs only when AVX2 exists.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v) };
+        out
+    }
+
+    #[test]
+    fn tbl32_matches_scalar() {
+        if skip() {
+            return;
+        }
+        let mut table = [0i8; 16];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (i as i8).wrapping_mul(7) - 50;
+        }
+        let idx: Vec<u8> = (0..32).map(|i| (i * 5) % 16).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe {
+            let t = dup_table16(&table);
+            let iv = loadu_256(&idx);
+            to_bytes(tbl32(t, iv))
+        };
+        let mut want = vec![0i8; 32];
+        scalar::tbl16(&table, &idx, &mut want);
+        assert_eq!(got.map(|b| b as i8).to_vec(), want);
+    }
+
+    #[test]
+    fn unpack_interleaved_matches_scalar() {
+        if skip() {
+            return;
+        }
+        let packed: Vec<u8> = (0..16).map(|i| (i * 37 + 11) as u8).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe {
+            let b = loadu_128(&packed);
+            to_bytes(unpack_nibbles_interleaved(b))
+        };
+        let (mut lo, mut hi) = (vec![0u8; 16], vec![0u8; 16]);
+        scalar::unpack_nibbles(&packed, &mut lo, &mut hi);
+        assert_eq!(&got[..16], &lo[..]);
+        assert_eq!(&got[16..], &hi[..]);
+    }
+
+    #[test]
+    fn unpack_sequential_restores_row_order() {
+        if skip() {
+            return;
+        }
+        // Rows 0..32 packed sequentially: byte j = row 2j | row 2j+1 << 4.
+        let rows: Vec<u8> = (0..32).map(|r| (r * 3) % 16).collect();
+        let packed: Vec<u8> = (0..16).map(|j| rows[2 * j] | (rows[2 * j + 1] << 4)).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe {
+            let b = loadu_128(&packed);
+            to_bytes(unpack_nibbles_sequential(b))
+        };
+        assert_eq!(got.to_vec(), rows);
+    }
+
+    #[test]
+    fn mirror_fold_sign_identity() {
+        if skip() {
+            return;
+        }
+        // A mirrored table stores s(0..8); folding idx then applying the sign
+        // must reproduce a full 16-entry antisymmetric table lookup.
+        let mut full = [0i8; 16];
+        for (i, t) in full.iter_mut().enumerate() {
+            *t = (i as i8) * 3 - 45; // antisymmetric-ish around the midpoint
+        }
+        // Force true mirror antisymmetry: full[15 - i] = -full[i].
+        for i in 0..8 {
+            full[15 - i] = -full[i];
+        }
+        let mut half = [0i8; 16];
+        half[..8].copy_from_slice(&full[..8]);
+        let idx: Vec<u8> = (0..32).map(|i| (i % 16) as u8).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe {
+            let t = dup_table16(&half);
+            let iv = loadu_256(&idx);
+            let (folded, ctrl) = mirror_fold(iv);
+            to_bytes(apply_sign(tbl32(t, folded), ctrl))
+        };
+        let mut want = vec![0i8; 32];
+        scalar::tbl16(&full, &idx, &mut want);
+        assert_eq!(got.map(|b| b as i8).to_vec(), want);
+    }
+
+    #[test]
+    fn accumulate_i16_exact() {
+        if skip() {
+            return;
+        }
+        let vals: Vec<i8> = (0..32).map(|i| (i as i8) - 16).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let (lo, hi) = unsafe {
+            let v = loadu_256(&vals.iter().map(|&x| x as u8).collect::<Vec<_>>());
+            let acc = (_mm256_setzero_si256(), _mm256_setzero_si256());
+            let (a0, a1) = accumulate_i8_into_i16(acc, v);
+            let (a0, a1) = accumulate_i8_into_i16((a0, a1), v);
+            let mut lo16 = [0i16; 16];
+            let mut hi16 = [0i16; 16];
+            _mm256_storeu_si256(lo16.as_mut_ptr() as *mut __m256i, a0);
+            _mm256_storeu_si256(hi16.as_mut_ptr() as *mut __m256i, a1);
+            (lo16, hi16)
+        };
+        for i in 0..16 {
+            assert_eq!(lo[i], 2 * (vals[i] as i16));
+            assert_eq!(hi[i], 2 * (vals[16 + i] as i16));
+        }
+    }
+
+    #[test]
+    fn avg_matches_scalar() {
+        if skip() {
+            return;
+        }
+        let a: Vec<u8> = (0..32).map(|i| (i * 9 + 3) as u8).collect();
+        let b: Vec<u8> = (0..32).map(|i| (255 - i * 7) as u8).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe { to_bytes(avg_u8(loadu_256(&a), loadu_256(&b))) };
+        for i in 0..32 {
+            assert_eq!(got[i], scalar::avg_u8(a[i], b[i]), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn gather_matches_table() {
+        if skip() {
+            return;
+        }
+        let table: Vec<f32> = (0..16).map(|i| i as f32 * 1.5 - 8.0).collect();
+        let idx8: Vec<u8> = (0..16).map(|i| ((i * 11) % 16) as u8).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let (g0, g1) = unsafe {
+            let raw = loadu_128(&idx8);
+            let (i0, i1) = widen_u8_to_i32(raw);
+            let g0 = gather_f32(&table, i0);
+            let g1 = gather_f32(&table, i1);
+            let mut o0 = [0f32; 8];
+            let mut o1 = [0f32; 8];
+            _mm256_storeu_ps(o0.as_mut_ptr(), g0);
+            _mm256_storeu_ps(o1.as_mut_ptr(), g1);
+            (o0, o1)
+        };
+        for i in 0..8 {
+            assert_eq!(g0[i], table[idx8[i] as usize]);
+            assert_eq!(g1[i], table[idx8[8 + i] as usize]);
+        }
+    }
+
+    #[test]
+    fn f32_ops_match_scalar() {
+        if skip() {
+            return;
+        }
+        let a: Vec<f32> = (0..103).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..103).map(|i| (i as f32 * 0.3).cos()).collect();
+        // SAFETY: AVX2+FMA checked by `skip`.
+        let (d, s, m) = unsafe { (dot_f32(&a, &b), sum_f32(&a), max_abs_f32(&a)) };
+        assert!((d - scalar::dot_f32(&a, &b)).abs() < 1e-3);
+        assert!((s - scalar::sum_f32(&a)).abs() < 1e-3);
+        assert_eq!(m, scalar::max_abs_f32(&a));
+        let mut y1 = b.clone();
+        let mut y2 = b.clone();
+        // SAFETY: AVX2+FMA checked by `skip`.
+        unsafe { axpy_f32(&mut y1, 1.37, &a) };
+        scalar::axpy_f32(&mut y2, 1.37, &a);
+        for (x, y) in y1.iter().zip(&y2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar() {
+        if skip() {
+            return;
+        }
+        let a: Vec<i8> = (0..131).map(|i| ((i * 37) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..131).map(|i| ((i * 91) % 255 - 127) as i8).collect();
+        // SAFETY: AVX2 checked by `skip`.
+        let got = unsafe { dot_i8(&a, &b) };
+        assert_eq!(got, scalar::dot_i8(&a, &b));
+    }
+}

@@ -1,0 +1,137 @@
+//! Runtime-dispatched `f32` vector operations.
+//!
+//! These are the convenience entry points used outside the innermost GEMM
+//! kernels (normalization layers, attention, reductions). Each call checks
+//! the cached CPU-feature flag once and dispatches to the AVX2/NEON backend
+//! or the scalar fallback.
+
+use crate::scalar;
+
+/// Dot product of two equal-length `f32` slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tmac_simd::f32ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2+FMA support verified by `available()`.
+        return unsafe { crate::avx2::dot_f32(a, b) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if crate::neon::available() {
+        // SAFETY: NEON support verified by `available()`.
+        return unsafe { crate::neon::dot_f32(a, b) };
+    }
+    scalar::dot_f32(a, b)
+}
+
+/// `y[i] += a * x[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2+FMA support verified by `available()`.
+        unsafe { crate::avx2::axpy_f32(y, a, x) };
+        return;
+    }
+    scalar::axpy_f32(y, a, x);
+}
+
+/// Sum of all elements.
+pub fn sum(v: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        return unsafe { crate::avx2::sum_f32(v) };
+    }
+    scalar::sum_f32(v)
+}
+
+/// Maximum absolute value (0.0 for an empty slice).
+pub fn max_abs(v: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        return unsafe { crate::avx2::max_abs_f32(v) };
+    }
+    scalar::max_abs_f32(v)
+}
+
+/// Scales every element in place: `v[i] *= s`.
+pub fn scale(v: &mut [f32], s: f32) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Normalized mean squared error between `got` and a `reference`.
+///
+/// `NMSE = Σ (got - ref)^2 / Σ ref^2`. This is the error metric of the
+/// paper's Table 3. Returns 0.0 when the reference is all zeros and the
+/// outputs match; `f32::INFINITY` when the reference is all zeros but the
+/// outputs differ.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn nmse(got: &[f32], reference: &[f32]) -> f64 {
+    assert_eq!(got.len(), reference.len(), "nmse length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&g, &r) in got.iter().zip(reference) {
+        let d = (g - r) as f64;
+        num += d * d;
+        den += (r as f64) * (r as f64);
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatched_ops_match_scalar_oracle() {
+        let a: Vec<f32> = (0..257).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..257).map(|i| ((i * 5) % 11) as f32 - 5.0).collect();
+        assert!((dot(&a, &b) - crate::scalar::dot_f32(&a, &b)).abs() < 1e-3);
+        assert!((sum(&a) - crate::scalar::sum_f32(&a)).abs() < 1e-3);
+        assert_eq!(max_abs(&a), crate::scalar::max_abs_f32(&a));
+    }
+
+    #[test]
+    fn nmse_properties() {
+        let r = [1.0f32, -2.0, 3.0];
+        assert_eq!(nmse(&r, &r), 0.0);
+        let worse = [1.5f32, -2.0, 3.0];
+        let better = [1.1f32, -2.0, 3.0];
+        assert!(nmse(&worse, &r) > nmse(&better, &r));
+        assert_eq!(nmse(&[0.0], &[0.0]), 0.0);
+        assert_eq!(nmse(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = vec![1.0f32, -2.0, 0.5];
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![2.0, -4.0, 1.0]);
+    }
+}

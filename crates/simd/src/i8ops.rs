@@ -1,0 +1,90 @@
+//! Runtime-dispatched `i8` vector operations.
+//!
+//! Used by the llama.cpp-style baseline (`tmac-baseline`): activation
+//! quantization to `Q8_0`-style blocks and signed 8-bit dot products, and by
+//! T-MAC's table quantization (paper §3.3).
+
+use crate::scalar;
+
+/// Signed 8-bit dot product with `i32` accumulation.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tmac_simd::i8ops::dot(&[2, -3], &[4, 5]), -7);
+/// ```
+pub fn dot(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        return unsafe { crate::avx2::dot_i8(a, b) };
+    }
+    scalar::dot_i8(a, b)
+}
+
+/// Quantizes `src` to `i8` with symmetric scale `max|x| / 127`.
+///
+/// Returns the scale such that `src[i] ≈ scale * dst[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn quantize(src: &[f32], dst: &mut [i8]) -> f32 {
+    scalar::quantize_i8(src, dst)
+}
+
+/// Quantizes `src` into blocks of `block` values, producing per-block scales.
+///
+/// The layout matches llama.cpp's `Q8_0`: `dst` holds `src.len()` codes,
+/// `scales` holds `src.len() / block` scales.
+///
+/// # Panics
+///
+/// Panics if `src.len()` is not a multiple of `block`, or output sizes
+/// mismatch.
+pub fn quantize_blocks(src: &[f32], block: usize, dst: &mut [i8], scales: &mut [f32]) {
+    assert!(block > 0, "block size must be positive");
+    assert_eq!(src.len() % block, 0, "src not a multiple of block");
+    assert_eq!(dst.len(), src.len(), "dst length mismatch");
+    assert_eq!(scales.len(), src.len() / block, "scales length mismatch");
+    for (bi, (s_chunk, d_chunk)) in src.chunks(block).zip(dst.chunks_mut(block)).enumerate() {
+        scales[bi] = scalar::quantize_i8(s_chunk, d_chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatched_dot_matches_scalar() {
+        let a: Vec<i8> = (0..300).map(|i| ((i * 13) % 251) as i8).collect();
+        let b: Vec<i8> = (0..300).map(|i| ((i * 17) % 249) as i8).collect();
+        assert_eq!(dot(&a, &b), scalar::dot_i8(&a, &b));
+    }
+
+    #[test]
+    fn block_quantization_reconstructs() {
+        let src: Vec<f32> = (0..64).map(|i| (i as f32 - 31.5) * 0.23).collect();
+        let mut q = vec![0i8; 64];
+        let mut sc = vec![0f32; 2];
+        quantize_blocks(&src, 32, &mut q, &mut sc);
+        for (i, &x) in src.iter().enumerate() {
+            let r = sc[i / 32] * q[i] as f32;
+            assert!((x - r).abs() <= sc[i / 32] * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn block_quantization_rejects_ragged() {
+        let src = vec![0.0f32; 33];
+        let mut q = vec![0i8; 33];
+        let mut sc = vec![0f32; 1];
+        quantize_blocks(&src, 32, &mut q, &mut sc);
+    }
+}

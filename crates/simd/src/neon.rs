@@ -1,0 +1,125 @@
+//! AArch64 NEON backend.
+//!
+//! Implements the paper's Table 1 mapping for ARM: table look-up via
+//! `vqtbl1q_u8` (`TBL`) and fast aggregation via `vrhaddq_u8`. NEON registers
+//! are 128 bits wide, so a 16-entry `i8` table fits exactly in one register
+//! and one `TBL` performs 16 lookups (paper §4: "The bit width of ARM NEON is
+//! 128, which can precisely accommodate the entire table of g = 4").
+//!
+//! This module compiles only on `aarch64` targets. The x86-64 evaluation host
+//! exercises the AVX2 backend; this code path carries the identical kernel
+//! structure for ARM edge devices (Raspberry Pi 5, Jetson, Apple Silicon).
+
+use std::arch::aarch64::*;
+use std::sync::OnceLock;
+
+/// Number of parallel byte lanes of this backend.
+pub const LANES: usize = 16;
+
+/// Returns `true` if the running CPU supports NEON.
+pub fn available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| std::arch::is_aarch64_feature_detected!("neon"))
+}
+
+/// Loads a 16-entry signed byte table into a register.
+#[inline]
+#[target_feature(enable = "neon")]
+pub fn load_table16(table: &[i8; 16]) -> int8x16_t {
+    // SAFETY: `table` is exactly 16 readable bytes.
+    unsafe { vld1q_s8(table.as_ptr()) }
+}
+
+/// 16-way parallel 8-bit table lookup (`TBL`).
+#[inline]
+#[target_feature(enable = "neon")]
+pub fn tbl16(table: int8x16_t, idx: uint8x16_t) -> int8x16_t {
+    vreinterpretq_s8_u8(vqtbl1q_u8(vreinterpretq_u8_s8(table), idx))
+}
+
+/// Unpacks 16 nibble-packed bytes into two index vectors (low, high).
+///
+/// With T-MAC's interleaved layout (paper Figure 4), `lo` holds rows
+/// `0..16` and `hi` rows `16..32` directly.
+#[inline]
+#[target_feature(enable = "neon")]
+pub fn unpack_nibbles_interleaved(bytes: uint8x16_t) -> (uint8x16_t, uint8x16_t) {
+    let mask = vdupq_n_u8(0x0F);
+    (vandq_u8(bytes, mask), vshrq_n_u8(bytes, 4))
+}
+
+/// Rounding average of unsigned bytes (`vrhaddq_u8`), the fast aggregation
+/// primitive (paper Table 1).
+#[inline]
+#[target_feature(enable = "neon")]
+pub fn avg_u8(a: uint8x16_t, b: uint8x16_t) -> uint8x16_t {
+    vrhaddq_u8(a, b)
+}
+
+/// Widens 16 `i8` lanes and adds them into two 8-lane `i16` accumulators.
+#[inline]
+#[target_feature(enable = "neon")]
+pub fn accumulate_i8_into_i16(
+    acc: (int16x8_t, int16x8_t),
+    vals: int8x16_t,
+) -> (int16x8_t, int16x8_t) {
+    (
+        vaddw_s8(acc.0, vget_low_s8(vals)),
+        vaddw_high_s8(acc.1, vals),
+    )
+}
+
+/// Dot product of two equal-length `f32` slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "neon")]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32 length mismatch");
+    let n = a.len();
+    let mut acc = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: both slices have at least `i + 4` elements.
+        let (x, y) = unsafe { (vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i))) };
+        acc = vfmaq_f32(acc, x, y);
+        i += 4;
+    }
+    let mut sum = vaddvq_f32(acc);
+    while i < n {
+        sum += a[i] * b[i];
+        i += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+
+    #[test]
+    fn tbl16_matches_scalar() {
+        if !available() {
+            return;
+        }
+        let mut table = [0i8; 16];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (i as i8) * 5 - 40;
+        }
+        let idx: Vec<u8> = (0..16).map(|i| (i * 7) % 16).collect();
+        // SAFETY: NEON checked above.
+        let got = unsafe {
+            let t = load_table16(&table);
+            let iv = vld1q_u8(idx.as_ptr());
+            let r = tbl16(t, iv);
+            let mut out = [0i8; 16];
+            vst1q_s8(out.as_mut_ptr(), r);
+            out
+        };
+        let mut want = vec![0i8; 16];
+        scalar::tbl16(&table, &idx, &mut want);
+        assert_eq!(got.to_vec(), want);
+    }
+}

@@ -1,0 +1,219 @@
+//! Portable scalar reference implementations of the T-MAC SIMD primitives.
+//!
+//! These functions define the *semantics* that the AVX2/NEON backends must
+//! match bit-for-bit (for integer ops) or within floating-point reassociation
+//! tolerance (for `f32` reductions). They double as the fallback backend on
+//! CPUs without SIMD support and as the oracle for backend unit tests.
+
+/// Looks up `indices` in a 16-entry signed byte `table`, writing to `out`.
+///
+/// This is the portable equivalent of one `PSHUFB`/`TBL` lookup per element
+/// (paper Table 1). Indices must be `< 16`; like `PSHUFB` with the high bit
+/// clear, no masking is applied here and an out-of-range index is a caller
+/// bug.
+///
+/// # Panics
+///
+/// Panics if `indices.len() != out.len()` or if any index is `>= 16`.
+pub fn tbl16(table: &[i8; 16], indices: &[u8], out: &mut [i8]) {
+    assert_eq!(indices.len(), out.len(), "tbl16 length mismatch");
+    for (o, &i) in out.iter_mut().zip(indices) {
+        assert!(i < 16, "tbl16 index {i} out of range");
+        *o = table[i as usize];
+    }
+}
+
+/// Rounding average of two unsigned bytes: `(a + b + 1) >> 1`.
+///
+/// Matches `_mm256_avg_epu8` / `vrhaddq_u8` exactly. This is the building
+/// block of fast 8-bit aggregation (paper §4): a balanced binary tree of
+/// `avg_u8` over `2^t` values computes `round(sum / 2^t)` up to an
+/// accumulated rounding error of at most `t`.
+#[inline]
+pub fn avg_u8(a: u8, b: u8) -> u8 {
+    ((a as u16 + b as u16 + 1) >> 1) as u8
+}
+
+/// Unpacks interleaved nibbles: low nibbles to `lo`, high nibbles to `hi`.
+///
+/// This is the unpack that T-MAC's *weight interleaving* (paper Figure 4)
+/// enables: after the offline interleave, a plain `AND 0x0F` yields rows
+/// `[0, n)` and a `SHR 4; AND 0x0F` yields rows `[n, 2n)`, already in order.
+///
+/// # Panics
+///
+/// Panics if `lo` or `hi` differ in length from `bytes`.
+pub fn unpack_nibbles(bytes: &[u8], lo: &mut [u8], hi: &mut [u8]) {
+    assert_eq!(bytes.len(), lo.len(), "unpack_nibbles lo length");
+    assert_eq!(bytes.len(), hi.len(), "unpack_nibbles hi length");
+    for ((&b, l), h) in bytes.iter().zip(lo.iter_mut()).zip(hi.iter_mut()) {
+        *l = b & 0x0F;
+        *h = b >> 4;
+    }
+}
+
+/// Packs two nibble arrays into bytes (inverse of [`unpack_nibbles`]).
+///
+/// # Panics
+///
+/// Panics on length mismatch or if any nibble is `>= 16`.
+pub fn pack_nibbles(lo: &[u8], hi: &[u8], out: &mut [u8]) {
+    assert_eq!(lo.len(), hi.len(), "pack_nibbles length");
+    assert_eq!(lo.len(), out.len(), "pack_nibbles out length");
+    for ((&l, &h), o) in lo.iter().zip(hi).zip(out.iter_mut()) {
+        assert!(l < 16 && h < 16, "pack_nibbles nibble out of range");
+        *o = l | (h << 4);
+    }
+}
+
+/// Dot product of two `f32` slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32 length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum of an `f32` slice.
+pub fn sum_f32(v: &[f32]) -> f32 {
+    v.iter().sum()
+}
+
+/// Maximum absolute value of an `f32` slice (0.0 for an empty slice).
+pub fn max_abs_f32(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// `y[i] += a * x[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy_f32(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy_f32 length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Signed 8-bit dot product with `i32` accumulation.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as i32) * (y as i32))
+        .sum()
+}
+
+/// Quantizes a block of `f32` to `i8` with a symmetric scale `max|x| / 127`.
+///
+/// Returns the scale; `x ≈ scale * q`. A zero block returns scale `0.0` and
+/// all-zero codes. This mirrors llama.cpp's `Q8_0` activation quantization
+/// and T-MAC's dynamic *table quantization* (paper §3.3).
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn quantize_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_i8 length mismatch");
+    let amax = max_abs_f32(src);
+    if amax == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    let scale = amax / 127.0;
+    let inv = 127.0 / amax;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (s * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tbl16_basic() {
+        let mut table = [0i8; 16];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (i as i8) - 8;
+        }
+        let idx = [0u8, 15, 7, 8];
+        let mut out = [0i8; 4];
+        tbl16(&table, &idx, &mut out);
+        assert_eq!(out, [-8, 7, -1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tbl16_rejects_large_index() {
+        let table = [0i8; 16];
+        let mut out = [0i8; 1];
+        tbl16(&table, &[16], &mut out);
+    }
+
+    #[test]
+    fn avg_matches_definition() {
+        assert_eq!(avg_u8(0, 0), 0);
+        assert_eq!(avg_u8(0, 1), 1); // rounds up
+        assert_eq!(avg_u8(255, 255), 255);
+        assert_eq!(avg_u8(10, 20), 15);
+        assert_eq!(avg_u8(10, 21), 16);
+    }
+
+    #[test]
+    fn nibble_roundtrip() {
+        let lo = [1u8, 2, 3, 15];
+        let hi = [4u8, 5, 6, 0];
+        let mut packed = [0u8; 4];
+        pack_nibbles(&lo, &hi, &mut packed);
+        let (mut l2, mut h2) = ([0u8; 4], [0u8; 4]);
+        unpack_nibbles(&packed, &mut l2, &mut h2);
+        assert_eq!(lo, l2);
+        assert_eq!(hi, h2);
+    }
+
+    #[test]
+    fn quantize_i8_roundtrip_error_bounded() {
+        let src: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.37).collect();
+        let mut q = vec![0i8; 32];
+        let s = quantize_i8(&src, &mut q);
+        for (x, &qi) in src.iter().zip(&q) {
+            let r = s * qi as f32;
+            assert!((x - r).abs() <= s * 0.5 + 1e-6, "x={x} r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn quantize_i8_zero_block() {
+        let src = [0.0f32; 8];
+        let mut q = [1i8; 8];
+        let s = quantize_i8(&src, &mut q);
+        assert_eq!(s, 0.0);
+        assert!(q.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot_f32(&a, &b), 32.0);
+        let mut y = [1.0f32; 3];
+        axpy_f32(&mut y, 2.0, &a);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn dot_i8_signs() {
+        let a = [-128i8, 127, 1];
+        let b = [1i8, -1, 0];
+        assert_eq!(dot_i8(&a, &b), -128 - 127);
+    }
+}

@@ -1,0 +1,364 @@
+//! Fixed-size scoped thread pool with static chunk scheduling.
+//!
+//! This is the parallel substrate of the T-MAC reproduction. The paper (§4,
+//! "Parallelism") generates kernels that each execute "computations of a
+//! single threadblock" and assigns those blocks to the threads of the host
+//! framework's pool (llama.cpp's threadpool after integration, TVM's before).
+//! This crate plays that role:
+//!
+//! * a **fixed set of persistent workers** created once (thread spawn is far
+//!   too expensive per token, let alone per GEMV);
+//! * **broadcast execution**: every dispatch runs one closure on all workers,
+//!   passing each its thread index — the closure picks its thread block
+//!   (M-range, tile range, ...) from the index, which is exactly the paper's
+//!   static threadblock assignment;
+//! * **no allocation per dispatch** and no locking inside the workers' hot
+//!   path beyond one mutex acquisition per dispatch.
+//!
+//! # Examples
+//!
+//! ```
+//! use tmac_threadpool::ThreadPool;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let pool = ThreadPool::new(4);
+//! let sum = AtomicUsize::new(0);
+//! pool.run(|tid, nthreads| {
+//!     assert_eq!(nthreads, 4);
+//!     sum.fetch_add(tid, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 0 + 1 + 2 + 3);
+//! ```
+
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+
+/// Type-erased job: invoked as `job(worker_index)`.
+///
+/// The two raw-pointer words are the data pointer and vtable pointer of a
+/// `&(dyn Fn(usize) + Sync)` whose lifetime has been erased; see the safety
+/// argument in [`ThreadPool::run`].
+type RawJob = (*const (), *const ());
+
+struct Shared {
+    lock: Mutex<JobSlot>,
+    start: Condvar,
+    done: Condvar,
+}
+
+struct JobSlot {
+    /// Monotonic dispatch counter; workers run a job exactly once per bump.
+    generation: u64,
+    /// Erased `&dyn Fn(usize)`; valid only while `remaining > 0`.
+    job: Option<RawJob>,
+    /// Workers still running the current generation.
+    remaining: usize,
+    /// Set once to ask workers to exit.
+    shutdown: bool,
+}
+
+// SAFETY: `JobSlot.job` holds an erased `&(dyn Fn(usize) + Sync)`. It is only
+// dereferenced by workers between the dispatcher storing it and the
+// dispatcher observing `remaining == 0`, during which the referent is kept
+// alive by the dispatching call frame (`run` blocks until completion). The
+// `Sync` bound on the closure makes concurrent calls from multiple workers
+// sound.
+unsafe impl Send for JobSlot {}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Dropping the pool joins all workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes jobs on `n_threads` threads.
+    ///
+    /// `n_threads` counts the *calling* thread too: a pool of size `n`
+    /// spawns `n - 1` workers and runs the last share of every job inline on
+    /// the dispatcher, so `ThreadPool::new(1)` spawns nothing and runs
+    /// everything inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0, "thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            lock: Mutex::new(JobSlot {
+                generation: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(n_threads.saturating_sub(1));
+        for tid in 1..n_threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tmac-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        ThreadPool {
+            shared,
+            handles,
+            n_threads,
+        }
+    }
+
+    /// Number of threads (including the dispatcher) jobs run on.
+    pub fn threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Runs `f(thread_index, n_threads)` once on every thread, blocking until
+    /// all invocations return.
+    ///
+    /// Thread index 0 is the calling thread. The closure must partition its
+    /// own work from the index (static threadblock scheduling); see
+    /// [`ThreadPool::chunks`] for the common contiguous-range split.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if self.n_threads == 1 {
+            f(0, 1);
+            return;
+        }
+        let n = self.n_threads;
+        let call = |tid: usize| f(tid, n);
+        let job_ref: &(dyn Fn(usize) + Sync) = &call;
+        // Erase the lifetime for storage in the shared slot.
+        // SAFETY: a `&dyn Fn` reference is exactly two pointer-sized words
+        // (data, vtable); transmuting to a pair of raw pointers and back is
+        // the documented representation of trait-object references. The
+        // erased reference never outlives this call frame (see below).
+        let raw: RawJob = unsafe { std::mem::transmute(job_ref) };
+        {
+            let mut slot = self.shared.lock.lock();
+            debug_assert_eq!(slot.remaining, 0, "dispatch while a job is running");
+            slot.job = Some(raw);
+            slot.remaining = n - 1;
+            slot.generation += 1;
+            self.shared.start.notify_all();
+        }
+        // The dispatcher runs thread block 0 itself.
+        call(0);
+        let mut slot = self.shared.lock.lock();
+        while slot.remaining != 0 {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.job = None;
+        // `raw` (and thus `call`/`f`) outlives all worker dereferences: they
+        // all finished before `remaining` hit 0.
+    }
+
+    /// Splits `0..total` into per-thread contiguous chunks and runs
+    /// `f(range)` on each thread with its chunk.
+    ///
+    /// Chunk boundaries are aligned to `granule` (except possibly the final
+    /// chunk end at `total`), so kernels can assume their range starts on a
+    /// tile boundary. Threads whose chunk is empty do not invoke `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0`.
+    pub fn chunks<F>(&self, total: usize, granule: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        assert!(granule > 0, "granule must be positive");
+        self.run(|tid, n| {
+            let r = chunk_range(total, granule, tid, n);
+            if !r.is_empty() {
+                f(r);
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.lock.lock();
+            slot.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let raw = {
+            let mut slot = shared.lock.lock();
+            while !slot.shutdown && slot.generation == seen_generation {
+                shared.start.wait(&mut slot);
+            }
+            if slot.shutdown {
+                return;
+            }
+            seen_generation = slot.generation;
+            slot.job.expect("job present for new generation")
+        };
+        // SAFETY: `raw` was produced from a live `&(dyn Fn(usize) + Sync)` in
+        // `run`, which keeps the closure alive until `remaining` reaches 0;
+        // we decrement only after the call returns.
+        let job: &(dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(raw) };
+        job(tid);
+        let mut slot = shared.lock.lock();
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Computes thread `tid`'s contiguous chunk of `0..total` out of `n` threads,
+/// with boundaries aligned to `granule`.
+pub fn chunk_range(total: usize, granule: usize, tid: usize, n: usize) -> Range<usize> {
+    let tiles = total.div_ceil(granule);
+    let per = tiles.div_ceil(n);
+    let start_tile = (tid * per).min(tiles);
+    let end_tile = ((tid + 1) * per).min(tiles);
+    (start_tile * granule).min(total)..(end_tile * granule).min(total)
+}
+
+/// A process-wide pool sized to the machine's available parallelism.
+///
+/// Experiments that want explicit control construct their own pools; library
+/// entry points default to this one.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(|tid, n| {
+            assert_eq!((tid, n), (0, 1));
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn all_threads_participate() {
+        let pool = ThreadPool::new(4);
+        let mask = AtomicUsize::new(0);
+        pool.run(|tid, _| {
+            mask.fetch_or(1 << tid, Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn sequential_dispatches_reuse_workers() {
+        let pool = ThreadPool::new(3);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_, _| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let total = 1003;
+        let marks: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        pool.chunks(total, 32, |r| {
+            assert!(r.start % 32 == 0, "chunk start not tile-aligned");
+            for i in r {
+                marks[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chunk_range_partitions() {
+        for total in [0usize, 1, 31, 32, 33, 1000, 4096] {
+            for granule in [1usize, 4, 32] {
+                for n in 1..6 {
+                    let mut covered = 0;
+                    let mut prev_end = 0;
+                    for tid in 0..n {
+                        let r = chunk_range(total, granule, tid, n);
+                        assert!(r.start <= r.end);
+                        if !r.is_empty() {
+                            assert_eq!(r.start, prev_end, "gap before chunk {tid}");
+                            prev_end = r.end;
+                            covered += r.len();
+                        }
+                    }
+                    assert_eq!(covered, total, "total={total} granule={granule} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_through_shared_slices() {
+        // The canonical kernel pattern: each thread writes a disjoint range
+        // of the output through a raw pointer wrapper.
+        struct SendPtr(*mut f32);
+        // SAFETY: threads write disjoint ranges (asserted by construction).
+        unsafe impl Sync for SendPtr {}
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0.0f32; 128];
+        let ptr = SendPtr(out.as_mut_ptr());
+        // Capture the whole wrapper (edition-2021 closures would otherwise
+        // capture the raw-pointer field, which is not `Sync`).
+        let ptr = &ptr;
+        pool.chunks(128, 8, |r| {
+            for i in r {
+                // SAFETY: ranges from `chunks` are disjoint; `out` outlives
+                // the dispatch (`run` blocks until completion).
+                unsafe { *ptr.0.add(i) = i as f32 };
+            }
+        });
+        let _ = ptr;
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let pool = global();
+        let hits = AtomicUsize::new(0);
+        pool.run(|_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), pool.threads());
+    }
+}

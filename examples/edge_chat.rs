@@ -1,0 +1,47 @@
+//! Edge "chat" scenario: the paper's motivating workload — running a
+//! low-bit LLM on a CPU-only device. Builds a small llama-architecture
+//! model with 2-bit weights, generates a continuation with T-MAC kernels,
+//! and reports tokens/s against the dequantization baseline.
+//!
+//! Run with `cargo run --release --example edge_chat`.
+
+use tmac::llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
+use tmac::threadpool::ThreadPool;
+
+fn main() {
+    // A laptop-scale model: real llama wiring (RoPE, GQA, SwiGLU), scaled
+    // dimensions so the demo runs in seconds.
+    let cfg = ModelConfig {
+        name: "edge-chat-demo".into(),
+        dim: 512,
+        n_layers: 4,
+        n_heads: 8,
+        n_kv_heads: 4,
+        ffn_dim: 1376,
+        vocab: 2048,
+        seq_max: 128,
+        rope_theta: 10000.0,
+    };
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let prompt = [1u32, 42, 7, 100];
+
+    for (label, kind) in [
+        ("llama.cpp-style dequant", BackendKind::Dequant),
+        ("T-MAC LUT kernels", BackendKind::Tmac(tmac::core::KernelOpts::tmac())),
+    ] {
+        let model =
+            Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 1234).expect("build model");
+        let mut engine = Engine::new(model);
+        let tokens = engine.generate(&prompt, 24, &pool).expect("generate");
+        let stats = engine.measure_decode(24, &pool).expect("measure");
+        println!("{label}:");
+        println!("  generated: {tokens:?}");
+        println!("  decode throughput: {:.1} tokens/s\n", stats.tokens_per_sec());
+    }
+    println!(
+        "Both backends run the same 2-bit weights; T-MAC replaces the\n\
+         dequantize-multiply inner loop with table lookups (paper Figure 1)."
+    );
+}

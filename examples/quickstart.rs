@@ -1,0 +1,41 @@
+//! Quickstart: quantize a weight matrix to 2 bits and multiply it with
+//! T-MAC's LUT kernels — no dequantization anywhere.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tmac::core::{KernelOpts, TmacLinear};
+use tmac::quant::rtn;
+use tmac::threadpool::ThreadPool;
+
+fn main() {
+    // A toy linear layer: 256 outputs, 512 inputs.
+    let (m, k) = (256usize, 512usize);
+    let weights: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
+
+    // Offline: quantize to 2 bits (per-32 group scales), then preprocess
+    // into T-MAC's bit-serial, tiled, permuted, interleaved layout.
+    let qm = rtn::quantize(&weights, m, k, 2, 32).expect("quantize");
+    println!(
+        "quantized {}x{k} to 2 bits: {} KiB packed (f32 would be {} KiB)",
+        m,
+        qm.packed_bytes() / 1024,
+        m * k * 4 / 1024
+    );
+    let layer = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
+
+    // Online: one GEMV. Activations stay in f32; the kernel builds 16-entry
+    // lookup tables from them and replaces every multiply with a table
+    // lookup plus an add.
+    let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.11).cos()).collect();
+    let pool = ThreadPool::new(2);
+    let mut out = vec![0f32; m];
+    layer.gemv(&act, &mut out, &pool).expect("gemv");
+
+    // Compare against the dequantized reference.
+    let reference = tmac::core::kernel::scalar::gemv_reference(&qm, &act);
+    let nmse = tmac::simd::f32ops::nmse(&out, &reference);
+    println!("out[0..4] = {:?}", &out[..4]);
+    println!("NMSE vs dequantized reference: {nmse:.2e} (table quantization only)");
+    assert!(nmse < 1e-3);
+    println!("ok");
+}

@@ -1,0 +1,36 @@
+//! # tmac — T-MAC reproduction umbrella crate
+//!
+//! Re-exports the whole workspace: the LUT-based mixed-precision GEMM kernel
+//! library (*T-MAC: CPU Renaissance via Table Lookup for Low-Bit LLM
+//! Deployment on Edge*, EuroSys 2025) and every substrate built for it.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] (`tmac-core`) | the paper's contribution: bit-serial LUT mpGEMM/mpGEMV kernels |
+//! | [`simd`] (`tmac-simd`) | runtime-dispatched lookup/aggregation primitives (Table 1) |
+//! | [`quant`] (`tmac-quant`) | weight quantizers and llama.cpp-style block formats |
+//! | [`baseline`] (`tmac-baseline`) | dequantization-based comparator kernels |
+//! | [`threadpool`] (`tmac-threadpool`) | static-threadblock parallel substrate |
+//! | [`llm`] (`tmac-llm`) | llama-architecture inference engine with pluggable backends |
+//! | [`devices`] (`tmac-devices`) | edge-device rooflines and the energy model |
+//!
+//! # Examples
+//!
+//! ```
+//! use tmac::core::{KernelOpts, TmacLinear};
+//! use tmac::threadpool::ThreadPool;
+//!
+//! let weights: Vec<f32> = (0..32 * 64).map(|i| (i as f32 * 0.1).sin()).collect();
+//! let layer = TmacLinear::from_f32(&weights, 32, 64, 2, 32, KernelOpts::tmac()).unwrap();
+//! let act = vec![1.0f32; 64];
+//! let mut out = vec![0f32; 32];
+//! layer.gemv(&act, &mut out, &ThreadPool::new(1)).unwrap();
+//! ```
+
+pub use tmac_baseline as baseline;
+pub use tmac_core as core;
+pub use tmac_devices as devices;
+pub use tmac_llm as llm;
+pub use tmac_quant as quant;
+pub use tmac_simd as simd;
+pub use tmac_threadpool as threadpool;

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * Eq. 1 — bit-serial reconstruction is exact for arbitrary codes;
+//! * the offline layouts (flat / permuted / interleaved) are bijective
+//!   re-arrangements of the same indices;
+//! * mirror consolidation's sign identity;
+//! * table quantization error is bounded by half a step;
+//! * the whole GEMV is linear in the activations;
+//! * thread-pool chunking partitions exactly.
+
+use proptest::prelude::*;
+use tmac::core::kernel::scalar::gemv_reference;
+use tmac::core::plan::index_from_codes;
+use tmac::core::table::{raw_table, ActTables, TABLE_LEN};
+use tmac::core::{KernelOpts, TmacLinear, WeightPlan};
+use tmac::quant::QuantizedMatrix;
+use tmac::threadpool::{chunk_range, ThreadPool};
+
+fn arb_codes(m: usize, k: usize, bits: u8) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..(1 << bits), m * k)
+}
+
+fn arb_scales(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.01f32..2.0, n)
+}
+
+fn matrix(codes: Vec<u8>, scales: Vec<f32>, m: usize, k: usize, bits: u8) -> QuantizedMatrix {
+    QuantizedMatrix {
+        rows: m,
+        cols: k,
+        bits,
+        group_size: 32,
+        codes,
+        scales,
+        zero: QuantizedMatrix::default_zero(bits),
+        }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. 1: Σ_i 2^i · b_i reconstructs every code, bit-exactly, through
+    /// the plan's per-bit indices.
+    #[test]
+    fn bit_serial_reconstruction_exact(
+        codes in arb_codes(8, 64, 3),
+        scales in arb_scales(8 * 2),
+    ) {
+        let qm = matrix(codes, scales, 8, 64, 3);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        for row in 0..8 {
+            for kg in 0..16 {
+                for j in 0..4 {
+                    let code = qm.codes[row * 64 + kg * 4 + j];
+                    let mut rebuilt = 0u8;
+                    for bit in 0..3 {
+                        let idx = plan.index(bit, row, kg);
+                        rebuilt |= ((idx >> j) & 1) << bit;
+                    }
+                    prop_assert_eq!(rebuilt, code);
+                }
+            }
+        }
+    }
+
+    /// Every layout stores the same logical indices (bijective permutation).
+    #[test]
+    fn layouts_are_permutations(
+        codes in arb_codes(40, 64, 2),
+        scales in arb_scales(40 * 2),
+        interleave in any::<bool>(),
+    ) {
+        let qm = matrix(codes, scales, 40, 64, 2);
+        let mut opts = KernelOpts::plus_permute();
+        opts.interleave = interleave;
+        opts.tile_k = 32;
+        let perm = WeightPlan::new(&qm, opts).unwrap();
+        let flat = WeightPlan::new(&qm, KernelOpts::plus_table_quant()).unwrap();
+        for bit in 0..2 {
+            for row in 0..40 {
+                for kg in 0..16 {
+                    prop_assert_eq!(
+                        perm.index(bit, row, kg),
+                        flat.index(bit, row, kg)
+                    );
+                    prop_assert_eq!(
+                        flat.index(bit, row, kg),
+                        index_from_codes(&qm, bit, row, kg)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mirror: t[15 - i] == -t[i] for the raw table, and the consolidated
+    /// lookup reproduces the full table.
+    #[test]
+    fn mirror_sign_identity(a in prop::array::uniform4(-3.0f32..3.0)) {
+        let t = raw_table(&a);
+        for i in 0..TABLE_LEN / 2 {
+            prop_assert!((t[i] + t[TABLE_LEN - 1 - i]).abs() < 1e-5);
+        }
+    }
+
+    /// Quantized tables deviate from raw tables by at most half a step.
+    #[test]
+    fn table_quantization_bounded(acts in prop::collection::vec(-2.0f32..2.0, 64)) {
+        let full = ActTables::build(&acts, 32, &KernelOpts::plus_table_quant()).unwrap();
+        for kg in 0..16 {
+            let mut a = [0f32; 4];
+            a.copy_from_slice(&acts[kg * 4..kg * 4 + 4]);
+            let raw = raw_table(&a);
+            let sb = kg / 8;
+            for (i, &r) in raw.iter().enumerate() {
+                let q = full.lookup_f32(kg, i as u8);
+                prop_assert!(
+                    (q - r).abs() <= full.q_scales[sb] * 0.5 + 1e-6,
+                    "kg={} i={} raw={} quant={}", kg, i, r, q
+                );
+            }
+        }
+    }
+
+    /// GEMV is linear in activations: f(αx) == α·f(x) for the *unquantized-
+    /// table* path (table quantization breaks exact homogeneity).
+    #[test]
+    fn gemv_linear_in_activations(
+        codes in arb_codes(32, 32, 2),
+        scales in arb_scales(32),
+        alpha in 0.25f32..4.0,
+    ) {
+        let qm = matrix(codes, scales, 32, 32, 2);
+        let a: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let scaled: Vec<f32> = a.iter().map(|x| x * alpha).collect();
+        let r1 = gemv_reference(&qm, &a);
+        let r2 = gemv_reference(&qm, &scaled);
+        for (x, y) in r1.iter().zip(&r2) {
+            prop_assert!((x * alpha - y).abs() < 1e-2 * (1.0 + y.abs()));
+        }
+    }
+
+    /// The kernel agrees with the dequantized reference for random codes
+    /// (not just RTN-produced ones).
+    #[test]
+    fn kernel_correct_on_arbitrary_codes(
+        codes in arb_codes(32, 64, 4),
+        scales in arb_scales(32 * 2),
+    ) {
+        let qm = matrix(codes, scales, 32, 64, 4);
+        let a: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.21).cos()).collect();
+        let reference = gemv_reference(&qm, &a);
+        let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0f32; 32];
+        tl.gemv(&a, &mut out, &pool).unwrap();
+        let e = tmac::simd::f32ops::nmse(&out, &reference);
+        prop_assert!(e < 5e-3, "nmse {}", e);
+    }
+
+    /// chunk_range partitions [0, total) exactly, for any parameters.
+    #[test]
+    fn chunks_partition_exactly(
+        total in 0usize..5000,
+        granule in 1usize..64,
+        n in 1usize..9,
+    ) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for tid in 0..n {
+            let r = chunk_range(total, granule, tid, n);
+            prop_assert!(r.start <= r.end);
+            if !r.is_empty() {
+                prop_assert_eq!(r.start, prev_end);
+                prop_assert_eq!(r.start % granule, 0);
+                prev_end = r.end;
+                covered += r.len();
+            }
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    /// Nibble pack/unpack round-trips (the Figure 4 interleave primitive).
+    #[test]
+    fn nibble_roundtrip(lo in prop::collection::vec(0u8..16, 16), hi in prop::collection::vec(0u8..16, 16)) {
+        let mut packed = vec![0u8; 16];
+        tmac::simd::scalar::pack_nibbles(&lo, &hi, &mut packed);
+        let (mut l2, mut h2) = (vec![0u8; 16], vec![0u8; 16]);
+        tmac::simd::scalar::unpack_nibbles(&packed, &mut l2, &mut h2);
+        prop_assert_eq!(lo, l2);
+        prop_assert_eq!(hi, h2);
+    }
+}
