@@ -227,9 +227,9 @@ mod tests {
             _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v);
             out
         };
-        for l in 0..32 {
+        for (l, &g) in got.iter().enumerate() {
             let want = if (mask >> l) & 1 == 1 { 0xFF } else { 0 };
-            assert_eq!(got[l], want, "lane {l}");
+            assert_eq!(g, want, "lane {l}");
         }
     }
 }

@@ -22,12 +22,12 @@ pub mod avx2;
 pub mod kernels;
 pub mod sgemm;
 
+use tmac_core::ExecCtx;
 use tmac_quant::formats::{
-    pack_row_q1_0, pack_row_q2_0, pack_row_q3s, pack_row_q4_0, quantize_q8_0, BlockQ1_0,
-    BlockQ2_0, BlockQ3S, BlockQ4_0, QK,
+    pack_row_q1_0, pack_row_q2_0, pack_row_q3s, pack_row_q4_0, quantize_q8_0, BlockQ1_0, BlockQ2_0,
+    BlockQ3S, BlockQ4_0, QK,
 };
 use tmac_quant::{QuantError, QuantizedMatrix};
-use tmac_threadpool::ThreadPool;
 
 /// Packed weight rows in one of the llama.cpp-style formats.
 #[derive(Debug, Clone)]
@@ -161,12 +161,7 @@ impl DequantLinear {
     /// # Errors
     ///
     /// Returns [`QuantError::Shape`] on length mismatches.
-    pub fn gemv(
-        &self,
-        act: &[f32],
-        out: &mut [f32],
-        pool: &ThreadPool,
-    ) -> Result<(), QuantError> {
+    pub fn gemv(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), QuantError> {
         if act.len() != self.cols {
             return Err(QuantError::Shape(format!(
                 "activation length {} != K {}",
@@ -185,7 +180,7 @@ impl DequantLinear {
         let use_avx2 = avx2::available();
         let out_ptr = OutPtr(out.as_mut_ptr());
         let out_ref = &out_ptr;
-        pool.chunks(self.rows, 8, |range| {
+        ctx.pool().chunks(self.rows, 8, |range| {
             for m in range {
                 let v = self.row_dot(m, &aq, use_avx2);
                 // SAFETY: row ranges are disjoint across threads; `out`
@@ -207,7 +202,7 @@ impl DequantLinear {
         act: &[f32],
         n: usize,
         out: &mut [f32],
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<(), QuantError> {
         if act.len() != n * self.cols || out.len() != n * self.rows {
             return Err(QuantError::Shape("gemm_mixed length mismatch".into()));
@@ -215,7 +210,7 @@ impl DequantLinear {
         for ni in 0..n {
             let a = &act[ni * self.cols..(ni + 1) * self.cols];
             let o = &mut out[ni * self.rows..(ni + 1) * self.rows];
-            self.gemv(a, o, pool)?;
+            self.gemv(a, o, ctx)?;
         }
         Ok(())
     }
@@ -227,19 +222,21 @@ mod tests {
     use tmac_quant::rtn;
 
     fn setup(m: usize, k: usize, bits: u8) -> (QuantizedMatrix, Vec<f32>) {
-        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.17).sin() * 0.8).collect();
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32) * 0.17).sin() * 0.8)
+            .collect();
         let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.09).cos()).collect();
         (rtn::quantize(&w, m, k, bits, 32).unwrap(), act)
     }
 
     #[test]
     fn gemv_tracks_f32_reference_all_bits() {
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         for bits in 1..=4u8 {
             let (qm, act) = setup(64, 128, bits);
             let lin = DequantLinear::new(&qm).unwrap();
             let mut out = vec![0f32; 64];
-            lin.gemv(&act, &mut out, &pool).unwrap();
+            lin.gemv(&act, &mut out, &ctx).unwrap();
             // Reference: dequantized weights x f32 activations.
             let d = qm.dequantize();
             let reference: Vec<f32> = (0..64)
@@ -261,14 +258,15 @@ mod tests {
     fn gemm_mixed_matches_gemv_rows() {
         let (qm, _) = setup(32, 64, 2);
         let lin = DequantLinear::new(&qm).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let n = 3;
         let act: Vec<f32> = (0..n * 64).map(|i| ((i as f32) * 0.21).sin()).collect();
         let mut out = vec![0f32; n * 32];
-        lin.gemm_mixed(&act, n, &mut out, &pool).unwrap();
+        lin.gemm_mixed(&act, n, &mut out, &ctx).unwrap();
         for ni in 0..n {
             let mut row = vec![0f32; 32];
-            lin.gemv(&act[ni * 64..(ni + 1) * 64], &mut row, &pool).unwrap();
+            lin.gemv(&act[ni * 64..(ni + 1) * 64], &mut row, &ctx)
+                .unwrap();
             assert_eq!(&out[ni * 32..(ni + 1) * 32], &row[..]);
         }
     }
@@ -284,10 +282,10 @@ mod tests {
     fn rejects_length_mismatches() {
         let (qm, act) = setup(32, 64, 4);
         let lin = DequantLinear::new(&qm).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut out = vec![0f32; 32];
-        assert!(lin.gemv(&act[..32], &mut out, &pool).is_err());
+        assert!(lin.gemv(&act[..32], &mut out, &ctx).is_err());
         let mut short = vec![0f32; 31];
-        assert!(lin.gemv(&act, &mut short, &pool).is_err());
+        assert!(lin.gemv(&act, &mut short, &ctx).is_err());
     }
 }

@@ -8,9 +8,9 @@
 //! DRAM exactly once and the activation block stays cache-resident.
 
 use crate::DequantLinear;
+use tmac_core::ExecCtx;
 use tmac_quant::QuantError;
 use tmac_simd::f32ops;
-use tmac_threadpool::ThreadPool;
 
 /// `K`-block length for the cache-blocked SGEMM.
 const KB: usize = 256;
@@ -34,7 +34,7 @@ pub fn gemm_blas(
     act: &[f32],
     n: usize,
     out: &mut [f32],
-    pool: &ThreadPool,
+    ctx: &ExecCtx,
 ) -> Result<(), QuantError> {
     let (m_total, k_total) = (lin.rows(), lin.cols());
     if n == 0 {
@@ -52,10 +52,12 @@ pub fn gemm_blas(
     let qm = lin.quantized();
     let out_ptr = OutPtr(out.as_mut_ptr());
     let out_ref = &out_ptr;
-    pool.chunks(m_total, 8, |rows| {
-        // Per-thread accumulator: rows.len() x n.
-        let mut acc = vec![0f32; rows.len() * n];
-        let mut wrow = vec![0f32; k_total];
+    ctx.pool().chunks(m_total, 8, |rows| {
+        // Per-thread workspace from the context's scratch arena: decode
+        // GEMMs run once per prefill block, so the buffers recycle across
+        // blocks instead of reallocating.
+        let mut acc = ctx.take_buf(rows.len() * n);
+        let mut wrow = ctx.take_buf(k_total);
         let mut k0 = 0;
         while k0 < k_total {
             let kb = KB.min(k_total - k0);
@@ -76,13 +78,21 @@ pub fn gemm_blas(
                 unsafe { *out_ref.0.add(ni * m_total + m) = acc[ri * n + ni] };
             }
         }
+        ctx.put_buf(acc);
+        ctx.put_buf(wrow);
     });
     Ok(())
 }
 
 /// Dequantizes `len` weights of row `m` starting at column `k0`.
-fn dequant_segment(qm: &tmac_quant::QuantizedMatrix, m: usize, k0: usize, len: usize, out: &mut [f32]) {
-    debug_assert!(k0 % qm.group_size == 0);
+fn dequant_segment(
+    qm: &tmac_quant::QuantizedMatrix,
+    m: usize,
+    k0: usize,
+    len: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(k0.is_multiple_of(qm.group_size));
     let gpr = qm.cols / qm.group_size;
     let codes = &qm.codes[m * qm.cols + k0..m * qm.cols + k0 + len];
     for (j, &c) in codes.iter().enumerate() {
@@ -102,10 +112,10 @@ mod tests {
         let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.13).sin()).collect();
         let qm = rtn::quantize(&w, m, k, 4, 32).unwrap();
         let lin = DequantLinear::new(&qm).unwrap();
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         let act: Vec<f32> = (0..n * k).map(|i| ((i as f32) * 0.07).cos()).collect();
         let mut blas = vec![0f32; n * m];
-        gemm_blas(&lin, &act, n, &mut blas, &pool).unwrap();
+        gemm_blas(&lin, &act, n, &mut blas, &ctx).unwrap();
         // Reference through dequantized weights (f32 exact, no act quant).
         let d = qm.dequantize();
         for ni in 0..n {
@@ -129,11 +139,11 @@ mod tests {
         let w: Vec<f32> = (0..32 * 64).map(|i| i as f32 * 0.01).collect();
         let qm = rtn::quantize(&w, 32, 64, 2, 32).unwrap();
         let lin = DequantLinear::new(&qm).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let act = vec![0f32; 2 * 64];
         let mut out = vec![0f32; 2 * 32];
-        assert!(gemm_blas(&lin, &act, 0, &mut out, &pool).is_err());
-        assert!(gemm_blas(&lin, &act[..64], 2, &mut out, &pool).is_err());
+        assert!(gemm_blas(&lin, &act, 0, &mut out, &ctx).is_err());
+        assert!(gemm_blas(&lin, &act[..64], 2, &mut out, &ctx).is_err());
     }
 
     #[test]
@@ -142,12 +152,12 @@ mod tests {
         let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.19).sin()).collect();
         let qm = rtn::quantize(&w, m, k, 2, 32).unwrap();
         let lin = DequantLinear::new(&qm).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.11).cos()).collect();
         let mut a = vec![0f32; m];
         let mut b = vec![0f32; m];
-        lin.gemv(&act, &mut a, &pool).unwrap();
-        gemm_blas(&lin, &act, 1, &mut b, &pool).unwrap();
+        lin.gemv(&act, &mut a, &ctx).unwrap();
+        gemm_blas(&lin, &act, 1, &mut b, &ctx).unwrap();
         // gemv quantizes activations; blas does not — close but not equal.
         for i in 0..m {
             assert!((a[i] - b[i]).abs() < 0.05 * (1.0 + b[i].abs()), "m={i}");

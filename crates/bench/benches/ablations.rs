@@ -1,22 +1,15 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! mirror consolidation, interleaving, fast aggregation, and `tile_k`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use tmac_bench::{gaussian, quantized, BENCH_K, BENCH_M};
-use tmac_core::{gemv, KernelOpts, WeightPlan};
-use tmac_threadpool::ThreadPool;
+use tmac_bench::{gaussian, quantized, BenchGroup, BENCH_K, BENCH_M};
+use tmac_core::{gemv, ExecCtx, KernelOpts, WeightPlan};
 
-fn bench_ablations(c: &mut Criterion) {
-    let pool = ThreadPool::new(1);
+fn main() {
+    let ctx = ExecCtx::new(1);
     let act = gaussian(BENCH_K, 19);
     let mut out = vec![0f32; BENCH_M];
     let qm = quantized(BENCH_M, BENCH_K, 2, 21);
-    let mut group = c.benchmark_group("ablations");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
+    let mut group = BenchGroup::new("ablations");
 
     let mut no_il = KernelOpts::tmac();
     no_il.interleave = false;
@@ -34,12 +27,9 @@ fn bench_ablations(c: &mut Criterion) {
     ];
     for (name, opts) in cases {
         let plan = WeightPlan::new(&qm, opts).expect("plan");
-        group.bench_with_input(BenchmarkId::new("variant", name), &name, |b, _| {
-            b.iter(|| gemv::mpgemv(&plan, &act, &mut out, &pool).expect("gemv"));
+        group.bench(name, || {
+            gemv::mpgemv(&plan, &act, &mut out, &ctx).expect("gemv");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,31 +1,23 @@
 //! Figure 10 bench: the cumulative optimization ladder
 //! (TM-base → +TQ → +Tiling → +Perm. → +Tuning → T-MAC → TM+FA).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use tmac_bench::{gaussian, quantized, BENCH_K, BENCH_M};
-use tmac_core::{gemv, KernelOpts, WeightPlan};
-use tmac_threadpool::ThreadPool;
+use tmac_bench::{gaussian, quantized, BenchGroup, BENCH_K, BENCH_M};
+use tmac_core::{gemv, ExecCtx, KernelOpts, WeightPlan};
 
-fn bench_breakdown(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let pool = ThreadPool::new(threads);
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let ctx = ExecCtx::new(threads);
     let act = gaussian(BENCH_K, 11);
     let mut out = vec![0f32; BENCH_M];
     let qm = quantized(BENCH_M, BENCH_K, 4, 13);
-    let mut group = c.benchmark_group("fig10_breakdown");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
+    let mut group = BenchGroup::new("fig10_breakdown");
     for (name, opts) in KernelOpts::breakdown_ladder() {
         let plan = WeightPlan::new(&qm, opts).expect("plan");
-        group.bench_with_input(BenchmarkId::new("ladder", name), &name, |b, _| {
-            b.iter(|| gemv::mpgemv(&plan, &act, &mut out, &pool).expect("gemv"));
+        group.bench(name, || {
+            gemv::mpgemv(&plan, &act, &mut out, &ctx).expect("gemv");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_breakdown);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! Figure 8 bench: one transformer decode step (tiny config) per backend —
 //! the end-to-end path the throughput experiments integrate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use tmac_bench::BenchGroup;
+use tmac_core::ExecCtx;
 use tmac_llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
-use tmac_threadpool::ThreadPool;
 
-fn bench_decode_step(c: &mut Criterion) {
-    let pool = ThreadPool::new(1);
+fn main() {
+    let ctx = ExecCtx::new(1);
     let cfg = ModelConfig {
         name: "bench-mini".into(),
         dim: 256,
@@ -19,11 +19,8 @@ fn bench_decode_step(c: &mut Criterion) {
         seq_max: 64,
         rope_theta: 10000.0,
     };
-    let mut group = c.benchmark_group("fig8_decode_step");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut group = BenchGroup::new("fig8_decode_step");
+    group.measurement_time(Duration::from_secs(1));
     for (name, kind) in [
         ("f32", BackendKind::F32),
         ("llama_cpp", BackendKind::Dequant),
@@ -31,20 +28,17 @@ fn bench_decode_step(c: &mut Criterion) {
     ] {
         let model = Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 3).expect("model");
         let mut engine = Engine::new(model);
-        group.bench_with_input(BenchmarkId::new("backend", name), &name, |b, _| {
-            let mut pos = 0usize;
-            b.iter(|| {
-                if pos + 1 >= cfg.seq_max {
-                    engine.reset();
-                    pos = 0;
-                }
-                let _ = engine.step(1 + (pos as u32 % 100), pos, &pool).expect("step");
-                pos += 1;
-            });
+        let mut pos = 0usize;
+        group.bench(name, || {
+            if pos + 1 >= cfg.seq_max {
+                engine.reset();
+                pos = 0;
+            }
+            let _ = engine
+                .step(1 + (pos as u32 % 100), pos, &ctx)
+                .expect("step");
+            pos += 1;
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_decode_step);
-criterion_main!(benches);

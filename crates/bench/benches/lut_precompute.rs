@@ -2,16 +2,14 @@
 //! and without the §3.3 compressions — mirror consolidation halves the
 //! entries built, table quantization adds the i8 rounding pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use tmac_bench::gaussian;
+use tmac_bench::{black_box, gaussian, BenchGroup};
 use tmac_core::{ActTables, KernelOpts};
 
-fn bench_precompute(c: &mut Criterion) {
+fn main() {
     let act = gaussian(4096, 17);
-    let mut group = c.benchmark_group("lut_precompute");
+    let mut group = BenchGroup::new("lut_precompute");
     group
-        .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(700));
     let cases: [(&str, KernelOpts); 4] = [
@@ -21,12 +19,9 @@ fn bench_precompute(c: &mut Criterion) {
         ("quantized_fa", KernelOpts::tmac_fast_aggregation()),
     ];
     for (name, opts) in cases {
-        group.bench_with_input(BenchmarkId::new("build", name), &name, |b, _| {
-            b.iter(|| ActTables::build(&act, 32, &opts).expect("tables"));
+        group.bench(name, || {
+            black_box(ActTables::build(&act, 32, &opts).expect("tables"));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_precompute);
-criterion_main!(benches);

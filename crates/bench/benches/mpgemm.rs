@@ -1,36 +1,30 @@
 //! Figure 7 bench: mpGEMM (batched sequence), T-MAC vs llama.cpp (BLAS).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tmac_baseline::{sgemm, DequantLinear};
-use tmac_bench::{gaussian, quantized, BENCH_K, BENCH_M};
-use tmac_core::{KernelOpts, TmacLinear};
-use tmac_threadpool::ThreadPool;
+use tmac_bench::{gaussian, quantized, BenchGroup, BENCH_K, BENCH_M};
+use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
 
-fn bench_mpgemm(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let pool = ThreadPool::new(threads);
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let ctx = ExecCtx::new(threads);
     let n = 32usize;
     let act = gaussian(n * BENCH_K, 7);
     let mut out = vec![0f32; n * BENCH_M];
-    let mut group = c.benchmark_group("fig7_mpgemm");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+    let mut group = BenchGroup::new("fig7_mpgemm");
+    group.measurement_time(Duration::from_secs(2));
     for bits in [2u8, 4] {
         let qm = quantized(BENCH_M, BENCH_K, bits, 9);
         let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
         let bl = DequantLinear::new(&qm).expect("pack");
-        group.bench_with_input(BenchmarkId::new("tmac", bits), &bits, |b, _| {
-            b.iter(|| tl.gemm(&act, n, &mut out, &pool).expect("gemm"));
+        group.bench(&format!("tmac/{bits}"), || {
+            tl.gemm(&act, n, &mut out, &ctx).expect("gemm");
         });
-        group.bench_with_input(BenchmarkId::new("llama_cpp_blas", bits), &bits, |b, _| {
-            b.iter(|| sgemm::gemm_blas(&bl, &act, n, &mut out, &pool).expect("gemm"));
+        group.bench(&format!("llama_cpp_blas/{bits}"), || {
+            sgemm::gemm_blas(&bl, &act, n, &mut out, &ctx).expect("gemm");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_mpgemm);
-criterion_main!(benches);

@@ -1,34 +1,24 @@
 //! Figure 6 bench: mpGEMV latency across bit-widths, T-MAC vs llama.cpp.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use tmac_baseline::DequantLinear;
-use tmac_bench::{gaussian, quantized, BENCH_K, BENCH_M};
-use tmac_core::{KernelOpts, TmacLinear};
-use tmac_threadpool::ThreadPool;
+use tmac_bench::{gaussian, quantized, BenchGroup, BENCH_K, BENCH_M};
+use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
 
-fn bench_mpgemv(c: &mut Criterion) {
-    let pool = ThreadPool::new(1);
+fn main() {
+    let ctx = ExecCtx::new(1);
     let act = gaussian(BENCH_K, 3);
     let mut out = vec![0f32; BENCH_M];
-    let mut group = c.benchmark_group("fig6_mpgemv");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
+    let mut group = BenchGroup::new("fig6_mpgemv");
     for bits in 1..=4u8 {
         let qm = quantized(BENCH_M, BENCH_K, bits, 5);
         let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
         let bl = DequantLinear::new(&qm).expect("pack");
-        group.bench_with_input(BenchmarkId::new("tmac", bits), &bits, |b, _| {
-            b.iter(|| tl.gemv(&act, &mut out, &pool).expect("gemv"));
+        group.bench(&format!("tmac/{bits}"), || {
+            tl.gemv(&act, &mut out, &ctx).expect("gemv");
         });
-        group.bench_with_input(BenchmarkId::new("llama_cpp", bits), &bits, |b, _| {
-            b.iter(|| bl.gemv(&act, &mut out, &pool).expect("gemv"));
+        group.bench(&format!("llama_cpp/{bits}"), || {
+            bl.gemv(&act, &mut out, &ctx).expect("gemv");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_mpgemv);
-criterion_main!(benches);

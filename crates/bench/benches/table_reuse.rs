@@ -1,0 +1,82 @@
+//! Shared-table caching bench: per-layer decode with and without the
+//! `ExecCtx` activation-table cache.
+//!
+//! One decode step of a llama-style layer runs five projections over two
+//! distinct activations — QKV over the attention-normed input, gate/up over
+//! the FFN-normed input (wo and w2 consume their own activations and are
+//! kept out so the bench isolates the *sharable* work). Without the cache
+//! each projection rebuilds its tables (5 builds); with it, the layer does
+//! 2 builds and 3 lookups. The delta is the decode-path win of the unified
+//! execution-context API.
+
+use std::time::Duration;
+use tmac_bench::{gaussian, quantized, BenchGroup};
+use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
+
+fn main() {
+    // Llama-7B-shaped layer, scaled down 2x to keep the suite fast:
+    // dim 2048, ffn 5504, 2-bit weights.
+    let (dim, ffn, bits) = (2048usize, 5504usize, 2u8);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let ctx = ExecCtx::new(threads);
+
+    let opts = KernelOpts::tmac();
+    let wq = TmacLinear::new(&quantized(dim, dim, bits, 1), opts).expect("wq");
+    let wk = TmacLinear::new(&quantized(dim, dim, bits, 2), opts).expect("wk");
+    let wv = TmacLinear::new(&quantized(dim, dim, bits, 3), opts).expect("wv");
+    let w1 = TmacLinear::new(&quantized(ffn, dim, bits, 4), opts).expect("w1");
+    let w3 = TmacLinear::new(&quantized(ffn, dim, bits, 5), opts).expect("w3");
+
+    let attn_in = gaussian(dim, 10);
+    let ffn_in = gaussian(dim, 11);
+    let mut q = vec![0f32; dim];
+    let mut k = vec![0f32; dim];
+    let mut v = vec![0f32; dim];
+    let mut gate = vec![0f32; ffn];
+    let mut up = vec![0f32; ffn];
+
+    let mut group = BenchGroup::new("table_reuse");
+    group.measurement_time(Duration::from_secs(2));
+
+    let fresh = group.bench("layer_fresh_tables", || {
+        // The pre-redesign path: every projection rebuilds its tables.
+        wq.gemv(&attn_in, &mut q, &ctx).expect("wq");
+        wk.gemv(&attn_in, &mut k, &ctx).expect("wk");
+        wv.gemv(&attn_in, &mut v, &ctx).expect("wv");
+        w1.gemv(&ffn_in, &mut gate, &ctx).expect("w1");
+        w3.gemv(&ffn_in, &mut up, &ctx).expect("w3");
+    });
+
+    let shared = group.bench("layer_shared_tables", || {
+        // The ExecCtx hot path: QKV share one build, gate/up share another.
+        ctx.next_activation();
+        wq.gemv_cached(&attn_in, &mut q, &ctx).expect("wq");
+        wk.gemv_cached(&attn_in, &mut k, &ctx).expect("wk");
+        wv.gemv_cached(&attn_in, &mut v, &ctx).expect("wv");
+        ctx.next_activation();
+        w1.gemv_cached(&ffn_in, &mut gate, &ctx).expect("w1");
+        w3.gemv_cached(&ffn_in, &mut up, &ctx).expect("w3");
+    });
+
+    // Isolate the precompute itself for context: one table build.
+    let plan_only = TmacLinear::new(&quantized(dim, dim, bits, 6), opts).expect("plan");
+    group.bench("single_table_build", || {
+        let t = plan_only.tables(&attn_in).expect("tables");
+        std::hint::black_box(t);
+    });
+    group.finish();
+
+    let stats = ctx.table_stats();
+    println!(
+        "table cache: {} hits / {} misses over the shared-path iterations",
+        stats.hits, stats.misses
+    );
+    println!(
+        "per-layer decode (5 sharable projections): fresh {} -> shared {}  ({:.1}% faster)",
+        tmac_bench::format_secs(fresh.best),
+        tmac_bench::format_secs(shared.best),
+        100.0 * (fresh.best - shared.best) / fresh.best
+    );
+}

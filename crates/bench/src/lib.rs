@@ -1,18 +1,19 @@
-//! Shared helpers for the Criterion benchmark suite.
+//! Shared helpers for the micro-benchmark suite.
 //!
 //! Each bench target regenerates one table/figure of the paper (see
 //! `DESIGN.md` §4); this library provides the deterministic inputs and a
-//! fast Criterion configuration suitable for the full-workspace bench run.
+//! small self-contained Criterion-style harness — the `criterion` crate is
+//! unavailable on the offline evaluation host, so the benches are plain
+//! `harness = false` binaries built on [`BenchGroup`]: calibrated iteration
+//! counts, warm-up, and best/mean wall-clock reporting.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use tmac_rng::Rng;
 
 /// Deterministic pseudo-Gaussian data.
 pub fn gaussian(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>())
-        .collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gaussian_ish()).collect()
 }
 
 /// Quantizes a fresh weight matrix for a bench case.
@@ -26,3 +27,150 @@ pub fn quantized(m: usize, k: usize, bits: u8, seed: u64) -> tmac_quant::Quantiz
 pub const BENCH_M: usize = 1024;
 /// Bench reduction length.
 pub const BENCH_K: usize = 4096;
+
+/// One measurement: best and mean seconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest observed iteration (noise-robust point estimate).
+    pub best: f64,
+    /// Mean over all timed iterations.
+    pub mean: f64,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+/// A named group of benchmark cases with aligned reporting, mirroring the
+/// `criterion` group API closely enough that bench targets read the same.
+pub struct BenchGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<(String, Measurement)>,
+}
+
+impl BenchGroup {
+    /// Creates a group with default budgets (300 ms warm-up, 900 ms
+    /// measurement per case — the same budgets the criterion config used).
+    pub fn new(name: &str) -> Self {
+        BenchGroup {
+            name: name.to_string(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-case warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides the per-case measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one case: warms up for the warm-up budget, then times
+    /// iterations until the measurement budget is spent. Prints and records
+    /// the result.
+    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) -> Measurement {
+        // Warm-up, also calibrating a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0usize;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (self.measurement.as_secs_f64() / est.max(1e-9)).ceil() as usize;
+        let iters = target.clamp(5, 1_000_000);
+
+        let mut best = f64::INFINITY;
+        let mut total = 0f64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            f();
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            total += dt;
+        }
+        let m = Measurement {
+            best,
+            mean: total / iters as f64,
+            iters,
+        };
+        println!(
+            "{:<40} time: [best {:>10} mean {:>10}]  ({} iters)",
+            format!("{}/{}", self.name, label),
+            format_secs(m.best),
+            format_secs(m.mean),
+            m.iters
+        );
+        self.results.push((label.to_string(), m));
+        m
+    }
+
+    /// All recorded results, in run order.
+    pub fn results(&self) -> &[(String, Measurement)] {
+        &self.results
+    }
+
+    /// Prints a closing separator (criterion-style `finish`).
+    pub fn finish(&self) {
+        println!();
+    }
+}
+
+/// Formats seconds with an auto-selected unit.
+pub fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Opaque value sink (stand-in for `criterion::black_box` on stable).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_deterministic() {
+        assert_eq!(gaussian(64, 7), gaussian(64, 7));
+        assert_ne!(gaussian(64, 7), gaussian(64, 8));
+    }
+
+    #[test]
+    fn bench_group_measures() {
+        let mut g = BenchGroup::new("t");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut x = 0u64;
+        let m = g.bench("noop", || {
+            x = black_box(x.wrapping_add(1));
+        });
+        assert!(m.best >= 0.0 && m.mean >= m.best);
+        assert!(m.iters >= 5);
+        assert_eq!(g.results().len(), 1);
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_secs(5e-9).ends_with("ns"));
+        assert!(format_secs(5e-6).ends_with("µs"));
+        assert!(format_secs(5e-3).ends_with("ms"));
+        assert!(format_secs(5.0).ends_with(" s"));
+    }
+}

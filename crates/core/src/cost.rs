@@ -94,7 +94,12 @@ pub fn tmac_gemv_cost(
     // Table build: 2^g - 1 adds per k-group (+ quantization pass), halved by
     // mirror consolidation.
     let table_entries = if opts.mirror { 8 } else { 16 } as u64;
-    let table_build = kg * table_entries + if opts.table_quant { kg * table_entries } else { 0 };
+    let table_build = kg * table_entries
+        + if opts.table_quant {
+            kg * table_entries
+        } else {
+            0
+        };
     // Per scale block and row: bit-weighted combine + 2 FMAs.
     let fold = m * blocks * (bits + 2);
     let entry_bytes = if opts.table_quant { 1 } else { 4 } as u64;

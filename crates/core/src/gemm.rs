@@ -6,13 +6,13 @@
 //! their tables once, then sweeps all m-tiles with the block's rows innermost
 //! — each weight tile is read once per block instead of once per row.
 
+use crate::exec::ExecCtx;
 use crate::gemv::{build_tables, run_mtile};
 use crate::kernel;
 use crate::opts::TILE_M;
 use crate::plan::WeightPlan;
 use crate::table::ActTables;
 use crate::TmacError;
-use tmac_threadpool::ThreadPool;
 
 /// Shared-output wrapper: threads write disjoint `(n, m-tile)` blocks.
 struct OutPtr(*mut f32);
@@ -33,7 +33,7 @@ pub fn mpgemm(
     act: &[f32],
     n: usize,
     out: &mut [f32],
-    pool: &ThreadPool,
+    ctx: &ExecCtx,
 ) -> Result<(), TmacError> {
     if n == 0 {
         return Err(TmacError::Shape("mpgemm needs n >= 1".into()));
@@ -74,7 +74,7 @@ pub fn mpgemm(
             tables.push(build_tables(plan, &act[(n0 + ni) * k..(n0 + ni + 1) * k])?);
         }
         let tables_ref = &tables;
-        pool.chunks(plan.m_tiles(), 1, |tiles| {
+        ctx.pool().chunks(plan.m_tiles(), 1, |tiles| {
             let mut buf = [0f32; TILE_M];
             for mt in tiles {
                 let m0 = mt * TILE_M;
@@ -107,8 +107,12 @@ mod tests {
     use tmac_quant::rtn;
 
     fn setup(m: usize, k: usize, n: usize, bits: u8) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
-        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.31).sin() * 0.6).collect();
-        let act: Vec<f32> = (0..n * k).map(|i| ((i as f32) * 0.17).cos() * 0.8).collect();
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32) * 0.31).sin() * 0.6)
+            .collect();
+        let act: Vec<f32> = (0..n * k)
+            .map(|i| ((i as f32) * 0.17).cos() * 0.8)
+            .collect();
         (rtn::quantize(&w, m, k, bits, 32).unwrap(), act)
     }
 
@@ -117,12 +121,12 @@ mod tests {
         let (m, k, n) = (64, 128, 5);
         let (qm, act) = setup(m, k, n, 4);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         let mut out = vec![0f32; n * m];
-        mpgemm(&plan, &act, n, &mut out, &pool).unwrap();
+        mpgemm(&plan, &act, n, &mut out, &ctx).unwrap();
         for ni in 0..n {
             let mut row = vec![0f32; m];
-            crate::gemv::mpgemv(&plan, &act[ni * k..(ni + 1) * k], &mut row, &pool).unwrap();
+            crate::gemv::mpgemv(&plan, &act[ni * k..(ni + 1) * k], &mut row, &ctx).unwrap();
             assert_eq!(&out[ni * m..(ni + 1) * m], &row[..], "row {ni}");
         }
     }
@@ -132,9 +136,9 @@ mod tests {
         let (m, k, n) = (48, 96, 7);
         let (qm, act) = setup(m, k, n, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         let mut out = vec![0f32; n * m];
-        mpgemm(&plan, &act, n, &mut out, &pool).unwrap();
+        mpgemm(&plan, &act, n, &mut out, &ctx).unwrap();
         for ni in 0..n {
             let reference = gemv_reference(&qm, &act[ni * k..(ni + 1) * k]);
             let nmse = tmac_simd::f32ops::nmse(&out[ni * m..(ni + 1) * m], &reference);
@@ -147,9 +151,9 @@ mod tests {
         let (m, k, n) = (32, 64, 3); // n_block = 8 > n
         let (qm, act) = setup(m, k, n, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut out = vec![0f32; n * m];
-        assert!(mpgemm(&plan, &act, n, &mut out, &pool).is_ok());
+        assert!(mpgemm(&plan, &act, n, &mut out, &ctx).is_ok());
     }
 
     #[test]
@@ -157,11 +161,11 @@ mod tests {
         let (m, k, n) = (32, 64, 2);
         let (qm, act) = setup(m, k, n, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut out = vec![0f32; n * m];
-        assert!(mpgemm(&plan, &act, 0, &mut out, &pool).is_err());
-        assert!(mpgemm(&plan, &act[..k], n, &mut out, &pool).is_err());
+        assert!(mpgemm(&plan, &act, 0, &mut out, &ctx).is_err());
+        assert!(mpgemm(&plan, &act[..k], n, &mut out, &ctx).is_err());
         let mut short = vec![0f32; n * m - 1];
-        assert!(mpgemm(&plan, &act, n, &mut short, &pool).is_err());
+        assert!(mpgemm(&plan, &act, n, &mut short, &ctx).is_err());
     }
 }

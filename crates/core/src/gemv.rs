@@ -4,12 +4,12 @@
 //! (one small table set, fully reused), the spatial axis `M` is split into
 //! tiles and distributed over threads as static thread blocks.
 
+use crate::exec::ExecCtx;
 use crate::kernel;
 use crate::opts::{LUT_GROUP, TILE_M};
 use crate::plan::WeightPlan;
 use crate::table::ActTables;
 use crate::TmacError;
-use tmac_threadpool::ThreadPool;
 
 /// Shared-output wrapper: threads write disjoint m-ranges.
 struct OutPtr(*mut f32);
@@ -32,10 +32,30 @@ pub fn mpgemv(
     plan: &WeightPlan,
     act: &[f32],
     out: &mut [f32],
-    pool: &ThreadPool,
+    ctx: &ExecCtx,
 ) -> Result<(), TmacError> {
     let tables = build_tables(plan, act)?;
-    mpgemv_with_tables(plan, &tables, out, pool)
+    mpgemv_with_tables(plan, &tables, out, ctx)
+}
+
+/// [`mpgemv`] through the context's activation-table cache.
+///
+/// Within one [`ExecCtx::next_activation`] scope, every plan with the same
+/// table profile (`K`, group size, table options) consuming the same
+/// activation shares a single [`ActTables`] build — the QKV / gate-up reuse
+/// of the paper's §3.2 made automatic.
+///
+/// # Errors
+///
+/// Same contract as [`mpgemv`].
+pub fn mpgemv_cached(
+    plan: &WeightPlan,
+    act: &[f32],
+    out: &mut [f32],
+    ctx: &ExecCtx,
+) -> Result<(), TmacError> {
+    let tables = ctx.tables_for(plan, act)?;
+    mpgemv_with_tables(plan, &tables, out, ctx)
 }
 
 /// Builds activation tables compatible with `plan`.
@@ -70,7 +90,7 @@ pub fn mpgemv_with_tables(
     plan: &WeightPlan,
     tables: &ActTables,
     out: &mut [f32],
-    pool: &ThreadPool,
+    ctx: &ExecCtx,
 ) -> Result<(), TmacError> {
     if out.len() != plan.m {
         return Err(TmacError::Shape(format!(
@@ -98,7 +118,7 @@ pub fn mpgemv_with_tables(
     let m = plan.m;
     let out_ptr = OutPtr(out.as_mut_ptr());
     let out_ref = &out_ptr;
-    pool.chunks(plan.m_tiles(), 1, |tiles| {
+    ctx.pool().chunks(plan.m_tiles(), 1, |tiles| {
         let mut buf = [0f32; TILE_M];
         for mt in tiles {
             run_mtile(plan, tables, mt, &mut buf, use_avx2);
@@ -143,20 +163,22 @@ mod tests {
     use tmac_quant::rtn;
 
     fn setup(m: usize, k: usize, bits: u8) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
-        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.123).sin() * 0.5).collect();
+        let w: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32) * 0.123).sin() * 0.5)
+            .collect();
         let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.7).cos()).collect();
         (rtn::quantize(&w, m, k, bits, 32).unwrap(), act)
     }
 
     #[test]
     fn driver_matches_reference_all_bits() {
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         for bits in 1..=4u8 {
             let (qm, act) = setup(100, 128, bits);
             let reference = gemv_reference(&qm, &act);
             let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
             let mut out = vec![0f32; 100];
-            mpgemv(&plan, &act, &mut out, &pool).unwrap();
+            mpgemv(&plan, &act, &mut out, &ctx).unwrap();
             let nmse = tmac_simd::f32ops::nmse(&out, &reference);
             assert!(nmse < 2e-3, "bits={bits} nmse={nmse}");
         }
@@ -166,12 +188,12 @@ mod tests {
     fn single_and_multi_thread_agree_exactly() {
         let (qm, act) = setup(96, 256, 4);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let p1 = ThreadPool::new(1);
-        let p4 = ThreadPool::new(4);
+        let c1 = ExecCtx::new(1);
+        let c4 = ExecCtx::new(4);
         let mut a = vec![0f32; 96];
         let mut b = vec![0f32; 96];
-        mpgemv(&plan, &act, &mut a, &p1).unwrap();
-        mpgemv(&plan, &act, &mut b, &p4).unwrap();
+        mpgemv(&plan, &act, &mut a, &c1).unwrap();
+        mpgemv(&plan, &act, &mut b, &c4).unwrap();
         assert_eq!(a, b, "threading must not change results");
     }
 
@@ -179,35 +201,39 @@ mod tests {
     fn table_reuse_matches_fresh_build() {
         let (qm, act) = setup(64, 128, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let tables = build_tables(&plan, &act).unwrap();
         let mut a = vec![0f32; 64];
         let mut b = vec![0f32; 64];
-        mpgemv(&plan, &act, &mut a, &pool).unwrap();
-        mpgemv_with_tables(&plan, &tables, &mut b, &pool).unwrap();
+        let mut c = vec![0f32; 64];
+        mpgemv(&plan, &act, &mut a, &ctx).unwrap();
+        mpgemv_with_tables(&plan, &tables, &mut b, &ctx).unwrap();
+        ctx.next_activation();
+        mpgemv_cached(&plan, &act, &mut c, &ctx).unwrap();
         assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]
     fn rejects_shape_errors() {
         let (qm, act) = setup(64, 128, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut out = vec![0f32; 64];
-        assert!(mpgemv(&plan, &act[..64], &mut out, &pool).is_err());
+        assert!(mpgemv(&plan, &act[..64], &mut out, &ctx).is_err());
         let mut short = vec![0f32; 63];
-        assert!(mpgemv(&plan, &act, &mut short, &pool).is_err());
+        assert!(mpgemv(&plan, &act, &mut short, &ctx).is_err());
     }
 
     #[test]
     fn rejects_incompatible_tables() {
         let (qm, act) = setup(64, 128, 2);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         // Tables built without quantization don't match a TQ plan.
         let wrong = ActTables::build(&act, 32, &KernelOpts::tm_base()).unwrap();
         let mut out = vec![0f32; 64];
-        assert!(mpgemv_with_tables(&plan, &wrong, &mut out, &pool).is_err());
+        assert!(mpgemv_with_tables(&plan, &wrong, &mut out, &ctx).is_err());
     }
 
     #[test]
@@ -215,10 +241,10 @@ mod tests {
         let (qm, mut act) = setup(32, 64, 2);
         act[5] = f32::INFINITY;
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut out = vec![0f32; 32];
         assert!(matches!(
-            mpgemv(&plan, &act, &mut out, &pool),
+            mpgemv(&plan, &act, &mut out, &ctx),
             Err(TmacError::Numeric(_))
         ));
     }

@@ -46,6 +46,11 @@ pub fn supported(opts: &KernelOpts) -> bool {
 
 /// Executes one m-tile, dispatching to the right monomorphized kernel.
 ///
+/// # Safety
+///
+/// The caller must have verified that the host CPU supports AVX2 and FMA
+/// (e.g. via [`supported`], which performs the runtime feature check).
+///
 /// # Panics
 ///
 /// Panics if the plan/tables combination has no AVX2 kernel (the driver
@@ -244,13 +249,13 @@ fn mtile_permuted<const IL: bool, const MIRROR: bool>(
                     };
                     let tbl_a = table_for(kg_a);
                     // Mirror packs the even/odd k-group pair in one table.
-                    let tbl_b = if MIRROR && kg_a % 2 == 0 {
+                    let tbl_b = if MIRROR && kg_a.is_multiple_of(2) {
                         tbl_a
                     } else {
                         table_for(kg_a + 1)
                     };
                     vals_a = lookup_step::<MIRROR>(tbl_a, idx_a, kg_a % 2 == 1);
-                    vals_b = lookup_step::<MIRROR>(tbl_b, idx_b, kg_a % 2 == 0);
+                    vals_b = lookup_step::<MIRROR>(tbl_b, idx_b, kg_a.is_multiple_of(2));
                     kgi += 2;
                 } else {
                     let raw = simd::loadu_128(&stream[off..]);
@@ -357,10 +362,7 @@ fn mtile_permuted_fa<const IL: bool, const MIRROR: bool>(
             }
             let tree = bufs[0];
             let off128 = _mm256_set1_epi16(128);
-            let lo = _mm256_sub_epi16(
-                _mm256_cvtepu8_epi16(_mm256_castsi256_si128(tree)),
-                off128,
-            );
+            let lo = _mm256_sub_epi16(_mm256_cvtepu8_epi16(_mm256_castsi256_si128(tree)), off128);
             let hi = _mm256_sub_epi16(
                 _mm256_cvtepu8_epi16(_mm256_extracti128_si256(tree, 1)),
                 off128,
@@ -498,12 +500,7 @@ mod tests {
     use crate::kernel::scalar;
     use tmac_quant::rtn;
 
-    fn setup(
-        m: usize,
-        k: usize,
-        bits: u8,
-        gs: usize,
-    ) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
+    fn setup(m: usize, k: usize, bits: u8, gs: usize) -> (tmac_quant::QuantizedMatrix, Vec<f32>) {
         let w: Vec<f32> = (0..m * k)
             .map(|i| ((i as f32 * 0.17).sin()) * 0.7 + ((i % 13) as f32 - 6.0) * 0.03)
             .collect();

@@ -21,13 +21,13 @@ pub fn gemv_reference(qm: &QuantizedMatrix, act: &[f32]) -> Vec<f32> {
     assert_eq!(act.len(), qm.cols, "activation length mismatch");
     let mut row = vec![0f32; qm.cols];
     let mut out = vec![0f32; qm.rows];
-    for m in 0..qm.rows {
+    for (m, o) in out.iter_mut().enumerate() {
         qm.dequantize_row(m, &mut row);
         let mut acc = 0f64;
         for (a, w) in act.iter().zip(&row) {
             acc += (*a as f64) * (*w as f64);
         }
-        out[m] = acc as f32;
+        *o = acc as f32;
     }
     out
 }
@@ -118,10 +118,10 @@ fn fa_tree_row(
 ) -> i32 {
     debug_assert!(kg_per_block.is_power_of_two());
     let mut vals = [0u8; 64];
-    for kgi in 0..kg_per_block {
+    for (kgi, v) in vals.iter_mut().take(kg_per_block).enumerate() {
         let kg = kg0 + kgi;
         let q = tables.lookup_q(kg, plan.index(bit, m, kg));
-        vals[kgi] = (q as i32 + FA_OFFSET) as u8;
+        *v = (q as i32 + FA_OFFSET) as u8;
     }
     let mut n = kg_per_block;
     while n > 1 {

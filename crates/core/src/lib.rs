@@ -22,22 +22,28 @@
 //! ## Quick start
 //!
 //! ```
-//! use tmac_core::{KernelOpts, TmacLinear};
-//! use tmac_threadpool::ThreadPool;
+//! use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
 //!
 //! // Quantize a 64x128 weight matrix to 2 bits.
 //! let weights: Vec<f32> = (0..64 * 128).map(|i| (i as f32 * 0.1).sin()).collect();
 //! let qm = tmac_quant::rtn::quantize(&weights, 64, 128, 2, 32).unwrap();
 //!
-//! // Offline: build the plan. Online: multiply.
+//! // Offline: build the plan. Online: multiply under an execution context
+//! // (thread pool + activation-table cache).
 //! let linear = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
 //! let act: Vec<f32> = (0..128).map(|i| (i as f32 * 0.2).cos()).collect();
-//! let pool = ThreadPool::new(2);
+//! let ctx = ExecCtx::new(2);
 //! let mut out = vec![0f32; 64];
-//! linear.gemv(&act, &mut out, &pool).unwrap();
+//! linear.gemv(&act, &mut out, &ctx).unwrap();
 //! ```
+//!
+//! When several weight matrices consume the *same* activation (as QKV
+//! projections do), [`ExecCtx::next_activation`] plus
+//! [`TmacLinear::gemv_cached`] share one table build across all of them —
+//! see the [`exec`] module.
 
 pub mod cost;
+pub mod exec;
 pub mod gemm;
 pub mod gemv;
 pub mod kernel;
@@ -46,12 +52,12 @@ pub mod plan;
 pub mod table;
 pub mod tune;
 
+pub use exec::{ExecCtx, TableCacheStats, TableProfile};
 pub use opts::{KernelOpts, LUT_GROUP, TILE_M};
 pub use plan::{Layout, WeightPlan};
 pub use table::ActTables;
 
 use tmac_quant::{QuantError, QuantizedMatrix};
-use tmac_threadpool::ThreadPool;
 
 /// Errors produced by the T-MAC kernel library.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,11 +159,31 @@ impl TmacLinear {
 
     /// Mixed-precision GEMV: `out[m] = Σ_k act[k] · W[m][k]`.
     ///
+    /// Builds fresh tables every call (the honest cost of a standalone
+    /// GEMV); use [`TmacLinear::gemv_cached`] when several layers consume
+    /// the same activation.
+    ///
     /// # Errors
     ///
     /// See [`gemv::mpgemv`].
-    pub fn gemv(&self, act: &[f32], out: &mut [f32], pool: &ThreadPool) -> Result<(), TmacError> {
-        gemv::mpgemv(&self.plan, act, out, pool)
+    pub fn gemv(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), TmacError> {
+        gemv::mpgemv(&self.plan, act, out, ctx)
+    }
+
+    /// GEMV through the context's activation-table cache: all layers with a
+    /// compatible table profile that forward the same activation within one
+    /// [`ExecCtx::next_activation`] scope share a single table build.
+    ///
+    /// # Errors
+    ///
+    /// See [`gemv::mpgemv_cached`].
+    pub fn gemv_cached(
+        &self,
+        act: &[f32],
+        out: &mut [f32],
+        ctx: &ExecCtx,
+    ) -> Result<(), TmacError> {
+        gemv::mpgemv_cached(&self.plan, act, out, ctx)
     }
 
     /// GEMV with precomputed tables (reuse across layers sharing an input).
@@ -169,9 +195,9 @@ impl TmacLinear {
         &self,
         tables: &ActTables,
         out: &mut [f32],
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<(), TmacError> {
-        gemv::mpgemv_with_tables(&self.plan, tables, out, pool)
+        gemv::mpgemv_with_tables(&self.plan, tables, out, ctx)
     }
 
     /// Builds activation tables for this layer's shape.
@@ -193,9 +219,9 @@ impl TmacLinear {
         act: &[f32],
         n: usize,
         out: &mut [f32],
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<(), TmacError> {
-        gemm::mpgemm(&self.plan, act, n, out, pool)
+        gemm::mpgemm(&self.plan, act, n, out, ctx)
     }
 
     /// Analytical cost of one GEMV through this layer.
@@ -217,17 +243,21 @@ mod tests {
     #[test]
     fn linear_end_to_end() {
         let weights: Vec<f32> = (0..64 * 128).map(|i| (i as f32 * 0.05).sin()).collect();
-        let lin =
-            TmacLinear::from_f32(&weights, 64, 128, 4, 32, KernelOpts::tmac()).unwrap();
+        let lin = TmacLinear::from_f32(&weights, 64, 128, 4, 32, KernelOpts::tmac()).unwrap();
         assert_eq!((lin.rows(), lin.cols(), lin.bits()), (64, 128, 4));
         let act: Vec<f32> = (0..128).map(|i| (i as f32 * 0.11).cos()).collect();
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         let mut out = vec![0f32; 64];
-        lin.gemv(&act, &mut out, &pool).unwrap();
+        lin.gemv(&act, &mut out, &ctx).unwrap();
         // Against the f32 reference.
         let qm = tmac_quant::rtn::quantize(&weights, 64, 128, 4, 32).unwrap();
         let reference = kernel::scalar::gemv_reference(&qm, &act);
         assert!(tmac_simd::f32ops::nmse(&out, &reference) < 1e-4);
+        // The cached path is bit-identical to the fresh-build path.
+        let mut cached = vec![0f32; 64];
+        ctx.next_activation();
+        lin.gemv_cached(&act, &mut cached, &ctx).unwrap();
+        assert_eq!(out, cached);
     }
 
     #[test]

@@ -81,20 +81,20 @@ impl WeightPlan {
     pub fn new(qm: &QuantizedMatrix, opts: KernelOpts) -> Result<WeightPlan, TmacError> {
         opts.validate().map_err(TmacError::Opts)?;
         qm.validate()?;
-        if qm.cols % LUT_GROUP != 0 {
+        if !qm.cols.is_multiple_of(LUT_GROUP) {
             return Err(TmacError::Shape(format!(
                 "K = {} must be a multiple of the LUT group {LUT_GROUP}",
                 qm.cols
             )));
         }
-        if qm.group_size % LUT_GROUP != 0 {
+        if !qm.group_size.is_multiple_of(LUT_GROUP) {
             return Err(TmacError::Shape(format!(
                 "group_size {} must be a multiple of the LUT group {LUT_GROUP}",
                 qm.group_size
             )));
         }
         let tile_k = if opts.tiling {
-            if opts.tile_k % qm.group_size != 0 {
+            if !opts.tile_k.is_multiple_of(qm.group_size) {
                 return Err(TmacError::Shape(format!(
                     "tile_k {} must be a multiple of group_size {}",
                     opts.tile_k, qm.group_size
@@ -179,8 +179,8 @@ impl WeightPlan {
                                     } else {
                                         (m0 + 2 * j, m0 + 2 * j + 1)
                                     };
-                                    perm_stream[off + j] = nibble(rlo, bit, kg)
-                                        | (nibble(rhi, bit, kg) << 4);
+                                    perm_stream[off + j] =
+                                        nibble(rlo, bit, kg) | (nibble(rhi, bit, kg) << 4);
                                 }
                                 off += TILE_M / 2;
                             }
@@ -259,7 +259,7 @@ impl WeightPlan {
                 let kg_total = self.kg_total();
                 let row_bytes = kg_total / 2 + kg_total % 2;
                 let byte = self.flat_planes[bit][row * row_bytes + kg / 2];
-                if kg % 2 == 0 {
+                if kg.is_multiple_of(2) {
                     byte & 0x0F
                 } else {
                     byte >> 4
@@ -437,8 +437,8 @@ mod tests {
         for mt in 0..plan.m_tiles() {
             for sb in 0..plan.groups_per_row() {
                 let ts = plan.tile_scales(mt, sb);
-                for r in 0..TILE_M {
-                    assert_eq!(ts[r], plan.scale(mt * TILE_M + r, sb));
+                for (r, &t) in ts.iter().enumerate().take(TILE_M) {
+                    assert_eq!(t, plan.scale(mt * TILE_M + r, sb));
                 }
             }
         }

@@ -86,12 +86,16 @@ impl ActTables {
     ///   values (quantization scales would be garbage).
     pub fn build(act: &[f32], group_size: usize, opts: &KernelOpts) -> Result<Self, TmacError> {
         let k = act.len();
-        if k == 0 || group_size == 0 || k % group_size != 0 || group_size % LUT_GROUP != 0 {
+        if k == 0
+            || group_size == 0
+            || !k.is_multiple_of(group_size)
+            || !group_size.is_multiple_of(LUT_GROUP)
+        {
             return Err(TmacError::Shape(format!(
                 "activation len {k} incompatible with group_size {group_size}"
             )));
         }
-        if opts.mirror && group_size % (2 * LUT_GROUP) != 0 {
+        if opts.mirror && !group_size.is_multiple_of(2 * LUT_GROUP) {
             return Err(TmacError::Shape(format!(
                 "mirror consolidation needs group_size % 8 == 0, got {group_size}"
             )));
@@ -142,9 +146,8 @@ impl ActTables {
             q_scales[sb] = if amax == 0.0 { 1e-8 } else { amax / 127.0 };
         }
 
-        let quantize = |v: f32, sb: usize| -> i8 {
-            (v / q_scales[sb]).round().clamp(-127.0, 127.0) as i8
-        };
+        let quantize =
+            |v: f32, sb: usize| -> i8 { (v / q_scales[sb]).round().clamp(-127.0, 127.0) as i8 };
 
         let mut q_tables;
         if opts.mirror {
@@ -156,8 +159,7 @@ impl ActTables {
                 let pair = kg / 2;
                 let half = (kg % 2) * (TABLE_LEN / 2);
                 for i in 0..TABLE_LEN / 2 {
-                    q_tables[pair * TABLE_LEN + half + i] =
-                        quantize(raw[kg * TABLE_LEN + i], sb);
+                    q_tables[pair * TABLE_LEN + half + i] = quantize(raw[kg * TABLE_LEN + i], sb);
                 }
             }
         } else {
@@ -260,13 +262,7 @@ mod tests {
 
     fn brute_entry(a: &[f32], idx: usize) -> f32 {
         (0..LUT_GROUP)
-            .map(|j| {
-                if idx & (1 << j) != 0 {
-                    a[j]
-                } else {
-                    -a[j]
-                }
-            })
+            .map(|j| if idx & (1 << j) != 0 { a[j] } else { -a[j] })
             .sum()
     }
 

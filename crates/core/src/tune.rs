@@ -6,6 +6,7 @@
 //! `n_block` configurations on the actual plan and caches the winner per
 //! `(M, K, bits, threads)`.
 
+use crate::exec::ExecCtx;
 use crate::gemv::{build_tables, mpgemv_with_tables};
 use crate::opts::KernelOpts;
 use crate::plan::WeightPlan;
@@ -14,7 +15,6 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 use tmac_quant::QuantizedMatrix;
-use tmac_threadpool::ThreadPool;
 
 /// Candidate `tile_k` values swept by the tuner (clamped to multiples of the
 /// weight group size and to `K`).
@@ -40,7 +40,7 @@ pub struct TunedConfig {
 pub fn measure_gemv(
     qm: &QuantizedMatrix,
     opts: KernelOpts,
-    pool: &ThreadPool,
+    ctx: &ExecCtx,
     iters: usize,
 ) -> Result<f64, TmacError> {
     let plan = WeightPlan::new(qm, opts)?;
@@ -48,12 +48,12 @@ pub fn measure_gemv(
     let mut out = vec![0f32; qm.rows];
     // Warm-up run (also validates the configuration end to end).
     let tables = build_tables(&plan, &act)?;
-    mpgemv_with_tables(&plan, &tables, &mut out, pool)?;
+    mpgemv_with_tables(&plan, &tables, &mut out, ctx)?;
     let mut best = f64::INFINITY;
     for _ in 0..iters.max(1) {
         let t0 = Instant::now();
         let tables = build_tables(&plan, &act)?;
-        mpgemv_with_tables(&plan, &tables, &mut out, pool)?;
+        mpgemv_with_tables(&plan, &tables, &mut out, ctx)?;
         best = best.min(t0.elapsed().as_secs_f64());
     }
     Ok(best)
@@ -65,7 +65,7 @@ pub fn measure_gemv(
 /// # Errors
 ///
 /// Propagates plan construction or execution failures.
-pub fn tune(qm: &QuantizedMatrix, pool: &ThreadPool, iters: usize) -> Result<TunedConfig, TmacError> {
+pub fn tune(qm: &QuantizedMatrix, ctx: &ExecCtx, iters: usize) -> Result<TunedConfig, TmacError> {
     let mut best: Option<TunedConfig> = None;
     for &tk in &TILE_K_CANDIDATES {
         if tk % qm.group_size != 0 {
@@ -73,8 +73,8 @@ pub fn tune(qm: &QuantizedMatrix, pool: &ThreadPool, iters: usize) -> Result<Tun
         }
         let mut opts = KernelOpts::tmac();
         opts.tile_k = tk;
-        let secs = measure_gemv(qm, opts, pool, iters)?;
-        if best.map_or(true, |b| secs < b.gemv_seconds) {
+        let secs = measure_gemv(qm, opts, ctx, iters)?;
+        if best.is_none_or(|b| secs < b.gemv_seconds) {
             best = Some(TunedConfig {
                 opts,
                 gemv_seconds: secs,
@@ -110,14 +110,14 @@ impl Tuner {
     pub fn get(
         &self,
         qm: &QuantizedMatrix,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
         iters: usize,
     ) -> Result<KernelOpts, TmacError> {
-        let key = (qm.rows, qm.cols, qm.bits, pool.threads());
+        let key = (qm.rows, qm.cols, qm.bits, ctx.threads());
         if let Some(hit) = self.cache.lock().expect("tuner lock").get(&key) {
             return Ok(*hit);
         }
-        let tuned = tune(qm, pool, iters)?;
+        let tuned = tune(qm, ctx, iters)?;
         self.cache
             .lock()
             .expect("tuner lock")
@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn tune_returns_valid_config() {
         let qm = matrix(128, 256);
-        let pool = ThreadPool::new(1);
-        let cfg = tune(&qm, &pool, 1).unwrap();
+        let ctx = ExecCtx::new(1);
+        let cfg = tune(&qm, &ctx, 1).unwrap();
         assert!(cfg.opts.validate().is_ok());
         assert!(cfg.gemv_seconds > 0.0);
         assert!(TILE_K_CANDIDATES.contains(&cfg.opts.tile_k));
@@ -165,23 +165,23 @@ mod tests {
     #[test]
     fn tuner_caches_by_shape() {
         let tuner = Tuner::new();
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let qm = matrix(64, 128);
-        let a = tuner.get(&qm, &pool, 1).unwrap();
-        let b = tuner.get(&qm, &pool, 1).unwrap();
+        let a = tuner.get(&qm, &ctx, 1).unwrap();
+        let b = tuner.get(&qm, &ctx, 1).unwrap();
         assert_eq!(a, b);
         assert_eq!(tuner.len(), 1);
         let qm2 = matrix(64, 256);
-        tuner.get(&qm2, &pool, 1).unwrap();
+        tuner.get(&qm2, &ctx, 1).unwrap();
         assert_eq!(tuner.len(), 2);
     }
 
     #[test]
     fn measure_rejects_broken_opts() {
         let qm = matrix(64, 128);
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut opts = KernelOpts::tmac();
         opts.tile_k = 48; // not a multiple of group_size
-        assert!(measure_gemv(&qm, opts, &pool, 1).is_err());
+        assert!(measure_gemv(&qm, opts, &ctx, 1).is_err());
     }
 }

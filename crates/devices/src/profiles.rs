@@ -215,9 +215,17 @@ mod tests {
     #[test]
     fn profiles_are_physical() {
         for p in ALL_CPUS {
-            assert!(p.cores > 0 && p.freq_ghz > 0.5 && p.freq_ghz < 6.0, "{}", p.name);
+            assert!(
+                p.cores > 0 && p.freq_ghz > 0.5 && p.freq_ghz < 6.0,
+                "{}",
+                p.name
+            );
             assert!(p.simd_bytes == 16 || p.simd_bytes == 32, "{}", p.name);
-            assert!(p.peak_bw_gbs > 5.0 && p.sustained_bw_frac <= 1.0, "{}", p.name);
+            assert!(
+                p.peak_bw_gbs > 5.0 && p.sustained_bw_frac <= 1.0,
+                "{}",
+                p.name
+            );
             assert!(p.idle_w > 0.0 && p.core_w > 0.0, "{}", p.name);
         }
     }

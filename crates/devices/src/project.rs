@@ -69,8 +69,8 @@ pub fn cpu_latency(cpu: &CpuProfile, c: &KernelCost, threads: usize, calib: Cali
     let lane_rate = cores * cpu.freq_ghz * 1e9 * cpu.simd_ipc * cpu.simd_bytes as f64;
     // Scalar-equivalent f32 work runs on the FMA pipes, simd_bytes/4 lanes.
     let f32_rate = cores * cpu.freq_ghz * 1e9 * cpu.simd_ipc * (cpu.simd_bytes / 4) as f64;
-    let compute = (c.lane_ops() as f64 / lane_rate + c.f32_ops as f64 / f32_rate)
-        / calib.efficiency;
+    let compute =
+        (c.lane_ops() as f64 / lane_rate + c.f32_ops as f64 / f32_rate) / calib.efficiency;
     // Streaming bandwidth saturates only with several cores: scale linearly
     // up to ~30% of the device's cores (min 2), then flat.
     let saturation_cores = (cpu.cores as f64 * 0.3).max(2.0);
@@ -138,11 +138,11 @@ impl ModelShape {
     pub fn gemv_shapes(&self) -> Vec<(usize, usize, usize)> {
         // (m, k, count)
         vec![
-            (self.dim, self.dim, 2 * self.n_layers),          // wq, wo
-            (self.kv_dim, self.dim, 2 * self.n_layers),       // wk, wv
-            (self.ffn_dim, self.dim, 2 * self.n_layers),      // w1, w3
-            (self.dim, self.ffn_dim, self.n_layers),          // w2
-            (self.vocab, self.dim, 1),                        // head
+            (self.dim, self.dim, 2 * self.n_layers),     // wq, wo
+            (self.kv_dim, self.dim, 2 * self.n_layers),  // wk, wv
+            (self.ffn_dim, self.dim, 2 * self.n_layers), // w1, w3
+            (self.dim, self.ffn_dim, self.n_layers),     // w2
+            (self.vocab, self.dim, 1),                   // head
         ]
     }
 
@@ -285,7 +285,10 @@ mod tests {
         assert!(gpu > tmac, "GPU {gpu} vs T-MAC {tmac}");
         // Magnitudes within ~2x of the paper's measurements.
         assert!((7.0..45.0).contains(&tmac), "T-MAC tokens/s {tmac}");
-        assert!((3.0..16.0).contains(&cpu_base), "llama.cpp tokens/s {cpu_base}");
+        assert!(
+            (3.0..16.0).contains(&cpu_base),
+            "llama.cpp tokens/s {cpu_base}"
+        );
     }
 
     #[test]

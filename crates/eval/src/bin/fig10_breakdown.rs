@@ -6,20 +6,22 @@
 //! Usage: `fig10_breakdown [--bits 4] [--threads max] [--quick]`
 
 use tmac_baseline::DequantLinear;
+use tmac_core::ExecCtx;
 use tmac_core::{gemv, KernelOpts, WeightPlan};
 use tmac_eval::{make_act, make_weights, ms, quick, time_best, Table, SHAPES};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let bits: u8 = tmac_eval::arg("bits", "4").parse().expect("--bits");
     let threads_arg = tmac_eval::arg("threads", "max");
     let threads = if threads_arg == "max" {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads_arg.parse().expect("--threads")
     };
     let iters: usize = tmac_eval::arg("iters", "10").parse().expect("--iters");
-    let pool = ThreadPool::new(threads);
+    let ctx = ExecCtx::new(threads);
     let shapes: &[(usize, usize)] = if quick() { &SHAPES[..2] } else { &SHAPES };
 
     let ladder = KernelOpts::breakdown_ladder();
@@ -35,12 +37,12 @@ fn main() {
         let mut out = vec![0f32; m];
         let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
         let bl = DequantLinear::new(&qm).expect("pack");
-        let t_base = time_best(|| bl.gemv(&act, &mut out, &pool).expect("gemv"), 3, iters);
+        let t_base = time_best(|| bl.gemv(&act, &mut out, &ctx).expect("gemv"), 3, iters);
         let mut cells = vec![format!("S{si} {m}x{k}"), ms(t_base)];
         for (_, opts) in &ladder {
             let plan = WeightPlan::new(&qm, *opts).expect("plan");
             let t = time_best(
-                || gemv::mpgemv(&plan, &act, &mut out, &pool).expect("gemv"),
+                || gemv::mpgemv(&plan, &act, &mut out, &ctx).expect("gemv"),
                 2,
                 iters,
             );
@@ -48,9 +50,7 @@ fn main() {
         }
         table.row(cells);
     }
-    println!(
-        "Figure 10: optimization breakdown, {bits}-bit GEMV, {threads} threads (ms)\n"
-    );
+    println!("Figure 10: optimization breakdown, {bits}-bit GEMV, {threads} threads (ms)\n");
     table.emit("fig10_breakdown");
     println!(
         "Paper shape check: TM-base lands at or below the llama.cpp line; +TQ\n\

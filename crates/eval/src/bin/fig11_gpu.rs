@@ -7,16 +7,18 @@
 //!
 //! Usage: `fig11_gpu [--iters N]`
 
+use tmac_core::ExecCtx;
 use tmac_core::{KernelOpts, TmacLinear};
 use tmac_devices::{profiles, project};
 use tmac_eval::{make_act, make_weights, ms, time_best, Table, SHAPES};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let iters: usize = tmac_eval::arg("iters", "10").parse().expect("--iters");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let pool = ThreadPool::new(threads);
-    let (cal_tmac, _) = tmac_eval::calibrate(&pool);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let ctx = ExecCtx::new(threads);
+    let (cal_tmac, _) = tmac_eval::calibrate(&ctx);
 
     let mut table = Table::new(&[
         "shape",
@@ -33,11 +35,11 @@ fn main() {
         for bits in 1..=4u8 {
             let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
             let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
-            let measured =
-                time_best(|| tl.gemv(&act, &mut out, &pool).expect("gemv"), 2, iters);
+            let measured = time_best(|| tl.gemv(&act, &mut out, &ctx).expect("gemv"), 2, iters);
             let weight_bytes = (m * k) as u64 * bits as u64 / 8 + (m * k / 32 * 4) as u64;
             let t_gpu = project::gpu_latency(&profiles::ORIN_AGX_GPU, weight_bytes);
-            let cost = tmac_core::cost::tmac_gemv_cost(m, k, bits as usize, 32, &KernelOpts::tmac());
+            let cost =
+                tmac_core::cost::tmac_gemv_cost(m, k, bits as usize, 32, &KernelOpts::tmac());
             let t_cpu = project::cpu_latency(&profiles::JETSON_AGX_ORIN, &cost, 12, cal_tmac);
             table.row(vec![
                 format!("{m}x{k}"),

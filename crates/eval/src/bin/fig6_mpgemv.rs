@@ -9,23 +9,30 @@
 //! Usage: `fig6_mpgemv [--threads 1|max|N] [--quick] [--iters N]`
 
 use tmac_baseline::DequantLinear;
+use tmac_core::ExecCtx;
 use tmac_core::{KernelOpts, TmacLinear};
 use tmac_eval::{make_act, make_weights, ms, quick, time_best, Table, SHAPES};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let threads_arg = tmac_eval::arg("threads", "1");
     let threads = if threads_arg == "max" {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads_arg.parse().expect("--threads")
     };
     let iters: usize = tmac_eval::arg("iters", "15").parse().expect("--iters");
-    let pool = ThreadPool::new(threads);
+    let ctx = ExecCtx::new(threads);
     let shapes: &[(usize, usize)] = if quick() { &SHAPES[..2] } else { &SHAPES };
 
     let mut table = Table::new(&[
-        "shape", "bits", "llama.cpp (ms)", "T-MAC (ms)", "speedup", "note",
+        "shape",
+        "bits",
+        "llama.cpp (ms)",
+        "T-MAC (ms)",
+        "speedup",
+        "note",
     ]);
     for &(m, k) in shapes {
         let w = make_weights(m, k, 11);
@@ -35,10 +42,16 @@ fn main() {
             let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
             let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
             let bl = DequantLinear::new(&qm).expect("pack");
-            let t_tmac =
-                time_best(|| tl.gemv(&act, &mut out, &pool).expect("tmac gemv"), 3, iters);
-            let t_base =
-                time_best(|| bl.gemv(&act, &mut out, &pool).expect("base gemv"), 3, iters);
+            let t_tmac = time_best(
+                || tl.gemv(&act, &mut out, &ctx).expect("tmac gemv"),
+                3,
+                iters,
+            );
+            let t_base = time_best(
+                || bl.gemv(&act, &mut out, &ctx).expect("base gemv"),
+                3,
+                iters,
+            );
             table.row(vec![
                 format!("{m}x{k}"),
                 bits.to_string(),
@@ -47,13 +60,22 @@ fn main() {
                 format!("{:.2}x", t_base / t_tmac),
                 // llama.cpp has no 1-bit kernel; the paper deduces its 1-bit
                 // line from 2-bit, whereas this baseline really measures one.
-                if bits == 1 { "measured (paper deduces from 2-bit)" } else { "" }.into(),
+                if bits == 1 {
+                    "measured (paper deduces from 2-bit)"
+                } else {
+                    ""
+                }
+                .into(),
             ]);
         }
     }
     println!(
         "Figure 6 ({}) mpGEMV latency, {threads} thread(s), local x86-64 AVX2 host\n",
-        if threads == 1 { "a: single-thread" } else { "b: multi-thread" }
+        if threads == 1 {
+            "a: single-thread"
+        } else {
+            "b: multi-thread"
+        }
     );
     table.emit(&format!("fig6_mpgemv_t{threads}"));
     println!(

@@ -8,21 +8,27 @@
 //! Usage: `fig7_mpgemm [--n 256] [--quick] [--iters N]`
 
 use tmac_baseline::{sgemm, DequantLinear};
+use tmac_core::ExecCtx;
 use tmac_core::{KernelOpts, TmacLinear};
 use tmac_eval::{make_act, make_weights, ms, quick, time_best, Table, SHAPES};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let n: usize = tmac_eval::arg("n", if quick() { "64" } else { "256" })
         .parse()
         .expect("--n");
     let iters: usize = tmac_eval::arg("iters", "3").parse().expect("--iters");
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let pool = ThreadPool::new(threads);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let ctx = ExecCtx::new(threads);
     let shapes: &[(usize, usize)] = if quick() { &SHAPES[..1] } else { &SHAPES };
 
     let mut table = Table::new(&[
-        "shape", "bits", "llama.cpp BLAS (ms)", "T-MAC (ms)", "speedup",
+        "shape",
+        "bits",
+        "llama.cpp BLAS (ms)",
+        "T-MAC (ms)",
+        "speedup",
     ]);
     for &(m, k) in shapes {
         let w = make_weights(m, k, 13);
@@ -33,12 +39,12 @@ fn main() {
             let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
             let bl = DequantLinear::new(&qm).expect("pack");
             let t_tmac = time_best(
-                || tl.gemm(&act, n, &mut out, &pool).expect("tmac gemm"),
+                || tl.gemm(&act, n, &mut out, &ctx).expect("tmac gemm"),
                 1,
                 iters,
             );
             let t_blas = time_best(
-                || sgemm::gemm_blas(&bl, &act, n, &mut out, &pool).expect("blas gemm"),
+                || sgemm::gemm_blas(&bl, &act, n, &mut out, &ctx).expect("blas gemm"),
                 1,
                 iters,
             );

@@ -9,10 +9,10 @@
 //!
 //! Usage: `fig8_e2e [--layers 2] [--tokens 16] [--threads 1|max]`
 
+use tmac_core::ExecCtx;
 use tmac_devices::{profiles, project};
 use tmac_eval::Table;
 use tmac_llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
-use tmac_threadpool::ThreadPool;
 
 fn model_trio() -> Vec<(&'static str, ModelConfig, WeightQuant, project::ModelShape)> {
     vec![
@@ -42,18 +42,28 @@ fn main() {
     let tokens: usize = tmac_eval::arg("tokens", "16").parse().expect("--tokens");
     let threads_arg = tmac_eval::arg("threads", "max");
     let threads = if threads_arg == "max" {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads_arg.parse().expect("--threads")
     };
-    let pool = ThreadPool::new(threads);
-    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&pool);
+    let ctx = ExecCtx::new(threads);
+    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&ctx);
 
     let mut table = Table::new(&[
-        "model", "framework", "tokens/s (measured, extrapolated)", "speedup",
+        "model",
+        "framework",
+        "tokens/s (measured, extrapolated)",
+        "speedup",
     ]);
     let mut device_table = Table::new(&[
-        "model", "framework", "M2-Ultra", "Surface Book 3", "AGX Orin", "Raspberry Pi 5",
+        "model",
+        "framework",
+        "M2-Ultra",
+        "Surface Book 3",
+        "AGX Orin",
+        "Raspberry Pi 5",
     ]);
 
     for (label, cfg, quant, shape) in model_trio() {
@@ -63,10 +73,9 @@ fn main() {
             BackendKind::Dequant,
             BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
         ] {
-            let model =
-                Model::synthetic(&scaled, quant, kind, 21).expect("model build");
+            let model = Model::synthetic(&scaled, quant, kind, 21).expect("model build");
             let mut engine = Engine::new(model);
-            let stats = engine.measure_decode(tokens, &pool).expect("decode");
+            let stats = engine.measure_decode(tokens, &ctx).expect("decode");
             let full = stats.extrapolate_layers(layers, cfg.n_layers);
             rates.push(full.tokens_per_sec());
             table.row(vec![

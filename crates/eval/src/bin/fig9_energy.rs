@@ -7,16 +7,18 @@
 //!
 //! Usage: `fig9_energy`
 
+use tmac_core::ExecCtx;
 use tmac_devices::energy::{self, intensity};
 use tmac_devices::{profiles, project};
 use tmac_eval::Table;
-use tmac_threadpool::ThreadPool;
 
 fn main() {
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
-    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&pool);
+    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&ctx);
     let dev = &profiles::M2_ULTRA;
     let threads = 8; // the paper's multi-threaded M2-Ultra setting
 
@@ -38,8 +40,7 @@ fn main() {
     for (label, bits, shape, paper_saving) in paper {
         let base_cost = shape.dequant_cost(bits);
         let tmac_cost = shape.tmac_cost(bits, &tmac_core::KernelOpts::tmac());
-        let tps_base =
-            project::cpu_tokens_per_sec(dev, &base_cost, threads, cal_dequant, 0.25);
+        let tps_base = project::cpu_tokens_per_sec(dev, &base_cost, threads, cal_dequant, 0.25);
         let tps_tmac = project::cpu_tokens_per_sec(dev, &tmac_cost, threads, cal_tmac, 0.25);
         let p_base = energy::cpu_power_w(dev, threads, intensity::DEQUANT);
         let p_tmac = energy::cpu_power_w(dev, threads, intensity::TMAC);

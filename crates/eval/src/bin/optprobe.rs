@@ -1,16 +1,18 @@
 //! Kernel-variant diagnostic: times each option combination at one shape to
 //! attribute costs (development tool, not a paper figure).
 
+use tmac_core::ExecCtx;
 use tmac_core::{gemv, KernelOpts, WeightPlan};
 use tmac_eval::{make_act, make_weights, ms, time_best};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let m = tmac_eval::arg("m", "4096").parse::<usize>().expect("--m");
     let k = tmac_eval::arg("k", "4096").parse::<usize>().expect("--k");
     let bits = tmac_eval::arg("bits", "4").parse::<u8>().expect("--bits");
-    let threads = tmac_eval::arg("threads", "1").parse::<usize>().expect("--threads");
-    let pool = ThreadPool::new(threads);
+    let threads = tmac_eval::arg("threads", "1")
+        .parse::<usize>()
+        .expect("--threads");
+    let ctx = ExecCtx::new(threads);
     let w = make_weights(m, k, 7);
     let act = make_act(k, 7);
     let mut out = vec![0f32; m];
@@ -42,11 +44,15 @@ fn main() {
             }
         };
         let tables = gemv::build_tables(&plan, &act).expect("tables");
-        let t_table = time_best(|| {
-            let _ = gemv::build_tables(&plan, &act).expect("tables");
-        }, 2, 10);
+        let t_table = time_best(
+            || {
+                let _ = gemv::build_tables(&plan, &act).expect("tables");
+            },
+            2,
+            10,
+        );
         let t_kernel = time_best(
-            || gemv::mpgemv_with_tables(&plan, &tables, &mut out, &pool).expect("gemv"),
+            || gemv::mpgemv_with_tables(&plan, &tables, &mut out, &ctx).expect("gemv"),
             3,
             20,
         );

@@ -4,15 +4,17 @@
 //! holds on this machine before running the full suite.
 
 use tmac_baseline::DequantLinear;
+use tmac_core::ExecCtx;
 use tmac_core::{KernelOpts, TmacLinear};
 use tmac_eval::{make_act, make_weights, ms, time_best, Table};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let m = tmac_eval::arg("m", "4096").parse::<usize>().expect("--m");
     let k = tmac_eval::arg("k", "4096").parse::<usize>().expect("--k");
-    let threads = tmac_eval::arg("threads", "1").parse::<usize>().expect("--threads");
-    let pool = ThreadPool::new(threads);
+    let threads = tmac_eval::arg("threads", "1")
+        .parse::<usize>()
+        .expect("--threads");
+    let ctx = ExecCtx::new(threads);
     let w = make_weights(m, k, 7);
     let act = make_act(k, 7);
     let mut out = vec![0f32; m];
@@ -22,8 +24,8 @@ fn main() {
         let qm = tmac_quant::rtn::quantize(&w, m, k, bits, 32).expect("quantize");
         let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
         let bl = DequantLinear::new(&qm).expect("pack");
-        let t_tmac = time_best(|| tl.gemv(&act, &mut out, &pool).expect("gemv"), 5, 40);
-        let t_base = time_best(|| bl.gemv(&act, &mut out, &pool).expect("gemv"), 5, 40);
+        let t_tmac = time_best(|| tl.gemv(&act, &mut out, &ctx).expect("gemv"), 5, 40);
+        let t_base = time_best(|| bl.gemv(&act, &mut out, &ctx).expect("gemv"), 5, 40);
         table.row(vec![
             bits.to_string(),
             ms(t_tmac),

@@ -5,14 +5,16 @@
 //! Usage: `table3_nmse [--quick]`
 
 use tmac_baseline::DequantLinear;
+use tmac_core::ExecCtx;
 use tmac_core::{KernelOpts, TmacLinear};
 use tmac_eval::{make_act, make_weights, quick, Table, SHAPES};
 use tmac_simd::f32ops::nmse;
-use tmac_threadpool::ThreadPool;
 
 fn main() {
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let shapes: &[(usize, usize)] = if quick() { &SHAPES[..1] } else { &SHAPES[..3] };
     // Paper-measured references (4096x4096, 11008x4096, 4096x11008).
@@ -45,15 +47,15 @@ fn main() {
         let mut out = vec![0f32; m];
 
         let bl = DequantLinear::new(&qm).expect("pack");
-        bl.gemv(&act, &mut out, &pool).expect("gemv");
+        bl.gemv(&act, &mut out, &ctx).expect("gemv");
         let e_base = nmse(&out, &reference);
 
         let tl = TmacLinear::new(&qm, KernelOpts::tmac()).expect("plan");
-        tl.gemv(&act, &mut out, &pool).expect("gemv");
+        tl.gemv(&act, &mut out, &ctx).expect("gemv");
         let e_tmac = nmse(&out, &reference);
 
         let tf = TmacLinear::new(&qm, KernelOpts::tmac_fast_aggregation()).expect("plan");
-        tf.gemv(&act, &mut out, &pool).expect("gemv");
+        tf.gemv(&act, &mut out, &ctx).expect("gemv");
         let e_fa = nmse(&out, &reference);
 
         let p = paper.get(si).copied().unwrap_or(paper[0]);

@@ -8,9 +8,9 @@
 //!
 //! Usage: `table4_quality [--dim 512] [--layers 4] [--seqs 4] [--len 24]`
 
+use tmac_core::ExecCtx;
 use tmac_eval::Table;
 use tmac_llm::{eval as quality, BackendKind, Engine, Model, ModelConfig, WeightQuant};
-use tmac_threadpool::ThreadPool;
 
 fn main() {
     let dim: usize = tmac_eval::arg("dim", "512").parse().expect("--dim");
@@ -18,7 +18,7 @@ fn main() {
     let n_seqs: usize = tmac_eval::arg("seqs", "4").parse().expect("--seqs");
     let len: usize = tmac_eval::arg("len", "24").parse().expect("--len");
     let tasks: usize = tmac_eval::arg("tasks", "40").parse().expect("--tasks");
-    let pool = ThreadPool::new(1); // paper Table 4 is single-thread
+    let ctx = ExecCtx::new(1); // paper Table 4 is single-thread
 
     let cfg = ModelConfig {
         name: format!("mini-llama-{dim}d{layers}L"),
@@ -47,8 +47,7 @@ fn main() {
     let mut reference = Engine::new(
         Model::synthetic(&cfg, WeightQuant::Rtn(4), BackendKind::F32, 77).expect("ref model"),
     );
-    let seqs =
-        quality::teacher_sequences(&mut reference, n_seqs, len, 5, &pool).expect("sequences");
+    let seqs = quality::teacher_sequences(&mut reference, n_seqs, len, 5, &ctx).expect("sequences");
 
     let mut table = Table::new(&[
         "framework",
@@ -66,9 +65,9 @@ fn main() {
     for ((label, kind), paper) in backends.into_iter().zip(paper_rows) {
         let model = Model::synthetic(&cfg, WeightQuant::Rtn(4), kind, 77).expect("model");
         let mut engine = Engine::new(model);
-        let stats = engine.measure_decode(16, &pool).expect("decode");
-        let ppl = quality::perplexity(&mut engine, &seqs, &pool).expect("ppl");
-        let acc = quality::choice_agreement(&mut reference, &mut engine, tasks, 9, &pool)
+        let stats = engine.measure_decode(16, &ctx).expect("decode");
+        let ppl = quality::perplexity(&mut engine, &seqs, &ctx).expect("ppl");
+        let acc = quality::choice_agreement(&mut reference, &mut engine, tasks, 9, &ctx)
             .expect("agreement");
         table.row(vec![
             label.into(),

@@ -5,27 +5,24 @@
 //! board is unavailable; substitution documented in DESIGN.md). Paper
 //! measurements are printed alongside.
 
+use tmac_core::ExecCtx;
 use tmac_devices::energy::{self, intensity};
 use tmac_devices::{profiles, project};
 use tmac_eval::Table;
-use tmac_threadpool::ThreadPool;
 
 fn main() {
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
-    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&pool);
+    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&ctx);
     let dev = &profiles::JETSON_AGX_ORIN;
     let shape = project::LLAMA2_7B;
     let bits = 2u8;
 
-    let cpu_base_tps = project::cpu_tokens_per_sec(
-        dev,
-        &shape.dequant_cost(bits),
-        dev.cores,
-        cal_dequant,
-        0.25,
-    );
+    let cpu_base_tps =
+        project::cpu_tokens_per_sec(dev, &shape.dequant_cost(bits), dev.cores, cal_dequant, 0.25);
     let tmac_tps = project::cpu_tokens_per_sec(
         dev,
         &shape.tmac_cost(bits, &tmac_core::KernelOpts::tmac()),
@@ -47,7 +44,12 @@ fn main() {
         "paper (tok/s, W, J/token)",
     ]);
     for (name, tps, p, paper) in [
-        ("llama.cpp (CPU)", cpu_base_tps, p_cpu_base, "7.08, 15.0, 2.12"),
+        (
+            "llama.cpp (CPU)",
+            cpu_base_tps,
+            p_cpu_base,
+            "7.08, 15.0, 2.12",
+        ),
         ("llama.cpp (GPU)", gpu_tps, p_gpu, "20.03, 30.8, 1.54"),
         ("T-MAC (CPU)", tmac_tps, p_tmac, "15.62, 10.4, 0.66"),
     ] {

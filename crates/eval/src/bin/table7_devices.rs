@@ -6,15 +6,17 @@
 //! the official Qualcomm AI Hub numbers the paper itself uses (2-bit NPU
 //! deduced from 4-bit, marked `*`, as in the paper).
 
+use tmac_core::ExecCtx;
 use tmac_devices::{profiles, project};
 use tmac_eval::Table;
-use tmac_threadpool::ThreadPool;
 
 fn main() {
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
-    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&pool);
+    let (cal_tmac, cal_dequant) = tmac_eval::calibrate(&ctx);
     let shape = project::LLAMA2_7B;
 
     struct DeviceRow {
@@ -34,7 +36,10 @@ fn main() {
             cpu: &profiles::ONEPLUS_12,
             gpu: Some(&profiles::ADRENO_750_GPU),
             npu: Some(&profiles::HEXAGON_8GEN3),
-            paper: ["10.19 / 8.24 / 1.60 / 11.30", "16.62 / 6.95 / 1.72 / 11.30*"],
+            paper: [
+                "10.19 / 8.24 / 1.60 / 11.30",
+                "16.62 / 6.95 / 1.72 / 11.30*",
+            ],
         },
         DeviceRow {
             cpu: &profiles::JETSON_ORIN_NX,

@@ -5,9 +5,8 @@
 //! the Llama-2-7B/13B kernel shapes, deterministic synthetic data, timing
 //! helpers, and plain-text table/CSV output.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use tmac_rng::Rng;
 
 /// The six kernel shapes of the paper's Figures 6, 7 and 10 (`M × K`),
 /// drawn from Llama-2-7B (4096/11008) and Llama-2-13B (5120/13824).
@@ -28,24 +27,14 @@ pub fn shape_name(i: usize) -> String {
 
 /// Deterministic pseudo-Gaussian weights (sum of uniforms), seeded.
 pub fn make_weights(m: usize, k: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..m * k)
-        .map(|_| {
-            let s: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
-            s * 0.6
-        })
-        .collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..m * k).map(|_| rng.gaussian_ish() * 0.6).collect()
 }
 
 /// Deterministic pseudo-Gaussian activations, seeded.
 pub fn make_act(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-    (0..n)
-        .map(|_| {
-            let s: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
-            s
-        })
-        .collect()
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n).map(|_| rng.gaussian_ish()).collect()
 }
 
 /// Times `f`, returning the best wall-clock seconds over `iters` runs after
@@ -120,7 +109,10 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&self.headers, &widths));
-        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1))));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1))
+        ));
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
         }
@@ -176,24 +168,32 @@ pub fn local_profile(threads: usize) -> tmac_devices::CpuProfile {
 ///
 /// Returns `(tmac, dequant)` calibrations. Falls back to the representative
 /// defaults if a measurement fails.
-pub fn calibrate(pool: &tmac_threadpool::ThreadPool) -> (tmac_devices::Calibration, tmac_devices::Calibration) {
+pub fn calibrate(
+    ctx: &tmac_core::ExecCtx,
+) -> (tmac_devices::Calibration, tmac_devices::Calibration) {
     use tmac_devices::project::cpu_latency;
     use tmac_devices::Calibration;
     let (m, k, bits) = (2048usize, 2048usize, 2u8);
     let w = make_weights(m, k, 99);
     let act = make_act(k, 99);
     let mut out = vec![0f32; m];
-    let profile = local_profile(pool.threads());
+    let profile = local_profile(ctx.threads());
     let Ok(qm) = tmac_quant::rtn::quantize(&w, m, k, bits, 32) else {
         return (Calibration::default_tmac(), Calibration::default_dequant());
     };
     let tmac_cal = match tmac_core::TmacLinear::new(&qm, tmac_core::KernelOpts::tmac()) {
         Ok(lin) => {
-            let measured = time_best(|| lin.gemv(&act, &mut out, pool).expect("gemv"), 3, 15);
+            let measured = time_best(|| lin.gemv(&act, &mut out, ctx).expect("gemv"), 3, 15);
             let modelled = cpu_latency(
                 &profile,
-                &tmac_core::cost::tmac_gemv_cost(m, k, bits as usize, 32, &tmac_core::KernelOpts::tmac()),
-                pool.threads(),
+                &tmac_core::cost::tmac_gemv_cost(
+                    m,
+                    k,
+                    bits as usize,
+                    32,
+                    &tmac_core::KernelOpts::tmac(),
+                ),
+                ctx.threads(),
                 Calibration::unit(),
             );
             Calibration::from_measurement(modelled, measured)
@@ -202,11 +202,11 @@ pub fn calibrate(pool: &tmac_threadpool::ThreadPool) -> (tmac_devices::Calibrati
     };
     let dequant_cal = match tmac_baseline::DequantLinear::new(&qm) {
         Ok(lin) => {
-            let measured = time_best(|| lin.gemv(&act, &mut out, pool).expect("gemv"), 3, 15);
+            let measured = time_best(|| lin.gemv(&act, &mut out, ctx).expect("gemv"), 3, 15);
             let modelled = cpu_latency(
                 &profile,
                 &tmac_core::cost::dequant_gemv_cost(m, k, bits as usize),
-                pool.threads(),
+                ctx.threads(),
                 Calibration::unit(),
             );
             Calibration::from_measurement(modelled, measured)

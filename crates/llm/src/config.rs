@@ -160,19 +160,19 @@ impl ModelConfig {
     ///
     /// Returns a message naming the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.dim % self.n_heads != 0 {
+        if !self.dim.is_multiple_of(self.n_heads) {
             return Err(format!("dim {} % heads {} != 0", self.dim, self.n_heads));
         }
-        if self.n_heads % self.n_kv_heads != 0 {
+        if !self.n_heads.is_multiple_of(self.n_kv_heads) {
             return Err(format!(
                 "heads {} % kv_heads {} != 0",
                 self.n_heads, self.n_kv_heads
             ));
         }
-        if self.dim % 32 != 0 || self.ffn_dim % 32 != 0 {
+        if !self.dim.is_multiple_of(32) || !self.ffn_dim.is_multiple_of(32) {
             return Err("dim and ffn_dim must be multiples of 32 (quant groups)".into());
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             return Err("head_dim must be even for RoPE".into());
         }
         Ok(())

@@ -12,7 +12,7 @@
 use crate::backend::BackendError;
 use crate::model::{KvCache, Model, Scratch};
 use crate::ops;
-use tmac_threadpool::ThreadPool;
+use tmac_core::ExecCtx;
 
 /// A model plus its generation state.
 pub struct Engine {
@@ -81,10 +81,10 @@ impl Engine {
         &mut self,
         token: u32,
         pos: usize,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<Vec<f32>, BackendError> {
         self.model
-            .forward(token, pos, &mut self.cache, &mut self.scratch, pool)?;
+            .forward(token, pos, &mut self.cache, &mut self.scratch, ctx)?;
         Ok(self.scratch.logits.clone())
     }
 
@@ -97,7 +97,7 @@ impl Engine {
         &mut self,
         prompt: &[u32],
         n_new: usize,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<Vec<u32>, BackendError> {
         if prompt.is_empty() {
             return Err(BackendError::Shape("empty prompt".into()));
@@ -114,14 +114,14 @@ impl Engine {
         let mut pos = 0;
         for &t in &prompt[..prompt.len() - 1] {
             self.model
-                .forward(t, pos, &mut self.cache, &mut self.scratch, pool)?;
+                .forward(t, pos, &mut self.cache, &mut self.scratch, ctx)?;
             pos += 1;
         }
         let mut out = Vec::with_capacity(n_new);
         let mut token = *prompt.last().expect("non-empty prompt");
         for _ in 0..n_new {
             self.model
-                .forward(token, pos, &mut self.cache, &mut self.scratch, pool)?;
+                .forward(token, pos, &mut self.cache, &mut self.scratch, ctx)?;
             pos += 1;
             token = ops::argmax(&self.scratch.logits) as u32;
             out.push(token);
@@ -138,7 +138,7 @@ impl Engine {
     pub fn measure_decode(
         &mut self,
         n_tokens: usize,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<DecodeStats, BackendError> {
         self.reset();
         let mut layer_s = 0f64;
@@ -146,7 +146,7 @@ impl Engine {
         let mut token = 1u32;
         // Warm-up token (paper: warm-up before measurement).
         self.model
-            .forward(token, 0, &mut self.cache, &mut self.scratch, pool)?;
+            .forward(token, 0, &mut self.cache, &mut self.scratch, ctx)?;
         for i in 0..n_tokens {
             let pos = i + 1;
             if pos >= self.model.cfg.seq_max {
@@ -154,12 +154,14 @@ impl Engine {
             }
             let (l, o) =
                 self.model
-                    .forward_timed(token, pos, &mut self.cache, &mut self.scratch, pool)?;
+                    .forward_timed(token, pos, &mut self.cache, &mut self.scratch, ctx)?;
             layer_s += l;
             other_s += o;
             token = (ops::argmax(&self.scratch.logits) as u32) % self.model.cfg.vocab as u32;
         }
-        let n = n_tokens.min(self.model.cfg.seq_max.saturating_sub(1)).max(1);
+        let n = n_tokens
+            .min(self.model.cfg.seq_max.saturating_sub(1))
+            .max(1);
         Ok(DecodeStats {
             seconds_per_token: (layer_s + other_s) / n as f64,
             layer_seconds: layer_s / n as f64,
@@ -181,10 +183,10 @@ mod tests {
 
     #[test]
     fn greedy_generation_is_deterministic() {
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut e = engine(BackendKind::F32);
-        let a = e.generate(&[1, 2, 3], 8, &pool).unwrap();
-        let b = e.generate(&[1, 2, 3], 8, &pool).unwrap();
+        let a = e.generate(&[1, 2, 3], 8, &ctx).unwrap();
+        let b = e.generate(&[1, 2, 3], 8, &ctx).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 8);
         assert!(a.iter().all(|&t| (t as usize) < e.model.cfg.vocab));
@@ -195,19 +197,19 @@ mod tests {
         // Quantization error may eventually diverge sequences, but the first
         // tokens should agree between T-MAC and the dequant baseline (same
         // quantized weights).
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut d = engine(BackendKind::Dequant);
         let mut t = engine(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
-        let gd = d.generate(&[5, 6], 4, &pool).unwrap();
-        let gt = t.generate(&[5, 6], 4, &pool).unwrap();
+        let gd = d.generate(&[5, 6], 4, &ctx).unwrap();
+        let gt = t.generate(&[5, 6], 4, &ctx).unwrap();
         assert_eq!(gd[0], gt[0], "first generated token differs");
     }
 
     #[test]
     fn measure_decode_reports_sane_stats() {
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut e = engine(BackendKind::F32);
-        let s = e.measure_decode(6, &pool).unwrap();
+        let s = e.measure_decode(6, &ctx).unwrap();
         assert!(s.seconds_per_token > 0.0);
         assert!(s.layer_seconds > 0.0);
         assert!(s.tokens_per_sec() > 0.0);
@@ -230,10 +232,10 @@ mod tests {
 
     #[test]
     fn generation_rejects_overflow_and_empty() {
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let mut e = engine(BackendKind::F32);
-        assert!(e.generate(&[], 4, &pool).is_err());
+        assert!(e.generate(&[], 4, &ctx).is_err());
         let max = e.model.cfg.seq_max;
-        assert!(e.generate(&[1], max, &pool).is_err());
+        assert!(e.generate(&[1], max, &ctx).is_err());
     }
 }

@@ -8,11 +8,17 @@
 //! extrapolation, and model-quality evaluators (perplexity, choice
 //! agreement).
 //!
+//! Every forward runs under a [`tmac_core::ExecCtx`], whose activation-table
+//! cache shares one LUT build across the projections that consume the same
+//! activation (QKV; gate/up) — the T-MAC precompute amortization applied to
+//! the whole decode stack. Backends implement [`backend::LinearBackend`] and
+//! plug in through [`backend::BackendRegistry`] without touching the model.
+//!
 //! # Examples
 //!
 //! ```
+//! use tmac_core::ExecCtx;
 //! use tmac_llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
-//! use tmac_threadpool::ThreadPool;
 //!
 //! let cfg = ModelConfig::tiny();
 //! let model = Model::synthetic(
@@ -23,9 +29,12 @@
 //! )
 //! .unwrap();
 //! let mut engine = Engine::new(model);
-//! let pool = ThreadPool::new(2);
-//! let tokens = engine.generate(&[1, 2, 3], 8, &pool).unwrap();
+//! let ctx = ExecCtx::new(2);
+//! let tokens = engine.generate(&[1, 2, 3], 8, &ctx).unwrap();
 //! assert_eq!(tokens.len(), 8);
+//! // Table builds were shared across QKV and gate/up projections:
+//! let stats = ctx.table_stats();
+//! assert!(stats.hits > 0);
 //! ```
 
 pub mod backend;
@@ -36,7 +45,11 @@ pub mod model;
 pub mod ops;
 pub mod weights;
 
-pub use backend::{BackendError, BackendKind, Linear};
+pub use backend::{
+    BackendBuilder, BackendError, BackendKind, BackendRegistry, DequantBackend, F32Backend, Linear,
+    LinearBackend, TmacBackend,
+};
 pub use config::{ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine};
 pub use model::{KvCache, Model, Scratch};
+pub use tmac_core::{ExecCtx, TableCacheStats};

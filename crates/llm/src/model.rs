@@ -6,11 +6,11 @@
 //! the compared backends, so the same model definition measures T-MAC, the
 //! dequant baseline and the `f32` reference.
 
-use crate::backend::{BackendError, BackendKind, Linear};
+use crate::backend::{BackendBuilder, BackendError, BackendKind, Linear};
 use crate::config::{ModelConfig, WeightQuant};
 use crate::ops;
 use crate::weights::{gen_gain, gen_matrix, tensor_seed};
-use tmac_threadpool::ThreadPool;
+use tmac_core::ExecCtx;
 
 /// Per-layer weights.
 #[derive(Debug, Clone)]
@@ -42,8 +42,6 @@ pub struct Model {
     pub cfg: ModelConfig,
     /// Weight quantizer the linear layers were built with.
     pub quant: WeightQuant,
-    /// Backend of the linear layers.
-    pub kind: BackendKind,
     /// Token embeddings (`vocab × dim`, kept in `f32`: it is a lookup, not
     /// a GEMV).
     pub embed: Vec<f32>,
@@ -160,16 +158,33 @@ impl Model {
         kind: BackendKind,
         seed: u64,
     ) -> Result<Model, BackendError> {
+        Self::synthetic_with(cfg, quant, &kind, seed)
+    }
+
+    /// [`Model::synthetic`] over an arbitrary [`BackendBuilder`] — the
+    /// extension point that lets registry-provided backends drive the model
+    /// without the model knowing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and backend build failures.
+    pub fn synthetic_with(
+        cfg: &ModelConfig,
+        quant: WeightQuant,
+        builder: &dyn BackendBuilder,
+        seed: u64,
+    ) -> Result<Model, BackendError> {
         cfg.validate().map_err(BackendError::Shape)?;
         let quantize = |w: &[f32], rows: usize, cols: usize| match quant {
             WeightQuant::Rtn(bits) => tmac_quant::rtn::quantize(w, rows, cols, bits, 32),
             WeightQuant::BitnetTernary => tmac_quant::bitnet::quantize(w, rows, cols, 32),
         };
-        let build = |rows: usize, cols: usize, seed: u64, scale: f32| -> Result<Linear, BackendError> {
-            let w = gen_matrix(rows, cols, seed, scale);
-            let qm = quantize(&w, rows, cols)?;
-            Linear::build(kind, &qm, &w)
-        };
+        let build =
+            |rows: usize, cols: usize, seed: u64, scale: f32| -> Result<Linear, BackendError> {
+                let w = gen_matrix(rows, cols, seed, scale);
+                let qm = quantize(&w, rows, cols)?;
+                builder.build(&qm, &w)
+            };
 
         let (dim, kv_dim, ffn) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
         // Scales roughly follow 1/sqrt(dim) initialization.
@@ -182,7 +197,12 @@ impl Model {
                 wv: build(kv_dim, dim, tensor_seed(seed, l, "wv"), ws)?,
                 wo: build(dim, dim, tensor_seed(seed, l, "wo"), ws)?,
                 w1: build(ffn, dim, tensor_seed(seed, l, "w1"), ws)?,
-                w2: build(dim, ffn, tensor_seed(seed, l, "w2"), 1.0 / (ffn as f32).sqrt())?,
+                w2: build(
+                    dim,
+                    ffn,
+                    tensor_seed(seed, l, "w2"),
+                    1.0 / (ffn as f32).sqrt(),
+                )?,
                 w3: build(ffn, dim, tensor_seed(seed, l, "w3"), ws)?,
                 rms_attn: gen_gain(dim, tensor_seed(seed, l, "rms_attn")),
                 rms_ffn: gen_gain(dim, tensor_seed(seed, l, "rms_ffn")),
@@ -193,7 +213,6 @@ impl Model {
         Ok(Model {
             cfg: cfg.clone(),
             quant,
-            kind,
             embed,
             rms_final: gen_gain(dim, tensor_seed(seed, usize::MAX, "rms_final")),
             head,
@@ -214,9 +233,9 @@ impl Model {
         pos: usize,
         cache: &mut KvCache,
         scratch: &mut Scratch,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<(), BackendError> {
-        let (layer_secs, _) = self.forward_timed(token, pos, cache, scratch, pool)?;
+        let (layer_secs, _) = self.forward_timed(token, pos, cache, scratch, ctx)?;
         let _ = layer_secs;
         Ok(())
     }
@@ -234,7 +253,7 @@ impl Model {
         pos: usize,
         cache: &mut KvCache,
         scratch: &mut Scratch,
-        pool: &ThreadPool,
+        ctx: &ExecCtx,
     ) -> Result<(f64, f64), BackendError> {
         let cfg = &self.cfg;
         if token as usize >= cfg.vocab {
@@ -257,11 +276,14 @@ impl Model {
 
         let t_layers = std::time::Instant::now();
         for (l, lw) in self.layers.iter().enumerate() {
-            // Attention block.
+            // Attention block. The three QKV projections consume the same
+            // normed activation, so one generation scope shares one table
+            // build across them (T-MAC's precompute amortization, §3.2).
             ops::rmsnorm(&mut s.xn, &s.x, &lw.rms_attn, 1e-5);
-            lw.wq.forward(&s.xn, &mut s.q, pool)?;
-            lw.wk.forward(&s.xn, &mut s.k, pool)?;
-            lw.wv.forward(&s.xn, &mut s.v, pool)?;
+            ctx.next_activation();
+            lw.wq.forward(&s.xn, &mut s.q, ctx)?;
+            lw.wk.forward(&s.xn, &mut s.k, ctx)?;
+            lw.wv.forward(&s.xn, &mut s.v, ctx)?;
             ops::rope(&mut s.q, head_dim, pos, cfg.rope_theta);
             ops::rope(&mut s.k, head_dim, pos, cfg.rope_theta);
             cache.store(l, pos, &s.k, &s.v);
@@ -282,24 +304,34 @@ impl Model {
                     tmac_simd::f32ops::axpy(out, s.scores[t], vt);
                 }
             }
-            lw.wo.forward(&s.att, &mut s.proj, pool)?;
+            ctx.next_activation();
+            lw.wo.forward(&s.att, &mut s.proj, ctx)?;
             ops::add_assign(&mut s.x, &s.proj);
 
-            // FFN block.
+            // FFN block: gate and up share the FFN-normed activation.
             ops::rmsnorm(&mut s.xn, &s.x, &lw.rms_ffn, 1e-5);
-            lw.w1.forward(&s.xn, &mut s.gate, pool)?;
-            lw.w3.forward(&s.xn, &mut s.up, pool)?;
+            ctx.next_activation();
+            lw.w1.forward(&s.xn, &mut s.gate, ctx)?;
+            lw.w3.forward(&s.xn, &mut s.up, ctx)?;
             ops::swiglu(&mut s.hidden, &s.gate, &s.up);
-            lw.w2.forward(&s.hidden, &mut s.ffn, pool)?;
+            ctx.next_activation();
+            lw.w2.forward(&s.hidden, &mut s.ffn, ctx)?;
             ops::add_assign(&mut s.x, &s.ffn);
         }
         let layer_secs = t_layers.elapsed().as_secs_f64();
 
         ops::rmsnorm(&mut s.xn, &s.x, &self.rms_final, 1e-5);
-        self.head.forward(&s.xn, &mut s.logits, pool)?;
+        ctx.next_activation();
+        self.head.forward(&s.xn, &mut s.logits, ctx)?;
         cache.len = cache.len.max(pos + 1);
         let total = t_start.elapsed().as_secs_f64();
         Ok((layer_secs, total - layer_secs))
+    }
+
+    /// Display label of the backend the linear layers run on (derived from
+    /// the layers themselves; every layer is built by one builder).
+    pub fn backend_label(&self) -> String {
+        self.head.label()
     }
 
     /// Packed weight bytes streamed per decoded token (layers + head).
@@ -331,12 +363,13 @@ mod tests {
 
     #[test]
     fn forward_produces_finite_logits() {
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let m = tiny_model(BackendKind::F32);
         let mut cache = KvCache::new(&m.cfg);
         let mut s = Scratch::new(&m.cfg);
         for pos in 0..4 {
-            m.forward(pos as u32 + 1, pos, &mut cache, &mut s, &pool).unwrap();
+            m.forward(pos as u32 + 1, pos, &mut cache, &mut s, &ctx)
+                .unwrap();
             assert!(s.logits.iter().all(|x| x.is_finite()), "pos {pos}");
         }
         assert_eq!(cache.len, 4);
@@ -344,15 +377,16 @@ mod tests {
 
     #[test]
     fn backends_agree_on_logits() {
-        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(2);
         let f = tiny_model(BackendKind::F32);
         let d = tiny_model(BackendKind::Dequant);
         let t = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
-        let mut run = |m: &Model| {
+        let run = |m: &Model| {
             let mut cache = KvCache::new(&m.cfg);
             let mut s = Scratch::new(&m.cfg);
             for pos in 0..3 {
-                m.forward(7 + pos as u32, pos, &mut cache, &mut s, &pool).unwrap();
+                m.forward(7 + pos as u32, pos, &mut cache, &mut s, &ctx)
+                    .unwrap();
             }
             s.logits.clone()
         };
@@ -367,14 +401,47 @@ mod tests {
 
     #[test]
     fn rejects_bad_token_and_pos() {
-        let pool = ThreadPool::new(1);
+        let ctx = ExecCtx::new(1);
         let m = tiny_model(BackendKind::F32);
         let mut cache = KvCache::new(&m.cfg);
         let mut s = Scratch::new(&m.cfg);
-        assert!(m.forward(10_000, 0, &mut cache, &mut s, &pool).is_err());
+        assert!(m.forward(10_000, 0, &mut cache, &mut s, &ctx).is_err());
         assert!(m
-            .forward(1, m.cfg.seq_max, &mut cache, &mut s, &pool)
+            .forward(1, m.cfg.seq_max, &mut cache, &mut s, &ctx)
             .is_err());
+    }
+
+    #[test]
+    fn qkv_and_gate_up_share_table_builds() {
+        // The acceptance invariant of the ExecCtx redesign: per decoded
+        // token and layer, wq/wk/wv share ONE ActTables build and w1/w3
+        // share another. With distinct activations for wo, w2 and the head,
+        // a token costs `4·layers + 1` builds and `3·layers` cache hits.
+        let ctx = ExecCtx::new(1);
+        let m = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
+        let mut cache = KvCache::new(&m.cfg);
+        let mut s = Scratch::new(&m.cfg);
+        m.forward(1, 0, &mut cache, &mut s, &ctx).unwrap();
+        let layers = m.cfg.n_layers as u64;
+        let stats = ctx.table_stats();
+        assert_eq!(
+            stats.misses,
+            4 * layers + 1,
+            "expected one build per distinct activation"
+        );
+        assert_eq!(
+            stats.hits,
+            3 * layers,
+            "wk, wv and w3 must reuse the builds of wq and w1"
+        );
+        // And the reuse must not change results: compare against f32-path
+        // independence by running a second token and checking finiteness +
+        // determinism across a fresh context.
+        let ctx2 = ExecCtx::new(1);
+        let mut cache2 = KvCache::new(&m.cfg);
+        let mut s2 = Scratch::new(&m.cfg);
+        m.forward(1, 0, &mut cache2, &mut s2, &ctx2).unwrap();
+        assert_eq!(s.logits, s2.logits);
     }
 
     #[test]

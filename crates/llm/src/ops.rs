@@ -62,7 +62,7 @@ pub fn log_softmax_at(logits: &[f32], idx: usize) -> f64 {
 ///
 /// Panics if `v.len()` is not a multiple of `head_dim` or `head_dim` is odd.
 pub fn rope(v: &mut [f32], head_dim: usize, pos: usize, theta: f32) {
-    assert!(head_dim % 2 == 0, "rope needs even head_dim");
+    assert!(head_dim.is_multiple_of(2), "rope needs even head_dim");
     assert_eq!(v.len() % head_dim, 0, "rope vector not head-aligned");
     for head in v.chunks_mut(head_dim) {
         for i in 0..head_dim / 2 {
@@ -169,8 +169,8 @@ mod tests {
         let v = vec![0.5f32, -1.0, 2.0, 0.0];
         let mut s = v.clone();
         softmax(&mut s);
-        for i in 0..v.len() {
-            assert!((log_softmax_at(&v, i) - (s[i] as f64).ln()).abs() < 1e-5);
+        for (i, &si) in s.iter().enumerate() {
+            assert!((log_softmax_at(&v, i) - (si as f64).ln()).abs() < 1e-5);
         }
     }
 

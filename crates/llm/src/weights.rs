@@ -10,8 +10,7 @@
 //! Generation is deterministic in `(seed, rows, cols)`, so every backend of
 //! a comparison builds from bit-identical `f32` weights.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tmac_rng::Rng;
 
 /// Rank of the structured component.
 const RANK: usize = 4;
@@ -21,23 +20,23 @@ const RANK: usize = 4;
 /// The distribution is `scale * (low_rank + 0.5 * noise) * row_gain`, where
 /// `row_gain` varies ±50% across rows.
 pub fn gen_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let u: Vec<f32> = (0..rows * RANK).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-    let v: Vec<f32> = (0..cols * RANK).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-    let row_gain: Vec<f32> = (0..rows).map(|_| rng.gen_range(0.5f32..1.5)).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let u: Vec<f32> = (0..rows * RANK).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    let v: Vec<f32> = (0..cols * RANK).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    let row_gain: Vec<f32> = (0..rows).map(|_| rng.f32_range(0.5, 1.5)).collect();
     let mut w = vec![0f32; rows * cols];
     let norm = scale / (RANK as f32).sqrt();
     for r in 0..rows {
         let ur = &u[r * RANK..(r + 1) * RANK];
         let g = row_gain[r] * norm;
         // One cheap per-row noise stream keeps generation O(rows*cols).
-        let mut nrng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
+        let mut nrng = Rng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
         for c in 0..cols {
             let mut s = 0f32;
             for (j, &uj) in ur.iter().enumerate() {
                 s += uj * v[c * RANK + j];
             }
-            let noise: f32 = nrng.gen_range(-0.5f32..0.5);
+            let noise: f32 = nrng.f32_range(-0.5, 0.5);
             w[r * cols + c] = g * (s + noise);
         }
     }
@@ -46,8 +45,8 @@ pub fn gen_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Vec<f32> {
 
 /// Generates an RMS-norm gain vector (near 1.0 with small variation).
 pub fn gen_gain(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| 1.0 + rng.gen_range(-0.1f32..0.1)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| 1.0 + rng.f32_range(-0.1, 0.1)).collect()
 }
 
 /// Stable per-tensor seed derived from a base seed, layer and tensor name.
@@ -73,7 +72,13 @@ mod tests {
     fn has_row_scale_variation() {
         let w = gen_matrix(32, 256, 11, 0.1);
         let norms: Vec<f32> = (0..32)
-            .map(|r| w[r * 256..(r + 1) * 256].iter().map(|x| x * x).sum::<f32>().sqrt())
+            .map(|r| {
+                w[r * 256..(r + 1) * 256]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f32>()
+                    .sqrt()
+            })
             .collect();
         let max = norms.iter().fold(0f32, |m, &x| m.max(x));
         let min = norms.iter().fold(f32::INFINITY, |m, &x| m.min(x));

@@ -44,7 +44,7 @@ pub fn quantize(
             rows * cols
         )));
     }
-    if group_size == 0 || cols % group_size != 0 {
+    if group_size == 0 || !cols.is_multiple_of(group_size) {
         return Err(QuantError::Shape(format!(
             "cols {cols} not divisible by group_size {group_size}"
         )));
@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn ternary_values_only() {
-        let w: Vec<f32> = (0..128).map(|i| ((i * 31) % 17) as f32 * 0.2 - 1.6).collect();
+        let w: Vec<f32> = (0..128)
+            .map(|i| ((i * 31) % 17) as f32 * 0.2 - 1.6)
+            .collect();
         let q = quantize(&w, 2, 64, 32).unwrap();
         let d = q.dequantize();
         for r in 0..2 {

@@ -36,7 +36,7 @@ pub fn quantize(
             rows * cols
         )));
     }
-    if group_size == 0 || cols % group_size != 0 {
+    if group_size == 0 || !cols.is_multiple_of(group_size) {
         return Err(QuantError::Shape(format!(
             "cols {cols} not divisible by group_size {group_size}"
         )));
@@ -115,9 +115,7 @@ mod tests {
             let group_sum_err = |d: &[f32]| -> f32 {
                 d.chunks(32)
                     .zip(w.chunks(32))
-                    .map(|(dq, orig)| {
-                        (dq.iter().sum::<f32>() - orig.iter().sum::<f32>()).abs()
-                    })
+                    .map(|(dq, orig)| (dq.iter().sum::<f32>() - orig.iter().sum::<f32>()).abs())
                     .sum()
             };
             let ge = group_sum_err(&gd);

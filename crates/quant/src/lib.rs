@@ -93,7 +93,7 @@ impl QuantizedMatrix {
         if !(1..=4).contains(&self.bits) {
             return Err(QuantError::UnsupportedBits(self.bits));
         }
-        if self.group_size == 0 || self.cols % self.group_size != 0 {
+        if self.group_size == 0 || !self.cols.is_multiple_of(self.group_size) {
             return Err(QuantError::Shape(format!(
                 "cols {} not divisible by group_size {}",
                 self.cols, self.group_size

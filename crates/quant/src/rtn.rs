@@ -46,7 +46,7 @@ pub fn quantize(
             rows * cols
         )));
     }
-    if group_size == 0 || cols % group_size != 0 {
+    if group_size == 0 || !cols.is_multiple_of(group_size) {
         return Err(QuantError::Shape(format!(
             "cols {cols} not divisible by group_size {group_size}"
         )));
@@ -136,7 +136,12 @@ mod tests {
                     .sum::<f32>()
             })
             .collect();
-        assert!(errs[1] < errs[0] * 0.25, "4-bit {} vs 1-bit {}", errs[1], errs[0]);
+        assert!(
+            errs[1] < errs[0] * 0.25,
+            "4-bit {} vs 1-bit {}",
+            errs[1],
+            errs[0]
+        );
     }
 
     #[test]
@@ -157,7 +162,9 @@ mod tests {
 
     #[test]
     fn one_bit_codes_are_signs() {
-        let w: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let w: Vec<f32> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let q = quantize(&w, 1, 32, 1, 32).unwrap();
         for (i, &c) in q.codes.iter().enumerate() {
             assert_eq!(c, if i % 2 == 0 { 1 } else { 0 });

@@ -155,7 +155,7 @@ pub fn unpack_nibbles_sequential(bytes: __m128i) -> __m256i {
     let mask = _mm_set1_epi8(0x0F);
     let lo = _mm_and_si128(bytes, mask); // rows 0,2,4,..,30
     let hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), mask); // rows 1,3,5,..,31
-    // Interleave to restore row order: [r0 r1 r2 r3 ...].
+                                                            // Interleave to restore row order: [r0 r1 r2 r3 ...].
     let even_odd_lo = _mm_unpacklo_epi8(lo, hi); // rows 0..16
     let even_odd_hi = _mm_unpackhi_epi8(lo, hi); // rows 16..32
     _mm256_inserti128_si256(_mm256_castsi128_si256(even_odd_lo), even_odd_hi, 1)
@@ -541,7 +541,9 @@ mod tests {
         }
         // Rows 0..32 packed sequentially: byte j = row 2j | row 2j+1 << 4.
         let rows: Vec<u8> = (0..32).map(|r| (r * 3) % 16).collect();
-        let packed: Vec<u8> = (0..16).map(|j| rows[2 * j] | (rows[2 * j + 1] << 4)).collect();
+        let packed: Vec<u8> = (0..16)
+            .map(|j| rows[2 * j] | (rows[2 * j + 1] << 4))
+            .collect();
         // SAFETY: AVX2 checked by `skip`.
         let got = unsafe {
             let b = loadu_128(&packed);

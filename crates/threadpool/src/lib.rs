@@ -30,11 +30,18 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), 0 + 1 + 2 + 3);
 //! ```
 
-use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
 use std::sync::Arc;
 use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Locks a mutex, ignoring poisoning: job panics are caught on both the
+/// worker and dispatcher sides (see [`ThreadPool::run`]), so the slot state
+/// is always left consistent even when a job unwinds.
+fn lock_slot(m: &Mutex<JobSlot>) -> MutexGuard<'_, JobSlot> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Type-erased job: invoked as `job(worker_index)`.
 ///
@@ -56,6 +63,9 @@ struct JobSlot {
     job: Option<RawJob>,
     /// Workers still running the current generation.
     remaining: usize,
+    /// Set when a worker's job invocation panicked this generation; the
+    /// dispatcher turns it into a panic on the calling thread.
+    worker_panicked: bool,
     /// Set once to ask workers to exit.
     shutdown: bool,
 }
@@ -95,6 +105,7 @@ impl ThreadPool {
                 generation: 0,
                 job: None,
                 remaining: 0,
+                worker_panicked: false,
                 shutdown: false,
             }),
             start: Condvar::new(),
@@ -128,6 +139,17 @@ impl ThreadPool {
     /// Thread index 0 is the calling thread. The closure must partition its
     /// own work from the index (static threadblock scheduling); see
     /// [`ThreadPool::chunks`] for the common contiguous-range split.
+    ///
+    /// One pool runs one job at a time: dispatching from two threads
+    /// concurrently is a caller bug (the job slot is single-entry) and
+    /// panics rather than risking workers reading a dead closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another `run` is in flight on this pool, or if the job
+    /// panicked on any thread — worker panics are caught, the dispatch is
+    /// drained, and the panic is re-raised on the calling thread (so a
+    /// panicking job can never deadlock or poison the pool).
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize, usize) + Sync,
@@ -146,22 +168,40 @@ impl ThreadPool {
         // erased reference never outlives this call frame (see below).
         let raw: RawJob = unsafe { std::mem::transmute(job_ref) };
         {
-            let mut slot = self.shared.lock.lock();
-            debug_assert_eq!(slot.remaining, 0, "dispatch while a job is running");
+            let mut slot = lock_slot(&self.shared.lock);
+            // A real assert (not debug-only): a concurrent dispatch would
+            // let workers dereference a returned call frame's closure (UB).
+            // The check is inside an already-taken lock, so it is free.
+            assert_eq!(slot.remaining, 0, "concurrent ThreadPool::run dispatch");
             slot.job = Some(raw);
             slot.remaining = n - 1;
             slot.generation += 1;
             self.shared.start.notify_all();
         }
-        // The dispatcher runs thread block 0 itself.
-        call(0);
-        let mut slot = self.shared.lock.lock();
+        // The dispatcher runs thread block 0 itself. Its share is run under
+        // catch_unwind: unwinding out of this frame before the workers
+        // finish would free the closure they are still calling (UB), so the
+        // wait below must happen on the panic path too.
+        let dispatcher_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| call(0)));
+        let mut slot = lock_slot(&self.shared.lock);
         while slot.remaining != 0 {
-            self.shared.done.wait(&mut slot);
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
         }
         slot.job = None;
+        let worker_panicked = std::mem::take(&mut slot.worker_panicked);
+        drop(slot);
         // `raw` (and thus `call`/`f`) outlives all worker dereferences: they
-        // all finished before `remaining` hit 0.
+        // all finished before `remaining` hit 0. Only now is unwinding safe.
+        if let Err(p) = dispatcher_result {
+            std::panic::resume_unwind(p);
+        }
+        if worker_panicked {
+            panic!("a worker thread panicked during a ThreadPool job");
+        }
     }
 
     /// Splits `0..total` into per-thread contiguous chunks and runs
@@ -191,7 +231,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.lock.lock();
+            let mut slot = lock_slot(&self.shared.lock);
             slot.shutdown = true;
             self.shared.start.notify_all();
         }
@@ -205,9 +245,9 @@ fn worker_loop(shared: &Shared, tid: usize) {
     let mut seen_generation = 0u64;
     loop {
         let raw = {
-            let mut slot = shared.lock.lock();
+            let mut slot = lock_slot(&shared.lock);
             while !slot.shutdown && slot.generation == seen_generation {
-                shared.start.wait(&mut slot);
+                slot = shared.start.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
             if slot.shutdown {
                 return;
@@ -217,10 +257,16 @@ fn worker_loop(shared: &Shared, tid: usize) {
         };
         // SAFETY: `raw` was produced from a live `&(dyn Fn(usize) + Sync)` in
         // `run`, which keeps the closure alive until `remaining` reaches 0;
-        // we decrement only after the call returns.
+        // we decrement only after the call returns or unwinds.
         let job: &(dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(raw) };
-        job(tid);
-        let mut slot = shared.lock.lock();
+        // Catch panics so `remaining` always reaches 0: a panicking job must
+        // fail the dispatch (re-raised by `run`), not deadlock it — and the
+        // worker must stay alive for future dispatches.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(tid)));
+        let mut slot = lock_slot(&shared.lock);
+        if result.is_err() {
+            slot.worker_panicked = true;
+        }
         slot.remaining -= 1;
         if slot.remaining == 0 {
             shared.done.notify_one();
@@ -350,6 +396,41 @@ mod tests {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i as f32);
         }
+    }
+
+    #[test]
+    fn panicking_job_fails_the_dispatch_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        // A worker-side panic must not deadlock `run` — it re-raises on the
+        // dispatcher...
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid, _| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must propagate to the dispatcher");
+        // ...and the pool must remain fully usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(|_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        // Dispatcher-side panics (thread 0) also drain cleanly.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid, _| {
+                if tid == 0 {
+                    panic!("boom on dispatcher");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        let hits = AtomicUsize::new(0);
+        pool.run(|_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example edge_chat`.
 
+use tmac::core::ExecCtx;
 use tmac::llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
-use tmac::threadpool::ThreadPool;
 
 fn main() {
     // A laptop-scale model: real llama wiring (RoPE, GQA, SwiGLU), scaled
@@ -22,23 +22,30 @@ fn main() {
         seq_max: 128,
         rope_theta: 10000.0,
     };
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let prompt = [1u32, 42, 7, 100];
 
     for (label, kind) in [
         ("llama.cpp-style dequant", BackendKind::Dequant),
-        ("T-MAC LUT kernels", BackendKind::Tmac(tmac::core::KernelOpts::tmac())),
+        (
+            "T-MAC LUT kernels",
+            BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        ),
     ] {
-        let model =
-            Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 1234).expect("build model");
+        let model = Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 1234).expect("build model");
         let mut engine = Engine::new(model);
-        let tokens = engine.generate(&prompt, 24, &pool).expect("generate");
-        let stats = engine.measure_decode(24, &pool).expect("measure");
+        let tokens = engine.generate(&prompt, 24, &ctx).expect("generate");
+        let stats = engine.measure_decode(24, &ctx).expect("measure");
         println!("{label}:");
         println!("  generated: {tokens:?}");
-        println!("  decode throughput: {:.1} tokens/s\n", stats.tokens_per_sec());
+        println!(
+            "  decode throughput: {:.1} tokens/s\n",
+            stats.tokens_per_sec()
+        );
     }
     println!(
         "Both backends run the same 2-bit weights; T-MAC replaces the\n\

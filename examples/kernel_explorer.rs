@@ -5,16 +5,18 @@
 //! Run with `cargo run --release --example kernel_explorer -- [M] [K] [bits]`.
 
 use std::time::Instant;
+use tmac::core::ExecCtx;
 use tmac::core::{gemv, tune, ActTables, KernelOpts, WeightPlan};
-use tmac::threadpool::ThreadPool;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let m: usize = args.get(1).map(|s| s.parse().expect("M")).unwrap_or(2048);
     let k: usize = args.get(2).map(|s| s.parse().expect("K")).unwrap_or(2048);
     let bits: u8 = args.get(3).map(|s| s.parse().expect("bits")).unwrap_or(2);
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let ctx = ExecCtx::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
 
     let weights: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.23).sin()).collect();
@@ -22,23 +24,30 @@ fn main() {
     let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.17).cos()).collect();
     let mut out = vec![0f32; m];
 
-    println!("shape {m}x{k}, {bits}-bit, {} threads\n", pool.threads());
-    println!("{:<10} {:>12} {:>16}", "stage", "latency (ms)", "table bytes");
+    println!("shape {m}x{k}, {bits}-bit, {} threads\n", ctx.threads());
+    println!(
+        "{:<10} {:>12} {:>16}",
+        "stage", "latency (ms)", "table bytes"
+    );
     for (name, opts) in KernelOpts::breakdown_ladder() {
         let plan = WeightPlan::new(&qm, opts).expect("plan");
         let tables = ActTables::build(&act, 32, &opts).expect("tables");
         // Warm-up + best-of-5.
-        gemv::mpgemv_with_tables(&plan, &tables, &mut out, &pool).expect("gemv");
+        gemv::mpgemv_with_tables(&plan, &tables, &mut out, &ctx).expect("gemv");
         let mut best = f64::INFINITY;
         for _ in 0..5 {
             let t0 = Instant::now();
-            gemv::mpgemv_with_tables(&plan, &tables, &mut out, &pool).expect("gemv");
+            gemv::mpgemv_with_tables(&plan, &tables, &mut out, &ctx).expect("gemv");
             best = best.min(t0.elapsed().as_secs_f64());
         }
-        println!("{name:<10} {:>12.3} {:>16}", best * 1e3, tables.table_bytes());
+        println!(
+            "{name:<10} {:>12.3} {:>16}",
+            best * 1e3,
+            tables.table_bytes()
+        );
     }
 
-    let tuned = tune::tune(&qm, &pool, 3).expect("tune");
+    let tuned = tune::tune(&qm, &ctx, 3).expect("tune");
     println!(
         "\ntuner pick: tile_k = {} ({:.3} ms per GEMV)",
         tuned.opts.tile_k,

@@ -3,14 +3,16 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use tmac::core::ExecCtx;
 use tmac::core::{KernelOpts, TmacLinear};
 use tmac::quant::rtn;
-use tmac::threadpool::ThreadPool;
 
 fn main() {
     // A toy linear layer: 256 outputs, 512 inputs.
     let (m, k) = (256usize, 512usize);
-    let weights: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
+    let weights: Vec<f32> = (0..m * k)
+        .map(|i| ((i as f32) * 0.37).sin() * 0.2)
+        .collect();
 
     // Offline: quantize to 2 bits (per-32 group scales), then preprocess
     // into T-MAC's bit-serial, tiled, permuted, interleaved layout.
@@ -27,9 +29,9 @@ fn main() {
     // lookup tables from them and replaces every multiply with a table
     // lookup plus an add.
     let act: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.11).cos()).collect();
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let mut out = vec![0f32; m];
-    layer.gemv(&act, &mut out, &pool).expect("gemv");
+    layer.gemv(&act, &mut out, &ctx).expect("gemv");
 
     // Compare against the dequantized reference.
     let reference = tmac::core::kernel::scalar::gemv_reference(&qm, &act);

@@ -6,25 +6,47 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`core`] (`tmac-core`) | the paper's contribution: bit-serial LUT mpGEMM/mpGEMV kernels |
+//! | [`core`] (`tmac-core`) | the paper's contribution: bit-serial LUT mpGEMM/mpGEMV kernels, plus the shared [`prelude::ExecCtx`] |
 //! | [`simd`] (`tmac-simd`) | runtime-dispatched lookup/aggregation primitives (Table 1) |
 //! | [`quant`] (`tmac-quant`) | weight quantizers and llama.cpp-style block formats |
 //! | [`baseline`] (`tmac-baseline`) | dequantization-based comparator kernels |
 //! | [`threadpool`] (`tmac-threadpool`) | static-threadblock parallel substrate |
-//! | [`llm`] (`tmac-llm`) | llama-architecture inference engine with pluggable backends |
+//! | [`llm`] (`tmac-llm`) | llama-architecture inference engine with pluggable [`prelude::LinearBackend`]s |
 //! | [`devices`] (`tmac-devices`) | edge-device rooflines and the energy model |
 //!
 //! # Examples
 //!
+//! All execution goes through an [`prelude::ExecCtx`] — the unified carrier
+//! of the thread pool and the activation-table cache:
+//!
 //! ```
-//! use tmac::core::{KernelOpts, TmacLinear};
-//! use tmac::threadpool::ThreadPool;
+//! use tmac::prelude::*;
 //!
 //! let weights: Vec<f32> = (0..32 * 64).map(|i| (i as f32 * 0.1).sin()).collect();
 //! let layer = TmacLinear::from_f32(&weights, 32, 64, 2, 32, KernelOpts::tmac()).unwrap();
 //! let act = vec![1.0f32; 64];
+//! let ctx = ExecCtx::new(2);
 //! let mut out = vec![0f32; 32];
-//! layer.gemv(&act, &mut out, &ThreadPool::new(1)).unwrap();
+//! layer.gemv(&act, &mut out, &ctx).unwrap();
+//! ```
+//!
+//! When several layers consume the same activation — QKV projections, the
+//! FFN gate/up pair — one table build serves all of them:
+//!
+//! ```
+//! use tmac::prelude::*;
+//!
+//! let w: Vec<f32> = (0..32 * 64).map(|i| (i as f32 * 0.2).cos()).collect();
+//! let wq = TmacLinear::from_f32(&w, 32, 64, 4, 32, KernelOpts::tmac()).unwrap();
+//! let wk = TmacLinear::from_f32(&w, 32, 64, 2, 32, KernelOpts::tmac()).unwrap();
+//! let ctx = ExecCtx::new(1);
+//! let act = vec![0.5f32; 64];
+//! let mut out = vec![0f32; 32];
+//!
+//! ctx.next_activation(); // a new activation vector arrives
+//! wq.gemv_cached(&act, &mut out, &ctx).unwrap(); // builds tables
+//! wk.gemv_cached(&act, &mut out, &ctx).unwrap(); // reuses them
+//! assert_eq!(ctx.table_stats().hits, 1);
 //! ```
 
 pub use tmac_baseline as baseline;
@@ -34,3 +56,23 @@ pub use tmac_llm as llm;
 pub use tmac_quant as quant;
 pub use tmac_simd as simd;
 pub use tmac_threadpool as threadpool;
+
+/// The one-stop import for the unified execution API.
+///
+/// Brings in the execution context, the kernel entry points, the
+/// quantizers' canonical matrix type, and the LLM stack with its pluggable
+/// backend machinery.
+pub mod prelude {
+    pub use tmac_baseline::DequantLinear;
+    pub use tmac_core::{
+        ActTables, ExecCtx, KernelOpts, TableCacheStats, TableProfile, TmacError, TmacLinear,
+        WeightPlan,
+    };
+    pub use tmac_llm::{
+        BackendBuilder, BackendError, BackendKind, BackendRegistry, DecodeStats, DequantBackend,
+        Engine, F32Backend, KvCache, Linear, LinearBackend, Model, ModelConfig, Scratch,
+        TmacBackend, WeightQuant,
+    };
+    pub use tmac_quant::QuantizedMatrix;
+    pub use tmac_threadpool::ThreadPool;
+}

@@ -1,7 +1,7 @@
 //! End-to-end model tests: the full transformer stack on every backend.
 
+use tmac::core::ExecCtx;
 use tmac::llm::{eval as quality, BackendKind, Engine, Model, ModelConfig, WeightQuant};
-use tmac::threadpool::ThreadPool;
 
 fn tiny() -> ModelConfig {
     ModelConfig::tiny()
@@ -9,7 +9,7 @@ fn tiny() -> ModelConfig {
 
 #[test]
 fn all_backends_generate_plausible_tokens() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     for kind in [
         BackendKind::F32,
         BackendKind::Dequant,
@@ -18,7 +18,7 @@ fn all_backends_generate_plausible_tokens() {
     ] {
         let model = Model::synthetic(&tiny(), WeightQuant::Rtn(4), kind, 5).unwrap();
         let mut engine = Engine::new(model);
-        let tokens = engine.generate(&[1, 2], 6, &pool).unwrap();
+        let tokens = engine.generate(&[1, 2], 6, &ctx).unwrap();
         assert_eq!(tokens.len(), 6, "{kind:?}");
         assert!(tokens.iter().all(|&t| (t as usize) < tiny().vocab));
     }
@@ -28,11 +28,11 @@ fn all_backends_generate_plausible_tokens() {
 fn quantized_backends_agree_with_each_other() {
     // T-MAC and the dequant baseline share quantized weights; their logits
     // must stay close through a full forward stack.
-    let pool = ThreadPool::new(1);
+    let ctx = ExecCtx::new(1);
     let run = |kind| {
         let model = Model::synthetic(&tiny(), WeightQuant::Rtn(4), kind, 6).unwrap();
         let mut engine = Engine::new(model);
-        engine.step(3, 0, &pool).unwrap()
+        engine.step(3, 0, &ctx).unwrap()
     };
     let d = run(BackendKind::Dequant);
     let t = run(BackendKind::Tmac(tmac::core::KernelOpts::tmac()));
@@ -42,7 +42,7 @@ fn quantized_backends_agree_with_each_other() {
 
 #[test]
 fn bitnet_model_runs_end_to_end() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let model = Model::synthetic(
         &tiny(),
         WeightQuant::BitnetTernary,
@@ -51,39 +51,35 @@ fn bitnet_model_runs_end_to_end() {
     )
     .unwrap();
     let mut engine = Engine::new(model);
-    let tokens = engine.generate(&[4, 5, 6], 5, &pool).unwrap();
+    let tokens = engine.generate(&[4, 5, 6], 5, &ctx).unwrap();
     assert_eq!(tokens.len(), 5);
 }
 
 #[test]
 fn quality_pipeline_runs_for_all_backends() {
-    let pool = ThreadPool::new(1);
-    let mut reference = Engine::new(
-        Model::synthetic(&tiny(), WeightQuant::Rtn(4), BackendKind::F32, 8).unwrap(),
-    );
-    let seqs = quality::teacher_sequences(&mut reference, 2, 6, 1, &pool).unwrap();
+    let ctx = ExecCtx::new(1);
+    let mut reference =
+        Engine::new(Model::synthetic(&tiny(), WeightQuant::Rtn(4), BackendKind::F32, 8).unwrap());
+    let seqs = quality::teacher_sequences(&mut reference, 2, 6, 1, &ctx).unwrap();
     for kind in [
         BackendKind::Dequant,
         BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
     ] {
-        let mut engine = Engine::new(
-            Model::synthetic(&tiny(), WeightQuant::Rtn(4), kind, 8).unwrap(),
-        );
-        let ppl = quality::perplexity(&mut engine, &seqs, &pool).unwrap();
+        let mut engine =
+            Engine::new(Model::synthetic(&tiny(), WeightQuant::Rtn(4), kind, 8).unwrap());
+        let ppl = quality::perplexity(&mut engine, &seqs, &ctx).unwrap();
         assert!(ppl.is_finite() && ppl > 1.0, "{kind:?} ppl={ppl}");
-        let acc =
-            quality::choice_agreement(&mut reference, &mut engine, 8, 2, &pool).unwrap();
+        let acc = quality::choice_agreement(&mut reference, &mut engine, 8, 2, &ctx).unwrap();
         assert!((0.0..=100.0).contains(&acc));
     }
 }
 
 #[test]
 fn decode_throughput_extrapolation_is_consistent() {
-    let pool = ThreadPool::new(1);
-    let model =
-        Model::synthetic(&tiny(), WeightQuant::Rtn(2), BackendKind::F32, 9).unwrap();
+    let ctx = ExecCtx::new(1);
+    let model = Model::synthetic(&tiny(), WeightQuant::Rtn(2), BackendKind::F32, 9).unwrap();
     let mut engine = Engine::new(model);
-    let stats = engine.measure_decode(8, &pool).unwrap();
+    let stats = engine.measure_decode(8, &ctx).unwrap();
     let same = stats.extrapolate_layers(2, 2);
     assert!((same.seconds_per_token - stats.seconds_per_token).abs() < 1e-12);
     let deeper = stats.extrapolate_layers(2, 8);

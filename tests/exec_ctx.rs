@@ -1,0 +1,146 @@
+//! Integration tests for the unified execution context: table-cache
+//! semantics across crates, and the end-to-end guarantee that a transformer
+//! decode step shares table builds across QKV and gate/up projections.
+
+use tmac::prelude::*;
+
+fn quantized(m: usize, k: usize, bits: u8, seed: u64) -> QuantizedMatrix {
+    let mut rng = tmac_rng::Rng::seed_from_u64(seed);
+    let w: Vec<f32> = (0..m * k).map(|_| rng.f32_range(-0.6, 0.6)).collect();
+    tmac::quant::rtn::quantize(&w, m, k, bits, 32).unwrap()
+}
+
+fn activation(k: usize, seed: u64) -> Vec<f32> {
+    let mut rng = tmac_rng::Rng::seed_from_u64(seed ^ 0xA5A5);
+    (0..k).map(|_| rng.f32_range(-1.0, 1.0)).collect()
+}
+
+#[test]
+fn cache_hits_within_a_generation_misses_after_bump() {
+    let ctx = ExecCtx::new(1);
+    let lin = TmacLinear::new(&quantized(64, 128, 2, 1), KernelOpts::tmac()).unwrap();
+    let act = activation(128, 1);
+    let mut out = vec![0f32; 64];
+
+    // Same generation, same activation: one build, then hits.
+    ctx.next_activation();
+    lin.gemv_cached(&act, &mut out, &ctx).unwrap();
+    lin.gemv_cached(&act, &mut out, &ctx).unwrap();
+    lin.gemv_cached(&act, &mut out, &ctx).unwrap();
+    let s = ctx.table_stats();
+    assert_eq!((s.hits, s.misses), (2, 1), "same generation must hit");
+
+    // After the generation changes, the next lookup must rebuild.
+    ctx.next_activation();
+    lin.gemv_cached(&act, &mut out, &ctx).unwrap();
+    let s = ctx.table_stats();
+    assert_eq!((s.hits, s.misses), (2, 2), "bumped generation must miss");
+}
+
+#[test]
+fn projections_sharing_an_activation_share_one_build() {
+    // The QKV pattern, straight through the core API: three matrices of
+    // different output sizes and bit-widths, one input activation.
+    let ctx = ExecCtx::new(2);
+    let wq = TmacLinear::new(&quantized(96, 192, 4, 2), KernelOpts::tmac()).unwrap();
+    let wk = TmacLinear::new(&quantized(48, 192, 4, 3), KernelOpts::tmac()).unwrap();
+    let wv = TmacLinear::new(&quantized(48, 192, 2, 4), KernelOpts::tmac()).unwrap();
+    let act = activation(192, 2);
+    let (mut q, mut k, mut v) = (vec![0f32; 96], vec![0f32; 48], vec![0f32; 48]);
+
+    ctx.next_activation();
+    wq.gemv_cached(&act, &mut q, &ctx).unwrap();
+    wk.gemv_cached(&act, &mut k, &ctx).unwrap();
+    wv.gemv_cached(&act, &mut v, &ctx).unwrap();
+    let s = ctx.table_stats();
+    assert_eq!((s.hits, s.misses), (2, 1), "QKV must share one table build");
+
+    // Reuse must be bit-exact against the uncached path.
+    let (mut q2, mut k2, mut v2) = (vec![0f32; 96], vec![0f32; 48], vec![0f32; 48]);
+    wq.gemv(&act, &mut q2, &ctx).unwrap();
+    wk.gemv(&act, &mut k2, &ctx).unwrap();
+    wv.gemv(&act, &mut v2, &ctx).unwrap();
+    assert_eq!(q, q2);
+    assert_eq!(k, k2);
+    assert_eq!(v, v2);
+}
+
+#[test]
+fn stale_generation_never_leaks_wrong_results() {
+    // Forgetting next_activation() must degrade to a rebuild, not to wrong
+    // numbers (the fingerprint safety net).
+    let ctx = ExecCtx::new(1);
+    let lin = TmacLinear::new(&quantized(64, 128, 3, 5), KernelOpts::tmac()).unwrap();
+    let a1 = activation(128, 10);
+    let a2 = activation(128, 11);
+    let mut out1 = vec![0f32; 64];
+    let mut out2 = vec![0f32; 64];
+    ctx.next_activation();
+    lin.gemv_cached(&a1, &mut out1, &ctx).unwrap();
+    lin.gemv_cached(&a2, &mut out2, &ctx).unwrap(); // no bump!
+    let mut fresh = vec![0f32; 64];
+    lin.gemv(&a2, &mut fresh, &ctx).unwrap();
+    assert_eq!(out2, fresh, "stale tables must not be served");
+
+    // Adversarial variant: the activations differ in a SINGLE element. A
+    // sampled fingerprint would miss this (regression test for the full
+    // whole-vector hash).
+    let mut a3 = a1.clone();
+    a3[1] += 10.0;
+    ctx.next_activation();
+    lin.gemv_cached(&a1, &mut out1, &ctx).unwrap();
+    let mut out3 = vec![0f32; 64];
+    lin.gemv_cached(&a3, &mut out3, &ctx).unwrap(); // still no bump
+    let mut fresh3 = vec![0f32; 64];
+    lin.gemv(&a3, &mut fresh3, &ctx).unwrap();
+    assert_eq!(out3, fresh3, "single-element change must invalidate");
+    assert_ne!(out1, out3);
+}
+
+#[test]
+fn full_decode_step_shares_builds_across_the_model() {
+    // End-to-end acceptance: per token and layer, wq/wk/wv share one build
+    // and w1/w3 share another -> 3 hits per layer; wo, w2, head and the two
+    // shared builds miss -> 4 misses per layer + 1 for the head.
+    let cfg = ModelConfig::tiny();
+    let model = Model::synthetic(
+        &cfg,
+        WeightQuant::Rtn(4),
+        BackendKind::Tmac(KernelOpts::tmac()),
+        77,
+    )
+    .unwrap();
+    let mut engine = Engine::new(model);
+    let ctx = ExecCtx::new(1);
+    let layers = cfg.n_layers as u64;
+
+    assert_eq!(engine.model.backend_label(), "T-MAC");
+    engine.step(1, 0, &ctx).unwrap();
+    let per_token = ctx.table_stats();
+    assert_eq!(per_token.misses, 4 * layers + 1);
+    assert_eq!(per_token.hits, 3 * layers);
+
+    // The ratio holds steady across further tokens.
+    engine.step(2, 1, &ctx).unwrap();
+    let two_tokens = ctx.table_stats();
+    assert_eq!(two_tokens.misses, 2 * (4 * layers + 1));
+    assert_eq!(two_tokens.hits, 2 * 3 * layers);
+}
+
+#[test]
+fn dequant_and_f32_backends_run_under_the_same_ctx() {
+    // The unified API: every backend forwards under ExecCtx, whether or not
+    // it uses the table cache.
+    let ctx = ExecCtx::new(2);
+    let qm = quantized(64, 96, 4, 9);
+    let w_f32: Vec<f32> = qm.dequantize();
+    let act = activation(96, 9);
+    for kind in [BackendKind::Dequant, BackendKind::F32] {
+        let lin = Linear::build(kind, &qm, &w_f32).unwrap();
+        let mut out = vec![0f32; 64];
+        lin.forward(&act, &mut out, &ctx).unwrap();
+        assert!(out.iter().all(|x| x.is_finite()), "{kind:?}");
+    }
+    // Non-LUT backends never touch the table cache.
+    assert_eq!(ctx.table_stats().lookups(), 0);
+}

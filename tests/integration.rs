@@ -4,15 +4,17 @@
 
 use tmac::baseline::DequantLinear;
 use tmac::core::kernel::scalar::gemv_reference;
+use tmac::core::ExecCtx;
 use tmac::core::{KernelOpts, TmacLinear};
 use tmac::quant::{bitnet, gptq, rtn};
 use tmac::simd::f32ops::nmse;
-use tmac::threadpool::ThreadPool;
 
 fn weights(m: usize, k: usize, seed: u64) -> Vec<f32> {
     (0..m * k)
-        .map(|i| (((i as u64).wrapping_mul(seed * 2 + 1) % 97) as f32 / 48.5 - 1.0) * 0.4
-            + ((i as f32) * 0.013).sin() * 0.3)
+        .map(|i| {
+            (((i as u64).wrapping_mul(seed * 2 + 1) % 97) as f32 / 48.5 - 1.0) * 0.4
+                + ((i as f32) * 0.013).sin() * 0.3
+        })
         .collect()
 }
 
@@ -24,7 +26,7 @@ fn act(k: usize, seed: u64) -> Vec<f32> {
 
 #[test]
 fn tmac_tracks_reference_across_bits_and_shapes() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     for &(m, k) in &[(64usize, 128usize), (96, 256), (33, 160)] {
         let w = weights(m, k, 3);
         let a = act(k, 3);
@@ -33,7 +35,7 @@ fn tmac_tracks_reference_across_bits_and_shapes() {
             let reference = gemv_reference(&qm, &a);
             let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
             let mut out = vec![0f32; m];
-            tl.gemv(&a, &mut out, &pool).unwrap();
+            tl.gemv(&a, &mut out, &ctx).unwrap();
             let e = nmse(&out, &reference);
             assert!(e < 5e-3, "m={m} k={k} bits={bits} nmse={e}");
         }
@@ -44,7 +46,7 @@ fn tmac_tracks_reference_across_bits_and_shapes() {
 fn tmac_and_baseline_agree_on_identical_weights() {
     // Both consume the same QuantizedMatrix; their only divergence is
     // activation quantization (baseline) vs table quantization (T-MAC).
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let (m, k) = (128, 256);
     let w = weights(m, k, 7);
     let a = act(k, 7);
@@ -54,8 +56,8 @@ fn tmac_and_baseline_agree_on_identical_weights() {
         let bl = DequantLinear::new(&qm).unwrap();
         let mut t_out = vec![0f32; m];
         let mut b_out = vec![0f32; m];
-        tl.gemv(&a, &mut t_out, &pool).unwrap();
-        bl.gemv(&a, &mut b_out, &pool).unwrap();
+        tl.gemv(&a, &mut t_out, &ctx).unwrap();
+        bl.gemv(&a, &mut b_out, &ctx).unwrap();
         let e = nmse(&t_out, &b_out);
         assert!(e < 2e-3, "bits={bits} cross-backend nmse={e}");
     }
@@ -63,7 +65,7 @@ fn tmac_and_baseline_agree_on_identical_weights() {
 
 #[test]
 fn every_opt_combination_matches_the_reference() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let (m, k) = (64, 128);
     let w = weights(m, k, 11);
     let a = act(k, 11);
@@ -77,7 +79,7 @@ fn every_opt_combination_matches_the_reference() {
     for (name, opts) in combos {
         let tl = TmacLinear::new(&qm, opts).unwrap();
         let mut out = vec![0f32; m];
-        tl.gemv(&a, &mut out, &pool).unwrap();
+        tl.gemv(&a, &mut out, &ctx).unwrap();
         let e = nmse(&out, &reference);
         let tol = if opts.fast_aggregation { 0.25 } else { 5e-3 };
         assert!(e < tol, "{name}: nmse={e}");
@@ -93,9 +95,9 @@ fn thread_counts_do_not_change_results() {
     let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
     let mut outs = Vec::new();
     for threads in [1usize, 2, 3, 5] {
-        let pool = ThreadPool::new(threads);
+        let ctx = ExecCtx::new(threads);
         let mut out = vec![0f32; m];
-        tl.gemv(&a, &mut out, &pool).unwrap();
+        tl.gemv(&a, &mut out, &ctx).unwrap();
         outs.push(out);
     }
     for o in &outs[1..] {
@@ -105,24 +107,25 @@ fn thread_counts_do_not_change_results() {
 
 #[test]
 fn gemm_equals_row_by_row_gemv() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let (m, k, n) = (96, 128, 11);
     let w = weights(m, k, 17);
     let acts: Vec<f32> = (0..n).flat_map(|s| act(k, s as u64 + 20)).collect();
     let qm = rtn::quantize(&w, m, k, 4, 32).unwrap();
     let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
     let mut gemm_out = vec![0f32; n * m];
-    tl.gemm(&acts, n, &mut gemm_out, &pool).unwrap();
+    tl.gemm(&acts, n, &mut gemm_out, &ctx).unwrap();
     for ni in 0..n {
         let mut row = vec![0f32; m];
-        tl.gemv(&acts[ni * k..(ni + 1) * k], &mut row, &pool).unwrap();
+        tl.gemv(&acts[ni * k..(ni + 1) * k], &mut row, &ctx)
+            .unwrap();
         assert_eq!(&gemm_out[ni * m..(ni + 1) * m], &row[..], "row {ni}");
     }
 }
 
 #[test]
 fn gptq_weights_run_through_both_systems() {
-    let pool = ThreadPool::new(1);
+    let ctx = ExecCtx::new(1);
     let (m, k) = (64, 128);
     let w = weights(m, k, 23);
     let a = act(k, 23);
@@ -132,15 +135,15 @@ fn gptq_weights_run_through_both_systems() {
     let bl = DequantLinear::new(&qm).unwrap();
     let mut t_out = vec![0f32; m];
     let mut b_out = vec![0f32; m];
-    tl.gemv(&a, &mut t_out, &pool).unwrap();
-    bl.gemv(&a, &mut b_out, &pool).unwrap();
+    tl.gemv(&a, &mut t_out, &ctx).unwrap();
+    bl.gemv(&a, &mut b_out, &ctx).unwrap();
     assert!(nmse(&t_out, &reference) < 5e-3);
     assert!(nmse(&b_out, &reference) < 5e-3);
 }
 
 #[test]
 fn bitnet_ternary_runs_as_two_bit() {
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let (m, k) = (96, 160);
     let w = weights(m, k, 29);
     let a = act(k, 29);
@@ -149,27 +152,27 @@ fn bitnet_ternary_runs_as_two_bit() {
     let reference = gemv_reference(&qm, &a);
     let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
     let mut out = vec![0f32; m];
-    tl.gemv(&a, &mut out, &pool).unwrap();
+    tl.gemv(&a, &mut out, &ctx).unwrap();
     assert!(nmse(&out, &reference) < 5e-3);
 }
 
 #[test]
 fn shape_errors_are_reported_not_panicked() {
-    let pool = ThreadPool::new(1);
+    let ctx = ExecCtx::new(1);
     let (m, k) = (32, 64);
     let qm = rtn::quantize(&weights(m, k, 31), m, k, 2, 32).unwrap();
     let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
     let a = act(k, 31);
     // Wrong activation length.
     let mut out = vec![0f32; m];
-    assert!(tl.gemv(&a[..32], &mut out, &pool).is_err());
+    assert!(tl.gemv(&a[..32], &mut out, &ctx).is_err());
     // Wrong output length.
     let mut short = vec![0f32; m - 1];
-    assert!(tl.gemv(&a, &mut short, &pool).is_err());
+    assert!(tl.gemv(&a, &mut short, &ctx).is_err());
     // Non-finite activations.
     let mut bad = a.clone();
     bad[0] = f32::NAN;
-    assert!(tl.gemv(&bad, &mut out, &pool).is_err());
+    assert!(tl.gemv(&bad, &mut out, &ctx).is_err());
     // K not a multiple of the quant group.
     assert!(rtn::quantize(&weights(4, 33, 1), 4, 33, 2, 32).is_err());
 }
@@ -182,15 +185,15 @@ fn fast_aggregation_requires_power_of_two_groups() {
     let mut opts = KernelOpts::tmac_fast_aggregation();
     opts.tile_k = 96; // multiple of the 48-wide quant group
     let tl = TmacLinear::new(&qm, opts).unwrap();
-    let pool = ThreadPool::new(1);
+    let ctx = ExecCtx::new(1);
     let mut out = vec![0f32; m];
-    assert!(tl.gemv(&act(k, 37), &mut out, &pool).is_err());
+    assert!(tl.gemv(&act(k, 37), &mut out, &ctx).is_err());
 }
 
 #[test]
 fn non_divisible_m_is_padded_correctly() {
     // M = 50 pads to 64 internally; outputs beyond M must not be touched.
-    let pool = ThreadPool::new(2);
+    let ctx = ExecCtx::new(2);
     let (m, k) = (50, 96);
     let w = weights(m, k, 41);
     let a = act(k, 41);
@@ -198,6 +201,6 @@ fn non_divisible_m_is_padded_correctly() {
     let reference = gemv_reference(&qm, &a);
     let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
     let mut out = vec![0f32; m];
-    tl.gemv(&a, &mut out, &pool).unwrap();
+    tl.gemv(&a, &mut out, &ctx).unwrap();
     assert!(nmse(&out, &reference) < 5e-3);
 }

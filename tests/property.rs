@@ -1,4 +1,7 @@
-//! Property-based tests (proptest) for the core invariants:
+//! Property-based tests for the core invariants. `proptest` is unavailable
+//! offline, so cases are generated with the workspace's deterministic PRNG
+//! (`tmac-rng`) — every invariant is checked across a seeded sweep of random
+//! inputs rather than a single example:
 //!
 //! * Eq. 1 — bit-serial reconstruction is exact for arbitrary codes;
 //! * the offline layouts (flat / permuted / interleaved) are bijective
@@ -6,22 +9,31 @@
 //! * mirror consolidation's sign identity;
 //! * table quantization error is bounded by half a step;
 //! * the whole GEMV is linear in the activations;
+//! * `gemv` == `gemv_with_tables` == `gemv_cached` **bit-exactly**, for all
+//!   bit-widths and odd shapes (the ExecCtx table-reuse contract);
 //! * thread-pool chunking partitions exactly.
 
-use proptest::prelude::*;
 use tmac::core::kernel::scalar::gemv_reference;
 use tmac::core::plan::index_from_codes;
 use tmac::core::table::{raw_table, ActTables, TABLE_LEN};
-use tmac::core::{KernelOpts, TmacLinear, WeightPlan};
+use tmac::core::{ExecCtx, KernelOpts, TmacLinear, WeightPlan};
 use tmac::quant::QuantizedMatrix;
-use tmac::threadpool::{chunk_range, ThreadPool};
+use tmac::threadpool::chunk_range;
+use tmac_rng::Rng;
 
-fn arb_codes(m: usize, k: usize, bits: u8) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..(1 << bits), m * k)
+/// Cases per property (mirrors the old `ProptestConfig::with_cases(24)`).
+const CASES: u64 = 24;
+
+fn arb_codes(rng: &mut Rng, m: usize, k: usize, bits: u8) -> Vec<u8> {
+    (0..m * k).map(|_| rng.u32_below(1 << bits) as u8).collect()
 }
 
-fn arb_scales(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(0.01f32..2.0, n)
+fn arb_scales(rng: &mut Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.f32_range(0.01, 2.0)).collect()
+}
+
+fn arb_acts(rng: &mut Rng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.f32_range(lo, hi)).collect()
 }
 
 fn matrix(codes: Vec<u8>, scales: Vec<f32>, m: usize, k: usize, bits: u8) -> QuantizedMatrix {
@@ -33,19 +45,17 @@ fn matrix(codes: Vec<u8>, scales: Vec<f32>, m: usize, k: usize, bits: u8) -> Qua
         codes,
         scales,
         zero: QuantizedMatrix::default_zero(bits),
-        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Eq. 1: Σ_i 2^i · b_i reconstructs every code, bit-exactly, through
-    /// the plan's per-bit indices.
-    #[test]
-    fn bit_serial_reconstruction_exact(
-        codes in arb_codes(8, 64, 3),
-        scales in arb_scales(8 * 2),
-    ) {
+/// Eq. 1: Σ_i 2^i · b_i reconstructs every code, bit-exactly, through the
+/// plan's per-bit indices.
+#[test]
+fn bit_serial_reconstruction_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x100 + case);
+        let codes = arb_codes(&mut rng, 8, 64, 3);
+        let scales = arb_scales(&mut rng, 8 * 2);
         let qm = matrix(codes, scales, 8, 64, 3);
         let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
         for row in 0..8 {
@@ -57,19 +67,21 @@ proptest! {
                         let idx = plan.index(bit, row, kg);
                         rebuilt |= ((idx >> j) & 1) << bit;
                     }
-                    prop_assert_eq!(rebuilt, code);
+                    assert_eq!(rebuilt, code, "case {case} row {row} kg {kg} j {j}");
                 }
             }
         }
     }
+}
 
-    /// Every layout stores the same logical indices (bijective permutation).
-    #[test]
-    fn layouts_are_permutations(
-        codes in arb_codes(40, 64, 2),
-        scales in arb_scales(40 * 2),
-        interleave in any::<bool>(),
-    ) {
+/// Every layout stores the same logical indices (bijective permutation).
+#[test]
+fn layouts_are_permutations() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x200 + case);
+        let codes = arb_codes(&mut rng, 40, 64, 2);
+        let scales = arb_scales(&mut rng, 40 * 2);
+        let interleave = rng.u32_below(2) == 1;
         let qm = matrix(codes, scales, 40, 64, 2);
         let mut opts = KernelOpts::plus_permute();
         opts.interleave = interleave;
@@ -79,32 +91,47 @@ proptest! {
         for bit in 0..2 {
             for row in 0..40 {
                 for kg in 0..16 {
-                    prop_assert_eq!(
+                    assert_eq!(
                         perm.index(bit, row, kg),
-                        flat.index(bit, row, kg)
-                    );
-                    prop_assert_eq!(
                         flat.index(bit, row, kg),
-                        index_from_codes(&qm, bit, row, kg)
+                        "case {case} interleave {interleave}"
+                    );
+                    assert_eq!(
+                        flat.index(bit, row, kg),
+                        index_from_codes(&qm, bit, row, kg),
+                        "case {case}"
                     );
                 }
             }
         }
     }
+}
 
-    /// Mirror: t[15 - i] == -t[i] for the raw table, and the consolidated
-    /// lookup reproduces the full table.
-    #[test]
-    fn mirror_sign_identity(a in prop::array::uniform4(-3.0f32..3.0)) {
+/// Mirror: t[15 - i] == -t[i] for the raw table.
+#[test]
+fn mirror_sign_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x300 + case);
+        let mut a = [0f32; 4];
+        for x in &mut a {
+            *x = rng.f32_range(-3.0, 3.0);
+        }
         let t = raw_table(&a);
         for i in 0..TABLE_LEN / 2 {
-            prop_assert!((t[i] + t[TABLE_LEN - 1 - i]).abs() < 1e-5);
+            assert!(
+                (t[i] + t[TABLE_LEN - 1 - i]).abs() < 1e-5,
+                "case {case} i {i}"
+            );
         }
     }
+}
 
-    /// Quantized tables deviate from raw tables by at most half a step.
-    #[test]
-    fn table_quantization_bounded(acts in prop::collection::vec(-2.0f32..2.0, 64)) {
+/// Quantized tables deviate from raw tables by at most half a step.
+#[test]
+fn table_quantization_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x400 + case);
+        let acts = arb_acts(&mut rng, 64, -2.0, 2.0);
         let full = ActTables::build(&acts, 32, &KernelOpts::plus_table_quant()).unwrap();
         for kg in 0..16 {
             let mut a = [0f32; 4];
@@ -113,80 +140,134 @@ proptest! {
             let sb = kg / 8;
             for (i, &r) in raw.iter().enumerate() {
                 let q = full.lookup_f32(kg, i as u8);
-                prop_assert!(
+                assert!(
                     (q - r).abs() <= full.q_scales[sb] * 0.5 + 1e-6,
-                    "kg={} i={} raw={} quant={}", kg, i, r, q
+                    "case {case} kg={kg} i={i} raw={r} quant={q}"
                 );
             }
         }
     }
+}
 
-    /// GEMV is linear in activations: f(αx) == α·f(x) for the *unquantized-
-    /// table* path (table quantization breaks exact homogeneity).
-    #[test]
-    fn gemv_linear_in_activations(
-        codes in arb_codes(32, 32, 2),
-        scales in arb_scales(32),
-        alpha in 0.25f32..4.0,
-    ) {
+/// GEMV is linear in activations: f(αx) == α·f(x) for the *unquantized-
+/// table* path (table quantization breaks exact homogeneity).
+#[test]
+fn gemv_linear_in_activations() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x500 + case);
+        let codes = arb_codes(&mut rng, 32, 32, 2);
+        let scales = arb_scales(&mut rng, 32);
+        let alpha = rng.f32_range(0.25, 4.0);
         let qm = matrix(codes, scales, 32, 32, 2);
         let a: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.3).sin()).collect();
         let scaled: Vec<f32> = a.iter().map(|x| x * alpha).collect();
         let r1 = gemv_reference(&qm, &a);
         let r2 = gemv_reference(&qm, &scaled);
         for (x, y) in r1.iter().zip(&r2) {
-            prop_assert!((x * alpha - y).abs() < 1e-2 * (1.0 + y.abs()));
+            assert!(
+                (x * alpha - y).abs() < 1e-2 * (1.0 + y.abs()),
+                "case {case} alpha {alpha}"
+            );
         }
     }
+}
 
-    /// The kernel agrees with the dequantized reference for random codes
-    /// (not just RTN-produced ones).
-    #[test]
-    fn kernel_correct_on_arbitrary_codes(
-        codes in arb_codes(32, 64, 4),
-        scales in arb_scales(32 * 2),
-    ) {
+/// The kernel agrees with the dequantized reference for random codes (not
+/// just RTN-produced ones).
+#[test]
+fn kernel_correct_on_arbitrary_codes() {
+    let ctx = ExecCtx::new(1);
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x600 + case);
+        let codes = arb_codes(&mut rng, 32, 64, 4);
+        let scales = arb_scales(&mut rng, 32 * 2);
         let qm = matrix(codes, scales, 32, 64, 4);
         let a: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.21).cos()).collect();
         let reference = gemv_reference(&qm, &a);
         let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
-        let pool = ThreadPool::new(1);
         let mut out = vec![0f32; 32];
-        tl.gemv(&a, &mut out, &pool).unwrap();
+        tl.gemv(&a, &mut out, &ctx).unwrap();
         let e = tmac::simd::f32ops::nmse(&out, &reference);
-        prop_assert!(e < 5e-3, "nmse {}", e);
+        assert!(e < 5e-3, "case {case} nmse {e}");
     }
+}
 
-    /// chunk_range partitions [0, total) exactly, for any parameters.
-    #[test]
-    fn chunks_partition_exactly(
-        total in 0usize..5000,
-        granule in 1usize..64,
-        n in 1usize..9,
-    ) {
+/// The ExecCtx table-reuse contract: `gemv` (fresh tables per call),
+/// `gemv_with_tables` (caller-held tables) and `gemv_cached` (context-cached
+/// tables) are **bit-exact** equal — for every bit-width and for odd,
+/// non-tile-aligned shapes.
+#[test]
+fn gemv_paths_bit_exact_across_bits_and_odd_shapes() {
+    for &(m, k) in &[(33usize, 96usize), (50, 160), (97, 224), (64, 128)] {
+        for bits in 1..=4u8 {
+            let mut rng = Rng::seed_from_u64((m * k) as u64 ^ (bits as u64) << 48);
+            let w: Vec<f32> = (0..m * k).map(|_| rng.f32_range(-0.8, 0.8)).collect();
+            let qm = tmac::quant::rtn::quantize(&w, m, k, bits, 32).unwrap();
+            let a = arb_acts(&mut rng, k, -1.0, 1.0);
+            let tl = TmacLinear::new(&qm, KernelOpts::tmac()).unwrap();
+            let ctx = ExecCtx::new(2);
+
+            let mut fresh = vec![0f32; m];
+            tl.gemv(&a, &mut fresh, &ctx).unwrap();
+
+            let tables = tl.tables(&a).unwrap();
+            let mut held = vec![0f32; m];
+            tl.gemv_with_tables(&tables, &mut held, &ctx).unwrap();
+
+            ctx.next_activation();
+            let mut cached = vec![0f32; m];
+            tl.gemv_cached(&a, &mut cached, &ctx).unwrap();
+            // A second cached run must hit the cache and stay bit-exact.
+            let mut cached2 = vec![0f32; m];
+            tl.gemv_cached(&a, &mut cached2, &ctx).unwrap();
+
+            assert_eq!(fresh, held, "m={m} k={k} bits={bits}: with_tables");
+            assert_eq!(fresh, cached, "m={m} k={k} bits={bits}: cached");
+            assert_eq!(fresh, cached2, "m={m} k={k} bits={bits}: cached hit");
+            assert!(ctx.table_stats().hits >= 1, "second cached call must hit");
+        }
+    }
+}
+
+/// chunk_range partitions [0, total) exactly, for any parameters.
+#[test]
+fn chunks_partition_exactly() {
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::seed_from_u64(0x700 + case);
+        let total = rng.usize_below(5000);
+        let granule = 1 + rng.usize_below(63);
+        let n = 1 + rng.usize_below(8);
         let mut covered = 0usize;
         let mut prev_end = 0usize;
         for tid in 0..n {
             let r = chunk_range(total, granule, tid, n);
-            prop_assert!(r.start <= r.end);
+            assert!(r.start <= r.end);
             if !r.is_empty() {
-                prop_assert_eq!(r.start, prev_end);
-                prop_assert_eq!(r.start % granule, 0);
+                assert_eq!(r.start, prev_end, "case {case}");
+                assert_eq!(r.start % granule, 0, "case {case}");
                 prev_end = r.end;
                 covered += r.len();
             }
         }
-        prop_assert_eq!(covered, total);
+        assert_eq!(
+            covered, total,
+            "case {case} total={total} granule={granule} n={n}"
+        );
     }
+}
 
-    /// Nibble pack/unpack round-trips (the Figure 4 interleave primitive).
-    #[test]
-    fn nibble_roundtrip(lo in prop::collection::vec(0u8..16, 16), hi in prop::collection::vec(0u8..16, 16)) {
+/// Nibble pack/unpack round-trips (the Figure 4 interleave primitive).
+#[test]
+fn nibble_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x800 + case);
+        let lo: Vec<u8> = (0..16).map(|_| rng.u32_below(16) as u8).collect();
+        let hi: Vec<u8> = (0..16).map(|_| rng.u32_below(16) as u8).collect();
         let mut packed = vec![0u8; 16];
         tmac::simd::scalar::pack_nibbles(&lo, &hi, &mut packed);
         let (mut l2, mut h2) = (vec![0u8; 16], vec![0u8; 16]);
         tmac::simd::scalar::unpack_nibbles(&packed, &mut l2, &mut h2);
-        prop_assert_eq!(lo, l2);
-        prop_assert_eq!(hi, h2);
+        assert_eq!(lo, l2, "case {case}");
+        assert_eq!(hi, h2, "case {case}");
     }
 }
