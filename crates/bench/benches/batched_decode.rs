@@ -1,0 +1,139 @@
+//! Batched serving throughput: aggregate tokens/sec of the continuous-
+//! batching scheduler at B = 1 / 4 / 16 versus 16 sequential single-stream
+//! decodes on the same layer shapes.
+//!
+//! The batched path routes every projection through `mpgemm` (one weight-
+//! tile stream per row block instead of one per sequence, §3.2), so the
+//! speedup over sequential decoding measures how memory-bound decode is on
+//! the host: on bandwidth-starved edge cores it approaches `n_block`, on a
+//! compute-bound desktop core it is bounded by the LUT arithmetic that
+//! batching cannot amortize (measured ~1.1–1.25x at B=16 on the 1-core dev
+//! hosts; see DESIGN.md §3).
+//!
+//! The measurement loops live in `tmac_eval::serving` and are shared with
+//! the `serve_batch` eval binary so the two report comparable numbers.
+//!
+//! Environment:
+//! * `TMAC_BENCH_QUICK=1` — smaller model and fewer tokens (CI smoke mode).
+//! * `TMAC_PERF_OUT=path.json` — write the measured metrics as a flat JSON
+//!   object (consumed by the `perf-smoke` CI job via `perf_check`).
+//! * `TMAC_BENCH_THREADS=n` — thread-pool size (default 1).
+
+use tmac_core::ExecCtx;
+use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
+use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Resolves a relative output path against the *workspace* root (cargo
+/// runs bench binaries with the package directory as CWD, which would
+/// otherwise scatter `results/` under `crates/bench/`).
+fn resolve_out(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return p.to_path_buf();
+        }
+    }
+    dir.join(p)
+}
+
+fn write_json(path: &str, metrics: &[(&str, f64)]) {
+    let body: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    let out = resolve_out(path);
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, json).expect("write perf json");
+    println!("wrote {}", out.display());
+}
+
+fn main() {
+    let quick = env_flag("TMAC_BENCH_QUICK");
+    let threads = env_usize("TMAC_BENCH_THREADS", 1);
+    // Full mode uses the Llama-2-7B per-layer shapes (one layer, shrunken
+    // vocab/seq so the GEMM work dominates); quick mode shrinks everything
+    // for CI smoke runs.
+    let cfg = if quick {
+        ModelConfig {
+            name: "bench-quick".into(),
+            dim: 1024,
+            n_layers: 1,
+            n_heads: 8,
+            n_kv_heads: 8,
+            ffn_dim: 2816,
+            vocab: 64,
+            seq_max: 64,
+            rope_theta: 10000.0,
+        }
+    } else {
+        ModelConfig::llama2_7b().scaled(1, 64, 128)
+    };
+    let w = ServeWorkload {
+        streams: 16,
+        prompt_len: 4,
+        n_new: if quick { 6 } else { 16 },
+    };
+    let model = Model::synthetic(
+        &cfg,
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+        7,
+    )
+    .expect("model");
+    let ctx = ExecCtx::new(threads);
+
+    println!(
+        "batched_decode: {} (dim {}, ffn {}, {} layer(s), 2-bit), {} streams x {} tokens, {} thread(s)\n",
+        cfg.name, cfg.dim, cfg.ffn_dim, cfg.n_layers, w.streams, w.n_new, threads
+    );
+
+    let seq = sequential_tok_s(&model, &w, &ctx);
+    println!("{:<28} {:>10.2} tok/s (aggregate)", "sequential x16", seq);
+
+    let mut metrics: Vec<(&str, f64)> = vec![("seq16_tok_s", seq)];
+    let mut b16 = seq;
+    for b in [1usize, 4, 16] {
+        let tok_s = batched_tok_s(&model, &w, b, &ctx);
+        let speedup = tok_s / seq;
+        println!(
+            "{:<28} {:>10.2} tok/s (aggregate)   {:>5.2}x vs sequential",
+            format!("scheduler B={b}"),
+            tok_s,
+            speedup
+        );
+        metrics.push(match b {
+            1 => ("b1_tok_s", tok_s),
+            4 => ("b4_tok_s", tok_s),
+            _ => ("b16_tok_s", tok_s),
+        });
+        if b == 16 {
+            b16 = tok_s;
+        }
+    }
+    metrics.push(("speedup_b16", b16 / seq));
+
+    if let Ok(path) = std::env::var("TMAC_PERF_OUT") {
+        write_json(&path, &metrics);
+    }
+}

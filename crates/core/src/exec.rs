@@ -93,9 +93,21 @@ struct CacheEntry {
     tables: Arc<ActTables>,
 }
 
+/// One cached *batch* of table builds: `n` activation rows consumed by an
+/// mpGEMM call, built together so QKV-style projection groups share the
+/// per-row builds at `n > 1` exactly as they do at `n == 1`.
+struct BatchCacheEntry {
+    generation: u64,
+    profile: TableProfile,
+    n: usize,
+    fingerprint: u64,
+    tables: Arc<Vec<ActTables>>,
+}
+
 /// Interior state: cached tables plus the scratch free-list.
 struct CtxState {
     tables: Vec<CacheEntry>,
+    batch_tables: Vec<BatchCacheEntry>,
     scratch: Vec<Vec<f32>>,
 }
 
@@ -103,6 +115,11 @@ struct CtxState {
 /// step sees a handful (attention in, attention out, FFN in, FFN mid, head
 /// in), so a small linear-scan cache beats a hash map.
 const CACHE_CAPACITY: usize = 8;
+
+/// Distinct batched builds retained per generation. A batched transformer
+/// step needs at most one live entry per projection group (QKV, gate/up),
+/// so the capacity stays small.
+const BATCH_CACHE_CAPACITY: usize = 4;
 
 /// Buffers retained in the scratch free-list.
 const SCRATCH_CAPACITY: usize = 16;
@@ -202,6 +219,7 @@ impl ExecCtx {
             misses: AtomicU64::new(0),
             state: Mutex::new(CtxState {
                 tables: Vec::new(),
+                batch_tables: Vec::new(),
                 scratch: Vec::new(),
             }),
         }
@@ -280,6 +298,84 @@ impl ExecCtx {
         } else if state.tables.len() < CACHE_CAPACITY {
             state.tables.push(entry);
         } else if let Some(oldest) = state.tables.iter_mut().min_by_key(|e| e.generation) {
+            *oldest = entry;
+        }
+        Ok(tables)
+    }
+
+    /// Returns one [`ActTables`] build per activation row of a row-major
+    /// `n × K` batch, reusing the cached builds when a matching
+    /// `(generation, K, profile, n)` batch exists.
+    ///
+    /// This is the batched twin of [`ExecCtx::tables_for`]: within one
+    /// [`ExecCtx::next_activation`] scope, every plan with the same table
+    /// profile consuming the same activation batch (the QKV projections of
+    /// a batched decode step, the FFN gate/up pair of a prefill chunk)
+    /// shares a single set of per-row builds. One lookup counts once in
+    /// [`ExecCtx::table_stats`] regardless of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmacError::Shape`] when `n == 0` or `act.len() != n·K`;
+    /// otherwise propagates per-row table-construction failures.
+    pub fn batch_tables_for(
+        &self,
+        plan: &WeightPlan,
+        act: &[f32],
+        n: usize,
+    ) -> Result<Arc<Vec<ActTables>>, TmacError> {
+        if n == 0 {
+            return Err(TmacError::Shape("batch_tables_for needs n >= 1".into()));
+        }
+        if act.len() != n * plan.k {
+            return Err(TmacError::Shape(format!(
+                "activation length {} != n*K = {}",
+                act.len(),
+                n * plan.k
+            )));
+        }
+        let profile = TableProfile::of_plan(plan);
+        let generation = self.generation();
+        let fp = fingerprint(act);
+        {
+            let state = self.lock();
+            if let Some(e) = state.batch_tables.iter().find(|e| {
+                e.generation == generation
+                    && e.profile == profile
+                    && e.n == n
+                    && e.fingerprint == fp
+            }) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&e.tables));
+            }
+        }
+        // Build outside the lock (same rationale as `tables_for`).
+        let mut tables = Vec::with_capacity(n);
+        for ni in 0..n {
+            tables.push(gemv::build_tables(
+                plan,
+                &act[ni * plan.k..(ni + 1) * plan.k],
+            )?);
+        }
+        let tables = Arc::new(tables);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.lock();
+        let entry = BatchCacheEntry {
+            generation,
+            profile,
+            n,
+            fingerprint: fp,
+            tables: Arc::clone(&tables),
+        };
+        if let Some(slot) = state
+            .batch_tables
+            .iter_mut()
+            .find(|e| e.profile == profile && e.n == n)
+        {
+            *slot = entry;
+        } else if state.batch_tables.len() < BATCH_CACHE_CAPACITY {
+            state.batch_tables.push(entry);
+        } else if let Some(oldest) = state.batch_tables.iter_mut().min_by_key(|e| e.generation) {
             *oldest = entry;
         }
         Ok(tables)
@@ -414,6 +510,55 @@ mod tests {
         ctx.tables_for(&p128, &act(128, 0.0)).unwrap();
         let s = ctx.table_stats();
         assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn batch_tables_share_within_a_generation() {
+        // The batched QKV pattern: three plans, one n-row activation batch,
+        // one set of per-row builds.
+        let ctx = ExecCtx::new(1);
+        let p4 = plan(64, 128, 4, KernelOpts::tmac());
+        let p2 = plan(32, 128, 2, KernelOpts::tmac());
+        let n = 5;
+        let a: Vec<f32> = (0..n * 128).map(|i| ((i as f32) * 0.19).sin()).collect();
+        ctx.next_activation();
+        let t1 = ctx.batch_tables_for(&p4, &a, n).unwrap();
+        let t2 = ctx.batch_tables_for(&p2, &a, n).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t1.len(), n);
+        assert_eq!(ctx.table_stats(), TableCacheStats { hits: 1, misses: 1 });
+        // A bump invalidates, and a different n is a different entry.
+        ctx.next_activation();
+        let t3 = ctx.batch_tables_for(&p4, &a, n).unwrap();
+        assert!(!Arc::ptr_eq(&t1, &t3));
+        ctx.batch_tables_for(&p4, &a[..3 * 128], 3).unwrap();
+        let s = ctx.table_stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+    }
+
+    #[test]
+    fn batch_tables_match_per_row_builds() {
+        let ctx = ExecCtx::new(1);
+        let p = plan(64, 128, 2, KernelOpts::tmac());
+        let n = 3;
+        let a: Vec<f32> = (0..n * 128).map(|i| ((i as f32) * 0.23).cos()).collect();
+        ctx.next_activation();
+        let batch = ctx.batch_tables_for(&p, &a, n).unwrap();
+        for ni in 0..n {
+            let row = gemv::build_tables(&p, &a[ni * 128..(ni + 1) * 128]).unwrap();
+            assert_eq!(batch[ni].q_tables, row.q_tables, "row {ni}");
+            assert_eq!(batch[ni].q_scales, row.q_scales, "row {ni}");
+            assert_eq!(batch[ni].asums, row.asums, "row {ni}");
+        }
+    }
+
+    #[test]
+    fn batch_tables_validate_shape() {
+        let ctx = ExecCtx::new(1);
+        let p = plan(64, 128, 2, KernelOpts::tmac());
+        let a = act(128, 0.0);
+        assert!(ctx.batch_tables_for(&p, &a, 0).is_err());
+        assert!(ctx.batch_tables_for(&p, &a, 2).is_err());
     }
 
     #[test]

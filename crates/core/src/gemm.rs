@@ -21,9 +21,85 @@ struct OutPtr(*mut f32);
 // dispatcher keeps the buffer alive until completion.
 unsafe impl Sync for OutPtr {}
 
+/// Validates the `n × K` / `n × M` shapes shared by every mpGEMM entry.
+fn check_shapes(
+    plan: &WeightPlan,
+    act_len: usize,
+    n: usize,
+    out_len: usize,
+) -> Result<(), TmacError> {
+    if n == 0 {
+        return Err(TmacError::Shape("mpgemm needs n >= 1".into()));
+    }
+    if act_len != n * plan.k {
+        return Err(TmacError::Shape(format!(
+            "activation length {act_len} != n*K = {}",
+            n * plan.k
+        )));
+    }
+    if out_len != n * plan.m {
+        return Err(TmacError::Shape(format!(
+            "output length {out_len} != n*M = {}",
+            n * plan.m
+        )));
+    }
+    Ok(())
+}
+
+/// Whether the AVX2 kernel serves `plan` on this host.
+fn avx2_for(plan: &WeightPlan) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        kernel::avx2::supported(&plan.opts)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = plan;
+        false
+    }
+}
+
+/// Sweeps all m-tiles for one block of rows: each weight tile is read once
+/// and applied to every row's tables (the §3.2 reuse), with the rows of the
+/// block innermost. `tables[i]` belongs to output row `n0 + i` of `out`.
+fn sweep_block(
+    plan: &WeightPlan,
+    tables: &[ActTables],
+    n0: usize,
+    out: &mut [f32],
+    use_avx2: bool,
+    ctx: &ExecCtx,
+) {
+    let m = plan.m;
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let out_ref = &out_ptr;
+    ctx.pool().chunks(plan.m_tiles(), 1, |tiles| {
+        let mut buf = [0f32; TILE_M];
+        for mt in tiles {
+            let m0 = mt * TILE_M;
+            let take = TILE_M.min(m - m0);
+            for (ni, t) in tables.iter().enumerate() {
+                run_mtile(plan, t, mt, &mut buf, use_avx2);
+                // SAFETY: this thread owns tile `mt`; the destination
+                // range lies in row `n0 + ni` of `out`, within bounds;
+                // the buffer outlives the dispatch.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        buf.as_ptr(),
+                        out_ref.0.add((n0 + ni) * m + m0),
+                        take,
+                    );
+                }
+            }
+        }
+    });
+}
+
 /// Computes `out[n][m] = Σ_k act[n][k] · W[m][k]`.
 ///
-/// `act` is row-major `n × K`; `out` is row-major `n × M`.
+/// `act` is row-major `n × K`; `out` is row-major `n × M`. Tables are built
+/// fresh per call; use [`mpgemm_cached`] when several weight matrices
+/// consume the same activation batch (batched QKV projections).
 ///
 /// # Errors
 ///
@@ -35,34 +111,10 @@ pub fn mpgemm(
     out: &mut [f32],
     ctx: &ExecCtx,
 ) -> Result<(), TmacError> {
-    if n == 0 {
-        return Err(TmacError::Shape("mpgemm needs n >= 1".into()));
-    }
-    if act.len() != n * plan.k {
-        return Err(TmacError::Shape(format!(
-            "activation length {} != n*K = {}",
-            act.len(),
-            n * plan.k
-        )));
-    }
-    if out.len() != n * plan.m {
-        return Err(TmacError::Shape(format!(
-            "output length {} != n*M = {}",
-            out.len(),
-            n * plan.m
-        )));
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    let use_avx2 = kernel::avx2::supported(&plan.opts);
-    #[cfg(not(target_arch = "x86_64"))]
-    let use_avx2 = false;
-
+    check_shapes(plan, act.len(), n, out.len())?;
+    let use_avx2 = avx2_for(plan);
     let nb = plan.opts.n_block.max(1);
-    let (m, k) = (plan.m, plan.k);
-    let out_ptr = OutPtr(out.as_mut_ptr());
-    let out_ref = &out_ptr;
-
+    let k = plan.k;
     let mut n0 = 0;
     while n0 < n {
         let nblk = nb.min(n - n0);
@@ -73,27 +125,66 @@ pub fn mpgemm(
         for ni in 0..nblk {
             tables.push(build_tables(plan, &act[(n0 + ni) * k..(n0 + ni + 1) * k])?);
         }
-        let tables_ref = &tables;
-        ctx.pool().chunks(plan.m_tiles(), 1, |tiles| {
-            let mut buf = [0f32; TILE_M];
-            for mt in tiles {
-                let m0 = mt * TILE_M;
-                let take = TILE_M.min(m - m0);
-                for (ni, t) in tables_ref.iter().enumerate() {
-                    run_mtile(plan, t, mt, &mut buf, use_avx2);
-                    // SAFETY: this thread owns tile `mt`; the destination
-                    // range lies in row `n0 + ni` of `out`, within bounds;
-                    // the buffer outlives the dispatch.
-                    unsafe {
-                        std::ptr::copy_nonoverlapping(
-                            buf.as_ptr(),
-                            out_ref.0.add((n0 + ni) * m + m0),
-                            take,
-                        );
-                    }
-                }
-            }
-        });
+        sweep_block(plan, &tables, n0, out, use_avx2, ctx);
+        n0 += nblk;
+    }
+    Ok(())
+}
+
+/// [`mpgemm`] through the context's batched activation-table cache.
+///
+/// Within one [`ExecCtx::next_activation`] scope, every plan with the same
+/// table profile consuming the same `n × K` activation batch shares one set
+/// of per-row table builds — the QKV / gate-up amortization of the decode
+/// path, extended to batched serving (see [`ExecCtx::batch_tables_for`]).
+///
+/// # Errors
+///
+/// Same contract as [`mpgemm`].
+pub fn mpgemm_cached(
+    plan: &WeightPlan,
+    act: &[f32],
+    n: usize,
+    out: &mut [f32],
+    ctx: &ExecCtx,
+) -> Result<(), TmacError> {
+    check_shapes(plan, act.len(), n, out.len())?;
+    let tables = ctx.batch_tables_for(plan, act, n)?;
+    mpgemm_with_tables(plan, &tables, out, ctx)
+}
+
+/// [`mpgemm`] with caller-provided per-row tables (`tables.len()` rows).
+///
+/// # Errors
+///
+/// Returns [`TmacError::Shape`] if `out.len() != tables.len() · M` or any
+/// table was built for a different `K` / group size / options.
+pub fn mpgemm_with_tables(
+    plan: &WeightPlan,
+    tables: &[ActTables],
+    out: &mut [f32],
+    ctx: &ExecCtx,
+) -> Result<(), TmacError> {
+    let n = tables.len();
+    if n == 0 {
+        return Err(TmacError::Shape("mpgemm needs n >= 1".into()));
+    }
+    if out.len() != n * plan.m {
+        return Err(TmacError::Shape(format!(
+            "output length {} != n*M = {}",
+            out.len(),
+            n * plan.m
+        )));
+    }
+    for t in tables {
+        crate::gemv::check_tables_compatible(plan, t)?;
+    }
+    let use_avx2 = avx2_for(plan);
+    let nb = plan.opts.n_block.max(1);
+    let mut n0 = 0;
+    while n0 < n {
+        let nblk = nb.min(n - n0);
+        sweep_block(plan, &tables[n0..n0 + nblk], n0, out, use_avx2, ctx);
         n0 += nblk;
     }
     Ok(())
@@ -144,6 +235,70 @@ mod tests {
             let nmse = tmac_simd::f32ops::nmse(&out[ni * m..(ni + 1) * m], &reference);
             assert!(nmse < 2e-3, "row {ni} nmse={nmse}");
         }
+    }
+
+    #[test]
+    fn cached_and_with_tables_match_fresh() {
+        let (m, k, n) = (64, 128, 11); // crosses an n_block boundary
+        let (qm, act) = setup(m, k, n, 3);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let ctx = ExecCtx::new(2);
+        let mut fresh = vec![0f32; n * m];
+        mpgemm(&plan, &act, n, &mut fresh, &ctx).unwrap();
+
+        ctx.next_activation();
+        let mut cached = vec![0f32; n * m];
+        mpgemm_cached(&plan, &act, n, &mut cached, &ctx).unwrap();
+        assert_eq!(fresh, cached);
+
+        let tables: Vec<ActTables> = (0..n)
+            .map(|ni| build_tables(&plan, &act[ni * k..(ni + 1) * k]).unwrap())
+            .collect();
+        let mut with = vec![0f32; n * m];
+        mpgemm_with_tables(&plan, &tables, &mut with, &ctx).unwrap();
+        assert_eq!(fresh, with);
+    }
+
+    #[test]
+    fn cached_shares_builds_across_plans() {
+        // Batched QKV: two plans, one activation batch, one batched build.
+        let (m, k, n) = (32, 64, 4);
+        let (qm, act) = setup(m, k, n, 2);
+        let (qm2, _) = setup(m, k, n, 4);
+        let plan2 = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let plan4 = WeightPlan::new(&qm2, KernelOpts::tmac()).unwrap();
+        let ctx = ExecCtx::new(1);
+        ctx.next_activation();
+        let mut out = vec![0f32; n * m];
+        mpgemm_cached(&plan2, &act, n, &mut out, &ctx).unwrap();
+        mpgemm_cached(&plan4, &act, n, &mut out, &ctx).unwrap();
+        let s = ctx.table_stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "second plan must reuse");
+    }
+
+    #[test]
+    fn with_tables_rejects_incompatible() {
+        let (m, k, n) = (32, 64, 2);
+        let (qm, act) = setup(m, k, n, 2);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let ctx = ExecCtx::new(1);
+        let mut out = vec![0f32; n * m];
+        assert!(mpgemm_with_tables(&plan, &[], &mut out, &ctx).is_err());
+        let t = build_tables(&plan, &act[..k]).unwrap();
+        let mut short = vec![0f32; m];
+        assert!(mpgemm_with_tables(&plan, &[t.clone(), t], &mut short, &ctx).is_err());
+        // Tables built without quantization don't match a TQ plan.
+        let wrong = ActTables::build(&act[..k], 32, &crate::opts::KernelOpts::tm_base()).unwrap();
+        let mut one = vec![0f32; m];
+        assert!(mpgemm_with_tables(&plan, &[wrong], &mut one, &ctx).is_err());
+        // Mirror-consolidated tables have half the layout of full tables.
+        let mirrored =
+            ActTables::build(&act[..k], 32, &crate::opts::KernelOpts::tmac_mirror()).unwrap();
+        assert!(mpgemm_with_tables(&plan, &[mirrored], &mut one, &ctx).is_err());
+        // A fast-aggregation plan needs the offset u8 tables materialized.
+        let fa_plan = WeightPlan::new(&qm, KernelOpts::tmac_fast_aggregation()).unwrap();
+        let no_fa = build_tables(&plan, &act[..k]).unwrap();
+        assert!(mpgemm_with_tables(&fa_plan, &[no_fa], &mut one, &ctx).is_err());
     }
 
     #[test]

@@ -99,16 +99,7 @@ pub fn mpgemv_with_tables(
             plan.m
         )));
     }
-    if tables.k != plan.k || tables.group_size != plan.group_size {
-        return Err(TmacError::Shape(
-            "tables incompatible with plan (K or group size)".into(),
-        ));
-    }
-    if tables.quantized != plan.opts.table_quant {
-        return Err(TmacError::Shape(
-            "tables quantization does not match plan options".into(),
-        ));
-    }
+    check_tables_compatible(plan, tables)?;
 
     #[cfg(target_arch = "x86_64")]
     let use_avx2 = kernel::avx2::supported(&plan.opts);
@@ -132,6 +123,34 @@ pub fn mpgemv_with_tables(
             }
         }
     });
+    Ok(())
+}
+
+/// Validates that caller-provided tables match `plan`'s full table profile
+/// (shape *and* options): every mismatch the kernels cannot tolerate —
+/// `K`, group size, quantization, mirror consolidation, and missing offset
+/// tables under fast aggregation — is rejected before dispatch.
+pub(crate) fn check_tables_compatible(plan: &WeightPlan, t: &ActTables) -> Result<(), TmacError> {
+    if t.k != plan.k || t.group_size != plan.group_size {
+        return Err(TmacError::Shape(
+            "tables incompatible with plan (K or group size)".into(),
+        ));
+    }
+    if t.quantized != plan.opts.table_quant {
+        return Err(TmacError::Shape(
+            "tables quantization does not match plan options".into(),
+        ));
+    }
+    if t.mirror != plan.opts.mirror {
+        return Err(TmacError::Shape(
+            "tables mirror consolidation does not match plan options".into(),
+        ));
+    }
+    if plan.opts.fast_aggregation && t.u_tables.is_empty() {
+        return Err(TmacError::Shape(
+            "fast-aggregation plan needs tables built with offset u8 tables".into(),
+        ));
+    }
     Ok(())
 }
 

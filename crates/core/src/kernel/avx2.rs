@@ -8,10 +8,10 @@
 //!
 //! | options | kernel |
 //! |---|---|
-//! | permuted, quantized, exact | [`mtile_permuted`]`<IL, MIRROR>` |
-//! | permuted, quantized, fast aggregation | [`mtile_permuted_fa`]`<IL, MIRROR>` |
-//! | flat, quantized (TM-base `+TQ`, `+Tiling`) | [`mtile_flat_quant`] |
-//! | flat, `f32` tables (TM-base) | [`mtile_flat_gather`] |
+//! | permuted, quantized, exact | `mtile_permuted<IL, MIRROR>` |
+//! | permuted, quantized, fast aggregation | `mtile_permuted_fa<IL, MIRROR>` |
+//! | flat, quantized (TM-base `+TQ`, `+Tiling`) | `mtile_flat_quant` |
+//! | flat, `f32` tables (TM-base) | `mtile_flat_gather` |
 //!
 //! Everything here is `#[target_feature(enable = "avx2,fma")]`; the driver
 //! checks [`tmac_simd::avx2::available`] once per call.

@@ -224,6 +224,24 @@ impl TmacLinear {
         gemm::mpgemm(&self.plan, act, n, out, ctx)
     }
 
+    /// Mixed-precision GEMM through the context's batched table cache:
+    /// plans with a compatible table profile that forward the same `n`-row
+    /// activation batch within one [`ExecCtx::next_activation`] scope share
+    /// one set of per-row table builds (batched QKV / gate-up reuse).
+    ///
+    /// # Errors
+    ///
+    /// See [`gemm::mpgemm_cached`].
+    pub fn gemm_cached(
+        &self,
+        act: &[f32],
+        n: usize,
+        out: &mut [f32],
+        ctx: &ExecCtx,
+    ) -> Result<(), TmacError> {
+        gemm::mpgemm_cached(&self.plan, act, n, out, ctx)
+    }
+
     /// Analytical cost of one GEMV through this layer.
     pub fn gemv_cost(&self) -> cost::KernelCost {
         cost::tmac_gemv_cost(

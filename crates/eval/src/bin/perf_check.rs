@@ -1,0 +1,103 @@
+//! CI perf gate: compares a measured-metrics JSON (written by the bench
+//! harness, e.g. `benches/batched_decode.rs` under `TMAC_PERF_OUT`) against
+//! checked-in thresholds and exits non-zero on regression.
+//!
+//! Thresholds are *ratios*, not absolute times, so shared-runner noise does
+//! not flake the gate: each `min_<metric>` / `max_<metric>` key in the
+//! thresholds file is checked against `<metric>` in the measured file.
+//! Checked-in values carry ~2x slack below locally measured speedups (e.g.
+//! `min_speedup_b16 = 0.55` against a measured ~1.1x) — the gate catches
+//! collapse regressions such as batched serving dropping to half of
+//! sequential throughput, not percent-level drift. The `min_*_tok_s = 1.0`
+//! entries are deliberate liveness floors (the bench really produced
+//! tokens), not tracked performance numbers; keep real perf tracking on
+//! ratio metrics only.
+//!
+//! Usage: `perf_check <measured.json> <thresholds.json>`
+
+use std::process::ExitCode;
+
+/// Parses a flat `{"key": number, ...}` JSON object (the only shape the
+/// bench harness writes; serde is unavailable offline).
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a {...} object")?;
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("expected \"key\": value, got {pair:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: perf_check <measured.json> <thresholds.json>");
+        return ExitCode::FAILURE;
+    }
+    let (measured, thresholds) = match (load(&args[1]), load(&args[2])) {
+        (Ok(m), Ok(t)) => (m, t),
+        (m, t) => {
+            for e in [m.err(), t.err()].into_iter().flatten() {
+                eprintln!("perf_check: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let get = |key: &str| measured.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+
+    let mut failures = 0;
+    for (key, bound) in &thresholds {
+        let (metric, is_min) = if let Some(m) = key.strip_prefix("min_") {
+            (m, true)
+        } else if let Some(m) = key.strip_prefix("max_") {
+            (m, false)
+        } else {
+            eprintln!("perf_check: FAIL threshold key {key:?} must start with min_/max_");
+            failures += 1;
+            continue;
+        };
+        let Some(value) = get(metric) else {
+            eprintln!("perf_check: FAIL {metric}: missing from measured metrics");
+            failures += 1;
+            continue;
+        };
+        let ok = if is_min {
+            value >= *bound
+        } else {
+            value <= *bound
+        };
+        let verdict = if ok { "ok  " } else { "FAIL" };
+        let op = if is_min { ">=" } else { "<=" };
+        println!("perf_check: {verdict} {metric} = {value:.4} (want {op} {bound})");
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf_check: {failures} check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("perf_check: all {} checks passed", thresholds.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! Batched-serving throughput sweep: aggregate tokens/sec of the
+//! continuous-batching scheduler as the batch size grows, against the
+//! sequential single-stream baseline on the same model.
+//!
+//! Not a paper figure — the serving-scenario extension of the reproduction
+//! (ROADMAP "heavy traffic"): it answers "how much does continuous batching
+//! buy on this host" the way `quickperf` answers it for raw kernels. The
+//! measurement loops are shared with `benches/batched_decode.rs` through
+//! `tmac_eval::serving` so the two report comparable numbers.
+//!
+//! Flags: `--model 7b|13b|bitnet|tiny`, `--layers N`, `--bits B`,
+//! `--streams S`, `--prompt P`, `--tokens T`, `--threads N`, `--quick`.
+
+use tmac_core::ExecCtx;
+use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
+use tmac_eval::Table;
+use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+
+fn main() {
+    let model_name = tmac_eval::arg("model", "7b");
+    let layers: usize = tmac_eval::arg("layers", "1").parse().expect("--layers");
+    let bits: u8 = tmac_eval::arg("bits", "2").parse().expect("--bits");
+    let threads: usize = tmac_eval::arg("threads", "1").parse().expect("--threads");
+    let quick = tmac_eval::quick();
+    let streams: usize = tmac_eval::arg("streams", if quick { "8" } else { "16" })
+        .parse()
+        .expect("--streams");
+    let prompt_len: usize = tmac_eval::arg("prompt", "4").parse().expect("--prompt");
+    let n_new: usize = tmac_eval::arg("tokens", if quick { "4" } else { "16" })
+        .parse()
+        .expect("--tokens");
+
+    let base = match model_name.as_str() {
+        "7b" => ModelConfig::llama2_7b(),
+        "13b" => ModelConfig::llama2_13b(),
+        "bitnet" => ModelConfig::bitnet_3b(),
+        "tiny" => ModelConfig::tiny(),
+        other => panic!("unknown --model {other:?} (7b|13b|bitnet|tiny)"),
+    };
+    let seq_max = (prompt_len + n_new + 8).next_power_of_two().max(64);
+    let cfg = if model_name == "tiny" {
+        base
+    } else {
+        base.scaled(layers, 64, seq_max)
+    };
+    let quant = if model_name == "bitnet" {
+        WeightQuant::BitnetTernary
+    } else {
+        WeightQuant::Rtn(bits)
+    };
+    let model = Model::synthetic(
+        &cfg,
+        quant,
+        BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+        7,
+    )
+    .expect("model");
+    let ctx = ExecCtx::new(threads);
+    let w = ServeWorkload {
+        streams,
+        prompt_len,
+        n_new,
+    };
+
+    let seq_tok_s = sequential_tok_s(&model, &w, &ctx);
+    let mut table = Table::new(&["batch", "tok/s (aggregate)", "vs sequential"]);
+    table.row(vec![
+        "seq".into(),
+        format!("{seq_tok_s:.1}"),
+        "1.00x".into(),
+    ]);
+    for max_batch in [1usize, 2, 4, 8, 16] {
+        if max_batch > streams {
+            break;
+        }
+        let tok_s = batched_tok_s(&model, &w, max_batch, &ctx);
+        table.row(vec![
+            format!("B={max_batch}"),
+            format!("{tok_s:.1}"),
+            format!("{:.2}x", tok_s / seq_tok_s),
+        ]);
+    }
+    println!(
+        "serving {} ({} layer(s), {:?}), {} streams x ({} prompt + {} new), {} thread(s)\n",
+        cfg.name, cfg.n_layers, quant, streams, prompt_len, n_new, threads
+    );
+    table.emit("serve_batch");
+}

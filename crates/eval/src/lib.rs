@@ -8,6 +8,8 @@
 use std::time::Instant;
 use tmac_rng::Rng;
 
+pub mod serving;
+
 /// The six kernel shapes of the paper's Figures 6, 7 and 10 (`M × K`),
 /// drawn from Llama-2-7B (4096/11008) and Llama-2-13B (5120/13824).
 pub const SHAPES: [(usize, usize); 6] = [

@@ -196,7 +196,15 @@ impl LinearBackend for TmacBackend {
         out: &mut [f32],
         ctx: &ExecCtx,
     ) -> Result<(), BackendError> {
-        Ok(self.linear.gemm(act, n, out, ctx)?)
+        if n == 1 {
+            // A one-row batch IS a decode step: take the gemv path so it
+            // shares the scalar table cache with single-token forwards.
+            Ok(self.linear.gemv_cached(act, out, ctx)?)
+        } else {
+            // mpGEMM through the batched table cache: projections sharing
+            // this activation batch (QKV, gate/up) share the per-row builds.
+            Ok(self.linear.gemm_cached(act, n, out, ctx)?)
+        }
     }
 }
 

@@ -1,0 +1,641 @@
+//! Continuous-batching scheduler: the serving layer over
+//! [`Model::forward_batch`].
+//!
+//! Many logical requests share each forward pass: sequences are admitted
+//! into a bounded set of KV-cache slots, every scheduler step decodes one
+//! token for *all* active sequences in a single batched forward (`n = B`
+//! through every linear, so the T-MAC backend takes the mpGEMM path and
+//! weight tiles stream once per row block instead of once per sequence),
+//! and finished sequences are evicted between steps so queued requests can
+//! take their slots — continuous batching in the vLLM/Orca sense, scaled to
+//! this repo's synthetic-model serving scenario.
+//!
+//! ```text
+//!  submit(prompt) ──► pending ──admit──► active ──retire──► finished
+//!                      queue    (slot +   │  ▲               results
+//!                               chunked   │  │
+//!                               prefill)  ▼  │
+//!                                   step_batch: one forward_batch over
+//!                                   all active rows, greedy-sample each
+//! ```
+
+use crate::backend::BackendError;
+use crate::engine::PREFILL_CHUNK;
+use crate::model::{BatchScratch, KvCache, Model};
+use crate::ops;
+use std::collections::VecDeque;
+use tmac_core::ExecCtx;
+
+/// Opaque handle for a submitted sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqId(pub u64);
+
+/// Scheduler limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently active sequences (KV-cache slots).
+    pub max_batch: usize,
+    /// Rows per prefill [`Model::forward_batch`] call (bounds batch-scratch
+    /// memory while keeping prompts on the mpGEMM path).
+    pub prefill_chunk: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 16,
+            prefill_chunk: PREFILL_CHUNK,
+        }
+    }
+}
+
+/// One token emitted by a scheduler step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepToken {
+    /// The sequence that produced the token.
+    pub id: SeqId,
+    /// The greedily sampled token.
+    pub token: u32,
+    /// Whether this token completed the sequence.
+    pub finished: bool,
+}
+
+/// A completed sequence with its generated tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSeq {
+    /// The sequence handle returned by [`Scheduler::submit`].
+    pub id: SeqId,
+    /// The submitted prompt.
+    pub prompt: Vec<u32>,
+    /// All generated tokens, in order.
+    pub tokens: Vec<u32>,
+    /// `None` for a normal completion; `Some(message)` when the sequence
+    /// was retired early by a model failure (its `tokens` are the partial
+    /// output up to the failure).
+    pub error: Option<String>,
+}
+
+/// Per-sequence serving state.
+#[derive(Debug)]
+struct Sequence {
+    id: SeqId,
+    prompt: Vec<u32>,
+    max_new: usize,
+    generated: Vec<u32>,
+    /// Next position to decode at (== tokens fed so far).
+    pos: usize,
+    /// Last fed or sampled token (input of the next decode row).
+    last_token: u32,
+    /// Index into the scheduler's cache pool; valid while active.
+    slot: usize,
+}
+
+impl Sequence {
+    fn done(&self) -> bool {
+        self.generated.len() >= self.max_new
+    }
+}
+
+/// Continuous-batching serving engine over one [`Model`].
+///
+/// # Examples
+///
+/// ```
+/// use tmac_core::ExecCtx;
+/// use tmac_llm::batch::{Scheduler, SchedulerConfig};
+/// use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+///
+/// let model = Model::synthetic(
+///     &ModelConfig::tiny(),
+///     WeightQuant::Rtn(2),
+///     BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+///     7,
+/// )
+/// .unwrap();
+/// let mut sched = Scheduler::new(model, SchedulerConfig::default());
+/// let ctx = ExecCtx::new(1);
+/// let a = sched.submit(&[1, 2, 3], 4).unwrap();
+/// let b = sched.submit(&[9, 8], 4).unwrap();
+/// while !sched.is_idle() {
+///     sched.step_batch(&ctx).unwrap();
+/// }
+/// let done = sched.take_finished();
+/// assert_eq!(done.len(), 2);
+/// assert!(done.iter().any(|f| f.id == a && f.tokens.len() == 4));
+/// assert!(done.iter().any(|f| f.id == b && f.tokens.len() == 4));
+/// ```
+pub struct Scheduler {
+    model: Model,
+    cfg: SchedulerConfig,
+    /// KV-cache slot pool, grown lazily up to `max_batch`.
+    caches: Vec<KvCache>,
+    free_slots: Vec<usize>,
+    pending: VecDeque<Sequence>,
+    active: Vec<Sequence>,
+    finished: Vec<FinishedSeq>,
+    /// Tokens emitted during a step that then failed: returned by the next
+    /// successful [`Scheduler::step_batch`] so streaming consumers never
+    /// lose tokens that are recorded in sequence state.
+    carry: Vec<StepToken>,
+    scratch: BatchScratch,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// Wraps `model` with serving state for `cfg.max_batch` concurrent
+    /// sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch == 0` or `cfg.prefill_chunk == 0`.
+    pub fn new(model: Model, cfg: SchedulerConfig) -> Self {
+        assert!(cfg.max_batch > 0, "scheduler needs max_batch >= 1");
+        assert!(cfg.prefill_chunk > 0, "scheduler needs prefill_chunk >= 1");
+        let scratch = BatchScratch::new(&model.cfg, cfg.max_batch.max(cfg.prefill_chunk));
+        Scheduler {
+            model,
+            cfg,
+            caches: Vec::new(),
+            free_slots: Vec::new(),
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            finished: Vec::new(),
+            carry: Vec::new(),
+            scratch,
+            next_id: 0,
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Queues a request for `max_new` greedy tokens after `prompt`.
+    ///
+    /// The sequence starts decoding once a batch slot frees up; tokens
+    /// appear in subsequent [`Scheduler::step_batch`] outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] for an empty prompt, `max_new == 0`,
+    /// or a request longer than the model's `seq_max`.
+    pub fn submit(&mut self, prompt: &[u32], max_new: usize) -> Result<SeqId, BackendError> {
+        if prompt.is_empty() {
+            return Err(BackendError::Shape("empty prompt".into()));
+        }
+        if max_new == 0 {
+            return Err(BackendError::Shape("max_new must be >= 1".into()));
+        }
+        if prompt.len() + max_new > self.model.cfg.seq_max {
+            return Err(BackendError::Shape(format!(
+                "sequence {} + {} exceeds seq_max {}",
+                prompt.len(),
+                max_new,
+                self.model.cfg.seq_max
+            )));
+        }
+        if let Some(&t) = prompt.iter().find(|&&t| t as usize >= self.model.cfg.vocab) {
+            return Err(BackendError::Shape(format!(
+                "prompt token {t} out of vocab {}",
+                self.model.cfg.vocab
+            )));
+        }
+        let id = SeqId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Sequence {
+            id,
+            prompt: prompt.to_vec(),
+            max_new,
+            generated: Vec::with_capacity(max_new),
+            pos: 0,
+            last_token: 0,
+            slot: usize::MAX,
+        });
+        Ok(id)
+    }
+
+    /// Sequences currently holding a batch slot.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Sequences waiting for a slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no work remains (pending and active both empty).
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// Drains completed sequences collected so far.
+    pub fn take_finished(&mut self) -> Vec<FinishedSeq> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Clears all per-sequence state — pending queue, active slots and
+    /// their KV caches, finished results — keeping the model and the
+    /// allocated cache pool for reuse.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.active.clear();
+        self.finished.clear();
+        self.carry.clear();
+        self.free_slots = (0..self.caches.len()).collect();
+        for c in &mut self.caches {
+            c.reset();
+        }
+    }
+
+    /// Takes (or allocates) a cache slot for an admitted sequence.
+    fn claim_slot(&mut self) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            self.caches[slot].reset();
+            slot
+        } else {
+            self.caches.push(KvCache::new(&self.model.cfg));
+            self.caches.len() - 1
+        }
+    }
+
+    /// Runs one serving step: admits queued sequences into free slots
+    /// (prefilling their prompts as mpGEMM chunks), then decodes one token
+    /// for every active sequence in a single batched forward. Returns the
+    /// tokens emitted this step (one per admitted sequence from its prefill
+    /// logits, plus one per sequence in the decode batch), preceded by any
+    /// tokens a previous *failed* step emitted but could not return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures, leaving the scheduler consistent:
+    ///
+    /// * an admission (prefill) failure retires that sequence into the
+    ///   finished list with [`FinishedSeq::error`] set, and the step's
+    ///   already-emitted tokens are carried into the next call's output;
+    /// * a decode failure leaves every active sequence in place with its
+    ///   position unadvanced, so the step can simply be retried.
+    pub fn step_batch(&mut self, ctx: &ExecCtx) -> Result<Vec<StepToken>, BackendError> {
+        let mut emitted = std::mem::take(&mut self.carry);
+
+        // Admission: fill free batch slots from the queue; each admitted
+        // prompt prefills through forward_batch in chunks, yielding its
+        // first generated token from the final chunk's last-row logits.
+        while self.active.len() < self.cfg.max_batch && !self.pending.is_empty() {
+            let mut seq = self.pending.pop_front().expect("non-empty queue");
+            seq.slot = self.claim_slot();
+            match self.prefill_active(&mut seq, ctx) {
+                Ok(token) => {
+                    emitted.push(StepToken {
+                        id: seq.id,
+                        token,
+                        finished: seq.done(),
+                    });
+                    if seq.done() {
+                        self.retire(seq, None);
+                    } else {
+                        self.active.push(seq);
+                    }
+                }
+                Err(e) => {
+                    // Retire the failed admission with an error marker and
+                    // carry this step's tokens into the next call's output.
+                    self.retire(seq, Some(e.to_string()));
+                    self.carry = emitted;
+                    return Err(e);
+                }
+            }
+        }
+
+        // Decode: one batched forward over all active rows. On failure no
+        // sequence has advanced (positions and tokens untouched), so the
+        // carried tokens plus a retry reproduce the step.
+        if !self.active.is_empty() {
+            let tokens: Vec<u32> = self.active.iter().map(|s| s.last_token).collect();
+            let positions: Vec<usize> = self.active.iter().map(|s| s.pos).collect();
+            let slots: Vec<usize> = self.active.iter().map(|s| s.slot).collect();
+            if let Err(e) = self.model.forward_batch(
+                &tokens,
+                &positions,
+                &slots,
+                &mut self.caches,
+                &mut self.scratch,
+                ctx,
+            ) {
+                self.carry = emitted;
+                return Err(e);
+            }
+            for (r, seq) in self.active.iter_mut().enumerate() {
+                let token = ops::argmax(self.scratch.logits_row(r)) as u32;
+                seq.generated.push(token);
+                seq.last_token = token;
+                seq.pos += 1;
+                emitted.push(StepToken {
+                    id: seq.id,
+                    token,
+                    finished: seq.done(),
+                });
+            }
+            // Eviction: retire finished sequences, freeing their slots for
+            // the next step's admission.
+            let mut r = 0;
+            while r < self.active.len() {
+                if self.active[r].done() {
+                    let seq = self.active.remove(r);
+                    self.retire(seq, None);
+                } else {
+                    r += 1;
+                }
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Runs every step until all submitted sequences finish, returning them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step failure.
+    pub fn run_to_completion(&mut self, ctx: &ExecCtx) -> Result<Vec<FinishedSeq>, BackendError> {
+        while !self.is_idle() {
+            self.step_batch(ctx)?;
+        }
+        Ok(self.take_finished())
+    }
+
+    /// Prefills an admitted sequence's prompt in mpGEMM chunks against its
+    /// slot, samples the first generated token, and advances its state.
+    fn prefill_active(&mut self, seq: &mut Sequence, ctx: &ExecCtx) -> Result<u32, BackendError> {
+        let last_row = self.model.prefill_chunked(
+            &seq.prompt,
+            seq.slot,
+            &mut self.caches,
+            &mut self.scratch,
+            self.cfg.prefill_chunk,
+            ctx,
+        )?;
+        // The last prompt token's logits sample the first generated token
+        // (nothing is discarded).
+        let token = ops::argmax(self.scratch.logits_row(last_row)) as u32;
+        seq.pos = seq.prompt.len();
+        seq.last_token = token;
+        seq.generated.push(token);
+        Ok(token)
+    }
+
+    /// Moves a sequence to the finished list (with `error` set when it was
+    /// retired by a failure rather than completing) and frees its slot.
+    fn retire(&mut self, seq: Sequence, error: Option<String>) {
+        if seq.slot != usize::MAX {
+            self.free_slots.push(seq.slot);
+        }
+        self.finished.push(FinishedSeq {
+            id: seq.id,
+            prompt: seq.prompt,
+            tokens: seq.generated,
+            error,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use crate::config::{ModelConfig, WeightQuant};
+    use crate::engine::Engine;
+
+    fn model(kind: BackendKind) -> Model {
+        Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 11).unwrap()
+    }
+
+    fn tmac_kind() -> BackendKind {
+        BackendKind::Tmac(tmac_core::KernelOpts::tmac())
+    }
+
+    #[test]
+    fn scheduler_matches_single_stream_generate() {
+        // Continuous batching must not change any sequence's greedy tokens.
+        let ctx = ExecCtx::new(1);
+        let prompts: [&[u32]; 3] = [&[1, 2, 3], &[7], &[4, 5, 6, 8, 9]];
+        let n_new = 6;
+
+        let mut engine = Engine::new(model(tmac_kind()));
+        let singles: Vec<Vec<u32>> = prompts
+            .iter()
+            .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+            .collect();
+
+        let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
+        let ids: Vec<SeqId> = prompts
+            .iter()
+            .map(|p| sched.submit(p, n_new).unwrap())
+            .collect();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(done.len(), 3);
+        for (i, id) in ids.iter().enumerate() {
+            let f = done.iter().find(|f| f.id == *id).unwrap();
+            assert_eq!(f.tokens, singles[i], "sequence {i} diverged under batching");
+            assert_eq!(f.prompt, prompts[i]);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_queue_is_served_continuously() {
+        // More requests than slots: eviction must hand slots to the queue.
+        let ctx = ExecCtx::new(1);
+        let cfg = SchedulerConfig {
+            max_batch: 2,
+            prefill_chunk: 4,
+        };
+        let mut sched = Scheduler::new(model(tmac_kind()), cfg);
+        for i in 0..5u32 {
+            sched.submit(&[i + 1], 3).unwrap();
+        }
+        assert_eq!(sched.pending_len(), 5);
+        let first = sched.step_batch(&ctx).unwrap();
+        // Two admitted (prefill token each) + two decode tokens.
+        assert_eq!(first.len(), 4);
+        assert_eq!(sched.active_len(), 2);
+        assert_eq!(sched.pending_len(), 3);
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(done.len(), 5);
+        assert!(done.iter().all(|f| f.tokens.len() == 3));
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn step_tokens_stream_in_generation_order() {
+        let ctx = ExecCtx::new(1);
+        let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
+        let id = sched.submit(&[2, 3], 4).unwrap();
+        let mut streamed = Vec::new();
+        while !sched.is_idle() {
+            for t in sched.step_batch(&ctx).unwrap() {
+                assert_eq!(t.id, id);
+                streamed.push(t.token);
+            }
+        }
+        let f = sched.take_finished().remove(0);
+        assert_eq!(f.tokens, streamed, "streaming must match the final result");
+    }
+
+    #[test]
+    fn reset_clears_per_sequence_state() {
+        let ctx = ExecCtx::new(1);
+        let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
+        sched.submit(&[1, 2], 8).unwrap();
+        sched.submit(&[3], 8).unwrap();
+        sched.step_batch(&ctx).unwrap();
+        assert!(sched.active_len() > 0);
+        sched.reset();
+        assert!(sched.is_idle());
+        assert_eq!(sched.take_finished().len(), 0);
+        // The scheduler serves fresh requests identically after a reset.
+        let a = sched.submit(&[1, 2], 3).unwrap();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[0].tokens.len(), 3);
+    }
+
+    #[test]
+    fn failed_admission_is_error_retired_and_tokens_are_carried() {
+        use crate::backend::{BackendBuilder, F32Backend, Linear, LinearBackend};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use tmac_quant::QuantizedMatrix;
+
+        /// Fails exactly the `fail_at`-th linear dispatch model-wide, then
+        /// recovers (wraps the f32 reference backend).
+        #[derive(Debug)]
+        struct FailOnce {
+            inner: F32Backend,
+            calls: Arc<AtomicU64>,
+            fail_at: u64,
+        }
+        impl FailOnce {
+            fn trip(&self) -> Result<(), BackendError> {
+                if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.fail_at {
+                    return Err(BackendError::Shape("injected failure".into()));
+                }
+                Ok(())
+            }
+        }
+        impl LinearBackend for FailOnce {
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn cols(&self) -> usize {
+                self.inner.cols()
+            }
+            fn label(&self) -> String {
+                "fail-once".into()
+            }
+            fn packed_bytes(&self) -> usize {
+                self.inner.packed_bytes()
+            }
+            fn forward(
+                &self,
+                act: &[f32],
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                self.trip()?;
+                self.inner.forward(act, out, ctx)
+            }
+            fn forward_batch(
+                &self,
+                act: &[f32],
+                n: usize,
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                self.trip()?;
+                self.inner.forward_batch(act, n, out, ctx)
+            }
+        }
+        struct FailBuilder {
+            calls: Arc<AtomicU64>,
+            fail_at: u64,
+        }
+        impl BackendBuilder for FailBuilder {
+            fn build(&self, qm: &QuantizedMatrix, w: &[f32]) -> Result<Linear, BackendError> {
+                Ok(Linear::from_backend(FailOnce {
+                    inner: F32Backend::new(w, qm.rows, qm.cols)?,
+                    calls: Arc::clone(&self.calls),
+                    fail_at: self.fail_at,
+                }))
+            }
+            fn label(&self) -> String {
+                "fail-once".into()
+            }
+        }
+
+        let ctx = ExecCtx::new(1);
+        let cfg = ModelConfig::tiny();
+        // 2 layers => 7*2 + 1 = 15 linear dispatches per forward pass; the
+        // 20th call lands inside the SECOND admission's prefill.
+        let builder = FailBuilder {
+            calls: Arc::new(AtomicU64::new(0)),
+            fail_at: 20,
+        };
+        let m = Model::synthetic_with(&cfg, WeightQuant::Rtn(4), &builder, 3).unwrap();
+        let mut sched = Scheduler::new(m, SchedulerConfig::default());
+        let a = sched.submit(&[1], 3).unwrap();
+        let b = sched.submit(&[2], 3).unwrap();
+
+        // The step fails while admitting B: B is error-retired, A keeps its
+        // slot, and A's prefill token is carried instead of lost.
+        assert!(sched.step_batch(&ctx).is_err());
+        let failed = sched.take_finished();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].id, b);
+        assert!(failed[0].error.is_some());
+        assert!(failed[0].tokens.is_empty());
+        assert_eq!(sched.active_len(), 1);
+
+        // The backend has recovered; serving completes and the stream holds
+        // every one of A's tokens exactly once, in order.
+        let mut streamed = Vec::new();
+        while !sched.is_idle() {
+            for t in sched.step_batch(&ctx).unwrap() {
+                assert_eq!(t.id, a);
+                streamed.push(t.token);
+            }
+        }
+        let done = sched.take_finished();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[0].error, None);
+        assert_eq!(done[0].tokens, streamed);
+        assert_eq!(done[0].tokens.len(), 3);
+    }
+
+    #[test]
+    fn submit_validates_requests() {
+        let mut sched = Scheduler::new(model(BackendKind::F32), SchedulerConfig::default());
+        assert!(sched.submit(&[], 4).is_err());
+        assert!(sched.submit(&[1], 0).is_err());
+        assert!(sched.submit(&[10_000], 4).is_err());
+        let max = sched.model().cfg.seq_max;
+        assert!(sched.submit(&[1], max).is_err());
+    }
+
+    #[test]
+    fn long_prompt_prefills_across_chunks() {
+        let ctx = ExecCtx::new(1);
+        let cfg = SchedulerConfig {
+            max_batch: 1,
+            prefill_chunk: 3, // forces multi-chunk prefill for a 7-token prompt
+        };
+        let prompt: Vec<u32> = (1..=7).collect();
+        let mut engine = Engine::new(model(tmac_kind()));
+        let single = engine.generate(&prompt, 4, &ctx).unwrap();
+        let mut sched = Scheduler::new(model(tmac_kind()), cfg);
+        sched.submit(&prompt, 4).unwrap();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(done[0].tokens, single);
+    }
+}

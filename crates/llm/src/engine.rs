@@ -10,9 +10,15 @@
 //! lengths is small). The substitution is recorded in `DESIGN.md`.
 
 use crate::backend::BackendError;
-use crate::model::{KvCache, Model, Scratch};
+use crate::model::{BatchScratch, KvCache, Model, Scratch};
 use crate::ops;
 use tmac_core::ExecCtx;
+
+/// Rows per prefill [`Model::forward_batch`] call: long prompts are split
+/// into chunks of this many positions, bounding batch-scratch memory (the
+/// dominant term is `PREFILL_CHUNK × vocab` logits) while keeping the
+/// prompt on the mpGEMM path.
+pub const PREFILL_CHUNK: usize = 16;
 
 /// A model plus its generation state.
 pub struct Engine {
@@ -20,6 +26,9 @@ pub struct Engine {
     pub model: Model,
     cache: KvCache,
     scratch: Scratch,
+    /// Lazily sized buffers for [`Engine::prefill`] (absent until the first
+    /// prefill; reused across calls).
+    batch_scratch: Option<BatchScratch>,
 }
 
 /// Decode-loop measurement result.
@@ -64,12 +73,16 @@ impl Engine {
             model,
             cache,
             scratch,
+            batch_scratch: None,
         }
     }
 
-    /// Clears the KV cache.
+    /// Clears all per-sequence state: the KV cache and any logits left from
+    /// a previous prefill/step. (Multi-sequence serving state lives in
+    /// [`crate::batch::Scheduler`], whose `reset` clears its sequences.)
     pub fn reset(&mut self) {
         self.cache.reset();
+        self.scratch.logits.fill(0.0);
     }
 
     /// Runs one decode step and returns a copy of the logits.
@@ -88,7 +101,56 @@ impl Engine {
         Ok(self.scratch.logits.clone())
     }
 
-    /// Greedy generation: feeds `prompt`, then generates `n_new` tokens.
+    /// Prefills `prompt` as batched mpGEMM chunks (every projection runs
+    /// with `n = chunk` rows, so weight tiles stream once per row block
+    /// instead of once per token) and returns the logits after the *last*
+    /// prompt token — exactly what greedy decoding samples the first new
+    /// token from, so nothing is computed and discarded.
+    ///
+    /// Resets the engine first; afterwards the KV cache holds all
+    /// `prompt.len()` positions and decoding continues at `prompt.len()`.
+    /// The returned logits are also left in the engine's single-step logits
+    /// buffer (the one [`Engine::step`] fills).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty prompt, a prompt longer than `seq_max`, or model
+    /// failures.
+    pub fn prefill(&mut self, prompt: &[u32], ctx: &ExecCtx) -> Result<Vec<f32>, BackendError> {
+        if prompt.is_empty() {
+            return Err(BackendError::Shape("empty prompt".into()));
+        }
+        if prompt.len() > self.model.cfg.seq_max {
+            return Err(BackendError::Shape(format!(
+                "prompt {} exceeds seq_max {}",
+                prompt.len(),
+                self.model.cfg.seq_max
+            )));
+        }
+        self.reset();
+        let chunk = PREFILL_CHUNK.min(prompt.len());
+        if self
+            .batch_scratch
+            .as_ref()
+            .is_none_or(|s| s.capacity() < chunk)
+        {
+            self.batch_scratch = Some(BatchScratch::new(&self.model.cfg, chunk));
+        }
+        let bs = self.batch_scratch.as_mut().expect("just ensured");
+        let last_row = self.model.prefill_chunked(
+            prompt,
+            0,
+            std::slice::from_mut(&mut self.cache),
+            bs,
+            chunk,
+            ctx,
+        )?;
+        self.scratch.logits.copy_from_slice(bs.logits_row(last_row));
+        Ok(self.scratch.logits.clone())
+    }
+
+    /// Greedy generation: prefills `prompt` as one mpGEMM batch, then
+    /// decodes `n_new` tokens one at a time.
     ///
     /// # Errors
     ///
@@ -110,19 +172,18 @@ impl Engine {
                 self.model.cfg.seq_max
             )));
         }
-        self.reset();
-        let mut pos = 0;
-        for &t in &prompt[..prompt.len() - 1] {
-            self.model
-                .forward(t, pos, &mut self.cache, &mut self.scratch, ctx)?;
-            pos += 1;
-        }
+        let logits = self.prefill(prompt, ctx)?;
         let mut out = Vec::with_capacity(n_new);
-        let mut token = *prompt.last().expect("non-empty prompt");
-        for _ in 0..n_new {
+        if n_new == 0 {
+            return Ok(out);
+        }
+        // The first new token comes straight from the prefill logits (the
+        // final prompt token's forward pass is not discarded).
+        let mut token = ops::argmax(&logits) as u32;
+        out.push(token);
+        for pos in prompt.len()..prompt.len() + n_new - 1 {
             self.model
                 .forward(token, pos, &mut self.cache, &mut self.scratch, ctx)?;
-            pos += 1;
             token = ops::argmax(&self.scratch.logits) as u32;
             out.push(token);
         }
@@ -228,6 +289,52 @@ mod tests {
         assert!((full.layer_seconds - 3.2).abs() < 1e-9);
         assert!((full.seconds_per_token - 3.3).abs() < 1e-9);
         assert!((full.other_seconds - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefill_matches_token_by_token_forwards() {
+        // The batched prefill must be bit-identical to feeding the prompt
+        // one token at a time, including across chunk boundaries.
+        for kind in [
+            BackendKind::F32,
+            BackendKind::Dequant,
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+        ] {
+            let ctx = ExecCtx::new(1);
+            let prompt: Vec<u32> = (0..(PREFILL_CHUNK as u32 + 3)).map(|i| i % 90).collect();
+            let mut e = engine(kind);
+            let batched = e.prefill(&prompt, &ctx).unwrap();
+
+            let mut sequential = engine(kind);
+            let mut logits = Vec::new();
+            for (pos, &t) in prompt.iter().enumerate() {
+                logits = sequential.step(t, pos, &ctx).unwrap();
+            }
+            assert_eq!(batched, logits, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prefill_then_step_continues_the_sequence() {
+        let ctx = ExecCtx::new(1);
+        let mut e = engine(BackendKind::F32);
+        let logits = e.prefill(&[1, 2, 3], &ctx).unwrap();
+        let t0 = ops::argmax(&logits) as u32;
+        let next = e.step(t0, 3, &ctx).unwrap();
+        // Must equal generate's first two tokens.
+        let mut f = engine(BackendKind::F32);
+        let gen = f.generate(&[1, 2, 3], 2, &ctx).unwrap();
+        assert_eq!(gen[0], t0);
+        assert_eq!(gen[1], ops::argmax(&next) as u32);
+    }
+
+    #[test]
+    fn prefill_rejects_bad_prompts() {
+        let ctx = ExecCtx::new(1);
+        let mut e = engine(BackendKind::F32);
+        assert!(e.prefill(&[], &ctx).is_err());
+        let too_long = vec![1u32; e.model.cfg.seq_max + 1];
+        assert!(e.prefill(&too_long, &ctx).is_err());
     }
 
     #[test]

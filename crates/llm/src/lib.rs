@@ -38,6 +38,7 @@
 //! ```
 
 pub mod backend;
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod eval;
@@ -49,7 +50,8 @@ pub use backend::{
     BackendBuilder, BackendError, BackendKind, BackendRegistry, DequantBackend, F32Backend, Linear,
     LinearBackend, TmacBackend,
 };
+pub use batch::{FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
 pub use config::{ModelConfig, WeightQuant};
-pub use engine::{DecodeStats, Engine};
-pub use model::{KvCache, Model, Scratch};
+pub use engine::{DecodeStats, Engine, PREFILL_CHUNK};
+pub use model::{BatchScratch, KvCache, Model, Scratch};
 pub use tmac_core::{ExecCtx, TableCacheStats};

@@ -141,6 +141,71 @@ impl Scratch {
     }
 }
 
+/// Reusable buffers for batched forward passes: the row-major `B × feature`
+/// twins of [`Scratch`], sized for a fixed row capacity.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    capacity: usize,
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    att: Vec<f32>,
+    proj: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    hidden: Vec<f32>,
+    ffn: Vec<f32>,
+    scores: Vec<f32>,
+    /// Output logits, row-major `B × vocab`. Row `r` of the last
+    /// `forward_batch` call is [`BatchScratch::logits_row`]`(r)`.
+    pub logits: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// Allocates batch scratch for up to `capacity` rows of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(cfg: &ModelConfig, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch scratch needs capacity >= 1");
+        let b = capacity;
+        BatchScratch {
+            capacity: b,
+            x: vec![0f32; b * cfg.dim],
+            xn: vec![0f32; b * cfg.dim],
+            q: vec![0f32; b * cfg.dim],
+            k: vec![0f32; b * cfg.kv_dim()],
+            v: vec![0f32; b * cfg.kv_dim()],
+            att: vec![0f32; b * cfg.dim],
+            proj: vec![0f32; b * cfg.dim],
+            gate: vec![0f32; b * cfg.ffn_dim],
+            up: vec![0f32; b * cfg.ffn_dim],
+            hidden: vec![0f32; b * cfg.ffn_dim],
+            ffn: vec![0f32; b * cfg.dim],
+            scores: vec![0f32; cfg.seq_max],
+            logits: vec![0f32; b * cfg.vocab],
+        }
+    }
+
+    /// Maximum rows per [`Model::forward_batch`] call.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The logits of batch row `r` from the last forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= capacity`.
+    pub fn logits_row(&self, r: usize) -> &[f32] {
+        let vocab = self.logits.len() / self.capacity;
+        &self.logits[r * vocab..(r + 1) * vocab]
+    }
+}
+
 impl Model {
     /// Builds a model with synthetic structured weights, quantized per
     /// `quant` and executed on `kind`.
@@ -328,6 +393,268 @@ impl Model {
         Ok((layer_secs, total - layer_secs))
     }
 
+    /// Batched forward: decodes `B = tokens.len()` rows in one pass, every
+    /// linear running with `n = B` so the T-MAC backend takes the mpGEMM
+    /// path (one weight-tile stream per row block instead of one per row,
+    /// §3.2) and the batched table cache shares per-row builds across QKV
+    /// and gate/up.
+    ///
+    /// Row `r` decodes `tokens[r]` at `positions[r]` against the KV cache
+    /// `caches[cache_slots[r]]`: batched *decode* uses one cache per row,
+    /// while *prefill* points every row at the same cache with successive
+    /// positions. All rows' K/V are stored before any row attends, so
+    /// same-cache rows at increasing positions see each other causally.
+    /// Logits land row-major in `scratch.logits`.
+    ///
+    /// Results are bit-identical to `B` independent [`Model::forward`]
+    /// calls with the same `(token, pos, cache)` rows (the batched-serving
+    /// equivalence; asserted by `tests/batch.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] on length mismatches, out-of-range
+    /// tokens/positions/slots, batch size beyond `scratch.capacity()`, or a
+    /// same-cache row group whose positions would attend over gaps (a
+    /// position neither already in the cache nor filled by this batch).
+    pub fn forward_batch(
+        &self,
+        tokens: &[u32],
+        positions: &[usize],
+        cache_slots: &[usize],
+        caches: &mut [KvCache],
+        scratch: &mut BatchScratch,
+        ctx: &ExecCtx,
+    ) -> Result<(), BackendError> {
+        let cfg = &self.cfg;
+        let b = tokens.len();
+        if b == 0 {
+            return Err(BackendError::Shape("forward_batch needs rows".into()));
+        }
+        if positions.len() != b || cache_slots.len() != b {
+            return Err(BackendError::Shape(format!(
+                "forward_batch: {} tokens vs {} positions vs {} slots",
+                b,
+                positions.len(),
+                cache_slots.len()
+            )));
+        }
+        if b > scratch.capacity() {
+            return Err(BackendError::Shape(format!(
+                "batch {} exceeds scratch capacity {}",
+                b,
+                scratch.capacity()
+            )));
+        }
+        for (r, (&t, &p)) in tokens.iter().zip(positions).enumerate() {
+            if t as usize >= cfg.vocab {
+                return Err(BackendError::Shape(format!(
+                    "row {r}: token {t} out of vocab {}",
+                    cfg.vocab
+                )));
+            }
+            if p >= cfg.seq_max {
+                return Err(BackendError::Shape(format!(
+                    "row {r}: position {p} beyond seq_max {}",
+                    cfg.seq_max
+                )));
+            }
+            if cache_slots[r] >= caches.len() {
+                return Err(BackendError::Shape(format!(
+                    "row {r}: cache slot {} out of {}",
+                    cache_slots[r],
+                    caches.len()
+                )));
+            }
+        }
+        // Same-cache rows must leave no attention gaps: every position up
+        // to a row's `pos` is either already in its cache or written by
+        // this batch (prefill chunks satisfy this with contiguous runs).
+        for (r, (&slot, &pos)) in cache_slots.iter().zip(positions).enumerate() {
+            let filled = caches[slot].len;
+            for t in filled..pos {
+                let covered = cache_slots
+                    .iter()
+                    .zip(positions)
+                    .any(|(&s, &p)| s == slot && p == t);
+                if !covered {
+                    return Err(BackendError::Shape(format!(
+                        "row {r}: attention over unfilled position {t} of slot {slot}"
+                    )));
+                }
+            }
+            let duplicate = cache_slots
+                .iter()
+                .zip(positions)
+                .enumerate()
+                .any(|(r2, (&s, &p))| r2 != r && s == slot && p == pos);
+            if duplicate {
+                return Err(BackendError::Shape(format!(
+                    "row {r}: duplicate position {pos} for slot {slot}"
+                )));
+            }
+        }
+
+        let (dim, kv_dim, ffn_dim) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
+        let head_dim = cfg.head_dim();
+        let kv_groups = cfg.n_heads / cfg.n_kv_heads;
+        let s = scratch;
+        for (r, &t) in tokens.iter().enumerate() {
+            s.x[r * dim..(r + 1) * dim]
+                .copy_from_slice(&self.embed[t as usize * dim..(t as usize + 1) * dim]);
+        }
+
+        for (l, lw) in self.layers.iter().enumerate() {
+            // Attention block: one batched QKV round sharing one set of
+            // per-row table builds (the batched §3.2 amortization).
+            for r in 0..b {
+                ops::rmsnorm(
+                    &mut s.xn[r * dim..(r + 1) * dim],
+                    &s.x[r * dim..(r + 1) * dim],
+                    &lw.rms_attn,
+                    1e-5,
+                );
+            }
+            ctx.next_activation();
+            lw.wq
+                .forward_batch(&s.xn[..b * dim], b, &mut s.q[..b * dim], ctx)?;
+            lw.wk
+                .forward_batch(&s.xn[..b * dim], b, &mut s.k[..b * kv_dim], ctx)?;
+            lw.wv
+                .forward_batch(&s.xn[..b * dim], b, &mut s.v[..b * kv_dim], ctx)?;
+            // Store every row's K/V before any row attends, so same-cache
+            // rows observe each other at lower positions (prefill causality).
+            for r in 0..b {
+                let pos = positions[r];
+                ops::rope(
+                    &mut s.q[r * dim..(r + 1) * dim],
+                    head_dim,
+                    pos,
+                    cfg.rope_theta,
+                );
+                ops::rope(
+                    &mut s.k[r * kv_dim..(r + 1) * kv_dim],
+                    head_dim,
+                    pos,
+                    cfg.rope_theta,
+                );
+                caches[cache_slots[r]].store(
+                    l,
+                    pos,
+                    &s.k[r * kv_dim..(r + 1) * kv_dim],
+                    &s.v[r * kv_dim..(r + 1) * kv_dim],
+                );
+            }
+            let scale = 1.0 / (head_dim as f32).sqrt();
+            for r in 0..b {
+                let pos = positions[r];
+                let cache = &caches[cache_slots[r]];
+                for h in 0..cfg.n_heads {
+                    let kvh = h / kv_groups;
+                    let qh = &s.q[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
+                    for t in 0..=pos {
+                        let kt = &cache.k_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
+                        s.scores[t] = tmac_simd::f32ops::dot(qh, kt) * scale;
+                    }
+                    ops::softmax(&mut s.scores[..=pos]);
+                    let out = &mut s.att[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
+                    out.fill(0.0);
+                    for t in 0..=pos {
+                        let vt = &cache.v_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
+                        tmac_simd::f32ops::axpy(out, s.scores[t], vt);
+                    }
+                }
+            }
+            ctx.next_activation();
+            lw.wo
+                .forward_batch(&s.att[..b * dim], b, &mut s.proj[..b * dim], ctx)?;
+            ops::add_assign(&mut s.x[..b * dim], &s.proj[..b * dim]);
+
+            // FFN block: gate and up share the batch's FFN-normed rows.
+            for r in 0..b {
+                ops::rmsnorm(
+                    &mut s.xn[r * dim..(r + 1) * dim],
+                    &s.x[r * dim..(r + 1) * dim],
+                    &lw.rms_ffn,
+                    1e-5,
+                );
+            }
+            ctx.next_activation();
+            lw.w1
+                .forward_batch(&s.xn[..b * dim], b, &mut s.gate[..b * ffn_dim], ctx)?;
+            lw.w3
+                .forward_batch(&s.xn[..b * dim], b, &mut s.up[..b * ffn_dim], ctx)?;
+            ops::swiglu(
+                &mut s.hidden[..b * ffn_dim],
+                &s.gate[..b * ffn_dim],
+                &s.up[..b * ffn_dim],
+            );
+            ctx.next_activation();
+            lw.w2
+                .forward_batch(&s.hidden[..b * ffn_dim], b, &mut s.ffn[..b * dim], ctx)?;
+            ops::add_assign(&mut s.x[..b * dim], &s.ffn[..b * dim]);
+        }
+
+        for r in 0..b {
+            ops::rmsnorm(
+                &mut s.xn[r * dim..(r + 1) * dim],
+                &s.x[r * dim..(r + 1) * dim],
+                &self.rms_final,
+                1e-5,
+            );
+        }
+        ctx.next_activation();
+        self.head
+            .forward_batch(&s.xn[..b * dim], b, &mut s.logits[..b * cfg.vocab], ctx)?;
+        for (&slot, &pos) in cache_slots.iter().zip(positions) {
+            caches[slot].len = caches[slot].len.max(pos + 1);
+        }
+        Ok(())
+    }
+
+    /// Prefills `prompt` into `caches[slot]` at positions `0..len` as
+    /// chunked [`Model::forward_batch`] calls of up to `chunk` rows (capped
+    /// by the scratch capacity), and returns the scratch row index holding
+    /// the *last* prompt token's logits — the row greedy decoding samples
+    /// the first new token from. Shared by [`crate::engine::Engine::prefill`]
+    /// and the scheduler's admission path so the chunking and last-row
+    /// arithmetic exist once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] for an empty prompt or invalid
+    /// rows/slot; propagates forward failures.
+    pub fn prefill_chunked(
+        &self,
+        prompt: &[u32],
+        slot: usize,
+        caches: &mut [KvCache],
+        scratch: &mut BatchScratch,
+        chunk: usize,
+        ctx: &ExecCtx,
+    ) -> Result<usize, BackendError> {
+        if prompt.is_empty() {
+            return Err(BackendError::Shape("empty prompt".into()));
+        }
+        let chunk = chunk.clamp(1, scratch.capacity());
+        let len = prompt.len();
+        let mut p0 = 0;
+        while p0 < len {
+            let take = chunk.min(len - p0);
+            let positions: Vec<usize> = (p0..p0 + take).collect();
+            let slots = vec![slot; take];
+            self.forward_batch(
+                &prompt[p0..p0 + take],
+                &positions,
+                &slots,
+                caches,
+                scratch,
+                ctx,
+            )?;
+            p0 += take;
+        }
+        Ok((len - 1) % chunk)
+    }
+
     /// Display label of the backend the linear layers run on (derived from
     /// the layers themselves; every layer is built by one builder).
     pub fn backend_label(&self) -> String {
@@ -442,6 +769,65 @@ mod tests {
         let mut s2 = Scratch::new(&m.cfg);
         m.forward(1, 0, &mut cache2, &mut s2, &ctx2).unwrap();
         assert_eq!(s.logits, s2.logits);
+    }
+
+    #[test]
+    fn batched_qkv_and_gate_up_share_table_builds() {
+        // The batched twin of `qkv_and_gate_up_share_table_builds`: with
+        // B > 1 every projection group does ONE batched-table lookup, so a
+        // step still costs `4·layers + 1` builds and `3·layers` hits.
+        let ctx = ExecCtx::new(1);
+        let m = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
+        let b = 3;
+        let mut caches: Vec<KvCache> = (0..b).map(|_| KvCache::new(&m.cfg)).collect();
+        let mut s = BatchScratch::new(&m.cfg, b);
+        let slots: Vec<usize> = (0..b).collect();
+        m.forward_batch(&[1, 2, 3], &[0, 0, 0], &slots, &mut caches, &mut s, &ctx)
+            .unwrap();
+        let layers = m.cfg.n_layers as u64;
+        let stats = ctx.table_stats();
+        assert_eq!(stats.misses, 4 * layers + 1);
+        assert_eq!(stats.hits, 3 * layers);
+        assert!(s.logits.iter().all(|x| x.is_finite()));
+        for c in &caches {
+            assert_eq!(c.len, 1);
+        }
+    }
+
+    #[test]
+    fn forward_batch_validates_rows() {
+        let ctx = ExecCtx::new(1);
+        let m = tiny_model(BackendKind::F32);
+        let mut caches = vec![KvCache::new(&m.cfg)];
+        let mut s = BatchScratch::new(&m.cfg, 2);
+        // Mismatched lengths.
+        assert!(m
+            .forward_batch(&[1, 2], &[0], &[0, 0], &mut caches, &mut s, &ctx)
+            .is_err());
+        // Capacity exceeded.
+        assert!(m
+            .forward_batch(
+                &[1, 2, 3],
+                &[0, 1, 2],
+                &[0, 0, 0],
+                &mut caches,
+                &mut s,
+                &ctx
+            )
+            .is_err());
+        // Attention gap: position 1 never filled for slot 0.
+        assert!(m
+            .forward_batch(&[1, 2], &[0, 2], &[0, 0], &mut caches, &mut s, &ctx)
+            .is_err());
+        // Duplicate (slot, pos).
+        assert!(m
+            .forward_batch(&[1, 2], &[0, 0], &[0, 0], &mut caches, &mut s, &ctx)
+            .is_err());
+        // A valid contiguous prefill pair passes.
+        assert!(m
+            .forward_batch(&[1, 2], &[0, 1], &[0, 0], &mut caches, &mut s, &ctx)
+            .is_ok());
+        assert_eq!(caches[0].len, 2);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Batched-serving equivalence tests: `Model::forward_batch` with `B`
+//! sequences must be *bit-exact* against `B` independent `Model::forward`
+//! runs with the same tokens and positions, across bit-widths, backends,
+//! batch sizes that don't divide the mpGEMM row block, and thread counts.
+//!
+//! Thread count comes from `TMAC_TEST_THREADS` (default 2) so CI can run
+//! the same tests under a 1-thread and an N-thread pool to catch
+//! pool-size-dependent bugs in the batched dispatch.
+
+use tmac::core::ExecCtx;
+use tmac::llm::batch::{Scheduler, SchedulerConfig};
+use tmac::llm::{
+    BackendKind, BatchScratch, Engine, KvCache, Model, ModelConfig, Scratch, WeightQuant,
+};
+
+/// Thread-pool size under test (CI matrixes this between 1 and N).
+fn test_threads() -> usize {
+    std::env::var("TMAC_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+fn ctx() -> ExecCtx {
+    ExecCtx::new(test_threads())
+}
+
+fn model(quant: WeightQuant, kind: BackendKind, seed: u64) -> Model {
+    Model::synthetic(&ModelConfig::tiny(), quant, kind, seed).unwrap()
+}
+
+/// Runs `b` independent single-token streams for `steps` positions, then
+/// one batched run over per-sequence caches, and asserts bit-equality of
+/// every row's logits at every step.
+#[allow(clippy::needless_range_loop)] // Index loops mirror the (pos, row) batch structure.
+fn assert_batch_equals_singles(m: &Model, b: usize, steps: usize, ctx: &ExecCtx) {
+    let tokens_at = |step: usize, r: usize| ((r * 13 + step * 7 + 1) % m.cfg.vocab) as u32;
+
+    // Reference: B independent forward() streams.
+    let mut single_logits: Vec<Vec<Vec<f32>>> = Vec::with_capacity(b);
+    for r in 0..b {
+        let mut cache = KvCache::new(&m.cfg);
+        let mut s = Scratch::new(&m.cfg);
+        let mut per_step = Vec::with_capacity(steps);
+        for pos in 0..steps {
+            m.forward(tokens_at(pos, r), pos, &mut cache, &mut s, ctx)
+                .unwrap();
+            per_step.push(s.logits.clone());
+        }
+        single_logits.push(per_step);
+    }
+
+    // Batched: one forward_batch per step over all B rows.
+    let mut caches: Vec<KvCache> = (0..b).map(|_| KvCache::new(&m.cfg)).collect();
+    let mut scratch = BatchScratch::new(&m.cfg, b);
+    let slots: Vec<usize> = (0..b).collect();
+    for pos in 0..steps {
+        let tokens: Vec<u32> = (0..b).map(|r| tokens_at(pos, r)).collect();
+        let positions = vec![pos; b];
+        m.forward_batch(&tokens, &positions, &slots, &mut caches, &mut scratch, ctx)
+            .unwrap();
+        for r in 0..b {
+            assert_eq!(
+                scratch.logits_row(r),
+                &single_logits[r][pos][..],
+                "row {r} step {pos} diverged from the single-stream forward"
+            );
+        }
+    }
+}
+
+#[test]
+fn forward_batch_is_bit_exact_across_bits() {
+    // The acceptance property: every bit-width, a batch size (5) that is
+    // neither a multiple of the mpGEMM row block (8) nor of any tile.
+    let ctx = ctx();
+    for bits in 1..=4u8 {
+        let m = model(
+            WeightQuant::Rtn(bits),
+            BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+            31 + bits as u64,
+        );
+        assert_batch_equals_singles(&m, 5, 3, &ctx);
+    }
+}
+
+#[test]
+fn forward_batch_is_bit_exact_beyond_the_row_block() {
+    // B = 11 spans two mpGEMM row blocks (n_block = 8) unevenly.
+    let ctx = ctx();
+    let m = model(
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        77,
+    );
+    assert_batch_equals_singles(&m, 11, 2, &ctx);
+}
+
+#[test]
+fn forward_batch_is_bit_exact_on_every_backend() {
+    let ctx = ctx();
+    for kind in [
+        BackendKind::F32,
+        BackendKind::Dequant,
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac_fast_aggregation()),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac_mirror()),
+    ] {
+        let m = model(WeightQuant::Rtn(3), kind, 5);
+        assert_batch_equals_singles(&m, 3, 2, &ctx);
+    }
+}
+
+#[test]
+fn forward_batch_is_bit_exact_for_bitnet_ternary() {
+    let ctx = ctx();
+    let m = model(
+        WeightQuant::BitnetTernary,
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        13,
+    );
+    assert_batch_equals_singles(&m, 5, 2, &ctx);
+}
+
+#[test]
+fn batched_prefill_equals_sequential_prefill() {
+    // A whole prompt through forward_batch (one cache, successive
+    // positions) against token-at-a-time forwards: same final logits, same
+    // KV contents as far as subsequent decoding can observe.
+    let ctx = ctx();
+    let m = model(
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        91,
+    );
+    let prompt: Vec<u32> = (0..19).map(|i| (i * 5 + 2) % m.cfg.vocab as u32).collect();
+
+    let mut engine = Engine::new(m.clone());
+    let batched = engine.prefill(&prompt, &ctx).unwrap();
+    let after = engine.step(
+        batched.len() as u32 % m.cfg.vocab as u32,
+        prompt.len(),
+        &ctx,
+    );
+
+    let mut cache = KvCache::new(&m.cfg);
+    let mut s = Scratch::new(&m.cfg);
+    for (pos, &t) in prompt.iter().enumerate() {
+        m.forward(t, pos, &mut cache, &mut s, &ctx).unwrap();
+    }
+    assert_eq!(batched, s.logits, "prefill logits diverged");
+    // Decoding continues identically from the batched-prefill cache.
+    m.forward(
+        batched.len() as u32 % m.cfg.vocab as u32,
+        prompt.len(),
+        &mut cache,
+        &mut s,
+        &ctx,
+    )
+    .unwrap();
+    assert_eq!(after.unwrap(), s.logits, "post-prefill decode diverged");
+}
+
+#[test]
+fn scheduler_serves_bit_identical_sequences_at_any_batch_size() {
+    // The end-to-end serving property: whatever the batching schedule,
+    // every request gets the tokens a dedicated single-stream engine would
+    // have produced.
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let prompts: Vec<Vec<u32>> = (0..6)
+        .map(|i| {
+            (0..(i % 3 + 1))
+                .map(|j| (i * 7 + j * 3 + 1) as u32)
+                .collect()
+        })
+        .collect();
+    let n_new = 5;
+
+    let mut engine = Engine::new(model(WeightQuant::Rtn(2), kind, 23));
+    let singles: Vec<Vec<u32>> = prompts
+        .iter()
+        .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+        .collect();
+
+    for max_batch in [1, 3, 16] {
+        let mut sched = Scheduler::new(
+            model(WeightQuant::Rtn(2), kind, 23),
+            SchedulerConfig {
+                max_batch,
+                prefill_chunk: 4,
+            },
+        );
+        let ids: Vec<_> = prompts
+            .iter()
+            .map(|p| sched.submit(p, n_new).unwrap())
+            .collect();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let f = done.iter().find(|f| f.id == *id).unwrap();
+            assert_eq!(
+                f.tokens, singles[i],
+                "max_batch={max_batch} sequence {i} diverged"
+            );
+        }
+    }
+}
