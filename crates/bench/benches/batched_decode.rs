@@ -19,7 +19,7 @@
 //!   object (consumed by the `perf-smoke` CI job via `perf_check`).
 //! * `TMAC_BENCH_THREADS=n` — thread-pool size (default 1).
 
-use tmac_core::ExecCtx;
+use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
 use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
 use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
 
@@ -66,6 +66,50 @@ fn write_json(path: &str, metrics: &[(&str, f64)]) {
     }
     std::fs::write(&out, json).expect("write perf json");
     println!("wrote {}", out.display());
+}
+
+/// Kernel-level mpGEMM gate at `n = 16`: one FFN-shaped 2-bit layer, the
+/// multi-row mpGEMM against (a) 16 sequential GEMVs and (b) the per-row
+/// sweep the mpGEMM driver used before register blocking (`row_block = 1`).
+/// Returns `(mpgemm_vs_gemv16, multirow_vs_perrow16)` as speedup ratios.
+fn mpgemm_gate(cfg: &ModelConfig, ctx: &ExecCtx, iters: usize) -> (f64, f64) {
+    let (m, k, n) = (cfg.ffn_dim, cfg.dim, 16usize);
+    let w: Vec<f32> = (0..m * k)
+        .map(|i| ((i as f32) * 0.19).sin() * 0.5)
+        .collect();
+    let act: Vec<f32> = (0..n * k).map(|i| ((i as f32) * 0.31).cos()).collect();
+    let multi = TmacLinear::from_f32(&w, m, k, 2, 32, KernelOpts::tmac()).expect("plan");
+    let mut per_row_opts = KernelOpts::tmac();
+    per_row_opts.row_block = 1; // the PR 2 sweep: rows innermost, no register block
+    let per_row = TmacLinear::from_f32(&w, m, k, 2, 32, per_row_opts).expect("plan");
+
+    let mut out = vec![0f32; n * m];
+    let seq = tmac_eval::time_best(
+        || {
+            for ni in 0..n {
+                multi
+                    .gemv(
+                        &act[ni * k..(ni + 1) * k],
+                        &mut out[ni * m..(ni + 1) * m],
+                        ctx,
+                    )
+                    .expect("gemv");
+            }
+        },
+        1,
+        iters,
+    );
+    let gemm_multi = tmac_eval::time_best(
+        || multi.gemm(&act, n, &mut out, ctx).expect("gemm"),
+        1,
+        iters,
+    );
+    let gemm_per_row = tmac_eval::time_best(
+        || per_row.gemm(&act, n, &mut out, ctx).expect("gemm"),
+        1,
+        iters,
+    );
+    (seq / gemm_multi, gemm_per_row / gemm_multi)
 }
 
 fn main() {
@@ -132,6 +176,19 @@ fn main() {
         }
     }
     metrics.push(("speedup_b16", b16 / seq));
+
+    let gate_iters = if quick { 3 } else { 10 };
+    let (vs_gemv, vs_perrow) = mpgemm_gate(&cfg, &ctx, gate_iters);
+    println!(
+        "\n{:<28} {:>10.2}x (16 GEMVs / one 16-row mpGEMM, {}x{} 2-bit)",
+        "mpgemm vs sequential gemv", vs_gemv, cfg.ffn_dim, cfg.dim
+    );
+    println!(
+        "{:<28} {:>10.2}x (per-row sweep / multi-row kernel)",
+        "multi-row vs per-row sweep", vs_perrow
+    );
+    metrics.push(("mpgemm_vs_gemv16", vs_gemv));
+    metrics.push(("multirow_vs_perrow16", vs_perrow));
 
     if let Ok(path) = std::env::var("TMAC_PERF_OUT") {
         write_json(&path, &metrics);

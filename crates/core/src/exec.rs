@@ -30,7 +30,7 @@
 
 use crate::gemv;
 use crate::plan::WeightPlan;
-use crate::table::ActTables;
+use crate::table::{ActTables, BatchTables};
 use crate::TmacError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -104,10 +104,24 @@ struct BatchCacheEntry {
     tables: Arc<Vec<ActTables>>,
 }
 
+/// One cached set of *interleaved* register blocks, derived from a batched
+/// build. Keyed by the identity of the source `Arc` (held here, so the
+/// allocation cannot be recycled while cached) plus the blocking that
+/// shaped it — two plans sharing per-row builds but tuned to different
+/// `row_block`s interleave separately.
+struct InterleavedCacheEntry {
+    generation: u64,
+    n_block: usize,
+    row_block: usize,
+    source: Arc<Vec<ActTables>>,
+    blocks: Arc<Vec<BatchTables>>,
+}
+
 /// Interior state: cached tables plus the scratch free-list.
 struct CtxState {
     tables: Vec<CacheEntry>,
     batch_tables: Vec<BatchCacheEntry>,
+    interleaved: Vec<InterleavedCacheEntry>,
     scratch: Vec<Vec<f32>>,
 }
 
@@ -120,6 +134,10 @@ const CACHE_CAPACITY: usize = 8;
 /// step needs at most one live entry per projection group (QKV, gate/up),
 /// so the capacity stays small.
 const BATCH_CACHE_CAPACITY: usize = 4;
+
+/// Interleaved block sets retained per generation (one live entry per
+/// projection group × blocking shape).
+const INTERLEAVED_CACHE_CAPACITY: usize = 4;
 
 /// Buffers retained in the scratch free-list.
 const SCRATCH_CAPACITY: usize = 16;
@@ -175,6 +193,8 @@ pub struct ExecCtx {
     generation: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    interleave_hits: AtomicU64,
+    interleave_misses: AtomicU64,
     state: Mutex<CtxState>,
 }
 
@@ -217,9 +237,12 @@ impl ExecCtx {
             generation: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            interleave_hits: AtomicU64::new(0),
+            interleave_misses: AtomicU64::new(0),
             state: Mutex::new(CtxState {
                 tables: Vec::new(),
                 batch_tables: Vec::new(),
+                interleaved: Vec::new(),
                 scratch: Vec::new(),
             }),
         }
@@ -379,6 +402,82 @@ impl ExecCtx {
             *oldest = entry;
         }
         Ok(tables)
+    }
+
+    /// Returns the interleaved register blocks ([`BatchTables`]) of a
+    /// row-major `n × K` activation batch, partitioned by the plan's
+    /// `n_block`/`row_block` — the table form the multi-row mpGEMM kernel
+    /// streams.
+    ///
+    /// The per-row builds come from [`ExecCtx::batch_tables_for`] (and count
+    /// in [`ExecCtx::table_stats`] exactly as before); the interleaving on
+    /// top is cached by the identity of that batched build, so projection
+    /// groups that share per-row builds (batched QKV, gate/up) also share
+    /// the interleave work as long as their blocking agrees. Interleave
+    /// cache traffic is reported by [`ExecCtx::interleave_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ExecCtx::batch_tables_for`], plus
+    /// [`TmacError::Shape`] when the plan's tables are not quantized (the
+    /// interleaved layout is `i8`-only).
+    pub fn interleaved_tables_for(
+        &self,
+        plan: &WeightPlan,
+        act: &[f32],
+        n: usize,
+    ) -> Result<Arc<Vec<BatchTables>>, TmacError> {
+        let source = self.batch_tables_for(plan, act, n)?;
+        let generation = self.generation();
+        let nb = plan.opts.n_block.max(1);
+        let rb = plan.opts.effective_row_block();
+        {
+            let state = self.lock();
+            if let Some(e) = state
+                .interleaved
+                .iter()
+                .find(|e| Arc::ptr_eq(&e.source, &source) && e.n_block == nb && e.row_block == rb)
+            {
+                self.interleave_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&e.blocks));
+            }
+        }
+        // Interleave outside the lock (same rationale as the builds).
+        let mut blocks = Vec::new();
+        for range in crate::gemm::row_partition(n, nb, rb) {
+            blocks.push(BatchTables::interleave(&source[range])?);
+        }
+        let blocks = Arc::new(blocks);
+        self.interleave_misses.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.lock();
+        let entry = InterleavedCacheEntry {
+            generation,
+            n_block: nb,
+            row_block: rb,
+            source,
+            blocks: Arc::clone(&blocks),
+        };
+        if let Some(slot) = state
+            .interleaved
+            .iter_mut()
+            .find(|e| Arc::ptr_eq(&e.source, &entry.source) && e.n_block == nb && e.row_block == rb)
+        {
+            *slot = entry;
+        } else if state.interleaved.len() < INTERLEAVED_CACHE_CAPACITY {
+            state.interleaved.push(entry);
+        } else if let Some(oldest) = state.interleaved.iter_mut().min_by_key(|e| e.generation) {
+            *oldest = entry;
+        }
+        Ok(blocks)
+    }
+
+    /// `(hits, misses)` of the interleaved-block cache (separate from
+    /// [`ExecCtx::table_stats`], which counts table *builds*).
+    pub fn interleave_stats(&self) -> (u64, u64) {
+        (
+            self.interleave_hits.load(Ordering::Relaxed),
+            self.interleave_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Cache hit/miss counters since construction (or the last

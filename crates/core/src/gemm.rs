@@ -2,17 +2,100 @@
 //!
 //! The lookup table is the reusable operand (§3.2: "the weight `W[M, K]` can
 //! share the same pre-computed lookup table"), so the driver blocks the
-//! sequence dimension: for each block of `n_block` activation rows it builds
-//! their tables once, then sweeps all m-tiles with the block's rows innermost
-//! — each weight tile is read once per block instead of once per row.
+//! sequence dimension twice:
+//!
+//! * **`n_block`** — rows whose tables are built (and cached) together;
+//! * **`row_block`** — rows per *register block*: each `n_block` chunk is
+//!   swept in `row_block`-row groups whose quantized tables are interleaved
+//!   per k-group ([`BatchTables`]) and fed to the multi-row kernel, which
+//!   loads each weight index step once for the whole group.
+//!
+//! On top of that, the kg range of each sweep is split into **K-panels**
+//! sized so the group's active table slice stays L1-resident while every
+//! m-tile streams over it (`kg_panel`, auto-sized from
+//! [`crate::opts::L1_TABLE_BUDGET`] by default); per-row `f32` partials
+//! accumulate across panels in the exact scale-block order of the GEMV
+//! path, so the split never changes a bit of the result.
 
 use crate::exec::ExecCtx;
 use crate::gemv::{build_tables, run_mtile};
 use crate::kernel;
-use crate::opts::TILE_M;
+use crate::opts::{LUT_GROUP, TILE_M};
 use crate::plan::WeightPlan;
-use crate::table::ActTables;
+use crate::table::{ActTables, BatchTables};
 use crate::TmacError;
+use std::ops::Range;
+
+/// Partitions `n` activation rows into the register blocks the sweep
+/// consumes: chunks of `row_block` rows, restarting at every `n_block`
+/// boundary (table builds are grouped by `n_block`, so register blocks
+/// never straddle one).
+pub fn row_partition(n: usize, n_block: usize, row_block: usize) -> Vec<Range<usize>> {
+    let nb = n_block.max(1);
+    let rb = row_block.max(1);
+    let mut out = Vec::new();
+    let mut n0 = 0;
+    while n0 < n {
+        let chunk_end = (n0 + nb).min(n);
+        let mut r0 = n0;
+        while r0 < chunk_end {
+            let r1 = (r0 + rb).min(chunk_end);
+            out.push(r0..r1);
+            r0 = r1;
+        }
+        n0 = chunk_end;
+    }
+    out
+}
+
+/// K-panel length in *scale blocks*: the resolved `kg_panel` (explicit, or
+/// auto-sized so the register block's interleaved table slice fits the L1
+/// budget — see [`crate::cost::effective_kg_panel`], the analytical twin)
+/// rounded down to whole scale blocks, at least one.
+fn panel_blocks(plan: &WeightPlan) -> usize {
+    let kg_per_block = plan.group_size / LUT_GROUP;
+    let kg_target = crate::cost::effective_kg_panel(plan.k, &plan.opts);
+    (kg_target / kg_per_block).max(1)
+}
+
+/// Which kernel serves a multi-row sweep.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepPath {
+    /// AVX2 register-blocked multi-row kernel.
+    #[cfg(target_arch = "x86_64")]
+    MultiAvx2,
+    /// Scalar multi-row kernel over the interleaved layout.
+    MultiScalar,
+    /// Per-row `gemv` kernel (row innermost over the tile loop).
+    PerRow,
+}
+
+/// Chooses the sweep path. The invariant that keeps batched forwards
+/// bit-identical to independent single-row forwards: whatever kernel family
+/// (AVX2 or scalar) serves the GEMV path on this host must also serve the
+/// GEMM path — the multi-row kernels replicate their single-row siblings'
+/// arithmetic exactly, but AVX2 and scalar differ in `f32` fold rounding.
+fn sweep_path(plan: &WeightPlan, use_avx2: bool) -> SweepPath {
+    if plan.opts.effective_row_block() <= 1 {
+        return SweepPath::PerRow;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        return if kernel::avx2::gemm_supported(&plan.opts) {
+            SweepPath::MultiAvx2
+        } else {
+            SweepPath::PerRow
+        };
+    }
+    let _ = use_avx2;
+    if plan.opts.table_quant {
+        // The scalar multi-row kernel covers every quantized layout
+        // (including fast aggregation and flat planes).
+        SweepPath::MultiScalar
+    } else {
+        SweepPath::PerRow
+    }
+}
 
 /// Shared-output wrapper: threads write disjoint `(n, m-tile)` blocks.
 struct OutPtr(*mut f32);
@@ -59,10 +142,40 @@ fn avx2_for(plan: &WeightPlan) -> bool {
     }
 }
 
-/// Sweeps all m-tiles for one block of rows: each weight tile is read once
-/// and applied to every row's tables (the §3.2 reuse), with the rows of the
-/// block innermost. `tables[i]` belongs to output row `n0 + i` of `out`.
+/// Sweeps all m-tiles for one `n_block` chunk of rows. `tables[i]` belongs
+/// to output row `n0 + i` of `out`.
+///
+/// On the multi-row paths the chunk is split into `row_block`-row register
+/// blocks, each interleaved into a [`BatchTables`] and swept with K-panel
+/// blocking; otherwise the per-row GEMV kernel runs with the rows innermost
+/// over the tile loop (the pre-register-blocking behaviour).
 fn sweep_block(
+    plan: &WeightPlan,
+    tables: &[ActTables],
+    n0: usize,
+    out: &mut [f32],
+    use_avx2: bool,
+    ctx: &ExecCtx,
+) {
+    let path = sweep_path(plan, use_avx2);
+    if path == SweepPath::PerRow {
+        sweep_block_per_row(plan, tables, n0, out, use_avx2, ctx);
+        return;
+    }
+    let rb = plan.opts.effective_row_block();
+    let mut r0 = 0;
+    while r0 < tables.len() {
+        let take = rb.min(tables.len() - r0);
+        let batch = BatchTables::interleave(&tables[r0..r0 + take])
+            .expect("multi-row path requires compatible quantized tables");
+        sweep_register_block(plan, &batch, n0 + r0, out, path, ctx);
+        r0 += take;
+    }
+}
+
+/// The per-row sweep: each weight tile is read once per chunk and applied
+/// to every row's tables in turn (cache-level reuse only).
+fn sweep_block_per_row(
     plan: &WeightPlan,
     tables: &[ActTables],
     n0: usize,
@@ -92,6 +205,67 @@ fn sweep_block(
                 }
             }
         }
+    });
+}
+
+/// Sweeps one interleaved register block over all m-tiles with K-panel
+/// blocking: panels run outermost (per thread) so the block's active table
+/// slice stays L1-resident while the thread's tiles stream over it, and
+/// per-tile `f32` partials persist across panels in a scratch buffer.
+fn sweep_register_block(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    n0: usize,
+    out: &mut [f32],
+    path: SweepPath,
+    ctx: &ExecCtx,
+) {
+    let m = plan.m;
+    let rows = batch.rows;
+    let gpr = plan.groups_per_row();
+    let panel = panel_blocks(plan);
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let out_ref = &out_ptr;
+    ctx.pool().chunks(plan.m_tiles(), 1, |tiles| {
+        let span = rows * TILE_M;
+        // Zeroed partial outputs for every tile this thread owns, reused
+        // from the context's scratch arena.
+        let mut partials = ctx.take_buf(tiles.len() * span);
+        let mut sb0 = 0;
+        while sb0 < gpr {
+            let sb1 = (sb0 + panel).min(gpr);
+            for (ti, mt) in tiles.clone().enumerate() {
+                let bufs = &mut partials[ti * span..(ti + 1) * span];
+                match path {
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: `SweepPath::MultiAvx2` is only selected when
+                    // `kernel::avx2::gemm_supported` passed the runtime
+                    // AVX2+FMA check.
+                    SweepPath::MultiAvx2 => unsafe {
+                        kernel::avx2::gemm_mtile(plan, batch, mt, sb0..sb1, bufs)
+                    },
+                    _ => kernel::scalar::gemm_plan_mtile(plan, batch, mt, sb0..sb1, bufs),
+                }
+            }
+            sb0 = sb1;
+        }
+        for (ti, mt) in tiles.clone().enumerate() {
+            let m0 = mt * TILE_M;
+            let take = TILE_M.min(m - m0);
+            for r in 0..rows {
+                // SAFETY: this thread owns tile `mt`; the destination range
+                // lies in row `n0 + r` of `out`, within bounds; the buffer
+                // outlives the dispatch.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        partials[ti * span + r * TILE_M..].as_ptr(),
+                        out_ref.0.add((n0 + r) * m + m0),
+                        take,
+                    );
+                }
+            }
+        }
+        ctx.put_buf(partials);
     });
 }
 
@@ -149,6 +323,21 @@ pub fn mpgemm_cached(
     ctx: &ExecCtx,
 ) -> Result<(), TmacError> {
     check_shapes(plan, act.len(), n, out.len())?;
+    let use_avx2 = avx2_for(plan);
+    let path = sweep_path(plan, use_avx2);
+    if path != SweepPath::PerRow {
+        // Multi-row path: pull the pre-interleaved register blocks from the
+        // context cache (QKV-style projection groups share both the per-row
+        // builds *and* the interleave work).
+        let blocks = ctx.interleaved_tables_for(plan, act, n)?;
+        let mut n0 = 0;
+        for batch in blocks.iter() {
+            sweep_register_block(plan, batch, n0, out, path, ctx);
+            n0 += batch.rows;
+        }
+        debug_assert_eq!(n0, n, "interleaved blocks must partition the batch");
+        return Ok(());
+    }
     let tables = ctx.batch_tables_for(plan, act, n)?;
     mpgemm_with_tables(plan, &tables, out, ctx)
 }
@@ -299,6 +488,102 @@ mod tests {
         let fa_plan = WeightPlan::new(&qm, KernelOpts::tmac_fast_aggregation()).unwrap();
         let no_fa = build_tables(&plan, &act[..k]).unwrap();
         assert!(mpgemm_with_tables(&fa_plan, &[no_fa], &mut one, &ctx).is_err());
+    }
+
+    /// The multi-row sweep must be bit-identical to per-row GEMV for every
+    /// option combination (exact, mirror, FA, flat-quantized, f32-table
+    /// fallback), every bit-width, and shapes that straddle the
+    /// `row_block`/`n_block` boundaries.
+    #[test]
+    fn mpgemm_bit_identical_to_mpgemv_across_opts_and_shapes() {
+        let combos = [
+            KernelOpts::tm_base(),
+            KernelOpts::plus_table_quant(),
+            KernelOpts::plus_tiling(),
+            KernelOpts::plus_permute(),
+            KernelOpts::tmac(),
+            KernelOpts::tmac_mirror(),
+            KernelOpts::tmac_fast_aggregation(),
+        ];
+        let ctx = ExecCtx::new(2);
+        for opts in combos {
+            for bits in [1u8, 2, 4] {
+                // n = 11 straddles row_block (4) and n_block (8); m = 72
+                // leaves a ragged final tile.
+                let (m, k, n) = (72, 128, 11);
+                let (qm, act) = setup(m, k, n, bits);
+                let plan = WeightPlan::new(&qm, opts).unwrap();
+                let mut out = vec![0f32; n * m];
+                mpgemm(&plan, &act, n, &mut out, &ctx).unwrap();
+                for ni in 0..n {
+                    let mut row = vec![0f32; m];
+                    crate::gemv::mpgemv(&plan, &act[ni * k..(ni + 1) * k], &mut row, &ctx).unwrap();
+                    assert_eq!(
+                        &out[ni * m..(ni + 1) * m],
+                        &row[..],
+                        "opts={opts:?} bits={bits} row {ni}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forcing tiny K-panels (multiple panels per sweep) and odd row blocks
+    /// must not change a bit.
+    #[test]
+    fn kg_panel_and_row_block_boundaries_bit_exact() {
+        let (m, k, n) = (64, 256, 13);
+        for (rb, kp) in [(1, 0), (2, 32), (3, 8), (5, 16), (8, 64), (16, 0)] {
+            let mut opts = KernelOpts::tmac();
+            opts.row_block = rb;
+            opts.kg_panel = kp;
+            let (qm, act) = setup(m, k, n, 3);
+            let plan = WeightPlan::new(&qm, opts).unwrap();
+            let ctx = ExecCtx::new(2);
+            let mut out = vec![0f32; n * m];
+            mpgemm(&plan, &act, n, &mut out, &ctx).unwrap();
+            for ni in 0..n {
+                let mut row = vec![0f32; m];
+                crate::gemv::mpgemv(&plan, &act[ni * k..(ni + 1) * k], &mut row, &ctx).unwrap();
+                assert_eq!(
+                    &out[ni * m..(ni + 1) * m],
+                    &row[..],
+                    "rb={rb} kp={kp} row {ni}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_partition_aligns_to_both_blockings() {
+        assert_eq!(row_partition(11, 8, 4), vec![0..4, 4..8, 8..11]);
+        assert_eq!(row_partition(6, 8, 4), vec![0..4, 4..6]);
+        assert_eq!(row_partition(3, 1, 4), vec![0..1, 1..2, 2..3]);
+        // Register blocks never straddle an n_block boundary.
+        assert_eq!(row_partition(10, 4, 8), vec![0..4, 4..8, 8..10]);
+        assert!(row_partition(0, 8, 4).is_empty());
+        let total: usize = row_partition(57, 8, 4).iter().map(|r| r.len()).sum();
+        assert_eq!(total, 57);
+    }
+
+    #[test]
+    fn cached_interleaved_path_matches_fresh_and_reuses() {
+        let (m, k, n) = (64, 128, 9);
+        let (qm, act) = setup(m, k, n, 2);
+        let (qm4, _) = setup(m, k, n, 4);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let plan4 = WeightPlan::new(&qm4, KernelOpts::tmac()).unwrap();
+        let ctx = ExecCtx::new(1);
+        let mut fresh = vec![0f32; n * m];
+        mpgemm(&plan, &act, n, &mut fresh, &ctx).unwrap();
+        ctx.next_activation();
+        let mut cached = vec![0f32; n * m];
+        mpgemm_cached(&plan, &act, n, &mut cached, &ctx).unwrap();
+        assert_eq!(fresh, cached);
+        // A second plan with the same blocking reuses the interleave work.
+        let mut out4 = vec![0f32; n * m];
+        mpgemm_cached(&plan4, &act, n, &mut out4, &ctx).unwrap();
+        assert_eq!(ctx.interleave_stats(), (1, 1), "interleave must be shared");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | options | kernel |
 //! |---|---|
 //! | permuted, quantized, exact | `mtile_permuted<IL, MIRROR>` |
+//! | permuted, quantized, exact, multi-row | `gemm_mtile_rows<IL, MIRROR, R>` |
 //! | permuted, quantized, fast aggregation | `mtile_permuted_fa<IL, MIRROR>` |
 //! | flat, quantized (TM-base `+TQ`, `+Tiling`) | `mtile_flat_quant` |
 //! | flat, `f32` tables (TM-base) | `mtile_flat_gather` |
@@ -20,12 +21,18 @@
 
 use crate::opts::{KernelOpts, LUT_GROUP, TILE_M};
 use crate::plan::{Layout, WeightPlan};
-use crate::table::ActTables;
+use crate::table::{ActTables, BatchTables};
 use std::arch::x86_64::*;
+use std::ops::Range;
 use tmac_simd::avx2 as simd;
 
 /// Maximum supported k-groups per scale block (`group_size / 4`).
 pub const MAX_KG_PER_BLOCK: usize = 64;
+
+/// Maximum rows per register block of the multi-row kernel ([`gemm_mtile`])
+/// — the shared [`crate::opts::MAX_ROW_BLOCK`] limit (the dispatch in
+/// [`gemm_mtile`] is monomorphized for exactly these row counts).
+pub const MAX_ROW_BLOCK: usize = crate::opts::MAX_ROW_BLOCK;
 
 /// Whether an AVX2 kernel exists for this option combination.
 ///
@@ -42,6 +49,20 @@ pub fn supported(opts: &KernelOpts) -> bool {
         // f32 tables: gather kernel on flat layouts only.
         !opts.permute
     }
+}
+
+/// Whether the multi-row mpGEMM kernel ([`gemm_mtile`]) serves this option
+/// combination on this host.
+///
+/// The register-blocked kernel exists for the permuted, quantized, exact
+/// layouts (interleave and mirror both supported). Fast aggregation and the
+/// flat/f32 layouts stay on the per-row sweep.
+pub fn gemm_supported(opts: &KernelOpts) -> bool {
+    simd::available()
+        && opts.table_quant
+        && opts.permute
+        && !opts.fast_aggregation
+        && supported(opts)
 }
 
 /// Executes one m-tile, dispatching to the right monomorphized kernel.
@@ -93,6 +114,7 @@ fn load_table(q_tables: &[i8], base: usize) -> __m256i {
 }
 
 /// Four f32 output accumulators covering the 32 tile rows.
+#[derive(Clone, Copy)]
 struct OutAcc(__m256, __m256, __m256, __m256);
 
 impl OutAcc {
@@ -155,6 +177,39 @@ impl OutAcc {
         simd::storeu_ps(&mut out[8..], self.1);
         simd::storeu_ps(&mut out[16..], self.2);
         simd::storeu_ps(&mut out[24..], self.3);
+    }
+
+    /// Resumes the accumulator from a partial-output row (K-panel restart).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn load_from(&mut self, src: &[f32]) {
+        self.0 = simd::loadu_ps(&src[0..]);
+        self.1 = simd::loadu_ps(&src[8..]);
+        self.2 = simd::loadu_ps(&src[16..]);
+        self.3 = simd::loadu_ps(&src[24..]);
+    }
+
+    /// Stores into a `TILE_M`-float slice prefix.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn store_to(&self, out: &mut [f32]) {
+        simd::storeu_ps(&mut out[0..], self.0);
+        simd::storeu_ps(&mut out[8..], self.1);
+        simd::storeu_ps(&mut out[16..], self.2);
+        simd::storeu_ps(&mut out[24..], self.3);
+    }
+}
+
+/// Prefetches the weight stream `ahead` bytes past `off` into L1 (no-op
+/// past the end; prefetch has no architectural memory effects).
+#[inline]
+#[target_feature(enable = "avx2")]
+fn prefetch_stream(stream: &[u8], off: usize, ahead: usize) {
+    let target = off + ahead;
+    if target < stream.len() {
+        // SAFETY: the pointer is in bounds; prefetch never faults and does
+        // not access memory architecturally.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(stream.as_ptr().add(target) as *const i8) };
     }
 }
 
@@ -297,6 +352,220 @@ fn mtile_permuted<const IL: bool, const MIRROR: bool>(
         outacc.fold(&blk, sc, bias, plan.tile_scales(mt, sb));
     }
     outacc.store(out);
+}
+
+/// Executes the scale blocks `sbs` of one m-tile for a whole *row block*,
+/// accumulating into `outs` (row-major `rows × TILE_M` partial outputs the
+/// caller zeroes before the first K-panel).
+///
+/// This is the register-blocked mpGEMM kernel: each 16-byte weight step is
+/// loaded and nibble-unpacked **once** and its indices are looked up against
+/// every row's table with one `PSHUFB` per row — the weight-stream traffic
+/// and index decode of a sweep are amortized over `rows` activation rows
+/// (Figure 7's mpGEMM claim made real at the register level). The rows'
+/// tables for one k-group are adjacent in the interleaved [`BatchTables`]
+/// layout, so the per-step table loads are one forward cache-line stream,
+/// and the next weight step is software-prefetched while the current one is
+/// consumed.
+///
+/// Per row, the integer accumulation and the `f32` fold replicate
+/// [`gemv_mtile`]'s permuted kernel operation-for-operation, so running the
+/// scale blocks in increasing order (in one call or split across K-panels)
+/// is bit-identical to `rows` independent GEMV calls.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2+FMA support (e.g. via
+/// [`gemm_supported`], which performs the runtime feature check).
+///
+/// # Panics
+///
+/// Panics if the plan is not a permuted exact-aggregation quantized config
+/// (check [`gemm_supported`]), `batch.rows > MAX_ROW_BLOCK`, or `outs` is
+/// shorter than `rows × TILE_M`.
+#[target_feature(enable = "avx2,fma")]
+pub fn gemm_mtile(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    mt: usize,
+    sbs: Range<usize>,
+    outs: &mut [f32],
+) {
+    assert!(
+        batch.rows >= 1 && batch.rows <= MAX_ROW_BLOCK,
+        "row block must be 1..={MAX_ROW_BLOCK}"
+    );
+    assert!(outs.len() >= batch.rows * TILE_M, "outs too short");
+    assert!(
+        !plan.opts.fast_aggregation,
+        "multi-row kernel is exact-aggregation only"
+    );
+    match plan.layout() {
+        Layout::Permuted { interleaved } => {
+            debug_assert_eq!(batch.mirror, plan.opts.mirror);
+            match (interleaved, plan.opts.mirror) {
+                (false, false) => gemm_mtile_permuted::<false, false>(plan, batch, mt, sbs, outs),
+                (false, true) => gemm_mtile_permuted::<false, true>(plan, batch, mt, sbs, outs),
+                (true, false) => gemm_mtile_permuted::<true, false>(plan, batch, mt, sbs, outs),
+                (true, true) => gemm_mtile_permuted::<true, true>(plan, batch, mt, sbs, outs),
+            }
+        }
+        Layout::Flat => panic!("multi-row kernel requires the permuted layout"),
+    }
+}
+
+/// Dispatches [`gemm_mtile_rows`] on the runtime row count: the body is
+/// monomorphized per `R` so the accumulator array and row loops fully
+/// unroll and register-allocate (a runtime-`rows` loop spills every
+/// accumulator to the stack on each step, which costs more than the
+/// amortized weight decode saves).
+#[target_feature(enable = "avx2,fma")]
+fn gemm_mtile_permuted<const IL: bool, const MIRROR: bool>(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    mt: usize,
+    sbs: Range<usize>,
+    outs: &mut [f32],
+) {
+    match batch.rows {
+        1 => gemm_mtile_rows::<IL, MIRROR, 1>(plan, batch, mt, sbs, outs),
+        2 => gemm_mtile_rows::<IL, MIRROR, 2>(plan, batch, mt, sbs, outs),
+        3 => gemm_mtile_rows::<IL, MIRROR, 3>(plan, batch, mt, sbs, outs),
+        4 => gemm_mtile_rows::<IL, MIRROR, 4>(plan, batch, mt, sbs, outs),
+        5 => gemm_mtile_rows::<IL, MIRROR, 5>(plan, batch, mt, sbs, outs),
+        6 => gemm_mtile_rows::<IL, MIRROR, 6>(plan, batch, mt, sbs, outs),
+        7 => gemm_mtile_rows::<IL, MIRROR, 7>(plan, batch, mt, sbs, outs),
+        8 => gemm_mtile_rows::<IL, MIRROR, 8>(plan, batch, mt, sbs, outs),
+        r => unreachable!("row block {r} exceeds MAX_ROW_BLOCK"),
+    }
+}
+
+/// Multi-row streaming kernel body (see [`gemm_mtile`]).
+#[target_feature(enable = "avx2,fma")]
+fn gemm_mtile_rows<const IL: bool, const MIRROR: bool, const R: usize>(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    mt: usize,
+    sbs: Range<usize>,
+    outs: &mut [f32],
+) {
+    debug_assert_eq!(batch.rows, R);
+    let rows = R;
+    let bits = plan.bits;
+    let kgb = plan.group_size / LUT_GROUP;
+    let half = TILE_M / 2;
+    let stream = plan.mtile_stream(mt);
+    let mut off = sbs.start * bits * kgb * half;
+    // Same exactness bound as the single-row kernel.
+    let i16_combine_safe = kgb as u32 * 127 * ((1u32 << bits) - 1) <= i16::MAX as u32;
+    // Prefetch distance: two 32-byte pair steps ahead of the cursor.
+    const PREFETCH_AHEAD: usize = 64;
+
+    // Resume the per-row f32 accumulators from the partial outputs.
+    let mut outacc = [OutAcc::zero(); R];
+    for (r, acc) in outacc.iter_mut().enumerate() {
+        acc.load_from(&outs[r * TILE_M..]);
+    }
+
+    let ones = _mm256_set1_epi8(1);
+    for sb in sbs {
+        // acc[bit][row]: the row loop is innermost at the lookup, so index
+        // row-contiguously per bit. `R` is a const, so these loops unroll.
+        let mut acc = [[(_mm256_setzero_si256(), _mm256_setzero_si256()); R]; 4];
+        for acc_bit in acc.iter_mut().take(bits) {
+            let mut kgi = 0;
+            while kgi < kgb {
+                let pair = kgi + 1 < kgb;
+                let kg_a = sb * kgb + kgi;
+                if pair {
+                    // One 32-byte load covers k-groups `kg_a` and `kg_a+1`
+                    // for *all* rows of the block.
+                    let raw2 = simd::loadu_256(&stream[off..]);
+                    off += TILE_M;
+                    prefetch_stream(stream, off, PREFETCH_AHEAD);
+                    let mask = _mm256_set1_epi8(0x0F);
+                    let lo_nib = _mm256_and_si256(raw2, mask);
+                    let hi_nib = _mm256_and_si256(_mm256_srli_epi16::<4>(raw2), mask);
+                    let (idx_a, idx_b) = if IL {
+                        (
+                            _mm256_permute2x128_si256::<0x20>(lo_nib, hi_nib),
+                            _mm256_permute2x128_si256::<0x31>(lo_nib, hi_nib),
+                        )
+                    } else {
+                        let even_odd_lo = _mm256_unpacklo_epi8(lo_nib, hi_nib);
+                        let even_odd_hi = _mm256_unpackhi_epi8(lo_nib, hi_nib);
+                        (
+                            _mm256_permute2x128_si256::<0x20>(even_odd_lo, even_odd_hi),
+                            _mm256_permute2x128_si256::<0x31>(even_odd_lo, even_odd_hi),
+                        )
+                    };
+                    // In mirror mode `kg_a` is always even here (the pair
+                    // loop advances by 2 from an even base), so the pair
+                    // shares one stored table.
+                    let sg_a = if MIRROR { kg_a / 2 } else { kg_a };
+                    let sg_b = if MIRROR { kg_a / 2 } else { kg_a + 1 };
+                    for (r, a) in acc_bit.iter_mut().enumerate().take(rows) {
+                        let tbl_a = load_table(&batch.q_tables, batch.table_base(sg_a, r));
+                        let tbl_b = if MIRROR {
+                            tbl_a
+                        } else {
+                            load_table(&batch.q_tables, batch.table_base(sg_b, r))
+                        };
+                        let vals_a = lookup_step::<MIRROR>(tbl_a, idx_a, kg_a % 2 == 1);
+                        let vals_b = lookup_step::<MIRROR>(tbl_b, idx_b, kg_a.is_multiple_of(2));
+                        let inter_lo = _mm256_unpacklo_epi8(vals_a, vals_b);
+                        let inter_hi = _mm256_unpackhi_epi8(vals_a, vals_b);
+                        a.0 = _mm256_add_epi16(a.0, _mm256_maddubs_epi16(ones, inter_lo));
+                        a.1 = _mm256_add_epi16(a.1, _mm256_maddubs_epi16(ones, inter_hi));
+                    }
+                    kgi += 2;
+                } else {
+                    let raw = simd::loadu_128(&stream[off..]);
+                    off += half;
+                    prefetch_stream(stream, off, PREFETCH_AHEAD);
+                    let idx = if IL {
+                        simd::unpack_nibbles_interleaved(raw)
+                    } else {
+                        simd::unpack_nibbles_sequential(raw)
+                    };
+                    let sg_a = if MIRROR { kg_a / 2 } else { kg_a };
+                    for (r, a) in acc_bit.iter_mut().enumerate().take(rows) {
+                        let tbl = load_table(&batch.q_tables, batch.table_base(sg_a, r));
+                        let vals_a = lookup_step::<MIRROR>(tbl, idx, kg_a % 2 == 1);
+                        let vals_b = _mm256_setzero_si256();
+                        let inter_lo = _mm256_unpacklo_epi8(vals_a, vals_b);
+                        let inter_hi = _mm256_unpackhi_epi8(vals_a, vals_b);
+                        a.0 = _mm256_add_epi16(a.0, _mm256_maddubs_epi16(ones, inter_lo));
+                        a.1 = _mm256_add_epi16(a.1, _mm256_maddubs_epi16(ones, inter_hi));
+                    }
+                    kgi += 1;
+                }
+            }
+        }
+        for (r, out_r) in outacc.iter_mut().enumerate().take(rows) {
+            let mut blk = OutAcc::zero();
+            if i16_combine_safe {
+                let mut lo = acc[0][r].0;
+                let mut hi = acc[0][r].1;
+                for (bit, a) in acc.iter().enumerate().take(bits).skip(1) {
+                    let sh = bit as i32;
+                    lo = _mm256_add_epi16(lo, _mm256_sll_epi16(a[r].0, _mm_cvtsi32_si128(sh)));
+                    hi = _mm256_add_epi16(hi, _mm256_sll_epi16(a[r].1, _mm_cvtsi32_si128(sh)));
+                }
+                blk.add_weighted_i16_paired((lo, hi), _mm256_set1_ps(1.0));
+            } else {
+                for (bit, a) in acc.iter().enumerate().take(bits) {
+                    blk.add_weighted_i16_paired(a[r], _mm256_set1_ps((1u32 << bit) as f32));
+                }
+            }
+            let sc = _mm256_set1_ps(0.5 * batch.q_scale(r, sb));
+            let bias = _mm256_set1_ps(plan.cz * batch.asum(r, sb));
+            out_r.fold(&blk, sc, bias, plan.tile_scales(mt, sb));
+        }
+    }
+    for (r, acc) in outacc.iter().enumerate().take(rows) {
+        acc.store_to(&mut outs[r * TILE_M..(r + 1) * TILE_M]);
+    }
 }
 
 /// Streaming kernel with fast 8-bit aggregation (lossy, paper §4).
@@ -581,6 +850,119 @@ mod tests {
         for bits in 1..=4u8 {
             compare_opts(KernelOpts::tm_base(), bits, 1e-4);
         }
+    }
+
+    fn block_tables(rows: usize, k: usize, opts: &KernelOpts) -> (Vec<ActTables>, BatchTables) {
+        let per_row: Vec<ActTables> = (0..rows)
+            .map(|r| {
+                let act: Vec<f32> = (0..k)
+                    .map(|i| ((i as f32 * 0.41 + r as f32 * 2.3).cos()) * 0.9)
+                    .collect();
+                ActTables::build(&act, 32, opts).unwrap()
+            })
+            .collect();
+        let batch = BatchTables::interleave(&per_row).unwrap();
+        (per_row, batch)
+    }
+
+    /// The multi-row kernel must be *bit-identical* to per-row `gemv_mtile`
+    /// calls — the property that keeps batched forwards equal to independent
+    /// single-token forwards — for every supported option combination, every
+    /// row-block size, and any K-panel split.
+    #[test]
+    fn gemm_mtile_bit_identical_to_gemv_mtile() {
+        if !simd::available() {
+            return;
+        }
+        let il = {
+            let mut o = KernelOpts::plus_permute();
+            o.interleave = true;
+            o
+        };
+        for opts in [
+            KernelOpts::plus_permute(),
+            il,
+            KernelOpts::tmac(),
+            KernelOpts::tmac_mirror(),
+        ] {
+            for bits in 1..=4u8 {
+                let (qm, _) = setup(96, 256, bits, 32);
+                let plan = WeightPlan::new(&qm, opts).unwrap();
+                assert!(gemm_supported(&opts), "{opts:?}");
+                for rows in [1usize, 3, 4, 8] {
+                    let (per_row, batch) = block_tables(rows, 256, &opts);
+                    let gpr = plan.groups_per_row();
+                    for mt in 0..plan.m_tiles() {
+                        let mut want = vec![0f32; rows * TILE_M];
+                        for (r, t) in per_row.iter().enumerate() {
+                            let mut buf = [0f32; TILE_M];
+                            // SAFETY: AVX2+FMA verified above.
+                            unsafe { gemv_mtile(&plan, t, mt, &mut buf) };
+                            want[r * TILE_M..(r + 1) * TILE_M].copy_from_slice(&buf);
+                        }
+                        let mut got = vec![0f32; rows * TILE_M];
+                        // SAFETY: AVX2+FMA verified above.
+                        unsafe { gemm_mtile(&plan, &batch, mt, 0..gpr, &mut got) };
+                        assert_eq!(got, want, "opts={opts:?} bits={bits} rows={rows} mt={mt}");
+                        // Split into two uneven K-panels (scale-block units).
+                        if gpr >= 2 {
+                            let mid = gpr / 2 + gpr % 2;
+                            let mut panelled = vec![0f32; rows * TILE_M];
+                            // SAFETY: AVX2+FMA verified above.
+                            unsafe {
+                                gemm_mtile(&plan, &batch, mt, 0..mid, &mut panelled);
+                                gemm_mtile(&plan, &batch, mt, mid..gpr, &mut panelled);
+                            }
+                            assert_eq!(panelled, want, "panel split opts={opts:?} bits={bits}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// And against the portable oracle (tolerance: the scalar fold is not
+    /// FMA-fused, so f32 rounding may differ in the last ulp).
+    #[test]
+    fn gemm_mtile_matches_scalar_oracle() {
+        if !simd::available() {
+            return;
+        }
+        for opts in [KernelOpts::tmac(), KernelOpts::tmac_mirror()] {
+            for bits in [2u8, 3] {
+                let (qm, _) = setup(64, 128, bits, 32);
+                let plan = WeightPlan::new(&qm, opts).unwrap();
+                let (_, batch) = block_tables(5, 128, &opts);
+                let gpr = plan.groups_per_row();
+                for mt in 0..plan.m_tiles() {
+                    let mut want = vec![0f32; 5 * TILE_M];
+                    scalar::gemm_plan_mtile(&plan, &batch, mt, 0..gpr, &mut want);
+                    let mut got = vec![0f32; 5 * TILE_M];
+                    // SAFETY: AVX2+FMA verified above.
+                    unsafe { gemm_mtile(&plan, &batch, mt, 0..gpr, &mut got) };
+                    for (i, (&w, &g)) in want.iter().zip(&got).enumerate() {
+                        assert!(
+                            (w - g).abs() <= 1e-5 * (1.0 + w.abs()),
+                            "opts={opts:?} bits={bits} mt={mt} i={i}: {w} vs {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_supported_gates_correctly() {
+        if !simd::available() {
+            return;
+        }
+        assert!(gemm_supported(&KernelOpts::tmac()));
+        assert!(gemm_supported(&KernelOpts::tmac_mirror()));
+        assert!(gemm_supported(&KernelOpts::plus_permute()));
+        // FA, flat layouts and f32 tables stay per-row.
+        assert!(!gemm_supported(&KernelOpts::tmac_fast_aggregation()));
+        assert!(!gemm_supported(&KernelOpts::plus_table_quant()));
+        assert!(!gemm_supported(&KernelOpts::tm_base()));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 
 use crate::opts::{LUT_GROUP, TILE_M};
 use crate::plan::WeightPlan;
-use crate::table::{ActTables, FA_OFFSET};
+use crate::table::{ActTables, BatchTables, FA_OFFSET};
 use crate::TmacError;
+use std::ops::Range;
 use tmac_quant::QuantizedMatrix;
 
 /// Ground-truth mpGEMV: `out = act × dequant(W)^T` in `f64` accumulation.
@@ -121,6 +122,103 @@ fn fa_tree_row(
     for (kgi, v) in vals.iter_mut().take(kg_per_block).enumerate() {
         let kg = kg0 + kgi;
         let q = tables.lookup_q(kg, plan.index(bit, m, kg));
+        *v = (q as i32 + FA_OFFSET) as u8;
+    }
+    let mut n = kg_per_block;
+    while n > 1 {
+        for j in 0..n / 2 {
+            vals[j] = tmac_simd::scalar::avg_u8(vals[2 * j], vals[2 * j + 1]);
+        }
+        n /= 2;
+    }
+    (vals[0] as i32 - FA_OFFSET) * kg_per_block as i32
+}
+
+/// Executes the scale blocks `sbs` of one m-tile for a whole *row block* in
+/// scalar code, accumulating into `outs` (row-major `rows × TILE_M`, which
+/// the caller zeroes before the first K-panel).
+///
+/// Per row, the arithmetic — integer accumulation, fast-aggregation tree,
+/// per-block `f32` application order — is identical to
+/// [`gemv_plan_mtile`]'s, so calling this once over the full scale-block
+/// range (or panel by panel in increasing order) produces bit-identical
+/// results to `rows` independent GEMV calls. The only difference is the
+/// table *source*: the interleaved [`BatchTables`] layout.
+///
+/// # Panics
+///
+/// Panics if the tables are not compatible with `plan` (debug), `outs` is
+/// shorter than `rows × TILE_M`, or `sbs` exceeds the plan's blocks.
+pub fn gemm_plan_mtile(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    mt: usize,
+    sbs: Range<usize>,
+    outs: &mut [f32],
+) {
+    let bits = plan.bits;
+    let kg_per_block = plan.group_size / LUT_GROUP;
+    let m0 = mt * TILE_M;
+    assert!(sbs.end <= plan.groups_per_row(), "scale block out of range");
+    assert!(outs.len() >= batch.rows * TILE_M, "outs too short");
+    debug_assert_eq!(batch.k, plan.k);
+    debug_assert_eq!(batch.group_size, plan.group_size);
+
+    for sb in sbs {
+        let kg0 = sb * kg_per_block;
+        for r in 0..batch.rows {
+            let lut_scale = batch.q_scale(r, sb);
+            let asum = batch.asum(r, sb);
+            // Same probabilistic FA bias correction as the GEMV kernel.
+            let fa_delta = if plan.opts.fast_aggregation {
+                let kgb = kg_per_block as f32;
+                let depth = kg_per_block.trailing_zeros() as f32;
+                -0.25 * depth * kgb * (((1u32 << bits) - 1) as f32)
+            } else {
+                0.0
+            };
+            let bias = plan.cz * asum + 0.5 * lut_scale * fa_delta;
+            let out_row = &mut outs[r * TILE_M..(r + 1) * TILE_M];
+            for (lane, o) in out_row.iter_mut().enumerate() {
+                let m = m0 + lane;
+                let mut block = 0f32;
+                for bit in 0..bits {
+                    let lq: i32 = if plan.opts.fast_aggregation {
+                        fa_tree_row_batch(plan, batch, r, m, bit, kg0, kg_per_block)
+                    } else {
+                        (0..kg_per_block)
+                            .map(|kgi| {
+                                let kg = kg0 + kgi;
+                                batch.lookup_q(r, kg, plan.index(bit, m, kg)) as i32
+                            })
+                            .sum()
+                    };
+                    block += (1u32 << bit) as f32 * lq as f32;
+                }
+                let s = plan.scale(m, sb);
+                *o += s * (0.5 * lut_scale * block + bias);
+            }
+        }
+    }
+}
+
+/// Fast-aggregation tree for one (row, bit) of a batch block — the
+/// interleaved-layout twin of [`fa_tree_row`], with the identical `avg_u8`
+/// pairing.
+fn fa_tree_row_batch(
+    plan: &WeightPlan,
+    batch: &BatchTables,
+    r: usize,
+    m: usize,
+    bit: usize,
+    kg0: usize,
+    kg_per_block: usize,
+) -> i32 {
+    debug_assert!(kg_per_block.is_power_of_two());
+    let mut vals = [0u8; 64];
+    for (kgi, v) in vals.iter_mut().take(kg_per_block).enumerate() {
+        let kg = kg0 + kgi;
+        let q = batch.lookup_q(r, kg, plan.index(bit, m, kg));
         *v = (q as i32 + FA_OFFSET) as u8;
     }
     let mut n = kg_per_block;
@@ -262,6 +360,55 @@ mod tests {
             gemv_plan(&plan, &t, &mut out).unwrap();
             for (m, (&b, &o)) in base.iter().zip(&out).enumerate() {
                 assert_eq!(b, o, "opts={opts:?} m={m}");
+            }
+        }
+    }
+
+    /// The multi-row scalar kernel over the interleaved layout must be
+    /// bit-identical to per-row GEMV calls, for every quantized option
+    /// combination and regardless of how the scale blocks are split into
+    /// K-panels.
+    #[test]
+    fn gemm_mtile_bit_identical_to_per_row_gemv() {
+        let rows = 3;
+        for opts in [
+            KernelOpts::plus_table_quant(),
+            KernelOpts::plus_permute(),
+            KernelOpts::tmac(),
+            KernelOpts::tmac_mirror(),
+            KernelOpts::tmac_fast_aggregation(),
+        ] {
+            for bits in [1u8, 2, 4] {
+                let (qm, _) = setup(40, 128, bits, 32);
+                let plan = WeightPlan::new(&qm, opts).unwrap();
+                let row_tables: Vec<ActTables> = (0..rows)
+                    .map(|r| {
+                        let a: Vec<f32> = (0..128)
+                            .map(|i| ((i as f32) * 0.29 + r as f32).cos() * 1.1)
+                            .collect();
+                        ActTables::build(&a, 32, &opts).unwrap()
+                    })
+                    .collect();
+                let batch = BatchTables::interleave(&row_tables).unwrap();
+                let gpr = plan.groups_per_row();
+                for mt in 0..plan.m_tiles() {
+                    let mut want = vec![0f32; rows * TILE_M];
+                    for (r, t) in row_tables.iter().enumerate() {
+                        let mut buf = [0f32; TILE_M];
+                        gemv_plan_mtile(&plan, t, mt, &mut buf);
+                        want[r * TILE_M..(r + 1) * TILE_M].copy_from_slice(&buf);
+                    }
+                    // One panel covering everything…
+                    let mut got = vec![0f32; rows * TILE_M];
+                    gemm_plan_mtile(&plan, &batch, mt, 0..gpr, &mut got);
+                    assert_eq!(got, want, "opts={opts:?} bits={bits} mt={mt}");
+                    // …and split into single-scale-block panels.
+                    let mut panelled = vec![0f32; rows * TILE_M];
+                    for sb in 0..gpr {
+                        gemm_plan_mtile(&plan, &batch, mt, sb..sb + 1, &mut panelled);
+                    }
+                    assert_eq!(panelled, want, "panelled opts={opts:?} bits={bits}");
+                }
             }
         }
     }

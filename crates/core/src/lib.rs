@@ -53,9 +53,9 @@ pub mod table;
 pub mod tune;
 
 pub use exec::{ExecCtx, TableCacheStats, TableProfile};
-pub use opts::{KernelOpts, LUT_GROUP, TILE_M};
+pub use opts::{KernelOpts, L1_TABLE_BUDGET, LUT_GROUP, TILE_M};
 pub use plan::{Layout, WeightPlan};
-pub use table::ActTables;
+pub use table::{ActTables, BatchTables};
 
 use tmac_quant::{QuantError, QuantizedMatrix};
 

@@ -252,6 +252,188 @@ impl ActTables {
     }
 }
 
+/// Interleaved quantized tables for a *block* of `rows` activation rows.
+///
+/// [`ActTables`] keeps each row's tables as one contiguous ~16 KB buffer,
+/// which is perfect for the GEMV path (the whole set is L1-resident) but
+/// hostile to a multi-row kernel: looking up one k-group for `R` rows means
+/// touching `R` strided buffers. `BatchTables` transposes the layout — the
+/// `R` rows' 16-byte tables of each stored k-group sit contiguously:
+///
+/// ```text
+/// [kg0·row0][kg0·row1]…[kg0·rowR-1][kg1·row0]…      (16 bytes each)
+/// ```
+///
+/// so a register block's lookups for one weight step are a single forward
+/// cache-line stream. In mirror mode the stored unit is the k-group *pair*
+/// (matching [`ActTables`]'s pair packing), so the same indexing works with
+/// `kg / 2`.
+///
+/// Only quantized tables interleave (`i8`, plus the offset `u8` copy when
+/// every source row carries one); `f32` table mode has no multi-row kernel
+/// and stays on the per-row path.
+#[derive(Debug, Clone)]
+pub struct BatchTables {
+    /// Rows in the block (`R`).
+    pub rows: usize,
+    /// Activation length `K` (shared by every row).
+    pub k: usize,
+    /// Activations per scale block.
+    pub group_size: usize,
+    /// Whether tables are mirror-consolidated (pair-packed).
+    pub mirror: bool,
+    /// Interleaved `i8` tables: `stored_groups × rows × 16` bytes.
+    pub q_tables: Vec<i8>,
+    /// Interleaved offset `u8` tables (same layout; empty unless every
+    /// source row had them).
+    pub u_tables: Vec<u8>,
+    /// Row-major per-scale-block table scales: `rows × blocks`.
+    pub q_scales: Vec<f32>,
+    /// Row-major per-scale-block activation sums: `rows × blocks`.
+    pub asums: Vec<f32>,
+}
+
+impl BatchTables {
+    /// Interleaves a block of per-row tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmacError::Shape`] if `tables` is empty, any row is not
+    /// quantized, or the rows disagree on `K` / group size / mirror mode /
+    /// offset-table presence.
+    pub fn interleave(tables: &[ActTables]) -> Result<Self, TmacError> {
+        let first = tables
+            .first()
+            .ok_or_else(|| TmacError::Shape("BatchTables needs >= 1 row".into()))?;
+        if !first.quantized {
+            return Err(TmacError::Shape(
+                "BatchTables requires quantized tables".into(),
+            ));
+        }
+        let rows = tables.len();
+        let has_u = !first.u_tables.is_empty();
+        for t in tables {
+            if !t.quantized
+                || t.k != first.k
+                || t.group_size != first.group_size
+                || t.mirror != first.mirror
+                || t.u_tables.is_empty() == has_u
+            {
+                return Err(TmacError::Shape(
+                    "BatchTables rows disagree on table profile".into(),
+                ));
+            }
+        }
+        let stored = first.q_tables.len() / TABLE_LEN;
+        let mut q_tables = vec![0i8; stored * rows * TABLE_LEN];
+        for (r, t) in tables.iter().enumerate() {
+            for sg in 0..stored {
+                q_tables[(sg * rows + r) * TABLE_LEN..(sg * rows + r + 1) * TABLE_LEN]
+                    .copy_from_slice(&t.q_tables[sg * TABLE_LEN..(sg + 1) * TABLE_LEN]);
+            }
+        }
+        let u_tables = if has_u {
+            let mut u = vec![0u8; stored * rows * TABLE_LEN];
+            for (r, t) in tables.iter().enumerate() {
+                for sg in 0..stored {
+                    u[(sg * rows + r) * TABLE_LEN..(sg * rows + r + 1) * TABLE_LEN]
+                        .copy_from_slice(&t.u_tables[sg * TABLE_LEN..(sg + 1) * TABLE_LEN]);
+                }
+            }
+            u
+        } else {
+            Vec::new()
+        };
+        let blocks = first.q_scales.len();
+        let mut q_scales = vec![0f32; rows * blocks];
+        let mut asums = vec![0f32; rows * blocks];
+        for (r, t) in tables.iter().enumerate() {
+            q_scales[r * blocks..(r + 1) * blocks].copy_from_slice(&t.q_scales);
+            asums[r * blocks..(r + 1) * blocks].copy_from_slice(&t.asums);
+        }
+        Ok(BatchTables {
+            rows,
+            k: first.k,
+            group_size: first.group_size,
+            mirror: first.mirror,
+            q_tables,
+            u_tables,
+            q_scales,
+            asums,
+        })
+    }
+
+    /// Number of k-groups covered (`K / 4`).
+    pub fn kg_total(&self) -> usize {
+        self.k / LUT_GROUP
+    }
+
+    /// Number of *stored* table groups (k-groups, or pairs under mirror).
+    pub fn stored_groups(&self) -> usize {
+        if self.mirror {
+            self.kg_total() / 2
+        } else {
+            self.kg_total()
+        }
+    }
+
+    /// Number of scale blocks per row.
+    pub fn blocks(&self) -> usize {
+        self.k / self.group_size
+    }
+
+    /// Byte offset of row `r`'s 16-byte table for stored group `sg` in
+    /// [`Self::q_tables`] / [`Self::u_tables`].
+    #[inline]
+    pub fn table_base(&self, sg: usize, r: usize) -> usize {
+        (sg * self.rows + r) * TABLE_LEN
+    }
+
+    /// Table scale of `(row, scale-block)`.
+    #[inline]
+    pub fn q_scale(&self, r: usize, sb: usize) -> f32 {
+        self.q_scales[r * self.blocks() + sb]
+    }
+
+    /// Activation sum of `(row, scale-block)`.
+    #[inline]
+    pub fn asum(&self, r: usize, sb: usize) -> f32 {
+        self.asums[r * self.blocks() + sb]
+    }
+
+    /// Looks up entry `idx` of k-group `kg` for row `r`, applying the
+    /// mirror fold when consolidated — the batch twin of
+    /// [`ActTables::lookup_q`], against the interleaved layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r`, `kg` or `idx` is out of range.
+    pub fn lookup_q(&self, r: usize, kg: usize, idx: u8) -> i8 {
+        assert!(r < self.rows && (idx as usize) < TABLE_LEN && kg < self.kg_total());
+        if self.mirror {
+            let (fold, neg) = if idx >= 8 {
+                ((idx ^ 0x0F) as usize, true)
+            } else {
+                (idx as usize, false)
+            };
+            let half = (kg % 2) * (TABLE_LEN / 2);
+            let v = self.q_tables[self.table_base(kg / 2, r) + half + fold];
+            if neg {
+                -v
+            } else {
+                v
+            }
+        } else {
+            self.q_tables[self.table_base(kg, r) + idx as usize]
+        }
+    }
+
+    /// Bytes of interleaved table storage.
+    pub fn table_bytes(&self) -> usize {
+        self.q_tables.len() + self.u_tables.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +552,85 @@ mod tests {
         // combined relative to fp16; vs f32 it is 8x).
         assert_eq!(f.table_bytes(), 4 * q.table_bytes());
         assert_eq!(q.table_bytes(), 2 * m.table_bytes());
+    }
+
+    fn row_tables(n: usize, k: usize, opts: &KernelOpts) -> Vec<ActTables> {
+        (0..n)
+            .map(|r| {
+                let a: Vec<f32> = (0..k)
+                    .map(|i| ((i as f32) * 0.37 + r as f32 * 1.9).sin())
+                    .collect();
+                ActTables::build(&a, 32, opts).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_interleave_preserves_lookups() {
+        for opts in [
+            KernelOpts::tmac(),
+            KernelOpts::tmac_mirror(),
+            KernelOpts::tmac_fast_aggregation(),
+        ] {
+            let rows = row_tables(5, 128, &opts);
+            let batch = BatchTables::interleave(&rows).unwrap();
+            assert_eq!(batch.rows, 5);
+            assert_eq!(batch.mirror, opts.mirror);
+            assert_eq!(
+                batch.table_bytes(),
+                rows.iter().map(|t| t.table_bytes()).sum::<usize>()
+            );
+            for (r, t) in rows.iter().enumerate() {
+                for kg in 0..batch.kg_total() {
+                    for idx in 0..TABLE_LEN as u8 {
+                        assert_eq!(
+                            batch.lookup_q(r, kg, idx),
+                            t.lookup_q(kg, idx),
+                            "r={r} kg={kg} idx={idx}"
+                        );
+                    }
+                }
+                for sb in 0..batch.blocks() {
+                    assert_eq!(batch.q_scale(r, sb), t.q_scales[sb]);
+                    assert_eq!(batch.asum(r, sb), t.asums[sb]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rows_contiguous_per_group() {
+        // The layout contract the multi-row kernel streams: for one stored
+        // group, the R rows' 16-byte tables are adjacent.
+        let rows = row_tables(3, 64, &KernelOpts::tmac());
+        let batch = BatchTables::interleave(&rows).unwrap();
+        for sg in 0..batch.stored_groups() {
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(batch.table_base(sg, r), (sg * 3 + r) * TABLE_LEN);
+                assert_eq!(
+                    &batch.q_tables[batch.table_base(sg, r)..batch.table_base(sg, r) + TABLE_LEN],
+                    &row.q_tables[sg * TABLE_LEN..(sg + 1) * TABLE_LEN]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_interleave_rejects_mismatches() {
+        assert!(BatchTables::interleave(&[]).is_err());
+        // f32 tables have no interleaved form.
+        let raw = row_tables(2, 64, &KernelOpts::tm_base());
+        assert!(BatchTables::interleave(&raw).is_err());
+        // Mixed profiles are rejected.
+        let mut mixed = row_tables(1, 64, &KernelOpts::tmac());
+        mixed.extend(row_tables(1, 64, &KernelOpts::tmac_mirror()));
+        assert!(BatchTables::interleave(&mixed).is_err());
+        let mut lens = row_tables(1, 64, &KernelOpts::tmac());
+        lens.extend(row_tables(1, 128, &KernelOpts::tmac()));
+        assert!(BatchTables::interleave(&lens).is_err());
+        let mut fa = row_tables(1, 64, &KernelOpts::tmac());
+        fa.extend(row_tables(1, 64, &KernelOpts::tmac_fast_aggregation()));
+        assert!(BatchTables::interleave(&fa).is_err());
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! devices, tuning should assist in finding a better configuration"
 //! (§4, §5.5). This tuner measures real executions of candidate `tile_k` /
 //! `n_block` configurations on the actual plan and caches the winner per
-//! `(M, K, bits, threads)`.
+//! `(M, K, bits, threads)`. [`tune_gemm`] extends the search to the
+//! multi-row mpGEMM knobs: `row_block` (rows per register block) and
+//! `kg_panel` (K-panel cache blocking), measured on a real `n`-row batch.
 
 use crate::exec::ExecCtx;
+use crate::gemm::mpgemm;
 use crate::gemv::{build_tables, mpgemv_with_tables};
 use crate::opts::KernelOpts;
 use crate::plan::WeightPlan;
@@ -22,6 +25,13 @@ pub const TILE_K_CANDIDATES: [usize; 4] = [128, 256, 512, 1024];
 
 /// Candidate `n_block` values for mpGEMM.
 pub const N_BLOCK_CANDIDATES: [usize; 3] = [4, 8, 16];
+
+/// Candidate `row_block` (register block) values for the multi-row kernel.
+pub const ROW_BLOCK_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
+
+/// Candidate `kg_panel` values (k-groups per L1 panel; `0` = auto-size from
+/// the L1 table budget).
+pub const KG_PANEL_CANDIDATES: [usize; 4] = [0, 64, 256, 1024];
 
 /// One measured configuration.
 #[derive(Debug, Clone, Copy)]
@@ -89,9 +99,98 @@ pub fn tune(qm: &QuantizedMatrix, ctx: &ExecCtx, iters: usize) -> Result<TunedCo
     })
 }
 
-/// Process-wide tuning cache keyed by `(M, K, bits, threads)`.
+/// One measured mpGEMM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TunedGemmConfig {
+    /// The winning option set (including `row_block`/`kg_panel`).
+    pub opts: KernelOpts,
+    /// Best observed latency for one `n`-row mpGEMM, in seconds.
+    pub gemm_seconds: f64,
+    /// Batch rows the configuration was measured at.
+    pub n: usize,
+}
+
+/// Measures the best of `iters` runs of a full `n`-row mpGEMM (per-row
+/// table builds + multi-row sweep).
+///
+/// # Errors
+///
+/// Propagates plan/driver errors from the measured configuration.
+pub fn measure_gemm(
+    qm: &QuantizedMatrix,
+    opts: KernelOpts,
+    n: usize,
+    ctx: &ExecCtx,
+    iters: usize,
+) -> Result<f64, TmacError> {
+    let plan = WeightPlan::new(qm, opts)?;
+    let act: Vec<f32> = (0..n * qm.cols)
+        .map(|i| ((i as f32) * 0.23).sin())
+        .collect();
+    let mut out = vec![0f32; n * qm.rows];
+    // Warm-up run (also validates the configuration end to end).
+    mpgemm(&plan, &act, n, &mut out, ctx)?;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        mpgemm(&plan, &act, n, &mut out, ctx)?;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(best)
+}
+
+/// Sweeps `row_block` × `kg_panel` on top of the GEMV-tuned configuration
+/// and returns the fastest multi-row mpGEMM setup for an `n`-row batch.
+///
+/// `row_block` candidates larger than `n` are skipped (they cannot form a
+/// full register block), except that `1` (the per-row sweep) is always
+/// measured as the baseline.
+///
+/// # Errors
+///
+/// Propagates plan construction or execution failures.
+pub fn tune_gemm(
+    qm: &QuantizedMatrix,
+    n: usize,
+    ctx: &ExecCtx,
+    iters: usize,
+) -> Result<TunedGemmConfig, TmacError> {
+    let base = tune(qm, ctx, iters)?.opts;
+    let mut best: Option<TunedGemmConfig> = None;
+    for &rb in &ROW_BLOCK_CANDIDATES {
+        if rb > n.max(1) && rb != 1 {
+            continue;
+        }
+        // The panel knob only matters for the multi-row sweep.
+        let panels: &[usize] = if rb == 1 { &[0] } else { &KG_PANEL_CANDIDATES };
+        for &kp in panels {
+            let mut opts = base;
+            opts.row_block = rb;
+            opts.kg_panel = kp;
+            opts.n_block = opts.n_block.max(rb);
+            let secs = measure_gemm(qm, opts, n, ctx, iters)?;
+            if best.is_none_or(|b| secs < b.gemm_seconds) {
+                best = Some(TunedGemmConfig {
+                    opts,
+                    gemm_seconds: secs,
+                    n,
+                });
+            }
+        }
+    }
+    best.ok_or_else(|| TmacError::Shape("no row_block candidate applies".into()))
+}
+
+/// GEMV cache key: `(M, K, bits, threads)`.
+type GemvKey = (usize, usize, u8, usize);
+/// mpGEMM cache key: `(M, K, bits, threads, n)`.
+type GemmKey = (usize, usize, u8, usize, usize);
+
+/// Process-wide tuning cache keyed by `(M, K, bits, threads)` (plus the
+/// batch size `n` for mpGEMM configurations).
 pub struct Tuner {
-    cache: Mutex<HashMap<(usize, usize, u8, usize), KernelOpts>>,
+    cache: Mutex<HashMap<GemvKey, KernelOpts>>,
+    gemm_cache: Mutex<HashMap<GemmKey, KernelOpts>>,
 }
 
 impl Tuner {
@@ -99,6 +198,7 @@ impl Tuner {
     pub fn new() -> Self {
         Tuner {
             cache: Mutex::new(HashMap::new()),
+            gemm_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -125,9 +225,35 @@ impl Tuner {
         Ok(tuned.opts)
     }
 
+    /// Returns the cached mpGEMM configuration for `(shape, n)`, running
+    /// the `row_block`/`kg_panel` sweep on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuning failures (the result is then not cached).
+    pub fn get_gemm(
+        &self,
+        qm: &QuantizedMatrix,
+        n: usize,
+        ctx: &ExecCtx,
+        iters: usize,
+    ) -> Result<KernelOpts, TmacError> {
+        let key = (qm.rows, qm.cols, qm.bits, ctx.threads(), n);
+        if let Some(hit) = self.gemm_cache.lock().expect("tuner lock").get(&key) {
+            return Ok(*hit);
+        }
+        let tuned = tune_gemm(qm, n, ctx, iters)?;
+        self.gemm_cache
+            .lock()
+            .expect("tuner lock")
+            .insert(key, tuned.opts);
+        Ok(tuned.opts)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.cache.lock().expect("tuner lock").len()
+            + self.gemm_cache.lock().expect("tuner lock").len()
     }
 
     /// Whether the cache is empty.
@@ -173,6 +299,31 @@ mod tests {
         assert_eq!(tuner.len(), 1);
         let qm2 = matrix(64, 256);
         tuner.get(&qm2, &ctx, 1).unwrap();
+        assert_eq!(tuner.len(), 2);
+    }
+
+    #[test]
+    fn tune_gemm_returns_valid_multi_row_config() {
+        let qm = matrix(96, 128);
+        let ctx = ExecCtx::new(1);
+        let cfg = tune_gemm(&qm, 8, &ctx, 1).unwrap();
+        assert!(cfg.opts.validate().is_ok());
+        assert!(cfg.gemm_seconds > 0.0);
+        assert_eq!(cfg.n, 8);
+        assert!(ROW_BLOCK_CANDIDATES.contains(&cfg.opts.row_block));
+        assert!(cfg.opts.n_block >= cfg.opts.row_block);
+    }
+
+    #[test]
+    fn tuner_gemm_cache_keys_on_n() {
+        let tuner = Tuner::new();
+        let ctx = ExecCtx::new(1);
+        let qm = matrix(64, 128);
+        let a = tuner.get_gemm(&qm, 4, &ctx, 1).unwrap();
+        let b = tuner.get_gemm(&qm, 4, &ctx, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(tuner.len(), 1);
+        tuner.get_gemm(&qm, 16, &ctx, 1).unwrap();
         assert_eq!(tuner.len(), 2);
     }
 

@@ -62,4 +62,47 @@ fn main() {
             ms(t_table)
         );
     }
+
+    // Multi-row mpGEMM probe: row_block × kg_panel at a fixed batch size,
+    // against the 16-sequential-GEMV baseline.
+    let n = tmac_eval::arg("n", "16").parse::<usize>().expect("--n");
+    let acts = make_act(n * k, 11);
+    let mut outs = vec![0f32; n * m];
+    let base_plan = WeightPlan::new(&qm, KernelOpts::tmac()).expect("plan");
+    let t_seq = time_best(
+        || {
+            for ni in 0..n {
+                gemv::mpgemv(&base_plan, &acts[ni * k..(ni + 1) * k], &mut out, &ctx)
+                    .expect("gemv");
+            }
+        },
+        2,
+        8,
+    );
+    println!(
+        "\nmpGEMM n={n} (baseline: {n} sequential GEMVs = {} ms)",
+        ms(t_seq)
+    );
+    for rb in tmac_core::tune::ROW_BLOCK_CANDIDATES {
+        for kp in tmac_core::tune::KG_PANEL_CANDIDATES {
+            if rb == 1 && kp != 0 {
+                continue; // panels only matter for the multi-row sweep
+            }
+            let mut opts = KernelOpts::tmac();
+            opts.row_block = rb;
+            opts.kg_panel = kp;
+            opts.n_block = opts.n_block.max(rb);
+            let plan = WeightPlan::new(&qm, opts).expect("plan");
+            let t = time_best(
+                || tmac_core::gemm::mpgemm(&plan, &acts, n, &mut outs, &ctx).expect("gemm"),
+                2,
+                8,
+            );
+            println!(
+                "row_block={rb} kg_panel={kp:5} {} ms   {:.2}x vs sequential",
+                ms(t),
+                t_seq / t
+            );
+        }
+    }
 }

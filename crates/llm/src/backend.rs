@@ -110,6 +110,14 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
     /// Backend-specific kernel failures.
     fn forward(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), BackendError>;
 
+    /// The batch-row granularity this backend's GEMM path blocks on
+    /// (T-MAC's `n_block`), if it has one. Callers sizing batch chunks
+    /// (prefill) should use a multiple of this so no ragged row block is
+    /// left at every chunk boundary. `None` = no preference.
+    fn preferred_rows(&self) -> Option<usize> {
+        None
+    }
+
     /// `out[n][m] = Σ_k act[n][k] · W[m][k]` for `n` activation rows
     /// (prefill). The default loops [`LinearBackend::forward`] per row;
     /// backends with a real GEMM path override it.
@@ -182,6 +190,10 @@ impl LinearBackend for TmacBackend {
 
     fn packed_bytes(&self) -> usize {
         self.linear.plan().index_bytes()
+    }
+
+    fn preferred_rows(&self) -> Option<usize> {
+        Some(self.linear.plan().opts.n_block.max(1))
     }
 
     fn forward(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), BackendError> {
@@ -390,6 +402,12 @@ impl Linear {
     /// Packed size in bytes (what streams from DRAM per token).
     pub fn packed_bytes(&self) -> usize {
         self.backend.packed_bytes()
+    }
+
+    /// The backend's preferred batch-row granularity (see
+    /// [`LinearBackend::preferred_rows`]).
+    pub fn preferred_rows(&self) -> Option<usize> {
+        self.backend.preferred_rows()
     }
 
     /// `out = act × W^T`.

@@ -20,7 +20,6 @@
 //! ```
 
 use crate::backend::BackendError;
-use crate::engine::PREFILL_CHUNK;
 use crate::model::{BatchScratch, KvCache, Model};
 use crate::ops;
 use std::collections::VecDeque;
@@ -36,7 +35,9 @@ pub struct SchedulerConfig {
     /// Maximum concurrently active sequences (KV-cache slots).
     pub max_batch: usize,
     /// Rows per prefill [`Model::forward_batch`] call (bounds batch-scratch
-    /// memory while keeping prompts on the mpGEMM path).
+    /// memory while keeping prompts on the mpGEMM path). `0` (the default)
+    /// derives the chunk from the model's kernel blocking at construction
+    /// time ([`Model::prefill_chunk`]).
     pub prefill_chunk: usize,
 }
 
@@ -44,7 +45,7 @@ impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
             max_batch: 16,
-            prefill_chunk: PREFILL_CHUNK,
+            prefill_chunk: 0,
         }
     }
 }
@@ -147,10 +148,13 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.max_batch == 0` or `cfg.prefill_chunk == 0`.
-    pub fn new(model: Model, cfg: SchedulerConfig) -> Self {
+    /// Panics if `cfg.max_batch == 0`.
+    pub fn new(model: Model, mut cfg: SchedulerConfig) -> Self {
         assert!(cfg.max_batch > 0, "scheduler needs max_batch >= 1");
-        assert!(cfg.prefill_chunk > 0, "scheduler needs prefill_chunk >= 1");
+        if cfg.prefill_chunk == 0 {
+            // Auto: follow the kernel's batch blocking.
+            cfg.prefill_chunk = model.prefill_chunk();
+        }
         let scratch = BatchScratch::new(&model.cfg, cfg.max_batch.max(cfg.prefill_chunk));
         Scheduler {
             model,

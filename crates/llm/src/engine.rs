@@ -14,10 +14,13 @@ use crate::model::{BatchScratch, KvCache, Model, Scratch};
 use crate::ops;
 use tmac_core::ExecCtx;
 
-/// Rows per prefill [`Model::forward_batch`] call: long prompts are split
-/// into chunks of this many positions, bounding batch-scratch memory (the
-/// dominant term is `PREFILL_CHUNK × vocab` logits) while keeping the
-/// prompt on the mpGEMM path.
+/// *Target* rows per prefill [`Model::forward_batch`] call: long prompts
+/// are split into chunks of about this many positions, bounding
+/// batch-scratch memory (the dominant term is `chunk × vocab` logits)
+/// while keeping the prompt on the mpGEMM path. The chunk a model actually
+/// uses is [`Model::prefill_chunk`] — this target rounded to the backend's
+/// batch blocking (`n_block`), so prefill chunking follows the kernel's
+/// real row blocking instead of a hardcoded 16.
 pub const PREFILL_CHUNK: usize = 16;
 
 /// A model plus its generation state.
@@ -128,7 +131,7 @@ impl Engine {
             )));
         }
         self.reset();
-        let chunk = PREFILL_CHUNK.min(prompt.len());
+        let chunk = self.model.prefill_chunk().min(prompt.len());
         if self
             .batch_scratch
             .as_ref()

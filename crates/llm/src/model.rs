@@ -661,6 +661,21 @@ impl Model {
         self.head.label()
     }
 
+    /// Rows per prefill chunk for this model: the target chunk size
+    /// ([`crate::engine::PREFILL_CHUNK`]) rounded **down** to a whole
+    /// multiple of the backend's batch blocking (`n_block` for T-MAC, via
+    /// [`crate::backend::LinearBackend::preferred_rows`]), never below one
+    /// block. Chunking on a multiple means no mpGEMM sweep is left with a
+    /// ragged row block at a chunk boundary; backends with no preference
+    /// keep the plain target.
+    pub fn prefill_chunk(&self) -> usize {
+        let target = crate::engine::PREFILL_CHUNK;
+        match self.head.preferred_rows() {
+            Some(nb) if nb > 0 => nb * (target / nb).max(1),
+            _ => target,
+        }
+    }
+
     /// Packed weight bytes streamed per decoded token (layers + head).
     pub fn bytes_per_token(&self) -> usize {
         let per_layer: usize = self
@@ -686,6 +701,25 @@ mod tests {
 
     fn tiny_model(kind: BackendKind) -> Model {
         Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(4), kind, 42).unwrap()
+    }
+
+    #[test]
+    fn prefill_chunk_follows_backend_blocking() {
+        // T-MAC default n_block = 8 → 16 is already a whole multiple.
+        let t = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
+        assert_eq!(t.prefill_chunk(), 16);
+        // A 12-row n_block rounds the 16-row target down to one block…
+        let mut opts = tmac_core::KernelOpts::tmac();
+        opts.n_block = 12;
+        let t12 = tiny_model(BackendKind::Tmac(opts));
+        assert_eq!(t12.prefill_chunk(), 12);
+        // …a 5-row n_block fits three whole blocks.
+        opts.n_block = 5;
+        let t5 = tiny_model(BackendKind::Tmac(opts));
+        assert_eq!(t5.prefill_chunk(), 15);
+        // Backends without a GEMM blocking keep the plain target.
+        let f = tiny_model(BackendKind::F32);
+        assert_eq!(f.prefill_chunk(), crate::engine::PREFILL_CHUNK);
     }
 
     #[test]

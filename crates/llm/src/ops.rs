@@ -3,7 +3,11 @@
 //! These are the non-GEMM operators of the llama architecture. They are a
 //! small fraction of decode-time cost (the paper attributes the residual
 //! gap to them in §5.7) but must be numerically correct for the quality
-//! experiments.
+//! experiments. The hot loops (`rmsnorm`, `softmax`'s max/scale passes,
+//! `swiglu`'s combine, `add_assign`) run on the `tmac_simd::f32ops`
+//! dispatchers; the elementwise ones are bit-compatible with their scalar
+//! fallbacks (see the `scalar_path_bit_compat` test), so results do not
+//! depend on the host's SIMD support.
 
 use tmac_simd::f32ops;
 
@@ -17,9 +21,7 @@ pub fn rmsnorm(out: &mut [f32], x: &[f32], gain: &[f32], eps: f32) {
     assert_eq!(x.len(), out.len(), "rmsnorm out length");
     let ss = f32ops::dot(x, x) / x.len() as f32;
     let inv = 1.0 / (ss + eps).sqrt();
-    for ((o, &xi), &g) in out.iter_mut().zip(x).zip(gain) {
-        *o = xi * inv * g;
-    }
+    f32ops::scaled_mul(out, x, gain, inv);
 }
 
 /// In-place numerically-stable softmax.
@@ -27,16 +29,14 @@ pub fn softmax(v: &mut [f32]) {
     if v.is_empty() {
         return;
     }
-    let max = v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let max = f32ops::max(v);
     let mut sum = 0f32;
     for x in v.iter_mut() {
         *x = (*x - max).exp();
         sum += *x;
     }
     let inv = 1.0 / sum;
-    for x in v.iter_mut() {
-        *x *= inv;
-    }
+    f32ops::scale(v, inv);
 }
 
 /// Log-softmax value of one index (for NLL/perplexity evaluation), computed
@@ -78,16 +78,21 @@ pub fn rope(v: &mut [f32], head_dim: usize, pos: usize, theta: f32) {
 
 /// SwiGLU combine: `out[i] = silu(gate[i]) * up[i]`.
 ///
+/// The transcendental `silu` stays scalar (`exp` has no SIMD lowering
+/// here); the final elementwise product is vectorized. The value computed
+/// per element — `(g / (1 + e^{-g})) · u`, one rounded multiply at the end
+/// — is unchanged.
+///
 /// # Panics
 ///
 /// Panics if slice lengths differ.
 pub fn swiglu(out: &mut [f32], gate: &[f32], up: &[f32]) {
     assert_eq!(gate.len(), up.len(), "swiglu length");
     assert_eq!(gate.len(), out.len(), "swiglu out length");
-    for ((o, &g), &u) in out.iter_mut().zip(gate).zip(up) {
-        let silu = g / (1.0 + (-g).exp());
-        *o = silu * u;
+    for (o, &g) in out.iter_mut().zip(gate) {
+        *o = g / (1.0 + (-g).exp());
     }
+    f32ops::mul_assign(out, up);
 }
 
 /// `y += x` elementwise.
@@ -96,10 +101,7 @@ pub fn swiglu(out: &mut [f32], gate: &[f32], up: &[f32]) {
 ///
 /// Panics if slice lengths differ.
 pub fn add_assign(y: &mut [f32], x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "add_assign length");
-    for (a, &b) in y.iter_mut().zip(x) {
-        *a += b;
-    }
+    f32ops::add(y, x);
 }
 
 /// Argmax index (greedy sampling). Returns 0 for an empty slice.
@@ -152,6 +154,56 @@ mod tests {
         let rms = 12.5f32.sqrt();
         assert!((out[0] - 3.0 / rms).abs() < 1e-6);
         assert!((out[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    /// The vectorized hot loops must agree *bitwise* with straightforward
+    /// scalar formulations (reductions shared, elementwise parts
+    /// re-derived), so enabling SIMD never changes model output.
+    #[test]
+    fn scalar_path_bit_compat() {
+        let n = 101; // not a multiple of the SIMD width
+        let x: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.43).sin() * 2.1).collect();
+        let g: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.19).cos() + 1.1).collect();
+
+        // rmsnorm == shared reduction + per-element (xi * inv) * gi.
+        let mut got = vec![0f32; n];
+        rmsnorm(&mut got, &x, &g, 1e-5);
+        let ss = f32ops::dot(&x, &x) / n as f32;
+        let inv = 1.0 / (ss + 1e-5).sqrt();
+        let want: Vec<f32> = x.iter().zip(&g).map(|(&xi, &gi)| (xi * inv) * gi).collect();
+        assert_eq!(got, want, "rmsnorm");
+
+        // softmax == scalar max/exp/normalize.
+        let mut got = x.clone();
+        softmax(&mut got);
+        let mut want = x.clone();
+        let max = want.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0f32;
+        for v in want.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in want.iter_mut() {
+            *v *= inv;
+        }
+        assert_eq!(got, want, "softmax");
+
+        // swiglu == per-element silu(g) * u.
+        let mut got = vec![0f32; n];
+        swiglu(&mut got, &x, &g);
+        let want: Vec<f32> = x
+            .iter()
+            .zip(&g)
+            .map(|(&gi, &ui)| (gi / (1.0 + (-gi).exp())) * ui)
+            .collect();
+        assert_eq!(got, want, "swiglu");
+
+        // add_assign == per-element +=.
+        let mut got = x.clone();
+        add_assign(&mut got, &g);
+        let want: Vec<f32> = x.iter().zip(&g).map(|(&a, &b)| a + b).collect();
+        assert_eq!(got, want, "add_assign");
     }
 
     #[test]

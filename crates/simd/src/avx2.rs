@@ -366,6 +366,143 @@ pub fn sum_f32(v: &[f32]) -> f32 {
     s
 }
 
+/// `y[i] += x[i]` (plain add, no FMA — bit-identical to the scalar path).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2")]
+pub fn add_f32(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_f32 length mismatch");
+    let n = y.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = loadu_ps(&y[i..]);
+        let xv = loadu_ps(&x[i..]);
+        storeu_ps(&mut y[i..], _mm256_add_ps(yv, xv));
+        i += 8;
+    }
+    while i < n {
+        y[i] += x[i];
+        i += 1;
+    }
+}
+
+/// Elementwise product `out[i] = a[i] * b[i]` (bit-identical to scalar).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2")]
+pub fn mul_f32(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "mul_f32 length mismatch");
+    assert_eq!(out.len(), a.len(), "mul_f32 out length mismatch");
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = loadu_ps(&a[i..]);
+        let bv = loadu_ps(&b[i..]);
+        storeu_ps(&mut out[i..], _mm256_mul_ps(av, bv));
+        i += 8;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+/// In-place elementwise product `y[i] *= x[i]` (bit-identical to scalar).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2")]
+pub fn mul_assign_f32(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "mul_assign_f32 length mismatch");
+    let n = y.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = loadu_ps(&y[i..]);
+        let xv = loadu_ps(&x[i..]);
+        storeu_ps(&mut y[i..], _mm256_mul_ps(yv, xv));
+        i += 8;
+    }
+    while i < n {
+        y[i] *= x[i];
+        i += 1;
+    }
+}
+
+/// `out[i] = (x[i] * s) * g[i]` with the same evaluation order as
+/// [`crate::scalar::scaled_mul_f32`] (two rounded multiplies, no FMA), so
+/// the two paths agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[target_feature(enable = "avx2")]
+pub fn scaled_mul_f32(out: &mut [f32], x: &[f32], g: &[f32], s: f32) {
+    assert_eq!(x.len(), g.len(), "scaled_mul_f32 length mismatch");
+    assert_eq!(out.len(), x.len(), "scaled_mul_f32 out length mismatch");
+    let sv = _mm256_set1_ps(s);
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = loadu_ps(&x[i..]);
+        let gv = loadu_ps(&g[i..]);
+        storeu_ps(&mut out[i..], _mm256_mul_ps(_mm256_mul_ps(xv, sv), gv));
+        i += 8;
+    }
+    while i < n {
+        out[i] = (x[i] * s) * g[i];
+        i += 1;
+    }
+}
+
+/// `v[i] *= s` (bit-identical to scalar).
+#[target_feature(enable = "avx2")]
+pub fn scale_f32(v: &mut [f32], s: f32) {
+    let sv = _mm256_set1_ps(s);
+    let n = v.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = loadu_ps(&v[i..]);
+        storeu_ps(&mut v[i..], _mm256_mul_ps(xv, sv));
+        i += 8;
+    }
+    while i < n {
+        v[i] *= s;
+        i += 1;
+    }
+}
+
+/// Maximum value of a `f32` slice (`-inf` if empty).
+#[target_feature(enable = "avx2")]
+pub fn max_f32(v: &[f32]) -> f32 {
+    let n = v.len();
+    let mut i = 0;
+    let mut best = f32::NEG_INFINITY;
+    if n >= 8 {
+        let mut acc = loadu_ps(v);
+        i = 8;
+        while i + 8 <= n {
+            acc = _mm256_max_ps(acc, loadu_ps(&v[i..]));
+            i += 8;
+        }
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let lo = _mm256_castps256_ps128(acc);
+        let m = _mm_max_ps(lo, hi);
+        let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+        let m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 0x55));
+        best = _mm_cvtss_f32(m);
+    }
+    while i < n {
+        best = best.max(v[i]);
+        i += 1;
+    }
+    best
+}
+
 /// Maximum absolute value of a `f32` slice (0.0 if empty).
 #[target_feature(enable = "avx2")]
 pub fn max_abs_f32(v: &[f32]) -> f32 {

@@ -67,11 +67,89 @@ pub fn max_abs(v: &[f32]) -> f32 {
     scalar::max_abs_f32(v)
 }
 
-/// Scales every element in place: `v[i] *= s`.
-pub fn scale(v: &mut [f32], s: f32) {
-    for x in v {
-        *x *= s;
+/// `y[i] += x[i]` for all `i` (residual adds). Bit-identical across the
+/// SIMD and scalar paths (plain adds, no reassociation).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add(y: &mut [f32], x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        unsafe { crate::avx2::add_f32(y, x) };
+        return;
     }
+    scalar::add_f32(y, x);
+}
+
+/// Elementwise product `out[i] = a[i] * b[i]`. Bit-identical across paths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul(out: &mut [f32], a: &[f32], b: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        unsafe { crate::avx2::mul_f32(out, a, b) };
+        return;
+    }
+    scalar::mul_f32(out, a, b);
+}
+
+/// In-place elementwise product `y[i] *= x[i]`. Bit-identical across paths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_assign(y: &mut [f32], x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        unsafe { crate::avx2::mul_assign_f32(y, x) };
+        return;
+    }
+    scalar::mul_assign_f32(y, x);
+}
+
+/// Fused normalization apply `out[i] = (x[i] * s) * g[i]` (the RMSNorm
+/// inner loop). Bit-identical across paths: both evaluate as two rounded
+/// multiplies in that order.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn scaled_mul(out: &mut [f32], x: &[f32], g: &[f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        unsafe { crate::avx2::scaled_mul_f32(out, x, g, s) };
+        return;
+    }
+    scalar::scaled_mul_f32(out, x, g, s);
+}
+
+/// Maximum element (`-inf` for an empty slice; assumes finite inputs —
+/// softmax logits). Bit-identical across paths (max never rounds).
+pub fn max(v: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        return unsafe { crate::avx2::max_f32(v) };
+    }
+    scalar::max_f32(v)
+}
+
+/// Scales every element in place: `v[i] *= s`. Bit-identical across paths.
+pub fn scale(v: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::avx2::available() {
+        // SAFETY: AVX2 support verified by `available()`.
+        unsafe { crate::avx2::scale_f32(v, s) };
+        return;
+    }
+    scalar::scale_f32(v, s);
 }
 
 /// Normalized mean squared error between `got` and a `reference`.
@@ -115,6 +193,48 @@ mod tests {
         assert!((dot(&a, &b) - crate::scalar::dot_f32(&a, &b)).abs() < 1e-3);
         assert!((sum(&a) - crate::scalar::sum_f32(&a)).abs() < 1e-3);
         assert_eq!(max_abs(&a), crate::scalar::max_abs_f32(&a));
+    }
+
+    /// The elementwise ops promise *bit* compatibility between the
+    /// dispatched (SIMD) and scalar paths — they are used in paths where
+    /// batched and sequential execution must agree exactly.
+    #[test]
+    fn elementwise_ops_bit_identical_to_scalar() {
+        let a: Vec<f32> = (0..133).map(|i| ((i as f32) * 0.37).sin() * 3.7).collect();
+        let b: Vec<f32> = (0..133).map(|i| ((i as f32) * 0.61).cos() * 1.9).collect();
+        let s = 0.731f32;
+
+        let mut y1 = a.clone();
+        let mut y2 = a.clone();
+        add(&mut y1, &b);
+        crate::scalar::add_f32(&mut y2, &b);
+        assert_eq!(y1, y2, "add");
+
+        let mut o1 = vec![0f32; a.len()];
+        let mut o2 = vec![0f32; a.len()];
+        mul(&mut o1, &a, &b);
+        crate::scalar::mul_f32(&mut o2, &a, &b);
+        assert_eq!(o1, o2, "mul");
+
+        scaled_mul(&mut o1, &a, &b, s);
+        crate::scalar::scaled_mul_f32(&mut o2, &a, &b, s);
+        assert_eq!(o1, o2, "scaled_mul");
+
+        let mut m1 = a.clone();
+        let mut m2 = a.clone();
+        mul_assign(&mut m1, &b);
+        crate::scalar::mul_assign_f32(&mut m2, &b);
+        assert_eq!(m1, m2, "mul_assign");
+
+        let mut v1 = a.clone();
+        let mut v2 = a.clone();
+        scale(&mut v1, s);
+        crate::scalar::scale_f32(&mut v2, s);
+        assert_eq!(v1, v2, "scale");
+
+        assert_eq!(max(&a), crate::scalar::max_f32(&a), "max");
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+        assert_eq!(max(&a[..3]), crate::scalar::max_f32(&a[..3]), "short max");
     }
 
     #[test]

@@ -98,6 +98,70 @@ pub fn axpy_f32(y: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+/// Maximum value of an `f32` slice (`-inf` for an empty slice).
+pub fn max_f32(v: &[f32]) -> f32 {
+    v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+}
+
+/// `y[i] += x[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_f32(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_f32 length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// Elementwise product: `out[i] = a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_f32(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "mul_f32 length mismatch");
+    assert_eq!(out.len(), a.len(), "mul_f32 out length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// In-place elementwise product: `y[i] *= x[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_assign_f32(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "mul_assign_f32 length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi *= xi;
+    }
+}
+
+/// Fused normalization apply: `out[i] = (x[i] * s) * g[i]` (the RMSNorm
+/// inner loop; the evaluation order is part of the contract so SIMD
+/// backends can match it bit-for-bit).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn scaled_mul_f32(out: &mut [f32], x: &[f32], g: &[f32], s: f32) {
+    assert_eq!(x.len(), g.len(), "scaled_mul_f32 length mismatch");
+    assert_eq!(out.len(), x.len(), "scaled_mul_f32 out length mismatch");
+    for ((o, &xi), &gi) in out.iter_mut().zip(x).zip(g) {
+        *o = (xi * s) * gi;
+    }
+}
+
+/// `v[i] *= s` for all `i`.
+pub fn scale_f32(v: &mut [f32], s: f32) {
+    for x in v {
+        *x *= s;
+    }
+}
+
 /// Signed 8-bit dot product with `i32` accumulation.
 ///
 /// # Panics
