@@ -1,0 +1,103 @@
+//! Long-context attention: the per-layer attention primitive (f32 two-pass
+//! vs i8 fused streaming-softmax over the head-major KV cache) and
+//! end-to-end decode throughput *at* seq ∈ {128, 512, 2048}.
+//!
+//! Decode attention is a memory stream — every token reads the whole K/V
+//! history — so at long contexts the i8 cache's 4× traffic cut translates
+//! almost directly into time, while at short contexts both paths fit in
+//! cache and the gap narrows. The end-to-end rows show how much of a full
+//! decode step each ratio is worth at a 1-layer Llama-7B shape.
+//!
+//! Environment:
+//! * `TMAC_BENCH_QUICK=1` — smaller head geometry and fewer iterations
+//!   (CI smoke mode; the seq sweep is kept, including 2048).
+//! * `TMAC_BENCH_THREADS=n` — thread-pool size (default 1).
+
+use tmac_core::ExecCtx;
+use tmac_eval::attn::{attn_seconds, decode_at_seq_tok_s};
+use tmac_llm::{BackendKind, KvPrecision, Model, WeightQuant};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+const SEQS: [usize; 3] = [128, 512, 2048];
+
+fn main() {
+    let quick = env_flag("TMAC_BENCH_QUICK");
+    let threads = env_usize("TMAC_BENCH_THREADS", 1);
+    let ctx = ExecCtx::new(threads);
+    // The shared bench geometry (tmac_eval::attn::bench_cfg): Llama-2-7B
+    // heads in full mode, 8×128 in quick mode, seq_max past 2048 so the
+    // decode-at-depth rows fit.
+    let cfg = tmac_eval::attn::bench_cfg(quick, 16);
+    let (warmup, iters) = if quick { (1, 3) } else { (2, 10) };
+
+    println!(
+        "attention: {} heads x {} head_dim ({} kv heads), {} thread(s){}\n",
+        cfg.n_heads,
+        cfg.head_dim(),
+        cfg.n_kv_heads,
+        threads,
+        if quick { " [quick]" } else { "" }
+    );
+
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "seq", "f32 two-pass", "i8 fused", "speedup"
+    );
+    for seq in SEQS {
+        let f = attn_seconds(&cfg, KvPrecision::F32, seq, &ctx, warmup, iters);
+        let i = attn_seconds(&cfg, KvPrecision::I8, seq, &ctx, warmup, iters);
+        println!(
+            "{:>6}  {:>9.3} ms  {:>9.3} ms  {:>7.2}x",
+            seq,
+            f * 1e3,
+            i * 1e3,
+            f / i
+        );
+    }
+
+    // End-to-end decode at depth: one full 2-bit T-MAC layer + head, cache
+    // pre-filled to `seq`, decode continuing from there. Both models are
+    // built once (the 7B-shape quantization dominates bench startup).
+    println!("\ndecode-at-seq (1 layer, 2-bit T-MAC weights):");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "seq", "f32-kv tok/s", "i8-kv tok/s", "speedup"
+    );
+    let n_tokens = if quick { 4 } else { 8 };
+    let models: Vec<Model> = [KvPrecision::F32, KvPrecision::I8]
+        .into_iter()
+        .map(|prec| {
+            Model::synthetic(
+                &cfg.clone().with_kv(prec),
+                WeightQuant::Rtn(2),
+                BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+                7,
+            )
+            .expect("model")
+        })
+        .collect();
+    for seq in SEQS {
+        let tok_s: Vec<f64> = models
+            .iter()
+            .map(|m| decode_at_seq_tok_s(m, seq, n_tokens, &ctx))
+            .collect();
+        println!(
+            "{:>6}  {:>12.2}  {:>12.2}  {:>7.2}x",
+            seq,
+            tok_s[0],
+            tok_s[1],
+            tok_s[1] / tok_s[0]
+        );
+    }
+}

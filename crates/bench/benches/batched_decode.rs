@@ -21,7 +21,7 @@
 
 use tmac_core::{ExecCtx, KernelOpts, TmacLinear};
 use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
-use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+use tmac_llm::{BackendKind, KvPrecision, Model, ModelConfig, WeightQuant};
 
 fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty())
@@ -129,6 +129,7 @@ fn main() {
             vocab: 64,
             seq_max: 64,
             rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
         }
     } else {
         ModelConfig::llama2_7b().scaled(1, 64, 128)
@@ -189,6 +190,38 @@ fn main() {
     );
     metrics.push(("mpgemm_vs_gemv16", vs_gemv));
     metrics.push(("multirow_vs_perrow16", vs_perrow));
+
+    // Long-context attention gate: i8 fused streaming-softmax vs f32
+    // two-pass at seq 2048 over the head-major KV cache, plus a
+    // decode-at-depth liveness floor. The geometry is shared with
+    // `benches/attention.rs` (tmac_eval::attn::bench_cfg) so the gated
+    // ratio and the logged sweep measure the same shape.
+    let attn_cfg = tmac_eval::attn::bench_cfg(quick, 8);
+    let (aw, ai) = if quick { (1, 3) } else { (2, 8) };
+    let attn_ratio = tmac_eval::attn::attn_ratio(&attn_cfg, 2048, &ctx, aw, ai);
+    println!(
+        "\n{:<28} {:>10.2}x (f32 two-pass / i8 fused, seq 2048, {} heads x {})",
+        "i8 attention vs f32",
+        attn_ratio,
+        attn_cfg.n_heads,
+        attn_cfg.head_dim()
+    );
+    metrics.push(("i8_attn_vs_f32_attn", attn_ratio));
+
+    let i8_model = Model::synthetic(
+        &attn_cfg.clone().with_kv(KvPrecision::I8),
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+        7,
+    )
+    .expect("model");
+    let decode2048 =
+        tmac_eval::attn::decode_at_seq_tok_s(&i8_model, 2048, if quick { 4 } else { 8 }, &ctx);
+    println!(
+        "{:<28} {:>10.2} tok/s (i8 KV, 1-layer decode at seq 2048)",
+        "decode @ 2048", decode2048
+    );
+    metrics.push(("decode2048_tok_s", decode2048));
 
     if let Ok(path) = std::env::var("TMAC_PERF_OUT") {
         write_json(&path, &metrics);

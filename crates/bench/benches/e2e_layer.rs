@@ -4,7 +4,7 @@
 use std::time::Duration;
 use tmac_bench::BenchGroup;
 use tmac_core::ExecCtx;
-use tmac_llm::{BackendKind, Engine, Model, ModelConfig, WeightQuant};
+use tmac_llm::{BackendKind, Engine, KvPrecision, Model, ModelConfig, WeightQuant};
 
 fn main() {
     let ctx = ExecCtx::new(1);
@@ -18,6 +18,7 @@ fn main() {
         vocab: 512,
         seq_max: 64,
         rope_theta: 10000.0,
+        kv_precision: KvPrecision::F32,
     };
     let mut group = BenchGroup::new("fig8_decode_step");
     group.measurement_time(Duration::from_secs(1));

@@ -105,4 +105,26 @@ fn main() {
             );
         }
     }
+
+    // Attention probe: per-layer attention time (all heads) over the
+    // head-major KV cache, f32 two-pass vs i8 fused streaming-softmax, at
+    // increasing context length (Llama-7B head geometry: 32 heads x 128).
+    let attn_cfg = tmac_llm::ModelConfig::llama2_7b().scaled(1, 64, 2048 + 8);
+    println!(
+        "\nattn probe ({} heads x {} head_dim, threads={threads})",
+        attn_cfg.n_heads,
+        attn_cfg.head_dim()
+    );
+    for seq in [128usize, 512, 2048] {
+        let f =
+            tmac_eval::attn::attn_seconds(&attn_cfg, tmac_llm::KvPrecision::F32, seq, &ctx, 1, 5);
+        let i =
+            tmac_eval::attn::attn_seconds(&attn_cfg, tmac_llm::KvPrecision::I8, seq, &ctx, 1, 5);
+        println!(
+            "seq={seq:5} f32 {} ms   i8 {} ms   {:.2}x",
+            ms(f),
+            ms(i),
+            f / i
+        );
+    }
 }

@@ -9,12 +9,14 @@
 //! `tmac_eval::serving` so the two report comparable numbers.
 //!
 //! Flags: `--model 7b|13b|bitnet|tiny`, `--layers N`, `--bits B`,
-//! `--streams S`, `--prompt P`, `--tokens T`, `--threads N`, `--quick`.
+//! `--streams S`, `--prompt P`, `--tokens T`, `--threads N`,
+//! `--kv f32|i8` (KV-cache precision; `i8` quantizes the cache and serves
+//! attention on the fused streaming kernels), `--quick`.
 
 use tmac_core::ExecCtx;
 use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
 use tmac_eval::Table;
-use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+use tmac_llm::{BackendKind, KvPrecision, Model, ModelConfig, WeightQuant};
 
 fn main() {
     let model_name = tmac_eval::arg("model", "7b");
@@ -37,11 +39,16 @@ fn main() {
         "tiny" => ModelConfig::tiny(),
         other => panic!("unknown --model {other:?} (7b|13b|bitnet|tiny)"),
     };
+    let kv = match tmac_eval::arg("kv", "f32").as_str() {
+        "f32" => KvPrecision::F32,
+        "i8" => KvPrecision::I8,
+        other => panic!("unknown --kv {other:?} (f32|i8)"),
+    };
     let seq_max = (prompt_len + n_new + 8).next_power_of_two().max(64);
     let cfg = if model_name == "tiny" {
-        base
+        base.with_kv(kv)
     } else {
-        base.scaled(layers, 64, seq_max)
+        base.scaled(layers, 64, seq_max).with_kv(kv)
     };
     let quant = if model_name == "bitnet" {
         WeightQuant::BitnetTernary
@@ -81,8 +88,15 @@ fn main() {
         ]);
     }
     println!(
-        "serving {} ({} layer(s), {:?}), {} streams x ({} prompt + {} new), {} thread(s)\n",
-        cfg.name, cfg.n_layers, quant, streams, prompt_len, n_new, threads
+        "serving {} ({} layer(s), {:?}, {}), {} streams x ({} prompt + {} new), {} thread(s)\n",
+        cfg.name,
+        cfg.n_layers,
+        quant,
+        kv.label(),
+        streams,
+        prompt_len,
+        n_new,
+        threads
     );
     table.emit("serve_batch");
 }

@@ -10,7 +10,9 @@
 
 use tmac_core::ExecCtx;
 use tmac_eval::Table;
-use tmac_llm::{eval as quality, BackendKind, Engine, Model, ModelConfig, WeightQuant};
+use tmac_llm::{
+    eval as quality, BackendKind, Engine, KvPrecision, Model, ModelConfig, WeightQuant,
+};
 
 fn main() {
     let dim: usize = tmac_eval::arg("dim", "512").parse().expect("--dim");
@@ -30,6 +32,7 @@ fn main() {
         vocab: 1024,
         seq_max: 128,
         rope_theta: 10000.0,
+        kv_precision: KvPrecision::F32,
     };
     cfg.validate().expect("config");
 

@@ -8,6 +8,7 @@
 use std::time::Instant;
 use tmac_rng::Rng;
 
+pub mod attn;
 pub mod serving;
 
 /// The six kernel shapes of the paper's Figures 6, 7 and 10 (`M × K`),

@@ -1,0 +1,325 @@
+//! Causal attention over the head-major KV cache, with the heads fanned out
+//! across the execution context's thread pool.
+//!
+//! Two data paths share one entry point ([`attend`]):
+//!
+//! * **`f32` (reference)** — the seed's exact two-pass computation per head:
+//!   a score sweep over K, in-place softmax, then a weighted-sum sweep over
+//!   V. Operation-for-operation identical to the pre-head-major code, so
+//!   `f32` results are bit-exact regardless of layout or thread count.
+//! * **`i8` (fused)** — a *single* streaming pass per head in the
+//!   flash-decoding style: the query is quantized to `i8` once per head,
+//!   each position's score is one `i8ops::dot_maddubs` against the
+//!   contiguous K code stream, and an online softmax
+//!   ([`tmac_simd::f32ops::OnlineSoftmax`]) folds the matching V row into
+//!   the output as the scores arrive (`i8ops::axpy` /
+//!   [`tmac_simd::i8ops::scale_axpy`]). No `seq`-sized score buffer exists
+//!   and V is never swept a second time; combined with 1-byte codes this
+//!   cuts attention memory traffic ~4× against the f32 two-pass path.
+//!
+//! **Parallelism**: heads are independent (each writes its own
+//! `head_dim`-slice of the output), so [`attend`] partitions the head range
+//! across the pool with the same static chunking at every thread count —
+//! per-head arithmetic never depends on the partition, making results
+//! deterministic for any pool size (asserted by `tests/attention.rs`).
+
+use crate::config::{KvPrecision, ModelConfig};
+use crate::kv::KvCache;
+use tmac_core::ExecCtx;
+use tmac_simd::f32ops::{self, OnlineSoftmax};
+use tmac_simd::i8ops;
+
+/// Reusable per-forward attention workspace.
+///
+/// Holds one score row per head (`n_heads × seq_max`, used only by the
+/// two-pass `f32` path — heads running in parallel need disjoint rows) and
+/// one quantized-query row per head (`n_heads × head_dim`, `i8` path).
+#[derive(Debug, Clone)]
+pub struct AttnScratch {
+    scores: Vec<f32>,
+    q_i8: Vec<i8>,
+    seq_max: usize,
+}
+
+impl AttnScratch {
+    /// Allocates workspace for `cfg`.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        AttnScratch {
+            scores: vec![0f32; cfg.n_heads * cfg.seq_max],
+            q_i8: vec![0i8; cfg.n_heads * cfg.head_dim()],
+            seq_max: cfg.seq_max,
+        }
+    }
+}
+
+/// Raw-pointer wrapper for disjoint per-head writes from pool threads.
+struct SendPtr<T>(*mut T);
+// SAFETY: every thread derives slices only for the heads its static
+// partition owns, and head slices are disjoint by construction.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Computes `out = softmax(q Kᵀ / √d) V` for one token over all heads.
+///
+/// `q` is the RoPE-rotated query (`n_heads × head_dim`, row-major per
+/// head); `out` receives the per-head attention outputs in the same layout.
+/// Positions `0..=pos` of `cache` must already be stored for `layer`
+/// (including `pos` itself — the store happens before the attend in a
+/// forward pass). Grouped-query attention maps query head `h` to KV head
+/// `h / (n_heads / n_kv_heads)`.
+///
+/// Heads are distributed over `ctx`'s thread pool; the result is identical
+/// at every pool size (and, on the `f32` path, bit-exact against the
+/// single-buffer sequential formulation).
+///
+/// # Panics
+///
+/// Panics if `q`/`out` disagree with the cache geometry, `pos` is outside
+/// the cache capacity, or the scratch belongs to a smaller configuration.
+pub fn attend(
+    q: &[f32],
+    out: &mut [f32],
+    cache: &KvCache,
+    layer: usize,
+    pos: usize,
+    scratch: &mut AttnScratch,
+    ctx: &ExecCtx,
+) {
+    let hd = cache.head_dim();
+    assert_eq!(q.len(), out.len(), "attend: q/out length mismatch");
+    assert!(
+        hd > 0 && q.len().is_multiple_of(hd),
+        "attend: q not head-aligned"
+    );
+    let n_heads = q.len() / hd;
+    assert!(
+        n_heads.is_multiple_of(cache.n_kv_heads()) && n_heads >= cache.n_kv_heads(),
+        "attend: query heads not a multiple of kv heads"
+    );
+    assert!(pos < cache.seq_max(), "attend: position beyond seq_max");
+    assert!(
+        scratch.scores.len() >= n_heads * scratch.seq_max && scratch.seq_max > pos,
+        "attend: scratch too small for position"
+    );
+    let kv_groups = n_heads / cache.n_kv_heads();
+    let scale = 1.0 / (hd as f32).sqrt();
+    let seq_stride = scratch.seq_max;
+    let precision = cache.precision();
+
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let scores_ptr = SendPtr(scratch.scores.as_mut_ptr());
+    let q8_ptr = SendPtr(scratch.q_i8.as_mut_ptr());
+    // Capture the wrappers whole (a raw-pointer field alone is not `Sync`).
+    let (out_ptr, scores_ptr, q8_ptr) = (&out_ptr, &scores_ptr, &q8_ptr);
+
+    ctx.pool().run(|tid, n| {
+        let heads = tmac_threadpool::chunk_range(n_heads, 1, tid, n);
+        for h in heads {
+            let kvh = h / kv_groups;
+            let qh = &q[h * hd..(h + 1) * hd];
+            // SAFETY: head `h` is owned by exactly one thread (disjoint
+            // static chunks) and each derived slice covers only head `h`'s
+            // rows; the underlying buffers outlive the dispatch (`run`
+            // blocks until completion).
+            let out_h = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(h * hd), hd) };
+            match precision {
+                KvPrecision::F32 => {
+                    let (ks, vs) = cache.f32_streams(layer, kvh);
+                    // SAFETY: as above — score row `h` belongs to this head.
+                    let scores = unsafe {
+                        std::slice::from_raw_parts_mut(scores_ptr.0.add(h * seq_stride), pos + 1)
+                    };
+                    attend_head_f32(qh, ks, vs, hd, pos, scale, scores, out_h);
+                }
+                KvPrecision::I8 => {
+                    let (kq, ksc, vq, vsc) = cache.i8_streams(layer, kvh);
+                    // SAFETY: as above — quantized-q row `h` belongs to this
+                    // head.
+                    let qbuf = unsafe { std::slice::from_raw_parts_mut(q8_ptr.0.add(h * hd), hd) };
+                    attend_head_i8(qh, kq, ksc, vq, vsc, hd, pos, scale, qbuf, out_h);
+                }
+            }
+        }
+    });
+}
+
+/// The exact two-pass reference path for one head (scores → softmax →
+/// weighted sum), preserved operation-for-operation from the seed so the
+/// `f32` cache stays bit-exact.
+#[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would just rename the wiring
+fn attend_head_f32(
+    q: &[f32],
+    k_stream: &[f32],
+    v_stream: &[f32],
+    hd: usize,
+    pos: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    for t in 0..=pos {
+        scores[t] = f32ops::dot(q, &k_stream[t * hd..(t + 1) * hd]) * scale;
+    }
+    crate::ops::softmax(&mut scores[..=pos]);
+    out.fill(0.0);
+    for t in 0..=pos {
+        f32ops::axpy(out, scores[t], &v_stream[t * hd..(t + 1) * hd]);
+    }
+}
+
+/// The fused streaming path for one head: quantize q, then one pass of
+/// `i8` score dot + online-softmax fold per position.
+#[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would just rename the wiring
+fn attend_head_i8(
+    q: &[f32],
+    k_codes: &[i8],
+    k_scales: &[f32],
+    v_codes: &[i8],
+    v_scales: &[f32],
+    hd: usize,
+    pos: usize,
+    scale: f32,
+    qbuf: &mut [i8],
+    out: &mut [f32],
+) {
+    let q_scale = i8ops::quantize(q, qbuf);
+    let qk_scale = q_scale * scale;
+    out.fill(0.0);
+    let mut sm = OnlineSoftmax::new();
+    for t in 0..=pos {
+        let dot = i8ops::dot_maddubs(qbuf, &k_codes[t * hd..(t + 1) * hd]);
+        let s = dot as f32 * (qk_scale * k_scales[t]);
+        let (w, c) = sm.push(s);
+        let vt = &v_codes[t * hd..(t + 1) * hd];
+        if c == 1.0 {
+            // Common case: the running max stands; plain scaled accumulate.
+            i8ops::axpy(out, w * v_scales[t], vt);
+        } else {
+            // New maximum (w == 1.0): shrink history and fold the new row.
+            i8ops::scale_axpy(out, c, v_scales[t], vt);
+        }
+    }
+    f32ops::scale(out, 1.0 / sm.denom());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn fill_cache(cfg: &ModelConfig, precision: KvPrecision, seq: usize) -> KvCache {
+        let mut cache = KvCache::with_precision(cfg, precision);
+        let kv = cfg.kv_dim();
+        for pos in 0..seq {
+            let k: Vec<f32> = (0..kv)
+                .map(|i| ((pos * 17 + i * 5) as f32 * 0.11).sin() * 1.3)
+                .collect();
+            let v: Vec<f32> = (0..kv)
+                .map(|i| ((pos * 7 + i * 13) as f32 * 0.17).cos() * 0.9)
+                .collect();
+            cache.store(0, pos, &k, &v);
+        }
+        cache.len = seq;
+        cache
+    }
+
+    fn query(cfg: &ModelConfig) -> Vec<f32> {
+        (0..cfg.dim).map(|i| ((i as f32) * 0.23).sin()).collect()
+    }
+
+    /// The seed's attention formulation: strided two-pass over a
+    /// `[seq][kv_dim]` buffer with one shared score row.
+    fn seed_reference(cfg: &ModelConfig, cache: &KvCache, q: &[f32], pos: usize) -> Vec<f32> {
+        let (hd, groups) = (cfg.head_dim(), cfg.n_heads / cfg.n_kv_heads);
+        let mut out = vec![0f32; cfg.dim];
+        let mut scores = vec![0f32; cfg.seq_max];
+        let scale = 1.0 / (hd as f32).sqrt();
+        for h in 0..cfg.n_heads {
+            let kvh = h / groups;
+            let qh = &q[h * hd..(h + 1) * hd];
+            for (t, s) in scores.iter_mut().enumerate().take(pos + 1) {
+                *s = f32ops::dot(qh, &cache.k_row_f32(0, kvh, t)) * scale;
+            }
+            ops::softmax(&mut scores[..=pos]);
+            let o = &mut out[h * hd..(h + 1) * hd];
+            o.fill(0.0);
+            for (t, &s) in scores.iter().enumerate().take(pos + 1) {
+                f32ops::axpy(o, s, &cache.v_row_f32(0, kvh, t));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn f32_path_bit_exact_vs_seed_formulation() {
+        let cfg = ModelConfig::tiny();
+        let seq = 19;
+        let cache = fill_cache(&cfg, KvPrecision::F32, seq);
+        let q = query(&cfg);
+        let want = seed_reference(&cfg, &cache, &q, seq - 1);
+        for threads in [1, 3] {
+            let ctx = ExecCtx::new(threads);
+            let mut scratch = AttnScratch::new(&cfg);
+            let mut out = vec![0f32; cfg.dim];
+            attend(&q, &mut out, &cache, 0, seq - 1, &mut scratch, &ctx);
+            assert_eq!(out, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn i8_path_tracks_f32_within_quant_error() {
+        let cfg = ModelConfig::tiny();
+        let seq = 33;
+        let f = fill_cache(&cfg, KvPrecision::F32, seq);
+        let i = fill_cache(&cfg, KvPrecision::I8, seq);
+        let q = query(&cfg);
+        let ctx = ExecCtx::new(1);
+        let mut scratch = AttnScratch::new(&cfg);
+        let mut of = vec![0f32; cfg.dim];
+        let mut oi = vec![0f32; cfg.dim];
+        attend(&q, &mut of, &f, 0, seq - 1, &mut scratch, &ctx);
+        attend(&q, &mut oi, &i, 0, seq - 1, &mut scratch, &ctx);
+        let nmse = f32ops::nmse(&oi, &of);
+        assert!(nmse < 5e-4, "i8 attention NMSE {nmse}");
+    }
+
+    #[test]
+    fn i8_path_deterministic_across_thread_counts() {
+        let cfg = ModelConfig::tiny();
+        let seq = 21;
+        let cache = fill_cache(&cfg, KvPrecision::I8, seq);
+        let q = query(&cfg);
+        let mut outs = Vec::new();
+        for threads in [1usize, 2, 5] {
+            let ctx = ExecCtx::new(threads);
+            let mut scratch = AttnScratch::new(&cfg);
+            let mut out = vec![0f32; cfg.dim];
+            attend(&q, &mut out, &cache, 0, seq - 1, &mut scratch, &ctx);
+            outs.push(out);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+    }
+
+    #[test]
+    fn single_position_softmax_is_identity_weight() {
+        // With one cached position both paths must return (a quantization
+        // of) V's first row: softmax over one score is exactly 1.
+        let cfg = ModelConfig::tiny();
+        for prec in [KvPrecision::F32, KvPrecision::I8] {
+            let cache = fill_cache(&cfg, prec, 1);
+            let q = query(&cfg);
+            let ctx = ExecCtx::new(1);
+            let mut scratch = AttnScratch::new(&cfg);
+            let mut out = vec![0f32; cfg.dim];
+            attend(&q, &mut out, &cache, 0, 0, &mut scratch, &ctx);
+            let hd = cfg.head_dim();
+            let groups = cfg.n_heads / cfg.n_kv_heads;
+            for h in 0..cfg.n_heads {
+                let v0 = cache.v_row_f32(0, h / groups, 0);
+                for (a, b) in out[h * hd..(h + 1) * hd].iter().zip(&v0) {
+                    assert!((a - b).abs() < 1e-5, "{prec:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+}

@@ -28,6 +28,32 @@ impl WeightQuant {
     }
 }
 
+/// Storage precision of the KV cache (see `tmac_llm::kv`).
+///
+/// `F32` is the bit-exact reference attention path; `I8` stores keys and
+/// values as signed 8-bit codes with one `f32` scale per `(position, head)`
+/// row, cutting attention memory traffic and KV resident size 4× and
+/// routing score/value accumulation onto the `tmac_simd::i8ops` kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KvPrecision {
+    /// `f32` keys/values — the bit-exact reference path.
+    #[default]
+    F32,
+    /// `i8` keys/values with per-`(position, head)` scales — the fused
+    /// streaming-softmax fast path for long contexts.
+    I8,
+}
+
+impl KvPrecision {
+    /// Display label (used in experiment output).
+    pub fn label(self) -> &'static str {
+        match self {
+            KvPrecision::F32 => "f32-kv",
+            KvPrecision::I8 => "i8-kv",
+        }
+    }
+}
+
 /// A llama-architecture configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
@@ -49,6 +75,8 @@ pub struct ModelConfig {
     pub seq_max: usize,
     /// RoPE base frequency.
     pub rope_theta: f32,
+    /// KV-cache storage precision (`F32` reference or quantized `I8`).
+    pub kv_precision: KvPrecision,
 }
 
 impl ModelConfig {
@@ -64,6 +92,7 @@ impl ModelConfig {
             vocab: 32000,
             seq_max: 2048,
             rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
         }
     }
 
@@ -79,6 +108,7 @@ impl ModelConfig {
             vocab: 32000,
             seq_max: 2048,
             rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
         }
     }
 
@@ -94,6 +124,7 @@ impl ModelConfig {
             vocab: 32000,
             seq_max: 2048,
             rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
         }
     }
 
@@ -109,6 +140,7 @@ impl ModelConfig {
             vocab: 96,
             seq_max: 64,
             rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
         }
     }
 
@@ -128,6 +160,13 @@ impl ModelConfig {
             seq_max,
             ..self.clone()
         }
+    }
+
+    /// Returns the configuration with the given KV-cache precision (builder
+    /// style: `ModelConfig::llama2_7b().with_kv(KvPrecision::I8)`).
+    pub fn with_kv(mut self, precision: KvPrecision) -> Self {
+        self.kv_precision = precision;
+        self
     }
 
     /// Head dimension.
@@ -227,5 +266,17 @@ mod tests {
     fn quant_bits() {
         assert_eq!(WeightQuant::Rtn(4).bits(), 4);
         assert_eq!(WeightQuant::BitnetTernary.bits(), 2);
+    }
+
+    #[test]
+    fn kv_precision_knob() {
+        // Presets default to the bit-exact f32 reference path...
+        assert_eq!(ModelConfig::tiny().kv_precision, KvPrecision::F32);
+        assert_eq!(KvPrecision::default(), KvPrecision::F32);
+        // ...the builder flips it, and `scaled` preserves it.
+        let cfg = ModelConfig::llama2_7b().with_kv(KvPrecision::I8);
+        assert_eq!(cfg.kv_precision, KvPrecision::I8);
+        assert_eq!(cfg.scaled(2, 64, 128).kv_precision, KvPrecision::I8);
+        assert_ne!(KvPrecision::F32.label(), KvPrecision::I8.label());
     }
 }

@@ -1,0 +1,453 @@
+//! Head-major, optionally quantized KV cache.
+//!
+//! Decode-time attention at long contexts is a pure memory stream: every
+//! token reads all previous positions' K and V rows. The seed stored the
+//! cache `[layer][seq][kv_dim]` in `f32`, so each head's sweep was *strided*
+//! (one `head_dim` slice per `kv_dim` row) and streamed 8 bytes per cached
+//! element (K + V). This module re-lays the cache **head-major** —
+//! `[layer][kv_head][seq][head_dim]` — so one head's whole history is a
+//! single contiguous run, and optionally stores it quantized to `i8` with
+//! one `f32` scale per `(position, head)` row ([`KvPrecision::I8`]): 4× less
+//! attention traffic and 4× smaller KV residency, the same bandwidth
+//! argument T-MAC makes for weights (§2) applied to the KV stream.
+//!
+//! Storage is allocated **lazily and grown in fixed-position chunks**: a
+//! fresh cache owns no buffers, and capacity follows the filled length in
+//! [`KV_GROW_POSITIONS`]-sized steps up to `seq_max`. A continuous-batching
+//! scheduler holding `max_batch` slots therefore pays for the contexts it
+//! actually serves, not `max_batch · seq_max` up front (which at f32
+//! dwarfed the quantized model weights).
+
+use crate::config::{KvPrecision, ModelConfig};
+use tmac_simd::i8ops;
+
+/// Positions added per capacity growth step. Each growth re-lays every
+/// `(layer, head)` stream into its new stride, so the chunk trades copy
+/// amortization (larger = fewer copies) against over-allocation on short
+/// sequences (smaller = tighter).
+pub const KV_GROW_POSITIONS: usize = 128;
+
+/// Precision-specific storage. Both variants share the head-major layout:
+/// codes/values at `((layer · n_kv_heads + head) · seq_cap + pos) · head_dim`,
+/// scales (i8 only) at `(layer · n_kv_heads + head) · seq_cap + pos`.
+#[derive(Debug, Clone)]
+enum Store {
+    F32 {
+        k: Vec<f32>,
+        v: Vec<f32>,
+    },
+    I8 {
+        k: Vec<i8>,
+        v: Vec<i8>,
+        k_scale: Vec<f32>,
+        v_scale: Vec<f32>,
+    },
+}
+
+/// KV cache for one generation stream (head-major; see the module docs).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    n_layers: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+    seq_max: usize,
+    /// Allocated positions per `(layer, head)` stream (`<= seq_max`).
+    seq_cap: usize,
+    /// High-water mark of positions ever stored since the last reset.
+    /// `len` only advances when a forward pass *completes*, but a growth
+    /// mid-batch must preserve the rows the batch has already written —
+    /// this watermark is what capacity growth copies.
+    stored: usize,
+    store: Store,
+    /// Filled positions.
+    pub len: usize,
+}
+
+/// Grows a `[stream][cap][per_pos]` buffer to a new capacity, copying the
+/// `filled` leading positions of every stream into the new stride.
+fn regrow<T: Copy + Default>(
+    data: &[T],
+    streams: usize,
+    old_cap: usize,
+    new_cap: usize,
+    per_pos: usize,
+    filled: usize,
+) -> Vec<T> {
+    let mut out = vec![T::default(); streams * new_cap * per_pos];
+    for s in 0..streams {
+        let src = &data[s * old_cap * per_pos..s * old_cap * per_pos + filled * per_pos];
+        out[s * new_cap * per_pos..s * new_cap * per_pos + filled * per_pos].copy_from_slice(src);
+    }
+    out
+}
+
+impl KvCache {
+    /// Creates an (empty, unallocated) cache for `cfg`, at the precision the
+    /// configuration selects ([`ModelConfig::kv_precision`]).
+    pub fn new(cfg: &ModelConfig) -> Self {
+        Self::with_precision(cfg, cfg.kv_precision)
+    }
+
+    /// [`KvCache::new`] with an explicit precision override.
+    pub fn with_precision(cfg: &ModelConfig, precision: KvPrecision) -> Self {
+        KvCache {
+            n_layers: cfg.n_layers,
+            n_kv_heads: cfg.n_kv_heads,
+            head_dim: cfg.head_dim(),
+            seq_max: cfg.seq_max,
+            seq_cap: 0,
+            stored: 0,
+            store: match precision {
+                KvPrecision::F32 => Store::F32 {
+                    k: Vec::new(),
+                    v: Vec::new(),
+                },
+                KvPrecision::I8 => Store::I8 {
+                    k: Vec::new(),
+                    v: Vec::new(),
+                    k_scale: Vec::new(),
+                    v_scale: Vec::new(),
+                },
+            },
+            len: 0,
+        }
+    }
+
+    /// The storage precision.
+    pub fn precision(&self) -> KvPrecision {
+        match self.store {
+            Store::F32 { .. } => KvPrecision::F32,
+            Store::I8 { .. } => KvPrecision::I8,
+        }
+    }
+
+    /// Maximum positions the cache can ever hold.
+    pub fn seq_max(&self) -> usize {
+        self.seq_max
+    }
+
+    /// KV heads per layer.
+    pub fn n_kv_heads(&self) -> usize {
+        self.n_kv_heads
+    }
+
+    /// Elements per `(position, head)` row.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Currently allocated positions per stream (lazy; grows in
+    /// [`KV_GROW_POSITIONS`] chunks as positions are stored).
+    pub fn seq_capacity(&self) -> usize {
+        self.seq_cap
+    }
+
+    /// Bytes currently resident in the cache's buffers.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.store {
+            Store::F32 { k, v } => (k.len() + v.len()) * 4,
+            Store::I8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => k.len() + v.len() + (k_scale.len() + v_scale.len()) * 4,
+        }
+    }
+
+    /// Clears the cache (allocation is retained for reuse).
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.stored = 0;
+    }
+
+    /// Grows storage so positions `0..need` are addressable.
+    fn ensure_capacity(&mut self, need: usize) {
+        if need <= self.seq_cap {
+            return;
+        }
+        assert!(need <= self.seq_max, "position beyond seq_max");
+        let new_cap = need
+            .div_ceil(KV_GROW_POSITIONS)
+            .saturating_mul(KV_GROW_POSITIONS)
+            .min(self.seq_max);
+        let streams = self.n_layers * self.n_kv_heads;
+        let filled = self.len.max(self.stored).min(self.seq_cap);
+        let (old_cap, hd) = (self.seq_cap, self.head_dim);
+        match &mut self.store {
+            Store::F32 { k, v } => {
+                *k = regrow(k, streams, old_cap, new_cap, hd, filled);
+                *v = regrow(v, streams, old_cap, new_cap, hd, filled);
+            }
+            Store::I8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => {
+                *k = regrow(k, streams, old_cap, new_cap, hd, filled);
+                *v = regrow(v, streams, old_cap, new_cap, hd, filled);
+                *k_scale = regrow(k_scale, streams, old_cap, new_cap, 1, filled);
+                *v_scale = regrow(v_scale, streams, old_cap, new_cap, 1, filled);
+            }
+        }
+        self.seq_cap = new_cap;
+    }
+
+    /// Stores one position's K/V rows (`kv_dim = n_kv_heads · head_dim`
+    /// each) for `layer`, splitting them per head into the head-major
+    /// streams; the `I8` store quantizes each head row symmetrically
+    /// (`max|x| / 127`) and records the scale.
+    ///
+    /// Public so benches and serving code can populate long contexts
+    /// directly; [`crate::Model::forward`] calls it once per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `layer`/`pos` or mis-sized rows.
+    pub fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        let hd = self.head_dim;
+        assert!(layer < self.n_layers, "kv store: layer out of range");
+        assert!(pos < self.seq_max, "kv store: position beyond seq_max");
+        assert_eq!(k.len(), self.n_kv_heads * hd, "kv store: k row size");
+        assert_eq!(v.len(), self.n_kv_heads * hd, "kv store: v row size");
+        self.ensure_capacity(pos + 1);
+        self.stored = self.stored.max(pos + 1);
+        let cap = self.seq_cap;
+        for h in 0..self.n_kv_heads {
+            let stream = layer * self.n_kv_heads + h;
+            let o = (stream * cap + pos) * hd;
+            match &mut self.store {
+                Store::F32 { k: ks, v: vs } => {
+                    ks[o..o + hd].copy_from_slice(&k[h * hd..(h + 1) * hd]);
+                    vs[o..o + hd].copy_from_slice(&v[h * hd..(h + 1) * hd]);
+                }
+                Store::I8 {
+                    k: ks,
+                    v: vs,
+                    k_scale,
+                    v_scale,
+                } => {
+                    let so = stream * cap + pos;
+                    k_scale[so] = i8ops::quantize(&k[h * hd..(h + 1) * hd], &mut ks[o..o + hd]);
+                    v_scale[so] = i8ops::quantize(&v[h * hd..(h + 1) * hd], &mut vs[o..o + hd]);
+                }
+            }
+        }
+    }
+
+    /// One head's contiguous `f32` K and V streams for `layer` (position
+    /// `t`'s row at `t * head_dim`). Only positions `< len` hold data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is quantized or indices are out of range.
+    pub(crate) fn f32_streams(&self, layer: usize, kv_head: usize) -> (&[f32], &[f32]) {
+        let (cap, hd) = (self.seq_cap, self.head_dim);
+        let stream = layer * self.n_kv_heads + kv_head;
+        let o = stream * cap * hd;
+        match &self.store {
+            Store::F32 { k, v } => (&k[o..o + cap * hd], &v[o..o + cap * hd]),
+            Store::I8 { .. } => panic!("f32_streams on an i8 cache"),
+        }
+    }
+
+    /// One head's contiguous `i8` K/V code streams and their per-position
+    /// scale rows for `layer`: `(k_codes, k_scales, v_codes, v_scales)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is `f32` or indices are out of range.
+    pub(crate) fn i8_streams(
+        &self,
+        layer: usize,
+        kv_head: usize,
+    ) -> (&[i8], &[f32], &[i8], &[f32]) {
+        let (cap, hd) = (self.seq_cap, self.head_dim);
+        let stream = layer * self.n_kv_heads + kv_head;
+        let o = stream * cap * hd;
+        let so = stream * cap;
+        match &self.store {
+            Store::I8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => (
+                &k[o..o + cap * hd],
+                &k_scale[so..so + cap],
+                &v[o..o + cap * hd],
+                &v_scale[so..so + cap],
+            ),
+            Store::F32 { .. } => panic!("i8_streams on an f32 cache"),
+        }
+    }
+
+    /// Dequantizes one stored K row back to `f32` (test/diagnostic helper;
+    /// the hot path consumes codes directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len` or indices are out of range.
+    pub fn k_row_f32(&self, layer: usize, kv_head: usize, pos: usize) -> Vec<f32> {
+        assert!(pos < self.len, "k_row_f32: position not filled");
+        let hd = self.head_dim;
+        match self.precision() {
+            KvPrecision::F32 => {
+                let (k, _) = self.f32_streams(layer, kv_head);
+                k[pos * hd..(pos + 1) * hd].to_vec()
+            }
+            KvPrecision::I8 => {
+                let (k, ks, _, _) = self.i8_streams(layer, kv_head);
+                k[pos * hd..(pos + 1) * hd]
+                    .iter()
+                    .map(|&c| ks[pos] * c as f32)
+                    .collect()
+            }
+        }
+    }
+
+    /// The V-side twin of [`KvCache::k_row_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len` or indices are out of range.
+    pub fn v_row_f32(&self, layer: usize, kv_head: usize, pos: usize) -> Vec<f32> {
+        assert!(pos < self.len, "v_row_f32: position not filled");
+        let hd = self.head_dim;
+        match self.precision() {
+            KvPrecision::F32 => {
+                let (_, v) = self.f32_streams(layer, kv_head);
+                v[pos * hd..(pos + 1) * hd].to_vec()
+            }
+            KvPrecision::I8 => {
+                let (_, _, v, vs) = self.i8_streams(layer, kv_head);
+                v[pos * hd..(pos + 1) * hd]
+                    .iter()
+                    .map(|&c| vs[pos] * c as f32)
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::tiny()
+    }
+
+    fn row(seed: usize, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((seed * 31 + i * 7) as f32 * 0.13).sin() * 1.7)
+            .collect()
+    }
+
+    #[test]
+    fn allocation_is_lazy_and_chunked() {
+        let mut cfg = cfg();
+        cfg.seq_max = 1024;
+        let mut c = KvCache::with_precision(&cfg, KvPrecision::F32);
+        assert_eq!(c.resident_bytes(), 0, "fresh cache owns no buffers");
+        assert_eq!(c.seq_capacity(), 0);
+        let kv = cfg.kv_dim();
+        c.store(0, 0, &row(1, kv), &row(2, kv));
+        assert_eq!(c.seq_capacity(), KV_GROW_POSITIONS);
+        let after_one = c.resident_bytes();
+        assert!(after_one > 0);
+        // Staying inside the chunk does not grow...
+        c.store(0, KV_GROW_POSITIONS - 1, &row(3, kv), &row(4, kv));
+        assert_eq!(c.resident_bytes(), after_one);
+        // ...crossing it adds exactly one chunk.
+        c.store(0, KV_GROW_POSITIONS, &row(5, kv), &row(6, kv));
+        assert_eq!(c.seq_capacity(), 2 * KV_GROW_POSITIONS);
+        assert_eq!(c.resident_bytes(), 2 * after_one);
+    }
+
+    #[test]
+    fn capacity_clamps_to_seq_max() {
+        let cfg = cfg(); // seq_max = 64 < one growth chunk
+        let mut c = KvCache::new(&cfg);
+        let kv = cfg.kv_dim();
+        c.store(0, cfg.seq_max - 1, &row(1, kv), &row(2, kv));
+        assert_eq!(c.seq_capacity(), cfg.seq_max);
+    }
+
+    #[test]
+    fn growth_preserves_stored_rows() {
+        let mut cfg = cfg();
+        cfg.seq_max = 1024;
+        for prec in [KvPrecision::F32, KvPrecision::I8] {
+            let mut c = KvCache::with_precision(&cfg, prec);
+            let kv = cfg.kv_dim();
+            let hd = cfg.head_dim();
+            for pos in 0..KV_GROW_POSITIONS {
+                c.store(1, pos, &row(pos, kv), &row(pos + 1000, kv));
+                c.len = pos + 1;
+            }
+            let before: Vec<Vec<f32>> = (0..KV_GROW_POSITIONS)
+                .map(|p| c.k_row_f32(1, 1, p))
+                .collect();
+            // Force a growth and verify every earlier row survived the
+            // re-lay bit-for-bit.
+            c.store(1, KV_GROW_POSITIONS, &row(7, kv), &row(8, kv));
+            c.len = KV_GROW_POSITIONS + 1;
+            for (p, want) in before.iter().enumerate() {
+                assert_eq!(&c.k_row_f32(1, 1, p), want, "{prec:?} pos {p}");
+                assert_eq!(want.len(), hd);
+            }
+        }
+    }
+
+    #[test]
+    fn i8_store_roundtrips_within_quant_error() {
+        let cfg = cfg();
+        let mut c = KvCache::with_precision(&cfg, KvPrecision::I8);
+        let kv = cfg.kv_dim();
+        let hd = cfg.head_dim();
+        let k = row(42, kv);
+        c.store(0, 3, &k, &row(43, kv));
+        c.len = 4;
+        for h in 0..cfg.n_kv_heads {
+            let got = c.k_row_f32(0, h, 3);
+            let want = &k[h * hd..(h + 1) * hd];
+            let amax = want.iter().fold(0f32, |m, x| m.max(x.abs()));
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() <= amax / 127.0 * 0.5 + 1e-6, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_cache_is_about_4x_smaller() {
+        // Realistic head_dim (64): the ratio is 8·hd / (2·hd + 8) — one f32
+        // scale per (position, head) row next to hd 1-byte codes. Tiny's
+        // 16-wide heads would overstate the scale overhead.
+        let mut cfg = cfg();
+        cfg.dim = 256;
+        cfg.seq_max = 1024;
+        let kv = cfg.kv_dim();
+        let mut f = KvCache::with_precision(&cfg, KvPrecision::F32);
+        let mut q = KvCache::with_precision(&cfg, KvPrecision::I8);
+        f.store(0, 200, &row(1, kv), &row(2, kv));
+        q.store(0, 200, &row(1, kv), &row(2, kv));
+        let ratio = f.resident_bytes() as f64 / q.resident_bytes() as f64;
+        // 4x codes, minus one f32 scale per (position, head) row.
+        assert!(ratio > 3.5, "f32/i8 resident ratio {ratio}");
+    }
+
+    #[test]
+    fn reset_keeps_allocation() {
+        let cfg = cfg();
+        let mut c = KvCache::new(&cfg);
+        let kv = cfg.kv_dim();
+        c.store(0, 5, &row(1, kv), &row(2, kv));
+        c.len = 6;
+        let bytes = c.resident_bytes();
+        c.reset();
+        assert_eq!(c.len, 0);
+        assert_eq!(c.resident_bytes(), bytes);
+    }
+}

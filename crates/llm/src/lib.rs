@@ -37,21 +37,25 @@
 //! assert!(stats.hits > 0);
 //! ```
 
+pub mod attention;
 pub mod backend;
 pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod eval;
+pub mod kv;
 pub mod model;
 pub mod ops;
 pub mod weights;
 
+pub use attention::AttnScratch;
 pub use backend::{
     BackendBuilder, BackendError, BackendKind, BackendRegistry, DequantBackend, F32Backend, Linear,
     LinearBackend, TmacBackend,
 };
 pub use batch::{FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
-pub use config::{ModelConfig, WeightQuant};
+pub use config::{KvPrecision, ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine, PREFILL_CHUNK};
-pub use model::{BatchScratch, KvCache, Model, Scratch};
+pub use kv::KvCache;
+pub use model::{BatchScratch, Model, Scratch};
 pub use tmac_core::{ExecCtx, TableCacheStats};

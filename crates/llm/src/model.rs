@@ -6,11 +6,14 @@
 //! the compared backends, so the same model definition measures T-MAC, the
 //! dequant baseline and the `f32` reference.
 
+use crate::attention::{self, AttnScratch};
 use crate::backend::{BackendBuilder, BackendError, BackendKind, Linear};
 use crate::config::{ModelConfig, WeightQuant};
 use crate::ops;
 use crate::weights::{gen_gain, gen_matrix, tensor_seed};
 use tmac_core::ExecCtx;
+
+pub use crate::kv::KvCache; // the cache moved to `kv`; old import paths keep working
 
 /// Per-layer weights.
 #[derive(Debug, Clone)]
@@ -49,56 +52,11 @@ pub struct Model {
     pub rms_final: Vec<f32>,
     /// LM head (`vocab × dim`).
     pub head: Linear,
+    /// Precomputed RoPE inverse-frequency table (built once per model; the
+    /// per-token `sin`/`cos` land in the scratch buffers).
+    pub rope: ops::RopeTable,
     /// Transformer layers.
     pub layers: Vec<LayerWeights>,
-}
-
-/// KV cache for one generation stream.
-#[derive(Debug, Clone)]
-pub struct KvCache {
-    kv_dim: usize,
-    seq_max: usize,
-    /// `layers × seq × kv_dim` keys.
-    k: Vec<f32>,
-    /// `layers × seq × kv_dim` values.
-    v: Vec<f32>,
-    /// Filled positions.
-    pub len: usize,
-}
-
-impl KvCache {
-    /// Allocates a cache for `cfg`.
-    pub fn new(cfg: &ModelConfig) -> Self {
-        let kv_dim = cfg.kv_dim();
-        KvCache {
-            kv_dim,
-            seq_max: cfg.seq_max,
-            k: vec![0f32; cfg.n_layers * cfg.seq_max * kv_dim],
-            v: vec![0f32; cfg.n_layers * cfg.seq_max * kv_dim],
-            len: 0,
-        }
-    }
-
-    /// Clears the cache.
-    pub fn reset(&mut self) {
-        self.len = 0;
-    }
-
-    fn k_at(&self, layer: usize, pos: usize) -> &[f32] {
-        let o = (layer * self.seq_max + pos) * self.kv_dim;
-        &self.k[o..o + self.kv_dim]
-    }
-
-    fn v_at(&self, layer: usize, pos: usize) -> &[f32] {
-        let o = (layer * self.seq_max + pos) * self.kv_dim;
-        &self.v[o..o + self.kv_dim]
-    }
-
-    fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
-        let o = (layer * self.seq_max + pos) * self.kv_dim;
-        self.k[o..o + self.kv_dim].copy_from_slice(k);
-        self.v[o..o + self.kv_dim].copy_from_slice(v);
-    }
 }
 
 /// Reusable forward-pass buffers (no allocation per token).
@@ -115,7 +73,9 @@ pub struct Scratch {
     up: Vec<f32>,
     hidden: Vec<f32>,
     ffn: Vec<f32>,
-    scores: Vec<f32>,
+    attn: AttnScratch,
+    rope_cos: Vec<f32>,
+    rope_sin: Vec<f32>,
     /// Output logits (`vocab`).
     pub logits: Vec<f32>,
 }
@@ -135,7 +95,9 @@ impl Scratch {
             up: vec![0f32; cfg.ffn_dim],
             hidden: vec![0f32; cfg.ffn_dim],
             ffn: vec![0f32; cfg.dim],
-            scores: vec![0f32; cfg.seq_max],
+            attn: AttnScratch::new(cfg),
+            rope_cos: vec![0f32; cfg.head_dim()],
+            rope_sin: vec![0f32; cfg.head_dim()],
             logits: vec![0f32; cfg.vocab],
         }
     }
@@ -157,7 +119,11 @@ pub struct BatchScratch {
     up: Vec<f32>,
     hidden: Vec<f32>,
     ffn: Vec<f32>,
-    scores: Vec<f32>,
+    attn: AttnScratch,
+    /// Per-row RoPE tables (`B × head_dim`; positions are fixed per batch,
+    /// so they are filled once per `forward_batch` and reused every layer).
+    rope_cos: Vec<f32>,
+    rope_sin: Vec<f32>,
     /// Output logits, row-major `B × vocab`. Row `r` of the last
     /// `forward_batch` call is [`BatchScratch::logits_row`]`(r)`.
     pub logits: Vec<f32>,
@@ -185,7 +151,9 @@ impl BatchScratch {
             up: vec![0f32; b * cfg.ffn_dim],
             hidden: vec![0f32; b * cfg.ffn_dim],
             ffn: vec![0f32; b * cfg.dim],
-            scores: vec![0f32; cfg.seq_max],
+            attn: AttnScratch::new(cfg),
+            rope_cos: vec![0f32; b * cfg.head_dim()],
+            rope_sin: vec![0f32; b * cfg.head_dim()],
             logits: vec![0f32; b * cfg.vocab],
         }
     }
@@ -281,6 +249,7 @@ impl Model {
             embed,
             rms_final: gen_gain(dim, tensor_seed(seed, usize::MAX, "rms_final")),
             head,
+            rope: ops::RopeTable::new(cfg.head_dim(), cfg.rope_theta),
             layers,
         })
     }
@@ -334,10 +303,13 @@ impl Model {
             )));
         }
         let t_start = std::time::Instant::now();
-        let (dim, head_dim) = (cfg.dim, cfg.head_dim());
-        let kv_groups = cfg.n_heads / cfg.n_kv_heads;
+        let dim = cfg.dim;
         let s = scratch;
         s.x.copy_from_slice(&self.embed[token as usize * dim..(token as usize + 1) * dim]);
+        // One sin/cos evaluation per rotation pair per token: the position
+        // is fixed for the whole pass, so every layer (and both q and k)
+        // reuses these tables.
+        self.rope.fill_sincos(pos, &mut s.rope_cos, &mut s.rope_sin);
 
         let t_layers = std::time::Instant::now();
         for (l, lw) in self.layers.iter().enumerate() {
@@ -349,26 +321,10 @@ impl Model {
             lw.wq.forward(&s.xn, &mut s.q, ctx)?;
             lw.wk.forward(&s.xn, &mut s.k, ctx)?;
             lw.wv.forward(&s.xn, &mut s.v, ctx)?;
-            ops::rope(&mut s.q, head_dim, pos, cfg.rope_theta);
-            ops::rope(&mut s.k, head_dim, pos, cfg.rope_theta);
+            self.rope.apply(&mut s.q, &s.rope_cos, &s.rope_sin);
+            self.rope.apply(&mut s.k, &s.rope_cos, &s.rope_sin);
             cache.store(l, pos, &s.k, &s.v);
-
-            let scale = 1.0 / (head_dim as f32).sqrt();
-            for h in 0..cfg.n_heads {
-                let kvh = h / kv_groups;
-                let qh = &s.q[h * head_dim..(h + 1) * head_dim];
-                for t in 0..=pos {
-                    let kt = &cache.k_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
-                    s.scores[t] = tmac_simd::f32ops::dot(qh, kt) * scale;
-                }
-                ops::softmax(&mut s.scores[..=pos]);
-                let out = &mut s.att[h * head_dim..(h + 1) * head_dim];
-                out.fill(0.0);
-                for t in 0..=pos {
-                    let vt = &cache.v_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
-                    tmac_simd::f32ops::axpy(out, s.scores[t], vt);
-                }
-            }
+            attention::attend(&s.q, &mut s.att, cache, l, pos, &mut s.attn, ctx);
             ctx.next_activation();
             lw.wo.forward(&s.att, &mut s.proj, ctx)?;
             ops::add_assign(&mut s.x, &s.proj);
@@ -496,11 +452,19 @@ impl Model {
 
         let (dim, kv_dim, ffn_dim) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
         let head_dim = cfg.head_dim();
-        let kv_groups = cfg.n_heads / cfg.n_kv_heads;
         let s = scratch;
         for (r, &t) in tokens.iter().enumerate() {
             s.x[r * dim..(r + 1) * dim]
                 .copy_from_slice(&self.embed[t as usize * dim..(t as usize + 1) * dim]);
+        }
+        // Positions are fixed for the whole batch: one sin/cos fill per row,
+        // shared by every layer's q and k rotations.
+        for (r, &pos) in positions.iter().enumerate() {
+            self.rope.fill_sincos(
+                pos,
+                &mut s.rope_cos[r * head_dim..(r + 1) * head_dim],
+                &mut s.rope_sin[r * head_dim..(r + 1) * head_dim],
+            );
         }
 
         for (l, lw) in self.layers.iter().enumerate() {
@@ -525,18 +489,13 @@ impl Model {
             // rows observe each other at lower positions (prefill causality).
             for r in 0..b {
                 let pos = positions[r];
-                ops::rope(
-                    &mut s.q[r * dim..(r + 1) * dim],
-                    head_dim,
-                    pos,
-                    cfg.rope_theta,
+                let (rc, rs) = (
+                    &s.rope_cos[r * head_dim..(r + 1) * head_dim],
+                    &s.rope_sin[r * head_dim..(r + 1) * head_dim],
                 );
-                ops::rope(
-                    &mut s.k[r * kv_dim..(r + 1) * kv_dim],
-                    head_dim,
-                    pos,
-                    cfg.rope_theta,
-                );
+                self.rope.apply(&mut s.q[r * dim..(r + 1) * dim], rc, rs);
+                self.rope
+                    .apply(&mut s.k[r * kv_dim..(r + 1) * kv_dim], rc, rs);
                 caches[cache_slots[r]].store(
                     l,
                     pos,
@@ -544,25 +503,16 @@ impl Model {
                     &s.v[r * kv_dim..(r + 1) * kv_dim],
                 );
             }
-            let scale = 1.0 / (head_dim as f32).sqrt();
             for r in 0..b {
-                let pos = positions[r];
-                let cache = &caches[cache_slots[r]];
-                for h in 0..cfg.n_heads {
-                    let kvh = h / kv_groups;
-                    let qh = &s.q[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
-                    for t in 0..=pos {
-                        let kt = &cache.k_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
-                        s.scores[t] = tmac_simd::f32ops::dot(qh, kt) * scale;
-                    }
-                    ops::softmax(&mut s.scores[..=pos]);
-                    let out = &mut s.att[r * dim + h * head_dim..r * dim + (h + 1) * head_dim];
-                    out.fill(0.0);
-                    for t in 0..=pos {
-                        let vt = &cache.v_at(l, t)[kvh * head_dim..(kvh + 1) * head_dim];
-                        tmac_simd::f32ops::axpy(out, s.scores[t], vt);
-                    }
-                }
+                attention::attend(
+                    &s.q[r * dim..(r + 1) * dim],
+                    &mut s.att[r * dim..(r + 1) * dim],
+                    &caches[cache_slots[r]],
+                    l,
+                    positions[r],
+                    &mut s.attn,
+                    ctx,
+                );
             }
             ctx.next_activation();
             lw.wo

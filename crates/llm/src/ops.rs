@@ -55,8 +55,92 @@ pub fn log_softmax_at(logits: &[f32], idx: usize) -> f64 {
     (logits[idx] as f64) - max - sum.ln()
 }
 
+/// Precomputed rotary-embedding frequency table.
+///
+/// The legacy [`rope`] recomputes `theta.powf(2i / d)` for every pair of
+/// every head on every token — `n_heads · head_dim / 2` `powf` calls per
+/// projection. This table computes each pair's inverse frequency **once**
+/// at model build; per token, [`RopeTable::fill_sincos`] evaluates
+/// `sin`/`cos` once per *pair* (not per head) into duplicated-pair tables,
+/// and [`RopeTable::apply`] rotates every head with the vectorized
+/// [`f32ops::rope_apply`]. The arithmetic per element is unchanged
+/// (`a·cos − b·sin`, `a·sin + b·cos` with the same intermediate
+/// roundings), so results are bit-identical to [`rope`] — asserted by the
+/// `rope_table_bit_exact_vs_legacy` test.
+#[derive(Debug, Clone)]
+pub struct RopeTable {
+    head_dim: usize,
+    /// `1 / theta^{2i/d}`, one entry per rotation pair.
+    inv_freq: Vec<f32>,
+}
+
+impl RopeTable {
+    /// Builds the table for a head dimension and base frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd or zero.
+    pub fn new(head_dim: usize, theta: f32) -> Self {
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "rope needs a positive even head_dim"
+        );
+        // The exact expression the legacy scalar path evaluated per pair.
+        let inv_freq = (0..head_dim / 2)
+            .map(|i| 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32))
+            .collect();
+        RopeTable { head_dim, inv_freq }
+    }
+
+    /// The head dimension the table was built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Fills duplicated-pair rotation tables for `pos`: `cos_dup` holds each
+    /// `cos θ_i` twice, `sin_dup` holds `[-sin θ_i, +sin θ_i]` per pair (the
+    /// layout [`f32ops::rope_apply`] consumes). One `sin_cos` per pair — the
+    /// tables are shared by every head and every projection at this
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer is not exactly `head_dim` long.
+    pub fn fill_sincos(&self, pos: usize, cos_dup: &mut [f32], sin_dup: &mut [f32]) {
+        assert_eq!(cos_dup.len(), self.head_dim, "fill_sincos cos length");
+        assert_eq!(sin_dup.len(), self.head_dim, "fill_sincos sin length");
+        for (i, &f) in self.inv_freq.iter().enumerate() {
+            let angle = pos as f32 * f;
+            let (s, c) = angle.sin_cos();
+            cos_dup[2 * i] = c;
+            cos_dup[2 * i + 1] = c;
+            sin_dup[2 * i] = -s;
+            sin_dup[2 * i + 1] = s;
+        }
+    }
+
+    /// Rotates every `head_dim` chunk of `v` with tables previously filled
+    /// by [`RopeTable::fill_sincos`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` is not a multiple of `head_dim` or the tables
+    /// have the wrong length.
+    pub fn apply(&self, v: &mut [f32], cos_dup: &[f32], sin_dup: &[f32]) {
+        assert_eq!(v.len() % self.head_dim, 0, "rope vector not head-aligned");
+        for head in v.chunks_mut(self.head_dim) {
+            f32ops::rope_apply(head, cos_dup, sin_dup);
+        }
+    }
+}
+
 /// Rotary position embedding applied in place to a `[n_heads × head_dim]`
 /// vector at position `pos`.
+///
+/// This is the legacy scalar formulation (per-pair `powf` + `sin_cos` on
+/// every call, for every head); the hot paths use [`RopeTable`], which is
+/// bit-identical. Kept as the oracle for the table's exactness test and
+/// for one-off uses that have no table.
 ///
 /// # Panics
 ///
@@ -237,6 +321,30 @@ mod tests {
         let n1: f32 = v.iter().map(|x| x * x).sum();
         assert!((n0 - n1).abs() < 1e-4, "rotation preserves norm");
         assert_ne!(v, orig);
+    }
+
+    /// The precomputed-table RoPE must reproduce the legacy per-call scalar
+    /// form *bit-for-bit*: same `powf` expression evaluated once, same
+    /// `sin_cos`, and a rotation whose per-element roundings match.
+    #[test]
+    fn rope_table_bit_exact_vs_legacy() {
+        for head_dim in [2usize, 8, 16, 64, 128] {
+            let table = RopeTable::new(head_dim, 10000.0);
+            let n_heads = 3;
+            let mut cos_dup = vec![0f32; head_dim];
+            let mut sin_dup = vec![0f32; head_dim];
+            for pos in [0usize, 1, 17, 500, 2047] {
+                let v0: Vec<f32> = (0..n_heads * head_dim)
+                    .map(|i| ((i as f32) * 0.29).sin() * 2.3 - 0.7)
+                    .collect();
+                let mut legacy = v0.clone();
+                rope(&mut legacy, head_dim, pos, 10000.0);
+                let mut tabled = v0;
+                table.fill_sincos(pos, &mut cos_dup, &mut sin_dup);
+                table.apply(&mut tabled, &cos_dup, &sin_dup);
+                assert_eq!(tabled, legacy, "head_dim {head_dim} pos {pos}");
+            }
+        }
     }
 
     #[test]

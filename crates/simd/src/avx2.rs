@@ -617,6 +617,102 @@ pub fn dot_i8_maddubs(a: &[i8], b: &[i8]) -> i32 {
     sum
 }
 
+/// `y[i] += a * (x[i] as f32)`: scaled `i8` accumulate into `f32`.
+///
+/// Widens 8 codes per step (`cvtepi8_epi32` → `cvtepi32_ps`, both exact)
+/// and combines with a separate multiply and add — *not* an FMA — so the
+/// per-element rounding matches [`crate::scalar::axpy_f32_i8`] bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[target_feature(enable = "avx2")]
+pub fn axpy_f32_i8(y: &mut [f32], a: f32, x: &[i8]) {
+    assert_eq!(y.len(), x.len(), "axpy_f32_i8 length mismatch");
+    let n = y.len();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `x` has at least `i + 8` readable bytes (`i8` loads as raw
+        // bytes); only the low 8 bytes of the vector are consumed.
+        let raw = unsafe { _mm_loadl_epi64(x.as_ptr().add(i) as *const __m128i) };
+        let xf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        let yv = loadu_ps(&y[i..]);
+        storeu_ps(&mut y[i..], _mm256_add_ps(yv, _mm256_mul_ps(av, xf)));
+        i += 8;
+    }
+    while i < n {
+        y[i] += a * (x[i] as f32);
+        i += 1;
+    }
+}
+
+/// `y[i] = (y[i] * c) + a * (x[i] as f32)`: fused online-softmax rescale +
+/// `i8` accumulate, bit-identical to [`crate::scalar::scale_axpy_f32_i8`]
+/// (three rounded multiply/add steps in the same order, no FMA).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[target_feature(enable = "avx2")]
+pub fn scale_axpy_f32_i8(y: &mut [f32], c: f32, a: f32, x: &[i8]) {
+    assert_eq!(y.len(), x.len(), "scale_axpy_f32_i8 length mismatch");
+    let n = y.len();
+    let av = _mm256_set1_ps(a);
+    let cv = _mm256_set1_ps(c);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `x` has at least `i + 8` readable bytes.
+        let raw = unsafe { _mm_loadl_epi64(x.as_ptr().add(i) as *const __m128i) };
+        let xf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        let yv = loadu_ps(&y[i..]);
+        storeu_ps(
+            &mut y[i..],
+            _mm256_add_ps(_mm256_mul_ps(yv, cv), _mm256_mul_ps(av, xf)),
+        );
+        i += 8;
+    }
+    while i < n {
+        y[i] = (y[i] * c) + a * (x[i] as f32);
+        i += 1;
+    }
+}
+
+/// RoPE rotation over interleaved pairs with duplicated-pair tables (see
+/// [`crate::scalar::rope_apply_f32`] for the table layout). The pair swap is
+/// one in-lane `permute`; the combine is multiply/multiply/add in the scalar
+/// path's exact order, so the two paths agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an odd vector length.
+#[target_feature(enable = "avx2")]
+pub fn rope_apply_f32(v: &mut [f32], cos_dup: &[f32], sin_dup: &[f32]) {
+    assert_eq!(v.len(), cos_dup.len(), "rope_apply_f32 cos length");
+    assert_eq!(v.len(), sin_dup.len(), "rope_apply_f32 sin length");
+    assert!(v.len().is_multiple_of(2), "rope_apply_f32 needs pairs");
+    let n = v.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = loadu_ps(&v[i..]);
+        let cv = loadu_ps(&cos_dup[i..]);
+        let sv = loadu_ps(&sin_dup[i..]);
+        // Swap each (a, b) pair: lane selector [1, 0, 3, 2] per 128-bit half.
+        let sw = _mm256_permute_ps(xv, 0b10_11_00_01);
+        storeu_ps(
+            &mut v[i..],
+            _mm256_add_ps(_mm256_mul_ps(xv, cv), _mm256_mul_ps(sw, sv)),
+        );
+        i += 8;
+    }
+    while i < n {
+        let (a, b) = (v[i], v[i + 1]);
+        v[i] = a * cos_dup[i] + b * sin_dup[i];
+        v[i + 1] = b * cos_dup[i + 1] + a * sin_dup[i + 1];
+        i += 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,5 +910,54 @@ mod tests {
         // SAFETY: AVX2 checked by `skip`.
         let got = unsafe { dot_i8(&a, &b) };
         assert_eq!(got, scalar::dot_i8(&a, &b));
+    }
+
+    #[test]
+    fn i8_accumulates_bit_match_scalar() {
+        if skip() {
+            return;
+        }
+        // Length 77 exercises both the 8-wide body and the scalar tail.
+        let x: Vec<i8> = (0..77).map(|i| ((i * 53) % 255 - 127) as i8).collect();
+        let y0: Vec<f32> = (0..77).map(|i| ((i as f32) * 0.41).sin() * 2.3).collect();
+
+        let mut y1 = y0.clone();
+        let mut y2 = y0.clone();
+        // SAFETY: AVX2 checked by `skip`.
+        unsafe { axpy_f32_i8(&mut y1, 0.173, &x) };
+        scalar::axpy_f32_i8(&mut y2, 0.173, &x);
+        assert_eq!(y1, y2, "axpy_f32_i8");
+
+        let mut y1 = y0.clone();
+        let mut y2 = y0;
+        // SAFETY: AVX2 checked by `skip`.
+        unsafe { scale_axpy_f32_i8(&mut y1, 0.61, -0.83, &x) };
+        scalar::scale_axpy_f32_i8(&mut y2, 0.61, -0.83, &x);
+        assert_eq!(y1, y2, "scale_axpy_f32_i8");
+    }
+
+    #[test]
+    fn rope_apply_bit_matches_scalar() {
+        if skip() {
+            return;
+        }
+        // 22 elements: one 8-wide body step plus a 6-element pair tail.
+        for n in [8usize, 22, 64] {
+            let mut v1: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.7).sin() * 1.9).collect();
+            let mut v2 = v1.clone();
+            let mut cos_dup = vec![0f32; n];
+            let mut sin_dup = vec![0f32; n];
+            for i in 0..n / 2 {
+                let (s, c) = ((i as f32) * 0.37 + 0.2).sin_cos();
+                cos_dup[2 * i] = c;
+                cos_dup[2 * i + 1] = c;
+                sin_dup[2 * i] = -s;
+                sin_dup[2 * i + 1] = s;
+            }
+            // SAFETY: AVX2 checked by `skip`.
+            unsafe { rope_apply_f32(&mut v1, &cos_dup, &sin_dup) };
+            scalar::rope_apply_f32(&mut v2, &cos_dup, &sin_dup);
+            assert_eq!(v1, v2, "n = {n}");
+        }
     }
 }

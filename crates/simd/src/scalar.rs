@@ -175,6 +175,62 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
         .sum()
 }
 
+/// `y[i] += a * (x[i] as f32)`: accumulates a scaled `i8` vector into an
+/// `f32` accumulator (the attention value-gather over a quantized KV
+/// cache). Per element this is one rounded multiply then one rounded add —
+/// the evaluation order is part of the contract so the SIMD backends match
+/// it bit-for-bit (no FMA contraction).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy_f32_i8(y: &mut [f32], a: f32, x: &[i8]) {
+    assert_eq!(y.len(), x.len(), "axpy_f32_i8 length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * (xi as f32);
+    }
+}
+
+/// `y[i] = (y[i] * c) + a * (x[i] as f32)`: the online-softmax rescale +
+/// accumulate step in one sweep. When a streaming softmax meets a new
+/// running maximum, the state accumulated so far must shrink by `c =
+/// exp(m_old - m_new)` while the new value lands with weight `a`. Three
+/// rounded multiplies/adds in this exact order (see [`axpy_f32_i8`] for the
+/// bit-compatibility contract).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn scale_axpy_f32_i8(y: &mut [f32], c: f32, a: f32, x: &[i8]) {
+    assert_eq!(y.len(), x.len(), "scale_axpy_f32_i8 length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = (*yi * c) + a * (xi as f32);
+    }
+}
+
+/// Applies a rotary-embedding rotation to interleaved `(a, b)` pairs using
+/// *duplicated-pair* tables: `cos_dup[2i] == cos_dup[2i+1] == cos θ_i`, and
+/// `sin_dup` carries the sign pattern `[-sin θ_i, +sin θ_i]`. Each pair maps
+/// to `(a·cos - b·sin, b·cos + a·sin)`, evaluated as `v[j]·cos_dup[j] +
+/// v[j^1]·sin_dup[j]` — two rounded multiplies and one rounded add per
+/// element, the order the SIMD backends replicate bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an odd vector length.
+pub fn rope_apply_f32(v: &mut [f32], cos_dup: &[f32], sin_dup: &[f32]) {
+    assert_eq!(v.len(), cos_dup.len(), "rope_apply_f32 cos length");
+    assert_eq!(v.len(), sin_dup.len(), "rope_apply_f32 sin length");
+    assert!(v.len().is_multiple_of(2), "rope_apply_f32 needs pairs");
+    let mut i = 0;
+    while i < v.len() {
+        let (a, b) = (v[i], v[i + 1]);
+        v[i] = a * cos_dup[i] + b * sin_dup[i];
+        v[i + 1] = b * cos_dup[i + 1] + a * sin_dup[i + 1];
+        i += 2;
+    }
+}
+
 /// Quantizes a block of `f32` to `i8` with a symmetric scale `max|x| / 127`.
 ///
 /// Returns the scale; `x ≈ scale * q`. A zero block returns scale `0.0` and

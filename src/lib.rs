@@ -69,10 +69,10 @@ pub mod prelude {
         WeightPlan,
     };
     pub use tmac_llm::{
-        BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch, DecodeStats,
-        DequantBackend, Engine, F32Backend, FinishedSeq, KvCache, Linear, LinearBackend, Model,
-        ModelConfig, Scheduler, SchedulerConfig, Scratch, SeqId, StepToken, TmacBackend,
-        WeightQuant,
+        AttnScratch, BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch,
+        DecodeStats, DequantBackend, Engine, F32Backend, FinishedSeq, KvCache, KvPrecision, Linear,
+        LinearBackend, Model, ModelConfig, Scheduler, SchedulerConfig, Scratch, SeqId, StepToken,
+        TmacBackend, WeightQuant,
     };
     pub use tmac_quant::QuantizedMatrix;
     pub use tmac_threadpool::ThreadPool;
