@@ -35,39 +35,6 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Resolves a relative output path against the *workspace* root (cargo
-/// runs bench binaries with the package directory as CWD, which would
-/// otherwise scatter `results/` under `crates/bench/`).
-fn resolve_out(path: &str) -> std::path::PathBuf {
-    let p = std::path::Path::new(path);
-    if p.is_absolute() {
-        return p.to_path_buf();
-    }
-    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
-    while !dir.join("Cargo.lock").exists() {
-        if !dir.pop() {
-            return p.to_path_buf();
-        }
-    }
-    dir.join(p)
-}
-
-fn write_json(path: &str, metrics: &[(&str, f64)]) {
-    let body: Vec<String> = metrics
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
-        .collect();
-    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
-    let out = resolve_out(path);
-    if let Some(dir) = out.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    std::fs::write(&out, json).expect("write perf json");
-    println!("wrote {}", out.display());
-}
-
 /// Kernel-level mpGEMM gate at `n = 16`: one FFN-shaped 2-bit layer, the
 /// multi-row mpGEMM against (a) 16 sequential GEMVs and (b) the per-row
 /// sweep the mpGEMM driver used before register blocking (`row_block = 1`).
@@ -224,6 +191,8 @@ fn main() {
     metrics.push(("decode2048_tok_s", decode2048));
 
     if let Ok(path) = std::env::var("TMAC_PERF_OUT") {
-        write_json(&path, &metrics);
+        // Merge-write: `cold_start` contributes its metrics to the same
+        // file in the perf-smoke pipeline.
+        tmac_bench::write_perf_out(&path, &metrics);
     }
 }

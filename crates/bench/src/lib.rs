@@ -1,7 +1,7 @@
 //! Shared helpers for the micro-benchmark suite.
 //!
 //! Each bench target regenerates one table/figure of the paper (see
-//! `DESIGN.md` §4); this library provides the deterministic inputs and a
+//! `DESIGN.md` §5); this library provides the deterministic inputs and a
 //! small self-contained Criterion-style harness — the `criterion` crate is
 //! unavailable on the offline evaluation host, so the benches are plain
 //! `harness = false` binaries built on [`BenchGroup`]: calibrated iteration
@@ -142,6 +142,90 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Resolves a relative output path against the *workspace* root (cargo
+/// runs bench binaries with the package directory as CWD, which would
+/// otherwise scatter `results/` under `crates/bench/`).
+pub fn resolve_out(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return p.to_path_buf();
+        }
+    }
+    dir.join(p)
+}
+
+/// Parses a flat `{"key": number, ...}` JSON object — the only shape the
+/// perf pipeline uses (serde is unavailable offline). The one parser for
+/// the whole pipeline: the bench merge-writer and the `perf_check` CI
+/// gate both go through it, so the wire format cannot silently fork.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed construct.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a {...} object")?;
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("expected \"key\": value, got {pair:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// Writes (or **merges into**) the `TMAC_PERF_OUT`-style flat JSON metrics
+/// file: existing keys are kept unless this call overwrites them, so
+/// several bench binaries (`batched_decode`, `cold_start`) can contribute
+/// to one `ci_perf.json` that `perf_check` gates.
+pub fn write_perf_out(path: &str, metrics: &[(&str, f64)]) {
+    let out = resolve_out(path);
+    let mut all: Vec<(String, f64)> = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| parse_flat_json(&t).ok())
+        .unwrap_or_default();
+    for (k, v) in metrics {
+        // Non-finite values would produce invalid JSON; write 0 so a
+        // broken measurement fails the min-gates loudly downstream.
+        let v = if v.is_finite() { *v } else { 0.0 };
+        if let Some(slot) = all.iter_mut().find(|(key, _)| key == k) {
+            slot.1 = v;
+        } else {
+            all.push((k.to_string(), v));
+        }
+    }
+    let body: Vec<String> = all
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, json).expect("write perf json");
+    println!("wrote {}", out.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +248,27 @@ mod tests {
         assert!(m.best >= 0.0 && m.mean >= m.best);
         assert!(m.iters >= 5);
         assert_eq!(g.results().len(), 1);
+    }
+
+    #[test]
+    fn flat_json_roundtrip_and_merge() {
+        let parsed = parse_flat_json("{\n  \"a\": 1.5,\n  \"b\": 2\n}\n").unwrap();
+        assert_eq!(parsed, vec![("a".into(), 1.5), ("b".into(), 2.0)]);
+        assert!(parse_flat_json("not json").is_err());
+
+        let dir = std::env::temp_dir().join(format!("tmac-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.json");
+        let path_s = path.to_str().unwrap();
+        write_perf_out(path_s, &[("a", 1.0), ("b", 2.0)]);
+        // Merge: overwrite one key, add another, keep the rest.
+        write_perf_out(path_s, &[("b", 3.0), ("c", 4.0)]);
+        let merged = parse_flat_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            merged,
+            vec![("a".into(), 1.0), ("b".into(), 3.0), ("c".into(), 4.0)]
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod tune;
 
 pub use exec::{ExecCtx, TableCacheStats, TableProfile};
 pub use opts::{KernelOpts, L1_TABLE_BUDGET, LUT_GROUP, TILE_M};
-pub use plan::{Layout, WeightPlan};
+pub use plan::{Layout, PlanBacking, PlanParts, Segment, WeightPlan};
 pub use table::{ActTables, BatchTables};
 
 use tmac_quant::{QuantError, QuantizedMatrix};
@@ -118,6 +118,13 @@ impl TmacLinear {
         Ok(TmacLinear {
             plan: WeightPlan::new(qm, opts)?,
         })
+    }
+
+    /// Wraps an already-built plan — the prepacked-container load path
+    /// (`tmac-io`): the offline pack is not re-run, and a plan whose
+    /// segments borrow from a file mapping executes zero-copy.
+    pub fn from_plan(plan: WeightPlan) -> Self {
+        TmacLinear { plan }
     }
 
     /// Quantizes `weights` (row-major `rows × cols`) with RTN and plans it.

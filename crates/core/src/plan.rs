@@ -21,7 +21,125 @@
 
 use crate::opts::{KernelOpts, LUT_GROUP, TILE_M};
 use crate::TmacError;
+use std::sync::Arc;
 use tmac_quant::QuantizedMatrix;
+
+/// Memory that prepacked plan segments can borrow zero-copy — typically a
+/// container file mapping (`tmac-io`). Implementors must keep the bytes
+/// immutable and at a stable address for their whole lifetime.
+pub trait PlanBacking: Send + Sync + std::fmt::Debug {
+    /// The backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+/// One plan data segment: a typed, immutable slice that either owns its
+/// data or borrows it from a shared [`PlanBacking`] (the zero-copy load
+/// path — weight tiles are used straight out of the file mapping, never
+/// copied or re-packed).
+pub struct Segment<T: Copy + 'static> {
+    ptr: *const T,
+    len: usize,
+    backing: Backing<T>,
+}
+
+enum Backing<T> {
+    // Held only to keep `ptr` alive; all reads go through the pointer.
+    Owned(#[allow(dead_code)] Box<[T]>),
+    Shared(Arc<dyn PlanBacking>),
+}
+
+// SAFETY: the segment is immutable; `ptr` points into memory kept alive by
+// `backing` (the boxed slice or the shared owner), and `T` is plain data.
+unsafe impl<T: Copy + Send + Sync> Send for Segment<T> {}
+unsafe impl<T: Copy + Send + Sync> Sync for Segment<T> {}
+
+impl<T: Copy + 'static> Segment<T> {
+    /// An owned segment.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let b = v.into_boxed_slice();
+        Segment {
+            ptr: b.as_ptr(),
+            len: b.len(),
+            backing: Backing::Owned(b),
+        }
+    }
+
+    /// A segment borrowing `len` `T`s at `byte_off` of `owner`'s bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmacError::Shape`] if the range is out of bounds or the
+    /// start address is not aligned for `T`.
+    pub fn borrowed(
+        owner: Arc<dyn PlanBacking>,
+        byte_off: usize,
+        len: usize,
+    ) -> Result<Self, TmacError> {
+        let bytes = owner.bytes();
+        let byte_len = len * std::mem::size_of::<T>();
+        let end = byte_off
+            .checked_add(byte_len)
+            .ok_or_else(|| TmacError::Shape("segment range overflows".into()))?;
+        if end > bytes.len() {
+            return Err(TmacError::Shape(format!(
+                "segment {byte_off}..{end} out of backing ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let ptr = unsafe { bytes.as_ptr().add(byte_off) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(TmacError::Shape(format!(
+                "segment at byte offset {byte_off} is not {}-byte aligned",
+                std::mem::align_of::<T>()
+            )));
+        }
+        Ok(Segment {
+            ptr: ptr.cast(),
+            len,
+            backing: Backing::Shared(owner),
+        })
+    }
+
+    /// True if this segment borrows from a shared backing (was loaded
+    /// zero-copy) rather than owning its data.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.backing, Backing::Shared(_))
+    }
+}
+
+impl<T: Copy + 'static> std::ops::Deref for Segment<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: construction guarantees ptr/len are valid for the
+        // lifetime of `backing`, which lives as long as `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Copy + 'static> Clone for Segment<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            // Re-own: the clone's pointer must track its own box.
+            Backing::Owned(_) => Segment::from_vec(self.to_vec()),
+            Backing::Shared(owner) => Segment {
+                ptr: self.ptr,
+                len: self.len,
+                backing: Backing::Shared(Arc::clone(owner)),
+            },
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug + 'static> std::fmt::Debug for Segment<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.backing {
+            Backing::Owned(_) => "owned",
+            Backing::Shared(_) => "borrowed",
+        };
+        write!(f, "Segment<{kind}; len {}>", self.len)
+    }
+}
 
 /// Physical index layout inside a [`WeightPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,13 +178,44 @@ pub struct WeightPlan {
     pub tile_k: usize,
     layout: Layout,
     /// Flat layout: `bits` planes, each `m_padded * k/8` bytes.
-    flat_planes: Vec<Vec<u8>>,
+    flat_planes: Vec<Segment<u8>>,
     /// Permuted layout: single stream (see module docs for the order).
-    perm_stream: Vec<u8>,
+    perm_stream: Segment<u8>,
     /// Row-major scales, padded: `m_padded * k/group_size`.
-    scales_flat: Vec<f32>,
+    scales_flat: Segment<f32>,
     /// Tile-permuted scales: per m-tile, per scale block, `TILE_M` floats.
-    scales_perm: Vec<f32>,
+    scales_perm: Segment<f32>,
+}
+
+/// The raw pieces of a [`WeightPlan`], as a container stores them —
+/// metadata plus data segments in exactly the byte order the kernels
+/// consume. [`WeightPlan::from_parts`] validates and reassembles them
+/// without re-running the offline pack, which is what makes prepacked
+/// container loading cheap (and, with borrowed segments, zero-copy).
+#[derive(Debug)]
+pub struct PlanParts {
+    /// Logical output rows `M`.
+    pub m: usize,
+    /// Reduction length `K`.
+    pub k: usize,
+    /// Weight bit-width (`1..=4`).
+    pub bits: usize,
+    /// Scale group size along `K`.
+    pub group_size: usize,
+    /// Zero point in code space.
+    pub zero: f32,
+    /// Kernel options the stream was packed for.
+    pub opts: KernelOpts,
+    /// Flat layout: one nibble plane per bit. Empty for permuted plans.
+    pub flat_planes: Vec<Segment<u8>>,
+    /// Permuted layout: the contiguous tile stream. Empty for flat plans.
+    pub perm_stream: Segment<u8>,
+    /// Row-major padded scales. For permuted plans an empty segment is
+    /// allowed; they are then reconstructed from `scales_perm` (the
+    /// row-major copy is cold-path metadata for permuted layouts).
+    pub scales_flat: Segment<f32>,
+    /// Tile-permuted scales (permuted layout only; empty for flat plans).
+    pub scales_perm: Segment<f32>,
 }
 
 impl WeightPlan {
@@ -154,7 +303,7 @@ impl WeightPlan {
                             }
                         }
                     }
-                    flat_planes.push(plane);
+                    flat_planes.push(Segment::from_vec(plane));
                 }
             }
             Layout::Permuted { interleaved } => {
@@ -217,9 +366,232 @@ impl WeightPlan {
             tile_k,
             layout,
             flat_planes,
+            perm_stream: Segment::from_vec(perm_stream),
+            scales_flat: Segment::from_vec(scales_flat),
+            scales_perm: Segment::from_vec(scales_perm),
+        })
+    }
+
+    /// Reassembles a plan from prepacked parts (a container load) without
+    /// re-running the offline pack. Segments may borrow from a shared
+    /// backing (zero-copy) or own their data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmacError::Opts`] for inconsistent options, and
+    /// [`TmacError::Shape`] when a dimension invariant or a segment length
+    /// disagrees with the metadata.
+    pub fn from_parts(parts: PlanParts) -> Result<WeightPlan, TmacError> {
+        let PlanParts {
+            m,
+            k,
+            bits,
+            group_size,
+            zero,
+            opts,
+            flat_planes,
             perm_stream,
             scales_flat,
             scales_perm,
+        } = parts;
+        opts.validate().map_err(TmacError::Opts)?;
+        if !(1..=4).contains(&bits) {
+            return Err(TmacError::Shape(format!("unsupported bit-width {bits}")));
+        }
+        if m == 0 || k == 0 {
+            return Err(TmacError::Shape(format!("degenerate shape {m}x{k}")));
+        }
+        if group_size == 0
+            || !group_size.is_multiple_of(LUT_GROUP)
+            || !k.is_multiple_of(group_size)
+            || !k.is_multiple_of(LUT_GROUP)
+        {
+            return Err(TmacError::Shape(format!(
+                "K {k} / group_size {group_size} violate the LUT-group invariants"
+            )));
+        }
+        let tile_k = if opts.tiling {
+            if !opts.tile_k.is_multiple_of(group_size) {
+                return Err(TmacError::Shape(format!(
+                    "tile_k {} must be a multiple of group_size {group_size}",
+                    opts.tile_k
+                )));
+            }
+            opts.tile_k.min(k)
+        } else {
+            k
+        };
+        // `m`/`k` may come from an untrusted container index: every
+        // derived size is checked so a crafted file yields a typed error,
+        // not an overflow panic.
+        let mul = |a: usize, b: usize| -> Result<usize, TmacError> {
+            a.checked_mul(b)
+                .ok_or_else(|| TmacError::Shape(format!("plan dimensions overflow ({m}x{k})")))
+        };
+        let m_padded = mul(m.div_ceil(TILE_M), TILE_M)?;
+        let gpr = k / group_size;
+        let kg_total = k / LUT_GROUP;
+        let expect_scales = mul(m_padded, gpr)?;
+        let layout = if opts.permute {
+            Layout::Permuted {
+                interleaved: opts.interleave,
+            }
+        } else {
+            Layout::Flat
+        };
+
+        let (flat_planes, perm_stream, scales_flat, scales_perm) = match layout {
+            Layout::Flat => {
+                let row_bytes = kg_total / 2 + kg_total % 2;
+                if flat_planes.len() != bits {
+                    return Err(TmacError::Shape(format!(
+                        "flat layout needs {bits} planes, got {}",
+                        flat_planes.len()
+                    )));
+                }
+                let expect_plane = mul(m_padded, row_bytes)?;
+                for (b, p) in flat_planes.iter().enumerate() {
+                    if p.len() != expect_plane {
+                        return Err(TmacError::Shape(format!(
+                            "plane {b}: {} bytes, expected {expect_plane}",
+                            p.len()
+                        )));
+                    }
+                }
+                if !perm_stream.is_empty() || !scales_perm.is_empty() {
+                    return Err(TmacError::Shape(
+                        "flat layout cannot carry permuted segments".into(),
+                    ));
+                }
+                if scales_flat.len() != expect_scales {
+                    return Err(TmacError::Shape(format!(
+                        "scales: {} floats, expected {expect_scales}",
+                        scales_flat.len()
+                    )));
+                }
+                (
+                    flat_planes,
+                    perm_stream,
+                    scales_flat,
+                    Segment::from_vec(Vec::new()),
+                )
+            }
+            Layout::Permuted { .. } => {
+                if !flat_planes.is_empty() {
+                    return Err(TmacError::Shape(
+                        "permuted layout cannot carry flat planes".into(),
+                    ));
+                }
+                let expect_stream = mul(mul(m_padded / TILE_M, kg_total)?, bits * (TILE_M / 2))?;
+                if perm_stream.len() != expect_stream {
+                    return Err(TmacError::Shape(format!(
+                        "permuted stream: {} bytes, expected {expect_stream}",
+                        perm_stream.len()
+                    )));
+                }
+                if scales_perm.len() != expect_scales {
+                    return Err(TmacError::Shape(format!(
+                        "permuted scales: {} floats, expected {expect_scales}",
+                        scales_perm.len()
+                    )));
+                }
+                // The container stores scales once, tile-permuted; an empty
+                // row-major segment is legal ([`WeightPlan::scale`] then
+                // reads through the permutation).
+                if !scales_flat.is_empty() && scales_flat.len() != expect_scales {
+                    return Err(TmacError::Shape(format!(
+                        "scales: {} floats, expected {expect_scales}",
+                        scales_flat.len()
+                    )));
+                }
+                (flat_planes, perm_stream, scales_flat, scales_perm)
+            }
+        };
+
+        let cz = ((1u32 << bits) - 1) as f32 / 2.0 - zero;
+        Ok(WeightPlan {
+            m,
+            m_padded,
+            k,
+            bits,
+            group_size,
+            zero,
+            cz,
+            opts,
+            tile_k,
+            layout,
+            flat_planes,
+            perm_stream,
+            scales_flat,
+            scales_perm,
+        })
+    }
+
+    /// Reconstructs the canonical quantized matrix this plan was packed
+    /// from. Exact: codes are re-read from the nibble layout and scales
+    /// from the stored (unpadded) rows, so
+    /// `WeightPlan::new(&p.to_quantized(), p.opts)` reproduces `p`
+    /// byte-for-byte. This is the materialization path for backends that
+    /// do not consume the prepacked layout (dequant, `f32`).
+    pub fn to_quantized(&self) -> QuantizedMatrix {
+        let (m, k) = (self.m, self.k);
+        let mut codes = vec![0u8; m * k];
+        for row in 0..m {
+            for kg in 0..self.kg_total() {
+                for bit in 0..self.bits {
+                    let idx = self.index(bit, row, kg);
+                    for j in 0..LUT_GROUP {
+                        codes[row * k + kg * LUT_GROUP + j] |= ((idx >> j) & 1) << bit;
+                    }
+                }
+            }
+        }
+        let gpr = self.groups_per_row();
+        let mut scales = Vec::with_capacity(m * gpr);
+        for row in 0..m {
+            for sb in 0..gpr {
+                scales.push(self.scale(row, sb));
+            }
+        }
+        QuantizedMatrix {
+            rows: m,
+            cols: k,
+            bits: self.bits as u8,
+            group_size: self.group_size,
+            codes,
+            scales,
+            zero: self.zero,
+        }
+    }
+
+    /// Rebuilds this plan under different kernel options, sharing the data
+    /// segments (cheap for borrowed plans). Only options that do not alter
+    /// the physical byte layout may change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmacError::Opts`] when `opts` disagree with the stored
+    /// layout (`permute`/`interleave`), and propagates
+    /// [`WeightPlan::from_parts`] validation failures.
+    pub fn with_opts(&self, opts: KernelOpts) -> Result<WeightPlan, TmacError> {
+        if (opts.permute, opts.interleave) != (self.opts.permute, self.opts.interleave) {
+            return Err(TmacError::Opts(format!(
+                "options ({:?}) are layout-incompatible with the stored stream ({:?})",
+                (opts.permute, opts.interleave),
+                (self.opts.permute, self.opts.interleave)
+            )));
+        }
+        WeightPlan::from_parts(PlanParts {
+            m: self.m,
+            k: self.k,
+            bits: self.bits,
+            group_size: self.group_size,
+            zero: self.zero,
+            opts,
+            flat_planes: self.flat_planes.clone(),
+            perm_stream: self.perm_stream.clone(),
+            scales_flat: self.scales_flat.clone(),
+            scales_perm: self.scales_perm.clone(),
         })
     }
 
@@ -324,9 +696,18 @@ impl WeightPlan {
     }
 
     /// Row-major (padded) scale of `(row, scale-block)`.
+    ///
+    /// Plans loaded from a prepacked container store scales only in the
+    /// tile-permuted order the kernels stream; this accessor then reads
+    /// through the permutation instead of a row-major copy.
     #[inline]
     pub fn scale(&self, row: usize, sb: usize) -> f32 {
-        self.scales_flat[row * self.groups_per_row() + sb]
+        if self.scales_flat.is_empty() {
+            let (mt, r) = (row / TILE_M, row % TILE_M);
+            self.scales_perm[(mt * self.groups_per_row() + sb) * TILE_M + r]
+        } else {
+            self.scales_flat[row * self.groups_per_row() + sb]
+        }
     }
 
     /// Tile-permuted scales for `(m-tile, scale-block)`: `TILE_M` floats.
@@ -344,9 +725,52 @@ impl WeightPlan {
     /// Bytes of index data the kernel streams for one full GEMV pass.
     pub fn index_bytes(&self) -> usize {
         match self.layout {
-            Layout::Flat => self.flat_planes.iter().map(Vec::len).sum(),
+            Layout::Flat => self.flat_planes.iter().map(|p| p.len()).sum(),
             Layout::Permuted { .. } => self.perm_stream.len(),
         }
+    }
+
+    /// The whole permuted index stream (container serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not permuted.
+    pub fn perm_stream_bytes(&self) -> &[u8] {
+        assert!(matches!(self.layout, Layout::Permuted { .. }));
+        &self.perm_stream
+    }
+
+    /// The tile-permuted scales, whole (container serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not permuted.
+    pub fn perm_scales(&self) -> &[f32] {
+        assert!(!self.scales_perm.is_empty(), "plan is not permuted");
+        &self.scales_perm
+    }
+
+    /// The row-major padded scales, whole (container serialization for
+    /// flat-layout plans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is permuted (permuted plans serialize
+    /// [`WeightPlan::perm_scales`] instead, and may not store a row-major
+    /// copy at all).
+    pub fn flat_scales_padded(&self) -> &[f32] {
+        assert!(matches!(self.layout, Layout::Flat), "plan is permuted");
+        &self.scales_flat
+    }
+
+    /// True if any data segment borrows from a shared backing — i.e. the
+    /// plan was loaded zero-copy and streams weights straight from the
+    /// container mapping.
+    pub fn is_borrowed(&self) -> bool {
+        self.perm_stream.is_borrowed()
+            || self.scales_perm.is_borrowed()
+            || self.scales_flat.is_borrowed()
+            || self.flat_planes.iter().any(|p| p.is_borrowed())
     }
 }
 
@@ -475,6 +899,148 @@ mod tests {
         let p2 = WeightPlan::new(&q2, KernelOpts::tmac()).unwrap();
         let p4 = WeightPlan::new(&q4, KernelOpts::tmac()).unwrap();
         assert_eq!(p4.index_bytes(), 2 * p2.index_bytes());
+    }
+
+    /// Segments borrowing from a plain byte buffer (stand-in for an mmap).
+    #[derive(Debug)]
+    struct VecBacking(Vec<u8>);
+    impl PlanBacking for VecBacking {
+        fn bytes(&self) -> &[u8] {
+            &self.0
+        }
+    }
+
+    fn parts_of(plan: &WeightPlan) -> PlanParts {
+        PlanParts {
+            m: plan.m,
+            k: plan.k,
+            bits: plan.bits,
+            group_size: plan.group_size,
+            zero: plan.zero,
+            opts: plan.opts,
+            flat_planes: Vec::new(),
+            perm_stream: Segment::from_vec(plan.perm_stream_bytes().to_vec()),
+            scales_flat: Segment::from_vec(Vec::new()),
+            scales_perm: Segment::from_vec(plan.perm_scales().to_vec()),
+        }
+    }
+
+    #[test]
+    fn to_quantized_is_exact() {
+        for bits in 1..=4u8 {
+            let qm = matrix(40, 128, bits, 32);
+            for opts in [KernelOpts::tmac(), KernelOpts::plus_table_quant()] {
+                let plan = WeightPlan::new(&qm, opts).unwrap();
+                let back = plan.to_quantized();
+                assert_eq!(back, qm, "bits={bits} opts={opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_reproduces_the_plan() {
+        let qm = matrix(40, 128, 3, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let rebuilt = WeightPlan::from_parts(parts_of(&plan)).unwrap();
+        assert_eq!(rebuilt.m_padded, plan.m_padded);
+        assert_eq!(rebuilt.tile_k, plan.tile_k);
+        assert_eq!(rebuilt.cz, plan.cz);
+        assert_eq!(rebuilt.perm_stream_bytes(), plan.perm_stream_bytes());
+        assert_eq!(rebuilt.perm_scales(), plan.perm_scales());
+        // Row-major scale reads go through the permuted copy.
+        for row in 0..plan.m_padded {
+            for sb in 0..plan.groups_per_row() {
+                assert_eq!(rebuilt.scale(row, sb), plan.scale(row, sb));
+            }
+        }
+        assert_eq!(rebuilt.to_quantized(), qm);
+        assert!(!rebuilt.is_borrowed());
+        // Layout-compatible option changes share the stream; incompatible
+        // ones are rejected.
+        let fa = rebuilt
+            .with_opts(KernelOpts::tmac_fast_aggregation())
+            .unwrap();
+        assert!(fa.opts.fast_aggregation);
+        assert_eq!(fa.perm_stream_bytes(), plan.perm_stream_bytes());
+        assert!(matches!(
+            rebuilt.with_opts(KernelOpts::plus_table_quant()),
+            Err(TmacError::Opts(_))
+        ));
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_lengths() {
+        let qm = matrix(40, 128, 2, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        let mut p = parts_of(&plan);
+        p.perm_stream = Segment::from_vec(vec![0u8; 3]);
+        assert!(matches!(
+            WeightPlan::from_parts(p),
+            Err(TmacError::Shape(_))
+        ));
+        let mut p = parts_of(&plan);
+        p.scales_perm = Segment::from_vec(vec![0f32; 1]);
+        assert!(matches!(
+            WeightPlan::from_parts(p),
+            Err(TmacError::Shape(_))
+        ));
+        let mut p = parts_of(&plan);
+        p.bits = 5;
+        assert!(WeightPlan::from_parts(p).is_err());
+    }
+
+    #[test]
+    fn borrowed_segments_execute_like_owned() {
+        use std::sync::Arc;
+        let qm = matrix(33, 64, 2, 32);
+        let plan = WeightPlan::new(&qm, KernelOpts::tmac()).unwrap();
+        // Pack stream and scales into one backing buffer, f32s first so
+        // both are naturally aligned.
+        let scales = plan.perm_scales();
+        let stream = plan.perm_stream_bytes();
+        let mut buf = Vec::new();
+        for s in scales {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let stream_off = buf.len();
+        buf.extend_from_slice(stream);
+        let backing: Arc<dyn PlanBacking> = Arc::new(VecBacking(buf));
+        let rebuilt = WeightPlan::from_parts(PlanParts {
+            m: plan.m,
+            k: plan.k,
+            bits: plan.bits,
+            group_size: plan.group_size,
+            zero: plan.zero,
+            opts: plan.opts,
+            flat_planes: Vec::new(),
+            perm_stream: Segment::borrowed(Arc::clone(&backing), stream_off, stream.len()).unwrap(),
+            scales_flat: Segment::from_vec(Vec::new()),
+            scales_perm: Segment::borrowed(Arc::clone(&backing), 0, scales.len()).unwrap(),
+        })
+        .unwrap();
+        assert!(rebuilt.is_borrowed());
+        for bit in 0..plan.bits {
+            for row in 0..plan.m_padded {
+                for kg in 0..plan.kg_total() {
+                    assert_eq!(rebuilt.index(bit, row, kg), plan.index(bit, row, kg));
+                }
+            }
+        }
+        // A clone of a borrowed plan shares the backing.
+        assert!(rebuilt.clone().is_borrowed());
+    }
+
+    #[test]
+    fn borrowed_segment_rejects_bad_ranges() {
+        use std::sync::Arc;
+        let backing: Arc<dyn PlanBacking> = Arc::new(VecBacking(vec![0u8; 64]));
+        assert!(Segment::<u8>::borrowed(Arc::clone(&backing), 60, 8).is_err());
+        // A misaligned f32 view: pick an offset that lands off the 4-byte
+        // grid wherever the allocation starts.
+        let base = backing.bytes().as_ptr() as usize;
+        let off = (0..4).find(|o| !(base + o).is_multiple_of(4)).unwrap();
+        assert!(Segment::<f32>::borrowed(Arc::clone(&backing), off, 4).is_err());
+        assert!(Segment::<u8>::borrowed(backing, 60, 4).is_ok());
     }
 
     #[test]

@@ -16,33 +16,9 @@
 //! Usage: `perf_check <measured.json> <thresholds.json>`
 
 use std::process::ExitCode;
-
-/// Parses a flat `{"key": number, ...}` JSON object (the only shape the
-/// bench harness writes; serde is unavailable offline).
-fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
-    let body = text.trim();
-    let body = body
-        .strip_prefix('{')
-        .and_then(|b| b.strip_suffix('}'))
-        .ok_or("expected a {...} object")?;
-    let mut out = Vec::new();
-    for pair in body.split(',') {
-        let pair = pair.trim();
-        if pair.is_empty() {
-            continue;
-        }
-        let (key, value) = pair
-            .split_once(':')
-            .ok_or_else(|| format!("expected \"key\": value, got {pair:?}"))?;
-        let key = key.trim().trim_matches('"').to_string();
-        let value: f64 = value
-            .trim()
-            .parse()
-            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
-        out.push((key, value));
-    }
-    Ok(out)
-}
+// The flat-JSON codec lives in `tmac_bench` so the merge-writer
+// (`write_perf_out`) and this gate share one definition of the format.
+use tmac_bench::parse_flat_json;
 
 fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;

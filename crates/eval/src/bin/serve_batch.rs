@@ -8,15 +8,21 @@
 //! measurement loops are shared with `benches/batched_decode.rs` through
 //! `tmac_eval::serving` so the two report comparable numbers.
 //!
-//! Flags: `--model 7b|13b|bitnet|tiny`, `--layers N`, `--bits B`,
-//! `--streams S`, `--prompt P`, `--tokens T`, `--threads N`,
-//! `--kv f32|i8` (KV-cache precision; `i8` quantizes the cache and serves
-//! attention on the fused streaming kernels), `--quick`.
+//! Flags: `--model 7b|13b|bitnet|tiny|<path>` (a path to a `.tmac`/`.gguf`
+//! container serves from the file — the convert-once → serve-many
+//! workflow), `--save-model <path>` (persist the synthetic model before
+//! serving), `--backend <registry name>` (container loads only; resolved
+//! through `BackendRegistry`), `--layers N`, `--bits B`, `--streams S`,
+//! `--prompt P`, `--tokens T`, `--threads N`, `--kv f32|i8` (KV-cache
+//! precision; `i8` quantizes the cache and serves attention on the fused
+//! streaming kernels), `--quick`.
 
 use tmac_core::ExecCtx;
 use tmac_eval::serving::{batched_tok_s, sequential_tok_s, ServeWorkload};
 use tmac_eval::Table;
-use tmac_llm::{BackendKind, KvPrecision, Model, ModelConfig, WeightQuant};
+use tmac_llm::{
+    BackendKind, BackendRegistry, KvPrecision, LoadMode, Model, ModelConfig, WeightQuant,
+};
 
 fn main() {
     let model_name = tmac_eval::arg("model", "7b");
@@ -31,37 +37,87 @@ fn main() {
     let n_new: usize = tmac_eval::arg("tokens", if quick { "4" } else { "16" })
         .parse()
         .expect("--tokens");
+    let save_model = tmac_eval::arg("save-model", "");
 
-    let base = match model_name.as_str() {
-        "7b" => ModelConfig::llama2_7b(),
-        "13b" => ModelConfig::llama2_13b(),
-        "bitnet" => ModelConfig::bitnet_3b(),
-        "tiny" => ModelConfig::tiny(),
-        other => panic!("unknown --model {other:?} (7b|13b|bitnet|tiny)"),
-    };
     let kv = match tmac_eval::arg("kv", "f32").as_str() {
         "f32" => KvPrecision::F32,
         "i8" => KvPrecision::I8,
         other => panic!("unknown --kv {other:?} (f32|i8)"),
     };
-    let seq_max = (prompt_len + n_new + 8).next_power_of_two().max(64);
-    let cfg = if model_name == "tiny" {
-        base.with_kv(kv)
+
+    let from_file = ["tmac", "gguf"]
+        .iter()
+        .any(|ext| model_name.ends_with(&format!(".{ext}")));
+    let (mut model, quant) = if from_file {
+        // Serve straight from a container: mmap-prepacked load, backend
+        // resolved by registry name so custom backends plug in here too.
+        let backend = tmac_eval::arg("backend", "tmac");
+        let builder = BackendRegistry::with_defaults()
+            .get(&backend)
+            .unwrap_or_else(|| panic!("unknown --backend {backend:?}"));
+        let t0 = std::time::Instant::now();
+        let model = Model::from_file(
+            std::path::Path::new(&model_name),
+            builder.as_ref(),
+            LoadMode::Mmap,
+        )
+        .expect("load model container");
+        println!(
+            "loaded {} from {model_name} in {:.3}s ({} backend)\n",
+            model.cfg.name,
+            t0.elapsed().as_secs_f64(),
+            model.backend_label()
+        );
+        let quant = model.quant;
+        (model, quant)
     } else {
-        base.scaled(layers, 64, seq_max).with_kv(kv)
+        let base = match model_name.as_str() {
+            "7b" => ModelConfig::llama2_7b(),
+            "13b" => ModelConfig::llama2_13b(),
+            "bitnet" => ModelConfig::bitnet_3b(),
+            "tiny" => ModelConfig::tiny(),
+            other => panic!("unknown --model {other:?} (7b|13b|bitnet|tiny|<path>)"),
+        };
+        let seq_max = (prompt_len + n_new + 8).next_power_of_two().max(64);
+        let cfg = if model_name == "tiny" {
+            base
+        } else {
+            base.scaled(layers, 64, seq_max)
+        };
+        let quant = if model_name == "bitnet" {
+            WeightQuant::BitnetTernary
+        } else {
+            WeightQuant::Rtn(bits)
+        };
+        let model = Model::synthetic(
+            &cfg,
+            quant,
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            7,
+        )
+        .expect("model");
+        (model, quant)
     };
-    let quant = if model_name == "bitnet" {
-        WeightQuant::BitnetTernary
-    } else {
-        WeightQuant::Rtn(bits)
-    };
-    let model = Model::synthetic(
-        &cfg,
-        quant,
-        BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
-        7,
-    )
-    .expect("model");
+    // The KV-precision knob applies to either source.
+    model.cfg.kv_precision = kv;
+    let cfg = model.cfg.clone();
+    // A container carries a fixed seq_max (the synthetic path auto-sizes
+    // it): fail up front with a capacity message instead of asserting
+    // deep in the KV cache mid-benchmark.
+    if prompt_len + n_new > cfg.seq_max {
+        eprintln!(
+            "serve_batch: --prompt {prompt_len} + --tokens {n_new} exceeds the model's seq_max \
+             {} — re-convert with a larger --seq or shrink the workload",
+            cfg.seq_max
+        );
+        std::process::exit(2);
+    }
+    if !save_model.is_empty() {
+        model
+            .save_file(std::path::Path::new(&save_model))
+            .expect("save model container");
+        println!("saved model to {save_model}\n");
+    }
     let ctx = ExecCtx::new(threads);
     let w = ServeWorkload {
         streams,

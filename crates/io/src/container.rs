@@ -1,0 +1,840 @@
+//! The native `.tmac` container: prepacked weights, mmap-loadable.
+//!
+//! Where GGUF stores *canonical* tensors that every consumer re-packs at
+//! startup, `.tmac` stores weights **already in the offline-transformed
+//! T-MAC layout** — the permuted bit-plane tile stream and tile-permuted
+//! scales exactly as the kernels stream them ([`tmac_core::WeightPlan`]).
+//! Loading is therefore a header parse plus an integrity sweep; the weight
+//! bytes are borrowed zero-copy from the file mapping and never touched.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! 0x00  magic    b"TMAC"
+//! 0x04  version  u32 (= 1)
+//! 0x08  index_len u64                  bytes of the index section
+//! 0x10  index:
+//!       meta_count u64
+//!       meta entries: key (string), value-type u32, value
+//!                     (GGUF value encoding; string = u64 len + UTF-8)
+//!       tensor_count u64
+//!       tensor entries:
+//!         name (string), kind u8
+//!         kind 0 (raw f32): n_dims u8, dims u64 × n_dims
+//!         kind 1 (prepacked plan):
+//!             m u64, k u64, bits u8, group_size u32, zero f32,
+//!             opts: flags u8 (bit0 table_quant, 1 mirror, 2 tiling,
+//!                   3 permute, 4 interleave, 5 fast_aggregation),
+//!                   tile_k u32, n_block u32, row_block u32, kg_panel u32
+//!         seg_count u8
+//!         segments: role u8, offset u64 (absolute, 32-aligned),
+//!                   byte_len u64, checksum u64 (FNV-1a)
+//! align(32) data region: segment blobs, each 32-aligned
+//! ```
+//!
+//! Segment roles: `0` = raw data / permuted index stream, `1` =
+//! tile-permuted scales (`f32`), `2` = row-major padded scales (`f32`,
+//! flat layouts), `3 + b` = flat nibble plane of bit `b`.
+
+use crate::gguf::GgufValue;
+use crate::{align_up, fnv1a64, put_string, Cursor, IoError, LoadMode, Mapping, DATA_ALIGN};
+use std::path::Path;
+use std::sync::Arc;
+use tmac_core::{KernelOpts, Layout, PlanParts, Segment, TmacError, WeightPlan};
+use tmac_quant::QuantizedMatrix;
+
+/// The `.tmac` magic.
+pub const TMAC_MAGIC: [u8; 4] = *b"TMAC";
+
+/// The container version this build reads and writes.
+pub const TMAC_VERSION: u32 = 1;
+
+const ROLE_DATA: u8 = 0;
+const ROLE_SCALES_PERM: u8 = 1;
+const ROLE_SCALES_FLAT: u8 = 2;
+const ROLE_FLAT_PLANE0: u8 = 3;
+
+impl From<TmacError> for IoError {
+    fn from(e: TmacError) -> Self {
+        IoError::ShapeMismatch(e.to_string())
+    }
+}
+
+/// Byte view of an `f32` slice (little-endian hosts; the container format
+/// is little-endian, matching every supported target).
+fn f32_bytes(v: &[f32]) -> &[u8] {
+    // SAFETY: f32 -> u8 view, no alignment requirement on reads.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast(), v.len() * 4) }
+}
+
+/// What a tensor's data is, for the writer.
+#[derive(Debug)]
+pub enum TensorSource<'a> {
+    /// A raw `f32` tensor (embeddings, norm gains).
+    F32 {
+        /// Dimensions (row-major; product = element count).
+        dims: Vec<u64>,
+        /// The data.
+        data: &'a [f32],
+    },
+    /// A prepacked weight plan, serialized in kernel byte order.
+    Plan(&'a WeightPlan),
+}
+
+/// One tensor to write.
+#[derive(Debug)]
+pub struct TensorSpec<'a> {
+    /// Tensor name (llama.cpp-style names by convention).
+    pub name: String,
+    /// The data.
+    pub source: TensorSource<'a>,
+}
+
+fn encode_opts(o: &KernelOpts, out: &mut Vec<u8>) {
+    let flags = o.table_quant as u8
+        | (o.mirror as u8) << 1
+        | (o.tiling as u8) << 2
+        | (o.permute as u8) << 3
+        | (o.interleave as u8) << 4
+        | (o.fast_aggregation as u8) << 5;
+    out.push(flags);
+    out.extend_from_slice(&(o.tile_k as u32).to_le_bytes());
+    out.extend_from_slice(&(o.n_block as u32).to_le_bytes());
+    out.extend_from_slice(&(o.row_block as u32).to_le_bytes());
+    out.extend_from_slice(&(o.kg_panel as u32).to_le_bytes());
+}
+
+fn decode_opts(c: &mut Cursor<'_>, what: &str) -> Result<KernelOpts, IoError> {
+    let flags = c.u8(what)?;
+    if flags & !0x3F != 0 {
+        return Err(IoError::Corrupt(format!("{what}: unknown option flags")));
+    }
+    Ok(KernelOpts {
+        table_quant: flags & 1 != 0,
+        mirror: flags & 2 != 0,
+        tiling: flags & 4 != 0,
+        permute: flags & 8 != 0,
+        interleave: flags & 16 != 0,
+        fast_aggregation: flags & 32 != 0,
+        tile_k: c.u32(what)? as usize,
+        n_block: c.u32(what)? as usize,
+        row_block: c.u32(what)? as usize,
+        kg_panel: c.u32(what)? as usize,
+    })
+}
+
+/// Segments of one tensor, in serialization order.
+fn plan_segments(plan: &WeightPlan) -> Vec<(u8, &[u8])> {
+    match plan.layout() {
+        Layout::Permuted { .. } => vec![
+            (ROLE_DATA, plan.perm_stream_bytes()),
+            (ROLE_SCALES_PERM, f32_bytes(plan.perm_scales())),
+        ],
+        Layout::Flat => {
+            let mut segs = vec![(ROLE_SCALES_FLAT, f32_bytes(plan.flat_scales_padded()))];
+            for bit in 0..plan.bits {
+                segs.push((ROLE_FLAT_PLANE0 + bit as u8, plan.flat_plane(bit)));
+            }
+            segs
+        }
+    }
+}
+
+/// Writes a `.tmac` container.
+///
+/// # Errors
+///
+/// [`IoError::Io`] on filesystem failures; [`IoError::ShapeMismatch`] for
+/// inconsistent tensor specs.
+pub fn write_container(
+    path: &Path,
+    meta: &[(String, GgufValue)],
+    tensors: &[TensorSpec<'_>],
+) -> Result<(), IoError> {
+    use std::io::Write;
+
+    // Gather every tensor's segments (role, bytes) with checksums.
+    let mut all_segs: Vec<Vec<(u8, &[u8], u64)>> = Vec::with_capacity(tensors.len());
+    for t in tensors {
+        let segs: Vec<(u8, &[u8])> = match &t.source {
+            TensorSource::F32 { dims, data } => {
+                let n: u64 = dims.iter().product();
+                if n != data.len() as u64 {
+                    return Err(IoError::ShapeMismatch(format!(
+                        "tensor {}: dims {dims:?} vs {} elements",
+                        t.name,
+                        data.len()
+                    )));
+                }
+                vec![(ROLE_DATA, f32_bytes(data))]
+            }
+            TensorSource::Plan(plan) => plan_segments(plan),
+        };
+        all_segs.push(
+            segs.into_iter()
+                .map(|(role, bytes)| (role, bytes, fnv1a64(bytes)))
+                .collect(),
+        );
+    }
+
+    // Serialize the index. Offsets are fixed-width, so the index length is
+    // independent of their values: pass 1 uses zeros to learn the length,
+    // pass 2 fills in the real 32-aligned data offsets.
+    let serialize_index = |offsets: &[Vec<u64>]| -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+        for (k, v) in meta {
+            put_string(&mut out, k);
+            out.extend_from_slice(&v.type_id().to_le_bytes());
+            v.encode(&mut out);
+        }
+        out.extend_from_slice(&(tensors.len() as u64).to_le_bytes());
+        for (ti, t) in tensors.iter().enumerate() {
+            put_string(&mut out, &t.name);
+            match &t.source {
+                TensorSource::F32 { dims, .. } => {
+                    out.push(0u8);
+                    out.push(dims.len() as u8);
+                    for d in dims {
+                        out.extend_from_slice(&d.to_le_bytes());
+                    }
+                }
+                TensorSource::Plan(plan) => {
+                    out.push(1u8);
+                    out.extend_from_slice(&(plan.m as u64).to_le_bytes());
+                    out.extend_from_slice(&(plan.k as u64).to_le_bytes());
+                    out.push(plan.bits as u8);
+                    out.extend_from_slice(&(plan.group_size as u32).to_le_bytes());
+                    out.extend_from_slice(&plan.zero.to_le_bytes());
+                    encode_opts(&plan.opts, &mut out);
+                }
+            }
+            out.push(all_segs[ti].len() as u8);
+            for (si, (role, bytes, checksum)) in all_segs[ti].iter().enumerate() {
+                out.push(*role);
+                out.extend_from_slice(&offsets[ti][si].to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(&checksum.to_le_bytes());
+            }
+        }
+        out
+    };
+
+    let zeros: Vec<Vec<u64>> = all_segs.iter().map(|segs| vec![0u64; segs.len()]).collect();
+    let index_len = serialize_index(&zeros).len();
+    let data_start = align_up(16 + index_len);
+    let mut offsets = zeros;
+    let mut off = data_start as u64;
+    for (ti, segs) in all_segs.iter().enumerate() {
+        for (si, (_, bytes, _)) in segs.iter().enumerate() {
+            offsets[ti][si] = off;
+            off += align_up(bytes.len()) as u64;
+        }
+    }
+    let index = serialize_index(&offsets);
+    debug_assert_eq!(index.len(), index_len);
+
+    let file = std::fs::File::create(path)
+        .map_err(|e| IoError::Io(format!("create {}: {e}", path.display())))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io = |e: std::io::Error| IoError::Io(format!("write {}: {e}", path.display()));
+    w.write_all(&TMAC_MAGIC).map_err(io)?;
+    w.write_all(&TMAC_VERSION.to_le_bytes()).map_err(io)?;
+    w.write_all(&(index_len as u64).to_le_bytes()).map_err(io)?;
+    w.write_all(&index).map_err(io)?;
+    let pad = [0u8; DATA_ALIGN];
+    w.write_all(&pad[..data_start - 16 - index_len])
+        .map_err(io)?;
+    for segs in &all_segs {
+        for (_, bytes, _) in segs {
+            w.write_all(bytes).map_err(io)?;
+            w.write_all(&pad[..align_up(bytes.len()) - bytes.len()])
+                .map_err(io)?;
+        }
+    }
+    w.flush().map_err(io)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    role: u8,
+    off: u64,
+    len: u64,
+    checksum: u64,
+}
+
+#[derive(Debug)]
+enum TensorKind {
+    F32 {
+        dims: Vec<u64>,
+    },
+    Plan {
+        m: usize,
+        k: usize,
+        bits: u8,
+        group_size: usize,
+        zero: f32,
+        opts: KernelOpts,
+    },
+}
+
+#[derive(Debug)]
+struct TensorEntry {
+    name: String,
+    kind: TensorKind,
+    segs: Vec<SegEntry>,
+}
+
+/// A parsed (and, via [`TmacContainer::open`], integrity-checked) `.tmac`
+/// container.
+#[derive(Debug)]
+pub struct TmacContainer {
+    map: Arc<Mapping>,
+    meta: Vec<(String, GgufValue)>,
+    tensors: Vec<TensorEntry>,
+}
+
+impl TmacContainer {
+    /// Opens `path`, parses the index, and verifies every segment checksum.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`IoError`]s: filesystem failures, truncation, bad magic,
+    /// version mismatch, structural corruption, checksum failures.
+    pub fn open(path: &Path, mode: LoadMode) -> Result<TmacContainer, IoError> {
+        let c = Self::open_unverified(path, mode)?;
+        c.verify()?;
+        Ok(c)
+    }
+
+    /// [`TmacContainer::open`] without the data-checksum sweep (header
+    /// structure is still fully validated). For measurements that want
+    /// pure mapping cost; production loads should prefer `open`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TmacContainer::open`], minus checksum failures.
+    pub fn open_unverified(path: &Path, mode: LoadMode) -> Result<TmacContainer, IoError> {
+        Self::parse(Arc::new(Mapping::open(path, mode)?))
+    }
+
+    /// Parses an in-memory image.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TmacContainer::open_unverified`].
+    pub fn parse(map: Arc<Mapping>) -> Result<TmacContainer, IoError> {
+        let bytes = map.bytes();
+        let mut c = Cursor::new(bytes);
+        let magic: [u8; 4] = c.take(4, "magic")?.try_into().unwrap();
+        if magic != TMAC_MAGIC {
+            return Err(IoError::BadMagic {
+                expected: TMAC_MAGIC,
+                found: magic,
+            });
+        }
+        let version = c.u32("version")?;
+        if version != TMAC_VERSION {
+            return Err(IoError::Version {
+                found: version,
+                supported: "tmac v1",
+            });
+        }
+        let index_len = c.u64("index length")? as usize;
+        let index = c.take(index_len, "index")?;
+        let mut c = Cursor::new(index);
+        let meta_count = c.u64("metadata count")? as usize;
+        if meta_count > 1 << 16 {
+            return Err(IoError::Corrupt(format!(
+                "implausible metadata count {meta_count}"
+            )));
+        }
+        let mut meta = Vec::with_capacity(meta_count);
+        for _ in 0..meta_count {
+            let key = c.string("metadata key")?;
+            let ty = c.u32("metadata value type")?;
+            let value = GgufValue::decode(ty, &mut c, &format!("metadata {key:?}"))?;
+            meta.push((key, value));
+        }
+        let tensor_count = c.u64("tensor count")? as usize;
+        if tensor_count > 1 << 20 {
+            return Err(IoError::Corrupt(format!(
+                "implausible tensor count {tensor_count}"
+            )));
+        }
+        let mut tensors = Vec::with_capacity(tensor_count.min(4096));
+        for _ in 0..tensor_count {
+            let name = c.string("tensor name")?;
+            let what = format!("tensor {name}");
+            let kind = match c.u8(&what)? {
+                0 => {
+                    let n_dims = c.u8(&what)? as usize;
+                    if n_dims > 8 {
+                        return Err(IoError::Corrupt(format!("{what}: {n_dims} dimensions")));
+                    }
+                    let mut dims = Vec::with_capacity(n_dims);
+                    for _ in 0..n_dims {
+                        dims.push(c.u64(&what)?);
+                    }
+                    TensorKind::F32 { dims }
+                }
+                1 => TensorKind::Plan {
+                    m: c.u64(&what)? as usize,
+                    k: c.u64(&what)? as usize,
+                    bits: c.u8(&what)?,
+                    group_size: c.u32(&what)? as usize,
+                    zero: c.f32(&what)?,
+                    opts: decode_opts(&mut c, &what)?,
+                },
+                other => {
+                    return Err(IoError::Corrupt(format!(
+                        "{what}: unknown tensor kind {other}"
+                    )))
+                }
+            };
+            let seg_count = c.u8(&what)? as usize;
+            if seg_count == 0 || seg_count > 8 {
+                return Err(IoError::Corrupt(format!("{what}: {seg_count} segments")));
+            }
+            let mut segs = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                let seg = SegEntry {
+                    role: c.u8(&what)?,
+                    off: c.u64(&what)?,
+                    len: c.u64(&what)?,
+                    checksum: c.u64(&what)?,
+                };
+                let end = seg
+                    .off
+                    .checked_add(seg.len)
+                    .ok_or_else(|| IoError::Corrupt(format!("{what}: segment overflow")))?;
+                if end > bytes.len() as u64 {
+                    return Err(IoError::Truncated {
+                        what: format!("{what} data"),
+                        need: seg.len as usize,
+                        have: bytes
+                            .len()
+                            .saturating_sub(seg.off.min(bytes.len() as u64) as usize),
+                    });
+                }
+                if !(seg.off as usize).is_multiple_of(DATA_ALIGN) {
+                    return Err(IoError::Corrupt(format!(
+                        "{what}: segment offset {} not {DATA_ALIGN}-aligned",
+                        seg.off
+                    )));
+                }
+                segs.push(seg);
+            }
+            tensors.push(TensorEntry { name, kind, segs });
+        }
+        Ok(TmacContainer { map, meta, tensors })
+    }
+
+    /// Verifies every segment's checksum against the data present.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Checksum`] naming the first failing tensor.
+    pub fn verify(&self) -> Result<(), IoError> {
+        let bytes = self.map.bytes();
+        for t in &self.tensors {
+            for s in &t.segs {
+                let data = &bytes[s.off as usize..(s.off + s.len) as usize];
+                let found = fnv1a64(data);
+                if found != s.checksum {
+                    return Err(IoError::Checksum {
+                        tensor: format!("{} (segment role {})", t.name, s.role),
+                        expected: s.checksum,
+                        found,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All metadata, in file order.
+    pub fn meta_entries(&self) -> &[(String, GgufValue)] {
+        &self.meta
+    }
+
+    /// Looks up a metadata value.
+    pub fn meta(&self, key: &str) -> Option<&GgufValue> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Tensor names, in file order.
+    pub fn tensor_names(&self) -> Vec<&str> {
+        self.tensors.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// True if `name` exists and is a prepacked plan.
+    pub fn is_plan(&self, name: &str) -> bool {
+        matches!(
+            self.entry(name),
+            Ok(TensorEntry {
+                kind: TensorKind::Plan { .. },
+                ..
+            })
+        )
+    }
+
+    fn entry(&self, name: &str) -> Result<&TensorEntry, IoError> {
+        self.tensors
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| IoError::MissingTensor(name.into()))
+    }
+
+    fn seg(&self, t: &TensorEntry, role: u8) -> Result<SegEntry, IoError> {
+        t.segs
+            .iter()
+            .find(|s| s.role == role)
+            .copied()
+            .ok_or_else(|| IoError::Corrupt(format!("{}: no segment with role {role}", t.name)))
+    }
+
+    /// Dimensions of a raw `f32` tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::MissingTensor`] / [`IoError::ShapeMismatch`].
+    pub fn f32_dims(&self, name: &str) -> Result<&[u64], IoError> {
+        match &self.entry(name)?.kind {
+            TensorKind::F32 { dims } => Ok(dims),
+            TensorKind::Plan { .. } => Err(IoError::ShapeMismatch(format!(
+                "{name} is a prepacked plan, not a raw f32 tensor"
+            ))),
+        }
+    }
+
+    /// Zero-copy `f32` view of a raw tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::MissingTensor`] / [`IoError::ShapeMismatch`].
+    pub fn f32_tensor(&self, name: &str) -> Result<&[f32], IoError> {
+        let t = self.entry(name)?;
+        let TensorKind::F32 { dims } = &t.kind else {
+            return Err(IoError::ShapeMismatch(format!(
+                "{name} is a prepacked plan, not a raw f32 tensor"
+            )));
+        };
+        let seg = self.seg(t, ROLE_DATA)?;
+        // Dims come from the file: all arithmetic checked so a crafted
+        // index can neither wrap into a passing length check nor panic.
+        let byte_len = dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+            .and_then(|n| n.checked_mul(4));
+        if byte_len != Some(seg.len) {
+            return Err(IoError::ShapeMismatch(format!(
+                "{name}: {} data bytes for dims {dims:?}",
+                seg.len
+            )));
+        }
+        let bytes = &self.map.bytes()[seg.off as usize..(seg.off + seg.len) as usize];
+        if !(bytes.as_ptr() as usize).is_multiple_of(4) {
+            return Err(IoError::Corrupt(format!("{name}: misaligned f32 data")));
+        }
+        // SAFETY: length and 4-byte alignment checked; mapping outlives
+        // the borrow.
+        Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), seg.len as usize / 4) })
+    }
+
+    /// Rebuilds the prepacked [`WeightPlan`] of tensor `name`, borrowing
+    /// every data segment zero-copy from the container mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::MissingTensor`] / [`IoError::ShapeMismatch`] when the
+    /// metadata and segment lengths disagree.
+    pub fn plan(&self, name: &str) -> Result<WeightPlan, IoError> {
+        let t = self.entry(name)?;
+        let TensorKind::Plan {
+            m,
+            k,
+            bits,
+            group_size,
+            zero,
+            opts,
+        } = &t.kind
+        else {
+            return Err(IoError::ShapeMismatch(format!(
+                "{name} is a raw f32 tensor, not a prepacked plan"
+            )));
+        };
+        let owner: Arc<dyn tmac_core::PlanBacking> = self.map.clone();
+        let borrow_u8 = |seg: SegEntry| -> Result<Segment<u8>, IoError> {
+            Ok(Segment::borrowed(
+                owner.clone(),
+                seg.off as usize,
+                seg.len as usize,
+            )?)
+        };
+        let borrow_f32 = |seg: SegEntry| -> Result<Segment<f32>, IoError> {
+            if !seg.len.is_multiple_of(4) {
+                return Err(IoError::ShapeMismatch(format!(
+                    "{name}: ragged f32 segment ({} bytes)",
+                    seg.len
+                )));
+            }
+            Ok(Segment::borrowed(
+                owner.clone(),
+                seg.off as usize,
+                seg.len as usize / 4,
+            )?)
+        };
+        let empty_u8 = || Segment::from_vec(Vec::new());
+        let empty_f32 = || Segment::from_vec(Vec::new());
+
+        let (flat_planes, perm_stream, scales_flat, scales_perm) = if opts.permute {
+            (
+                Vec::new(),
+                borrow_u8(self.seg(t, ROLE_DATA)?)?,
+                empty_f32(),
+                borrow_f32(self.seg(t, ROLE_SCALES_PERM)?)?,
+            )
+        } else {
+            let mut planes = Vec::with_capacity(*bits as usize);
+            for bit in 0..*bits {
+                planes.push(borrow_u8(self.seg(t, ROLE_FLAT_PLANE0 + bit)?)?);
+            }
+            (
+                planes,
+                empty_u8(),
+                borrow_f32(self.seg(t, ROLE_SCALES_FLAT)?)?,
+                empty_f32(),
+            )
+        };
+        Ok(WeightPlan::from_parts(PlanParts {
+            m: *m,
+            k: *k,
+            bits: *bits as usize,
+            group_size: *group_size,
+            zero: *zero,
+            opts: *opts,
+            flat_planes,
+            perm_stream,
+            scales_flat,
+            scales_perm,
+        })?)
+    }
+
+    /// Materializes the canonical quantized matrix of tensor `name` (the
+    /// lazy fallback for backends that do not consume the prepacked
+    /// layout — dequant, `f32`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TmacContainer::plan`].
+    pub fn quantized(&self, name: &str) -> Result<QuantizedMatrix, IoError> {
+        Ok(self.plan(name)?.to_quantized())
+    }
+
+    /// Total bytes of tensor data (excluding index and padding).
+    pub fn data_bytes(&self) -> u64 {
+        self.tensors
+            .iter()
+            .flat_map(|t| t.segs.iter())
+            .map(|s| s.len)
+            .sum()
+    }
+
+    /// The underlying mapping (diagnostics: mapped vs copied).
+    pub fn mapping(&self) -> &Mapping {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_quant::rtn;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tmac-container-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_plan(opts: KernelOpts) -> WeightPlan {
+        let (m, k) = (40, 128);
+        let w: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.17).sin()).collect();
+        let qm = rtn::quantize(&w, m, k, 2, 32).unwrap();
+        WeightPlan::new(&qm, opts).unwrap()
+    }
+
+    fn write_sample(path: &std::path::Path, opts: KernelOpts) -> WeightPlan {
+        let plan = sample_plan(opts);
+        let gains: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        let meta = vec![
+            ("tmac.cfg.dim".to_string(), GgufValue::U64(128)),
+            ("general.name".to_string(), GgufValue::String("unit".into())),
+        ];
+        let tensors = vec![
+            TensorSpec {
+                name: "norm.weight".into(),
+                source: TensorSource::F32 {
+                    dims: vec![16],
+                    data: &gains,
+                },
+            },
+            TensorSpec {
+                name: "w.weight".into(),
+                source: TensorSource::Plan(&plan),
+            },
+        ];
+        write_container(path, &meta, &tensors).unwrap();
+        plan
+    }
+
+    #[test]
+    fn roundtrip_permuted_plan_zero_copy() {
+        let path = tmp("perm.tmac");
+        let plan = write_sample(&path, KernelOpts::tmac());
+        for mode in [LoadMode::Mmap, LoadMode::Copy] {
+            let c = TmacContainer::open(&path, mode).unwrap();
+            assert_eq!(c.meta("tmac.cfg.dim").unwrap().as_u64(), Some(128));
+            assert_eq!(c.tensor_names(), vec!["norm.weight", "w.weight"]);
+            assert!(c.is_plan("w.weight"));
+            assert!(!c.is_plan("norm.weight"));
+            let gains = c.f32_tensor("norm.weight").unwrap();
+            assert_eq!(gains.len(), 16);
+            assert_eq!(gains[4], 1.0);
+            let loaded = c.plan("w.weight").unwrap();
+            assert!(loaded.is_borrowed(), "prepacked load must be zero-copy");
+            assert_eq!(loaded.perm_stream_bytes(), plan.perm_stream_bytes());
+            assert_eq!(loaded.perm_scales(), plan.perm_scales());
+            assert_eq!(loaded.opts, plan.opts);
+            assert_eq!(loaded.to_quantized(), plan.to_quantized());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_flat_plan() {
+        let path = tmp("flat.tmac");
+        let plan = write_sample(&path, KernelOpts::plus_table_quant());
+        let c = TmacContainer::open(&path, LoadMode::Copy).unwrap();
+        let loaded = c.plan("w.weight").unwrap();
+        assert_eq!(loaded.layout(), Layout::Flat);
+        for bit in 0..plan.bits {
+            assert_eq!(loaded.flat_plane(bit), plan.flat_plane(bit));
+        }
+        assert_eq!(loaded.to_quantized(), plan.to_quantized());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_injection_yields_typed_errors() {
+        let path = tmp("fault.tmac");
+        write_sample(&path, KernelOpts::tmac());
+        let good = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[1] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            TmacContainer::open(&path, LoadMode::Copy),
+            Err(IoError::BadMagic { .. })
+        ));
+
+        // Version mismatch.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            TmacContainer::open(&path, LoadMode::Copy),
+            Err(IoError::Version { found: 9, .. })
+        ));
+
+        // Truncation at various depths.
+        for cut in [2, 10, 20, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            let err = TmacContainer::open(&path, LoadMode::Copy);
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+
+        // Data corruption: flip one byte in the last segment.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 40] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            TmacContainer::open(&path, LoadMode::Copy),
+            Err(IoError::Checksum { .. })
+        ));
+        // ...which open_unverified tolerates (measurement mode).
+        assert!(TmacContainer::open_unverified(&path, LoadMode::Copy).is_ok());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crafted_overflow_dims_fail_typed() {
+        // An F32 tensor whose dims are chosen so the *wrapping* product
+        // `n * 4` equals the real segment length: with unchecked
+        // arithmetic this passed validation and built a 2^62-element
+        // slice over a 64-byte mapping (UB). It must be a typed error.
+        let path = tmp("overflow.tmac");
+        write_sample(&path, KernelOpts::tmac());
+        let good = std::fs::read(&path).unwrap();
+        let key = b"norm.weight";
+        let pos = good
+            .windows(key.len())
+            .position(|w| w == key)
+            .expect("tensor name in index");
+        // name bytes, kind u8 (0), n_dims u8 (1), then the u64 dim.
+        let dpos = pos + key.len() + 2;
+        assert_eq!(
+            &good[dpos..dpos + 8],
+            &16u64.to_le_bytes(),
+            "located the dim field"
+        );
+        let mut bad = good.clone();
+        // 16 f32s = 64 bytes; (2^62 + 16) * 4 wraps to 64.
+        bad[dpos..dpos + 8].copy_from_slice(&((1u64 << 62) + 16).to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let c = TmacContainer::open(&path, LoadMode::Copy).unwrap();
+        assert!(matches!(
+            c.f32_tensor("norm.weight"),
+            Err(IoError::ShapeMismatch(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opts_codec_roundtrip() {
+        for opts in [
+            KernelOpts::tmac(),
+            KernelOpts::tmac_mirror(),
+            KernelOpts::tmac_fast_aggregation(),
+            KernelOpts::tm_base(),
+            KernelOpts::plus_tuning(512, 8),
+        ] {
+            let mut buf = Vec::new();
+            encode_opts(&opts, &mut buf);
+            let back = decode_opts(&mut Cursor::new(&buf), "opts").unwrap();
+            assert_eq!(back, opts);
+        }
+    }
+
+    #[test]
+    fn writer_rejects_dim_disagreement() {
+        let gains = vec![0f32; 8];
+        let err = write_container(
+            &tmp("bad.tmac"),
+            &[],
+            &[TensorSpec {
+                name: "x".into(),
+                source: TensorSource::F32 {
+                    dims: vec![9],
+                    data: &gains,
+                },
+            }],
+        );
+        assert!(matches!(err, Err(IoError::ShapeMismatch(_))));
+    }
+}

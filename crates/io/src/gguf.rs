@@ -1,0 +1,752 @@
+//! GGUF-compatible reader/writer.
+//!
+//! GGUF is llama.cpp's container: magic `GGUF`, a little-endian versioned
+//! header, string-keyed typed metadata, a tensor index (name, dims, GGML
+//! type, data offset) and an aligned data section. This module implements
+//! the v3 wire format (v2 parses identically for the subset used here):
+//! enough to round-trip this repo's models byte-for-byte and to parse the
+//! headers of real GGUF checkpoints — tensors of GGML types this build
+//! does not consume still index cleanly; only *reading their payload*
+//! reports [`IoError::Unsupported`].
+
+use crate::{align_up, fnv1a64, put_string, Cursor, IoError, LoadMode, Mapping, DATA_ALIGN};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The GGUF magic.
+pub const GGUF_MAGIC: [u8; 4] = *b"GGUF";
+
+/// The GGUF version this writer emits.
+pub const GGUF_VERSION: u32 = 3;
+
+/// GGML tensor element types (the subset with known sizes, plus a
+/// pass-through for everything else so real-checkpoint headers parse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GgmlType {
+    /// 32-bit float.
+    F32,
+    /// 16-bit float (parsed, not consumed).
+    F16,
+    /// llama.cpp `Q8_0` blocks (parsed, not consumed).
+    Q8_0,
+    /// Signed 8-bit integers — this repo stores quantization codes here.
+    I8,
+    /// Signed 32-bit integers.
+    I32,
+    /// A type id this build does not know; its payload size is unknown.
+    Unknown(u32),
+}
+
+impl GgmlType {
+    /// Decodes a GGML type id.
+    pub fn from_id(id: u32) -> GgmlType {
+        match id {
+            0 => GgmlType::F32,
+            1 => GgmlType::F16,
+            8 => GgmlType::Q8_0,
+            24 => GgmlType::I8,
+            26 => GgmlType::I32,
+            other => GgmlType::Unknown(other),
+        }
+    }
+
+    /// The GGML type id.
+    pub fn id(self) -> u32 {
+        match self {
+            GgmlType::F32 => 0,
+            GgmlType::F16 => 1,
+            GgmlType::Q8_0 => 8,
+            GgmlType::I8 => 24,
+            GgmlType::I32 => 26,
+            GgmlType::Unknown(id) => id,
+        }
+    }
+
+    /// `(block_elements, block_bytes)`, or `None` for unknown types.
+    pub fn block(self) -> Option<(usize, usize)> {
+        match self {
+            GgmlType::F32 => Some((1, 4)),
+            GgmlType::F16 => Some((1, 2)),
+            GgmlType::Q8_0 => Some((32, 34)),
+            GgmlType::I8 => Some((1, 1)),
+            GgmlType::I32 => Some((1, 4)),
+            GgmlType::Unknown(_) => None,
+        }
+    }
+
+    /// Byte size of a tensor with `n` elements, if the type is known,
+    /// `n` fills whole blocks, and the size fits in `u64` (header fields
+    /// are untrusted — overflow means a crafted file, not a panic).
+    pub fn data_len(self, n: u64) -> Option<u64> {
+        let (be, bb) = self.block()?;
+        if !n.is_multiple_of(be as u64) {
+            return None;
+        }
+        (n / be as u64).checked_mul(bb as u64)
+    }
+}
+
+/// A typed GGUF metadata value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GgufValue {
+    /// GGUF type 0.
+    U8(u8),
+    /// GGUF type 1.
+    I8(i8),
+    /// GGUF type 2.
+    U16(u16),
+    /// GGUF type 3.
+    I16(i16),
+    /// GGUF type 4.
+    U32(u32),
+    /// GGUF type 5.
+    I32(i32),
+    /// GGUF type 6.
+    F32(f32),
+    /// GGUF type 7.
+    Bool(bool),
+    /// GGUF type 8.
+    String(String),
+    /// GGUF type 9: homogeneous array (element type id + items).
+    Array {
+        /// GGUF type id of the elements.
+        elem: u32,
+        /// The items (each of type `elem`).
+        items: Vec<GgufValue>,
+    },
+    /// GGUF type 10.
+    U64(u64),
+    /// GGUF type 11.
+    I64(i64),
+    /// GGUF type 12.
+    F64(f64),
+}
+
+impl GgufValue {
+    /// The GGUF value-type id.
+    pub fn type_id(&self) -> u32 {
+        match self {
+            GgufValue::U8(_) => 0,
+            GgufValue::I8(_) => 1,
+            GgufValue::U16(_) => 2,
+            GgufValue::I16(_) => 3,
+            GgufValue::U32(_) => 4,
+            GgufValue::I32(_) => 5,
+            GgufValue::F32(_) => 6,
+            GgufValue::Bool(_) => 7,
+            GgufValue::String(_) => 8,
+            GgufValue::Array { .. } => 9,
+            GgufValue::U64(_) => 10,
+            GgufValue::I64(_) => 11,
+            GgufValue::F64(_) => 12,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is any integer type.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            GgufValue::U8(v) => Some(v as u64),
+            GgufValue::I8(v) if v >= 0 => Some(v as u64),
+            GgufValue::U16(v) => Some(v as u64),
+            GgufValue::I16(v) if v >= 0 => Some(v as u64),
+            GgufValue::U32(v) => Some(v as u64),
+            GgufValue::I32(v) if v >= 0 => Some(v as u64),
+            GgufValue::U64(v) => Some(v),
+            GgufValue::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f32`, if it is a float type.
+    pub fn as_f32(&self) -> Option<f32> {
+        match *self {
+            GgufValue::F32(v) => Some(v),
+            GgufValue::F64(v) => Some(v as f32),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            GgufValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GgufValue::U8(v) => out.push(*v),
+            GgufValue::I8(v) => out.push(*v as u8),
+            GgufValue::U16(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::I16(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::U32(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::I32(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::F32(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::Bool(v) => out.push(*v as u8),
+            GgufValue::String(s) => put_string(out, s),
+            GgufValue::Array { elem, items } => {
+                out.extend_from_slice(&elem.to_le_bytes());
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for it in items {
+                    debug_assert_eq!(it.type_id(), *elem, "heterogeneous GGUF array");
+                    it.encode(out);
+                }
+            }
+            GgufValue::U64(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::I64(v) => out.extend_from_slice(&v.to_le_bytes()),
+            GgufValue::F64(v) => out.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    pub(crate) fn decode(ty: u32, c: &mut Cursor<'_>, what: &str) -> Result<GgufValue, IoError> {
+        Ok(match ty {
+            0 => GgufValue::U8(c.u8(what)?),
+            1 => GgufValue::I8(c.u8(what)? as i8),
+            2 => GgufValue::U16(c.u16(what)?),
+            3 => GgufValue::I16(c.u16(what)? as i16),
+            4 => GgufValue::U32(c.u32(what)?),
+            5 => GgufValue::I32(c.u32(what)? as i32),
+            6 => GgufValue::F32(c.f32(what)?),
+            7 => GgufValue::Bool(c.u8(what)? != 0),
+            8 => GgufValue::String(c.string(what)?),
+            9 => {
+                let elem = c.u32(what)?;
+                if elem == 9 {
+                    return Err(IoError::Corrupt(format!("{what}: nested array")));
+                }
+                let n = c.u64(what)? as usize;
+                if n > 1 << 24 {
+                    return Err(IoError::Corrupt(format!(
+                        "{what}: implausible array length {n}"
+                    )));
+                }
+                let mut items = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    items.push(GgufValue::decode(elem, c, what)?);
+                }
+                GgufValue::Array { elem, items }
+            }
+            10 => GgufValue::U64(c.u64(what)?),
+            11 => GgufValue::I64(c.u64(what)? as i64),
+            12 => GgufValue::F64(c.f64(what)?),
+            other => {
+                return Err(IoError::Corrupt(format!(
+                    "{what}: unknown GGUF value type {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// One entry of the tensor index.
+#[derive(Debug, Clone)]
+pub struct GgufTensorInfo {
+    /// Tensor name.
+    pub name: String,
+    /// Dimensions (GGUF order; product = element count).
+    pub dims: Vec<u64>,
+    /// Element type.
+    pub dtype: GgmlType,
+    /// Byte offset of the data, relative to the data-section start.
+    pub offset: u64,
+}
+
+impl GgufTensorInfo {
+    /// Total element count, saturating on overflow (dims are untrusted
+    /// header fields; a saturated count can never pass the size checks,
+    /// and never panics in debug builds).
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().fold(1u64, |acc, &d| acc.saturating_mul(d))
+    }
+}
+
+/// A parsed GGUF file.
+#[derive(Debug)]
+pub struct GgufFile {
+    map: Arc<Mapping>,
+    version: u32,
+    meta: Vec<(String, GgufValue)>,
+    tensors: Vec<GgufTensorInfo>,
+    data_start: usize,
+}
+
+impl GgufFile {
+    /// Opens and parses a GGUF file.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`IoError`]s for filesystem failures, bad magic, unsupported
+    /// versions, and structural corruption.
+    pub fn open(path: &Path, mode: LoadMode) -> Result<GgufFile, IoError> {
+        Self::parse(Arc::new(Mapping::open(path, mode)?))
+    }
+
+    /// Parses an in-memory image (used by tests and round-trip checks).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GgufFile::open`].
+    pub fn parse(map: Arc<Mapping>) -> Result<GgufFile, IoError> {
+        let bytes = map.bytes();
+        let mut c = Cursor::new(bytes);
+        let magic: [u8; 4] = c.take(4, "magic")?.try_into().unwrap();
+        if magic != GGUF_MAGIC {
+            return Err(IoError::BadMagic {
+                expected: GGUF_MAGIC,
+                found: magic,
+            });
+        }
+        let version = c.u32("version")?;
+        if !(2..=3).contains(&version) {
+            return Err(IoError::Version {
+                found: version,
+                supported: "GGUF v2-v3",
+            });
+        }
+        let tensor_count = c.u64("tensor count")? as usize;
+        let kv_count = c.u64("metadata count")? as usize;
+        if tensor_count > 1 << 20 || kv_count > 1 << 20 {
+            return Err(IoError::Corrupt(format!(
+                "implausible counts: {tensor_count} tensors, {kv_count} metadata keys"
+            )));
+        }
+        let mut meta = Vec::with_capacity(kv_count.min(1024));
+        for _ in 0..kv_count {
+            let key = c.string("metadata key")?;
+            let ty = c.u32("metadata value type")?;
+            let value = GgufValue::decode(ty, &mut c, &format!("metadata {key:?}"))?;
+            meta.push((key, value));
+        }
+        let mut tensors = Vec::with_capacity(tensor_count.min(4096));
+        for _ in 0..tensor_count {
+            let name = c.string("tensor name")?;
+            let n_dims = c.u32(&format!("{name}: n_dims"))? as usize;
+            if n_dims > 8 {
+                return Err(IoError::Corrupt(format!("{name}: {n_dims} dimensions")));
+            }
+            let mut dims = Vec::with_capacity(n_dims);
+            for _ in 0..n_dims {
+                dims.push(c.u64(&format!("{name}: dim"))?);
+            }
+            let dtype = GgmlType::from_id(c.u32(&format!("{name}: type"))?);
+            let offset = c.u64(&format!("{name}: offset"))?;
+            tensors.push(GgufTensorInfo {
+                name,
+                dims,
+                dtype,
+                offset,
+            });
+        }
+        let alignment = meta
+            .iter()
+            .find(|(k, _)| k == "general.alignment")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(DATA_ALIGN as u64) as usize;
+        if alignment == 0 || !alignment.is_power_of_two() {
+            return Err(IoError::Corrupt(format!("bad alignment {alignment}")));
+        }
+        let data_start = c.pos().div_ceil(alignment) * alignment;
+        // Validate every known-type tensor's data range up front so data
+        // access never panics.
+        for t in &tensors {
+            if let Some(len) = t.dtype.data_len(t.elements()) {
+                let end = (data_start as u64)
+                    .checked_add(t.offset)
+                    .and_then(|start| start.checked_add(len))
+                    .ok_or_else(|| IoError::Corrupt(format!("{}: offset overflow", t.name)))?;
+                let start = data_start as u64 + t.offset; // no overflow: end computed above
+                if end > bytes.len() as u64 {
+                    return Err(IoError::Truncated {
+                        what: format!("tensor {} data", t.name),
+                        need: len as usize,
+                        have: bytes
+                            .len()
+                            .saturating_sub(start.min(bytes.len() as u64) as usize),
+                    });
+                }
+            }
+        }
+        Ok(GgufFile {
+            map,
+            version,
+            meta,
+            tensors,
+            data_start,
+        })
+    }
+
+    /// The parsed format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// All metadata, in file order.
+    pub fn meta_entries(&self) -> &[(String, GgufValue)] {
+        &self.meta
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn meta(&self, key: &str) -> Option<&GgufValue> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The tensor index, in file order.
+    pub fn tensors(&self) -> &[GgufTensorInfo] {
+        &self.tensors
+    }
+
+    /// Looks up a tensor by name.
+    pub fn tensor(&self, name: &str) -> Option<&GgufTensorInfo> {
+        self.tensors.iter().find(|t| t.name == name)
+    }
+
+    /// The raw data bytes of tensor `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::MissingTensor`] for unknown names,
+    /// [`IoError::Unsupported`] for tensors of unknown GGML types.
+    pub fn tensor_bytes(&self, name: &str) -> Result<&[u8], IoError> {
+        let t = self
+            .tensor(name)
+            .ok_or_else(|| IoError::MissingTensor(name.into()))?;
+        let len = t.dtype.data_len(t.elements()).ok_or_else(|| {
+            IoError::Unsupported(format!(
+                "tensor {name}: GGML type {:?} has no known payload size",
+                t.dtype
+            ))
+        })? as usize;
+        let start = self.data_start + t.offset as usize;
+        // Ranges were validated at parse time.
+        Ok(&self.map.bytes()[start..start + len])
+    }
+
+    /// The `f32` payload of tensor `name`, copied out (the interchange
+    /// path; the zero-copy hot path is the `.tmac` container).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::ShapeMismatch`] if the tensor is not `F32`.
+    pub fn tensor_f32(&self, name: &str) -> Result<Vec<f32>, IoError> {
+        let t = self
+            .tensor(name)
+            .ok_or_else(|| IoError::MissingTensor(name.into()))?;
+        if t.dtype != GgmlType::F32 {
+            return Err(IoError::ShapeMismatch(format!(
+                "tensor {name}: expected F32, found {:?}",
+                t.dtype
+            )));
+        }
+        let bytes = self.tensor_bytes(name)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A content hash of a tensor's payload (round-trip assertions).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GgufFile::tensor_bytes`].
+    pub fn tensor_checksum(&self, name: &str) -> Result<u64, IoError> {
+        Ok(fnv1a64(self.tensor_bytes(name)?))
+    }
+}
+
+/// A GGUF writer: collect metadata and tensors, then serialize.
+#[derive(Debug, Default)]
+pub struct GgufWriter {
+    meta: Vec<(String, GgufValue)>,
+    tensors: Vec<(String, Vec<u64>, GgmlType, Vec<u8>)>,
+}
+
+impl GgufWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a metadata key/value pair.
+    pub fn meta(&mut self, key: &str, value: GgufValue) -> &mut Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::ShapeMismatch`] if `data` does not match `dims`/`dtype`.
+    pub fn tensor(
+        &mut self,
+        name: &str,
+        dims: &[u64],
+        dtype: GgmlType,
+        data: Vec<u8>,
+    ) -> Result<&mut Self, IoError> {
+        let elements = dims.iter().fold(1u64, |acc, &d| acc.saturating_mul(d));
+        match dtype.data_len(elements) {
+            Some(len) if len == data.len() as u64 => {}
+            _ => {
+                return Err(IoError::ShapeMismatch(format!(
+                    "tensor {name}: {} data bytes for dims {dims:?} of {dtype:?}",
+                    data.len()
+                )))
+            }
+        }
+        self.tensors
+            .push((name.to_string(), dims.to_vec(), dtype, data));
+        Ok(self)
+    }
+
+    /// Convenience: appends an `f32` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GgufWriter::tensor`].
+    pub fn tensor_f32(
+        &mut self,
+        name: &str,
+        dims: &[u64],
+        data: &[f32],
+    ) -> Result<&mut Self, IoError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.tensor(name, dims, GgmlType::F32, bytes)
+    }
+
+    /// Serializes to an in-memory image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&GGUF_MAGIC);
+        out.extend_from_slice(&GGUF_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.tensors.len() as u64).to_le_bytes());
+        let has_alignment = self.meta.iter().any(|(k, _)| k == "general.alignment");
+        let kv_count = self.meta.len() as u64 + !has_alignment as u64;
+        out.extend_from_slice(&kv_count.to_le_bytes());
+        if !has_alignment {
+            put_string(&mut out, "general.alignment");
+            out.extend_from_slice(&4u32.to_le_bytes()); // value type U32
+            out.extend_from_slice(&(DATA_ALIGN as u32).to_le_bytes());
+        }
+        for (k, v) in &self.meta {
+            put_string(&mut out, k);
+            out.extend_from_slice(&v.type_id().to_le_bytes());
+            v.encode(&mut out);
+        }
+        // Tensor index: offsets are relative to the aligned data section,
+        // each tensor aligned.
+        let mut offset = 0u64;
+        for (name, dims, dtype, data) in &self.tensors {
+            put_string(&mut out, name);
+            out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+            for d in dims {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            out.extend_from_slice(&dtype.id().to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            offset += align_up(data.len()) as u64;
+        }
+        let data_start = align_up(out.len());
+        out.resize(data_start, 0);
+        for (_, _, _, data) in &self.tensors {
+            out.extend_from_slice(data);
+            out.resize(align_up(out.len()), 0);
+        }
+        out
+    }
+
+    /// Writes the file to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] on filesystem failures.
+    pub fn write(&self, path: &Path) -> Result<(), IoError> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| IoError::Io(format!("write {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GgufWriter {
+        let mut w = GgufWriter::new();
+        w.meta("general.name", GgufValue::String("unit".into()))
+            .meta("tmac.cfg.dim", GgufValue::U64(64))
+            .meta("tmac.cfg.rope_theta", GgufValue::F32(10000.0))
+            .meta("tmac.flag", GgufValue::Bool(true))
+            .meta(
+                "tmac.list",
+                GgufValue::Array {
+                    elem: 8,
+                    items: vec![GgufValue::String("a".into()), GgufValue::String("b".into())],
+                },
+            );
+        w.tensor_f32(
+            "t.f32",
+            &[4, 2],
+            &[0.5, -1.5, 2.0, 0.0, 1.0, -2.0, 3.5, 4.0],
+        )
+        .unwrap();
+        w.tensor("t.codes", &[6], GgmlType::I8, vec![1, 2, 3, 4, 5, 6])
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn roundtrip_preserves_meta_and_tensors() {
+        let bytes = sample().to_bytes();
+        let f = GgufFile::parse(Arc::new(Mapping::from_bytes(&bytes))).unwrap();
+        assert_eq!(f.version(), GGUF_VERSION);
+        assert_eq!(f.meta("tmac.cfg.dim").unwrap().as_u64(), Some(64));
+        assert_eq!(
+            f.meta("tmac.cfg.rope_theta").unwrap().as_f32(),
+            Some(10000.0)
+        );
+        assert_eq!(f.meta("general.name").unwrap().as_str(), Some("unit"));
+        assert!(matches!(
+            f.meta("tmac.list"),
+            Some(GgufValue::Array { items, .. }) if items.len() == 2
+        ));
+        let t = f.tensor("t.f32").unwrap();
+        assert_eq!(t.dims, vec![4, 2]);
+        assert_eq!(
+            f.tensor_f32("t.f32").unwrap(),
+            vec![0.5, -1.5, 2.0, 0.0, 1.0, -2.0, 3.5, 4.0]
+        );
+        assert_eq!(f.tensor_bytes("t.codes").unwrap(), &[1, 2, 3, 4, 5, 6]);
+        // Data blobs are aligned: the second tensor starts one aligned
+        // stride after the first.
+        assert_eq!(f.tensor("t.codes").unwrap().offset, align_up(32) as u64);
+        assert!(f.tensor_checksum("t.codes").unwrap() != 0);
+    }
+
+    #[test]
+    fn rewriting_parsed_content_is_byte_identical() {
+        let bytes = sample().to_bytes();
+        let f = GgufFile::parse(Arc::new(Mapping::from_bytes(&bytes))).unwrap();
+        let mut w = GgufWriter::new();
+        for (k, v) in f.meta_entries() {
+            w.meta(k, v.clone());
+        }
+        for t in f.tensors() {
+            w.tensor(
+                &t.name,
+                &t.dims,
+                t.dtype,
+                f.tensor_bytes(&t.name).unwrap().to_vec(),
+            )
+            .unwrap();
+        }
+        assert_eq!(w.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_version_truncation() {
+        let bytes = sample().to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            GgufFile::parse(Arc::new(Mapping::from_bytes(&bad))),
+            Err(IoError::BadMagic { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 1; // GGUF v1 (u32 counts) is not supported
+        assert!(matches!(
+            GgufFile::parse(Arc::new(Mapping::from_bytes(&bad))),
+            Err(IoError::Version { found: 1, .. })
+        ));
+        // The final cut lands inside the last tensor's payload (the file
+        // tail is alignment padding, which parses fine when shortened).
+        for cut in [3, 11, 40, bytes.len() - 30] {
+            assert!(
+                GgufFile::parse(Arc::new(Mapping::from_bytes(&bytes[..cut]))).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tensor_types_parse_but_do_not_read() {
+        // Hand-build a header with a Q4_K-style (id 12) tensor: the header
+        // must parse (real-checkpoint compatibility), payload reads must
+        // fail typed.
+        let mut out = Vec::new();
+        out.extend_from_slice(&GGUF_MAGIC);
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes()); // one tensor
+        out.extend_from_slice(&0u64.to_le_bytes()); // no metadata
+        put_string(&mut out, "w");
+        out.extend_from_slice(&1u32.to_le_bytes()); // n_dims
+        out.extend_from_slice(&256u64.to_le_bytes());
+        out.extend_from_slice(&12u32.to_le_bytes()); // unknown type id
+        out.extend_from_slice(&0u64.to_le_bytes()); // offset
+        let f = GgufFile::parse(Arc::new(Mapping::from_bytes(&out))).unwrap();
+        assert_eq!(f.tensors().len(), 1);
+        assert_eq!(f.tensor("w").unwrap().dtype, GgmlType::Unknown(12));
+        assert!(matches!(f.tensor_bytes("w"), Err(IoError::Unsupported(_))));
+    }
+
+    #[test]
+    fn overflowing_header_dims_never_panic() {
+        // Crafted headers with dims/offsets near u64::MAX must parse (or
+        // fail) with typed errors, never overflow-panic or validate a
+        // wrapped byte count.
+        let mut out = Vec::new();
+        out.extend_from_slice(&GGUF_MAGIC);
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        put_string(&mut out, "w");
+        out.extend_from_slice(&2u32.to_le_bytes()); // n_dims
+        out.extend_from_slice(&(1u64 << 63).to_le_bytes());
+        out.extend_from_slice(&4u64.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // F32
+        out.extend_from_slice(&(u64::MAX - 8).to_le_bytes()); // offset
+        match GgufFile::parse(Arc::new(Mapping::from_bytes(&out))) {
+            Ok(f) => {
+                // Saturated element count has no valid byte size.
+                assert!(f.tensor_bytes("w").is_err());
+            }
+            Err(e) => {
+                assert!(matches!(
+                    e,
+                    IoError::Corrupt(_) | IoError::Truncated { .. } | IoError::Unsupported(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn writer_rejects_shape_disagreement() {
+        let mut w = GgufWriter::new();
+        assert!(matches!(
+            w.tensor("x", &[3], GgmlType::F32, vec![0u8; 8]),
+            Err(IoError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn ggml_type_table() {
+        for t in [
+            GgmlType::F32,
+            GgmlType::F16,
+            GgmlType::Q8_0,
+            GgmlType::I8,
+            GgmlType::I32,
+            GgmlType::Unknown(99),
+        ] {
+            assert_eq!(GgmlType::from_id(t.id()), t);
+        }
+        assert_eq!(GgmlType::F32.data_len(5), Some(20));
+        assert_eq!(GgmlType::Q8_0.data_len(64), Some(68));
+        assert_eq!(GgmlType::Q8_0.data_len(63), None, "ragged block");
+        assert_eq!(GgmlType::Unknown(99).data_len(4), None);
+    }
+}

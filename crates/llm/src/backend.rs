@@ -118,6 +118,21 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// The offline-prepacked weight plan, if this backend owns one (the
+    /// T-MAC backend does). Model containers (`tmac-llm::io`) serialize
+    /// this layout verbatim, so a saved model loads without re-packing.
+    fn tmac_plan(&self) -> Option<&tmac_core::WeightPlan> {
+        None
+    }
+
+    /// The canonical quantized matrix, if this backend can recover it
+    /// *exactly* (codes, scales and zero bit-for-bit). Backends that only
+    /// hold derived or lossy state return `None`, and models built on them
+    /// cannot be saved to a container.
+    fn export_quantized(&self) -> Option<QuantizedMatrix> {
+        None
+    }
+
     /// `out[n][m] = Σ_k act[n][k] · W[m][k]` for `n` activation rows
     /// (prefill). The default loops [`LinearBackend::forward`] per row;
     /// backends with a real GEMM path override it.
@@ -165,6 +180,15 @@ impl TmacBackend {
         })
     }
 
+    /// Wraps an already-prepacked plan without re-running the offline
+    /// transform — the container load path. A plan whose segments borrow
+    /// from a file mapping executes zero-copy.
+    pub fn from_plan(plan: tmac_core::WeightPlan) -> Self {
+        TmacBackend {
+            linear: TmacLinear::from_plan(plan),
+        }
+    }
+
     /// The planned layer.
     pub fn linear(&self) -> &TmacLinear {
         &self.linear
@@ -194,6 +218,14 @@ impl LinearBackend for TmacBackend {
 
     fn preferred_rows(&self) -> Option<usize> {
         Some(self.linear.plan().opts.n_block.max(1))
+    }
+
+    fn tmac_plan(&self) -> Option<&tmac_core::WeightPlan> {
+        Some(self.linear.plan())
+    }
+
+    fn export_quantized(&self) -> Option<QuantizedMatrix> {
+        Some(self.linear.plan().to_quantized())
     }
 
     fn forward(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), BackendError> {
@@ -259,6 +291,10 @@ impl LinearBackend for DequantBackend {
 
     fn packed_bytes(&self) -> usize {
         self.linear.quantized().packed_bytes()
+    }
+
+    fn export_quantized(&self) -> Option<QuantizedMatrix> {
+        Some(self.linear.quantized().clone())
     }
 
     fn forward(&self, act: &[f32], out: &mut [f32], ctx: &ExecCtx) -> Result<(), BackendError> {
@@ -465,6 +501,22 @@ pub trait BackendBuilder: Send + Sync {
     /// Propagates construction failures.
     fn build(&self, qm: &QuantizedMatrix, f32_weights: &[f32]) -> Result<Linear, BackendError>;
 
+    /// Builds one layer directly from an offline-prepacked weight plan
+    /// (the container load path). `None` — the default — means this
+    /// builder cannot consume the prepacked layout; the loader then falls
+    /// back to materializing the canonical quantized matrix per layer
+    /// ([`tmac_core::WeightPlan::to_quantized`]) and calling
+    /// [`BackendBuilder::build`]. Builders that *can* consume it (the
+    /// T-MAC kinds) take the plan as-is — zero-copy when its segments
+    /// borrow from the container mapping.
+    fn build_prepacked(
+        &self,
+        plan: &tmac_core::WeightPlan,
+    ) -> Option<Result<Linear, BackendError>> {
+        let _ = plan;
+        None
+    }
+
     /// Display name used in experiment tables.
     fn label(&self) -> String;
 }
@@ -472,6 +524,29 @@ pub trait BackendBuilder: Send + Sync {
 impl BackendBuilder for BackendKind {
     fn build(&self, qm: &QuantizedMatrix, f32_weights: &[f32]) -> Result<Linear, BackendError> {
         Linear::build(*self, qm, f32_weights)
+    }
+
+    fn build_prepacked(
+        &self,
+        plan: &tmac_core::WeightPlan,
+    ) -> Option<Result<Linear, BackendError>> {
+        let BackendKind::Tmac(opts) = self else {
+            return None;
+        };
+        // Same options: share the stored plan (cheap — borrowed segments
+        // clone by Arc). Layout-compatible options (e.g. requesting +FA on
+        // a stock T-MAC pack): rebind the same segments under the new
+        // options. Layout-incompatible requests fall back to repacking
+        // from the materialized matrix.
+        let plan = if *opts == plan.opts {
+            plan.clone()
+        } else {
+            match plan.with_opts(*opts) {
+                Ok(p) => p,
+                Err(_) => return None,
+            }
+        };
+        Some(Ok(Linear::from_backend(TmacBackend::from_plan(plan))))
     }
 
     fn label(&self) -> String {

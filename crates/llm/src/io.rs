@@ -1,0 +1,665 @@
+//! Model persistence: the convert→serve workflow.
+//!
+//! Two formats, one naming convention (llama.cpp tensor names):
+//!
+//! * **`.tmac`** ([`tmac_io::container`]) — weights stored *already in the
+//!   offline-transformed T-MAC layout*. [`Model::from_tmac`] hands each
+//!   prepacked plan to the backend builder
+//!   ([`crate::backend::BackendBuilder::build_prepacked`]); the T-MAC
+//!   kinds consume it zero-copy straight from the file mapping, other
+//!   backends lazily materialize the canonical quantized matrix per layer
+//!   and build from that. Cold start is a header parse + checksum sweep
+//!   instead of generate+quantize+pack.
+//! * **GGUF** ([`tmac_io::gguf`]) — the interchange form: quantization
+//!   codes as `I8` tensors (`<name>.codes`) plus `F32` scales
+//!   (`<name>.scales`), norms/embeddings as plain `F32` tensors.
+//!   Loading re-runs the offline pack (that is the point of `.tmac`).
+//!
+//! Both round-trip exactly: codes, scales and zero are preserved
+//! bit-for-bit, so a reloaded model produces bit-identical logits on the
+//! quantized backends (asserted in `tests/model_io.rs`).
+
+use crate::backend::{BackendBuilder, BackendError, Linear};
+use crate::config::{KvPrecision, ModelConfig, WeightQuant};
+use crate::model::{LayerWeights, Model};
+use crate::ops;
+use std::path::Path;
+use tmac_core::{KernelOpts, WeightPlan};
+use tmac_io::{
+    write_container, GgmlType, GgufFile, GgufValue, GgufWriter, IoError, TensorSource, TensorSpec,
+    TmacContainer,
+};
+use tmac_quant::QuantizedMatrix;
+
+pub use tmac_io::LoadMode;
+
+/// Errors from model save/load.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Container-level failure (filesystem, parse, checksum...).
+    Io(IoError),
+    /// Backend construction failure.
+    Backend(BackendError),
+    /// The model cannot be serialized from its current backend.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "{e}"),
+            ModelIoError::Backend(e) => write!(f, "{e}"),
+            ModelIoError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<IoError> for ModelIoError {
+    fn from(e: IoError) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<BackendError> for ModelIoError {
+    fn from(e: BackendError) -> Self {
+        ModelIoError::Backend(e)
+    }
+}
+
+/// llama.cpp-style tensor name of layer `l`'s projection `what`.
+fn blk(l: usize, what: &str) -> String {
+    format!("blk.{l}.{what}.weight")
+}
+
+/// The seven projections of one layer, with their `(rows, cols)` shapes.
+fn layer_linears(cfg: &ModelConfig, l: usize) -> Vec<(String, usize, usize)> {
+    let (d, kv, f) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
+    vec![
+        (blk(l, "attn_q"), d, d),
+        (blk(l, "attn_k"), kv, d),
+        (blk(l, "attn_v"), kv, d),
+        (blk(l, "attn_output"), d, d),
+        (blk(l, "ffn_gate"), f, d),
+        (blk(l, "ffn_down"), d, f),
+        (blk(l, "ffn_up"), f, d),
+    ]
+}
+
+fn kv_label(p: KvPrecision) -> &'static str {
+    match p {
+        KvPrecision::F32 => "f32",
+        KvPrecision::I8 => "i8",
+    }
+}
+
+/// The model/quant configuration as container metadata.
+fn cfg_meta(cfg: &ModelConfig, quant: WeightQuant) -> Vec<(String, GgufValue)> {
+    let (qkind, qbits) = match quant {
+        WeightQuant::Rtn(b) => ("rtn", b),
+        WeightQuant::BitnetTernary => ("bitnet", 2),
+    };
+    vec![
+        (
+            "general.architecture".into(),
+            GgufValue::String("llama".into()),
+        ),
+        ("general.name".into(), GgufValue::String(cfg.name.clone())),
+        ("tmac.cfg.dim".into(), GgufValue::U64(cfg.dim as u64)),
+        (
+            "tmac.cfg.n_layers".into(),
+            GgufValue::U64(cfg.n_layers as u64),
+        ),
+        (
+            "tmac.cfg.n_heads".into(),
+            GgufValue::U64(cfg.n_heads as u64),
+        ),
+        (
+            "tmac.cfg.n_kv_heads".into(),
+            GgufValue::U64(cfg.n_kv_heads as u64),
+        ),
+        (
+            "tmac.cfg.ffn_dim".into(),
+            GgufValue::U64(cfg.ffn_dim as u64),
+        ),
+        ("tmac.cfg.vocab".into(), GgufValue::U64(cfg.vocab as u64)),
+        (
+            "tmac.cfg.seq_max".into(),
+            GgufValue::U64(cfg.seq_max as u64),
+        ),
+        ("tmac.cfg.rope_theta".into(), GgufValue::F32(cfg.rope_theta)),
+        (
+            "tmac.cfg.kv_precision".into(),
+            GgufValue::String(kv_label(cfg.kv_precision).into()),
+        ),
+        ("tmac.quant.kind".into(), GgufValue::String(qkind.into())),
+        ("tmac.quant.bits".into(), GgufValue::U64(qbits as u64)),
+    ]
+}
+
+/// Parses the model/quant configuration back from metadata.
+fn cfg_from_meta(
+    get: &dyn Fn(&str) -> Option<GgufValue>,
+) -> Result<(ModelConfig, WeightQuant), ModelIoError> {
+    let want_u64 = |key: &str| -> Result<usize, ModelIoError> {
+        get(key)
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize)
+            .ok_or_else(|| ModelIoError::Io(IoError::MissingMeta(key.into())))
+    };
+    let want_str = |key: &str| -> Result<String, ModelIoError> {
+        get(key)
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or_else(|| ModelIoError::Io(IoError::MissingMeta(key.into())))
+    };
+    let kv = match want_str("tmac.cfg.kv_precision")?.as_str() {
+        "f32" => KvPrecision::F32,
+        "i8" => KvPrecision::I8,
+        other => {
+            return Err(ModelIoError::Io(IoError::Corrupt(format!(
+                "unknown kv precision {other:?}"
+            ))))
+        }
+    };
+    let cfg = ModelConfig {
+        name: want_str("general.name")?,
+        dim: want_u64("tmac.cfg.dim")?,
+        n_layers: want_u64("tmac.cfg.n_layers")?,
+        n_heads: want_u64("tmac.cfg.n_heads")?,
+        n_kv_heads: want_u64("tmac.cfg.n_kv_heads")?,
+        ffn_dim: want_u64("tmac.cfg.ffn_dim")?,
+        vocab: want_u64("tmac.cfg.vocab")?,
+        seq_max: want_u64("tmac.cfg.seq_max")?,
+        rope_theta: get("tmac.cfg.rope_theta")
+            .and_then(|v| v.as_f32())
+            .ok_or_else(|| ModelIoError::Io(IoError::MissingMeta("tmac.cfg.rope_theta".into())))?,
+        kv_precision: kv,
+    };
+    cfg.validate()
+        .map_err(|m| ModelIoError::Io(IoError::ShapeMismatch(m)))?;
+    let bits = want_u64("tmac.quant.bits")? as u8;
+    let quant = match want_str("tmac.quant.kind")?.as_str() {
+        "rtn" => WeightQuant::Rtn(bits),
+        "bitnet" => WeightQuant::BitnetTernary,
+        other => {
+            return Err(ModelIoError::Io(IoError::Corrupt(format!(
+                "unknown quantizer {other:?}"
+            ))))
+        }
+    };
+    if !(1..=4).contains(&quant.bits()) {
+        return Err(ModelIoError::Io(IoError::Corrupt(format!(
+            "bad weight bit-width {}",
+            quant.bits()
+        ))));
+    }
+    Ok((cfg, quant))
+}
+
+/// A linear's prepacked plan for serialization: borrowed from the backend
+/// when it owns one, else re-packed from the exported quantized matrix.
+enum PlanSrc<'a> {
+    Backend(&'a WeightPlan),
+    Packed(Box<WeightPlan>),
+}
+
+impl PlanSrc<'_> {
+    fn plan(&self) -> &WeightPlan {
+        match self {
+            PlanSrc::Backend(p) => p,
+            PlanSrc::Packed(p) => p,
+        }
+    }
+}
+
+fn plan_src<'a>(lin: &'a Linear, name: &str) -> Result<PlanSrc<'a>, ModelIoError> {
+    if let Some(p) = lin.backend().tmac_plan() {
+        return Ok(PlanSrc::Backend(p));
+    }
+    let qm = lin.backend().export_quantized().ok_or_else(|| {
+        ModelIoError::Unsupported(format!(
+            "tensor {name}: backend {:?} cannot be serialized (no prepacked plan and no exact \
+             quantized export — e.g. the f32 reference backend)",
+            lin.label()
+        ))
+    })?;
+    let plan = WeightPlan::new(&qm, KernelOpts::tmac())
+        .map_err(|e| ModelIoError::Io(IoError::ShapeMismatch(e.to_string())))?;
+    Ok(PlanSrc::Packed(Box::new(plan)))
+}
+
+/// Walks every linear of a model with its tensor name and expected shape.
+fn model_linears(model: &Model) -> Vec<(String, usize, usize, &Linear)> {
+    let cfg = &model.cfg;
+    let mut out = Vec::new();
+    for (l, lw) in model.layers.iter().enumerate() {
+        let lins = [&lw.wq, &lw.wk, &lw.wv, &lw.wo, &lw.w1, &lw.w2, &lw.w3];
+        for ((name, rows, cols), lin) in layer_linears(cfg, l).into_iter().zip(lins) {
+            out.push((name, rows, cols, lin));
+        }
+    }
+    out.push(("output.weight".into(), cfg.vocab, cfg.dim, &model.head));
+    out
+}
+
+impl Model {
+    /// Saves this model as a prepacked `.tmac` container.
+    ///
+    /// Weights are written in the exact offline-transformed layout the
+    /// kernels consume (the backend's own plan when it has one), so
+    /// [`Model::from_tmac`] restores them without re-packing.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelIoError::Unsupported`] when a layer's backend can export
+    /// neither a prepacked plan nor an exact quantized matrix (the `f32`
+    /// reference backend); [`ModelIoError::Io`] on container failures.
+    pub fn save_tmac(&self, path: &Path) -> Result<(), ModelIoError> {
+        let cfg = &self.cfg;
+        let linears = model_linears(self);
+        let mut srcs = Vec::with_capacity(linears.len());
+        for (name, rows, cols, lin) in &linears {
+            if (lin.rows(), lin.cols()) != (*rows, *cols) {
+                return Err(ModelIoError::Io(IoError::ShapeMismatch(format!(
+                    "{name}: layer is {}x{}, config says {rows}x{cols}",
+                    lin.rows(),
+                    lin.cols()
+                ))));
+            }
+            srcs.push(plan_src(lin, name)?);
+        }
+        let mut tensors = Vec::new();
+        tensors.push(TensorSpec {
+            name: "token_embd.weight".into(),
+            source: TensorSource::F32 {
+                dims: vec![cfg.vocab as u64, cfg.dim as u64],
+                data: &self.embed,
+            },
+        });
+        tensors.push(TensorSpec {
+            name: "output_norm.weight".into(),
+            source: TensorSource::F32 {
+                dims: vec![cfg.dim as u64],
+                data: &self.rms_final,
+            },
+        });
+        for (l, lw) in self.layers.iter().enumerate() {
+            tensors.push(TensorSpec {
+                name: blk(l, "attn_norm"),
+                source: TensorSource::F32 {
+                    dims: vec![cfg.dim as u64],
+                    data: &lw.rms_attn,
+                },
+            });
+            tensors.push(TensorSpec {
+                name: blk(l, "ffn_norm"),
+                source: TensorSource::F32 {
+                    dims: vec![cfg.dim as u64],
+                    data: &lw.rms_ffn,
+                },
+            });
+        }
+        for ((name, ..), src) in linears.iter().zip(&srcs) {
+            tensors.push(TensorSpec {
+                name: name.clone(),
+                source: TensorSource::Plan(src.plan()),
+            });
+        }
+        write_container(path, &cfg_meta(cfg, self.quant), &tensors)?;
+        Ok(())
+    }
+
+    /// Loads a model from a `.tmac` container.
+    ///
+    /// The container is opened under `mode` ([`LoadMode::Mmap`] borrows
+    /// weight tiles zero-copy from the mapping) and fully
+    /// integrity-checked. Each prepacked plan is offered to `builder` via
+    /// [`BackendBuilder::build_prepacked`]; builders that decline get the
+    /// lazily materialized canonical matrix instead.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`IoError`]s for corrupt/truncated/mismatched containers;
+    /// backend build failures.
+    pub fn from_tmac(
+        path: &Path,
+        builder: &dyn BackendBuilder,
+        mode: LoadMode,
+    ) -> Result<Model, ModelIoError> {
+        let c = TmacContainer::open(path, mode)?;
+        Self::from_container(&c, builder)
+    }
+
+    /// [`Model::from_tmac`] over an already-open container.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::from_tmac`].
+    pub fn from_container(
+        c: &TmacContainer,
+        builder: &dyn BackendBuilder,
+    ) -> Result<Model, ModelIoError> {
+        let (cfg, quant) = cfg_from_meta(&|k| c.meta(k).cloned())?;
+        let build = |name: &str, rows: usize, cols: usize| -> Result<Linear, ModelIoError> {
+            let plan = c.plan(name)?;
+            if (plan.m, plan.k) != (rows, cols) {
+                return Err(ModelIoError::Io(IoError::ShapeMismatch(format!(
+                    "{name}: container tensor is {}x{}, config says {rows}x{cols}",
+                    plan.m, plan.k
+                ))));
+            }
+            if plan.bits != quant.bits() as usize {
+                return Err(ModelIoError::Io(IoError::ShapeMismatch(format!(
+                    "{name}: {}-bit tensor in a {}-bit model",
+                    plan.bits,
+                    quant.bits()
+                ))));
+            }
+            if let Some(lin) = builder.build_prepacked(&plan) {
+                return Ok(lin?);
+            }
+            // Lazy per-layer materialization for backends that do not
+            // consume the prepacked layout: transient canonical matrix
+            // (and its dequantized f32 twin for reference backends),
+            // dropped as soon as the layer is built.
+            let qm = plan.to_quantized();
+            let f32w = qm.dequantize();
+            Ok(builder.build(&qm, &f32w)?)
+        };
+        let f32_vec = |name: &str, expect: usize| -> Result<Vec<f32>, ModelIoError> {
+            let data = c.f32_tensor(name)?;
+            if data.len() != expect {
+                return Err(ModelIoError::Io(IoError::ShapeMismatch(format!(
+                    "{name}: {} elements, expected {expect}",
+                    data.len()
+                ))));
+            }
+            Ok(data.to_vec())
+        };
+
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for l in 0..cfg.n_layers {
+            let mut lins = Vec::with_capacity(7);
+            for (name, rows, cols) in layer_linears(&cfg, l) {
+                lins.push(build(&name, rows, cols)?);
+            }
+            let mut it = lins.into_iter();
+            layers.push(LayerWeights {
+                wq: it.next().expect("7 linears"),
+                wk: it.next().expect("7 linears"),
+                wv: it.next().expect("7 linears"),
+                wo: it.next().expect("7 linears"),
+                w1: it.next().expect("7 linears"),
+                w2: it.next().expect("7 linears"),
+                w3: it.next().expect("7 linears"),
+                rms_attn: f32_vec(&blk(l, "attn_norm"), cfg.dim)?,
+                rms_ffn: f32_vec(&blk(l, "ffn_norm"), cfg.dim)?,
+            });
+        }
+        Ok(Model {
+            embed: f32_vec("token_embd.weight", cfg.vocab * cfg.dim)?,
+            rms_final: f32_vec("output_norm.weight", cfg.dim)?,
+            head: build("output.weight", cfg.vocab, cfg.dim)?,
+            rope: ops::RopeTable::new(cfg.head_dim(), cfg.rope_theta),
+            quant,
+            layers,
+            cfg,
+        })
+    }
+
+    /// Saves this model as GGUF: quantization codes as `I8` tensors
+    /// (`<name>.codes`, GGUF dims `[cols, rows]`), scales as `F32`
+    /// (`<name>.scales`), norms/embeddings as plain `F32`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::save_tmac`].
+    pub fn save_gguf(&self, path: &Path) -> Result<(), ModelIoError> {
+        let cfg = &self.cfg;
+        let mut w = GgufWriter::new();
+        for (k, v) in cfg_meta(cfg, self.quant) {
+            w.meta(&k, v);
+        }
+        w.tensor_f32(
+            "token_embd.weight",
+            &[cfg.dim as u64, cfg.vocab as u64],
+            &self.embed,
+        )?;
+        w.tensor_f32("output_norm.weight", &[cfg.dim as u64], &self.rms_final)?;
+        for (l, lw) in self.layers.iter().enumerate() {
+            w.tensor_f32(&blk(l, "attn_norm"), &[cfg.dim as u64], &lw.rms_attn)?;
+            w.tensor_f32(&blk(l, "ffn_norm"), &[cfg.dim as u64], &lw.rms_ffn)?;
+        }
+        let mut zero_written = false;
+        for (name, _, _, lin) in model_linears(self) {
+            let qm = lin.backend().export_quantized().ok_or_else(|| {
+                ModelIoError::Unsupported(format!(
+                    "tensor {name}: backend {:?} cannot export its quantized weights",
+                    lin.label()
+                ))
+            })?;
+            if !zero_written {
+                w.meta("tmac.quant.zero", GgufValue::F32(qm.zero));
+                w.meta(
+                    "tmac.quant.group_size",
+                    GgufValue::U64(qm.group_size as u64),
+                );
+                zero_written = true;
+            }
+            w.tensor(
+                &format!("{name}.codes"),
+                &[qm.cols as u64, qm.rows as u64],
+                GgmlType::I8,
+                qm.codes.clone(),
+            )?;
+            w.tensor_f32(
+                &format!("{name}.scales"),
+                &[qm.groups_per_row() as u64, qm.rows as u64],
+                &qm.scales,
+            )?;
+        }
+        w.write(path)?;
+        Ok(())
+    }
+
+    /// Loads a model from a GGUF file written by [`Model::save_gguf`].
+    ///
+    /// Codes/scales/zero are restored bit-exactly; the offline pack
+    /// (`WeightPlan`) is re-run per layer — the convert-once-to-`.tmac`
+    /// path exists precisely to avoid this cost at serve time.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`IoError`]s and backend build failures.
+    pub fn from_gguf(
+        path: &Path,
+        builder: &dyn BackendBuilder,
+        mode: LoadMode,
+    ) -> Result<Model, ModelIoError> {
+        let f = GgufFile::open(path, mode)?;
+        let (cfg, quant) = cfg_from_meta(&|k| f.meta(k).cloned())?;
+        let zero = f
+            .meta("tmac.quant.zero")
+            .and_then(|v| v.as_f32())
+            .ok_or_else(|| ModelIoError::Io(IoError::MissingMeta("tmac.quant.zero".into())))?;
+        let group_size = f
+            .meta("tmac.quant.group_size")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| ModelIoError::Io(IoError::MissingMeta("tmac.quant.group_size".into())))?
+            as usize;
+        let build = |name: &str, rows: usize, cols: usize| -> Result<Linear, ModelIoError> {
+            let codes = f.tensor_bytes(&format!("{name}.codes"))?;
+            let scales = f.tensor_f32(&format!("{name}.scales"))?;
+            let qm = QuantizedMatrix {
+                rows,
+                cols,
+                bits: quant.bits(),
+                group_size,
+                codes: codes.to_vec(),
+                scales,
+                zero,
+            };
+            qm.validate()
+                .map_err(|e| ModelIoError::Io(IoError::ShapeMismatch(e.to_string())))?;
+            let f32w = qm.dequantize();
+            Ok(builder.build(&qm, &f32w)?)
+        };
+        let f32_vec = |name: &str, expect: usize| -> Result<Vec<f32>, ModelIoError> {
+            let data = f.tensor_f32(name)?;
+            if data.len() != expect {
+                return Err(ModelIoError::Io(IoError::ShapeMismatch(format!(
+                    "{name}: {} elements, expected {expect}",
+                    data.len()
+                ))));
+            }
+            Ok(data)
+        };
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for l in 0..cfg.n_layers {
+            let mut lins = Vec::with_capacity(7);
+            for (name, rows, cols) in layer_linears(&cfg, l) {
+                lins.push(build(&name, rows, cols)?);
+            }
+            let mut it = lins.into_iter();
+            layers.push(LayerWeights {
+                wq: it.next().expect("7 linears"),
+                wk: it.next().expect("7 linears"),
+                wv: it.next().expect("7 linears"),
+                wo: it.next().expect("7 linears"),
+                w1: it.next().expect("7 linears"),
+                w2: it.next().expect("7 linears"),
+                w3: it.next().expect("7 linears"),
+                rms_attn: f32_vec(&blk(l, "attn_norm"), cfg.dim)?,
+                rms_ffn: f32_vec(&blk(l, "ffn_norm"), cfg.dim)?,
+            });
+        }
+        Ok(Model {
+            embed: f32_vec("token_embd.weight", cfg.vocab * cfg.dim)?,
+            rms_final: f32_vec("output_norm.weight", cfg.dim)?,
+            head: build("output.weight", cfg.vocab, cfg.dim)?,
+            rope: ops::RopeTable::new(cfg.head_dim(), cfg.rope_theta),
+            quant,
+            layers,
+            cfg,
+        })
+    }
+
+    /// Loads from either format by extension (`.gguf` → GGUF, anything
+    /// else → `.tmac`).
+    ///
+    /// # Errors
+    ///
+    /// Same contracts as [`Model::from_tmac`] / [`Model::from_gguf`].
+    pub fn from_file(
+        path: &Path,
+        builder: &dyn BackendBuilder,
+        mode: LoadMode,
+    ) -> Result<Model, ModelIoError> {
+        if path.extension().is_some_and(|e| e == "gguf") {
+            Model::from_gguf(path, builder, mode)
+        } else {
+            Model::from_tmac(path, builder, mode)
+        }
+    }
+
+    /// Saves to either format by extension (`.gguf` → GGUF, anything else
+    /// → `.tmac`).
+    ///
+    /// # Errors
+    ///
+    /// Same contracts as [`Model::save_tmac`] / [`Model::save_gguf`].
+    pub fn save_file(&self, path: &Path) -> Result<(), ModelIoError> {
+        if path.extension().is_some_and(|e| e == "gguf") {
+            self.save_gguf(path)
+        } else {
+            self.save_tmac(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tmac-llm-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn cfg_meta_roundtrip() {
+        let cfg = ModelConfig::tiny().with_kv(KvPrecision::I8);
+        for quant in [WeightQuant::Rtn(3), WeightQuant::BitnetTernary] {
+            let meta = cfg_meta(&cfg, quant);
+            let get = |k: &str| -> Option<GgufValue> {
+                meta.iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+            };
+            let (back, q) = cfg_from_meta(&get).unwrap();
+            assert_eq!(back, cfg);
+            assert_eq!(q, quant);
+        }
+    }
+
+    #[test]
+    fn cfg_from_meta_requires_keys() {
+        let cfg = ModelConfig::tiny();
+        let meta = cfg_meta(&cfg, WeightQuant::Rtn(2));
+        for omit in ["tmac.cfg.dim", "tmac.quant.kind", "general.name"] {
+            let get = |k: &str| -> Option<GgufValue> {
+                if k == omit {
+                    return None;
+                }
+                meta.iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+            };
+            assert!(
+                matches!(
+                    cfg_from_meta(&get),
+                    Err(ModelIoError::Io(IoError::MissingMeta(_)))
+                ),
+                "{omit}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_models_cannot_be_saved() {
+        let m = Model::synthetic(
+            &ModelConfig::tiny(),
+            WeightQuant::Rtn(2),
+            BackendKind::F32,
+            3,
+        )
+        .unwrap();
+        let err = m.save_tmac(&tmp("f32.tmac"));
+        assert!(matches!(err, Err(ModelIoError::Unsupported(_))));
+    }
+
+    #[test]
+    fn dequant_models_save_via_quantized_export() {
+        let path = tmp("dequant.tmac");
+        let m = Model::synthetic(
+            &ModelConfig::tiny(),
+            WeightQuant::Rtn(2),
+            BackendKind::Dequant,
+            3,
+        )
+        .unwrap();
+        m.save_tmac(&path).unwrap();
+        let back = Model::from_tmac(
+            &path,
+            &BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            LoadMode::Mmap,
+        )
+        .unwrap();
+        assert_eq!(back.cfg, m.cfg);
+        assert_eq!(back.quant, m.quant);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -43,6 +43,7 @@ pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod eval;
+pub mod io;
 pub mod kv;
 pub mod model;
 pub mod ops;
@@ -56,6 +57,7 @@ pub use backend::{
 pub use batch::{FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
 pub use config::{KvPrecision, ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine, PREFILL_CHUNK};
+pub use io::{LoadMode, ModelIoError};
 pub use kv::KvCache;
 pub use model::{BatchScratch, Model, Scratch};
 pub use tmac_core::{ExecCtx, TableCacheStats};

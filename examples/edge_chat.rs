@@ -4,10 +4,23 @@
 //! and reports tokens/s against the dequantization baseline — then flips
 //! the KV cache to `i8` to show the long-context attention knob.
 //!
-//! Run with `cargo run --release --example edge_chat`.
+//! Run with `cargo run --release --example edge_chat`. Pass
+//! `--save-model chat.tmac` to persist the prepacked 2-bit model, and
+//! `--model chat.tmac` to serve from the container (mmap zero-copy load)
+//! instead of re-quantizing at startup — the two-step convert/run flow.
 
 use tmac::core::ExecCtx;
-use tmac::llm::{BackendKind, Engine, KvCache, KvPrecision, Model, ModelConfig, WeightQuant};
+use tmac::llm::{
+    BackendKind, Engine, KvCache, KvPrecision, LoadMode, Model, ModelConfig, WeightQuant,
+};
+
+/// `--key value` flag (examples avoid the eval-crate dependency).
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
     // A laptop-scale model: real llama wiring (RoPE, GQA, SwiGLU), scaled
@@ -31,6 +44,32 @@ fn main() {
     );
     let prompt = [1u32, 42, 7, 100];
 
+    // The container workflow: `--model file` serves from a prepacked
+    // `.tmac` (or `.gguf`) container; `--save-model file` writes one.
+    let model_file = flag("model");
+    let build = |kind: BackendKind| -> Model {
+        match &model_file {
+            Some(path) => {
+                let t0 = std::time::Instant::now();
+                let m = Model::from_file(std::path::Path::new(path), &kind, LoadMode::Mmap)
+                    .expect("load model container");
+                println!(
+                    "[loaded {} from {path} in {:.3}s]",
+                    m.cfg.name,
+                    t0.elapsed().as_secs_f64()
+                );
+                m
+            }
+            None => Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 1234).expect("build model"),
+        }
+    };
+    if let Some(path) = flag("save-model") {
+        let m = build(BackendKind::Tmac(tmac::core::KernelOpts::tmac()));
+        m.save_file(std::path::Path::new(&path))
+            .expect("save model container");
+        println!("[saved prepacked model to {path}]\n");
+    }
+
     for (label, kind) in [
         ("llama.cpp-style dequant", BackendKind::Dequant),
         (
@@ -38,7 +77,7 @@ fn main() {
             BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
         ),
     ] {
-        let model = Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 1234).expect("build model");
+        let model = build(kind);
         let mut engine = Engine::new(model);
         let tokens = engine.generate(&prompt, 24, &ctx).expect("generate");
         let stats = engine.measure_decode(24, &ctx).expect("measure");
@@ -54,14 +93,9 @@ fn main() {
     // to i8 — the attention stream shrinks 4x and score/value accumulation
     // runs on the maddubs i8 kernels (fused streaming softmax).
     for precision in [KvPrecision::F32, KvPrecision::I8] {
-        let kv_cfg = cfg.clone().with_kv(precision);
-        let model = Model::synthetic(
-            &kv_cfg,
-            WeightQuant::Rtn(2),
-            BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
-            1234,
-        )
-        .expect("build model");
+        let mut model = build(BackendKind::Tmac(tmac::core::KernelOpts::tmac()));
+        model.cfg.kv_precision = precision;
+        let kv_cfg = model.cfg.clone();
         let mut engine = Engine::new(model);
         let tokens = engine.generate(&prompt, 24, &ctx).expect("generate");
         let kv_bytes = {

@@ -12,6 +12,7 @@
 //! | [`baseline`] (`tmac-baseline`) | dequantization-based comparator kernels |
 //! | [`threadpool`] (`tmac-threadpool`) | static-threadblock parallel substrate |
 //! | [`llm`] (`tmac-llm`) | llama-architecture inference engine with pluggable [`prelude::LinearBackend`]s |
+//! | [`io`] (`tmac-io`) | model containers: GGUF import/export, prepacked `.tmac`, mmap zero-copy loading |
 //! | [`devices`] (`tmac-devices`) | edge-device rooflines and the energy model |
 //!
 //! # Examples
@@ -52,6 +53,7 @@
 pub use tmac_baseline as baseline;
 pub use tmac_core as core;
 pub use tmac_devices as devices;
+pub use tmac_io as io;
 pub use tmac_llm as llm;
 pub use tmac_quant as quant;
 pub use tmac_simd as simd;
@@ -68,11 +70,14 @@ pub mod prelude {
         ActTables, ExecCtx, KernelOpts, TableCacheStats, TableProfile, TmacError, TmacLinear,
         WeightPlan,
     };
+    // `LoadMode` reaches the prelude through the llm re-export (it is the
+    // same type as `tmac_io::LoadMode`).
+    pub use tmac_io::{GgufFile, GgufValue, GgufWriter, IoError, TmacContainer};
     pub use tmac_llm::{
         AttnScratch, BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch,
         DecodeStats, DequantBackend, Engine, F32Backend, FinishedSeq, KvCache, KvPrecision, Linear,
-        LinearBackend, Model, ModelConfig, Scheduler, SchedulerConfig, Scratch, SeqId, StepToken,
-        TmacBackend, WeightQuant,
+        LinearBackend, LoadMode, Model, ModelConfig, ModelIoError, Scheduler, SchedulerConfig,
+        Scratch, SeqId, StepToken, TmacBackend, WeightQuant,
     };
     pub use tmac_quant::QuantizedMatrix;
     pub use tmac_threadpool::ThreadPool;

@@ -1,0 +1,381 @@
+//! Model container round-trips: the persistence layer's acceptance suite.
+//!
+//! The invariants (ISSUE 5):
+//! * `f32 → quantize → .tmac → load` yields **bit-exact** logits vs the
+//!   never-persisted in-memory model, across bits 1–4 and every backend
+//!   (the `f32` backend runs on dequantized weights on both sides — the
+//!   container stores quantized weights only).
+//! * GGUF write→read preserves tensors and metadata byte-for-byte.
+//! * Mmap-loaded and owned-copy loads agree bit-for-bit.
+//! * Corrupt inputs (truncation, bad magic, version mismatch, checksum
+//!   failure, shape/config disagreement) return typed `IoError`s — never
+//!   panic. Fault injection is byte-level on real files.
+//! * A model served through the `Scheduler` **from the file** produces the
+//!   tokens the in-memory single-stream engine produces.
+//!
+//! Thread count comes from `TMAC_TEST_THREADS` (default 2).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use tmac::core::ExecCtx;
+use tmac::io::{GgufFile, GgufValue, GgufWriter, IoError, Mapping, TmacContainer};
+use tmac::llm::{
+    BackendBuilder, BackendError, BackendKind, Engine, F32Backend, KvCache, KvPrecision, Linear,
+    LoadMode, Model, ModelConfig, ModelIoError, Scheduler, SchedulerConfig, Scratch, WeightQuant,
+};
+use tmac::quant::QuantizedMatrix;
+
+fn test_threads() -> usize {
+    std::env::var("TMAC_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+fn ctx() -> ExecCtx {
+    ExecCtx::new(test_threads())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmac-model-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Greedy logits after a short teacher-forced run — the bit-exactness
+/// probe used throughout.
+fn run_logits(m: &Model, ctx: &ExecCtx) -> Vec<f32> {
+    let mut cache = KvCache::new(&m.cfg);
+    let mut s = Scratch::new(&m.cfg);
+    for pos in 0..4 {
+        m.forward(
+            (7 + pos * 3) as u32 % m.cfg.vocab as u32,
+            pos,
+            &mut cache,
+            &mut s,
+            ctx,
+        )
+        .unwrap();
+    }
+    s.logits.clone()
+}
+
+/// The `f32` reference backend built from *dequantized* weights — the
+/// in-memory twin of what a container load materializes (containers store
+/// quantized weights only).
+struct DequantizedF32;
+impl BackendBuilder for DequantizedF32 {
+    fn build(&self, qm: &QuantizedMatrix, _f32_weights: &[f32]) -> Result<Linear, BackendError> {
+        Ok(Linear::from_backend(F32Backend::new(
+            &qm.dequantize(),
+            qm.rows,
+            qm.cols,
+        )?))
+    }
+    fn label(&self) -> String {
+        "f32(dequantized)".into()
+    }
+}
+
+#[test]
+fn tmac_roundtrip_is_bit_exact_across_bits_and_backends() {
+    let ctx = ctx();
+    let cfg = ModelConfig::tiny();
+    for bits in 1..=4u8 {
+        let path = tmp(&format!("rt-{bits}.tmac"));
+        // Build and persist once, from the T-MAC backend.
+        let src = Model::synthetic(
+            &cfg,
+            WeightQuant::Rtn(bits),
+            BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+            42,
+        )
+        .unwrap();
+        src.save_tmac(&path).unwrap();
+
+        // Reload into every backend; each must match the in-memory twin
+        // built through the *same* builder, bit-for-bit. (The `f32` case
+        // runs on dequantized weights on both sides — the container stores
+        // quantized weights only.)
+        let tmac = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+        let fa = BackendKind::Tmac(tmac::core::KernelOpts::tmac_fast_aggregation());
+        let mirror = BackendKind::Tmac(tmac::core::KernelOpts::tmac_mirror());
+        let dequant = BackendKind::Dequant;
+        let f32ref = DequantizedF32;
+        let cases: Vec<(&str, &dyn BackendBuilder)> = vec![
+            ("tmac", &tmac),
+            ("tmac-fa", &fa),
+            ("tmac-mirror", &mirror),
+            ("dequant", &dequant),
+            ("f32", &f32ref),
+        ];
+        for (name, builder) in cases {
+            let loaded = Model::from_tmac(&path, builder, LoadMode::Mmap).unwrap();
+            let twin = Model::synthetic_with(&cfg, WeightQuant::Rtn(bits), builder, 42).unwrap();
+            assert_eq!(
+                run_logits(&loaded, &ctx),
+                run_logits(&twin, &ctx),
+                "bits={bits} backend={name}: container round-trip must be bit-exact"
+            );
+            assert_eq!(loaded.cfg, cfg);
+            assert_eq!(loaded.quant, WeightQuant::Rtn(bits));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn bitnet_ternary_roundtrip_is_bit_exact() {
+    let ctx = ctx();
+    let cfg = ModelConfig::tiny();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&cfg, WeightQuant::BitnetTernary, kind, 5).unwrap();
+    let path = tmp("bitnet.tmac");
+    src.save_tmac(&path).unwrap();
+    let loaded = Model::from_tmac(&path, &kind, LoadMode::Mmap).unwrap();
+    assert_eq!(loaded.quant, WeightQuant::BitnetTernary);
+    assert_eq!(run_logits(&loaded, &ctx), run_logits(&src, &ctx));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mmap_and_owned_copy_loads_agree() {
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 11).unwrap();
+    let path = tmp("modes.tmac");
+    src.save_tmac(&path).unwrap();
+    let mapped = Model::from_tmac(&path, &kind, LoadMode::Mmap).unwrap();
+    let copied = Model::from_tmac(&path, &kind, LoadMode::Copy).unwrap();
+    assert_eq!(run_logits(&mapped, &ctx), run_logits(&copied, &ctx));
+    // And the container views themselves agree byte-for-byte.
+    let cm = TmacContainer::open(&path, LoadMode::Mmap).unwrap();
+    let cc = TmacContainer::open(&path, LoadMode::Copy).unwrap();
+    assert_eq!(cm.tensor_names(), cc.tensor_names());
+    for name in cm.tensor_names() {
+        if cm.is_plan(name) {
+            let (a, b) = (cm.plan(name).unwrap(), cc.plan(name).unwrap());
+            assert_eq!(a.perm_stream_bytes(), b.perm_stream_bytes(), "{name}");
+            assert_eq!(a.perm_scales(), b.perm_scales(), "{name}");
+            assert!(a.is_borrowed(), "{name}: mmap plan must borrow");
+        } else {
+            assert_eq!(
+                cm.f32_tensor(name).unwrap(),
+                cc.f32_tensor(name).unwrap(),
+                "{name}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn gguf_model_roundtrip_and_byte_preservation() {
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(3), kind, 9).unwrap();
+    let path = tmp("model.gguf");
+    src.save_gguf(&path).unwrap();
+
+    // Model-level: reload (re-packs offline) → bit-exact logits.
+    let loaded = Model::from_gguf(&path, &kind, LoadMode::Mmap).unwrap();
+    assert_eq!(run_logits(&loaded, &ctx), run_logits(&src, &ctx));
+
+    // Byte-level: parse, re-write through the writer, compare images.
+    let original = std::fs::read(&path).unwrap();
+    let f = GgufFile::parse(Arc::new(Mapping::from_bytes(&original))).unwrap();
+    let mut w = GgufWriter::new();
+    for (k, v) in f.meta_entries() {
+        w.meta(k, v.clone());
+    }
+    for t in f.tensors() {
+        w.tensor(
+            &t.name,
+            &t.dims,
+            t.dtype,
+            f.tensor_bytes(&t.name).unwrap().to_vec(),
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        w.to_bytes(),
+        original,
+        "GGUF write→read→write must preserve every byte"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupt_containers_fail_typed_never_panic() {
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 3).unwrap();
+    let path = tmp("fault.tmac");
+    src.save_tmac(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    let reload = |bytes: &[u8]| -> Result<Model, ModelIoError> {
+        std::fs::write(&path, bytes).unwrap();
+        Model::from_tmac(&path, &kind, LoadMode::Copy)
+    };
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        reload(&bad),
+        Err(ModelIoError::Io(IoError::BadMagic { .. }))
+    ));
+
+    // Version mismatch.
+    let mut bad = good.clone();
+    bad[4] = 2;
+    assert!(matches!(
+        reload(&bad),
+        Err(ModelIoError::Io(IoError::Version { found: 2, .. }))
+    ));
+
+    // Truncation at every structural depth: magic, header, index, data.
+    for cut in [1, 6, 14, 60, good.len() / 3, good.len() - 64] {
+        assert!(
+            reload(&good[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+
+    // Checksum failure: flip one bit deep in the data region.
+    let mut bad = good.clone();
+    let n = bad.len();
+    bad[n - 64] ^= 0x01;
+    assert!(matches!(
+        reload(&bad),
+        Err(ModelIoError::Io(IoError::Checksum { .. }))
+    ));
+
+    // Config/shape disagreement: claim a different dim in the metadata.
+    // (Index-level edit: rewrite via the container API instead of blind
+    // byte patching — the dim lives in a varint-free u64 we can find.)
+    let needle = (ModelConfig::tiny().dim as u64).to_le_bytes();
+    let key = b"tmac.cfg.dim";
+    let pos = good
+        .windows(key.len())
+        .position(|w| w == key)
+        .expect("dim key in index");
+    let vpos = pos + key.len() + 4; // skip value-type u32
+    assert_eq!(&good[vpos..vpos + 8], needle, "located the dim value");
+    let mut bad = good.clone();
+    bad[vpos..vpos + 8].copy_from_slice(&128u64.to_le_bytes());
+    assert!(matches!(
+        reload(&bad),
+        Err(ModelIoError::Io(IoError::ShapeMismatch(_)))
+    ));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn gguf_meta_edits_fail_typed() {
+    // Missing required metadata reports which key.
+    let mut w = GgufWriter::new();
+    w.meta("general.name", GgufValue::String("x".into()));
+    let path = tmp("incomplete.gguf");
+    w.write(&path).unwrap();
+    let err = Model::from_gguf(
+        &path,
+        &BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        LoadMode::Copy,
+    );
+    assert!(matches!(
+        err,
+        Err(ModelIoError::Io(IoError::MissingMeta(_)))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn scheduler_serves_bit_identical_tokens_from_the_file() {
+    // The end-to-end acceptance property: a model saved to `.tmac`,
+    // reloaded via mmap, and served through the continuous-batching
+    // Scheduler produces exactly the tokens the never-persisted in-memory
+    // model produces through a dedicated single-stream engine.
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 23).unwrap();
+    let path = tmp("serve.tmac");
+    src.save_tmac(&path).unwrap();
+
+    let prompts: Vec<Vec<u32>> = (0..5)
+        .map(|i| {
+            (0..(i % 3 + 1))
+                .map(|j| (i * 7 + j * 3 + 1) as u32)
+                .collect()
+        })
+        .collect();
+    let n_new = 5;
+    let mut engine = Engine::new(src);
+    let singles: Vec<Vec<u32>> = prompts
+        .iter()
+        .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+        .collect();
+
+    for max_batch in [1, 3] {
+        let mut sched = Scheduler::from_file(
+            &path,
+            &kind,
+            LoadMode::Mmap,
+            SchedulerConfig {
+                max_batch,
+                prefill_chunk: 4,
+            },
+        )
+        .unwrap();
+        let ids: Vec<_> = prompts
+            .iter()
+            .map(|p| sched.submit(p, n_new).unwrap())
+            .collect();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let f = done.iter().find(|f| f.id == *id).unwrap();
+            assert_eq!(
+                f.tokens, singles[i],
+                "max_batch={max_batch} sequence {i}: file-served tokens diverged"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn i8_kv_models_roundtrip_with_their_precision() {
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let cfg = ModelConfig::tiny().with_kv(KvPrecision::I8);
+    let src = Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 31).unwrap();
+    let path = tmp("i8kv.tmac");
+    src.save_tmac(&path).unwrap();
+    let loaded = Model::from_tmac(&path, &kind, LoadMode::Mmap).unwrap();
+    assert_eq!(loaded.cfg.kv_precision, KvPrecision::I8);
+    assert_eq!(run_logits(&loaded, &ctx), run_logits(&src, &ctx));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn engine_loads_either_format_by_extension() {
+    let ctx = ctx();
+    let kind = BackendKind::Tmac(tmac::core::KernelOpts::tmac());
+    let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 17).unwrap();
+    let reference = {
+        let mut e = Engine::new(src.clone());
+        e.generate(&[1, 2, 3], 6, &ctx).unwrap()
+    };
+    for name in ["ext.tmac", "ext.gguf"] {
+        let path = tmp(name);
+        src.save_file(&path).unwrap();
+        let mut e = Engine::from_file(&path, &kind, LoadMode::Mmap).unwrap();
+        assert_eq!(
+            e.generate(&[1, 2, 3], 6, &ctx).unwrap(),
+            reference,
+            "{name}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
