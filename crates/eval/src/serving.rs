@@ -66,6 +66,7 @@ pub fn batched_tok_s(model: &Model, w: &ServeWorkload, max_batch: usize, ctx: &E
         SchedulerConfig {
             max_batch,
             prefill_chunk: 16,
+            ..SchedulerConfig::default()
         },
     );
     let prompts = w.prompts(model.cfg.vocab);
@@ -81,7 +82,7 @@ pub fn batched_tok_s(model: &Model, w: &ServeWorkload, max_batch: usize, ctx: &E
     assert_eq!(done.len(), w.streams);
     assert!(done
         .iter()
-        .all(|f| f.tokens.len() == w.n_new && f.error.is_none()));
+        .all(|f| f.tokens.len() == w.n_new && f.reason == tmac_llm::FinishReason::Length));
     w.total_new() as f64 / dt
 }
 

@@ -56,6 +56,13 @@ pub enum BackendError {
     Shape(String),
     /// A backend name not present in the registry.
     UnknownBackend(String),
+    /// The scheduler's bounded pending queue is at capacity — admission
+    /// backpressure (see [`crate::batch::SchedulerConfig::max_pending`]).
+    /// Callers should shed load (HTTP 429) or retry later.
+    QueueFull {
+        /// Requests already queued (== the configured bound).
+        pending: usize,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -65,6 +72,9 @@ impl std::fmt::Display for BackendError {
             BackendError::Quant(e) => write!(f, "quant: {e}"),
             BackendError::Shape(m) => write!(f, "shape: {m}"),
             BackendError::UnknownBackend(n) => write!(f, "unknown backend: {n:?}"),
+            BackendError::QueueFull { pending } => {
+                write!(f, "queue full: {pending} requests pending")
+            }
         }
     }
 }

@@ -39,6 +39,11 @@ pub struct SchedulerConfig {
     /// derives the chunk from the model's kernel blocking at construction
     /// time ([`Model::prefill_chunk`]).
     pub prefill_chunk: usize,
+    /// Maximum queued (submitted but not yet active) sequences. Further
+    /// [`Scheduler::submit`] calls return [`BackendError::QueueFull`] — the
+    /// admission-backpressure primitive a serving front-end's 429 path
+    /// builds on. `0` = unbounded; the default is bounded (256).
+    pub max_pending: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -46,6 +51,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_batch: 16,
             prefill_chunk: 0,
+            max_pending: 256,
         }
     }
 }
@@ -61,6 +67,44 @@ pub struct StepToken {
     pub finished: bool,
 }
 
+/// Why a sequence left the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Generated all `max_new` tokens (normal completion).
+    Length,
+    /// Removed mid-flight by [`Scheduler::cancel`]; `tokens` hold the
+    /// partial output and the KV slot went back to the pool.
+    Cancelled,
+    /// Retired early by a model failure (`tokens` are the partial output
+    /// up to the failure).
+    Error(String),
+}
+
+impl FinishReason {
+    /// Wire-format name (the completions API's `finish_reason` field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FinishReason::Length => "length",
+            FinishReason::Cancelled => "cancelled",
+            FinishReason::Error(_) => "error",
+        }
+    }
+
+    /// True for [`FinishReason::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, FinishReason::Error(_))
+    }
+}
+
+impl std::fmt::Display for FinishReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FinishReason::Error(msg) => write!(f, "error: {msg}"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
 /// A completed sequence with its generated tokens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FinishedSeq {
@@ -70,10 +114,9 @@ pub struct FinishedSeq {
     pub prompt: Vec<u32>,
     /// All generated tokens, in order.
     pub tokens: Vec<u32>,
-    /// `None` for a normal completion; `Some(message)` when the sequence
-    /// was retired early by a model failure (its `tokens` are the partial
-    /// output up to the failure).
-    pub error: Option<String>,
+    /// How the sequence ended (normal length completion, cancellation, or
+    /// an error with its message).
+    pub reason: FinishReason,
 }
 
 /// Per-sequence serving state.
@@ -199,8 +242,16 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns [`BackendError::Shape`] for an empty prompt, `max_new == 0`,
-    /// or a request longer than the model's `seq_max`.
+    /// a request longer than the model's `seq_max`, or an out-of-vocab
+    /// prompt token; [`BackendError::QueueFull`] when
+    /// [`SchedulerConfig::max_pending`] queued sequences are already
+    /// waiting (admission backpressure — shed load or retry later).
     pub fn submit(&mut self, prompt: &[u32], max_new: usize) -> Result<SeqId, BackendError> {
+        if self.cfg.max_pending > 0 && self.pending.len() >= self.cfg.max_pending {
+            return Err(BackendError::QueueFull {
+                pending: self.pending.len(),
+            });
+        }
         if prompt.is_empty() {
             return Err(BackendError::Shape("empty prompt".into()));
         }
@@ -238,6 +289,40 @@ impl Scheduler {
     /// Sequences currently holding a batch slot.
     pub fn active_len(&self) -> usize {
         self.active.len()
+    }
+
+    /// The scheduler's limits (as resolved at construction: a zero
+    /// `prefill_chunk` has been replaced by the model-derived chunk).
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// KV-cache slots allocated so far (grows lazily up to `max_batch`;
+    /// cancellation must return slots here instead of leaking them).
+    pub fn slots_allocated(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Removes a sequence mid-flight, wherever it is.
+    ///
+    /// A pending sequence leaves the queue; an active one gives its KV slot
+    /// back to the pool so the next admission reuses it. Either way the
+    /// sequence retires into the finished list with
+    /// [`FinishReason::Cancelled`] and its partial `tokens`. Returns `false`
+    /// when `id` is not currently pending or active (already finished,
+    /// cancelled, or never submitted) — cancellation is idempotent.
+    pub fn cancel(&mut self, id: SeqId) -> bool {
+        if let Some(i) = self.pending.iter().position(|s| s.id == id) {
+            let seq = self.pending.remove(i).expect("position is in range");
+            self.retire(seq, FinishReason::Cancelled);
+            return true;
+        }
+        if let Some(i) = self.active.iter().position(|s| s.id == id) {
+            let seq = self.active.remove(i);
+            self.retire(seq, FinishReason::Cancelled);
+            return true;
+        }
+        false
     }
 
     /// Sequences waiting for a slot.
@@ -292,7 +377,7 @@ impl Scheduler {
     /// Propagates model failures, leaving the scheduler consistent:
     ///
     /// * an admission (prefill) failure retires that sequence into the
-    ///   finished list with [`FinishedSeq::error`] set, and the step's
+    ///   finished list with an error [`FinishedSeq::reason`], and the step's
     ///   already-emitted tokens are carried into the next call's output;
     /// * a decode failure leaves every active sequence in place with its
     ///   position unadvanced, so the step can simply be retried.
@@ -313,7 +398,7 @@ impl Scheduler {
                         finished: seq.done(),
                     });
                     if seq.done() {
-                        self.retire(seq, None);
+                        self.retire(seq, FinishReason::Length);
                     } else {
                         self.active.push(seq);
                     }
@@ -321,7 +406,7 @@ impl Scheduler {
                 Err(e) => {
                     // Retire the failed admission with an error marker and
                     // carry this step's tokens into the next call's output.
-                    self.retire(seq, Some(e.to_string()));
+                    self.retire(seq, FinishReason::Error(e.to_string()));
                     self.carry = emitted;
                     return Err(e);
                 }
@@ -363,7 +448,7 @@ impl Scheduler {
             while r < self.active.len() {
                 if self.active[r].done() {
                     let seq = self.active.remove(r);
-                    self.retire(seq, None);
+                    self.retire(seq, FinishReason::Length);
                 } else {
                     r += 1;
                 }
@@ -404,9 +489,9 @@ impl Scheduler {
         Ok(token)
     }
 
-    /// Moves a sequence to the finished list (with `error` set when it was
-    /// retired by a failure rather than completing) and frees its slot.
-    fn retire(&mut self, seq: Sequence, error: Option<String>) {
+    /// Moves a sequence to the finished list with the given reason and
+    /// frees its slot.
+    fn retire(&mut self, seq: Sequence, reason: FinishReason) {
         if seq.slot != usize::MAX {
             self.free_slots.push(seq.slot);
         }
@@ -414,7 +499,7 @@ impl Scheduler {
             id: seq.id,
             prompt: seq.prompt,
             tokens: seq.generated,
-            error,
+            reason,
         });
     }
 }
@@ -468,6 +553,7 @@ mod tests {
         let cfg = SchedulerConfig {
             max_batch: 2,
             prefill_chunk: 4,
+            ..SchedulerConfig::default()
         };
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
         for i in 0..5u32 {
@@ -612,7 +698,7 @@ mod tests {
         let failed = sched.take_finished();
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].id, b);
-        assert!(failed[0].error.is_some());
+        assert!(failed[0].reason.is_error());
         assert!(failed[0].tokens.is_empty());
         assert_eq!(sched.active_len(), 1);
 
@@ -628,7 +714,7 @@ mod tests {
         let done = sched.take_finished();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, a);
-        assert_eq!(done[0].error, None);
+        assert_eq!(done[0].reason, FinishReason::Length);
         assert_eq!(done[0].tokens, streamed);
         assert_eq!(done[0].tokens.len(), 3);
     }
@@ -644,11 +730,147 @@ mod tests {
     }
 
     #[test]
+    fn bounded_queue_rejects_with_queue_full() {
+        let cfg = SchedulerConfig {
+            max_batch: 1,
+            max_pending: 2,
+            ..SchedulerConfig::default()
+        };
+        let ctx = ExecCtx::new(1);
+        let mut sched = Scheduler::new(model(tmac_kind()), cfg);
+        sched.submit(&[1], 2).unwrap();
+        sched.submit(&[2], 2).unwrap();
+        match sched.submit(&[3], 2) {
+            Err(BackendError::QueueFull { pending }) => assert_eq!(pending, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // One step admits a sequence out of the queue, making room again.
+        sched.step_batch(&ctx).unwrap();
+        assert_eq!(sched.pending_len(), 1);
+        sched.submit(&[3], 2).unwrap();
+        // max_pending = 0 disables the bound.
+        let unbounded = SchedulerConfig {
+            max_pending: 0,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = Scheduler::new(model(BackendKind::F32), unbounded);
+        for i in 0..600u32 {
+            sched.submit(&[1 + i % 90], 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn cancel_pending_and_active_frees_state() {
+        let ctx = ExecCtx::new(1);
+        let cfg = SchedulerConfig {
+            max_batch: 2,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = Scheduler::new(model(tmac_kind()), cfg);
+        let a = sched.submit(&[1, 2], 8).unwrap();
+        let b = sched.submit(&[3], 8).unwrap();
+        let c = sched.submit(&[4, 5], 8).unwrap();
+
+        // Cancel C while still pending: it never takes a slot.
+        assert!(sched.cancel(c));
+        assert!(!sched.cancel(c), "cancel is idempotent");
+        sched.step_batch(&ctx).unwrap();
+        assert_eq!(sched.active_len(), 2);
+        assert_eq!(sched.slots_allocated(), 2);
+
+        // Cancel A while active: the slot returns to the pool, so admitting
+        // a new request must NOT allocate a third cache.
+        assert!(sched.cancel(a));
+        assert_eq!(sched.active_len(), 1);
+        let d = sched.submit(&[6], 4).unwrap();
+        sched.step_batch(&ctx).unwrap();
+        assert_eq!(sched.active_len(), 2);
+        assert_eq!(sched.slots_allocated(), 2, "cancelled slot was not reused");
+
+        let done = sched.run_to_completion(&ctx).unwrap();
+        let by_id = |id: SeqId| done.iter().find(|f| f.id == id).unwrap();
+        assert_eq!(by_id(c).reason, FinishReason::Cancelled);
+        assert!(by_id(c).tokens.is_empty());
+        assert_eq!(by_id(a).reason, FinishReason::Cancelled);
+        assert!(by_id(a).tokens.len() < 8, "partial output only");
+        assert_eq!(by_id(b).reason, FinishReason::Length);
+        assert_eq!(by_id(d).reason, FinishReason::Length);
+        assert!(sched.is_idle());
+        assert!(!sched.cancel(b), "finished sequences cannot be cancelled");
+    }
+
+    #[test]
+    fn cancellation_leaves_survivors_bit_exact() {
+        // Cancelling one sequence mid-batch must not perturb any other
+        // sequence's tokens (rows shift in the batch, but forward_batch is
+        // row-independent): survivors match an uncancelled reference run.
+        let ctx = ExecCtx::new(1);
+        let prompts: [&[u32]; 3] = [&[1, 2, 3], &[7, 8], &[4, 5, 6]];
+        let n_new = 8;
+
+        let mut reference = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
+        let ref_ids: Vec<SeqId> = prompts
+            .iter()
+            .map(|p| reference.submit(p, n_new).unwrap())
+            .collect();
+        let ref_done = reference.run_to_completion(&ctx).unwrap();
+
+        let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
+        let ids: Vec<SeqId> = prompts
+            .iter()
+            .map(|p| sched.submit(p, n_new).unwrap())
+            .collect();
+        // Let everyone produce a few tokens, then drop the middle sequence.
+        sched.step_batch(&ctx).unwrap();
+        sched.step_batch(&ctx).unwrap();
+        assert!(sched.cancel(ids[1]));
+        let done = sched.run_to_completion(&ctx).unwrap();
+
+        for (i, id) in ids.iter().enumerate() {
+            let f = done.iter().find(|f| f.id == *id).unwrap();
+            let r = ref_done.iter().find(|f| f.id == ref_ids[i]).unwrap();
+            if i == 1 {
+                assert_eq!(f.reason, FinishReason::Cancelled);
+                assert_eq!(f.tokens, r.tokens[..f.tokens.len()], "prefix must match");
+            } else {
+                assert_eq!(f.reason, FinishReason::Length);
+                assert_eq!(f.tokens, r.tokens, "survivor {i} diverged after cancel");
+            }
+        }
+    }
+
+    #[test]
+    fn drain_while_active_completes_without_new_admissions() {
+        // Serving-style drain: stop submitting, keep stepping. Everything
+        // in flight (active AND already-queued) finishes; nothing new is
+        // admitted because nothing new is submitted.
+        let ctx = ExecCtx::new(1);
+        let cfg = SchedulerConfig {
+            max_batch: 2,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = Scheduler::new(model(tmac_kind()), cfg);
+        for i in 0..4u32 {
+            sched.submit(&[i + 1], 3).unwrap();
+        }
+        sched.step_batch(&ctx).unwrap();
+        assert!(sched.active_len() > 0 && sched.pending_len() > 0);
+        // Drain: no further submits. The loop must terminate with every
+        // submitted sequence complete.
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|f| f.reason == FinishReason::Length));
+        assert!(sched.is_idle());
+        assert_eq!(sched.slots_allocated(), 2);
+    }
+
+    #[test]
     fn long_prompt_prefills_across_chunks() {
         let ctx = ExecCtx::new(1);
         let cfg = SchedulerConfig {
             max_batch: 1,
             prefill_chunk: 3, // forces multi-chunk prefill for a 7-token prompt
+            ..SchedulerConfig::default()
         };
         let prompt: Vec<u32> = (1..=7).collect();
         let mut engine = Engine::new(model(tmac_kind()));

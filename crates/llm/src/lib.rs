@@ -54,7 +54,7 @@ pub use backend::{
     BackendBuilder, BackendError, BackendKind, BackendRegistry, DequantBackend, F32Backend, Linear,
     LinearBackend, TmacBackend,
 };
-pub use batch::{FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
+pub use batch::{FinishReason, FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
 pub use config::{KvPrecision, ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine, PREFILL_CHUNK};
 pub use io::{LoadMode, ModelIoError};

@@ -1,0 +1,670 @@
+//! The scheduler bridge: a dedicated step-loop thread owns the
+//! [`Scheduler`] and connections talk to it through a bounded submission
+//! channel.
+//!
+//! ```text
+//!  connection ──try_submit──► [bounded channel] ──► step loop (this thread)
+//!   handlers  ◄──SeqEvent────  per-request mpsc ◄──   submit / cancel /
+//!     429 ◄─ QueueFull                                step_batch / drain
+//! ```
+//!
+//! The loop interleaves four duties every iteration: drain the submission
+//! channel into [`Scheduler::submit`]; enforce per-request deadlines and
+//! client-disconnect cancellation via [`Scheduler::cancel`]; run one
+//! [`Scheduler::step_batch`] and fan its tokens out to the per-request
+//! event channels; and retire finished sequences with their
+//! [`FinishReason`]. Admission backpressure is synchronous: `try_submit`
+//! reserves a queue slot against `SchedulerConfig::max_pending` *before*
+//! sending, so a full queue turns into an HTTP 429 without waiting for the
+//! loop.
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tmac_core::ExecCtx;
+use tmac_llm::batch::{FinishReason, Scheduler, SeqId};
+
+/// Wakes a connection driver (the epoll loop's eventfd/pipe) after events
+/// are queued; thread-per-connection handlers block on the channel and
+/// need no waker.
+pub type WakeFn = Arc<dyn Fn() + Send + Sync>;
+
+/// Why a served sequence ended (the bridge-level refinement of
+/// [`FinishReason`]: deadline expiry is a cancellation whose cause the
+/// bridge knows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndReason {
+    /// All requested tokens were generated.
+    Length,
+    /// Cancelled (client disconnect or explicit cancel).
+    Cancelled,
+    /// The per-request deadline expired mid-flight.
+    Deadline,
+    /// A model failure retired the sequence.
+    Error(String),
+}
+
+impl EndReason {
+    /// Wire name for the completions API.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EndReason::Length => "length",
+            EndReason::Cancelled => "cancelled",
+            EndReason::Deadline => "deadline",
+            EndReason::Error(_) => "error",
+        }
+    }
+}
+
+/// One event on a request's stream.
+#[derive(Debug, Clone)]
+pub enum SeqEvent {
+    /// The next generated token.
+    Token(u32),
+    /// The sequence is over; `tokens` is the complete (possibly partial on
+    /// cancel/deadline/error) output.
+    Done {
+        /// All generated tokens in order.
+        tokens: Vec<u32>,
+        /// Why it ended.
+        reason: EndReason,
+    },
+}
+
+/// The consumer half of a request: an event channel plus the waker that
+/// nudges whoever drives the connection.
+#[derive(Clone)]
+pub struct TokenSink {
+    tx: Sender<SeqEvent>,
+    waker: Option<WakeFn>,
+}
+
+impl TokenSink {
+    /// Pairs a sink with its receiving channel.
+    pub fn channel(waker: Option<WakeFn>) -> (TokenSink, Receiver<SeqEvent>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (TokenSink { tx, waker }, rx)
+    }
+
+    fn send(&self, ev: SeqEvent) {
+        // A dead receiver means the connection is gone; its cancel flag
+        // (checked every loop iteration) reclaims the slot.
+        let _ = self.tx.send(ev);
+        if let Some(w) = &self.waker {
+            w();
+        }
+    }
+}
+
+impl std::fmt::Debug for TokenSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenSink")
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
+}
+
+/// A request travelling from a connection to the step loop.
+#[derive(Debug)]
+pub struct Submission {
+    /// Prompt tokens (already validated by the HTTP layer; the scheduler
+    /// re-validates).
+    pub prompt: Vec<u32>,
+    /// Tokens to generate.
+    pub max_new: usize,
+    /// Absolute deadline; the loop cancels the sequence when it passes.
+    pub deadline: Option<Instant>,
+    /// Client-disconnect flag; the loop cancels when it turns true.
+    pub cancel: Arc<AtomicBool>,
+    /// Where tokens and the final result go.
+    pub sink: TokenSink,
+    /// When the request was admitted (TTFT base).
+    pub submitted_at: Instant,
+}
+
+/// Synchronous admission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `max_pending` requests already queued: shed load (HTTP 429).
+    QueueFull {
+        /// Queued requests at rejection time.
+        pending: usize,
+    },
+    /// The server is draining and admits nothing new (HTTP 503).
+    Draining,
+    /// The step loop has exited (HTTP 503).
+    Stopped,
+}
+
+/// Cloneable handle connections use to reach the step loop.
+#[derive(Clone)]
+pub struct BridgeHandle {
+    tx: Sender<Submission>,
+    queued: Arc<AtomicUsize>,
+    max_pending: usize,
+    draining: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    /// Serving-wide metrics (shared with the HTTP layer).
+    pub metrics: Arc<Metrics>,
+    /// Model facts the HTTP layer validates against.
+    pub info: ModelInfo,
+}
+
+/// What the HTTP layer needs to know about the served model.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Model display name (the API's `model` field).
+    pub name: String,
+    /// Vocabulary size (prompt token bound).
+    pub vocab: usize,
+    /// Max total sequence length (prompt + completion bound).
+    pub seq_max: usize,
+    /// Concurrent KV slots.
+    pub max_batch: usize,
+}
+
+impl BridgeHandle {
+    /// Admission with queue-depth backpressure: reserves one of
+    /// `max_pending` queue slots or fails synchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::Draining`]
+    /// after [`BridgeHandle::drain`], [`SubmitError::Stopped`] once the
+    /// loop has exited.
+    pub fn try_submit(&self, sub: Submission) -> Result<(), SubmitError> {
+        if self.draining.load(Ordering::Acquire) || self.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::Draining);
+        }
+        if self.max_pending > 0 {
+            let reserve = self
+                .queued
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                    (cur < self.max_pending).then_some(cur + 1)
+                });
+            if let Err(cur) = reserve {
+                return Err(SubmitError::QueueFull { pending: cur });
+            }
+        } else {
+            self.queued.fetch_add(1, Ordering::AcqRel);
+        }
+        self.metrics
+            .queue_depth
+            .set(self.queued.load(Ordering::Relaxed) as u64);
+        if self.tx.send(sub).is_err() {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Stopped);
+        }
+        Ok(())
+    }
+
+    /// Begins graceful drain: every future `try_submit` fails, the loop
+    /// finishes in-flight sequences, then exits.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// True once [`BridgeHandle::drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Immediate abort: in-flight sequences are cancelled and the loop
+    /// exits without finishing them.
+    pub fn abort(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// In-flight bookkeeping for one sequence.
+struct Tracked {
+    sink: TokenSink,
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    deadline_hit: bool,
+    submitted_at: Instant,
+    /// Still holding a `queued` reservation (released on first token or
+    /// retirement, whichever first).
+    queued_counted: bool,
+}
+
+/// Spawns the step-loop thread over `sched` and returns the connection
+/// handle plus the loop's join handle.
+///
+/// `idle_wait` bounds how long the loop sleeps when there is no work (and
+/// therefore how late a drain/shutdown is noticed at idle).
+pub fn start(
+    sched: Scheduler,
+    ctx: ExecCtx,
+    metrics: Arc<Metrics>,
+    idle_wait: Duration,
+) -> (BridgeHandle, std::thread::JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::channel::<Submission>();
+    let cfg = *sched.config();
+    let info = ModelInfo {
+        name: sched.model().cfg.name.clone(),
+        vocab: sched.model().cfg.vocab,
+        seq_max: sched.model().cfg.seq_max,
+        max_batch: cfg.max_batch,
+    };
+    let handle = BridgeHandle {
+        tx,
+        queued: Arc::new(AtomicUsize::new(0)),
+        max_pending: cfg.max_pending,
+        draining: Arc::new(AtomicBool::new(false)),
+        stop: Arc::new(AtomicBool::new(false)),
+        metrics: Arc::clone(&metrics),
+        info,
+    };
+    metrics.kv_slots_total.set(cfg.max_batch as u64);
+    let loop_handle = handle.clone();
+    let join = std::thread::Builder::new()
+        .name("tmac-step-loop".into())
+        .spawn(move || step_loop(sched, ctx, rx, loop_handle, idle_wait))
+        .expect("spawn step loop");
+    (handle, join)
+}
+
+fn step_loop(
+    mut sched: Scheduler,
+    ctx: ExecCtx,
+    rx: Receiver<Submission>,
+    h: BridgeHandle,
+    idle_wait: Duration,
+) {
+    let mut tracked: HashMap<u64, Tracked> = HashMap::new();
+    let mut channel_open = true;
+    loop {
+        if h.stop.load(Ordering::Acquire) {
+            // Abort: cancel everything in flight so every connection gets a
+            // terminal event instead of a hang.
+            let ids: Vec<u64> = tracked.keys().copied().collect();
+            for id in ids {
+                sched.cancel(SeqId(id));
+            }
+            route_finished(&mut sched, &mut tracked, &h);
+            return;
+        }
+
+        // 1. Intake: drain the submission channel into the scheduler.
+        loop {
+            match rx.try_recv() {
+                Ok(sub) => intake(&mut sched, &mut tracked, &h, sub),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    channel_open = false;
+                    break;
+                }
+            }
+        }
+
+        // 2. Cancellation and deadlines.
+        let now = Instant::now();
+        let expired: Vec<(u64, bool)> = tracked
+            .iter()
+            .filter_map(|(&id, t)| {
+                if t.cancel.load(Ordering::Acquire) {
+                    Some((id, false))
+                } else if t.deadline.is_some_and(|d| now >= d) {
+                    Some((id, true))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (id, was_deadline) in expired {
+            if sched.cancel(SeqId(id)) {
+                if let Some(t) = tracked.get_mut(&id) {
+                    t.deadline_hit = was_deadline;
+                }
+            }
+        }
+        route_finished(&mut sched, &mut tracked, &h);
+
+        // 3. One serving step.
+        if !sched.is_idle() {
+            match sched.step_batch(&ctx) {
+                Ok(tokens) => {
+                    for st in tokens {
+                        route_token(&mut tracked, &h, st.id, st.token);
+                    }
+                }
+                Err(_) => {
+                    // Failed admissions retired themselves into the
+                    // finished list (routed below); a failed decode left
+                    // every sequence in place and the next iteration
+                    // retries it.
+                }
+            }
+            route_finished(&mut sched, &mut tracked, &h);
+        } else if h.draining.load(Ordering::Acquire) || !channel_open {
+            // Idle + no new work possible → exit (graceful drain complete).
+            return;
+        } else {
+            // Idle: sleep until the next submission (or a drain/stop nudge
+            // at worst `idle_wait` late).
+            match rx.recv_timeout(idle_wait) {
+                Ok(sub) => intake(&mut sched, &mut tracked, &h, sub),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => channel_open = false,
+            }
+        }
+
+        // 4. Gauges.
+        h.metrics
+            .queue_depth
+            .set(h.queued.load(Ordering::Relaxed) as u64);
+        h.metrics.active_seqs.set(sched.active_len() as u64);
+        h.metrics.kv_slots_used.set(sched.active_len() as u64);
+    }
+}
+
+fn intake(
+    sched: &mut Scheduler,
+    tracked: &mut HashMap<u64, Tracked>,
+    h: &BridgeHandle,
+    sub: Submission,
+) {
+    // Skip sequences whose client vanished while queued in the channel.
+    if sub.cancel.load(Ordering::Acquire) {
+        h.queued.fetch_sub(1, Ordering::AcqRel);
+        sub.sink.send(SeqEvent::Done {
+            tokens: Vec::new(),
+            reason: EndReason::Cancelled,
+        });
+        h.metrics.finished_cancelled.inc();
+        return;
+    }
+    match sched.submit(&sub.prompt, sub.max_new) {
+        Ok(id) => {
+            tracked.insert(
+                id.0,
+                Tracked {
+                    sink: sub.sink,
+                    cancel: sub.cancel,
+                    deadline: sub.deadline,
+                    deadline_hit: false,
+                    submitted_at: sub.submitted_at,
+                    queued_counted: true,
+                },
+            );
+        }
+        Err(e) => {
+            // The HTTP layer pre-validates, so this is either a race on the
+            // scheduler's own queue bound or a genuine model failure.
+            h.queued.fetch_sub(1, Ordering::AcqRel);
+            h.metrics.finished_error.inc();
+            sub.sink.send(SeqEvent::Done {
+                tokens: Vec::new(),
+                reason: EndReason::Error(e.to_string()),
+            });
+        }
+    }
+}
+
+fn route_token(tracked: &mut HashMap<u64, Tracked>, h: &BridgeHandle, id: SeqId, token: u32) {
+    let Some(t) = tracked.get_mut(&id.0) else {
+        return;
+    };
+    if t.queued_counted {
+        // First token: the sequence left the queue for a batch slot.
+        t.queued_counted = false;
+        h.queued.fetch_sub(1, Ordering::AcqRel);
+        h.metrics
+            .ttft
+            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+    }
+    h.metrics.tokens_out.inc();
+    t.sink.send(SeqEvent::Token(token));
+}
+
+fn route_finished(sched: &mut Scheduler, tracked: &mut HashMap<u64, Tracked>, h: &BridgeHandle) {
+    for f in sched.take_finished() {
+        let Some(t) = tracked.remove(&f.id.0) else {
+            continue;
+        };
+        if t.queued_counted {
+            h.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+        let reason = match f.reason {
+            FinishReason::Length => {
+                h.metrics.finished_length.inc();
+                EndReason::Length
+            }
+            FinishReason::Cancelled if t.deadline_hit => {
+                h.metrics.finished_cancelled.inc();
+                h.metrics.finished_deadline.inc();
+                EndReason::Deadline
+            }
+            FinishReason::Cancelled => {
+                h.metrics.finished_cancelled.inc();
+                EndReason::Cancelled
+            }
+            FinishReason::Error(msg) => {
+                h.metrics.finished_error.inc();
+                EndReason::Error(msg)
+            }
+        };
+        h.metrics
+            .request_latency
+            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+        t.sink.send(SeqEvent::Done {
+            tokens: f.tokens,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmac_llm::batch::SchedulerConfig;
+    use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
+
+    fn sched(max_batch: usize, max_pending: usize) -> Scheduler {
+        let model = Model::synthetic(
+            &ModelConfig::tiny(),
+            WeightQuant::Rtn(2),
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            11,
+        )
+        .unwrap();
+        Scheduler::new(
+            model,
+            SchedulerConfig {
+                max_batch,
+                max_pending,
+                ..SchedulerConfig::default()
+            },
+        )
+    }
+
+    fn submission(prompt: &[u32], max_new: usize) -> (Submission, Receiver<SeqEvent>) {
+        let (sink, rx) = TokenSink::channel(None);
+        (
+            Submission {
+                prompt: prompt.to_vec(),
+                max_new,
+                deadline: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+                sink,
+                submitted_at: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    fn collect_done(rx: &Receiver<SeqEvent>) -> (Vec<u32>, Vec<u32>, EndReason) {
+        let mut streamed = Vec::new();
+        loop {
+            match rx.recv_timeout(Duration::from_secs(30)).expect("event") {
+                SeqEvent::Token(t) => streamed.push(t),
+                SeqEvent::Done { tokens, reason } => return (streamed, tokens, reason),
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_serves_and_streams_matching_tokens() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(2, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let (sub_a, rx_a) = submission(&[1, 2, 3], 4);
+        let (sub_b, rx_b) = submission(&[7], 5);
+        h.try_submit(sub_a).unwrap();
+        h.try_submit(sub_b).unwrap();
+        let (streamed_a, tokens_a, reason_a) = collect_done(&rx_a);
+        let (streamed_b, tokens_b, reason_b) = collect_done(&rx_b);
+        assert_eq!(reason_a, EndReason::Length);
+        assert_eq!(reason_b, EndReason::Length);
+        assert_eq!(streamed_a, tokens_a);
+        assert_eq!(streamed_b, tokens_b);
+        assert_eq!(tokens_a.len(), 4);
+        assert_eq!(tokens_b.len(), 5);
+        assert_eq!(metrics.tokens_out.get(), 9);
+        assert_eq!(metrics.finished_length.get(), 2);
+        h.drain();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn queue_full_is_synchronous_and_recovers() {
+        let metrics = Arc::new(Metrics::new());
+        // One slot, one queue seat: the third concurrent request sheds.
+        let (h, join) = start(
+            sched(1, 1),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let mut rxs = Vec::new();
+        let mut shed = 0;
+        for i in 0..6u32 {
+            let (sub, rx) = submission(&[i + 1], 6);
+            match h.try_submit(sub) {
+                Ok(()) => rxs.push(rx),
+                Err(SubmitError::QueueFull { .. }) => shed += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(shed > 0, "bounded queue never shed under burst");
+        for rx in &rxs {
+            let (_, tokens, reason) = collect_done(rx);
+            assert_eq!(reason, EndReason::Length);
+            assert_eq!(tokens.len(), 6);
+        }
+        // Capacity freed: new submissions are admitted again.
+        let (sub, rx) = submission(&[9], 2);
+        h.try_submit(sub).unwrap();
+        let (_, tokens, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Length);
+        assert_eq!(tokens.len(), 2);
+        h.drain();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_flag_frees_slot_and_reports_partial() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(1, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let (sub, rx) = submission(&[1, 2], 40);
+        let cancel = Arc::clone(&sub.cancel);
+        h.try_submit(sub).unwrap();
+        // Let a few tokens arrive, then simulate the client vanishing.
+        let first = rx.recv_timeout(Duration::from_secs(30)).expect("token");
+        assert!(matches!(first, SeqEvent::Token(_)));
+        cancel.store(true, Ordering::Release);
+        let (streamed, tokens, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Cancelled);
+        assert!(tokens.len() < 40, "cancel must cut the sequence short");
+        assert_eq!(
+            streamed.len() + 1,
+            tokens.len(),
+            "one token was read before collect_done"
+        );
+        // The slot is free again: a fresh request completes.
+        let (sub2, rx2) = submission(&[5], 3);
+        h.try_submit(sub2).unwrap();
+        let (_, tokens2, reason2) = collect_done(&rx2);
+        assert_eq!(reason2, EndReason::Length);
+        assert_eq!(tokens2.len(), 3);
+        assert_eq!(metrics.finished_cancelled.get(), 1);
+        h.drain();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_expires_mid_flight_with_typed_reason() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(1, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let (mut sub, rx) = submission(&[3, 4], 10_000);
+        sub.deadline = Some(Instant::now() + Duration::from_millis(30));
+        // A 10k-token request can't fit seq_max; use a long-but-legal one.
+        sub.max_new = 50;
+        h.try_submit(sub).unwrap();
+        let (_, tokens, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Deadline);
+        assert!(tokens.len() < 50);
+        assert_eq!(metrics.finished_deadline.get(), 1);
+        h.drain();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_finishes_in_flight() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(2, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let (sub, rx) = submission(&[1, 2, 3], 12);
+        h.try_submit(sub).unwrap();
+        h.drain();
+        let (sub2, _rx2) = submission(&[4], 2);
+        assert_eq!(h.try_submit(sub2), Err(SubmitError::Draining));
+        let (_, tokens, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Length);
+        assert_eq!(tokens.len(), 12, "drain must finish in-flight work");
+        join.join().unwrap();
+        // After exit, submission fails as stopped/draining, not panic.
+        let (sub3, _rx3) = submission(&[5], 2);
+        assert!(h.try_submit(sub3).is_err());
+    }
+
+    #[test]
+    fn abort_cancels_everything_quickly() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(1, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        let (sub, rx) = submission(&[1], 50);
+        h.try_submit(sub).unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(30)).expect("started");
+        h.abort();
+        let (_, _, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Cancelled);
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,305 @@
+//! Serving metrics: lock-free counters/gauges the step loop and connection
+//! handlers update, rendered as a Prometheus-style text exposition at
+//! `GET /metrics`.
+//!
+//! Counters are monotonically increasing totals; gauges are
+//! point-in-time values the step loop refreshes every iteration. Latency
+//! aggregates (TTFT, request latency) keep sum + count + max so averages
+//! are cheap and worst cases visible; full percentile distributions are the
+//! load generator's job (client-side timing), not the server's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (stored as `u64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (for up/down tracking like open connections).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sum/count/max aggregate over a microsecond-valued observation stream.
+#[derive(Debug, Default)]
+pub struct LatencyAgg {
+    sum_us: AtomicU64,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyAgg {
+    /// Records one observation.
+    pub fn observe_us(&self, us: u64) {
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// (average milliseconds, observation count, max milliseconds).
+    pub fn snapshot_ms(&self) -> (f64, u64, f64) {
+        let n = self.count.load(Ordering::Relaxed);
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        let max = self.max_us.load(Ordering::Relaxed);
+        let avg = if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64 / 1e3
+        };
+        (avg, n, max as f64 / 1e3)
+    }
+}
+
+/// All serving metrics, shared (behind an `Arc`) between the listener,
+/// connection handlers, and the scheduler step loop.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Process start (uptime base for tok/s).
+    start: Instant,
+    /// `POST /v1/completions` requests received (any outcome).
+    pub req_completions: Counter,
+    /// `GET /metrics` requests.
+    pub req_metrics: Counter,
+    /// `GET /healthz` requests.
+    pub req_healthz: Counter,
+    /// Requests to any other route (404/405 paths).
+    pub req_other: Counter,
+    /// Responses by status class.
+    pub resp_2xx: Counter,
+    /// 4xx responses, except 429 (counted separately as sheds).
+    pub resp_4xx: Counter,
+    /// 429 admission rejections (queue-full backpressure).
+    pub resp_429: Counter,
+    /// 5xx responses (includes 503 drain refusals and 504 deadlines).
+    pub resp_5xx: Counter,
+    /// Completion tokens streamed/returned to clients.
+    pub tokens_out: Counter,
+    /// Sequences finished with `finish_reason = length`.
+    pub finished_length: Counter,
+    /// Sequences cancelled (client disconnect or explicit cancel).
+    pub finished_cancelled: Counter,
+    /// Sequences past their deadline (subset of cancellations, reported
+    /// separately).
+    pub finished_deadline: Counter,
+    /// Sequences retired by model errors.
+    pub finished_error: Counter,
+    /// Submitted-but-not-yet-active requests (queue depth).
+    pub queue_depth: Gauge,
+    /// Sequences currently decoding (batch occupancy).
+    pub active_seqs: Gauge,
+    /// KV slots in use (== active sequences; kept separate so the slot
+    /// capacity pairing below always reads together).
+    pub kv_slots_used: Gauge,
+    /// KV slot capacity (`SchedulerConfig::max_batch`).
+    pub kv_slots_total: Gauge,
+    /// Open client connections.
+    pub connections: Gauge,
+    /// Time from admission request to first token (prefill + queueing).
+    pub ttft: LatencyAgg,
+    /// Time from admission request to completion.
+    pub request_latency: LatencyAgg,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics with the uptime clock started.
+    pub fn new() -> Self {
+        Metrics {
+            start: Instant::now(),
+            req_completions: Counter::default(),
+            req_metrics: Counter::default(),
+            req_healthz: Counter::default(),
+            req_other: Counter::default(),
+            resp_2xx: Counter::default(),
+            resp_4xx: Counter::default(),
+            resp_429: Counter::default(),
+            resp_5xx: Counter::default(),
+            tokens_out: Counter::default(),
+            finished_length: Counter::default(),
+            finished_cancelled: Counter::default(),
+            finished_deadline: Counter::default(),
+            finished_error: Counter::default(),
+            queue_depth: Gauge::default(),
+            active_seqs: Gauge::default(),
+            kv_slots_used: Gauge::default(),
+            kv_slots_total: Gauge::default(),
+            connections: Gauge::default(),
+            ttft: LatencyAgg::default(),
+            request_latency: LatencyAgg::default(),
+        }
+    }
+
+    /// Counts a response status into its class counter.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            429 => self.resp_429.inc(),
+            200..=299 => self.resp_2xx.inc(),
+            400..=499 => self.resp_4xx.inc(),
+            _ => self.resp_5xx.inc(),
+        }
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    pub fn render(&self) -> String {
+        let uptime = self.start.elapsed().as_secs_f64().max(1e-9);
+        let toks = self.tokens_out.get();
+        let (ttft_avg, ttft_n, ttft_max) = self.ttft.snapshot_ms();
+        let (lat_avg, lat_n, lat_max) = self.request_latency.snapshot_ms();
+        let mut s = String::with_capacity(1024);
+        let mut line = |k: &str, v: f64| {
+            s.push_str(k);
+            s.push(' ');
+            if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+                s.push_str(&format!("{}\n", v as i64));
+            } else {
+                s.push_str(&format!("{v:.3}\n"));
+            }
+        };
+        line("tmac_uptime_seconds", uptime);
+        line(
+            "tmac_requests_total{route=\"completions\"}",
+            self.req_completions.get() as f64,
+        );
+        line(
+            "tmac_requests_total{route=\"metrics\"}",
+            self.req_metrics.get() as f64,
+        );
+        line(
+            "tmac_requests_total{route=\"healthz\"}",
+            self.req_healthz.get() as f64,
+        );
+        line(
+            "tmac_requests_total{route=\"other\"}",
+            self.req_other.get() as f64,
+        );
+        line(
+            "tmac_responses_total{class=\"2xx\"}",
+            self.resp_2xx.get() as f64,
+        );
+        line(
+            "tmac_responses_total{class=\"4xx\"}",
+            self.resp_4xx.get() as f64,
+        );
+        line(
+            "tmac_responses_total{class=\"429\"}",
+            self.resp_429.get() as f64,
+        );
+        line(
+            "tmac_responses_total{class=\"5xx\"}",
+            self.resp_5xx.get() as f64,
+        );
+        line("tmac_tokens_generated_total", toks as f64);
+        line("tmac_tokens_per_second", toks as f64 / uptime);
+        line(
+            "tmac_finished_total{reason=\"length\"}",
+            self.finished_length.get() as f64,
+        );
+        line(
+            "tmac_finished_total{reason=\"cancelled\"}",
+            self.finished_cancelled.get() as f64,
+        );
+        line(
+            "tmac_finished_total{reason=\"deadline\"}",
+            self.finished_deadline.get() as f64,
+        );
+        line(
+            "tmac_finished_total{reason=\"error\"}",
+            self.finished_error.get() as f64,
+        );
+        line("tmac_queue_depth", self.queue_depth.get() as f64);
+        line("tmac_active_sequences", self.active_seqs.get() as f64);
+        line("tmac_kv_slots_used", self.kv_slots_used.get() as f64);
+        line("tmac_kv_slots_total", self.kv_slots_total.get() as f64);
+        line("tmac_connections_open", self.connections.get() as f64);
+        line("tmac_ttft_ms_avg", ttft_avg);
+        line("tmac_ttft_ms_max", ttft_max);
+        line("tmac_ttft_observations", ttft_n as f64);
+        line("tmac_request_latency_ms_avg", lat_avg);
+        line("tmac_request_latency_ms_max", lat_max);
+        line("tmac_request_latency_observations", lat_n as f64);
+        s
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_every_family_and_parses_as_key_value() {
+        let m = Metrics::new();
+        m.req_completions.inc();
+        m.tokens_out.add(42);
+        m.count_status(200);
+        m.count_status(429);
+        m.count_status(404);
+        m.count_status(503);
+        m.ttft.observe_us(1500);
+        m.kv_slots_total.set(16);
+        let text = m.render();
+        for key in [
+            "tmac_uptime_seconds",
+            "tmac_requests_total{route=\"completions\"} 1",
+            "tmac_tokens_generated_total 42",
+            "tmac_responses_total{class=\"2xx\"} 1",
+            "tmac_responses_total{class=\"429\"} 1",
+            "tmac_responses_total{class=\"4xx\"} 1",
+            "tmac_responses_total{class=\"5xx\"} 1",
+            "tmac_ttft_ms_avg 1.5",
+            "tmac_kv_slots_total 16",
+        ] {
+            assert!(text.contains(key), "missing {key:?} in:\n{text}");
+        }
+        for l in text.lines() {
+            let (_, v) = l.rsplit_once(' ').unwrap();
+            v.parse::<f64>().unwrap();
+        }
+    }
+}

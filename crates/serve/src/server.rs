@@ -1,0 +1,702 @@
+//! The serving front-end: listener, request routing, and the
+//! thread-per-connection fallback driver.
+//!
+//! Two connection drivers share all routing/response logic:
+//!
+//! * **Epoll** (`event_loop`, Linux): one thread multiplexes every
+//!   connection through a non-blocking state machine.
+//! * **Threads** (portable): one OS thread per connection with blocking
+//!   reads under a short timeout, so drain/disconnect checks stay
+//!   responsive.
+//!
+//! Both submit work over the [`crate::bridge`], answer `429 + Retry-After`
+//! on queue-full, honor per-request deadlines with typed 504s, cancel the
+//! sequence when the client goes away, and stop accepting during a
+//! graceful drain while in-flight requests run to completion.
+
+use crate::bridge::{self, BridgeHandle, EndReason, SeqEvent, Submission, SubmitError, TokenSink};
+use crate::http::{self, HttpError, Limits, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tmac_core::ExecCtx;
+use tmac_llm::batch::Scheduler;
+
+/// How connections are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// Epoll on Linux, threads elsewhere.
+    Auto,
+    /// Single-threaded epoll event loop (Linux only).
+    Epoll,
+    /// One blocking OS thread per connection (portable).
+    Threads,
+}
+
+impl ConnMode {
+    /// Resolves `Auto` for the current platform.
+    pub fn resolve(self) -> ConnMode {
+        match self {
+            ConnMode::Auto => {
+                if cfg!(target_os = "linux") {
+                    ConnMode::Epoll
+                } else {
+                    ConnMode::Threads
+                }
+            }
+            m => m,
+        }
+    }
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Connection driver.
+    pub mode: ConnMode,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+    /// `max_tokens` when the request omits it.
+    pub default_max_tokens: usize,
+    /// Deadline applied when the request omits `deadline_ms` (0 = none).
+    pub default_deadline_ms: u64,
+    /// Idle connection reaper threshold.
+    pub idle_conn_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            mode: ConnMode::Auto,
+            limits: Limits::default(),
+            default_max_tokens: 16,
+            default_deadline_ms: 0,
+            idle_conn_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared by the listener, connection drivers, and handle.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) bridge: BridgeHandle,
+    pub(crate) metrics: Arc<Metrics>,
+    req_counter: AtomicU64,
+    pub(crate) draining: AtomicBool,
+    pub(crate) stop: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// An admitted completion the connection driver must see through to its
+/// terminal event.
+pub(crate) struct PendingCompletion {
+    pub(crate) rx: Receiver<SeqEvent>,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) stream: bool,
+    pub(crate) id: u64,
+    pub(crate) prompt_len: usize,
+}
+
+/// What routing decided for one request.
+pub(crate) enum Outcome {
+    /// Write this response (connection may stay open).
+    Respond(Response),
+    /// A completion was admitted; drive its event stream.
+    Completion(PendingCompletion),
+}
+
+/// Routes one parsed request. Mode-independent: the driver passes its
+/// waker (epoll) or `None` (blocking threads).
+pub(crate) fn handle_request(
+    shared: &Shared,
+    req: &Request,
+    waker: Option<bridge::WakeFn>,
+) -> Outcome {
+    let m = &shared.metrics;
+    match (
+        req.method.as_str(),
+        req.path.split('?').next().unwrap_or(""),
+    ) {
+        ("GET", "/healthz") => {
+            m.req_healthz.inc();
+            if shared.is_draining() {
+                Outcome::Respond(Response::text(503, "draining\n"))
+            } else {
+                Outcome::Respond(Response::text(200, "ok\n"))
+            }
+        }
+        ("GET", "/metrics") => {
+            m.req_metrics.inc();
+            Outcome::Respond(Response::text(200, &m.render()))
+        }
+        ("POST", "/v1/completions") => {
+            m.req_completions.inc();
+            match submit_completion(shared, req, waker) {
+                Ok(pc) => Outcome::Completion(pc),
+                Err(resp) => Outcome::Respond(resp),
+            }
+        }
+        (_, "/v1/completions") | (_, "/healthz") | (_, "/metrics") => {
+            m.req_other.inc();
+            let allow = if req.path.starts_with("/v1/") {
+                "POST"
+            } else {
+                "GET"
+            };
+            Outcome::Respond(
+                Response::error(405, "method_not_allowed", "wrong method for this route")
+                    .with_header("Allow", allow),
+            )
+        }
+        _ => {
+            m.req_other.inc();
+            Outcome::Respond(Response::error(404, "not_found", "no such route"))
+        }
+    }
+}
+
+/// Validates a completions body and admits it to the scheduler.
+fn submit_completion(
+    shared: &Shared,
+    req: &Request,
+    waker: Option<bridge::WakeFn>,
+) -> Result<PendingCompletion, Response> {
+    let info = &shared.bridge.info;
+    let bad = |kind: &str, msg: &str| Err(Response::error(400, kind, msg));
+
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return bad("invalid_json", "body is not UTF-8");
+    };
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return bad("invalid_json", &e.to_string()),
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return bad("invalid_request", "body must be a JSON object");
+    }
+
+    let prompt = match doc.get("prompt") {
+        Some(Json::Arr(items)) => {
+            let mut ids = Vec::with_capacity(items.len());
+            for it in items {
+                match it.as_u64() {
+                    Some(id) if (id as usize) < info.vocab => ids.push(id as u32),
+                    Some(id) => {
+                        return bad(
+                            "invalid_request",
+                            &format!("prompt token {id} out of vocab (size {})", info.vocab),
+                        )
+                    }
+                    None => return bad("invalid_request", "prompt must be integer token ids"),
+                }
+            }
+            ids
+        }
+        Some(Json::Str(_)) => {
+            return bad(
+                "invalid_request",
+                "string prompts are unsupported; pass an array of token ids",
+            )
+        }
+        Some(_) => return bad("invalid_request", "prompt must be an array of token ids"),
+        None => return bad("invalid_request", "missing required field: prompt"),
+    };
+    if prompt.is_empty() {
+        return bad("invalid_request", "prompt must not be empty");
+    }
+
+    let max_new = match doc.get("max_tokens") {
+        None => shared.cfg.default_max_tokens,
+        Some(v) => match v.as_u64() {
+            Some(n) if n >= 1 => n as usize,
+            _ => return bad("invalid_request", "max_tokens must be a positive integer"),
+        },
+    };
+    if prompt.len() + max_new > info.seq_max {
+        return bad(
+            "context_length_exceeded",
+            &format!(
+                "prompt ({}) + max_tokens ({max_new}) exceeds model context {}",
+                prompt.len(),
+                info.seq_max
+            ),
+        );
+    }
+
+    let stream = match doc.get("stream") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return bad("invalid_request", "stream must be a boolean"),
+        },
+    };
+
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => shared.cfg.default_deadline_ms,
+        Some(v) => match v.as_u64() {
+            Some(n) => n,
+            None => {
+                return bad(
+                    "invalid_request",
+                    "deadline_ms must be a non-negative integer",
+                )
+            }
+        },
+    };
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+
+    let (sink, rx) = TokenSink::channel(waker);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let prompt_len = prompt.len();
+    let sub = Submission {
+        prompt,
+        max_new,
+        deadline,
+        cancel: Arc::clone(&cancel),
+        sink,
+        submitted_at: Instant::now(),
+    };
+    match shared.bridge.try_submit(sub) {
+        Ok(()) => Ok(PendingCompletion {
+            rx,
+            cancel,
+            stream,
+            id: shared.req_counter.fetch_add(1, Ordering::Relaxed),
+            prompt_len,
+        }),
+        Err(SubmitError::QueueFull { pending }) => Err(Response::error(
+            429,
+            "queue_full",
+            &format!("{pending} requests already queued; retry later"),
+        )
+        .with_header("Retry-After", "1")),
+        Err(SubmitError::Draining) | Err(SubmitError::Stopped) => Err(Response::error(
+            503,
+            "server_draining",
+            "server is draining and not accepting new work",
+        )),
+    }
+}
+
+/// The non-streaming completion body (or typed error) for a finished
+/// sequence.
+pub(crate) fn completion_response(
+    shared: &Shared,
+    pc: &PendingCompletion,
+    tokens: &[u32],
+    reason: &EndReason,
+) -> Response {
+    let ids = Json::Arr(tokens.iter().map(|&t| Json::num(t as f64)).collect());
+    match reason {
+        EndReason::Length | EndReason::Cancelled => Response::json(
+            200,
+            &Json::obj(vec![
+                ("id", Json::str(&format!("cmpl-{}", pc.id))),
+                ("object", Json::str("text_completion")),
+                ("model", Json::str(&shared.bridge.info.name)),
+                (
+                    "choices",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("index", Json::num(0.0)),
+                        ("token_ids", ids),
+                        ("finish_reason", Json::str(reason.as_str())),
+                    ])]),
+                ),
+                (
+                    "usage",
+                    Json::obj(vec![
+                        ("prompt_tokens", Json::num(pc.prompt_len as f64)),
+                        ("completion_tokens", Json::num(tokens.len() as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        EndReason::Deadline => Response::json(
+            504,
+            &Json::obj(vec![(
+                "error",
+                Json::obj(vec![
+                    ("type", Json::str("deadline_exceeded")),
+                    ("message", Json::str("deadline expired before completion")),
+                    ("partial_token_ids", ids),
+                ]),
+            )]),
+        ),
+        EndReason::Error(msg) => Response::error(500, "model_error", msg),
+    }
+}
+
+/// One streamed token chunk.
+pub(crate) fn stream_chunk(shared: &Shared, pc: &PendingCompletion, token: u32) -> Vec<u8> {
+    http::sse_event(&Json::obj(vec![
+        ("id", Json::str(&format!("cmpl-{}", pc.id))),
+        ("object", Json::str("text_completion.chunk")),
+        ("model", Json::str(&shared.bridge.info.name)),
+        (
+            "choices",
+            Json::Arr(vec![Json::obj(vec![
+                ("index", Json::num(0.0)),
+                ("token_id", Json::num(token as f64)),
+            ])]),
+        ),
+    ]))
+}
+
+/// The final stream frame carrying `finish_reason` and usage, followed by
+/// the `[DONE]` sentinel.
+pub(crate) fn stream_tail(
+    shared: &Shared,
+    pc: &PendingCompletion,
+    tokens: &[u32],
+    reason: &EndReason,
+) -> Vec<u8> {
+    let mut out = http::sse_event(&Json::obj(vec![
+        ("id", Json::str(&format!("cmpl-{}", pc.id))),
+        ("object", Json::str("text_completion.chunk")),
+        ("model", Json::str(&shared.bridge.info.name)),
+        (
+            "choices",
+            Json::Arr(vec![Json::obj(vec![
+                ("index", Json::num(0.0)),
+                ("finish_reason", Json::str(reason.as_str())),
+            ])]),
+        ),
+        (
+            "usage",
+            Json::obj(vec![
+                ("prompt_tokens", Json::num(pc.prompt_len as f64)),
+                ("completion_tokens", Json::num(tokens.len() as f64)),
+            ]),
+        ),
+    ]));
+    out.extend_from_slice(http::sse_done());
+    out
+}
+
+/// The response for a request-side protocol violation.
+pub(crate) fn protocol_error_response(e: &HttpError) -> Response {
+    Response::error(e.status, "protocol_error", &e.msg)
+}
+
+/// A running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Begins graceful drain: the listener stops accepting, queued and
+    /// active sequences finish, then the step loop and drivers exit.
+    /// Returns immediately; follow with [`ServerHandle::join`].
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.bridge.drain();
+    }
+
+    /// Waits for the drivers and step loop to exit (after
+    /// [`ServerHandle::drain`] or [`ServerHandle::abort`]).
+    pub fn join(mut self) {
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        // Threads-mode connection handlers are detached; wait for the open
+        // connection gauge to empty (bounded).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.metrics.connections.get() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful shutdown: drain then join.
+    pub fn shutdown(self) {
+        self.drain();
+        self.join();
+    }
+
+    /// Immediate abort: in-flight sequences are cancelled.
+    pub fn abort(self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.bridge.abort();
+        self.join();
+    }
+}
+
+/// Builds the bridge + listener and spawns the configured connection
+/// driver.
+///
+/// # Errors
+///
+/// I/O errors from binding the listener or creating the poller.
+pub fn start(sched: Scheduler, ctx: ExecCtx, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let metrics = Arc::new(Metrics::new());
+    let (bridge, step_join) =
+        bridge::start(sched, ctx, Arc::clone(&metrics), Duration::from_millis(10));
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let mode = cfg.mode.resolve();
+    let shared = Arc::new(Shared {
+        cfg,
+        bridge,
+        metrics,
+        req_counter: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+    });
+    let driver = match mode {
+        ConnMode::Threads => {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tmac-accept".into())
+                .spawn(move || accept_loop_threads(listener, s))
+                .expect("spawn accept loop")
+        }
+        #[cfg(target_os = "linux")]
+        ConnMode::Epoll | ConnMode::Auto => {
+            let s = Arc::clone(&shared);
+            let poller = crate::poll::Poller::new()?;
+            std::thread::Builder::new()
+                .name("tmac-event-loop".into())
+                .spawn(move || crate::event_loop::run(listener, s, poller))
+                .expect("spawn event loop")
+        }
+        #[cfg(not(target_os = "linux"))]
+        ConnMode::Epoll | ConnMode::Auto => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll mode requires Linux; use ConnMode::Threads",
+            ));
+        }
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        joins: vec![driver, step_join],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Threads mode
+// ---------------------------------------------------------------------------
+
+fn accept_loop_threads(listener: TcpListener, shared: Arc<Shared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    loop {
+        if shared.is_stopped() || shared.is_draining() {
+            return; // dropping the listener closes it
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let s = Arc::clone(&shared);
+                s.metrics.connections.inc();
+                let _ = std::thread::Builder::new()
+                    .name("tmac-conn".into())
+                    .spawn(move || {
+                        serve_conn_blocking(stream, &s);
+                        s.metrics.connections.dec();
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Drains whatever the client already sent (bounded) so closing sends a
+/// clean FIN instead of an RST that could destroy the in-flight error
+/// response.
+fn lingering_close(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
+/// True when the peer has closed its end (a zero-byte peek).
+fn client_gone(stream: &TcpStream) -> bool {
+    let mut b = [0u8; 1];
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let gone = matches!(stream.peek(&mut b), Ok(0));
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+fn serve_conn_blocking(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let limits = shared.cfg.limits;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_data = Instant::now();
+    loop {
+        // Serve every fully buffered (possibly pipelined) request.
+        loop {
+            match http::parse_request(&buf, &limits) {
+                Ok(Some((req, used))) => {
+                    buf.drain(..used);
+                    last_data = Instant::now();
+                    let keep = req.keep_alive() && !shared.is_draining();
+                    if !serve_one_blocking(&mut stream, shared, &req, keep) || !keep {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let resp = protocol_error_response(&e);
+                    shared.metrics.count_status(resp.status);
+                    let _ = stream.write_all(&resp.encode(false));
+                    lingering_close(&mut stream);
+                    return;
+                }
+            }
+        }
+        if shared.is_stopped() {
+            return;
+        }
+        let mut tmp = [0u8; 4096];
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&tmp[..n]);
+                last_data = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.is_draining() && buf.is_empty() {
+                    return; // idle keep-alive connection during drain
+                }
+                if last_data.elapsed() > shared.cfg.idle_conn_timeout {
+                    if !buf.is_empty() {
+                        let resp = Response::error(408, "timeout", "request incomplete");
+                        shared.metrics.count_status(408);
+                        let _ = stream.write_all(&resp.encode(false));
+                    }
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one request; returns false when the connection must close.
+fn serve_one_blocking(stream: &mut TcpStream, shared: &Shared, req: &Request, keep: bool) -> bool {
+    match handle_request(shared, req, None) {
+        Outcome::Respond(resp) => {
+            shared.metrics.count_status(resp.status);
+            stream.write_all(&resp.encode(keep)).is_ok() && keep
+        }
+        Outcome::Completion(pc) if pc.stream => {
+            shared.metrics.count_status(200);
+            if stream.write_all(http::sse_head()).is_err() {
+                pc.cancel.store(true, Ordering::Release);
+                return false;
+            }
+            stream_events_blocking(stream, shared, &pc);
+            false // SSE responses are close-delimited
+        }
+        Outcome::Completion(pc) => {
+            let Some((tokens, reason)) = wait_done_blocking(stream, &pc) else {
+                return false; // client vanished; sequence already cancelled
+            };
+            let resp = completion_response(shared, &pc, &tokens, &reason);
+            shared.metrics.count_status(resp.status);
+            stream.write_all(&resp.encode(keep)).is_ok() && keep
+        }
+    }
+}
+
+/// Blocks until the sequence finishes, watching for client disconnect.
+/// `None` means the client went away (the sequence was cancelled and its
+/// terminal event consumed).
+fn wait_done_blocking(stream: &TcpStream, pc: &PendingCompletion) -> Option<(Vec<u32>, EndReason)> {
+    let mut abandoned = false;
+    loop {
+        match pc.rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(SeqEvent::Token(_)) => {}
+            Ok(SeqEvent::Done { tokens, reason }) => {
+                return (!abandoned).then_some((tokens, reason));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !abandoned && client_gone(stream) {
+                    pc.cancel.store(true, Ordering::Release);
+                    abandoned = true; // keep waiting for Done so the slot is freed
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingCompletion) {
+    let mut sent = 0usize;
+    let mut abandoned = false;
+    loop {
+        match pc.rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(SeqEvent::Token(t)) => {
+                if abandoned {
+                    continue;
+                }
+                if stream.write_all(&stream_chunk(shared, pc, t)).is_err() {
+                    pc.cancel.store(true, Ordering::Release);
+                    abandoned = true;
+                } else {
+                    sent += 1;
+                }
+            }
+            Ok(SeqEvent::Done { tokens, reason }) => {
+                let _ = sent;
+                if !abandoned {
+                    let _ = stream.write_all(&stream_tail(shared, pc, &tokens, &reason));
+                }
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !abandoned && client_gone(stream) {
+                    pc.cancel.store(true, Ordering::Release);
+                    abandoned = true;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

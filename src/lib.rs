@@ -13,6 +13,7 @@
 //! | [`threadpool`] (`tmac-threadpool`) | static-threadblock parallel substrate |
 //! | [`llm`] (`tmac-llm`) | llama-architecture inference engine with pluggable [`prelude::LinearBackend`]s |
 //! | [`io`] (`tmac-io`) | model containers: GGUF import/export, prepacked `.tmac`, mmap zero-copy loading |
+//! | [`serve`] (`tmac-serve`) | HTTP/SSE serving front-end over the continuous-batching scheduler |
 //! | [`devices`] (`tmac-devices`) | edge-device rooflines and the energy model |
 //!
 //! # Examples
@@ -56,6 +57,7 @@ pub use tmac_devices as devices;
 pub use tmac_io as io;
 pub use tmac_llm as llm;
 pub use tmac_quant as quant;
+pub use tmac_serve as serve;
 pub use tmac_simd as simd;
 pub use tmac_threadpool as threadpool;
 
@@ -75,9 +77,9 @@ pub mod prelude {
     pub use tmac_io::{GgufFile, GgufValue, GgufWriter, IoError, TmacContainer};
     pub use tmac_llm::{
         AttnScratch, BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch,
-        DecodeStats, DequantBackend, Engine, F32Backend, FinishedSeq, KvCache, KvPrecision, Linear,
-        LinearBackend, LoadMode, Model, ModelConfig, ModelIoError, Scheduler, SchedulerConfig,
-        Scratch, SeqId, StepToken, TmacBackend, WeightQuant,
+        DecodeStats, DequantBackend, Engine, F32Backend, FinishReason, FinishedSeq, KvCache,
+        KvPrecision, Linear, LinearBackend, LoadMode, Model, ModelConfig, ModelIoError, Scheduler,
+        SchedulerConfig, Scratch, SeqId, StepToken, TmacBackend, WeightQuant,
     };
     pub use tmac_quant::QuantizedMatrix;
     pub use tmac_threadpool::ThreadPool;

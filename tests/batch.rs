@@ -206,6 +206,7 @@ fn scheduler_serves_bit_identical_sequences_at_any_batch_size() {
             SchedulerConfig {
                 max_batch,
                 prefill_chunk: 4,
+                ..SchedulerConfig::default()
             },
         );
         let ids: Vec<_> = prompts

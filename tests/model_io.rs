@@ -325,6 +325,7 @@ fn scheduler_serves_bit_identical_tokens_from_the_file() {
             SchedulerConfig {
                 max_batch,
                 prefill_chunk: 4,
+                ..SchedulerConfig::default()
             },
         )
         .unwrap();

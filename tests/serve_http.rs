@@ -1,0 +1,557 @@
+//! End-to-end tests for the `tmac-serve` HTTP front-end: real TCP clients
+//! against a real server over the tiny synthetic model, checked bit-exact
+//! against driving the [`Scheduler`] directly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use tmac::core::ExecCtx;
+use tmac::llm::{BackendKind, Model, ModelConfig, Scheduler, SchedulerConfig, WeightQuant};
+use tmac::serve::{ConnMode, Json, ServerConfig, ServerHandle};
+
+const SEED: u64 = 42;
+
+fn tiny_model() -> Model {
+    Model::synthetic(
+        &ModelConfig::tiny(),
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        SEED,
+    )
+    .unwrap()
+}
+
+/// A tiny-shaped model with a long context, so cancellation/deadline tests
+/// get hundreds of decode steps to interrupt.
+fn long_model() -> Model {
+    Model::synthetic(
+        &ModelConfig::tiny().scaled(2, 96, 512),
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac::core::KernelOpts::tmac()),
+        SEED,
+    )
+    .unwrap()
+}
+
+fn start_server_with(
+    model: Model,
+    max_batch: usize,
+    max_pending: usize,
+    mode: ConnMode,
+) -> ServerHandle {
+    let sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch,
+            max_pending,
+            ..SchedulerConfig::default()
+        },
+    );
+    tmac::serve::start(
+        sched,
+        ExecCtx::new(1),
+        ServerConfig {
+            mode,
+            idle_conn_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn start_server(max_batch: usize, max_pending: usize, mode: ConnMode) -> ServerHandle {
+    start_server_with(tiny_model(), max_batch, max_pending, mode)
+}
+
+/// Scheduler-direct reference output for one prompt.
+fn direct_tokens_on(model: Model, prompt: &[u32], max_new: usize) -> Vec<u32> {
+    let ctx = ExecCtx::new(1);
+    let mut sched = Scheduler::new(model, SchedulerConfig::default());
+    let id = sched.submit(prompt, max_new).unwrap();
+    let done = sched.run_to_completion(&ctx).unwrap();
+    done.into_iter().find(|f| f.id == id).unwrap().tokens
+}
+
+fn direct_tokens(prompt: &[u32], max_new: usize) -> Vec<u32> {
+    direct_tokens_on(tiny_model(), prompt, max_new)
+}
+
+/// Minimal blocking HTTP client: one request, `Connection: close`, reads
+/// the whole response.
+fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    parse_response(&raw)
+}
+
+/// (status, head, body) from raw response bytes.
+fn parse_response(raw: &[u8]) -> (u16, String, String) {
+    let text = String::from_utf8_lossy(raw).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    (status, head.to_string(), body.to_string())
+}
+
+fn post_completion(addr: SocketAddr, body: &str) -> (u16, String) {
+    let (status, _, resp) = http_request(addr, "POST", "/v1/completions", body);
+    (status, resp)
+}
+
+fn completion_tokens(body: &str) -> (Vec<u32>, String) {
+    let doc = Json::parse(body).expect("valid completion JSON");
+    let choice = &doc.get("choices").unwrap().as_arr().unwrap()[0];
+    let tokens = choice
+        .get("token_ids")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|t| t.as_u64().unwrap() as u32)
+        .collect();
+    let reason = choice
+        .get("finish_reason")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    (tokens, reason)
+}
+
+fn prompt_json(prompt: &[u32], max_tokens: usize, stream: bool) -> String {
+    let ids: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\"prompt\":[{}],\"max_tokens\":{max_tokens},\"stream\":{stream}}}",
+        ids.join(",")
+    )
+}
+
+/// Streams a completion over SSE and returns (chunk token ids, tail
+/// finish_reason).
+fn stream_completion(addr: SocketAddr, prompt: &[u32], max_tokens: usize) -> (Vec<u32>, String) {
+    let body = prompt_json(prompt, max_tokens, true);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let req = format!(
+        "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // close-delimited
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 200"),
+        "SSE stream must open with 200: {text}"
+    );
+    assert!(text.contains("text/event-stream"), "{text}");
+    assert!(text.trim_end().ends_with("data: [DONE]"), "{text}");
+    let mut tokens = Vec::new();
+    let mut reason = String::new();
+    for line in text.lines() {
+        let Some(payload) = line.strip_prefix("data: ") else {
+            continue;
+        };
+        if payload == "[DONE]" {
+            break;
+        }
+        let doc = Json::parse(payload).expect("valid SSE chunk JSON");
+        let choice = &doc.get("choices").unwrap().as_arr().unwrap()[0];
+        if let Some(t) = choice.get("token_id") {
+            tokens.push(t.as_u64().unwrap() as u32);
+        }
+        if let Some(r) = choice.get("finish_reason") {
+            reason = r.as_str().unwrap().to_string();
+        }
+    }
+    (tokens, reason)
+}
+
+fn both_modes() -> Vec<ConnMode> {
+    if cfg!(target_os = "linux") {
+        vec![ConnMode::Epoll, ConnMode::Threads]
+    } else {
+        vec![ConnMode::Threads]
+    }
+}
+
+#[test]
+fn concurrent_mixed_clients_are_bit_exact_vs_direct() {
+    // Six prompts, half streamed over SSE and half plain JSON, all in
+    // flight at once against a 2-slot scheduler — every client must get
+    // exactly the tokens a direct Scheduler run produces.
+    let cases: Vec<(Vec<u32>, usize)> = vec![
+        (vec![1, 2, 3], 6),
+        (vec![9], 5),
+        (vec![4, 5], 7),
+        (vec![11, 3, 8, 2], 4),
+        (vec![60, 61], 6),
+        (vec![17, 20, 23], 5),
+    ];
+    let expected: Vec<Vec<u32>> = cases.iter().map(|(p, n)| direct_tokens(p, *n)).collect();
+
+    for mode in both_modes() {
+        let server = start_server(2, 16, mode);
+        let addr = server.addr();
+        let handles: Vec<_> = cases
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, (prompt, max_new))| {
+                std::thread::spawn(move || {
+                    if i % 2 == 0 {
+                        stream_completion(addr, &prompt, max_new)
+                    } else {
+                        let (status, body) =
+                            post_completion(addr, &prompt_json(&prompt, max_new, false));
+                        assert_eq!(status, 200, "body: {body}");
+                        completion_tokens(&body)
+                    }
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (tokens, reason) = h.join().unwrap();
+            assert_eq!(reason, "length", "mode {mode:?} case {i}");
+            assert_eq!(
+                tokens, expected[i],
+                "mode {mode:?} case {i} diverged from direct run"
+            );
+        }
+        let metrics = server.metrics();
+        assert_eq!(metrics.finished_length.get(), 6);
+        let total: usize = expected.iter().map(Vec::len).sum();
+        assert_eq!(metrics.tokens_out.get() as usize, total);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_slot() {
+    for mode in both_modes() {
+        // One KV slot: if cancellation leaks it, the follow-up hangs.
+        let server = start_server_with(long_model(), 1, 16, mode);
+        let addr = server.addr();
+
+        let body = prompt_json(&[1, 2], 480, true);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        // Read a few bytes of the stream, then vanish mid-flight.
+        let mut tmp = [0u8; 256];
+        let n = stream.read(&mut tmp).unwrap();
+        assert!(n > 0);
+        drop(stream);
+
+        // The slot must come back: a fresh request completes normally.
+        let (status, resp) = post_completion(addr, &prompt_json(&[7, 8], 4, false));
+        assert_eq!(status, 200, "mode {mode:?}: {resp}");
+        let (tokens, reason) = completion_tokens(&resp);
+        assert_eq!(reason, "length");
+        assert_eq!(
+            tokens,
+            direct_tokens_on(long_model(), &[7, 8], 4),
+            "mode {mode:?}"
+        );
+
+        let metrics = server.metrics();
+        assert!(
+            metrics.finished_cancelled.get() >= 1,
+            "mode {mode:?}: disconnect did not cancel the sequence"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn deadline_exceeded_returns_typed_error() {
+    let server = start_server_with(long_model(), 1, 16, ConnMode::Auto);
+    let addr = server.addr();
+    let (status, body) = post_completion(
+        addr,
+        "{\"prompt\":[1,2],\"max_tokens\":480,\"deadline_ms\":5}",
+    );
+    assert_eq!(status, 504, "body: {body}");
+    let doc = Json::parse(&body).unwrap();
+    let err = doc.get("error").expect("typed error object");
+    assert_eq!(
+        err.get("type").unwrap().as_str().unwrap(),
+        "deadline_exceeded"
+    );
+    assert!(err.get("partial_token_ids").unwrap().as_arr().is_some());
+    assert!(server.metrics().finished_deadline.get() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_sheds_with_429_and_retry_after() {
+    // One slot and a one-deep queue: a burst must shed with 429s while
+    // every accepted request still finishes correctly.
+    let server = start_server(1, 1, ConnMode::Auto);
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8u32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let (status, _, resp) = http_request(
+                    addr,
+                    "POST",
+                    "/v1/completions",
+                    &prompt_json(&[1 + i], 8, false),
+                );
+                (status, resp)
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut shed = 0;
+    for h in handles {
+        let (status, body) = h.join().unwrap();
+        match status {
+            200 => {
+                let (_, reason) = completion_tokens(&body);
+                assert_eq!(reason, "length");
+                ok += 1;
+            }
+            429 => shed += 1,
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(ok >= 1, "no request got through");
+    assert!(shed >= 1, "burst of 8 against capacity 2 never shed");
+    assert_eq!(server.metrics().resp_429.get(), shed);
+    // The Retry-After header rides on the 429.
+    let tight: Vec<_> = (0..4u32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                http_request(
+                    addr,
+                    "POST",
+                    "/v1/completions",
+                    &prompt_json(&[2 + i], 8, false),
+                )
+            })
+        })
+        .collect();
+    let mut saw_retry_after = false;
+    for h in tight {
+        let (status, head, _) = h.join().unwrap();
+        if status == 429 {
+            assert!(head.contains("Retry-After: 1"), "head: {head}");
+            saw_retry_after = true;
+        }
+    }
+    // Not guaranteed every round sheds, but over 4 more against a busy
+    // 1-slot server we expect at least one (tolerate none only if the
+    // first burst drained unusually fast).
+    let _ = saw_retry_after;
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_and_refuses_new() {
+    for mode in both_modes() {
+        let server = start_server(1, 16, mode);
+        let addr = server.addr();
+        let worker =
+            std::thread::spawn(move || post_completion(addr, &prompt_json(&[3, 4], 30, false)));
+        // Give the request time to land, then drain.
+        std::thread::sleep(Duration::from_millis(50));
+        server.drain();
+        // New connections are refused (listener closed) or answered 503.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let body = prompt_json(&[5], 2, false);
+                let _ = s.write_all(
+                    format!(
+                        "POST /v1/completions HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                let mut raw = Vec::new();
+                let _ = s.read_to_end(&mut raw);
+                if !raw.is_empty() {
+                    let (status, _, _) = parse_response(&raw);
+                    assert_eq!(status, 503, "mode {mode:?}");
+                }
+            }
+        }
+        // The in-flight request still completes with its full output.
+        let (status, body) = worker.join().unwrap();
+        assert_eq!(status, 200, "mode {mode:?}: {body}");
+        let (tokens, reason) = completion_tokens(&body);
+        assert_eq!(reason, "length");
+        assert_eq!(tokens.len(), 30);
+        server.join();
+    }
+}
+
+#[test]
+fn healthz_and_metrics_routes_work() {
+    let server = start_server(2, 16, ConnMode::Auto);
+    let addr = server.addr();
+    let (status, _, body) = http_request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    let (status, body) = post_completion(addr, &prompt_json(&[1, 2], 3, false));
+    assert_eq!(status, 200, "{body}");
+    let (status, _, text) = http_request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for key in [
+        "tmac_requests_total{route=\"completions\"} 1",
+        "tmac_tokens_generated_total 3",
+        "tmac_finished_total{reason=\"length\"} 1",
+        "tmac_kv_slots_total 2",
+        "tmac_tokens_per_second",
+        "tmac_ttft_ms_avg",
+    ] {
+        assert!(text.contains(key), "missing {key:?} in:\n{text}");
+    }
+    let (status, _, _) = http_request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, head, _) = http_request(addr, "GET", "/v1/completions", "");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: POST"));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_traffic_gets_clean_4xx_and_never_wedges() {
+    for mode in both_modes() {
+        let server = start_server(2, 16, mode);
+        let addr = server.addr();
+
+        // Raw protocol garbage → 4xx/5xx status, connection closed cleanly.
+        let raw_cases: Vec<(Vec<u8>, u16)> = vec![
+            (b"GARBAGE\r\n\r\n".to_vec(), 400),
+            (b"GET / HTTP/2.0\r\n\r\n".to_vec(), 505),
+            (b"get / HTTP/1.1\r\n\r\n".to_vec(), 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                b"POST /v1/completions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+                501,
+            ),
+            (
+                format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(64 * 1024)).into_bytes(),
+                431,
+            ),
+            (
+                format!(
+                    "POST /v1/completions HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    64 * 1024 * 1024
+                )
+                .into_bytes(),
+                413,
+            ),
+        ];
+        for (raw, want) in &raw_cases {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            s.write_all(raw).unwrap();
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            let (status, _, _) = parse_response(&resp);
+            assert_eq!(
+                status,
+                *want,
+                "mode {mode:?} raw {:?}",
+                String::from_utf8_lossy(&raw[..raw.len().min(40)])
+            );
+        }
+
+        // A flood of unterminated header bytes must be rejected, not
+        // buffered forever.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            let _ = s.write_all(&vec![b'x'; 32 * 1024]);
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            let (status, _, _) = parse_response(&resp);
+            assert_eq!(status, 431, "mode {mode:?}");
+        }
+
+        // A truncated body (Content-Length promises more than is sent)
+        // times out with 408 instead of wedging the connection forever.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            s.write_all(b"POST /v1/completions HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"pro")
+                .unwrap();
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            let (status, _, _) = parse_response(&resp);
+            assert_eq!(status, 408, "mode {mode:?}");
+        }
+
+        // Well-formed HTTP carrying bad JSON / bad fields → typed 400s.
+        let body_cases = [
+            ("{not json", "invalid_json"),
+            ("[1,2,3]", "invalid_request"),
+            ("{}", "invalid_request"),
+            ("{\"prompt\":\"hi there\"}", "invalid_request"),
+            ("{\"prompt\":[1,2.5]}", "invalid_request"),
+            ("{\"prompt\":[1,99999]}", "invalid_request"),
+            ("{\"prompt\":[]}", "invalid_request"),
+            ("{\"prompt\":[1],\"max_tokens\":0}", "invalid_request"),
+            (
+                "{\"prompt\":[1],\"max_tokens\":5000}",
+                "context_length_exceeded",
+            ),
+            ("{\"prompt\":[1],\"stream\":\"yes\"}", "invalid_request"),
+            ("{\"prompt\":[1],\"deadline_ms\":-4}", "invalid_request"),
+        ];
+        for (body, kind) in body_cases {
+            let (status, resp) = post_completion(addr, body);
+            assert_eq!(status, 400, "mode {mode:?} body {body}: {resp}");
+            let doc = Json::parse(&resp).unwrap();
+            assert_eq!(
+                doc.get("error")
+                    .unwrap()
+                    .get("type")
+                    .unwrap()
+                    .as_str()
+                    .unwrap(),
+                kind,
+                "mode {mode:?} body {body}"
+            );
+        }
+
+        // After all that abuse the server still serves real work.
+        let (status, body) = post_completion(addr, &prompt_json(&[1, 2, 3], 4, false));
+        assert_eq!(status, 200, "mode {mode:?}: {body}");
+        let (tokens, _) = completion_tokens(&body);
+        assert_eq!(tokens, direct_tokens(&[1, 2, 3], 4), "mode {mode:?}");
+        server.shutdown();
+    }
+}
