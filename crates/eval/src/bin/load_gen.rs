@@ -3,12 +3,15 @@
 //! Two phases against a `tmac-serve` instance (in-process over a tiny
 //! synthetic model by default, or an external `--addr`):
 //!
-//! 1. **Bursty open-loop replay** — `--tenants` independent arrival
-//!    processes each fire bursts of `--burst` requests with randomized
-//!    gaps (seeded, reproducible). Requests mix SSE streaming and plain
-//!    JSON. Reports client-side p50/p99 latency, streaming TTFT, goodput
-//!    (completed tokens/sec of wall time), and shed (429) counts —
-//!    open-loop, so arrival pressure does not adapt to server slowdown.
+//! 1. **Bursty multi-tenant replay** — `--tenants` independent clients
+//!    each fire bursts of `--burst` requests with randomized gaps (seeded,
+//!    reproducible). Each tenant is one sequential HTTP client over a
+//!    persistent keep-alive connection (streaming responses are SSE and
+//!    close-delimited, so those open their own connection). Requests mix
+//!    SSE streaming and plain JSON; `--temperature`/`--seed` add sampled
+//!    decoding (default stays greedy so perf gates are comparable).
+//!    Reports client-side p50/p99 latency, streaming TTFT, goodput
+//!    (completed tokens/sec of wall time), and shed (429) counts.
 //! 2. **Saturation ratio** (in-process only) — all `--streams` requests at
 //!    once; the makespan is compared against driving the `Scheduler`
 //!    directly on the identical workload (`served_vs_direct`), charging the
@@ -38,82 +41,200 @@ struct RequestResult {
     ttft: Option<Duration>,
 }
 
-/// One blocking completion request; streaming requests record TTFT at the
-/// first SSE data frame.
-fn run_request(addr: SocketAddr, prompt: &[u32], max_tokens: usize, stream: bool) -> RequestResult {
-    let ids: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
-    let body = format!(
-        "{{\"prompt\":[{}],\"max_tokens\":{max_tokens},\"stream\":{stream}}}",
-        ids.join(",")
-    );
-    let t0 = Instant::now();
-    let Ok(mut sock) = TcpStream::connect(addr) else {
-        return RequestResult {
-            status: 0,
-            tokens: 0,
-            latency: t0.elapsed(),
-            ttft: None,
-        };
-    };
-    let _ = sock.set_read_timeout(Some(Duration::from_secs(120)));
-    let _ = sock.set_nodelay(true);
-    let req = format!(
-        "POST /v1/completions HTTP/1.1\r\nHost: lg\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    if sock.write_all(req.as_bytes()).is_err() {
-        return RequestResult {
-            status: 0,
-            tokens: 0,
-            latency: t0.elapsed(),
-            ttft: None,
-        };
+fn fail(t0: Instant) -> RequestResult {
+    RequestResult {
+        status: 0,
+        tokens: 0,
+        latency: t0.elapsed(),
+        ttft: None,
     }
-    let mut raw: Vec<u8> = Vec::new();
-    let mut ttft = None;
-    let mut tmp = [0u8; 4096];
-    loop {
-        match sock.read(&mut tmp) {
-            Ok(0) => break,
-            Ok(n) => {
-                raw.extend_from_slice(&tmp[..n]);
-                if stream && ttft.is_none() && find_sub(&raw, b"\ndata: ").is_some() {
-                    ttft = Some(t0.elapsed());
+}
+
+/// Blocking HTTP client with a persistent keep-alive connection.
+///
+/// Non-streaming requests ride one reused socket (HTTP/1.1 keep-alive,
+/// responses delimited by `Content-Length`), reconnecting transparently if
+/// the server closed it between requests. Streaming (SSE) responses are
+/// close-delimited by design, so each one opens a fresh
+/// `Connection: close` socket.
+struct HttpClient {
+    addr: SocketAddr,
+    sock: Option<TcpStream>,
+}
+
+impl HttpClient {
+    fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, sock: None }
+    }
+
+    fn connect(addr: SocketAddr) -> Option<TcpStream> {
+        let sock = TcpStream::connect(addr).ok()?;
+        let _ = sock.set_read_timeout(Some(Duration::from_secs(120)));
+        let _ = sock.set_nodelay(true);
+        Some(sock)
+    }
+
+    /// One blocking completion request; streaming requests record TTFT at
+    /// the first SSE data frame. `sampling` is a pre-encoded suffix of
+    /// extra JSON fields (`,"temperature":...`) or empty.
+    fn request(
+        &mut self,
+        prompt: &[u32],
+        max_tokens: usize,
+        stream: bool,
+        sampling: &str,
+    ) -> RequestResult {
+        let ids: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+        let body = format!(
+            "{{\"prompt\":[{}],\"max_tokens\":{max_tokens},\"stream\":{stream}{sampling}}}",
+            ids.join(",")
+        );
+        let t0 = Instant::now();
+        if stream {
+            return self.stream_request(&body, t0);
+        }
+        // Two attempts: a reused socket may have been closed server-side
+        // since the last response (write succeeds, read sees EOF) — retry
+        // once on a fresh connection, but never retry a fresh one.
+        for _ in 0..2 {
+            let reused = self.sock.is_some();
+            let sock = match self.sock.take().or_else(|| Self::connect(self.addr)) {
+                Some(s) => s,
+                None => return fail(t0),
+            };
+            match Self::keep_alive_roundtrip(sock, &body) {
+                Ok((status, body_text, keep_sock)) => {
+                    self.sock = keep_sock;
+                    let tokens = if status != 200 {
+                        0
+                    } else {
+                        Json::parse(&body_text)
+                            .ok()
+                            .and_then(|d| {
+                                d.get("usage")?
+                                    .get("completion_tokens")?
+                                    .as_u64()
+                                    .map(|n| n as usize)
+                            })
+                            .unwrap_or(0)
+                    };
+                    return RequestResult {
+                        status,
+                        tokens,
+                        latency: t0.elapsed(),
+                        ttft: None,
+                    };
                 }
+                Err(()) if reused => continue,
+                Err(()) => return fail(t0),
             }
-            Err(_) => break,
+        }
+        fail(t0)
+    }
+
+    /// Writes `body` and reads one `Content-Length`-delimited response.
+    /// Returns (status, body, socket to reuse — `None` if the server sent
+    /// `Connection: close`).
+    fn keep_alive_roundtrip(
+        mut sock: TcpStream,
+        body: &str,
+    ) -> Result<(u16, String, Option<TcpStream>), ()> {
+        let req = format!(
+            "POST /v1/completions HTTP/1.1\r\nHost: lg\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        sock.write_all(req.as_bytes()).map_err(|_| ())?;
+        let mut raw: Vec<u8> = Vec::new();
+        let mut tmp = [0u8; 4096];
+        // Read to end-of-headers, then to the full Content-Length body.
+        let header_end = loop {
+            if let Some(at) = find_sub(&raw, b"\r\n\r\n") {
+                break at + 4;
+            }
+            match sock.read(&mut tmp) {
+                Ok(0) | Err(_) => return Err(()),
+                Ok(n) => raw.extend_from_slice(&tmp[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or(())?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .ok_or(())?;
+        while raw.len() < header_end + content_length {
+            match sock.read(&mut tmp) {
+                Ok(0) | Err(_) => return Err(()),
+                Ok(n) => raw.extend_from_slice(&tmp[..n]),
+            }
+        }
+        let keep = !head.to_ascii_lowercase().contains("connection: close");
+        let body_text =
+            String::from_utf8_lossy(&raw[header_end..header_end + content_length]).to_string();
+        Ok((status, body_text, keep.then_some(sock)))
+    }
+
+    /// SSE request on a fresh close-delimited connection.
+    fn stream_request(&mut self, body: &str, t0: Instant) -> RequestResult {
+        let Some(mut sock) = Self::connect(self.addr) else {
+            return fail(t0);
+        };
+        let req = format!(
+            "POST /v1/completions HTTP/1.1\r\nHost: lg\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if sock.write_all(req.as_bytes()).is_err() {
+            return fail(t0);
+        }
+        let mut raw: Vec<u8> = Vec::new();
+        let mut ttft = None;
+        let mut tmp = [0u8; 4096];
+        loop {
+            match sock.read(&mut tmp) {
+                Ok(0) => break,
+                Ok(n) => {
+                    raw.extend_from_slice(&tmp[..n]);
+                    if ttft.is_none() && find_sub(&raw, b"\ndata: ").is_some() {
+                        ttft = Some(t0.elapsed());
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let latency = t0.elapsed();
+        let text = String::from_utf8_lossy(&raw);
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let tokens = if status != 200 {
+            0
+        } else {
+            text.lines()
+                .filter(|l| l.starts_with("data: ") && l.contains("token_id"))
+                .count()
+        };
+        RequestResult {
+            status,
+            tokens,
+            latency,
+            ttft,
         }
     }
-    let latency = t0.elapsed();
-    let text = String::from_utf8_lossy(&raw);
-    let status: u16 = text
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let tokens = if status != 200 {
-        0
-    } else if stream {
-        text.lines()
-            .filter(|l| l.starts_with("data: ") && l.contains("token_id"))
-            .count()
-    } else {
-        text.split_once("\r\n\r\n")
-            .and_then(|(_, b)| Json::parse(b).ok())
-            .and_then(|d| {
-                d.get("usage")?
-                    .get("completion_tokens")?
-                    .as_u64()
-                    .map(|n| n as usize)
-            })
-            .unwrap_or(0)
-    };
-    RequestResult {
-        status,
-        tokens,
-        latency,
-        ttft,
-    }
+}
+
+/// One-shot request on its own client (phase-2 saturation workers).
+fn run_request(addr: SocketAddr, prompt: &[u32], max_tokens: usize, stream: bool) -> RequestResult {
+    HttpClient::new(addr).request(prompt, max_tokens, stream, "")
 }
 
 fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -154,6 +275,9 @@ fn main() {
         .parse()
         .expect("--sat-tokens");
     let seed: u64 = tmac_eval::arg("seed", "17").parse().expect("--seed");
+    let temperature: f64 = tmac_eval::arg("temperature", "0")
+        .parse()
+        .expect("--temperature");
 
     let cfg = ModelConfig::tiny().scaled(
         layers,
@@ -206,22 +330,38 @@ fn main() {
         n_new,
     }
     .prompts(cfg.vocab);
-    let mut schedule: Vec<(u64, usize)> = Vec::with_capacity(requests); // (arrival_ms, req idx)
+    // (arrival_ms, req idx) per tenant; each tenant is one sequential HTTP
+    // client over a persistent keep-alive connection.
+    let mut schedule: Vec<Vec<(u64, usize)>> = vec![Vec::new(); tenants];
     let mut t_by_tenant: Vec<u64> = (0..tenants).map(|k| (k as u64 * gap_ms) / 2).collect();
     let mut i = 0;
     'outer: loop {
-        for t in t_by_tenant.iter_mut() {
+        for (k, t) in t_by_tenant.iter_mut().enumerate() {
             for _ in 0..burst {
                 if i >= requests {
                     break 'outer;
                 }
-                schedule.push((*t, i));
+                schedule[k].push((*t, i));
                 i += 1;
             }
             *t += gap_ms / 2 + u64::from(rng.u32_below(gap_ms.max(2) as u32));
         }
     }
-    schedule.sort_unstable();
+
+    // Optional sampling knobs: with `--temperature 0` (the default) the
+    // bodies carry no sampling fields, so the perf gate keeps measuring
+    // exactly the greedy path that `served_vs_direct` compares against.
+    // Each request gets its own derived seed for reproducible variety.
+    let sampling_for = move |idx: usize| {
+        if temperature > 0.0 {
+            format!(
+                ",\"temperature\":{temperature},\"seed\":{}",
+                seed.wrapping_add(idx as u64)
+            )
+        } else {
+            String::new()
+        }
+    };
 
     // Warm-up request so table/cache setup is off the clock.
     let warm = run_request(addr, &prompts[0], 2, false);
@@ -230,19 +370,27 @@ fn main() {
     let t0 = Instant::now();
     let workers: Vec<_> = schedule
         .into_iter()
-        .map(|(at_ms, idx)| {
-            let prompt = prompts[idx].clone();
-            let stream = idx % 2 == 0;
+        .map(|entries| {
+            let prompts = prompts.clone();
             std::thread::spawn(move || {
-                let target = Duration::from_millis(at_ms);
-                if let Some(wait) = target.checked_sub(t0.elapsed()) {
-                    std::thread::sleep(wait);
+                let mut client = HttpClient::new(addr);
+                let mut out = Vec::with_capacity(entries.len());
+                for (at_ms, idx) in entries {
+                    let target = Duration::from_millis(at_ms);
+                    if let Some(wait) = target.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let stream = idx % 2 == 0;
+                    out.push(client.request(&prompts[idx], n_new, stream, &sampling_for(idx)));
                 }
-                run_request(addr, &prompt, n_new, stream)
+                out
             })
         })
         .collect();
-    let results: Vec<RequestResult> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let results: Vec<RequestResult> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
     let wall = t0.elapsed().as_secs_f64();
 
     let ok: Vec<&RequestResult> = results.iter().filter(|r| r.status == 200).collect();

@@ -1,7 +1,7 @@
 //! Experiment harness shared by the per-figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` §5 for the index). This library holds what they share:
+//! (see `DESIGN.md` §7 for the index). This library holds what they share:
 //! the Llama-2-7B/13B kernel shapes, deterministic synthetic data, timing
 //! helpers, and plain-text table/CSV output.
 

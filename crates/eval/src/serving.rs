@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 use tmac_core::ExecCtx;
-use tmac_llm::batch::{Scheduler, SchedulerConfig};
+use tmac_llm::batch::{Scheduler, SchedulerConfig, SubmitRequest};
 use tmac_llm::{Engine, Model};
 
 /// One serving scenario: `streams` requests of `prompt_len + n_new` tokens.
@@ -46,10 +46,14 @@ pub fn sequential_tok_s(model: &Model, w: &ServeWorkload, ctx: &ExecCtx) -> f64 
     let mut engine = Engine::new(model.clone());
     let prompts = w.prompts(model.cfg.vocab);
     // Warm-up: one stream.
-    engine.generate(&prompts[0], w.n_new, ctx).expect("warmup");
+    engine
+        .generate(&SubmitRequest::greedy(&prompts[0], w.n_new), ctx)
+        .expect("warmup");
     let t0 = Instant::now();
     for p in &prompts {
-        engine.generate(p, w.n_new, ctx).expect("generate");
+        engine
+            .generate(&SubmitRequest::greedy(p, w.n_new), ctx)
+            .expect("generate");
     }
     w.total_new() as f64 / t0.elapsed().as_secs_f64()
 }
@@ -71,10 +75,14 @@ pub fn batched_tok_s(model: &Model, w: &ServeWorkload, max_batch: usize, ctx: &E
     );
     let prompts = w.prompts(model.cfg.vocab);
     // Warm-up: one stream through the scheduler.
-    sched.submit(&prompts[0], w.n_new).expect("submit");
+    sched
+        .submit(SubmitRequest::greedy(&prompts[0], w.n_new))
+        .expect("submit");
     sched.run_to_completion(ctx).expect("warmup");
     for p in &prompts {
-        sched.submit(p, w.n_new).expect("submit");
+        sched
+            .submit(SubmitRequest::greedy(p, w.n_new))
+            .expect("submit");
     }
     let t0 = Instant::now();
     let done = sched.run_to_completion(ctx).expect("serve");

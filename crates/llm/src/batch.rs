@@ -11,19 +11,30 @@
 //! this repo's synthetic-model serving scenario.
 //!
 //! ```text
-//!  submit(prompt) ──► pending ──admit──► active ──retire──► finished
-//!                      queue    (slot +   │  ▲               results
-//!                               chunked   │  │
-//!                               prefill)  ▼  │
-//!                                   step_batch: one forward_batch over
-//!                                   all active rows, greedy-sample each
+//!  submit(request) ──► pending ──admit──► active ──retire──► finished
+//!                       queue    (slot +   │  ▲               results
+//!                                chunked   │  │
+//!                                prefill)  ▼  │
+//!                                    step_batch: one forward_batch over
+//!                                    all active rows, sample each through
+//!                                    its request's sampling pipeline
 //! ```
+//!
+//! Each sequence owns a [`Sampler`] seeded from its request, so sampled
+//! output is independent of batch composition: a request produces the same
+//! tokens at any `max_batch` and thread count (forward logits are bit-exact
+//! across both — the equivalence invariants of `tests/batch.rs`).
 
 use crate::backend::BackendError;
 use crate::model::{BatchScratch, KvCache, Model};
-use crate::ops;
+use crate::sampling::{self, Sampler};
 use std::collections::VecDeque;
 use tmac_core::ExecCtx;
+
+/// The typed argument of [`Scheduler::submit`]: prompt, token budget,
+/// sampling params, and stop sequences (one request struct shared with
+/// [`crate::Engine::generate`]).
+pub type SubmitRequest = crate::sampling::GenRequest;
 
 /// Opaque handle for a submitted sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,7 +72,8 @@ impl Default for SchedulerConfig {
 pub struct StepToken {
     /// The sequence that produced the token.
     pub id: SeqId,
-    /// The greedily sampled token.
+    /// The token sampled through the request's pipeline (greedy by
+    /// default).
     pub token: u32,
     /// Whether this token completed the sequence.
     pub finished: bool,
@@ -72,6 +84,9 @@ pub struct StepToken {
 pub enum FinishReason {
     /// Generated all `max_new` tokens (normal completion).
     Length,
+    /// The generated stream ended with one of the request's stop
+    /// sequences (the matched tokens are kept in the output).
+    Stop,
     /// Removed mid-flight by [`Scheduler::cancel`]; `tokens` hold the
     /// partial output and the KV slot went back to the pool.
     Cancelled,
@@ -85,6 +100,7 @@ impl FinishReason {
     pub fn as_str(&self) -> &'static str {
         match self {
             FinishReason::Length => "length",
+            FinishReason::Stop => "stop",
             FinishReason::Cancelled => "cancelled",
             FinishReason::Error(_) => "error",
         }
@@ -132,11 +148,38 @@ struct Sequence {
     last_token: u32,
     /// Index into the scheduler's cache pool; valid while active.
     slot: usize,
+    /// The request's sampling pipeline (owns the per-request RNG).
+    sampler: Sampler,
+    /// Stop token-id sequences from the request.
+    stop: Vec<Vec<u32>>,
+    /// Set when `generated` ends with a stop sequence.
+    stopped: bool,
 }
 
 impl Sequence {
     fn done(&self) -> bool {
-        self.generated.len() >= self.max_new
+        self.stopped || self.generated.len() >= self.max_new
+    }
+
+    /// How a naturally retiring sequence finished.
+    fn finish_reason(&self) -> FinishReason {
+        if self.stopped {
+            FinishReason::Stop
+        } else {
+            FinishReason::Length
+        }
+    }
+
+    /// Samples from a logits row and records the token, updating the
+    /// stop state.
+    fn advance(&mut self, logits: &[f32]) -> u32 {
+        let token = self.sampler.sample(logits);
+        self.generated.push(token);
+        self.last_token = token;
+        if !self.stop.is_empty() {
+            self.stopped = sampling::hits_stop(&self.generated, &self.stop);
+        }
+        token
     }
 }
 
@@ -146,7 +189,7 @@ impl Sequence {
 ///
 /// ```
 /// use tmac_core::ExecCtx;
-/// use tmac_llm::batch::{Scheduler, SchedulerConfig};
+/// use tmac_llm::batch::{Scheduler, SchedulerConfig, SubmitRequest};
 /// use tmac_llm::{BackendKind, Model, ModelConfig, WeightQuant};
 ///
 /// let model = Model::synthetic(
@@ -158,8 +201,8 @@ impl Sequence {
 /// .unwrap();
 /// let mut sched = Scheduler::new(model, SchedulerConfig::default());
 /// let ctx = ExecCtx::new(1);
-/// let a = sched.submit(&[1, 2, 3], 4).unwrap();
-/// let b = sched.submit(&[9, 8], 4).unwrap();
+/// let a = sched.submit(SubmitRequest::greedy(&[1, 2, 3], 4)).unwrap();
+/// let b = sched.submit(SubmitRequest::greedy(&[9, 8], 4)).unwrap();
 /// while !sched.is_idle() {
 ///     sched.step_batch(&ctx).unwrap();
 /// }
@@ -234,7 +277,9 @@ impl Scheduler {
         &self.model
     }
 
-    /// Queues a request for `max_new` greedy tokens after `prompt`.
+    /// Queues a request: `req.max_new` tokens after `req.prompt`, sampled
+    /// with `req.sampling` and ended early by any of `req.stop`
+    /// (use [`SubmitRequest::greedy`] for the plain greedy case).
     ///
     /// The sequence starts decoding once a batch slot frees up; tokens
     /// appear in subsequent [`Scheduler::step_batch`] outputs.
@@ -242,46 +287,57 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns [`BackendError::Shape`] for an empty prompt, `max_new == 0`,
-    /// a request longer than the model's `seq_max`, or an out-of-vocab
-    /// prompt token; [`BackendError::QueueFull`] when
+    /// a request longer than the model's `seq_max`, an out-of-vocab
+    /// prompt token, or invalid sampling params / stop sequences
+    /// ([`SubmitRequest::validate`]); [`BackendError::QueueFull`] when
     /// [`SchedulerConfig::max_pending`] queued sequences are already
     /// waiting (admission backpressure — shed load or retry later).
-    pub fn submit(&mut self, prompt: &[u32], max_new: usize) -> Result<SeqId, BackendError> {
+    pub fn submit(&mut self, req: SubmitRequest) -> Result<SeqId, BackendError> {
         if self.cfg.max_pending > 0 && self.pending.len() >= self.cfg.max_pending {
             return Err(BackendError::QueueFull {
                 pending: self.pending.len(),
             });
         }
-        if prompt.is_empty() {
+        if req.prompt.is_empty() {
             return Err(BackendError::Shape("empty prompt".into()));
         }
-        if max_new == 0 {
+        if req.max_new == 0 {
             return Err(BackendError::Shape("max_new must be >= 1".into()));
         }
-        if prompt.len() + max_new > self.model.cfg.seq_max {
+        if req.prompt.len() + req.max_new > self.model.cfg.seq_max {
             return Err(BackendError::Shape(format!(
                 "sequence {} + {} exceeds seq_max {}",
-                prompt.len(),
-                max_new,
+                req.prompt.len(),
+                req.max_new,
                 self.model.cfg.seq_max
             )));
         }
-        if let Some(&t) = prompt.iter().find(|&&t| t as usize >= self.model.cfg.vocab) {
+        if let Some(&t) = req
+            .prompt
+            .iter()
+            .find(|&&t| t as usize >= self.model.cfg.vocab)
+        {
             return Err(BackendError::Shape(format!(
                 "prompt token {t} out of vocab {}",
                 self.model.cfg.vocab
             )));
         }
+        req.validate(self.model.cfg.vocab)?;
         let id = SeqId(self.next_id);
         self.next_id += 1;
+        let mut sampler = Sampler::new(&req.sampling, self.model.cfg.vocab);
+        sampler.observe_all(&req.prompt);
         self.pending.push_back(Sequence {
             id,
-            prompt: prompt.to_vec(),
-            max_new,
-            generated: Vec::with_capacity(max_new),
+            prompt: req.prompt,
+            max_new: req.max_new,
+            generated: Vec::with_capacity(req.max_new),
             pos: 0,
             last_token: 0,
             slot: usize::MAX,
+            sampler,
+            stop: req.stop,
+            stopped: false,
         });
         Ok(id)
     }
@@ -398,7 +454,8 @@ impl Scheduler {
                         finished: seq.done(),
                     });
                     if seq.done() {
-                        self.retire(seq, FinishReason::Length);
+                        let reason = seq.finish_reason();
+                        self.retire(seq, reason);
                     } else {
                         self.active.push(seq);
                     }
@@ -432,9 +489,7 @@ impl Scheduler {
                 return Err(e);
             }
             for (r, seq) in self.active.iter_mut().enumerate() {
-                let token = ops::argmax(self.scratch.logits_row(r)) as u32;
-                seq.generated.push(token);
-                seq.last_token = token;
+                let token = seq.advance(self.scratch.logits_row(r));
                 seq.pos += 1;
                 emitted.push(StepToken {
                     id: seq.id,
@@ -448,7 +503,8 @@ impl Scheduler {
             while r < self.active.len() {
                 if self.active[r].done() {
                     let seq = self.active.remove(r);
-                    self.retire(seq, FinishReason::Length);
+                    let reason = seq.finish_reason();
+                    self.retire(seq, reason);
                 } else {
                     r += 1;
                 }
@@ -482,10 +538,8 @@ impl Scheduler {
         )?;
         // The last prompt token's logits sample the first generated token
         // (nothing is discarded).
-        let token = ops::argmax(self.scratch.logits_row(last_row)) as u32;
+        let token = seq.advance(self.scratch.logits_row(last_row));
         seq.pos = seq.prompt.len();
-        seq.last_token = token;
-        seq.generated.push(token);
         Ok(token)
     }
 
@@ -529,13 +583,18 @@ mod tests {
         let mut engine = Engine::new(model(tmac_kind()));
         let singles: Vec<Vec<u32>> = prompts
             .iter()
-            .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+            .map(|p| {
+                engine
+                    .generate(&SubmitRequest::greedy(p, n_new), &ctx)
+                    .unwrap()
+                    .tokens
+            })
             .collect();
 
         let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
         let ids: Vec<SeqId> = prompts
             .iter()
-            .map(|p| sched.submit(p, n_new).unwrap())
+            .map(|p| sched.submit(SubmitRequest::greedy(p, n_new)).unwrap())
             .collect();
         let done = sched.run_to_completion(&ctx).unwrap();
         assert_eq!(done.len(), 3);
@@ -557,7 +616,7 @@ mod tests {
         };
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
         for i in 0..5u32 {
-            sched.submit(&[i + 1], 3).unwrap();
+            sched.submit(SubmitRequest::greedy(&[i + 1], 3)).unwrap();
         }
         assert_eq!(sched.pending_len(), 5);
         let first = sched.step_batch(&ctx).unwrap();
@@ -575,7 +634,7 @@ mod tests {
     fn step_tokens_stream_in_generation_order() {
         let ctx = ExecCtx::new(1);
         let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
-        let id = sched.submit(&[2, 3], 4).unwrap();
+        let id = sched.submit(SubmitRequest::greedy(&[2, 3], 4)).unwrap();
         let mut streamed = Vec::new();
         while !sched.is_idle() {
             for t in sched.step_batch(&ctx).unwrap() {
@@ -591,15 +650,15 @@ mod tests {
     fn reset_clears_per_sequence_state() {
         let ctx = ExecCtx::new(1);
         let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
-        sched.submit(&[1, 2], 8).unwrap();
-        sched.submit(&[3], 8).unwrap();
+        sched.submit(SubmitRequest::greedy(&[1, 2], 8)).unwrap();
+        sched.submit(SubmitRequest::greedy(&[3], 8)).unwrap();
         sched.step_batch(&ctx).unwrap();
         assert!(sched.active_len() > 0);
         sched.reset();
         assert!(sched.is_idle());
         assert_eq!(sched.take_finished().len(), 0);
         // The scheduler serves fresh requests identically after a reset.
-        let a = sched.submit(&[1, 2], 3).unwrap();
+        let a = sched.submit(SubmitRequest::greedy(&[1, 2], 3)).unwrap();
         let done = sched.run_to_completion(&ctx).unwrap();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, a);
@@ -689,8 +748,8 @@ mod tests {
         };
         let m = Model::synthetic_with(&cfg, WeightQuant::Rtn(4), &builder, 3).unwrap();
         let mut sched = Scheduler::new(m, SchedulerConfig::default());
-        let a = sched.submit(&[1], 3).unwrap();
-        let b = sched.submit(&[2], 3).unwrap();
+        let a = sched.submit(SubmitRequest::greedy(&[1], 3)).unwrap();
+        let b = sched.submit(SubmitRequest::greedy(&[2], 3)).unwrap();
 
         // The step fails while admitting B: B is error-retired, A keeps its
         // slot, and A's prefill token is carried instead of lost.
@@ -722,11 +781,11 @@ mod tests {
     #[test]
     fn submit_validates_requests() {
         let mut sched = Scheduler::new(model(BackendKind::F32), SchedulerConfig::default());
-        assert!(sched.submit(&[], 4).is_err());
-        assert!(sched.submit(&[1], 0).is_err());
-        assert!(sched.submit(&[10_000], 4).is_err());
+        assert!(sched.submit(SubmitRequest::greedy(&[], 4)).is_err());
+        assert!(sched.submit(SubmitRequest::greedy(&[1], 0)).is_err());
+        assert!(sched.submit(SubmitRequest::greedy(&[10_000], 4)).is_err());
         let max = sched.model().cfg.seq_max;
-        assert!(sched.submit(&[1], max).is_err());
+        assert!(sched.submit(SubmitRequest::greedy(&[1], max)).is_err());
     }
 
     #[test]
@@ -738,16 +797,16 @@ mod tests {
         };
         let ctx = ExecCtx::new(1);
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
-        sched.submit(&[1], 2).unwrap();
-        sched.submit(&[2], 2).unwrap();
-        match sched.submit(&[3], 2) {
+        sched.submit(SubmitRequest::greedy(&[1], 2)).unwrap();
+        sched.submit(SubmitRequest::greedy(&[2], 2)).unwrap();
+        match sched.submit(SubmitRequest::greedy(&[3], 2)) {
             Err(BackendError::QueueFull { pending }) => assert_eq!(pending, 2),
             other => panic!("expected QueueFull, got {other:?}"),
         }
         // One step admits a sequence out of the queue, making room again.
         sched.step_batch(&ctx).unwrap();
         assert_eq!(sched.pending_len(), 1);
-        sched.submit(&[3], 2).unwrap();
+        sched.submit(SubmitRequest::greedy(&[3], 2)).unwrap();
         // max_pending = 0 disables the bound.
         let unbounded = SchedulerConfig {
             max_pending: 0,
@@ -755,7 +814,9 @@ mod tests {
         };
         let mut sched = Scheduler::new(model(BackendKind::F32), unbounded);
         for i in 0..600u32 {
-            sched.submit(&[1 + i % 90], 1).unwrap();
+            sched
+                .submit(SubmitRequest::greedy(&[1 + i % 90], 1))
+                .unwrap();
         }
     }
 
@@ -767,9 +828,9 @@ mod tests {
             ..SchedulerConfig::default()
         };
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
-        let a = sched.submit(&[1, 2], 8).unwrap();
-        let b = sched.submit(&[3], 8).unwrap();
-        let c = sched.submit(&[4, 5], 8).unwrap();
+        let a = sched.submit(SubmitRequest::greedy(&[1, 2], 8)).unwrap();
+        let b = sched.submit(SubmitRequest::greedy(&[3], 8)).unwrap();
+        let c = sched.submit(SubmitRequest::greedy(&[4, 5], 8)).unwrap();
 
         // Cancel C while still pending: it never takes a slot.
         assert!(sched.cancel(c));
@@ -782,7 +843,7 @@ mod tests {
         // a new request must NOT allocate a third cache.
         assert!(sched.cancel(a));
         assert_eq!(sched.active_len(), 1);
-        let d = sched.submit(&[6], 4).unwrap();
+        let d = sched.submit(SubmitRequest::greedy(&[6], 4)).unwrap();
         sched.step_batch(&ctx).unwrap();
         assert_eq!(sched.active_len(), 2);
         assert_eq!(sched.slots_allocated(), 2, "cancelled slot was not reused");
@@ -811,14 +872,14 @@ mod tests {
         let mut reference = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
         let ref_ids: Vec<SeqId> = prompts
             .iter()
-            .map(|p| reference.submit(p, n_new).unwrap())
+            .map(|p| reference.submit(SubmitRequest::greedy(p, n_new)).unwrap())
             .collect();
         let ref_done = reference.run_to_completion(&ctx).unwrap();
 
         let mut sched = Scheduler::new(model(tmac_kind()), SchedulerConfig::default());
         let ids: Vec<SeqId> = prompts
             .iter()
-            .map(|p| sched.submit(p, n_new).unwrap())
+            .map(|p| sched.submit(SubmitRequest::greedy(p, n_new)).unwrap())
             .collect();
         // Let everyone produce a few tokens, then drop the middle sequence.
         sched.step_batch(&ctx).unwrap();
@@ -851,7 +912,7 @@ mod tests {
         };
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
         for i in 0..4u32 {
-            sched.submit(&[i + 1], 3).unwrap();
+            sched.submit(SubmitRequest::greedy(&[i + 1], 3)).unwrap();
         }
         sched.step_batch(&ctx).unwrap();
         assert!(sched.active_len() > 0 && sched.pending_len() > 0);
@@ -874,9 +935,12 @@ mod tests {
         };
         let prompt: Vec<u32> = (1..=7).collect();
         let mut engine = Engine::new(model(tmac_kind()));
-        let single = engine.generate(&prompt, 4, &ctx).unwrap();
+        let single = engine
+            .generate(&SubmitRequest::greedy(&prompt, 4), &ctx)
+            .unwrap()
+            .tokens;
         let mut sched = Scheduler::new(model(tmac_kind()), cfg);
-        sched.submit(&prompt, 4).unwrap();
+        sched.submit(SubmitRequest::greedy(&prompt, 4)).unwrap();
         let done = sched.run_to_completion(&ctx).unwrap();
         assert_eq!(done[0].tokens, single);
     }

@@ -10,8 +10,10 @@
 //! lengths is small). The substitution is recorded in `DESIGN.md`.
 
 use crate::backend::BackendError;
+use crate::batch::FinishReason;
 use crate::model::{BatchScratch, KvCache, Model, Scratch};
 use crate::ops;
+use crate::sampling::{self, GenRequest, Sampler};
 use tmac_core::ExecCtx;
 
 /// *Target* rows per prefill [`Model::forward_batch`] call: long prompts
@@ -32,6 +34,17 @@ pub struct Engine {
     /// Lazily sized buffers for [`Engine::prefill`] (absent until the first
     /// prefill; reused across calls).
     batch_scratch: Option<BatchScratch>,
+}
+
+/// The result of one [`Engine::generate`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOutput {
+    /// All generated tokens in order (a matched stop sequence is
+    /// included).
+    pub tokens: Vec<u32>,
+    /// [`FinishReason::Length`] when all `max_new` tokens were generated,
+    /// [`FinishReason::Stop`] when a stop sequence ended the request.
+    pub reason: FinishReason,
 }
 
 /// Decode-loop measurement result.
@@ -167,43 +180,57 @@ impl Engine {
         Ok(self.scratch.logits.clone())
     }
 
-    /// Greedy generation: prefills `prompt` as one mpGEMM batch, then
-    /// decodes `n_new` tokens one at a time.
+    /// Single-stream generation: prefills the request's prompt as one
+    /// mpGEMM batch, then decodes up to `max_new` tokens one at a time
+    /// through the request's [`crate::sampling`] pipeline (the default
+    /// [`GenRequest::greedy`] is bit-identical to argmax decoding).
+    ///
+    /// A hit on any of the request's stop sequences ends generation early
+    /// with [`FinishReason::Stop`]; the matched tokens stay in the output.
     ///
     /// # Errors
     ///
-    /// Fails if the total length exceeds `seq_max` or a step fails.
-    pub fn generate(
-        &mut self,
-        prompt: &[u32],
-        n_new: usize,
-        ctx: &ExecCtx,
-    ) -> Result<Vec<u32>, BackendError> {
-        if prompt.is_empty() {
+    /// Fails on an empty prompt, a total length exceeding `seq_max`,
+    /// invalid sampling params or stop sequences, or a step failure.
+    pub fn generate(&mut self, req: &GenRequest, ctx: &ExecCtx) -> Result<GenOutput, BackendError> {
+        if req.prompt.is_empty() {
             return Err(BackendError::Shape("empty prompt".into()));
         }
-        if prompt.len() + n_new > self.model.cfg.seq_max {
+        if req.prompt.len() + req.max_new > self.model.cfg.seq_max {
             return Err(BackendError::Shape(format!(
                 "sequence {} + {} exceeds seq_max {}",
-                prompt.len(),
-                n_new,
+                req.prompt.len(),
+                req.max_new,
                 self.model.cfg.seq_max
             )));
         }
-        let logits = self.prefill(prompt, ctx)?;
-        let mut out = Vec::with_capacity(n_new);
-        if n_new == 0 {
+        req.validate(self.model.cfg.vocab)?;
+        let mut sampler = Sampler::new(&req.sampling, self.model.cfg.vocab);
+        sampler.observe_all(&req.prompt);
+        let logits = self.prefill(&req.prompt, ctx)?;
+        let mut out = GenOutput {
+            tokens: Vec::with_capacity(req.max_new),
+            reason: FinishReason::Length,
+        };
+        if req.max_new == 0 {
             return Ok(out);
         }
         // The first new token comes straight from the prefill logits (the
         // final prompt token's forward pass is not discarded).
-        let mut token = ops::argmax(&logits) as u32;
-        out.push(token);
-        for pos in prompt.len()..prompt.len() + n_new - 1 {
+        let mut token = sampler.sample(&logits);
+        out.tokens.push(token);
+        for pos in req.prompt.len()..req.prompt.len() + req.max_new - 1 {
+            if sampling::hits_stop(&out.tokens, &req.stop) {
+                out.reason = FinishReason::Stop;
+                return Ok(out);
+            }
             self.model
                 .forward(token, pos, &mut self.cache, &mut self.scratch, ctx)?;
-            token = ops::argmax(&self.scratch.logits) as u32;
-            out.push(token);
+            token = sampler.sample(&self.scratch.logits);
+            out.tokens.push(token);
+        }
+        if sampling::hits_stop(&out.tokens, &req.stop) {
+            out.reason = FinishReason::Stop;
         }
         Ok(out)
     }
@@ -264,11 +291,13 @@ mod tests {
     fn greedy_generation_is_deterministic() {
         let ctx = ExecCtx::new(1);
         let mut e = engine(BackendKind::F32);
-        let a = e.generate(&[1, 2, 3], 8, &ctx).unwrap();
-        let b = e.generate(&[1, 2, 3], 8, &ctx).unwrap();
+        let req = GenRequest::greedy(&[1, 2, 3], 8);
+        let a = e.generate(&req, &ctx).unwrap();
+        let b = e.generate(&req, &ctx).unwrap();
         assert_eq!(a, b);
-        assert_eq!(a.len(), 8);
-        assert!(a.iter().all(|&t| (t as usize) < e.model.cfg.vocab));
+        assert_eq!(a.reason, FinishReason::Length);
+        assert_eq!(a.tokens.len(), 8);
+        assert!(a.tokens.iter().all(|&t| (t as usize) < e.model.cfg.vocab));
     }
 
     #[test]
@@ -279,9 +308,57 @@ mod tests {
         let ctx = ExecCtx::new(1);
         let mut d = engine(BackendKind::Dequant);
         let mut t = engine(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
-        let gd = d.generate(&[5, 6], 4, &ctx).unwrap();
-        let gt = t.generate(&[5, 6], 4, &ctx).unwrap();
+        let req = GenRequest::greedy(&[5, 6], 4);
+        let gd = d.generate(&req, &ctx).unwrap().tokens;
+        let gt = t.generate(&req, &ctx).unwrap().tokens;
         assert_eq!(gd[0], gt[0], "first generated token differs");
+    }
+
+    #[test]
+    fn stop_sequence_ends_generation_with_matched_tokens_kept() {
+        let ctx = ExecCtx::new(1);
+        let mut e = engine(BackendKind::F32);
+        let full = e
+            .generate(&GenRequest::greedy(&[1, 2, 3], 8), &ctx)
+            .unwrap()
+            .tokens;
+        // Stop on a 2-token window of the greedy stream: the output must be
+        // the shortest prefix ending with it, stop tokens included.
+        let stop_seq = full[1..3].to_vec();
+        let hit = (1..=full.len())
+            .find(|&n| full[..n].ends_with(&stop_seq))
+            .expect("stop sequence is a window of full");
+        let out = e
+            .generate(
+                &GenRequest::greedy(&[1, 2, 3], 8).with_stop(vec![stop_seq]),
+                &ctx,
+            )
+            .unwrap();
+        assert_eq!(out.reason, FinishReason::Stop);
+        assert_eq!(out.tokens, full[..hit]);
+        // A stop sequence that never occurs changes nothing.
+        let absent = (0..e.model.cfg.vocab as u32)
+            .find(|t| !full.contains(t))
+            .expect("vocab larger than the output");
+        let out = e
+            .generate(
+                &GenRequest::greedy(&[1, 2, 3], 8).with_stop(vec![vec![absent]]),
+                &ctx,
+            )
+            .unwrap();
+        assert_eq!(out.reason, FinishReason::Length);
+        assert_eq!(out.tokens, full);
+    }
+
+    #[test]
+    fn generation_rejects_invalid_sampling() {
+        let ctx = ExecCtx::new(1);
+        let mut e = engine(BackendKind::F32);
+        let req = GenRequest::greedy(&[1], 2).with_sampling(crate::sampling::SamplingParams {
+            top_p: 0.0,
+            ..Default::default()
+        });
+        assert!(e.generate(&req, &ctx).is_err());
     }
 
     #[test]
@@ -341,7 +418,10 @@ mod tests {
         let next = e.step(t0, 3, &ctx).unwrap();
         // Must equal generate's first two tokens.
         let mut f = engine(BackendKind::F32);
-        let gen = f.generate(&[1, 2, 3], 2, &ctx).unwrap();
+        let gen = f
+            .generate(&GenRequest::greedy(&[1, 2, 3], 2), &ctx)
+            .unwrap()
+            .tokens;
         assert_eq!(gen[0], t0);
         assert_eq!(gen[1], ops::argmax(&next) as u32);
     }
@@ -359,8 +439,8 @@ mod tests {
     fn generation_rejects_overflow_and_empty() {
         let ctx = ExecCtx::new(1);
         let mut e = engine(BackendKind::F32);
-        assert!(e.generate(&[], 4, &ctx).is_err());
+        assert!(e.generate(&GenRequest::greedy(&[], 4), &ctx).is_err());
         let max = e.model.cfg.seq_max;
-        assert!(e.generate(&[1], max, &ctx).is_err());
+        assert!(e.generate(&GenRequest::greedy(&[1], max), &ctx).is_err());
     }
 }

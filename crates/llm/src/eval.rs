@@ -15,7 +15,9 @@
 
 use crate::backend::BackendError;
 use crate::engine::Engine;
+use crate::model::{BatchScratch, KvCache, Model};
 use crate::ops;
+use crate::sampling::GenRequest;
 use tmac_core::ExecCtx;
 use tmac_rng::Rng;
 
@@ -39,9 +41,9 @@ pub fn teacher_sequences(
     let mut seqs = Vec::with_capacity(n_seqs);
     for _ in 0..n_seqs {
         let prompt = vec![rng.u32_below(vocab), rng.u32_below(vocab)];
-        let cont = reference.generate(&prompt, len, ctx)?;
+        let cont = reference.generate(&GenRequest::greedy(&prompt, len), ctx)?;
         let mut seq = prompt;
-        seq.extend(cont);
+        seq.extend(cont.tokens);
         seqs.push(seq);
     }
     Ok(seqs)
@@ -68,6 +70,105 @@ pub fn perplexity(
         }
     }
     Ok((nll / count.max(1) as f64).exp())
+}
+
+/// Quality metrics from one [`batched_quality`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Teacher-forced perplexity over every scored position.
+    pub perplexity: f64,
+    /// Percentage of *generated* positions (at or past the prompt length)
+    /// where the model's argmax reproduces the teacher token.
+    pub agreement_pct: f64,
+    /// Number of scored (next-token) positions.
+    pub positions: usize,
+}
+
+/// Teacher-forced perplexity and agreement of `model` on `seqs`, evaluated
+/// through [`Model::forward_batch`] in batches of up to `max_batch` rows —
+/// the same code path the serving scheduler uses, so this measures the
+/// quality of what actually gets served.
+///
+/// `forward_batch` is bit-exact across batch sizes and thread counts, so
+/// the report is independent of `max_batch` (asserted in tests). Agreement
+/// is only counted from `prompt_len` onward; perplexity scores every
+/// next-token position.
+///
+/// # Errors
+///
+/// [`BackendError::Shape`] for empty `seqs`, a sequence shorter than 2
+/// tokens, or `max_batch == 0`; otherwise propagates forward failures.
+pub fn batched_quality(
+    model: &Model,
+    seqs: &[Vec<u32>],
+    prompt_len: usize,
+    max_batch: usize,
+    ctx: &ExecCtx,
+) -> Result<QualityReport, BackendError> {
+    if seqs.is_empty() {
+        return Err(BackendError::Shape("no evaluation sequences".into()));
+    }
+    if max_batch == 0 {
+        return Err(BackendError::Shape("max_batch must be >= 1".into()));
+    }
+    if let Some(seq) = seqs.iter().find(|s| s.len() < 2) {
+        return Err(BackendError::Shape(format!(
+            "sequence of length {} cannot be scored",
+            seq.len()
+        )));
+    }
+    // Per-sequence NLL accumulators: each is summed in position order no
+    // matter how sequences are grouped into batches, and the final
+    // reduction runs in sequence order — so the report is *bit-identical*
+    // at every `max_batch` (f64 addition is not associative; a single
+    // running sum would pick up batch-shape-dependent rounding).
+    let mut seq_nll = vec![0f64; seqs.len()];
+    let mut positions = 0usize;
+    let mut gen_positions = 0usize;
+    let mut agree = 0usize;
+    for (chunk_idx, chunk) in seqs.chunks(max_batch).enumerate() {
+        let base = chunk_idx * max_batch;
+        let rows = chunk.len();
+        let mut caches: Vec<KvCache> = (0..rows).map(|_| KvCache::new(&model.cfg)).collect();
+        let mut scratch = BatchScratch::new(&model.cfg, rows);
+        let steps = chunk.iter().map(|s| s.len() - 1).max().unwrap_or(0);
+        // Teacher forcing: feed token t of every still-live row in one
+        // batched forward, score the model's prediction of token t + 1.
+        let mut tokens = Vec::with_capacity(rows);
+        let mut pos_buf = Vec::with_capacity(rows);
+        let mut slots = Vec::with_capacity(rows);
+        for t in 0..steps {
+            tokens.clear();
+            pos_buf.clear();
+            slots.clear();
+            for (r, seq) in chunk.iter().enumerate() {
+                if t + 1 < seq.len() {
+                    tokens.push(seq[t]);
+                    pos_buf.push(t);
+                    slots.push(r);
+                }
+            }
+            model.forward_batch(&tokens, &pos_buf, &slots, &mut caches, &mut scratch, ctx)?;
+            for (row, &slot) in slots.iter().enumerate() {
+                let target = chunk[slot][t + 1] as usize;
+                let logits = scratch.logits_row(row);
+                seq_nll[base + slot] -= ops::log_softmax_at(logits, target);
+                positions += 1;
+                if t + 1 >= prompt_len {
+                    gen_positions += 1;
+                    if ops::argmax(logits) == target {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+    }
+    let nll: f64 = seq_nll.iter().sum();
+    Ok(QualityReport {
+        perplexity: (nll / positions.max(1) as f64).exp(),
+        agreement_pct: 100.0 * agree as f64 / gen_positions.max(1) as f64,
+        positions,
+    })
 }
 
 /// Two-way choice agreement of `candidate` against `reference`.
@@ -149,6 +250,46 @@ mod tests {
         let ppl_t = perplexity(&mut t, &seqs, &ctx).unwrap();
         let rel = (ppl_d - ppl_t).abs() / ppl_d;
         assert!(rel < 0.05, "PPL mismatch: dequant {ppl_d} vs tmac {ppl_t}");
+    }
+
+    #[test]
+    fn batched_quality_is_batch_size_invariant_and_matches_sequential() {
+        // The forward_batch bit-exactness invariant makes the report
+        // independent of how sequences are grouped into batches…
+        let ctx = ExecCtx::new(1);
+        let mut reference = engine(BackendKind::F32, 4);
+        let seqs = teacher_sequences(&mut reference, 5, 9, 7, &ctx).unwrap();
+        let mut t = engine(BackendKind::Tmac(KernelOpts::tmac()), 4);
+        let r1 = batched_quality(&t.model, &seqs, 2, 1, &ctx).unwrap();
+        let r3 = batched_quality(&t.model, &seqs, 2, 3, &ctx).unwrap();
+        let r16 = batched_quality(&t.model, &seqs, 2, 16, &ctx).unwrap();
+        assert_eq!(r1, r3, "max_batch 1 vs 3 diverged");
+        assert_eq!(r1, r16, "max_batch 1 vs 16 diverged");
+        assert_eq!(r1.positions, seqs.iter().map(|s| s.len() - 1).sum());
+        // …and the single-stream perplexity path agrees on the number.
+        let ppl_seq = perplexity(&mut t, &seqs, &ctx).unwrap();
+        let rel = (r1.perplexity - ppl_seq).abs() / ppl_seq;
+        assert!(
+            rel < 1e-5,
+            "batched {} vs sequential {ppl_seq}",
+            r1.perplexity
+        );
+    }
+
+    #[test]
+    fn reference_agrees_perfectly_with_its_own_teacher_output() {
+        // The f32 model replays its own greedy generations: every generated
+        // position must be reproduced exactly (agreement 100%).
+        let ctx = ExecCtx::new(1);
+        let mut reference = engine(BackendKind::F32, 4);
+        let seqs = teacher_sequences(&mut reference, 3, 8, 11, &ctx).unwrap();
+        let r = batched_quality(&reference.model, &seqs, 2, 4, &ctx).unwrap();
+        assert_eq!(r.agreement_pct, 100.0);
+        assert!(r.perplexity.is_finite() && r.perplexity >= 1.0);
+        // Validation errors.
+        assert!(batched_quality(&reference.model, &[], 2, 4, &ctx).is_err());
+        assert!(batched_quality(&reference.model, &seqs, 2, 0, &ctx).is_err());
+        assert!(batched_quality(&reference.model, &[vec![1]], 2, 4, &ctx).is_err());
     }
 
     #[test]

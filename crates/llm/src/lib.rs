@@ -30,8 +30,10 @@
 //! .unwrap();
 //! let mut engine = Engine::new(model);
 //! let ctx = ExecCtx::new(2);
-//! let tokens = engine.generate(&[1, 2, 3], 8, &ctx).unwrap();
-//! assert_eq!(tokens.len(), 8);
+//! let out = engine
+//!     .generate(&tmac_llm::GenRequest::greedy(&[1, 2, 3], 8), &ctx)
+//!     .unwrap();
+//! assert_eq!(out.tokens.len(), 8);
 //! // Table builds were shared across QKV and gate/up projections:
 //! let stats = ctx.table_stats();
 //! assert!(stats.hits > 0);
@@ -47,6 +49,7 @@ pub mod io;
 pub mod kv;
 pub mod model;
 pub mod ops;
+pub mod sampling;
 pub mod weights;
 
 pub use attention::AttnScratch;
@@ -54,10 +57,13 @@ pub use backend::{
     BackendBuilder, BackendError, BackendKind, BackendRegistry, DequantBackend, F32Backend, Linear,
     LinearBackend, TmacBackend,
 };
-pub use batch::{FinishReason, FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken};
+pub use batch::{
+    FinishReason, FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken, SubmitRequest,
+};
 pub use config::{KvPrecision, ModelConfig, WeightQuant};
-pub use engine::{DecodeStats, Engine, PREFILL_CHUNK};
+pub use engine::{DecodeStats, Engine, GenOutput, PREFILL_CHUNK};
 pub use io::{LoadMode, ModelIoError};
 pub use kv::KvCache;
 pub use model::{BatchScratch, Model, Scratch};
+pub use sampling::{GenRequest, Sampler, SamplingParams};
 pub use tmac_core::{ExecCtx, TableCacheStats};

@@ -1,0 +1,544 @@
+//! Per-request sampling: the logit-processor pipeline behind
+//! [`crate::Engine::generate`] and [`crate::Scheduler::submit`].
+//!
+//! Processors run in a fixed order — repetition penalty → logit bias →
+//! temperature → top-k → top-p → seeded categorical draw — matching the
+//! common serving-stack convention (vLLM/llama.cpp). Determinism is a
+//! contract, not an accident:
+//!
+//! * **temperature = 0 is exactly argmax.** With no other processor active
+//!   the pipeline never touches the logits buffer and calls
+//!   [`crate::ops::argmax`] directly, so the default request is
+//!   bit-identical to the pre-sampling greedy path.
+//! * **One RNG per request.** Each [`Sampler`] owns a
+//!   [`tmac_rng::Rng`] seeded from [`SamplingParams::seed`], and logits are
+//!   bit-exact at any batch size or thread count (the scheduler's
+//!   equivalence invariants), so a fixed `(seed, params)` produces the same
+//!   token stream whether the request runs alone, in a full batch, or on a
+//!   different thread-pool size.
+//! * **Ties break by index.** Candidate ordering is (logit descending,
+//!   token id ascending), so equal logits never make top-k/top-p runs
+//!   platform- or sort-dependent.
+
+use crate::backend::BackendError;
+use crate::ops;
+use tmac_rng::Rng;
+
+/// Per-request sampling controls.
+///
+/// The default is pure greedy decoding (temperature 0, every processor
+/// off), which the pipeline guarantees is bit-identical to `argmax` over
+/// the raw logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingParams {
+    /// Softmax temperature; `0.0` means greedy (argmax after the penalty
+    /// and bias processors, which are off by default).
+    pub temperature: f32,
+    /// Keep only the `top_k` highest-logit tokens before the draw
+    /// (`0` = disabled).
+    pub top_k: usize,
+    /// Nucleus sampling: keep the smallest candidate prefix whose
+    /// probability mass reaches `top_p` (`1.0` = disabled).
+    pub top_p: f32,
+    /// CTRL-style repetition penalty over prompt + generated tokens:
+    /// positive logits of seen tokens are divided by the penalty, others
+    /// multiplied (`1.0` = disabled).
+    pub repetition_penalty: f32,
+    /// Seed of the per-request RNG; requests are reproducible by default.
+    pub seed: u64,
+    /// Additive per-token logit offsets, applied before temperature.
+    pub logit_bias: Vec<(u32, f32)>,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams {
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+            repetition_penalty: 1.0,
+            seed: 0,
+            logit_bias: Vec::new(),
+        }
+    }
+}
+
+impl SamplingParams {
+    /// Validates every field against the model's vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Shape`] naming the offending field: non-finite or
+    /// negative temperature, `top_p` outside `(0, 1]`, non-positive or
+    /// non-finite repetition penalty, or a bias entry with an out-of-vocab
+    /// token id or non-finite value.
+    pub fn validate(&self, vocab: usize) -> Result<(), BackendError> {
+        if !self.temperature.is_finite() || self.temperature < 0.0 {
+            return Err(BackendError::Shape(format!(
+                "temperature must be finite and >= 0, got {}",
+                self.temperature
+            )));
+        }
+        if !self.top_p.is_finite() || self.top_p <= 0.0 || self.top_p > 1.0 {
+            return Err(BackendError::Shape(format!(
+                "top_p must be in (0, 1], got {}",
+                self.top_p
+            )));
+        }
+        if !self.repetition_penalty.is_finite() || self.repetition_penalty <= 0.0 {
+            return Err(BackendError::Shape(format!(
+                "repetition_penalty must be finite and > 0, got {}",
+                self.repetition_penalty
+            )));
+        }
+        for &(id, v) in &self.logit_bias {
+            if id as usize >= vocab {
+                return Err(BackendError::Shape(format!(
+                    "logit_bias token {id} out of vocab {vocab}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(BackendError::Shape(format!(
+                    "logit_bias value for token {id} must be finite, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the pipeline reduces to plain `argmax` over the raw
+    /// logits (no processor would change which token wins).
+    pub fn is_pure_greedy(&self) -> bool {
+        self.temperature == 0.0 && self.repetition_penalty == 1.0 && self.logit_bias.is_empty()
+    }
+}
+
+/// One generation request: the typed argument of
+/// [`crate::Engine::generate`] and (as [`crate::batch::SubmitRequest`])
+/// [`crate::Scheduler::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenRequest {
+    /// Prompt token ids.
+    pub prompt: Vec<u32>,
+    /// Maximum tokens to generate (a stop sequence may end the request
+    /// earlier).
+    pub max_new: usize,
+    /// Sampling controls (default: greedy).
+    pub sampling: SamplingParams,
+    /// Stop token-id sequences. Generation ends as soon as the generated
+    /// stream *ends with* any of them; the matched tokens are kept in the
+    /// output (already-streamed tokens cannot be retracted) and the
+    /// request finishes with [`crate::FinishReason::Stop`].
+    pub stop: Vec<Vec<u32>>,
+}
+
+impl GenRequest {
+    /// A greedy request with default sampling and no stop sequences —
+    /// exactly the behavior of the old positional `(prompt, max_new)` API.
+    pub fn greedy(prompt: &[u32], max_new: usize) -> Self {
+        GenRequest {
+            prompt: prompt.to_vec(),
+            max_new,
+            sampling: SamplingParams::default(),
+            stop: Vec::new(),
+        }
+    }
+
+    /// Replaces the sampling params (builder style).
+    #[must_use]
+    pub fn with_sampling(mut self, sampling: SamplingParams) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Replaces the stop sequences (builder style).
+    #[must_use]
+    pub fn with_stop(mut self, stop: Vec<Vec<u32>>) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Validates sampling params and stop sequences against `vocab`.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Shape`] on invalid sampling fields or an empty stop
+    /// sequence (prompt/length bounds are the engine's and scheduler's
+    /// job, since their limits differ).
+    pub fn validate(&self, vocab: usize) -> Result<(), BackendError> {
+        self.sampling.validate(vocab)?;
+        if self.stop.iter().any(Vec::is_empty) {
+            return Err(BackendError::Shape(
+                "stop sequences must be non-empty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// True when `generated` ends with any of the `stop` sequences.
+pub fn hits_stop(generated: &[u32], stop: &[Vec<u32>]) -> bool {
+    stop.iter().any(|s| !s.is_empty() && generated.ends_with(s))
+}
+
+/// Per-sequence sampling state: the processor pipeline plus the request's
+/// own RNG and repetition context.
+///
+/// # Examples
+///
+/// ```
+/// use tmac_llm::sampling::{Sampler, SamplingParams};
+///
+/// // Default params: exact argmax, no RNG draw.
+/// let mut greedy = Sampler::new(&SamplingParams::default(), 4);
+/// assert_eq!(greedy.sample(&[0.1, 2.0, -1.0, 0.4]), 1);
+///
+/// // Same seed + params => same draws.
+/// let params = SamplingParams {
+///     temperature: 1.0,
+///     seed: 7,
+///     ..SamplingParams::default()
+/// };
+/// let mut a = Sampler::new(&params, 4);
+/// let mut b = Sampler::new(&params, 4);
+/// let logits = [0.3, 0.1, 0.9, 0.2];
+/// assert_eq!(a.sample(&logits), b.sample(&logits));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    params: SamplingParams,
+    rng: Rng,
+    /// Tokens seen in prompt or output (only tracked when the repetition
+    /// penalty is active).
+    seen: Vec<bool>,
+    /// Processed-logits scratch, reused across steps.
+    buf: Vec<f32>,
+    /// Candidate-index scratch, reused across steps.
+    cand: Vec<u32>,
+}
+
+impl Sampler {
+    /// A sampler for one request over a `vocab`-sized distribution, with
+    /// its RNG seeded from [`SamplingParams::seed`].
+    pub fn new(params: &SamplingParams, vocab: usize) -> Self {
+        let track_seen = params.repetition_penalty != 1.0;
+        Sampler {
+            params: params.clone(),
+            rng: Rng::seed_from_u64(params.seed),
+            seen: if track_seen {
+                vec![false; vocab]
+            } else {
+                Vec::new()
+            },
+            buf: Vec::new(),
+            cand: Vec::new(),
+        }
+    }
+
+    /// Records a context token (prompt tokens, before the first sample)
+    /// for the repetition penalty. No-op when the penalty is off.
+    pub fn observe(&mut self, token: u32) {
+        if let Some(s) = self.seen.get_mut(token as usize) {
+            *s = true;
+        }
+    }
+
+    /// Records every token in `tokens` (see [`Sampler::observe`]).
+    pub fn observe_all(&mut self, tokens: &[u32]) {
+        for &t in tokens {
+            self.observe(t);
+        }
+    }
+
+    /// Runs the pipeline over `logits` and returns the chosen token. The
+    /// choice is recorded for the repetition penalty.
+    ///
+    /// With pure-greedy params this is exactly `ops::argmax(logits)` — the
+    /// logits are never copied or modified.
+    pub fn sample(&mut self, logits: &[f32]) -> u32 {
+        if self.params.is_pure_greedy() {
+            return ops::argmax(logits) as u32;
+        }
+        // 1. Repetition penalty + logit bias on a scratch copy.
+        self.buf.clear();
+        self.buf.extend_from_slice(logits);
+        if self.params.repetition_penalty != 1.0 {
+            let p = self.params.repetition_penalty;
+            for (x, &s) in self.buf.iter_mut().zip(&self.seen) {
+                if s {
+                    *x = if *x > 0.0 { *x / p } else { *x * p };
+                }
+            }
+        }
+        for &(id, v) in &self.params.logit_bias {
+            if let Some(x) = self.buf.get_mut(id as usize) {
+                *x += v;
+            }
+        }
+        // 2. Temperature: 0 is argmax over the processed logits.
+        let token = if self.params.temperature == 0.0 {
+            ops::argmax(&self.buf) as u32
+        } else {
+            let inv_t = 1.0 / self.params.temperature;
+            for x in self.buf.iter_mut() {
+                *x *= inv_t;
+            }
+            self.draw()
+        };
+        self.observe(token);
+        token
+    }
+
+    /// Top-k / top-p truncation followed by a categorical draw over
+    /// `self.buf`.
+    fn draw(&mut self) -> u32 {
+        let buf = &self.buf;
+        self.cand.clear();
+        self.cand.extend(0..buf.len() as u32);
+        let k = self.params.top_k;
+        let filtering = (k > 0 && k < buf.len()) || self.params.top_p < 1.0;
+        if filtering {
+            // Deterministic candidate order: logit desc, then id asc (the
+            // id tiebreak comes free from the stable sort).
+            self.cand
+                .sort_by(|&a, &b| buf[b as usize].total_cmp(&buf[a as usize]));
+            if k > 0 && k < self.cand.len() {
+                self.cand.truncate(k);
+            }
+            if self.params.top_p < 1.0 {
+                // Nucleus: smallest prefix reaching top_p of the candidate
+                // mass (always at least one token).
+                let max = buf[self.cand[0] as usize];
+                let weights: Vec<f32> = self
+                    .cand
+                    .iter()
+                    .map(|&c| (buf[c as usize] - max).exp())
+                    .collect();
+                let total: f32 = weights.iter().sum();
+                let target = self.params.top_p * total;
+                let mut cum = 0f32;
+                let mut keep = self.cand.len();
+                for (i, w) in weights.iter().enumerate() {
+                    cum += w;
+                    if cum >= target {
+                        keep = i + 1;
+                        break;
+                    }
+                }
+                self.cand.truncate(keep.max(1));
+            }
+        }
+        // Categorical draw over the surviving candidates. The iteration
+        // order is fixed (sorted or id-ascending), so the draw depends
+        // only on the logits and this request's RNG stream.
+        let max = self
+            .cand
+            .iter()
+            .map(|&c| buf[c as usize])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let total: f32 = self
+            .cand
+            .iter()
+            .map(|&c| (buf[c as usize] - max).exp())
+            .sum();
+        let target = self.rng.f32_unit() * total;
+        let mut cum = 0f32;
+        for &c in &self.cand {
+            cum += (buf[c as usize] - max).exp();
+            if cum > target {
+                return c;
+            }
+        }
+        *self.cand.last().expect("at least one candidate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SamplingParams {
+        SamplingParams::default()
+    }
+
+    #[test]
+    fn default_params_are_pure_greedy_argmax() {
+        let logits = [0.25, -1.0, 3.5, 3.4, 0.0];
+        let mut s = Sampler::new(&params(), logits.len());
+        for _ in 0..4 {
+            assert_eq!(s.sample(&logits), 2);
+        }
+        // top-k/top-p alone do not break the greedy fast path.
+        let p = SamplingParams {
+            top_k: 3,
+            top_p: 0.5,
+            ..params()
+        };
+        assert!(p.is_pure_greedy());
+        assert_eq!(Sampler::new(&p, logits.len()).sample(&logits), 2);
+    }
+
+    #[test]
+    fn temperature_zero_with_bias_is_argmax_of_processed_logits() {
+        let logits = [0.0, 1.0, 2.0];
+        let p = SamplingParams {
+            logit_bias: vec![(0, 10.0)],
+            ..params()
+        };
+        assert!(!p.is_pure_greedy());
+        assert_eq!(Sampler::new(&p, 3).sample(&logits), 0);
+    }
+
+    #[test]
+    fn repetition_penalty_suppresses_seen_tokens() {
+        let logits = [2.0, 1.5, 0.1];
+        let p = SamplingParams {
+            repetition_penalty: 1e6,
+            ..params()
+        };
+        let mut s = Sampler::new(&p, 3);
+        assert_eq!(s.sample(&logits), 0);
+        // 0 is now seen and crushed; the runner-up wins.
+        assert_eq!(s.sample(&logits), 1);
+        // Prompt tokens observed up front are penalized too.
+        let mut s2 = Sampler::new(&p, 3);
+        s2.observe_all(&[0, 1]);
+        assert_eq!(s2.sample(&logits), 2);
+        // A seen token's *negative* logit is amplified, not divided.
+        let neg = [-1.0, -0.9];
+        let p2 = SamplingParams {
+            repetition_penalty: 2.0,
+            ..params()
+        };
+        let mut s3 = Sampler::new(&p2, 2);
+        s3.observe(1);
+        assert_eq!(s3.sample(&neg), 0, "seen -0.9 becomes -1.8");
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_diverges() {
+        let p = SamplingParams {
+            temperature: 1.3,
+            seed: 99,
+            ..params()
+        };
+        let logits: Vec<f32> = (0..64).map(|i| ((i * 37 % 64) as f32) / 13.0).collect();
+        let draw = |p: &SamplingParams| {
+            let mut s = Sampler::new(p, logits.len());
+            (0..32).map(|_| s.sample(&logits)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(&p), draw(&p));
+        let other = SamplingParams {
+            seed: 100,
+            ..p.clone()
+        };
+        assert_ne!(draw(&p), draw(&other), "seed must matter");
+    }
+
+    #[test]
+    fn top_p_tiny_is_greedy_and_one_is_full() {
+        let logits = [0.3, 0.1, 0.9, 0.2];
+        let tiny = SamplingParams {
+            temperature: 1.0,
+            top_p: 1e-7,
+            seed: 5,
+            ..params()
+        };
+        let mut s = Sampler::new(&tiny, 4);
+        for _ in 0..8 {
+            assert_eq!(s.sample(&logits), 2, "top_p -> 0 must reduce to greedy");
+        }
+        // top_p = 1.0 keeps every candidate reachable.
+        let full = SamplingParams {
+            temperature: 5.0,
+            top_p: 1.0,
+            seed: 5,
+            ..params()
+        };
+        let mut s = Sampler::new(&full, 4);
+        let drawn: std::collections::HashSet<u32> = (0..256).map(|_| s.sample(&logits)).collect();
+        assert_eq!(drawn.len(), 4, "all tokens reachable at high temperature");
+    }
+
+    #[test]
+    fn ties_break_toward_the_lower_token_id() {
+        // Tokens 1 and 3 tie for the max; top_k = 1 must keep token 1.
+        let logits = [0.0, 2.0, 1.0, 2.0];
+        let p = SamplingParams {
+            temperature: 1.0,
+            top_k: 1,
+            seed: 3,
+            ..params()
+        };
+        let mut s = Sampler::new(&p, 4);
+        for _ in 0..8 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_restricts_the_support() {
+        let logits = [5.0, 4.0, 3.0, -10.0];
+        let p = SamplingParams {
+            temperature: 10.0,
+            top_k: 2,
+            seed: 1,
+            ..params()
+        };
+        let mut s = Sampler::new(&p, 4);
+        for _ in 0..128 {
+            assert!(s.sample(&logits) < 2, "top_k=2 must exclude tokens 2, 3");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let vocab = 8;
+        assert!(params().validate(vocab).is_ok());
+        for bad in [
+            SamplingParams {
+                temperature: -1.0,
+                ..params()
+            },
+            SamplingParams {
+                temperature: f32::NAN,
+                ..params()
+            },
+            SamplingParams {
+                top_p: 0.0,
+                ..params()
+            },
+            SamplingParams {
+                top_p: 1.5,
+                ..params()
+            },
+            SamplingParams {
+                repetition_penalty: 0.0,
+                ..params()
+            },
+            SamplingParams {
+                logit_bias: vec![(8, 1.0)],
+                ..params()
+            },
+            SamplingParams {
+                logit_bias: vec![(1, f32::INFINITY)],
+                ..params()
+            },
+        ] {
+            assert!(bad.validate(vocab).is_err(), "{bad:?} must be rejected");
+        }
+        let req = GenRequest::greedy(&[1], 4).with_stop(vec![vec![]]);
+        assert!(req.validate(vocab).is_err(), "empty stop sequence");
+    }
+
+    #[test]
+    fn hits_stop_matches_suffixes_only() {
+        let stop = vec![vec![3, 4], vec![9]];
+        assert!(hits_stop(&[1, 2, 3, 4], &stop));
+        assert!(hits_stop(&[9], &stop));
+        assert!(!hits_stop(&[3, 4, 5], &stop), "not a suffix");
+        assert!(!hits_stop(&[4], &stop));
+        assert!(!hits_stop(&[], &stop));
+        assert!(!hits_stop(&[1], &[]));
+    }
+}

@@ -25,7 +25,8 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tmac_core::ExecCtx;
-use tmac_llm::batch::{FinishReason, Scheduler, SeqId};
+use tmac_llm::batch::{FinishReason, Scheduler, SeqId, SubmitRequest};
+use tmac_llm::sampling::SamplingParams;
 
 /// Wakes a connection driver (the epoll loop's eventfd/pipe) after events
 /// are queued; thread-per-connection handlers block on the channel and
@@ -39,6 +40,8 @@ pub type WakeFn = Arc<dyn Fn() + Send + Sync>;
 pub enum EndReason {
     /// All requested tokens were generated.
     Length,
+    /// A stop sequence ended the request (matched tokens included).
+    Stop,
     /// Cancelled (client disconnect or explicit cancel).
     Cancelled,
     /// The per-request deadline expired mid-flight.
@@ -52,6 +55,7 @@ impl EndReason {
     pub fn as_str(&self) -> &'static str {
         match self {
             EndReason::Length => "length",
+            EndReason::Stop => "stop",
             EndReason::Cancelled => "cancelled",
             EndReason::Deadline => "deadline",
             EndReason::Error(_) => "error",
@@ -115,6 +119,10 @@ pub struct Submission {
     pub prompt: Vec<u32>,
     /// Tokens to generate.
     pub max_new: usize,
+    /// Per-request sampling params (greedy by default).
+    pub sampling: SamplingParams,
+    /// Stop token-id sequences.
+    pub stop: Vec<Vec<u32>>,
     /// Absolute deadline; the loop cancels the sequence when it passes.
     pub deadline: Option<Instant>,
     /// Client-disconnect flag; the loop cancels when it turns true.
@@ -378,7 +386,13 @@ fn intake(
         h.metrics.finished_cancelled.inc();
         return;
     }
-    match sched.submit(&sub.prompt, sub.max_new) {
+    let req = SubmitRequest {
+        prompt: sub.prompt,
+        max_new: sub.max_new,
+        sampling: sub.sampling,
+        stop: sub.stop,
+    };
+    match sched.submit(req) {
         Ok(id) => {
             tracked.insert(
                 id.0,
@@ -434,6 +448,10 @@ fn route_finished(sched: &mut Scheduler, tracked: &mut HashMap<u64, Tracked>, h:
                 h.metrics.finished_length.inc();
                 EndReason::Length
             }
+            FinishReason::Stop => {
+                h.metrics.finished_stop.inc();
+                EndReason::Stop
+            }
             FinishReason::Cancelled if t.deadline_hit => {
                 h.metrics.finished_cancelled.inc();
                 h.metrics.finished_deadline.inc();
@@ -488,6 +506,8 @@ mod tests {
             Submission {
                 prompt: prompt.to_vec(),
                 max_new,
+                sampling: SamplingParams::default(),
+                stop: Vec::new(),
                 deadline: None,
                 cancel: Arc::new(AtomicBool::new(false)),
                 sink,

@@ -118,6 +118,8 @@ pub struct Metrics {
     pub tokens_out: Counter,
     /// Sequences finished with `finish_reason = length`.
     pub finished_length: Counter,
+    /// Sequences ended by a stop sequence (`finish_reason = stop`).
+    pub finished_stop: Counter,
     /// Sequences cancelled (client disconnect or explicit cancel).
     pub finished_cancelled: Counter,
     /// Sequences past their deadline (subset of cancellations, reported
@@ -157,6 +159,7 @@ impl Metrics {
             resp_5xx: Counter::default(),
             tokens_out: Counter::default(),
             finished_length: Counter::default(),
+            finished_stop: Counter::default(),
             finished_cancelled: Counter::default(),
             finished_deadline: Counter::default(),
             finished_error: Counter::default(),
@@ -234,6 +237,10 @@ impl Metrics {
         line(
             "tmac_finished_total{reason=\"length\"}",
             self.finished_length.get() as f64,
+        );
+        line(
+            "tmac_finished_total{reason=\"stop\"}",
+            self.finished_stop.get() as f64,
         );
         line(
             "tmac_finished_total{reason=\"cancelled\"}",

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tmac_core::ExecCtx;
 use tmac_llm::batch::Scheduler;
+use tmac_llm::sampling::SamplingParams;
 
 /// How connections are driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +113,9 @@ pub(crate) struct PendingCompletion {
     pub(crate) stream: bool,
     pub(crate) id: u64,
     pub(crate) prompt_len: usize,
+    /// Effective sampling params (request fields over server defaults),
+    /// echoed back so clients can audit what ran.
+    pub(crate) sampling: SamplingParams,
 }
 
 /// What routing decided for one request.
@@ -248,6 +252,140 @@ fn submit_completion(
         },
     };
 
+    let mut sampling = SamplingParams::default();
+    match doc.get("temperature") {
+        None => {}
+        Some(v) => match v.as_f64() {
+            Some(t) if (t as f32).is_finite() && t >= 0.0 => sampling.temperature = t as f32,
+            _ => {
+                return bad(
+                    "invalid_request",
+                    "temperature must be a finite number >= 0",
+                )
+            }
+        },
+    }
+    match doc.get("top_k") {
+        None => {}
+        Some(v) => match v.as_u64() {
+            Some(k) => sampling.top_k = k as usize,
+            None => return bad("invalid_request", "top_k must be a non-negative integer"),
+        },
+    }
+    match doc.get("top_p") {
+        None => {}
+        Some(v) => match v.as_f64() {
+            Some(p) if p > 0.0 && p <= 1.0 => sampling.top_p = p as f32,
+            _ => return bad("invalid_request", "top_p must be a number in (0, 1]"),
+        },
+    }
+    match doc.get("repetition_penalty") {
+        None => {}
+        Some(v) => match v.as_f64() {
+            Some(p) if (p as f32).is_finite() && p > 0.0 => {
+                sampling.repetition_penalty = p as f32;
+            }
+            _ => {
+                return bad(
+                    "invalid_request",
+                    "repetition_penalty must be a finite number > 0",
+                )
+            }
+        },
+    }
+    match doc.get("seed") {
+        None => {}
+        Some(v) => match v.as_u64() {
+            Some(s) => sampling.seed = s,
+            None => return bad("invalid_request", "seed must be a non-negative integer"),
+        },
+    }
+    match doc.get("logit_bias") {
+        None => {}
+        // OpenAI-style map: {"<token id>": bias, ...}.
+        Some(Json::Obj(members)) => {
+            for (key, v) in members {
+                let Ok(id) = key.parse::<u32>() else {
+                    return bad(
+                        "invalid_request",
+                        &format!("logit_bias key {key:?} is not a token id"),
+                    );
+                };
+                if id as usize >= info.vocab {
+                    return bad(
+                        "invalid_request",
+                        &format!("logit_bias token {id} out of vocab (size {})", info.vocab),
+                    );
+                }
+                match v.as_f64() {
+                    Some(b) if (b as f32).is_finite() => sampling.logit_bias.push((id, b as f32)),
+                    _ => {
+                        return bad(
+                            "invalid_request",
+                            &format!("logit_bias value for token {id} must be a finite number"),
+                        )
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            return bad(
+                "invalid_request",
+                "logit_bias must be an object mapping token ids to numbers",
+            )
+        }
+    }
+
+    // `stop`: an array of token-id sequences ([[1, 2], [7]]), with a flat
+    // array of ids ([1, 2]) accepted as shorthand for one sequence.
+    let mut stop: Vec<Vec<u32>> = Vec::new();
+    match doc.get("stop") {
+        None => {}
+        Some(Json::Arr(items)) if !items.is_empty() => {
+            let parse_seq = |items: &[Json]| -> Result<Vec<u32>, Response> {
+                let mut seq = Vec::with_capacity(items.len());
+                for it in items {
+                    match it.as_u64() {
+                        Some(id) if (id as usize) < info.vocab => seq.push(id as u32),
+                        Some(id) => {
+                            return Err(Response::error(
+                                400,
+                                "invalid_request",
+                                &format!("stop token {id} out of vocab (size {})", info.vocab),
+                            ))
+                        }
+                        None => {
+                            return Err(Response::error(
+                                400,
+                                "invalid_request",
+                                "stop must be an array of token ids or of id arrays",
+                            ))
+                        }
+                    }
+                }
+                Ok(seq)
+            };
+            if items.iter().all(|it| matches!(it, Json::Arr(_))) {
+                for it in items {
+                    let Json::Arr(inner) = it else { unreachable!() };
+                    if inner.is_empty() {
+                        return bad("invalid_request", "stop sequences must be non-empty");
+                    }
+                    stop.push(parse_seq(inner)?);
+                }
+            } else {
+                stop.push(parse_seq(items)?);
+            }
+        }
+        Some(Json::Arr(_)) => {} // empty array == no stop sequences
+        Some(_) => {
+            return bad(
+                "invalid_request",
+                "stop must be an array of token ids or of id arrays",
+            )
+        }
+    }
+
     let deadline_ms = match doc.get("deadline_ms") {
         None => shared.cfg.default_deadline_ms,
         Some(v) => match v.as_u64() {
@@ -268,6 +406,8 @@ fn submit_completion(
     let sub = Submission {
         prompt,
         max_new,
+        sampling: sampling.clone(),
+        stop,
         deadline,
         cancel: Arc::clone(&cancel),
         sink,
@@ -280,6 +420,7 @@ fn submit_completion(
             stream,
             id: shared.req_counter.fetch_add(1, Ordering::Relaxed),
             prompt_len,
+            sampling,
         }),
         Err(SubmitError::QueueFull { pending }) => Err(Response::error(
             429,
@@ -295,6 +436,19 @@ fn submit_completion(
     }
 }
 
+/// The *effective* sampling params of a request (request fields over
+/// server defaults), echoed in non-streaming responses and the final SSE
+/// frame so clients can audit what actually ran.
+pub(crate) fn sampling_json(s: &SamplingParams) -> Json {
+    Json::obj(vec![
+        ("temperature", Json::num(s.temperature as f64)),
+        ("top_k", Json::num(s.top_k as f64)),
+        ("top_p", Json::num(s.top_p as f64)),
+        ("repetition_penalty", Json::num(s.repetition_penalty as f64)),
+        ("seed", Json::num(s.seed as f64)),
+    ])
+}
+
 /// The non-streaming completion body (or typed error) for a finished
 /// sequence.
 pub(crate) fn completion_response(
@@ -305,7 +459,7 @@ pub(crate) fn completion_response(
 ) -> Response {
     let ids = Json::Arr(tokens.iter().map(|&t| Json::num(t as f64)).collect());
     match reason {
-        EndReason::Length | EndReason::Cancelled => Response::json(
+        EndReason::Length | EndReason::Stop | EndReason::Cancelled => Response::json(
             200,
             &Json::obj(vec![
                 ("id", Json::str(&format!("cmpl-{}", pc.id))),
@@ -319,6 +473,7 @@ pub(crate) fn completion_response(
                         ("finish_reason", Json::str(reason.as_str())),
                     ])]),
                 ),
+                ("sampling", sampling_json(&pc.sampling)),
                 (
                     "usage",
                     Json::obj(vec![
@@ -378,6 +533,7 @@ pub(crate) fn stream_tail(
                 ("finish_reason", Json::str(reason.as_str())),
             ])]),
         ),
+        ("sampling", sampling_json(&pc.sampling)),
         (
             "usage",
             Json::obj(vec![

@@ -11,7 +11,8 @@
 
 use tmac::core::ExecCtx;
 use tmac::llm::{
-    BackendKind, Engine, KvCache, KvPrecision, LoadMode, Model, ModelConfig, WeightQuant,
+    BackendKind, Engine, GenRequest, KvCache, KvPrecision, LoadMode, Model, ModelConfig,
+    WeightQuant,
 };
 
 /// `--key value` flag (examples avoid the eval-crate dependency).
@@ -79,7 +80,10 @@ fn main() {
     ] {
         let model = build(kind);
         let mut engine = Engine::new(model);
-        let tokens = engine.generate(&prompt, 24, &ctx).expect("generate");
+        let tokens = engine
+            .generate(&GenRequest::greedy(&prompt, 24), &ctx)
+            .expect("generate")
+            .tokens;
         let stats = engine.measure_decode(24, &ctx).expect("measure");
         println!("{label}:");
         println!("  generated: {tokens:?}");
@@ -97,7 +101,10 @@ fn main() {
         model.cfg.kv_precision = precision;
         let kv_cfg = model.cfg.clone();
         let mut engine = Engine::new(model);
-        let tokens = engine.generate(&prompt, 24, &ctx).expect("generate");
+        let tokens = engine
+            .generate(&GenRequest::greedy(&prompt, 24), &ctx)
+            .expect("generate")
+            .tokens;
         let kv_bytes = {
             // A standalone cache filled like the engine's shows residency.
             let mut probe = KvCache::new(&kv_cfg);

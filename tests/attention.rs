@@ -10,8 +10,8 @@
 use tmac::core::ExecCtx;
 use tmac::llm::kv::KV_GROW_POSITIONS;
 use tmac::llm::{
-    BackendKind, BatchScratch, Engine, KvCache, KvPrecision, Model, ModelConfig, Scratch,
-    WeightQuant,
+    BackendKind, BatchScratch, Engine, GenRequest, KvCache, KvPrecision, Model, ModelConfig,
+    Scratch, SubmitRequest, WeightQuant,
 };
 use tmac::simd::f32ops;
 
@@ -322,7 +322,12 @@ fn scheduler_serves_i8_kv_identically_to_generate() {
     let mut engine = Engine::new(Model::synthetic(&cfg, WeightQuant::Rtn(2), kind, 11).unwrap());
     let singles: Vec<Vec<u32>> = prompts
         .iter()
-        .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+        .map(|p| {
+            engine
+                .generate(&GenRequest::greedy(p, n_new), &ctx)
+                .unwrap()
+                .tokens
+        })
         .collect();
 
     let mut sched = Scheduler::new(
@@ -331,7 +336,7 @@ fn scheduler_serves_i8_kv_identically_to_generate() {
     );
     let ids: Vec<_> = prompts
         .iter()
-        .map(|p| sched.submit(p, n_new).unwrap())
+        .map(|p| sched.submit(SubmitRequest::greedy(p, n_new)).unwrap())
         .collect();
     let done = sched.run_to_completion(&ctx).unwrap();
     for (i, id) in ids.iter().enumerate() {

@@ -8,9 +8,10 @@
 //! pool-size-dependent bugs in the batched dispatch.
 
 use tmac::core::ExecCtx;
-use tmac::llm::batch::{Scheduler, SchedulerConfig};
+use tmac::llm::batch::{Scheduler, SchedulerConfig, SubmitRequest};
 use tmac::llm::{
-    BackendKind, BatchScratch, Engine, KvCache, Model, ModelConfig, Scratch, WeightQuant,
+    BackendKind, BatchScratch, Engine, GenRequest, KvCache, Model, ModelConfig, Scratch,
+    WeightQuant,
 };
 
 /// Thread-pool size under test (CI matrixes this between 1 and N).
@@ -197,7 +198,12 @@ fn scheduler_serves_bit_identical_sequences_at_any_batch_size() {
     let mut engine = Engine::new(model(WeightQuant::Rtn(2), kind, 23));
     let singles: Vec<Vec<u32>> = prompts
         .iter()
-        .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+        .map(|p| {
+            engine
+                .generate(&GenRequest::greedy(p, n_new), &ctx)
+                .unwrap()
+                .tokens
+        })
         .collect();
 
     for max_batch in [1, 3, 16] {
@@ -211,7 +217,7 @@ fn scheduler_serves_bit_identical_sequences_at_any_batch_size() {
         );
         let ids: Vec<_> = prompts
             .iter()
-            .map(|p| sched.submit(p, n_new).unwrap())
+            .map(|p| sched.submit(SubmitRequest::greedy(p, n_new)).unwrap())
             .collect();
         let done = sched.run_to_completion(&ctx).unwrap();
         for (i, id) in ids.iter().enumerate() {

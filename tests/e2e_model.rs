@@ -1,7 +1,9 @@
 //! End-to-end model tests: the full transformer stack on every backend.
 
 use tmac::core::ExecCtx;
-use tmac::llm::{eval as quality, BackendKind, Engine, Model, ModelConfig, WeightQuant};
+use tmac::llm::{
+    eval as quality, BackendKind, Engine, GenRequest, Model, ModelConfig, WeightQuant,
+};
 
 fn tiny() -> ModelConfig {
     ModelConfig::tiny()
@@ -18,7 +20,10 @@ fn all_backends_generate_plausible_tokens() {
     ] {
         let model = Model::synthetic(&tiny(), WeightQuant::Rtn(4), kind, 5).unwrap();
         let mut engine = Engine::new(model);
-        let tokens = engine.generate(&[1, 2], 6, &ctx).unwrap();
+        let tokens = engine
+            .generate(&GenRequest::greedy(&[1, 2], 6), &ctx)
+            .unwrap()
+            .tokens;
         assert_eq!(tokens.len(), 6, "{kind:?}");
         assert!(tokens.iter().all(|&t| (t as usize) < tiny().vocab));
     }
@@ -51,7 +56,10 @@ fn bitnet_model_runs_end_to_end() {
     )
     .unwrap();
     let mut engine = Engine::new(model);
-    let tokens = engine.generate(&[4, 5, 6], 5, &ctx).unwrap();
+    let tokens = engine
+        .generate(&GenRequest::greedy(&[4, 5, 6], 5), &ctx)
+        .unwrap()
+        .tokens;
     assert_eq!(tokens.len(), 5);
 }
 

@@ -20,8 +20,9 @@ use std::sync::Arc;
 use tmac::core::ExecCtx;
 use tmac::io::{GgufFile, GgufValue, GgufWriter, IoError, Mapping, TmacContainer};
 use tmac::llm::{
-    BackendBuilder, BackendError, BackendKind, Engine, F32Backend, KvCache, KvPrecision, Linear,
-    LoadMode, Model, ModelConfig, ModelIoError, Scheduler, SchedulerConfig, Scratch, WeightQuant,
+    BackendBuilder, BackendError, BackendKind, Engine, F32Backend, GenRequest, KvCache,
+    KvPrecision, Linear, LoadMode, Model, ModelConfig, ModelIoError, Scheduler, SchedulerConfig,
+    Scratch, SubmitRequest, WeightQuant,
 };
 use tmac::quant::QuantizedMatrix;
 
@@ -314,7 +315,12 @@ fn scheduler_serves_bit_identical_tokens_from_the_file() {
     let mut engine = Engine::new(src);
     let singles: Vec<Vec<u32>> = prompts
         .iter()
-        .map(|p| engine.generate(p, n_new, &ctx).unwrap())
+        .map(|p| {
+            engine
+                .generate(&GenRequest::greedy(p, n_new), &ctx)
+                .unwrap()
+                .tokens
+        })
         .collect();
 
     for max_batch in [1, 3] {
@@ -331,7 +337,7 @@ fn scheduler_serves_bit_identical_tokens_from_the_file() {
         .unwrap();
         let ids: Vec<_> = prompts
             .iter()
-            .map(|p| sched.submit(p, n_new).unwrap())
+            .map(|p| sched.submit(SubmitRequest::greedy(p, n_new)).unwrap())
             .collect();
         let done = sched.run_to_completion(&ctx).unwrap();
         for (i, id) in ids.iter().enumerate() {
@@ -366,14 +372,18 @@ fn engine_loads_either_format_by_extension() {
     let src = Model::synthetic(&ModelConfig::tiny(), WeightQuant::Rtn(2), kind, 17).unwrap();
     let reference = {
         let mut e = Engine::new(src.clone());
-        e.generate(&[1, 2, 3], 6, &ctx).unwrap()
+        e.generate(&GenRequest::greedy(&[1, 2, 3], 6), &ctx)
+            .unwrap()
+            .tokens
     };
     for name in ["ext.tmac", "ext.gguf"] {
         let path = tmp(name);
         src.save_file(&path).unwrap();
         let mut e = Engine::from_file(&path, &kind, LoadMode::Mmap).unwrap();
         assert_eq!(
-            e.generate(&[1, 2, 3], 6, &ctx).unwrap(),
+            e.generate(&GenRequest::greedy(&[1, 2, 3], 6), &ctx)
+                .unwrap()
+                .tokens,
             reference,
             "{name}"
         );

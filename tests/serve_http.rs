@@ -6,7 +6,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 use tmac::core::ExecCtx;
-use tmac::llm::{BackendKind, Model, ModelConfig, Scheduler, SchedulerConfig, WeightQuant};
+use tmac::llm::{
+    BackendKind, Model, ModelConfig, SamplingParams, Scheduler, SchedulerConfig, SubmitRequest,
+    WeightQuant,
+};
 use tmac::serve::{ConnMode, Json, ServerConfig, ServerHandle};
 
 const SEED: u64 = 42;
@@ -67,7 +70,9 @@ fn start_server(max_batch: usize, max_pending: usize, mode: ConnMode) -> ServerH
 fn direct_tokens_on(model: Model, prompt: &[u32], max_new: usize) -> Vec<u32> {
     let ctx = ExecCtx::new(1);
     let mut sched = Scheduler::new(model, SchedulerConfig::default());
-    let id = sched.submit(prompt, max_new).unwrap();
+    let id = sched
+        .submit(SubmitRequest::greedy(prompt, max_new))
+        .unwrap();
     let done = sched.run_to_completion(&ctx).unwrap();
     done.into_iter().find(|f| f.id == id).unwrap().tokens
 }
@@ -554,4 +559,169 @@ fn malformed_traffic_gets_clean_4xx_and_never_wedges() {
         assert_eq!(tokens, direct_tokens(&[1, 2, 3], 4), "mode {mode:?}");
         server.shutdown();
     }
+}
+
+#[test]
+fn bad_sampling_params_get_typed_400s() {
+    let server = start_server(2, 16, ConnMode::Auto);
+    let addr = server.addr();
+    // Every sampling field rejects out-of-domain values with a typed 400
+    // naming the field, never a panic or a silent default.
+    let cases = [
+        "{\"prompt\":[1],\"temperature\":-0.5}",
+        "{\"prompt\":[1],\"temperature\":\"hot\"}",
+        "{\"prompt\":[1],\"top_k\":-3}",
+        "{\"prompt\":[1],\"top_p\":0}",
+        "{\"prompt\":[1],\"top_p\":1.5}",
+        "{\"prompt\":[1],\"repetition_penalty\":0}",
+        "{\"prompt\":[1],\"repetition_penalty\":-1}",
+        "{\"prompt\":[1],\"seed\":-7}",
+        "{\"prompt\":[1],\"logit_bias\":[1,2]}",
+        "{\"prompt\":[1],\"logit_bias\":{\"99999\":1.0}}",
+        "{\"prompt\":[1],\"logit_bias\":{\"zap\":1.0}}",
+        "{\"prompt\":[1],\"stop\":\"please\"}",
+        "{\"prompt\":[1],\"stop\":[[]]}",
+        "{\"prompt\":[1],\"stop\":[[99999]]}",
+    ];
+    for body in cases {
+        let (status, resp) = post_completion(addr, body);
+        assert_eq!(status, 400, "body {body}: {resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .unwrap()
+                .get("type")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "invalid_request",
+            "body {body}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn effective_sampling_params_are_echoed_in_responses() {
+    let server = start_server(2, 16, ConnMode::Auto);
+    let addr = server.addr();
+
+    // Non-streaming: explicit fields come back verbatim, omitted ones as
+    // their effective defaults (top_p 1, repetition_penalty 1).
+    let body = "{\"prompt\":[1,2],\"max_tokens\":3,\"temperature\":0.7,\"top_k\":5,\"seed\":9}";
+    let (status, resp) = post_completion(addr, body);
+    assert_eq!(status, 200, "{resp}");
+    let doc = Json::parse(&resp).unwrap();
+    let s = doc.get("sampling").expect("sampling echo");
+    let f = |k: &str| s.get(k).unwrap().as_f64().unwrap();
+    assert_eq!(f("temperature"), 0.7f32 as f64);
+    assert_eq!(f("top_k"), 5.0);
+    assert_eq!(f("top_p"), 1.0);
+    assert_eq!(f("repetition_penalty"), 1.0);
+    assert_eq!(f("seed"), 9.0);
+
+    // Streaming: the final usage frame carries the same echo.
+    let body = "{\"prompt\":[1,2],\"max_tokens\":3,\"stream\":true,\"temperature\":0.7,\"seed\":9}";
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let req = format!(
+        "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    sock.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    sock.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    let tail = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("data: "))
+        .rfind(|p| *p != "[DONE]")
+        .expect("final SSE frame");
+    let doc = Json::parse(tail).unwrap();
+    let s = doc.get("sampling").expect("sampling echo in final frame");
+    assert_eq!(
+        s.get("temperature").unwrap().as_f64().unwrap(),
+        0.7f32 as f64
+    );
+    assert_eq!(s.get("seed").unwrap().as_f64().unwrap(), 9.0);
+    assert!(doc.get("usage").is_some(), "final frame keeps usage");
+    server.shutdown();
+}
+
+#[test]
+fn stop_sequences_finish_with_stop_reason_over_http() {
+    let server = start_server(2, 16, ConnMode::Auto);
+    let addr = server.addr();
+    let prompt = [1u32, 2, 3];
+    let full = direct_tokens(&prompt, 8);
+    let stop: Vec<u32> = full[1..3].to_vec();
+    let hit = (1..=full.len())
+        .find(|&n| full[..n].ends_with(&stop))
+        .unwrap();
+
+    // Nested form: list of stop sequences.
+    let body = format!(
+        "{{\"prompt\":[1,2,3],\"max_tokens\":8,\"stop\":[[{},{}]]}}",
+        stop[0], stop[1]
+    );
+    let (status, resp) = post_completion(addr, &body);
+    assert_eq!(status, 200, "{resp}");
+    let (tokens, reason) = completion_tokens(&resp);
+    assert_eq!(tokens, full[..hit], "stop must truncate the served tokens");
+    assert_eq!(reason, "stop");
+
+    // Flat shorthand: one stop sequence.
+    let body = format!(
+        "{{\"prompt\":[1,2,3],\"max_tokens\":8,\"stop\":[{},{}]}}",
+        stop[0], stop[1]
+    );
+    let (status, resp) = post_completion(addr, &body);
+    assert_eq!(status, 200, "{resp}");
+    let (tokens, reason) = completion_tokens(&resp);
+    assert_eq!(tokens, full[..hit]);
+    assert_eq!(reason, "stop");
+    server.shutdown();
+}
+
+#[test]
+fn seeded_sampling_is_reproducible_and_matches_direct_over_http() {
+    let server = start_server(2, 16, ConnMode::Auto);
+    let addr = server.addr();
+    let body =
+        "{\"prompt\":[3,1,4],\"max_tokens\":6,\"temperature\":0.9,\"top_p\":0.95,\"seed\":5}";
+
+    let (status, first) = post_completion(addr, body);
+    assert_eq!(status, 200, "{first}");
+    let (tokens_a, _) = completion_tokens(&first);
+    let (_, second) = post_completion(addr, body);
+    let (tokens_b, _) = completion_tokens(&second);
+    assert_eq!(tokens_a, tokens_b, "same seed+params must reproduce");
+
+    // And the served tokens are exactly what a direct Scheduler run with
+    // the same SamplingParams produces.
+    let params = SamplingParams {
+        temperature: 0.9,
+        top_p: 0.95,
+        seed: 5,
+        ..SamplingParams::default()
+    };
+    let ctx = ExecCtx::new(1);
+    let mut sched = Scheduler::new(tiny_model(), SchedulerConfig::default());
+    let id = sched
+        .submit(SubmitRequest::greedy(&[3, 1, 4], 6).with_sampling(params))
+        .unwrap();
+    let done = sched.run_to_completion(&ctx).unwrap();
+    let direct = done.into_iter().find(|f| f.id == id).unwrap().tokens;
+    assert_eq!(tokens_a, direct, "served sampled tokens diverged");
+
+    // A biased request is forced onto one token end to end.
+    let (status, resp) = post_completion(
+        addr,
+        "{\"prompt\":[1],\"max_tokens\":4,\"temperature\":1.0,\"logit_bias\":{\"42\":1000000000}}",
+    );
+    assert_eq!(status, 200, "{resp}");
+    let (tokens, _) = completion_tokens(&resp);
+    assert_eq!(tokens, vec![42; 4]);
+    server.shutdown();
 }
