@@ -44,6 +44,7 @@
 
 pub mod cost;
 pub mod exec;
+pub mod failpoint;
 pub mod gemm;
 pub mod gemv;
 pub mod kernel;

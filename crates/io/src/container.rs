@@ -440,7 +440,11 @@ impl TmacContainer {
         for t in &self.tensors {
             for s in &t.segs {
                 let data = &bytes[s.off as usize..(s.off + s.len) as usize];
-                let found = fnv1a64(data);
+                let found = match tmac_core::failpoint::fire("io/checksum") {
+                    // Injected bit-rot: report a corrupted digest.
+                    Some(tmac_core::failpoint::FailAction::Error) => !fnv1a64(data),
+                    _ => fnv1a64(data),
+                };
                 if found != s.checksum {
                     return Err(IoError::Checksum {
                         tensor: format!("{} (segment role {})", t.name, s.role),

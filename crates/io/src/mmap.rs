@@ -13,6 +13,7 @@ use crate::IoError;
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
+use tmac_core::failpoint::{self, FailAction};
 
 /// How a container file is brought into memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +87,12 @@ impl Mapping {
     #[cfg(unix)]
     fn open_mapped(path: &Path) -> Result<Mapping, IoError> {
         use std::os::unix::io::AsRawFd;
+        if failpoint::fire("io/mmap") == Some(FailAction::Error) {
+            return Err(IoError::Io(format!(
+                "mmap {}: injected fault",
+                path.display()
+            )));
+        }
         let file =
             File::open(path).map_err(|e| IoError::Io(format!("open {}: {e}", path.display())))?;
         let len = file
@@ -133,6 +140,12 @@ impl Mapping {
     }
 
     fn open_copied(path: &Path) -> Result<Mapping, IoError> {
+        if failpoint::fire("io/read") == Some(FailAction::Error) {
+            return Err(IoError::Io(format!(
+                "read {}: injected fault",
+                path.display()
+            )));
+        }
         let mut file =
             File::open(path).map_err(|e| IoError::Io(format!("open {}: {e}", path.display())))?;
         let mut bytes = Vec::new();

@@ -63,6 +63,17 @@ pub enum BackendError {
         /// Requests already queued (== the configured bound).
         pending: usize,
     },
+    /// A panic unwound out of a model forward and was caught by the
+    /// scheduler's quarantine (`catch_unwind`); the payload is the panic
+    /// message. The offending sequence is retired, the process survives.
+    Panic(String),
+    /// A numeric fault surfaced at the sampling boundary (non-finite
+    /// logits); sampling from such a row would be garbage, so the
+    /// sequence errors instead.
+    Numeric(String),
+    /// A fault injected by an armed failpoint (`failpoints` builds only;
+    /// the variant always exists so matching code is feature-independent).
+    Injected(String),
 }
 
 impl std::fmt::Display for BackendError {
@@ -75,6 +86,9 @@ impl std::fmt::Display for BackendError {
             BackendError::QueueFull { pending } => {
                 write!(f, "queue full: {pending} requests pending")
             }
+            BackendError::Panic(m) => write!(f, "panic: {m}"),
+            BackendError::Numeric(m) => write!(f, "numeric: {m}"),
+            BackendError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

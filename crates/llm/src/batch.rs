@@ -29,7 +29,35 @@ use crate::backend::BackendError;
 use crate::model::{BatchScratch, KvCache, Model};
 use crate::sampling::{self, Sampler};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
+
+/// Evaluates a scheduler failpoint site: `Panic` unwinds right here (to
+/// be contained by the caller's `catch_unwind`, or — for step-level
+/// sites — by the serving supervisor), `Error` surfaces as
+/// [`BackendError::Injected`]. Other actions have no meaning at
+/// scheduler sites and are ignored. Without the `failpoints` feature
+/// [`failpoint::fire`] is a constant `None` and this folds to `Ok(())`.
+fn scheduler_fault(site: &str) -> Result<(), BackendError> {
+    match failpoint::fire(site) {
+        Some(FailAction::Panic) => panic!("injected failpoint {site}"),
+        Some(FailAction::Error) => Err(BackendError::Injected(format!("failpoint {site}"))),
+        _ => Ok(()),
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads keep
+/// their message; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
 
 /// The typed argument of [`Scheduler::submit`]: prompt, token budget,
 /// sampling params, and stop sequences (one request struct shared with
@@ -220,11 +248,10 @@ pub struct Scheduler {
     pending: VecDeque<Sequence>,
     active: Vec<Sequence>,
     finished: Vec<FinishedSeq>,
-    /// Tokens emitted during a step that then failed: returned by the next
-    /// successful [`Scheduler::step_batch`] so streaming consumers never
-    /// lose tokens that are recorded in sequence state.
-    carry: Vec<StepToken>,
     scratch: BatchScratch,
+    /// Sequences retired with [`FinishReason::Error`] by the fault
+    /// quarantine, ever (monotonic; survives [`Scheduler::reset`]).
+    quarantined: u64,
     next_id: u64,
 }
 
@@ -250,8 +277,8 @@ impl Scheduler {
             pending: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
-            carry: Vec::new(),
             scratch,
+            quarantined: 0,
             next_id: 0,
         }
     }
@@ -386,6 +413,13 @@ impl Scheduler {
         self.pending.len()
     }
 
+    /// Sequences ever retired with [`FinishReason::Error`] by the fault
+    /// quarantine (monotonic across [`Scheduler::reset`] — the feed for
+    /// the serving layer's `tmac_quarantined_total` metric).
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined
+    }
+
     /// True when no work remains (pending and active both empty).
     pub fn is_idle(&self) -> bool {
         self.pending.is_empty() && self.active.is_empty()
@@ -403,7 +437,6 @@ impl Scheduler {
         self.pending.clear();
         self.active.clear();
         self.finished.clear();
-        self.carry.clear();
         self.free_slots = (0..self.caches.len()).collect();
         for c in &mut self.caches {
             c.reset();
@@ -425,26 +458,41 @@ impl Scheduler {
     /// (prefilling their prompts as mpGEMM chunks), then decodes one token
     /// for every active sequence in a single batched forward. Returns the
     /// tokens emitted this step (one per admitted sequence from its prefill
-    /// logits, plus one per sequence in the decode batch), preceded by any
-    /// tokens a previous *failed* step emitted but could not return.
+    /// logits, plus one per sequence in the decode batch).
+    ///
+    /// # Fault quarantine
+    ///
+    /// Model failures — a typed [`BackendError`], a panic unwinding out of
+    /// a forward (caught here), or non-finite logits reaching the sampler —
+    /// are contained to the sequences they hit: the offending sequence
+    /// retires into the finished list with an error
+    /// [`FinishedSeq::reason`], its KV slot returns to the pool, and every
+    /// other sequence continues bit-exactly (re-running a row is exact
+    /// because KV writes are position-indexed overwrites and a cache's
+    /// length only advances when its forward completes). A failed *batched*
+    /// decode is isolated by probing each row alone; rows that fail alone
+    /// are quarantined, rows that pass advance normally.
     ///
     /// # Errors
     ///
-    /// Propagates model failures, leaving the scheduler consistent:
-    ///
-    /// * an admission (prefill) failure retires that sequence into the
-    ///   finished list with an error [`FinishedSeq::reason`], and the step's
-    ///   already-emitted tokens are carried into the next call's output;
-    /// * a decode failure leaves every active sequence in place with its
-    ///   position unadvanced, so the step can simply be retried.
+    /// With quarantine containing per-sequence faults, the only `Err` left
+    /// is an injected step-level fault from the `scheduler/step` failpoint
+    /// (`failpoints` builds); it fails the step before any token is
+    /// emitted, so retrying is always safe.
     pub fn step_batch(&mut self, ctx: &ExecCtx) -> Result<Vec<StepToken>, BackendError> {
-        let mut emitted = std::mem::take(&mut self.carry);
+        scheduler_fault("scheduler/step")?;
+        let mut emitted = Vec::new();
 
         // Admission: fill free batch slots from the queue; each admitted
         // prompt prefills through forward_batch in chunks, yielding its
         // first generated token from the final chunk's last-row logits.
         while self.active.len() < self.cfg.max_batch && !self.pending.is_empty() {
+            // The loop condition checked non-emptiness; pop cannot fail.
             let mut seq = self.pending.pop_front().expect("non-empty queue");
+            if let Err(e) = scheduler_fault("scheduler/slot") {
+                self.quarantine(seq, &e);
+                continue;
+            }
             seq.slot = self.claim_slot();
             match self.prefill_active(&mut seq, ctx) {
                 Ok(token) => {
@@ -461,41 +509,94 @@ impl Scheduler {
                     }
                 }
                 Err(e) => {
-                    // Retire the failed admission with an error marker and
-                    // carry this step's tokens into the next call's output.
-                    self.retire(seq, FinishReason::Error(e.to_string()));
-                    self.carry = emitted;
-                    return Err(e);
+                    // Quarantine: only this admission fails; its slot goes
+                    // back to the pool and admission moves on.
+                    self.quarantine(seq, &e);
                 }
             }
         }
 
-        // Decode: one batched forward over all active rows. On failure no
-        // sequence has advanced (positions and tokens untouched), so the
-        // carried tokens plus a retry reproduce the step.
+        // Decode: one batched forward over all active rows.
         if !self.active.is_empty() {
             let tokens: Vec<u32> = self.active.iter().map(|s| s.last_token).collect();
             let positions: Vec<usize> = self.active.iter().map(|s| s.pos).collect();
             let slots: Vec<usize> = self.active.iter().map(|s| s.slot).collect();
-            if let Err(e) = self.model.forward_batch(
+            let batch = Self::forward_rows(
+                &self.model,
                 &tokens,
                 &positions,
                 &slots,
                 &mut self.caches,
                 &mut self.scratch,
                 ctx,
-            ) {
-                self.carry = emitted;
-                return Err(e);
-            }
-            for (r, seq) in self.active.iter_mut().enumerate() {
-                let token = seq.advance(self.scratch.logits_row(r));
-                seq.pos += 1;
-                emitted.push(StepToken {
-                    id: seq.id,
-                    token,
-                    finished: seq.done(),
-                });
+            );
+            match batch {
+                Ok(()) => {
+                    // Sample every row, quarantining rows whose logits fail
+                    // the guard. Retirement is deferred past the sampling
+                    // loop so logits rows stay aligned with active indices.
+                    let mut failed: Vec<(usize, BackendError)> = Vec::new();
+                    for (r, seq) in self.active.iter_mut().enumerate() {
+                        match Self::guard_logits(self.scratch.logits_row(r)) {
+                            Ok(()) => {
+                                let token = seq.advance(self.scratch.logits_row(r));
+                                seq.pos += 1;
+                                emitted.push(StepToken {
+                                    id: seq.id,
+                                    token,
+                                    finished: seq.done(),
+                                });
+                            }
+                            Err(e) => failed.push((r, e)),
+                        }
+                    }
+                    for (r, e) in failed.into_iter().rev() {
+                        let seq = self.active.remove(r);
+                        self.quarantine(seq, &e);
+                    }
+                }
+                Err(_batch_err) => {
+                    // The batch failed as a whole: isolate by probing each
+                    // row alone. Survivors advance exactly as the batch
+                    // would have advanced them (row-independent forwards,
+                    // idempotent KV overwrites); rows that fail alone are
+                    // quarantined. A transient fault that only hit the
+                    // batched call quarantines nothing.
+                    let mut r = 0;
+                    while r < self.active.len() {
+                        let (t, p, s) = {
+                            let seq = &self.active[r];
+                            ([seq.last_token], [seq.pos], [seq.slot])
+                        };
+                        let probe = Self::forward_rows(
+                            &self.model,
+                            &t,
+                            &p,
+                            &s,
+                            &mut self.caches,
+                            &mut self.scratch,
+                            ctx,
+                        )
+                        .and_then(|()| Self::guard_logits(self.scratch.logits_row(0)));
+                        match probe {
+                            Ok(()) => {
+                                let seq = &mut self.active[r];
+                                let token = seq.advance(self.scratch.logits_row(0));
+                                seq.pos += 1;
+                                emitted.push(StepToken {
+                                    id: seq.id,
+                                    token,
+                                    finished: seq.done(),
+                                });
+                                r += 1;
+                            }
+                            Err(e) => {
+                                let seq = self.active.remove(r);
+                                self.quarantine(seq, &e);
+                            }
+                        }
+                    }
+                }
             }
             // Eviction: retire finished sequences, freeing their slots for
             // the next step's admission.
@@ -513,6 +614,54 @@ impl Scheduler {
         Ok(emitted)
     }
 
+    /// One `forward_batch` call with panic containment and the
+    /// `scheduler/forward` failpoint inside the contained region: a panic
+    /// unwinding out of the model (or a worker thread, re-raised by the
+    /// pool) surfaces as [`BackendError::Panic`] instead of killing the
+    /// serving thread. `AssertUnwindSafe` is justified: on unwind the
+    /// caller discards or re-runs this call's effects — scratch is fully
+    /// overwritten by the next forward, KV writes are position-indexed
+    /// overwrites, and a cache's length only advances on completion.
+    fn forward_rows(
+        model: &Model,
+        tokens: &[u32],
+        positions: &[usize],
+        slots: &[usize],
+        caches: &mut [KvCache],
+        scratch: &mut BatchScratch,
+        ctx: &ExecCtx,
+    ) -> Result<(), BackendError> {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            scheduler_fault("scheduler/forward")?;
+            model.forward_batch(tokens, positions, slots, caches, scratch, ctx)
+        }));
+        match run {
+            Ok(r) => r,
+            Err(payload) => Err(BackendError::Panic(panic_message(&*payload))),
+        }
+    }
+
+    /// The sampling-path guard: refuses to sample from a logits row
+    /// containing non-finite values (the sequence errors instead of
+    /// emitting garbage tokens), and hosts the `scheduler/logits`
+    /// failpoint.
+    fn guard_logits(logits: &[f32]) -> Result<(), BackendError> {
+        scheduler_fault("scheduler/logits")?;
+        if let Some(i) = logits.iter().position(|v| !v.is_finite()) {
+            return Err(BackendError::Numeric(format!(
+                "non-finite logit {} at index {i}",
+                logits[i]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Error-retires a sequence through the quarantine, counting it.
+    fn quarantine(&mut self, seq: Sequence, err: &BackendError) {
+        self.quarantined += 1;
+        self.retire(seq, FinishReason::Error(err.to_string()));
+    }
+
     /// Runs every step until all submitted sequences finish, returning them.
     ///
     /// # Errors
@@ -527,15 +676,24 @@ impl Scheduler {
 
     /// Prefills an admitted sequence's prompt in mpGEMM chunks against its
     /// slot, samples the first generated token, and advances its state.
+    ///
+    /// Panics unwinding out of the prefill forwards are contained here
+    /// (same unwind-safety argument as [`Scheduler::forward_rows`]) and
+    /// surface as [`BackendError::Panic`] for the caller's quarantine.
     fn prefill_active(&mut self, seq: &mut Sequence, ctx: &ExecCtx) -> Result<u32, BackendError> {
-        let last_row = self.model.prefill_chunked(
-            &seq.prompt,
-            seq.slot,
-            &mut self.caches,
-            &mut self.scratch,
-            self.cfg.prefill_chunk,
-            ctx,
-        )?;
+        let model = &self.model;
+        let caches = &mut self.caches;
+        let scratch = &mut self.scratch;
+        let chunk = self.cfg.prefill_chunk;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            scheduler_fault("scheduler/prefill")?;
+            model.prefill_chunked(&seq.prompt, seq.slot, caches, scratch, chunk, ctx)
+        }));
+        let last_row = match run {
+            Ok(r) => r?,
+            Err(payload) => return Err(BackendError::Panic(panic_message(&*payload))),
+        };
+        Self::guard_logits(self.scratch.logits_row(last_row))?;
         // The last prompt token's logits sample the first generated token
         // (nothing is discarded).
         let token = seq.advance(self.scratch.logits_row(last_row));
@@ -666,7 +824,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_admission_is_error_retired_and_tokens_are_carried() {
+    fn failed_admission_is_quarantined_and_serving_continues() {
         use crate::backend::{BackendBuilder, F32Backend, Linear, LinearBackend};
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
@@ -751,19 +909,22 @@ mod tests {
         let a = sched.submit(SubmitRequest::greedy(&[1], 3)).unwrap();
         let b = sched.submit(SubmitRequest::greedy(&[2], 3)).unwrap();
 
-        // The step fails while admitting B: B is error-retired, A keeps its
-        // slot, and A's prefill token is carried instead of lost.
-        assert!(sched.step_batch(&ctx).is_err());
+        // The fault lands in B's prefill: B alone is quarantined, the step
+        // still succeeds, and A prefills AND decodes in that same step.
+        let first = sched.step_batch(&ctx).unwrap();
+        assert!(first.iter().all(|t| t.id == a), "only A emits tokens");
+        assert_eq!(first.len(), 2, "A's prefill token plus A's decode token");
         let failed = sched.take_finished();
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].id, b);
         assert!(failed[0].reason.is_error());
         assert!(failed[0].tokens.is_empty());
         assert_eq!(sched.active_len(), 1);
+        assert_eq!(sched.quarantined_total(), 1);
 
         // The backend has recovered; serving completes and the stream holds
         // every one of A's tokens exactly once, in order.
-        let mut streamed = Vec::new();
+        let mut streamed: Vec<u32> = first.iter().map(|t| t.token).collect();
         while !sched.is_idle() {
             for t in sched.step_batch(&ctx).unwrap() {
                 assert_eq!(t.id, a);
@@ -776,6 +937,197 @@ mod tests {
         assert_eq!(done[0].reason, FinishReason::Length);
         assert_eq!(done[0].tokens, streamed);
         assert_eq!(done[0].tokens.len(), 3);
+        // B's slot went back to the pool, not leaked.
+        assert_eq!(sched.slots_allocated(), 2);
+    }
+
+    #[test]
+    fn forward_panic_is_contained_and_survivors_are_bit_exact() {
+        use crate::backend::{BackendBuilder, F32Backend, Linear, LinearBackend};
+        use tmac_quant::QuantizedMatrix;
+
+        // A backend that panics on every multi-row dispatch: each batched
+        // decode unwinds, the per-row isolation probes (n == 1) all pass,
+        // so serving degrades to row-at-a-time forwards with ZERO
+        // quarantined sequences — and every token matches the reference.
+        #[derive(Debug)]
+        struct PanicOnBatch {
+            inner: F32Backend,
+        }
+        impl LinearBackend for PanicOnBatch {
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn cols(&self) -> usize {
+                self.inner.cols()
+            }
+            fn label(&self) -> String {
+                "panic-on-batch".into()
+            }
+            fn packed_bytes(&self) -> usize {
+                self.inner.packed_bytes()
+            }
+            fn forward(
+                &self,
+                act: &[f32],
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                self.inner.forward(act, out, ctx)
+            }
+            fn forward_batch(
+                &self,
+                act: &[f32],
+                n: usize,
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                assert!(n == 1, "injected panic on a {n}-row batch");
+                self.inner.forward_batch(act, n, out, ctx)
+            }
+        }
+        struct PanicBuilder;
+        impl BackendBuilder for PanicBuilder {
+            fn build(&self, qm: &QuantizedMatrix, w: &[f32]) -> Result<Linear, BackendError> {
+                Ok(Linear::from_backend(PanicOnBatch {
+                    inner: F32Backend::new(w, qm.rows, qm.cols)?,
+                }))
+            }
+            fn label(&self) -> String {
+                "panic-on-batch".into()
+            }
+        }
+
+        let ctx = ExecCtx::new(1);
+        let cfg = ModelConfig::tiny();
+        // Reference tokens from the plain f32 backend (same quantized
+        // weights: (cfg, quant, seed) determine them bit-exactly).
+        let mut engine =
+            Engine::new(Model::synthetic(&cfg, WeightQuant::Rtn(4), BackendKind::F32, 3).unwrap());
+        let reference: Vec<Vec<u32>> = [[1u32], [2u32]]
+            .iter()
+            .map(|p| {
+                engine
+                    .generate(&SubmitRequest::greedy(p, 4), &ctx)
+                    .unwrap()
+                    .tokens
+            })
+            .collect();
+
+        let m = Model::synthetic_with(&cfg, WeightQuant::Rtn(4), &PanicBuilder, 3).unwrap();
+        let mut sched = Scheduler::new(m, SchedulerConfig::default());
+        // Single-token prompts keep prefill on the n == 1 path; only the
+        // two-row decode batches panic.
+        let a = sched.submit(SubmitRequest::greedy(&[1], 4)).unwrap();
+        let b = sched.submit(SubmitRequest::greedy(&[2], 4)).unwrap();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(sched.quarantined_total(), 0, "probes exonerate every row");
+        for (id, want) in [(a, &reference[0]), (b, &reference[1])] {
+            let f = done.iter().find(|f| f.id == id).unwrap();
+            assert_eq!(f.reason, FinishReason::Length);
+            assert_eq!(&f.tokens, want, "tokens diverged under panic isolation");
+        }
+    }
+
+    #[test]
+    fn non_finite_logits_quarantine_only_the_poisoned_row() {
+        use crate::backend::{BackendBuilder, F32Backend, Linear, LinearBackend};
+        use tmac_quant::QuantizedMatrix;
+
+        // An lm-head wrapper that poisons row 1's logits with NaN on
+        // multi-row batches: the sampling guard must error-retire exactly
+        // the row-1 sequence and leave row 0 bit-exact.
+        #[derive(Debug)]
+        struct NanHead {
+            inner: F32Backend,
+        }
+        impl LinearBackend for NanHead {
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn cols(&self) -> usize {
+                self.inner.cols()
+            }
+            fn label(&self) -> String {
+                "nan-head".into()
+            }
+            fn packed_bytes(&self) -> usize {
+                self.inner.packed_bytes()
+            }
+            fn forward(
+                &self,
+                act: &[f32],
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                self.inner.forward(act, out, ctx)
+            }
+            fn forward_batch(
+                &self,
+                act: &[f32],
+                n: usize,
+                out: &mut [f32],
+                ctx: &ExecCtx,
+            ) -> Result<(), BackendError> {
+                self.inner.forward_batch(act, n, out, ctx)?;
+                if n > 1 {
+                    out[self.inner.rows()] = f32::NAN;
+                }
+                Ok(())
+            }
+        }
+        struct NanHeadBuilder {
+            vocab: usize,
+        }
+        impl BackendBuilder for NanHeadBuilder {
+            fn build(&self, qm: &QuantizedMatrix, w: &[f32]) -> Result<Linear, BackendError> {
+                let inner = F32Backend::new(w, qm.rows, qm.cols)?;
+                if qm.rows == self.vocab {
+                    Ok(Linear::from_backend(NanHead { inner }))
+                } else {
+                    Ok(Linear::from_backend(inner))
+                }
+            }
+            fn label(&self) -> String {
+                "nan-head".into()
+            }
+        }
+
+        let ctx = ExecCtx::new(1);
+        let cfg = ModelConfig::tiny();
+        let mut engine =
+            Engine::new(Model::synthetic(&cfg, WeightQuant::Rtn(4), BackendKind::F32, 3).unwrap());
+        let solo_a = engine
+            .generate(&SubmitRequest::greedy(&[1], 4), &ctx)
+            .unwrap()
+            .tokens;
+
+        let builder = NanHeadBuilder { vocab: cfg.vocab };
+        let m = Model::synthetic_with(&cfg, WeightQuant::Rtn(4), &builder, 3).unwrap();
+        let mut sched = Scheduler::new(m, SchedulerConfig::default());
+        let a = sched.submit(SubmitRequest::greedy(&[1], 4)).unwrap();
+        let b = sched.submit(SubmitRequest::greedy(&[2], 4)).unwrap();
+        let done = sched.run_to_completion(&ctx).unwrap();
+        assert_eq!(sched.quarantined_total(), 1);
+
+        let fb = done.iter().find(|f| f.id == b).unwrap();
+        assert!(fb.reason.is_error());
+        assert!(
+            fb.reason.to_string().contains("non-finite"),
+            "got {:?}",
+            fb.reason
+        );
+        assert_eq!(
+            fb.tokens.len(),
+            1,
+            "prefill token only (n == 1, unpoisoned)"
+        );
+
+        let fa = done.iter().find(|f| f.id == a).unwrap();
+        assert_eq!(fa.reason, FinishReason::Length);
+        assert_eq!(fa.tokens, solo_a, "survivor diverged after quarantine");
+        assert!(sched.is_idle());
+        assert_eq!(sched.slots_allocated(), 2, "B's slot returned to the pool");
     }
 
     #[test]

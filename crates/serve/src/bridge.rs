@@ -17,13 +17,21 @@
 //! reserves a queue slot against `SchedulerConfig::max_pending` *before*
 //! sending, so a full queue turns into an HTTP 429 without waiting for the
 //! loop.
+//!
+//! The loop thread runs under a **supervisor** ([`SupervisorOpts`]): every
+//! iteration beats a heartbeat ([`BridgeHandle::health`]), and if the
+//! thread ever dies by panic the supervisor errors out the in-flight
+//! requests, resets the scheduler, and respawns the loop with bounded
+//! exponential backoff — after `max_restarts` failures the bridge is
+//! [`HealthState::Dead`] and every client fails fast.
 
 use crate::metrics::Metrics;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
 use tmac_llm::batch::{FinishReason, Scheduler, SeqId, SubmitRequest};
 use tmac_llm::sampling::SamplingParams;
@@ -147,6 +155,87 @@ pub enum SubmitError {
     Stopped,
 }
 
+/// Watchdog policy for the step-loop supervisor.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorOpts {
+    /// Loop-thread restarts allowed after panics before the bridge is
+    /// declared [`HealthState::Dead`].
+    pub max_restarts: u32,
+    /// Sleep before the first restart; doubles per consecutive restart.
+    pub backoff: Duration,
+    /// Heartbeat age past which [`BridgeHandle::health`] reports
+    /// [`HealthState::Stalled`] (the loop beats every iteration, so an
+    /// idle loop still beats roughly every `idle_wait`).
+    pub stall_after: Duration,
+}
+
+impl Default for SupervisorOpts {
+    fn default() -> Self {
+        SupervisorOpts {
+            max_restarts: 3,
+            backoff: Duration::from_millis(100),
+            stall_after: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Step-loop liveness as seen by health probes (`/healthz` maps anything
+/// but `Ok` to 503).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// The loop has beaten recently.
+    Ok,
+    /// No heartbeat for longer than [`SupervisorOpts::stall_after`].
+    Stalled {
+        /// Time since the last heartbeat.
+        age: Duration,
+    },
+    /// The loop exhausted its restart budget (or could not be spawned);
+    /// the server will never serve again.
+    Dead,
+}
+
+/// The heartbeat/liveness channel between the step loop, the supervisor,
+/// and health probes.
+struct Health {
+    /// Heartbeat origin (micros below are measured from here).
+    start: Instant,
+    /// Micros since `start` at the last loop iteration.
+    beat_us: AtomicU64,
+    /// Set by the supervisor when the restart budget is spent.
+    dead: AtomicBool,
+    stall_after: Duration,
+}
+
+impl Health {
+    fn new(stall_after: Duration) -> Self {
+        Health {
+            start: Instant::now(),
+            beat_us: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            stall_after,
+        }
+    }
+
+    fn beat(&self) {
+        self.beat_us
+            .store(self.start.elapsed().as_micros() as u64, Ordering::Release);
+    }
+
+    fn state(&self) -> HealthState {
+        if self.dead.load(Ordering::Acquire) {
+            return HealthState::Dead;
+        }
+        let beat = Duration::from_micros(self.beat_us.load(Ordering::Acquire));
+        let age = self.start.elapsed().saturating_sub(beat);
+        if age > self.stall_after {
+            HealthState::Stalled { age }
+        } else {
+            HealthState::Ok
+        }
+    }
+}
+
 /// Cloneable handle connections use to reach the step loop.
 #[derive(Clone)]
 pub struct BridgeHandle {
@@ -155,6 +244,7 @@ pub struct BridgeHandle {
     max_pending: usize,
     draining: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
+    health: Arc<Health>,
     /// Serving-wide metrics (shared with the HTTP layer).
     pub metrics: Arc<Metrics>,
     /// Model facts the HTTP layer validates against.
@@ -184,6 +274,9 @@ impl BridgeHandle {
     /// after [`BridgeHandle::drain`], [`SubmitError::Stopped`] once the
     /// loop has exited.
     pub fn try_submit(&self, sub: Submission) -> Result<(), SubmitError> {
+        if self.health.dead.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
         if self.draining.load(Ordering::Acquire) || self.stop.load(Ordering::Acquire) {
             return Err(SubmitError::Draining);
         }
@@ -225,6 +318,14 @@ impl BridgeHandle {
     pub fn abort(&self) {
         self.stop.store(true, Ordering::Release);
     }
+
+    /// Step-loop liveness for health probes: [`HealthState::Ok`] while
+    /// the loop beats, [`HealthState::Stalled`] past
+    /// [`SupervisorOpts::stall_after`], [`HealthState::Dead`] once the
+    /// supervisor gave up restarting it.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
 }
 
 /// In-flight bookkeeping for one sequence.
@@ -239,8 +340,21 @@ struct Tracked {
     queued_counted: bool,
 }
 
-/// Spawns the step-loop thread over `sched` and returns the connection
-/// handle plus the loop's join handle.
+/// Everything the step loop owns, parked behind a mutex so the
+/// supervisor can reclaim it after a panic. The loop thread takes the
+/// lock once for its whole lifetime (zero per-iteration cost); the
+/// supervisor only touches it between loop-thread incarnations.
+struct LoopCore {
+    sched: Scheduler,
+    ctx: ExecCtx,
+    rx: Receiver<Submission>,
+    tracked: HashMap<u64, Tracked>,
+    channel_open: bool,
+}
+
+/// Spawns the supervised step loop over `sched` with default
+/// [`SupervisorOpts`] and returns the connection handle plus the
+/// supervisor's join handle.
 ///
 /// `idle_wait` bounds how long the loop sleeps when there is no work (and
 /// therefore how late a drain/shutdown is noticed at idle).
@@ -249,6 +363,17 @@ pub fn start(
     ctx: ExecCtx,
     metrics: Arc<Metrics>,
     idle_wait: Duration,
+) -> (BridgeHandle, std::thread::JoinHandle<()>) {
+    start_with(sched, ctx, metrics, idle_wait, SupervisorOpts::default())
+}
+
+/// [`start`] with an explicit watchdog policy.
+pub fn start_with(
+    sched: Scheduler,
+    ctx: ExecCtx,
+    metrics: Arc<Metrics>,
+    idle_wait: Duration,
+    opts: SupervisorOpts,
 ) -> (BridgeHandle, std::thread::JoinHandle<()>) {
     let (tx, rx) = std::sync::mpsc::channel::<Submission>();
     let cfg = *sched.config();
@@ -264,46 +389,148 @@ pub fn start(
         max_pending: cfg.max_pending,
         draining: Arc::new(AtomicBool::new(false)),
         stop: Arc::new(AtomicBool::new(false)),
+        health: Arc::new(Health::new(opts.stall_after)),
         metrics: Arc::clone(&metrics),
         info,
     };
     metrics.kv_slots_total.set(cfg.max_batch as u64);
-    let loop_handle = handle.clone();
+    handle.health.beat();
+    metrics.mark_heartbeat();
+    let core = Arc::new(Mutex::new(LoopCore {
+        sched,
+        ctx,
+        rx,
+        tracked: HashMap::new(),
+        channel_open: true,
+    }));
+    let sup_handle = handle.clone();
     let join = std::thread::Builder::new()
-        .name("tmac-step-loop".into())
-        .spawn(move || step_loop(sched, ctx, rx, loop_handle, idle_wait))
-        .expect("spawn step loop");
+        .name("tmac-supervisor".into())
+        .spawn(move || supervise(core, sup_handle, idle_wait, opts))
+        // Not reachable from network input: thread creation at server
+        // startup only fails on resource exhaustion, where dying loudly
+        // beats serving without a step loop.
+        .expect("spawn step-loop supervisor");
     (handle, join)
 }
 
-fn step_loop(
-    mut sched: Scheduler,
-    ctx: ExecCtx,
-    rx: Receiver<Submission>,
+/// The watchdog: runs the step loop in a named thread, and when that
+/// thread dies by panic — something escaped the scheduler's in-step
+/// quarantine — scrubs the in-flight state (every tracked request gets a
+/// terminal error event, the scheduler is reset, gauges are corrected)
+/// and respawns it after an exponential backoff, at most
+/// [`SupervisorOpts::max_restarts`] times. A clean loop exit (drain or
+/// abort) ends supervision; an exhausted restart budget marks the bridge
+/// [`HealthState::Dead`] and drops the submission channel so every
+/// waiting or future client fails fast instead of hanging.
+fn supervise(
+    core: Arc<Mutex<LoopCore>>,
     h: BridgeHandle,
     idle_wait: Duration,
+    opts: SupervisorOpts,
 ) {
-    let mut tracked: HashMap<u64, Tracked> = HashMap::new();
-    let mut channel_open = true;
+    let mut restarts = 0u32;
     loop {
+        let loop_core = Arc::clone(&core);
+        let loop_h = h.clone();
+        let spawned = std::thread::Builder::new()
+            .name("tmac-step-loop".into())
+            .spawn(move || {
+                // Hold the core for the thread's whole life; a panic poisons
+                // the mutex, which the supervisor clears on reclaim.
+                let mut guard = loop_core.lock().unwrap_or_else(|p| p.into_inner());
+                step_loop(&mut guard, &loop_h, idle_wait);
+            });
+        let join = match spawned {
+            Ok(j) => j,
+            Err(_) => {
+                h.health.dead.store(true, Ordering::Release);
+                let mut guard = core.lock().unwrap_or_else(|p| p.into_inner());
+                scrub_after_panic(&mut guard, &h);
+                return;
+            }
+        };
+        match join.join() {
+            // Clean exit: drain finished or abort completed.
+            Ok(()) => return,
+            Err(_) => {
+                restarts += 1;
+                h.metrics.step_loop_restarts.inc();
+                {
+                    let mut guard = core.lock().unwrap_or_else(|p| p.into_inner());
+                    scrub_after_panic(&mut guard, &h);
+                }
+                if restarts > opts.max_restarts {
+                    h.health.dead.store(true, Ordering::Release);
+                    // Dropping `core` drops the channel receiver: buffered
+                    // submissions vanish, their sinks close, and handlers
+                    // turn the disconnect into a 503.
+                    return;
+                }
+                std::thread::sleep(opts.backoff * 2u32.saturating_pow(restarts - 1));
+                // Don't let the backoff itself read as a stall.
+                h.health.beat();
+            }
+        }
+    }
+}
+
+/// Post-panic cleanup, run by the supervisor while no loop thread exists:
+/// tracked requests (already inside the scheduler when it died) get a
+/// terminal error event — their partial tokens died with the loop — and
+/// the scheduler drops every sequence. Submissions still buffered in the
+/// channel are untouched: the next incarnation serves them normally.
+fn scrub_after_panic(core: &mut LoopCore, h: &BridgeHandle) {
+    for (_, t) in core.tracked.drain() {
+        if t.queued_counted {
+            h.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+        h.metrics.finished_error.inc();
+        h.metrics
+            .request_latency
+            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+        t.sink.send(SeqEvent::Done {
+            tokens: Vec::new(),
+            reason: EndReason::Error("step loop restarted after a panic".into()),
+        });
+    }
+    core.sched.reset();
+    h.metrics
+        .queue_depth
+        .set(h.queued.load(Ordering::Relaxed) as u64);
+    h.metrics.active_seqs.set(0);
+    h.metrics.kv_slots_used.set(0);
+    h.metrics.quarantined.set(core.sched.quarantined_total());
+}
+
+fn step_loop(core: &mut LoopCore, h: &BridgeHandle, idle_wait: Duration) {
+    loop {
+        h.health.beat();
+        h.metrics.mark_heartbeat();
+        // Deliberately un-quarantined: an armed `bridge/loop=panic` kills
+        // the loop thread itself, exercising the supervisor (and, in CI,
+        // proving the chaos harness trips when containment is absent).
+        if failpoint::fire("bridge/loop") == Some(FailAction::Panic) {
+            panic!("injected failpoint bridge/loop");
+        }
         if h.stop.load(Ordering::Acquire) {
             // Abort: cancel everything in flight so every connection gets a
             // terminal event instead of a hang.
-            let ids: Vec<u64> = tracked.keys().copied().collect();
+            let ids: Vec<u64> = core.tracked.keys().copied().collect();
             for id in ids {
-                sched.cancel(SeqId(id));
+                core.sched.cancel(SeqId(id));
             }
-            route_finished(&mut sched, &mut tracked, &h);
+            route_finished(&mut core.sched, &mut core.tracked, h);
             return;
         }
 
         // 1. Intake: drain the submission channel into the scheduler.
         loop {
-            match rx.try_recv() {
-                Ok(sub) => intake(&mut sched, &mut tracked, &h, sub),
+            match core.rx.try_recv() {
+                Ok(sub) => intake(&mut core.sched, &mut core.tracked, h, sub),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
-                    channel_open = false;
+                    core.channel_open = false;
                     break;
                 }
             }
@@ -311,7 +538,8 @@ fn step_loop(
 
         // 2. Cancellation and deadlines.
         let now = Instant::now();
-        let expired: Vec<(u64, bool)> = tracked
+        let expired: Vec<(u64, bool)> = core
+            .tracked
             .iter()
             .filter_map(|(&id, t)| {
                 if t.cancel.load(Ordering::Acquire) {
@@ -324,40 +552,40 @@ fn step_loop(
             })
             .collect();
         for (id, was_deadline) in expired {
-            if sched.cancel(SeqId(id)) {
-                if let Some(t) = tracked.get_mut(&id) {
+            if core.sched.cancel(SeqId(id)) {
+                if let Some(t) = core.tracked.get_mut(&id) {
                     t.deadline_hit = was_deadline;
                 }
             }
         }
-        route_finished(&mut sched, &mut tracked, &h);
+        route_finished(&mut core.sched, &mut core.tracked, h);
 
         // 3. One serving step.
-        if !sched.is_idle() {
-            match sched.step_batch(&ctx) {
+        if !core.sched.is_idle() {
+            match core.sched.step_batch(&core.ctx) {
                 Ok(tokens) => {
                     for st in tokens {
-                        route_token(&mut tracked, &h, st.id, st.token);
+                        route_token(&mut core.tracked, h, st.id, st.token);
                     }
                 }
                 Err(_) => {
-                    // Failed admissions retired themselves into the
-                    // finished list (routed below); a failed decode left
-                    // every sequence in place and the next iteration
-                    // retries it.
+                    // Per-sequence faults were quarantined inside
+                    // step_batch (routed below as finished errors); the
+                    // only Err left is an injected step-level fault, which
+                    // emitted nothing — the next iteration retries.
                 }
             }
-            route_finished(&mut sched, &mut tracked, &h);
-        } else if h.draining.load(Ordering::Acquire) || !channel_open {
+            route_finished(&mut core.sched, &mut core.tracked, h);
+        } else if h.draining.load(Ordering::Acquire) || !core.channel_open {
             // Idle + no new work possible → exit (graceful drain complete).
             return;
         } else {
             // Idle: sleep until the next submission (or a drain/stop nudge
             // at worst `idle_wait` late).
-            match rx.recv_timeout(idle_wait) {
-                Ok(sub) => intake(&mut sched, &mut tracked, &h, sub),
+            match core.rx.recv_timeout(idle_wait) {
+                Ok(sub) => intake(&mut core.sched, &mut core.tracked, h, sub),
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => channel_open = false,
+                Err(RecvTimeoutError::Disconnected) => core.channel_open = false,
             }
         }
 
@@ -365,8 +593,9 @@ fn step_loop(
         h.metrics
             .queue_depth
             .set(h.queued.load(Ordering::Relaxed) as u64);
-        h.metrics.active_seqs.set(sched.active_len() as u64);
-        h.metrics.kv_slots_used.set(sched.active_len() as u64);
+        h.metrics.active_seqs.set(core.sched.active_len() as u64);
+        h.metrics.kv_slots_used.set(core.sched.active_len() as u64);
+        h.metrics.quarantined.set(core.sched.quarantined_total());
     }
 }
 
@@ -668,6 +897,32 @@ mod tests {
         // After exit, submission fails as stopped/draining, not panic.
         let (sub3, _rx3) = submission(&[5], 2);
         assert!(h.try_submit(sub3).is_err());
+    }
+
+    #[test]
+    fn health_is_ok_and_heartbeat_advances_while_serving() {
+        let metrics = Arc::new(Metrics::new());
+        let (h, join) = start(
+            sched(1, 8),
+            ExecCtx::new(1),
+            Arc::clone(&metrics),
+            Duration::from_millis(5),
+        );
+        assert_eq!(h.health(), HealthState::Ok, "fresh bridge must be live");
+        let beat0 = metrics.heartbeat_us.get();
+        let (sub, rx) = submission(&[1, 2], 6);
+        h.try_submit(sub).unwrap();
+        let (_, tokens, reason) = collect_done(&rx);
+        assert_eq!(reason, EndReason::Length);
+        assert_eq!(tokens.len(), 6);
+        assert_eq!(h.health(), HealthState::Ok);
+        assert!(
+            metrics.heartbeat_us.get() > beat0,
+            "serving iterations must advance the heartbeat"
+        );
+        assert_eq!(metrics.step_loop_restarts.get(), 0);
+        h.drain();
+        join.join().unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 #![cfg(target_os = "linux")]
 
-use crate::bridge::{SeqEvent, WakeFn};
+use crate::bridge::{EndReason, SeqEvent, WakeFn};
 use crate::http;
 use crate::poll::{Event, Interest, Poller};
 use crate::server::{
@@ -26,6 +26,7 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+use tmac_core::failpoint::{self, FailAction};
 
 /// Pending response bytes beyond which a consumer is too slow to keep.
 const WRITE_CAP: usize = 4 * 1024 * 1024;
@@ -71,9 +72,10 @@ impl Conn {
 
 /// Runs the event loop until stop, or drain completes.
 pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, poller: Poller) {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking listener");
+    // The listener was made non-blocking by `server::start` before this
+    // thread was spawned. Registering a fresh fd with a fresh epoll
+    // instance only fails on fd/memory exhaustion at startup, before any
+    // request is accepted — failing fast there beats serving blind.
     poller
         .add(listener.as_raw_fd(), LISTEN_TOKEN, Interest::READ)
         .expect("register listener");
@@ -203,6 +205,10 @@ fn accept_ready(
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if failpoint::fire("serve/accept") == Some(FailAction::Error) {
+                    drop(stream); // injected accept failure: client sees RST
+                    continue;
+                }
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -238,7 +244,19 @@ fn read_ready(c: &mut Conn, shared: &Shared) {
     let hard_cap = shared.cfg.limits.max_head + shared.cfg.limits.max_body + 4;
     loop {
         let mut tmp = [0u8; 8192];
-        match c.stream.read(&mut tmp) {
+        let read = match failpoint::fire("serve/read") {
+            Some(FailAction::Error) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected read error",
+            )),
+            Some(FailAction::Again) => Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "injected eagain",
+            )),
+            Some(FailAction::Short) => c.stream.read(&mut tmp[..1]),
+            _ => c.stream.read(&mut tmp),
+        };
+        match read {
             Ok(0) => {
                 c.gone = true;
                 return;
@@ -348,6 +366,15 @@ fn pump_completion(c: &mut Conn, shared: &Shared) -> bool {
                     return false;
                 }
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    // Step loop gone: terminal error frame so the SSE
+                    // client can tell a fault from a finished stream.
+                    let bytes = stream_tail(
+                        shared,
+                        &pc,
+                        &[],
+                        &EndReason::Error("step loop exited".into()),
+                    );
+                    c.push(&bytes);
                     c.keep = false;
                     return false;
                 }
@@ -358,6 +385,24 @@ fn pump_completion(c: &mut Conn, shared: &Shared) -> bool {
 
 fn flush(c: &mut Conn) {
     while c.out_pos < c.out.len() {
+        match failpoint::fire("serve/write") {
+            // One byte of progress, then the peer "vanishes".
+            Some(FailAction::Short) => {
+                if let Ok(n) = c.stream.write(&c.out[c.out_pos..c.out_pos + 1]) {
+                    c.out_pos += n;
+                }
+                c.gone = true;
+                break;
+            }
+            Some(FailAction::Error) => {
+                c.gone = true;
+                break;
+            }
+            // EAGAIN storm: stop flushing this pass, retry on the next
+            // writable event (output stays buffered, capped by WRITE_CAP).
+            Some(FailAction::Again) => break,
+            _ => {}
+        }
         match c.stream.write(&c.out[c.out_pos..]) {
             Ok(0) => {
                 c.gone = true;

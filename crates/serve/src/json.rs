@@ -276,6 +276,9 @@ impl<'a> Parser<'a> {
         {
             self.i += 1;
         }
+        // Unreachable panic: the loop above only consumed ASCII bytes
+        // (digits, sign, dot, exponent), so the slice is valid UTF-8 no
+        // matter what the client sent.
         let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii slice");
         // Reject forms f64::parse accepts but JSON does not.
         if text.is_empty()
@@ -342,7 +345,12 @@ impl<'a> Parser<'a> {
                 }
                 Some(&c) if c < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    // Consume one UTF-8 scalar. Unreachable panics even on
+                    // hostile input: the parser's input is `&str` (already
+                    // valid UTF-8) and every advance of `i` is by a whole
+                    // ASCII byte or `len_utf8()`, so `i` is always on a
+                    // char boundary; `get(self.i)` returned `Some`, so the
+                    // tail is non-empty.
                     let rest = std::str::from_utf8(&self.b[self.i..]).expect("valid utf8 input");
                     let c = rest.chars().next().expect("non-empty");
                     s.push(c);

@@ -27,6 +27,10 @@
 //!   flag; the step loop frees the KV slot on its next iteration.
 //! * **Graceful drain** — `ServerHandle::drain` stops accepting, lets
 //!   in-flight sequences finish, then the step loop and drivers exit.
+//! * **Supervision** — a watchdog thread respawns the step loop after a
+//!   panic (bounded restarts with exponential backoff); `GET /healthz`
+//!   degrades to 503 when the loop stalls or dies. See
+//!   [`bridge::SupervisorOpts`].
 //!
 //! ```no_run
 //! use tmac_llm::batch::{Scheduler, SchedulerConfig};
@@ -60,7 +64,7 @@ pub mod metrics;
 pub mod poll;
 pub mod server;
 
-pub use bridge::{BridgeHandle, EndReason, SeqEvent, SubmitError};
+pub use bridge::{BridgeHandle, EndReason, HealthState, SeqEvent, SubmitError, SupervisorOpts};
 pub use http::Limits;
 pub use json::Json;
 pub use metrics::Metrics;

@@ -138,6 +138,15 @@ pub struct Metrics {
     pub kv_slots_total: Gauge,
     /// Open client connections.
     pub connections: Gauge,
+    /// Step-loop restarts performed by the bridge supervisor (each one
+    /// means a panic escaped the scheduler's quarantine).
+    pub step_loop_restarts: Counter,
+    /// Sequences error-retired by the scheduler's fault quarantine
+    /// (mirror of `Scheduler::quarantined_total`, refreshed per step).
+    pub quarantined: Gauge,
+    /// Micros since `start` at the step loop's last heartbeat; rendered
+    /// as `tmac_last_step_age_seconds` (uptime minus this).
+    pub heartbeat_us: Gauge,
     /// Time from admission request to first token (prefill + queueing).
     pub ttft: LatencyAgg,
     /// Time from admission request to completion.
@@ -168,9 +177,54 @@ impl Metrics {
             kv_slots_used: Gauge::default(),
             kv_slots_total: Gauge::default(),
             connections: Gauge::default(),
+            step_loop_restarts: Counter::default(),
+            quarantined: Gauge::default(),
+            heartbeat_us: Gauge::default(),
             ttft: LatencyAgg::default(),
             request_latency: LatencyAgg::default(),
         }
+    }
+
+    /// Stamps the step-loop heartbeat at "now" on the uptime clock.
+    pub fn mark_heartbeat(&self) {
+        self.heartbeat_us
+            .set(self.start.elapsed().as_micros() as u64);
+    }
+
+    /// Seconds since the step loop's last heartbeat.
+    pub fn last_step_age_seconds(&self) -> f64 {
+        (self.start.elapsed().as_secs_f64() - self.heartbeat_us.get() as f64 / 1e6).max(0.0)
+    }
+
+    /// Internal-consistency check over a quiesced snapshot: every
+    /// completions request must have produced exactly one response, and
+    /// in-flight gauges must have drained to zero. Only meaningful once
+    /// all connections are closed (mid-flight requests legitimately break
+    /// the equality). Returns the violations found (empty == consistent).
+    pub fn consistency_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let responses =
+            self.resp_2xx.get() + self.resp_4xx.get() + self.resp_429.get() + self.resp_5xx.get();
+        let requests = self.req_completions.get()
+            + self.req_metrics.get()
+            + self.req_healthz.get()
+            + self.req_other.get();
+        if responses != requests {
+            v.push(format!(
+                "responses by class ({responses}) != requests received ({requests})"
+            ));
+        }
+        for (name, g) in [
+            ("queue_depth", &self.queue_depth),
+            ("active_seqs", &self.active_seqs),
+            ("kv_slots_used", &self.kv_slots_used),
+            ("connections", &self.connections),
+        ] {
+            if g.get() != 0 {
+                v.push(format!("gauge {name} = {} after quiesce", g.get()));
+            }
+        }
+        v
     }
 
     /// Counts a response status into its class counter.
@@ -259,6 +313,12 @@ impl Metrics {
         line("tmac_kv_slots_used", self.kv_slots_used.get() as f64);
         line("tmac_kv_slots_total", self.kv_slots_total.get() as f64);
         line("tmac_connections_open", self.connections.get() as f64);
+        line(
+            "tmac_step_loop_restarts_total",
+            self.step_loop_restarts.get() as f64,
+        );
+        line("tmac_quarantined_total", self.quarantined.get() as f64);
+        line("tmac_last_step_age_seconds", self.last_step_age_seconds());
         line("tmac_ttft_ms_avg", ttft_avg);
         line("tmac_ttft_ms_max", ttft_max);
         line("tmac_ttft_observations", ttft_n as f64);
@@ -308,5 +368,40 @@ mod tests {
             let (_, v) = l.rsplit_once(' ').unwrap();
             v.parse::<f64>().unwrap();
         }
+    }
+
+    #[test]
+    fn supervision_metrics_render_and_age_follows_heartbeat() {
+        let m = Metrics::new();
+        m.step_loop_restarts.inc();
+        m.quarantined.set(3);
+        m.mark_heartbeat();
+        let text = m.render();
+        for key in [
+            "tmac_step_loop_restarts_total 1",
+            "tmac_quarantined_total 3",
+            "tmac_last_step_age_seconds",
+        ] {
+            assert!(text.contains(key), "missing {key:?} in:\n{text}");
+        }
+        assert!(
+            m.last_step_age_seconds() < 1.0,
+            "age must be ~0 right after a heartbeat"
+        );
+    }
+
+    #[test]
+    fn consistency_violations_flag_imbalance_and_stuck_gauges() {
+        let m = Metrics::new();
+        assert!(m.consistency_violations().is_empty(), "fresh is consistent");
+        m.req_completions.inc();
+        m.queue_depth.set(2);
+        let v = m.consistency_violations();
+        assert_eq!(v.len(), 2, "got {v:?}");
+        assert!(v[0].contains("responses by class"));
+        assert!(v[1].contains("queue_depth"));
+        m.count_status(200);
+        m.queue_depth.set(0);
+        assert!(m.consistency_violations().is_empty());
     }
 }

@@ -14,7 +14,10 @@
 //! sequence when the client goes away, and stop accepting during a
 //! graceful drain while in-flight requests run to completion.
 
-use crate::bridge::{self, BridgeHandle, EndReason, SeqEvent, Submission, SubmitError, TokenSink};
+use crate::bridge::{
+    self, BridgeHandle, EndReason, HealthState, SeqEvent, Submission, SubmitError, SupervisorOpts,
+    TokenSink,
+};
 use crate::http::{self, HttpError, Limits, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -24,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
 use tmac_llm::batch::Scheduler;
 use tmac_llm::sampling::SamplingParams;
@@ -70,6 +74,8 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Idle connection reaper threshold.
     pub idle_conn_timeout: Duration,
+    /// Step-loop watchdog policy (restart budget, backoff, stall age).
+    pub supervisor: SupervisorOpts,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +87,7 @@ impl Default for ServerConfig {
             default_max_tokens: 16,
             default_deadline_ms: 0,
             idle_conn_timeout: Duration::from_secs(10),
+            supervisor: SupervisorOpts::default(),
         }
     }
 }
@@ -143,7 +150,18 @@ pub(crate) fn handle_request(
             if shared.is_draining() {
                 Outcome::Respond(Response::text(503, "draining\n"))
             } else {
-                Outcome::Respond(Response::text(200, "ok\n"))
+                // The watchdog verdict: a stalled or dead step loop turns
+                // the probe into a 503 so orchestrators stop routing here.
+                match shared.bridge.health() {
+                    HealthState::Ok => Outcome::Respond(Response::text(200, "ok\n")),
+                    HealthState::Stalled { age } => Outcome::Respond(Response::text(
+                        503,
+                        &format!("stalled: no step for {:.3}s\n", age.as_secs_f64()),
+                    )),
+                    HealthState::Dead => {
+                        Outcome::Respond(Response::text(503, "dead: step loop not running\n"))
+                    }
+                }
             }
         }
         ("GET", "/metrics") => {
@@ -614,10 +632,18 @@ impl ServerHandle {
 /// I/O errors from binding the listener or creating the poller.
 pub fn start(sched: Scheduler, ctx: ExecCtx, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let metrics = Arc::new(Metrics::new());
-    let (bridge, step_join) =
-        bridge::start(sched, ctx, Arc::clone(&metrics), Duration::from_millis(10));
+    let (bridge, step_join) = bridge::start_with(
+        sched,
+        ctx,
+        Arc::clone(&metrics),
+        Duration::from_millis(10),
+        cfg.supervisor,
+    );
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    // Both drivers poll a non-blocking listener; failing here (instead of
+    // inside the driver thread) propagates a real io::Error to the caller.
+    listener.set_nonblocking(true)?;
     let mode = cfg.mode.resolve();
     let shared = Arc::new(Shared {
         cfg,
@@ -664,15 +690,19 @@ pub fn start(sched: Scheduler, ctx: ExecCtx, cfg: ServerConfig) -> io::Result<Se
 // ---------------------------------------------------------------------------
 
 fn accept_loop_threads(listener: TcpListener, shared: Arc<Shared>) {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking listener");
+    // The listener was made non-blocking by `start` before spawning us.
     loop {
         if shared.is_stopped() || shared.is_draining() {
             return; // dropping the listener closes it
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // Chaos: an armed `serve/accept=error` hangs up on the
+                // client right after the TCP handshake.
+                if failpoint::fire("serve/accept") == Some(FailAction::Error) {
+                    drop(stream);
+                    continue;
+                }
                 let s = Arc::clone(&shared);
                 s.metrics.connections.inc();
                 let _ = std::thread::Builder::new()
@@ -688,6 +718,32 @@ fn accept_loop_threads(listener: TcpListener, shared: Arc<Shared>) {
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }
+}
+
+/// `write_all` through the `serve/write` failpoint: `Short` tears the
+/// response after one byte, `Again`/`Error` fail outright — either way
+/// the caller treats the client as gone (cancel + close), which is
+/// exactly what a real mid-write disconnect produces.
+fn write_all_fp(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+    match failpoint::fire("serve/write") {
+        Some(FailAction::Short) => {
+            if !bytes.is_empty() {
+                let _ = stream.write_all(&bytes[..1]);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected short write",
+            ));
+        }
+        Some(FailAction::Error) | Some(FailAction::Again) => {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected write error",
+            ));
+        }
+        _ => {}
+    }
+    stream.write_all(bytes)
 }
 
 /// Drains whatever the client already sent (bounded) so closing sends a
@@ -748,7 +804,20 @@ fn serve_conn_blocking(mut stream: TcpStream, shared: &Shared) {
             return;
         }
         let mut tmp = [0u8; 4096];
-        match stream.read(&mut tmp) {
+        // `serve/read` chaos: Error drops the connection, Again turns the
+        // read into a timeout tick, Short delivers a single byte.
+        let read = match failpoint::fire("serve/read") {
+            Some(FailAction::Error) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected read error",
+            )),
+            Some(FailAction::Again) => {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "injected eagain"))
+            }
+            Some(FailAction::Short) => stream.read(&mut tmp[..1]),
+            _ => stream.read(&mut tmp),
+        };
+        match read {
             Ok(0) => return,
             Ok(n) => {
                 buf.extend_from_slice(&tmp[..n]);
@@ -779,11 +848,11 @@ fn serve_one_blocking(stream: &mut TcpStream, shared: &Shared, req: &Request, ke
     match handle_request(shared, req, None) {
         Outcome::Respond(resp) => {
             shared.metrics.count_status(resp.status);
-            stream.write_all(&resp.encode(keep)).is_ok() && keep
+            write_all_fp(stream, &resp.encode(keep)).is_ok() && keep
         }
         Outcome::Completion(pc) if pc.stream => {
             shared.metrics.count_status(200);
-            if stream.write_all(http::sse_head()).is_err() {
+            if write_all_fp(stream, http::sse_head()).is_err() {
                 pc.cancel.store(true, Ordering::Release);
                 return false;
             }
@@ -796,7 +865,7 @@ fn serve_one_blocking(stream: &mut TcpStream, shared: &Shared, req: &Request, ke
             };
             let resp = completion_response(shared, &pc, &tokens, &reason);
             shared.metrics.count_status(resp.status);
-            stream.write_all(&resp.encode(keep)).is_ok() && keep
+            write_all_fp(stream, &resp.encode(keep)).is_ok() && keep
         }
     }
 }
@@ -818,7 +887,12 @@ fn wait_done_blocking(stream: &TcpStream, pc: &PendingCompletion) -> Option<(Vec
                     abandoned = true; // keep waiting for Done so the slot is freed
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return None,
+            // The step loop died beyond recovery (sink dropped): surface a
+            // terminal error instead of silently closing the connection.
+            Err(RecvTimeoutError::Disconnected) => {
+                return (!abandoned)
+                    .then(|| (Vec::new(), EndReason::Error("step loop exited".into())));
+            }
         }
     }
 }
@@ -832,7 +906,7 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
                 if abandoned {
                     continue;
                 }
-                if stream.write_all(&stream_chunk(shared, pc, t)).is_err() {
+                if write_all_fp(stream, &stream_chunk(shared, pc, t)).is_err() {
                     pc.cancel.store(true, Ordering::Release);
                     abandoned = true;
                 } else {
@@ -842,7 +916,7 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
             Ok(SeqEvent::Done { tokens, reason }) => {
                 let _ = sent;
                 if !abandoned {
-                    let _ = stream.write_all(&stream_tail(shared, pc, &tokens, &reason));
+                    let _ = write_all_fp(stream, &stream_tail(shared, pc, &tokens, &reason));
                 }
                 return;
             }
@@ -852,7 +926,20 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
                     abandoned = true;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Step loop gone: give the SSE client a terminal error
+                // frame so it can tell a fault from a finished stream.
+                if !abandoned {
+                    let tail = stream_tail(
+                        shared,
+                        pc,
+                        &[],
+                        &EndReason::Error("step loop exited".into()),
+                    );
+                    let _ = write_all_fp(stream, &tail);
+                }
+                return;
+            }
         }
     }
 }

@@ -725,3 +725,54 @@ fn seeded_sampling_is_reproducible_and_matches_direct_over_http() {
     assert_eq!(tokens, vec![42; 4]);
     server.shutdown();
 }
+
+#[test]
+fn metrics_stay_consistent_and_health_ok_after_mixed_traffic() {
+    // After a burst of mixed traffic (success, SSE, 404s, a shed-free mix)
+    // fully drains, the metrics snapshot must balance: every request
+    // counted got exactly one response counted, and every gauge is back to
+    // zero. This is the same invariant the chaos harness asserts after a
+    // fault storm — here it gates the happy path in the tier-1 suite.
+    for mode in both_modes() {
+        let server = start_server(2, 16, mode);
+        let addr = server.addr();
+        let metrics = server.metrics();
+
+        let clients: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let prompt = vec![(i as u32) + 1, 7];
+                    if i % 2 == 0 {
+                        stream_completion(addr, &prompt, 4);
+                    } else {
+                        let (status, _) = post_completion(addr, &prompt_json(&prompt, 4, false));
+                        assert_eq!(status, 200);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let (status, _, _) = http_request(addr, "GET", "/no/such/path", "");
+        assert_eq!(status, 404);
+        let (status, _, body) = http_request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200, "{body}");
+
+        // Quiesce: all client sockets above are closed (Connection: close)
+        // and the step loop refreshes the scheduler gauges on its next
+        // tick, so poll until every gauge reads zero.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline
+            && (metrics.connections.get() > 0
+                || metrics.active_seqs.get() > 0
+                || metrics.queue_depth.get() > 0
+                || metrics.kv_slots_used.get() > 0)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let violations = metrics.consistency_violations();
+        assert!(violations.is_empty(), "{mode:?}: {violations:?}");
+        server.shutdown();
+    }
+}
