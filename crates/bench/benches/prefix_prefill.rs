@@ -1,0 +1,190 @@
+//! Shared-prefix prefill: N requests reusing a common system prompt
+//! through the radix prompt cache versus N private (cache-opted-out)
+//! prefills, at N = 2 / 8 / 16.
+//!
+//! Each request is the shared prefix plus a short distinct tail; with the
+//! cache warm, the scheduler skips the prefix's prefill entirely and only
+//! forwards the tail, so the burst should complete in roughly 1/N the
+//! unshared wall clock while holding strictly fewer KV pages than N dense
+//! sequences. Both sides decode through the same paged cache, and the
+//! bench asserts the shared burst's tokens are bit-exact vs the private
+//! one before reporting any number.
+//!
+//! Environment:
+//! * `TMAC_BENCH_QUICK=1` — smaller model and fewer repeats (CI smoke).
+//! * `TMAC_PERF_OUT=path.json` — merge-write `prefix_prefill_speedup` and
+//!   `kv_bytes_ratio` (both at N = 8) for the `perf-smoke` CI gate.
+//! * `TMAC_BENCH_THREADS=n` — thread-pool size (default 1).
+
+use std::time::Instant;
+use tmac_core::ExecCtx;
+use tmac_llm::batch::{Scheduler, SchedulerConfig, SubmitRequest};
+use tmac_llm::{BackendKind, KvPrecision, Model, ModelConfig, WeightQuant, PAGE_POSITIONS};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The shared system prompt spans four KV pages, so the cached path skips
+/// a multi-page prefill rather than a trivial one.
+const PREFIX_LEN: usize = 4 * PAGE_POSITIONS;
+
+fn bench_cfg(quick: bool) -> ModelConfig {
+    if quick {
+        ModelConfig {
+            name: "prefix-quick".into(),
+            dim: 1024,
+            n_layers: 1,
+            n_heads: 8,
+            n_kv_heads: 8,
+            ffn_dim: 2816,
+            vocab: 64,
+            seq_max: PREFIX_LEN + 2 * PAGE_POSITIONS,
+            rope_theta: 10000.0,
+            kv_precision: KvPrecision::F32,
+        }
+    } else {
+        ModelConfig::llama2_7b().scaled(1, 64, PREFIX_LEN + 2 * PAGE_POSITIONS)
+    }
+}
+
+fn prompts_for(n: usize, vocab: usize) -> Vec<Vec<u32>> {
+    let prefix: Vec<u32> = (0..PREFIX_LEN as u32)
+        .map(|i| (i * 7 + 3) % vocab as u32)
+        .collect();
+    (0..n as u32)
+        .map(|i| {
+            let mut p = prefix.clone();
+            p.extend_from_slice(&[(i * 5 + 2) % vocab as u32, (i * 11 + 1) % vocab as u32]);
+            p
+        })
+        .collect()
+}
+
+/// Decode length per request: long enough that every sequence in a burst
+/// stays active until all have prefilled, so the dense side's measured
+/// arena really is N concurrent slots (a `max_new` of 1 would retire each
+/// sequence at its own prefill, hiding the dense footprint).
+const N_NEW: usize = 8;
+
+/// Submits every prompt and runs the batch to completion, returning each
+/// request's tokens in prompt order.
+fn run_burst(
+    sched: &mut Scheduler,
+    prompts: &[Vec<u32>],
+    cache_prompt: bool,
+    ctx: &ExecCtx,
+) -> Vec<Vec<u32>> {
+    let ids: Vec<_> = prompts
+        .iter()
+        .map(|p| {
+            sched
+                .submit(SubmitRequest::greedy(p, N_NEW).with_cache_prompt(cache_prompt))
+                .expect("submit")
+        })
+        .collect();
+    let done = sched.run_to_completion(ctx).expect("run");
+    ids.iter()
+        .map(|id| {
+            let f = done.iter().find(|f| f.id == *id).expect("finished");
+            assert!(!f.reason.is_error(), "burst request failed: {:?}", f.reason);
+            f.tokens.clone()
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = env_flag("TMAC_BENCH_QUICK");
+    let threads = env_usize("TMAC_BENCH_THREADS", 1);
+    let iters = if quick { 2 } else { 3 };
+    let cfg = bench_cfg(quick);
+    let model = Model::synthetic(
+        &cfg,
+        WeightQuant::Rtn(2),
+        BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+        7,
+    )
+    .expect("model");
+    let ctx = ExecCtx::new(threads);
+
+    println!(
+        "prefix_prefill: {} (dim {}, {} layer(s), 2-bit), shared prefix {} tokens ({} pages), {} thread(s)\n",
+        cfg.name,
+        cfg.dim,
+        cfg.n_layers,
+        PREFIX_LEN,
+        PREFIX_LEN / PAGE_POSITIONS,
+        threads
+    );
+
+    let mut gated: Vec<(&str, f64)> = Vec::new();
+    for n in [2usize, 8, 16] {
+        let prompts = prompts_for(n, cfg.vocab);
+        let sched_cfg = SchedulerConfig {
+            max_batch: n,
+            ..SchedulerConfig::default()
+        };
+
+        // Memory + correctness pass on fresh schedulers: arena size after
+        // one burst is the peak page footprint of N concurrent sequences.
+        let mut dense = Scheduler::new(model.clone(), sched_cfg);
+        let dense_tokens = run_burst(&mut dense, &prompts, false, &ctx);
+        let dense_bytes = dense.kv_stats().resident_bytes;
+
+        let mut shared = Scheduler::new(model.clone(), sched_cfg);
+        // Warm the radix index with the bare prefix, as a deployed server
+        // would after its first request.
+        let _ = run_burst(
+            &mut shared,
+            &[prompts[0][..PREFIX_LEN].to_vec()],
+            true,
+            &ctx,
+        );
+        let shared_tokens = run_burst(&mut shared, &prompts, true, &ctx);
+        let shared_bytes = shared.kv_stats().resident_bytes;
+        assert_eq!(
+            shared_tokens, dense_tokens,
+            "shared-prefix burst must be bit-exact vs private prefill at N={n}"
+        );
+        let hits = shared.kv_stats().prefix_hits;
+        assert!(hits >= n as u64, "warm burst must hit the cache at N={n}");
+
+        // Timing pass: schedulers are reused, so the shared side stays
+        // warm and the dense side re-prefills everything each iteration.
+        let mut dense_s = f64::INFINITY;
+        let mut shared_s = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let _ = run_burst(&mut dense, &prompts, false, &ctx);
+            dense_s = dense_s.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let _ = run_burst(&mut shared, &prompts, true, &ctx);
+            shared_s = shared_s.min(t0.elapsed().as_secs_f64());
+        }
+        let speedup = dense_s / shared_s;
+        let bytes_ratio = shared_bytes as f64 / dense_bytes as f64;
+        println!(
+            "N={n:<3} dense {:>9} shared {:>9}  speedup {speedup:>6.2}x   kv bytes {:>10} vs {:>10} (ratio {bytes_ratio:.3})",
+            tmac_bench::format_secs(dense_s),
+            tmac_bench::format_secs(shared_s),
+            shared_bytes,
+            dense_bytes,
+        );
+        if n == 8 {
+            gated.push(("prefix_prefill_speedup", speedup));
+            gated.push(("kv_bytes_ratio", bytes_ratio));
+        }
+    }
+
+    if let Ok(path) = std::env::var("TMAC_PERF_OUT") {
+        tmac_bench::write_perf_out(&path, &gated);
+    }
+}

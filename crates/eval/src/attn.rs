@@ -63,7 +63,7 @@ pub fn fill_cache(cache: &mut KvCache, cfg: &ModelConfig, seq: usize, seed: u64)
             cache.store(layer, pos, &k, &v);
         }
     }
-    cache.len = cache.len.max(seq);
+    cache.set_len(cache.len().max(seq));
 }
 
 /// Best-of per-token attention seconds (all heads, one layer) at context

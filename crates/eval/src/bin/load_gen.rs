@@ -28,6 +28,13 @@
 //! any 5xx, wedged request, or zero goodput. `--quick` shrinks everything
 //! for CI.
 //!
+//! **Shared-prefix mode** (`--shared-prefix`): instead of the perf phases,
+//! replay tenants that reuse one long common system prompt through the
+//! server's radix prompt cache. Asserts that every tenant after the first
+//! hits the cached prefix (via the `tmac_prefix_hits_total` gauge) and that
+//! the served tokens are bit-exact versus driving the `Scheduler` directly
+//! with caching disabled; violations exit non-zero.
+//!
 //! **Chaos mode** (`--chaos`, needs `--features failpoints`): instead of
 //! the perf phases, arm a deterministic failpoint schedule (override with
 //! `TMAC_CHAOS_SPEC`), drive concurrent mixed traffic — streaming,
@@ -330,6 +337,7 @@ fn main() {
     let quick = tmac_eval::quick();
     let do_assert = std::env::args().any(|a| a == "--assert");
     let do_chaos = std::env::args().any(|a| a == "--chaos");
+    let do_shared = std::env::args().any(|a| a == "--shared-prefix");
     let mode = match tmac_eval::arg("mode", "auto").as_str() {
         "auto" => ConnMode::Auto,
         "epoll" => ConnMode::Epoll,
@@ -365,6 +373,10 @@ fn main() {
 
     if do_chaos {
         run_chaos(mode, seed, threads);
+        return;
+    }
+    if do_shared {
+        run_shared_prefix(mode, threads, quick);
         return;
     }
 
@@ -626,6 +638,152 @@ fn main() {
     }
 }
 
+// ---- Shared-prefix mode -------------------------------------------------
+
+/// `--shared-prefix`: tenants replay prompts that reuse one long common
+/// system prompt. The first request publishes the prefix into the radix
+/// prompt cache; every tenant after it must hit the cached pages (the
+/// server's `tmac_prefix_hits_total` gauge proves it) while the served
+/// tokens stay bit-exact versus driving the `Scheduler` directly on a
+/// fresh identical model with caching disabled. Violations panic
+/// (non-zero exit), so CI can gate on this directly.
+fn run_shared_prefix(mode: ConnMode, threads: usize, quick: bool) {
+    use tmac_llm::batch::SubmitRequest;
+    use tmac_llm::PAGE_POSITIONS;
+
+    let tenants: usize = if quick { 4 } else { 8 };
+    // Two full pages plus a partial third, so hits share whole pages and
+    // copy-on-write forks the partial one.
+    let prefix_len = 2 * PAGE_POSITIONS + 17;
+    let n_new = 8;
+    let cfg = ModelConfig::tiny().scaled(2, 96, (prefix_len + 2 + n_new + 8).next_power_of_two());
+    let model = || {
+        Model::synthetic(
+            &cfg,
+            WeightQuant::Rtn(2),
+            BackendKind::Tmac(tmac_core::KernelOpts::tmac()),
+            7,
+        )
+        .expect("model")
+    };
+    let prefix: Vec<u32> = (0..prefix_len as u32)
+        .map(|i| (i * 7 + 3) % cfg.vocab as u32)
+        .collect();
+    let prompts: Vec<Vec<u32>> = (0..tenants as u32)
+        .map(|k| {
+            let mut p = prefix.clone();
+            p.extend_from_slice(&[
+                (k * 5 + 2) % cfg.vocab as u32,
+                (k * 11 + 1) % cfg.vocab as u32,
+            ]);
+            p
+        })
+        .collect();
+
+    // Scheduler-direct reference with caching off: the canonical private
+    // output every served (cached) request must reproduce bit-exactly.
+    let ctx = ExecCtx::new(threads);
+    let expected: Vec<Vec<u32>> = {
+        let mut sched = Scheduler::new(model(), SchedulerConfig::default());
+        prompts
+            .iter()
+            .map(|p| {
+                let id = sched
+                    .submit(SubmitRequest::greedy(p, n_new).with_cache_prompt(false))
+                    .expect("direct submit");
+                let done = sched.run_to_completion(&ctx).expect("direct run");
+                done.into_iter()
+                    .find(|f| f.id == id)
+                    .expect("direct seq")
+                    .tokens
+            })
+            .collect()
+    };
+
+    let server = tmac_serve::start(
+        Scheduler::new(
+            model(),
+            SchedulerConfig {
+                max_batch: 4,
+                max_pending: 64,
+                ..SchedulerConfig::default()
+            },
+        ),
+        ExecCtx::new(threads),
+        ServerConfig {
+            mode,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let metrics = server.metrics();
+
+    // Publish the system prompt once, as a deployed server's first request
+    // would, so every tenant below deterministically hits the cache.
+    let warm = post_tokens(addr, &prefix, 1).expect("warm-up request failed");
+    assert_eq!(warm.len(), 1, "warm-up must decode one token");
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = prompts
+        .iter()
+        .cloned()
+        .map(|p| std::thread::spawn(move || post_tokens(addr, &p, n_new)))
+        .collect();
+    let served: Vec<Option<Vec<u32>>> = workers
+        .into_iter()
+        .map(|h| h.join().expect("tenant worker"))
+        .collect();
+    let wall = t0.elapsed();
+
+    // The step loop refreshes the gauges on its own cadence; give the
+    // final snapshot a moment to land before reading it.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.prefix_hits.get() < tenants as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let hits = metrics.prefix_hits.get();
+    let hit_positions = metrics.prefix_hit_positions.get();
+    let cow_forks = metrics.kv_cow_forks.get();
+    let pages = metrics.kv_pages_total.get();
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(vec!["tenants".into(), tenants.to_string()]);
+    table.row(vec!["prefix tokens".into(), prefix_len.to_string()]);
+    table.row(vec![
+        "served ok".into(),
+        served.iter().filter(|t| t.is_some()).count().to_string(),
+    ]);
+    table.row(vec!["prefix hits".into(), hits.to_string()]);
+    table.row(vec![
+        "prefix hit positions".into(),
+        hit_positions.to_string(),
+    ]);
+    table.row(vec!["cow forks".into(), cow_forks.to_string()]);
+    table.row(vec!["kv pages".into(), pages.to_string()]);
+    table.row(vec!["wall s".into(), format!("{:.2}", wall.as_secs_f64())]);
+    table.emit("load_gen --shared-prefix");
+
+    server.shutdown();
+
+    for (i, (got, want)) in served.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got.as_deref(),
+            Some(&want[..]),
+            "tenant {i}: served output diverged from the Scheduler-direct reference"
+        );
+    }
+    assert!(
+        hits >= tenants as u64,
+        "every tenant must hit the published prefix: {hits} hits for {tenants} tenants"
+    );
+    assert!(
+        hit_positions >= (tenants * prefix_len) as u64,
+        "each hit must cover the whole shared prefix: {hit_positions} positions"
+    );
+    println!("\nload_gen --shared-prefix: prefix cache hit and bit-exactness held");
+}
+
 // ---- Chaos mode ---------------------------------------------------------
 
 /// Without the `failpoints` feature there is nothing to inject; refuse
@@ -779,6 +937,10 @@ fn run_chaos(mode: ConnMode, seed: u64, threads: usize) {
     };
     let post = post_tokens(addr, &probe_prompt, 6);
 
+    // The probe itself perturbs the gauges; let it drain before the
+    // consistency snapshot, or its just-retired sequence races the step
+    // loop's next gauge refresh.
+    let _ = wait_quiesce(&metrics, Duration::from_secs(5));
     let violations = metrics.consistency_violations();
     let quarantined = metrics.quarantined.get();
     let restarts = metrics.step_loop_restarts.get();
@@ -898,7 +1060,6 @@ fn wait_quiesce(metrics: &tmac_serve::Metrics, timeout: Duration) -> bool {
 }
 
 /// Non-streaming completion returning the emitted token ids.
-#[cfg(feature = "failpoints")]
 fn post_tokens(addr: SocketAddr, prompt: &[u32], max_tokens: usize) -> Option<Vec<u32>> {
     let mut sock = TcpStream::connect(addr).ok()?;
     sock.set_read_timeout(Some(Duration::from_secs(30))).ok()?;

@@ -1,21 +1,25 @@
-//! Causal attention over the head-major KV cache, with the heads fanned out
-//! across the execution context's thread pool.
+//! Causal attention over the paged head-major KV cache, with the heads
+//! fanned out across the execution context's thread pool.
 //!
-//! Two data paths share one entry point ([`attend`]):
+//! Two data paths share one entry point ([`attend`] / [`attend_seq`]):
 //!
 //! * **`f32` (reference)** — the seed's exact two-pass computation per head:
 //!   a score sweep over K, in-place softmax, then a weighted-sum sweep over
-//!   V. Operation-for-operation identical to the pre-head-major code, so
-//!   `f32` results are bit-exact regardless of layout or thread count.
+//!   V. The sweeps walk the sequence's block table page by page *in
+//!   position order*, so the operation sequence is identical to the dense
+//!   formulation and `f32` results stay bit-exact regardless of paging,
+//!   sharing, or thread count.
 //! * **`i8` (fused)** — a *single* streaming pass per head in the
 //!   flash-decoding style: the query is quantized to `i8` once per head,
-//!   each position's score is one `i8ops::dot_maddubs` against the
+//!   each position's score is one `i8ops::dot_maddubs` against the page's
 //!   contiguous K code stream, and an online softmax
 //!   ([`tmac_simd::f32ops::OnlineSoftmax`]) folds the matching V row into
 //!   the output as the scores arrive (`i8ops::axpy` /
-//!   [`tmac_simd::i8ops::scale_axpy`]). No `seq`-sized score buffer exists
-//!   and V is never swept a second time; combined with 1-byte codes this
-//!   cuts attention memory traffic ~4× against the f32 two-pass path.
+//!   [`tmac_simd::i8ops::scale_axpy`]). Pages chain in position order, so
+//!   the fold sequence — and therefore the result — is identical to the
+//!   dense stream. No `seq`-sized score buffer exists and V is never swept
+//!   a second time; combined with 1-byte codes this cuts attention memory
+//!   traffic ~4× against the f32 two-pass path.
 //!
 //! **Parallelism**: heads are independent (each writes its own
 //! `head_dim`-slice of the output), so [`attend`] partitions the head range
@@ -24,7 +28,7 @@
 //! deterministic for any pool size (asserted by `tests/attention.rs`).
 
 use crate::config::{KvPrecision, ModelConfig};
-use crate::kv::KvCache;
+use crate::kv::{KvCache, PAGE_POSITIONS};
 use tmac_core::ExecCtx;
 use tmac_simd::f32ops::{self, OnlineSoftmax};
 use tmac_simd::i8ops;
@@ -58,27 +62,49 @@ struct SendPtr<T>(*mut T);
 // partition owns, and head slices are disjoint by construction.
 unsafe impl<T> Sync for SendPtr<T> {}
 
-/// Computes `out = softmax(q Kᵀ / √d) V` for one token over all heads.
-///
-/// `q` is the RoPE-rotated query (`n_heads × head_dim`, row-major per
-/// head); `out` receives the per-head attention outputs in the same layout.
-/// Positions `0..=pos` of `cache` must already be stored for `layer`
-/// (including `pos` itself — the store happens before the attend in a
-/// forward pass). Grouped-query attention maps query head `h` to KV head
-/// `h / (n_heads / n_kv_heads)`.
-///
-/// Heads are distributed over `ctx`'s thread pool; the result is identical
-/// at every pool size (and, on the `f32` path, bit-exact against the
-/// single-buffer sequential formulation).
+/// [`attend_seq`] over sequence 0 — the single-stream view used by
+/// [`crate::Model::forward`] and standalone benches.
 ///
 /// # Panics
 ///
-/// Panics if `q`/`out` disagree with the cache geometry, `pos` is outside
-/// the cache capacity, or the scratch belongs to a smaller configuration.
+/// Same contract as [`attend_seq`].
 pub fn attend(
     q: &[f32],
     out: &mut [f32],
     cache: &KvCache,
+    layer: usize,
+    pos: usize,
+    scratch: &mut AttnScratch,
+    ctx: &ExecCtx,
+) {
+    attend_seq(q, out, cache, 0, layer, pos, scratch, ctx);
+}
+
+/// Computes `out = softmax(q Kᵀ / √d) V` for one token of sequence `seq`
+/// over all heads, walking the sequence's block table page by page.
+///
+/// `q` is the RoPE-rotated query (`n_heads × head_dim`, row-major per
+/// head); `out` receives the per-head attention outputs in the same layout.
+/// Positions `0..=pos` of `cache` must already be stored (or
+/// prefix-shared) for `layer` of `seq` — including `pos` itself; the store
+/// happens before the attend in a forward pass. Grouped-query attention
+/// maps query head `h` to KV head `h / (n_heads / n_kv_heads)`.
+///
+/// Heads are distributed over `ctx`'s thread pool; the result is identical
+/// at every pool size (and, on the `f32` path, bit-exact against the
+/// single-buffer dense sequential formulation).
+///
+/// # Panics
+///
+/// Panics if `q`/`out` disagree with the cache geometry, `pos` is outside
+/// the sequence's paged capacity, or the scratch belongs to a smaller
+/// configuration.
+#[allow(clippy::too_many_arguments)] // the model's hot path; a struct would just rename the wiring
+pub fn attend_seq(
+    q: &[f32],
+    out: &mut [f32],
+    cache: &KvCache,
+    seq: usize,
     layer: usize,
     pos: usize,
     scratch: &mut AttnScratch,
@@ -96,6 +122,11 @@ pub fn attend(
         "attend: query heads not a multiple of kv heads"
     );
     assert!(pos < cache.seq_max(), "attend: position beyond seq_max");
+    let pages = cache.seq_pages(seq);
+    assert!(
+        pages.len() * PAGE_POSITIONS > pos,
+        "attend: position beyond the sequence's paged capacity"
+    );
     assert!(
         scratch.scores.len() >= n_heads * scratch.seq_max && scratch.seq_max > pos,
         "attend: scratch too small for position"
@@ -123,19 +154,17 @@ pub fn attend(
             let out_h = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(h * hd), hd) };
             match precision {
                 KvPrecision::F32 => {
-                    let (ks, vs) = cache.f32_streams(layer, kvh);
                     // SAFETY: as above — score row `h` belongs to this head.
                     let scores = unsafe {
                         std::slice::from_raw_parts_mut(scores_ptr.0.add(h * seq_stride), pos + 1)
                     };
-                    attend_head_f32(qh, ks, vs, hd, pos, scale, scores, out_h);
+                    attend_head_f32(qh, cache, pages, layer, kvh, hd, pos, scale, scores, out_h);
                 }
                 KvPrecision::I8 => {
-                    let (kq, ksc, vq, vsc) = cache.i8_streams(layer, kvh);
                     // SAFETY: as above — quantized-q row `h` belongs to this
                     // head.
                     let qbuf = unsafe { std::slice::from_raw_parts_mut(q8_ptr.0.add(h * hd), hd) };
-                    attend_head_i8(qh, kq, ksc, vq, vsc, hd, pos, scale, qbuf, out_h);
+                    attend_head_i8(qh, cache, pages, layer, kvh, hd, pos, scale, qbuf, out_h);
                 }
             }
         }
@@ -143,38 +172,59 @@ pub fn attend(
 }
 
 /// The exact two-pass reference path for one head (scores → softmax →
-/// weighted sum), preserved operation-for-operation from the seed so the
-/// `f32` cache stays bit-exact.
+/// weighted sum), walking pages in position order so the operation
+/// sequence — and the result — is bit-identical to the dense formulation.
 #[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would just rename the wiring
 fn attend_head_f32(
     q: &[f32],
-    k_stream: &[f32],
-    v_stream: &[f32],
+    cache: &KvCache,
+    pages: &[u32],
+    layer: usize,
+    kvh: usize,
     hd: usize,
     pos: usize,
     scale: f32,
     scores: &mut [f32],
     out: &mut [f32],
 ) {
-    for t in 0..=pos {
-        scores[t] = f32ops::dot(q, &k_stream[t * hd..(t + 1) * hd]) * scale;
+    let mut t0 = 0usize;
+    for &pg in pages {
+        if t0 > pos {
+            break;
+        }
+        let take = (pos + 1 - t0).min(PAGE_POSITIONS);
+        let (ks, _) = cache.f32_page(pg, layer, kvh);
+        for t in 0..take {
+            scores[t0 + t] = f32ops::dot(q, &ks[t * hd..(t + 1) * hd]) * scale;
+        }
+        t0 += take;
     }
     crate::ops::softmax(&mut scores[..=pos]);
     out.fill(0.0);
-    for t in 0..=pos {
-        f32ops::axpy(out, scores[t], &v_stream[t * hd..(t + 1) * hd]);
+    let mut t0 = 0usize;
+    for &pg in pages {
+        if t0 > pos {
+            break;
+        }
+        let take = (pos + 1 - t0).min(PAGE_POSITIONS);
+        let (_, vs) = cache.f32_page(pg, layer, kvh);
+        for t in 0..take {
+            f32ops::axpy(out, scores[t0 + t], &vs[t * hd..(t + 1) * hd]);
+        }
+        t0 += take;
     }
 }
 
 /// The fused streaming path for one head: quantize q, then one pass of
-/// `i8` score dot + online-softmax fold per position.
+/// `i8` score dot + online-softmax fold per position, chained across
+/// pages in position order (the fold sequence matches the dense stream).
 #[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would just rename the wiring
 fn attend_head_i8(
     q: &[f32],
-    k_codes: &[i8],
-    k_scales: &[f32],
-    v_codes: &[i8],
-    v_scales: &[f32],
+    cache: &KvCache,
+    pages: &[u32],
+    layer: usize,
+    kvh: usize,
     hd: usize,
     pos: usize,
     scale: f32,
@@ -185,18 +235,29 @@ fn attend_head_i8(
     let qk_scale = q_scale * scale;
     out.fill(0.0);
     let mut sm = OnlineSoftmax::new();
-    for t in 0..=pos {
-        let dot = i8ops::dot_maddubs(qbuf, &k_codes[t * hd..(t + 1) * hd]);
-        let s = dot as f32 * (qk_scale * k_scales[t]);
-        let (w, c) = sm.push(s);
-        let vt = &v_codes[t * hd..(t + 1) * hd];
-        if c == 1.0 {
-            // Common case: the running max stands; plain scaled accumulate.
-            i8ops::axpy(out, w * v_scales[t], vt);
-        } else {
-            // New maximum (w == 1.0): shrink history and fold the new row.
-            i8ops::scale_axpy(out, c, v_scales[t], vt);
+    let mut t0 = 0usize;
+    for &pg in pages {
+        if t0 > pos {
+            break;
         }
+        let take = (pos + 1 - t0).min(PAGE_POSITIONS);
+        let (k_codes, k_scales, v_codes, v_scales) = cache.i8_page(pg, layer, kvh);
+        for t in 0..take {
+            let dot = i8ops::dot_maddubs(qbuf, &k_codes[t * hd..(t + 1) * hd]);
+            let s = dot as f32 * (qk_scale * k_scales[t]);
+            let (w, c) = sm.push(s);
+            let vt = &v_codes[t * hd..(t + 1) * hd];
+            if c == 1.0 {
+                // Common case: the running max stands; plain scaled
+                // accumulate.
+                i8ops::axpy(out, w * v_scales[t], vt);
+            } else {
+                // New maximum (w == 1.0): shrink history and fold the new
+                // row.
+                i8ops::scale_axpy(out, c, v_scales[t], vt);
+            }
+        }
+        t0 += take;
     }
     f32ops::scale(out, 1.0 / sm.denom());
 }
@@ -218,7 +279,7 @@ mod tests {
                 .collect();
             cache.store(0, pos, &k, &v);
         }
-        cache.len = seq;
+        cache.set_len(seq);
         cache
     }
 
@@ -227,23 +288,26 @@ mod tests {
     }
 
     /// The seed's attention formulation: strided two-pass over a
-    /// `[seq][kv_dim]` buffer with one shared score row.
+    /// `[seq][kv_dim]` view with one shared score row.
     fn seed_reference(cfg: &ModelConfig, cache: &KvCache, q: &[f32], pos: usize) -> Vec<f32> {
         let (hd, groups) = (cfg.head_dim(), cfg.n_heads / cfg.n_kv_heads);
         let mut out = vec![0f32; cfg.dim];
         let mut scores = vec![0f32; cfg.seq_max];
+        let mut buf = vec![0f32; hd];
         let scale = 1.0 / (hd as f32).sqrt();
         for h in 0..cfg.n_heads {
             let kvh = h / groups;
             let qh = &q[h * hd..(h + 1) * hd];
             for (t, s) in scores.iter_mut().enumerate().take(pos + 1) {
-                *s = f32ops::dot(qh, &cache.k_row_f32(0, kvh, t)) * scale;
+                *s = f32ops::dot(qh, cache.k_row_f32(0, kvh, t, &mut buf)) * scale;
             }
             ops::softmax(&mut scores[..=pos]);
-            let o = &mut out[h * hd..(h + 1) * hd];
-            o.fill(0.0);
-            for (t, &s) in scores.iter().enumerate().take(pos + 1) {
-                f32ops::axpy(o, s, &cache.v_row_f32(0, kvh, t));
+            for i in 0..hd {
+                out[h * hd + i] = 0.0;
+            }
+            for (t, &w) in scores.iter().enumerate().take(pos + 1) {
+                let vt = cache.v_row_f32(0, kvh, t, &mut buf).to_vec();
+                f32ops::axpy(&mut out[h * hd..(h + 1) * hd], w, &vt);
             }
         }
         out
@@ -263,6 +327,24 @@ mod tests {
             attend(&q, &mut out, &cache, 0, seq - 1, &mut scratch, &ctx);
             assert_eq!(out, want, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn f32_path_bit_exact_across_page_boundaries() {
+        // A context longer than one page must produce exactly what the
+        // dense per-row reference computes (paging changes layout, never
+        // values or operation order).
+        let mut cfg = ModelConfig::tiny();
+        cfg.seq_max = 3 * PAGE_POSITIONS;
+        let seq = 2 * PAGE_POSITIONS + 7;
+        let cache = fill_cache(&cfg, KvPrecision::F32, seq);
+        let q = query(&cfg);
+        let want = seed_reference(&cfg, &cache, &q, seq - 1);
+        let ctx = ExecCtx::new(2);
+        let mut scratch = AttnScratch::new(&cfg);
+        let mut out = vec![0f32; cfg.dim];
+        attend(&q, &mut out, &cache, 0, seq - 1, &mut scratch, &ctx);
+        assert_eq!(out, want);
     }
 
     #[test]
@@ -314,12 +396,48 @@ mod tests {
             attend(&q, &mut out, &cache, 0, 0, &mut scratch, &ctx);
             let hd = cfg.head_dim();
             let groups = cfg.n_heads / cfg.n_kv_heads;
+            let mut buf = vec![0f32; hd];
             for h in 0..cfg.n_heads {
-                let v0 = cache.v_row_f32(0, h / groups, 0);
+                let v0 = cache.v_row_f32(0, h / groups, 0, &mut buf).to_vec();
                 for (a, b) in out[h * hd..(h + 1) * hd].iter().zip(&v0) {
                     assert!((a - b).abs() < 1e-5, "{prec:?}: {a} vs {b}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_prefix_attends_bit_exactly() {
+        // Two sequences sharing prefix pages via the radix index must see
+        // exactly the same attention output as a privately-filled cache.
+        let mut cfg = ModelConfig::tiny();
+        cfg.seq_max = 2 * PAGE_POSITIONS;
+        let seq = PAGE_POSITIONS + 9;
+        let private = fill_cache(&cfg, KvPrecision::F32, seq);
+        let q = query(&cfg);
+        let ctx = ExecCtx::new(1);
+        let mut scratch = AttnScratch::new(&cfg);
+        let mut want = vec![0f32; cfg.dim];
+        attend(&q, &mut want, &private, 0, seq - 1, &mut scratch, &ctx);
+
+        // Rebuild the same rows in a pooled cache, publish, share.
+        let mut pool = KvCache::multi(&cfg, 2);
+        let kv = cfg.kv_dim();
+        let tokens: Vec<u32> = (0..seq as u32).collect();
+        for pos in 0..seq {
+            let k: Vec<f32> = (0..kv)
+                .map(|i| ((pos * 17 + i * 5) as f32 * 0.11).sin() * 1.3)
+                .collect();
+            let v: Vec<f32> = (0..kv)
+                .map(|i| ((pos * 7 + i * 13) as f32 * 0.17).cos() * 0.9)
+                .collect();
+            pool.store_seq(0, 0, pos, &k, &v).unwrap();
+        }
+        pool.set_seq_len(0, seq);
+        pool.prefix_insert(0, &tokens);
+        assert_eq!(pool.prefix_match(1, &tokens), seq);
+        let mut got = vec![0f32; cfg.dim];
+        attend_seq(&q, &mut got, &pool, 1, 0, seq - 1, &mut scratch, &ctx);
+        assert_eq!(got, want);
     }
 }

@@ -74,6 +74,15 @@ pub enum BackendError {
     /// A fault injected by an armed failpoint (`failpoints` builds only;
     /// the variant always exists so matching code is feature-independent).
     Injected(String),
+    /// The paged KV pool's page budget is exhausted and nothing is
+    /// evictable — the memory-pressure twin of `QueueFull`. Callers shed
+    /// load or retry once sequences retire.
+    OutOfPages {
+        /// Pages the allocation needed.
+        needed: usize,
+        /// The pool's configured budget.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -89,6 +98,9 @@ impl std::fmt::Display for BackendError {
             BackendError::Panic(m) => write!(f, "panic: {m}"),
             BackendError::Numeric(m) => write!(f, "numeric: {m}"),
             BackendError::Injected(m) => write!(f, "injected fault: {m}"),
+            BackendError::OutOfPages { needed, budget } => {
+                write!(f, "kv pool out of pages: need {needed} of budget {budget}")
+            }
         }
     }
 }
@@ -104,6 +116,19 @@ impl From<tmac_core::TmacError> for BackendError {
 impl From<tmac_quant::QuantError> for BackendError {
     fn from(e: tmac_quant::QuantError) -> Self {
         BackendError::Quant(e)
+    }
+}
+
+impl From<crate::kv::KvError> for BackendError {
+    fn from(e: crate::kv::KvError) -> Self {
+        match e {
+            crate::kv::KvError::OutOfPages { needed, budget } => {
+                BackendError::OutOfPages { needed, budget }
+            }
+            crate::kv::KvError::Injected(site) => {
+                BackendError::Injected(format!("kv failpoint {site}"))
+            }
+        }
     }
 }
 

@@ -83,6 +83,12 @@ pub struct SchedulerConfig {
     /// admission-backpressure primitive a serving front-end's 429 path
     /// builds on. `0` = unbounded; the default is bounded (256).
     pub max_pending: usize,
+    /// Cap on the pooled KV cache, in pages ([`crate::kv::PAGE_POSITIONS`]
+    /// positions each). Allocation beyond the cap first evicts unreferenced
+    /// radix prefix-cache entries LRU-first; if nothing is evictable the
+    /// affected sequence retires with [`BackendError::OutOfPages`]. `0`
+    /// (the default) leaves the pool unbounded.
+    pub kv_page_budget: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -91,6 +97,7 @@ impl Default for SchedulerConfig {
             max_batch: 16,
             prefill_chunk: 0,
             max_pending: 256,
+            kv_page_budget: 0,
         }
     }
 }
@@ -182,6 +189,9 @@ struct Sequence {
     stop: Vec<Vec<u32>>,
     /// Set when `generated` ends with a stop sequence.
     stopped: bool,
+    /// Whether this request participates in the radix prompt cache
+    /// (serve its prefix from shared pages, publish its own).
+    cache_prompt: bool,
 }
 
 impl Sequence {
@@ -242,8 +252,13 @@ impl Sequence {
 pub struct Scheduler {
     model: Model,
     cfg: SchedulerConfig,
-    /// KV-cache slot pool, grown lazily up to `max_batch`.
-    caches: Vec<KvCache>,
+    /// One pooled paged KV cache with `max_batch` sequences; slots are
+    /// sequence indices and pages are shared across them via the radix
+    /// prefix index.
+    cache: KvCache,
+    /// High-water mark of slots ever claimed (page storage itself is
+    /// allocated lazily by the pool).
+    slots_hwm: usize,
     free_slots: Vec<usize>,
     pending: VecDeque<Sequence>,
     active: Vec<Sequence>,
@@ -269,10 +284,12 @@ impl Scheduler {
             cfg.prefill_chunk = model.prefill_chunk();
         }
         let scratch = BatchScratch::new(&model.cfg, cfg.max_batch.max(cfg.prefill_chunk));
+        let cache = KvCache::multi(&model.cfg, cfg.max_batch).with_budget(cfg.kv_page_budget);
         Scheduler {
             model,
             cfg,
-            caches: Vec::new(),
+            cache,
+            slots_hwm: 0,
             free_slots: Vec::new(),
             pending: VecDeque::new(),
             active: Vec::new(),
@@ -365,6 +382,7 @@ impl Scheduler {
             sampler,
             stop: req.stop,
             stopped: false,
+            cache_prompt: req.cache_prompt,
         });
         Ok(id)
     }
@@ -380,10 +398,16 @@ impl Scheduler {
         &self.cfg
     }
 
-    /// KV-cache slots allocated so far (grows lazily up to `max_batch`;
+    /// KV-cache slots claimed so far (grows lazily up to `max_batch`;
     /// cancellation must return slots here instead of leaking them).
     pub fn slots_allocated(&self) -> usize {
-        self.caches.len()
+        self.slots_hwm
+    }
+
+    /// Pool, prefix-sharing and eviction counters of the paged KV cache
+    /// (the feed for the serving layer's KV gauges).
+    pub fn kv_stats(&self) -> crate::kv::KvStats {
+        self.cache.stats()
     }
 
     /// Removes a sequence mid-flight, wherever it is.
@@ -437,20 +461,20 @@ impl Scheduler {
         self.pending.clear();
         self.active.clear();
         self.finished.clear();
-        self.free_slots = (0..self.caches.len()).collect();
-        for c in &mut self.caches {
-            c.reset();
-        }
+        self.free_slots = (0..self.slots_hwm).collect();
+        self.cache.reset();
     }
 
-    /// Takes (or allocates) a cache slot for an admitted sequence.
+    /// Takes (or claims) a cache slot for an admitted sequence. The
+    /// admission loop only runs while `active < max_batch`, so a slot is
+    /// always available: every retired sequence returned its slot.
     fn claim_slot(&mut self) -> usize {
         if let Some(slot) = self.free_slots.pop() {
-            self.caches[slot].reset();
             slot
         } else {
-            self.caches.push(KvCache::new(&self.model.cfg));
-            self.caches.len() - 1
+            debug_assert!(self.slots_hwm < self.cfg.max_batch);
+            self.slots_hwm += 1;
+            self.slots_hwm - 1
         }
     }
 
@@ -526,7 +550,7 @@ impl Scheduler {
                 &tokens,
                 &positions,
                 &slots,
-                &mut self.caches,
+                &mut self.cache,
                 &mut self.scratch,
                 ctx,
             );
@@ -573,7 +597,7 @@ impl Scheduler {
                             &t,
                             &p,
                             &s,
-                            &mut self.caches,
+                            &mut self.cache,
                             &mut self.scratch,
                             ctx,
                         )
@@ -627,13 +651,13 @@ impl Scheduler {
         tokens: &[u32],
         positions: &[usize],
         slots: &[usize],
-        caches: &mut [KvCache],
+        cache: &mut KvCache,
         scratch: &mut BatchScratch,
         ctx: &ExecCtx,
     ) -> Result<(), BackendError> {
         let run = catch_unwind(AssertUnwindSafe(|| {
             scheduler_fault("scheduler/forward")?;
-            model.forward_batch(tokens, positions, slots, caches, scratch, ctx)
+            model.forward_batch(tokens, positions, slots, cache, scratch, ctx)
         }));
         match run {
             Ok(r) => r,
@@ -677,17 +701,31 @@ impl Scheduler {
     /// Prefills an admitted sequence's prompt in mpGEMM chunks against its
     /// slot, samples the first generated token, and advances its state.
     ///
+    /// When the request allows prompt caching, the longest radix-cached
+    /// prefix is attached by reference first ([`KvCache::prefix_match`],
+    /// capped at `len - 1` so the last prompt token always forwards to
+    /// produce the sampling logits) and only the uncached suffix runs
+    /// through the model; on success the full prompt is published back
+    /// into the index ([`KvCache::prefix_insert`]) for later requests.
+    ///
     /// Panics unwinding out of the prefill forwards are contained here
     /// (same unwind-safety argument as [`Scheduler::forward_rows`]) and
-    /// surface as [`BackendError::Panic`] for the caller's quarantine.
+    /// surface as [`BackendError::Panic`] for the caller's quarantine;
+    /// the retire path releases any pages the sequence attached.
     fn prefill_active(&mut self, seq: &mut Sequence, ctx: &ExecCtx) -> Result<u32, BackendError> {
+        let matched = if seq.cache_prompt && seq.prompt.len() > 1 {
+            self.cache
+                .prefix_match(seq.slot, &seq.prompt[..seq.prompt.len() - 1])
+        } else {
+            0
+        };
         let model = &self.model;
-        let caches = &mut self.caches;
+        let cache = &mut self.cache;
         let scratch = &mut self.scratch;
         let chunk = self.cfg.prefill_chunk;
         let run = catch_unwind(AssertUnwindSafe(|| {
             scheduler_fault("scheduler/prefill")?;
-            model.prefill_chunked(&seq.prompt, seq.slot, caches, scratch, chunk, ctx)
+            model.prefill_chunked_from(&seq.prompt, matched, seq.slot, cache, scratch, chunk, ctx)
         }));
         let last_row = match run {
             Ok(r) => r?,
@@ -698,13 +736,18 @@ impl Scheduler {
         // (nothing is discarded).
         let token = seq.advance(self.scratch.logits_row(last_row));
         seq.pos = seq.prompt.len();
+        if seq.cache_prompt {
+            self.cache.prefix_insert(seq.slot, &seq.prompt);
+        }
         Ok(token)
     }
 
     /// Moves a sequence to the finished list with the given reason and
-    /// frees its slot.
+    /// frees its slot (pages the radix index still references survive for
+    /// future prefix hits; the rest return to the pool).
     fn retire(&mut self, seq: Sequence, reason: FinishReason) {
         if seq.slot != usize::MAX {
+            self.cache.release_seq(seq.slot);
             self.free_slots.push(seq.slot);
         }
         self.finished.push(FinishedSeq {

@@ -168,14 +168,9 @@ impl Engine {
             self.batch_scratch = Some(BatchScratch::new(&self.model.cfg, chunk));
         }
         let bs = self.batch_scratch.as_mut().expect("just ensured");
-        let last_row = self.model.prefill_chunked(
-            prompt,
-            0,
-            std::slice::from_mut(&mut self.cache),
-            bs,
-            chunk,
-            ctx,
-        )?;
+        let last_row = self
+            .model
+            .prefill_chunked(prompt, 0, &mut self.cache, bs, chunk, ctx)?;
         self.scratch.logits.copy_from_slice(bs.logits_row(last_row));
         Ok(self.scratch.logits.clone())
     }

@@ -129,7 +129,7 @@ pub fn batched_quality(
     for (chunk_idx, chunk) in seqs.chunks(max_batch).enumerate() {
         let base = chunk_idx * max_batch;
         let rows = chunk.len();
-        let mut caches: Vec<KvCache> = (0..rows).map(|_| KvCache::new(&model.cfg)).collect();
+        let mut caches = KvCache::multi(&model.cfg, rows);
         let mut scratch = BatchScratch::new(&model.cfg, rows);
         let steps = chunk.iter().map(|s| s.len() - 1).max().unwrap_or(0);
         // Teacher forcing: feed token t of every still-live row in one

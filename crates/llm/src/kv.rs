@@ -1,35 +1,116 @@
-//! Head-major, optionally quantized KV cache.
+//! Paged KV cache with radix-prefix sharing and copy-on-write forking.
 //!
 //! Decode-time attention at long contexts is a pure memory stream: every
-//! token reads all previous positions' K and V rows. The seed stored the
-//! cache `[layer][seq][kv_dim]` in `f32`, so each head's sweep was *strided*
-//! (one `head_dim` slice per `kv_dim` row) and streamed 8 bytes per cached
-//! element (K + V). This module re-lays the cache **head-major** —
-//! `[layer][kv_head][seq][head_dim]` — so one head's whole history is a
-//! single contiguous run, and optionally stores it quantized to `i8` with
-//! one `f32` scale per `(position, head)` row ([`KvPrecision::I8`]): 4× less
-//! attention traffic and 4× smaller KV residency, the same bandwidth
-//! argument T-MAC makes for weights (§2) applied to the KV stream.
+//! token reads all previous positions' K and V rows. Earlier revisions gave
+//! every sequence a private dense head-major region; this module re-lays the
+//! cache as a **global pool of fixed-size pages** ([`PAGE_POSITIONS`]
+//! positions each) with a per-sequence *block table* mapping position ranges
+//! to pages. Within a page the layout stays head-major — one `(layer, head)`
+//! stream is a contiguous `PAGE_POSITIONS × head_dim` run — so attention
+//! sweeps page-by-page with the same contiguous inner loop, in both the
+//! bit-exact `f32` and quantized `i8` precisions.
 //!
-//! Storage is allocated **lazily and grown in fixed-position chunks**: a
-//! fresh cache owns no buffers, and capacity follows the filled length in
-//! [`KV_GROW_POSITIONS`]-sized steps up to `seq_max`. A continuous-batching
-//! scheduler holding `max_batch` slots therefore pays for the contexts it
-//! actually serves, not `max_batch · seq_max` up front (which at f32
-//! dwarfed the quantized model weights).
+//! Paging buys three things dense slots cannot offer:
+//!
+//! * **Prefix sharing.** A radix/trie index keyed on token ids maps cached
+//!   prompt prefixes to page chains. [`KvCache::prefix_match`] attaches the
+//!   longest cached prefix to a fresh sequence by bumping page refcounts —
+//!   causal attention means identical token prefixes produce identical KV
+//!   rows, so sharing is bit-exact and the matched positions skip prefill
+//!   entirely.
+//! * **Copy-on-write forking.** The first store into a page with refcount
+//!   `> 1` forks it: the page is copied whole (all layers/heads) into a
+//!   private page and the block-table entry swapped, so divergent tails
+//!   never disturb the shared prefix.
+//! * **Bounded residency.** An optional page budget caps the pool; when it
+//!   is exhausted, least-recently-used *childless* trie nodes whose page no
+//!   live sequence references are evicted until a page frees, else the
+//!   allocation fails with [`KvError::OutOfPages`] (the scheduler turns
+//!   this into per-sequence quarantine, not a crash).
+//!
+//! Allocation stays lazy: a fresh cache owns no pages, and the arena grows
+//! one page at a time as positions are stored. Failure injection hooks
+//! (`kv/page_alloc`, `kv/cow`) let the chaos suite drive allocation and
+//! fork failures deterministically.
 
 use crate::config::{KvPrecision, ModelConfig};
+use tmac_core::failpoint::{self, FailAction};
 use tmac_simd::i8ops;
 
-/// Positions added per capacity growth step. Each growth re-lays every
-/// `(layer, head)` stream into its new stride, so the chunk trades copy
-/// amortization (larger = fewer copies) against over-allocation on short
-/// sequences (smaller = tighter).
-pub const KV_GROW_POSITIONS: usize = 128;
+/// Positions per page. Pages are the unit of sharing, COW and eviction;
+/// 64 positions balances sharing granularity (a prefix shares only whole
+/// pages) against per-sequence overhead (a lone decode tail still pins one
+/// page).
+pub const PAGE_POSITIONS: usize = 64;
 
-/// Precision-specific storage. Both variants share the head-major layout:
-/// codes/values at `((layer · n_kv_heads + head) · seq_cap + pos) · head_dim`,
-/// scales (i8 only) at `(layer · n_kv_heads + head) · seq_cap + pos`.
+/// Two pages' worth of positions — the growth-boundary span long-context
+/// tests size against (capacity now advances page-at-a-time, so any context
+/// longer than this has crossed at least two page boundaries).
+pub const KV_GROW_POSITIONS: usize = 2 * PAGE_POSITIONS;
+
+/// Sentinel for "no radix node" (root parents).
+const NO_NODE: u32 = u32::MAX;
+
+/// Allocation failures surfaced by the paged cache. Geometry violations
+/// (bad layer/position/row sizes) stay panics, as before; only resource
+/// exhaustion and injected faults are recoverable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The page pool is at its budget and nothing is evictable.
+    OutOfPages {
+        /// Pages the failed operation needed.
+        needed: usize,
+        /// The configured budget (total pool pages).
+        budget: usize,
+    },
+    /// A failpoint at the named site injected this failure.
+    Injected(&'static str),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::OutOfPages { needed, budget } => {
+                write!(f, "kv pool out of pages (need {needed}, budget {budget})")
+            }
+            KvError::Injected(site) => write!(f, "injected kv failure at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A point-in-time snapshot of pool, sharing and eviction counters
+/// (`/metrics` gauges and the prefix-prefill perf gate read these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Pages the arena has ever allocated (resident).
+    pub pages_allocated: usize,
+    /// Allocated pages currently on the free list.
+    pub pages_free: usize,
+    /// Allocated pages referenced by sequences or the radix index.
+    pub pages_in_use: usize,
+    /// Configured pool cap in pages (`0` = unbounded).
+    pub page_budget: usize,
+    /// `prefix_match` calls that attached at least one cached position.
+    pub prefix_hits: u64,
+    /// Total positions served from the radix index (prefill skipped).
+    pub prefix_hit_positions: u64,
+    /// Pages forked by copy-on-write.
+    pub cow_forks: u64,
+    /// Radix nodes evicted under page-budget pressure.
+    pub evictions: u64,
+    /// Live radix nodes.
+    pub radix_nodes: usize,
+    /// Bytes resident in the pooled arena.
+    pub resident_bytes: usize,
+}
+
+/// Precision-specific page arena. Both variants share the page-major,
+/// head-major layout: codes/values for `(page, layer, head, pos)` at
+/// `((page · streams + layer · n_kv_heads + head) · PAGE_POSITIONS + pos) ·
+/// head_dim`, scales (i8 only) at the same index without the `head_dim`
+/// factor.
 #[derive(Debug, Clone)]
 enum Store {
     F32 {
@@ -44,59 +125,85 @@ enum Store {
     },
 }
 
-/// KV cache for one generation stream (head-major; see the module docs).
+/// One sequence's view of the pool: its block table plus filled length.
+#[derive(Debug, Clone, Default)]
+struct SeqKv {
+    /// Page per `PAGE_POSITIONS`-aligned position range, in order.
+    pages: Vec<u32>,
+    /// Filled positions.
+    len: usize,
+}
+
+/// One radix-index node: a run of up to [`PAGE_POSITIONS`] token ids and
+/// the page holding their KV rows. Children always start at page
+/// boundaries, so a node with fewer than `PAGE_POSITIONS` tokens is a leaf.
+#[derive(Debug, Clone)]
+struct RadixNode {
+    tokens: Vec<u32>,
+    page: u32,
+    parent: u32,
+    children: Vec<u32>,
+    last_used: u64,
+}
+
+/// Paged, prefix-shared KV cache (see the module docs).
 #[derive(Debug, Clone)]
 pub struct KvCache {
     n_layers: usize,
     n_kv_heads: usize,
     head_dim: usize,
     seq_max: usize,
-    /// Allocated positions per `(layer, head)` stream (`<= seq_max`).
-    seq_cap: usize,
-    /// High-water mark of positions ever stored since the last reset.
-    /// `len` only advances when a forward pass *completes*, but a growth
-    /// mid-batch must preserve the rows the batch has already written —
-    /// this watermark is what capacity growth copies.
-    stored: usize,
+    /// Pool cap in pages (`0` = unbounded).
+    page_budget: usize,
+    /// Pages the arena holds storage for.
+    pages: usize,
     store: Store,
-    /// Filled positions.
-    pub len: usize,
-}
-
-/// Grows a `[stream][cap][per_pos]` buffer to a new capacity, copying the
-/// `filled` leading positions of every stream into the new stride.
-fn regrow<T: Copy + Default>(
-    data: &[T],
-    streams: usize,
-    old_cap: usize,
-    new_cap: usize,
-    per_pos: usize,
-    filled: usize,
-) -> Vec<T> {
-    let mut out = vec![T::default(); streams * new_cap * per_pos];
-    for s in 0..streams {
-        let src = &data[s * old_cap * per_pos..s * old_cap * per_pos + filled * per_pos];
-        out[s * new_cap * per_pos..s * new_cap * per_pos + filled * per_pos].copy_from_slice(src);
-    }
-    out
+    free_pages: Vec<u32>,
+    refcnt: Vec<u32>,
+    seqs: Vec<SeqKv>,
+    nodes: Vec<Option<RadixNode>>,
+    roots: Vec<u32>,
+    free_nodes: Vec<u32>,
+    /// LRU clock for radix touches.
+    tick: u64,
+    prefix_hits: u64,
+    prefix_hit_positions: u64,
+    cow_forks: u64,
+    evictions: u64,
 }
 
 impl KvCache {
-    /// Creates an (empty, unallocated) cache for `cfg`, at the precision the
-    /// configuration selects ([`ModelConfig::kv_precision`]).
+    /// Creates an (empty, unallocated) single-sequence cache for `cfg`, at
+    /// the precision the configuration selects
+    /// ([`ModelConfig::kv_precision`]).
     pub fn new(cfg: &ModelConfig) -> Self {
         Self::with_precision(cfg, cfg.kv_precision)
     }
 
     /// [`KvCache::new`] with an explicit precision override.
     pub fn with_precision(cfg: &ModelConfig, precision: KvPrecision) -> Self {
+        Self::build(cfg, precision, 1)
+    }
+
+    /// A pooled cache serving `n_seqs` sequences over one shared page pool
+    /// (the scheduler's slots index into this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_seqs == 0`.
+    pub fn multi(cfg: &ModelConfig, n_seqs: usize) -> Self {
+        Self::build(cfg, cfg.kv_precision, n_seqs)
+    }
+
+    fn build(cfg: &ModelConfig, precision: KvPrecision, n_seqs: usize) -> Self {
+        assert!(n_seqs > 0, "kv cache needs at least one sequence");
         KvCache {
             n_layers: cfg.n_layers,
             n_kv_heads: cfg.n_kv_heads,
             head_dim: cfg.head_dim(),
             seq_max: cfg.seq_max,
-            seq_cap: 0,
-            stored: 0,
+            page_budget: 0,
+            pages: 0,
             store: match precision {
                 KvPrecision::F32 => Store::F32 {
                     k: Vec::new(),
@@ -109,8 +216,27 @@ impl KvCache {
                     v_scale: Vec::new(),
                 },
             },
-            len: 0,
+            free_pages: Vec::new(),
+            refcnt: Vec::new(),
+            seqs: vec![SeqKv::default(); n_seqs],
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            free_nodes: Vec::new(),
+            tick: 0,
+            prefix_hits: 0,
+            prefix_hit_positions: 0,
+            cow_forks: 0,
+            evictions: 0,
         }
+    }
+
+    /// Caps the pool at `pages` total pages (builder style; `0` keeps the
+    /// pool unbounded). Allocation beyond the cap evicts LRU radix leaves
+    /// or fails with [`KvError::OutOfPages`].
+    #[must_use]
+    pub fn with_budget(mut self, pages: usize) -> Self {
+        self.page_budget = pages;
+        self
     }
 
     /// The storage precision.
@@ -121,7 +247,7 @@ impl KvCache {
         }
     }
 
-    /// Maximum positions the cache can ever hold.
+    /// Maximum positions any sequence can hold.
     pub fn seq_max(&self) -> usize {
         self.seq_max
     }
@@ -136,13 +262,59 @@ impl KvCache {
         self.head_dim
     }
 
-    /// Currently allocated positions per stream (lazy; grows in
-    /// [`KV_GROW_POSITIONS`] chunks as positions are stored).
-    pub fn seq_capacity(&self) -> usize {
-        self.seq_cap
+    /// Sequences this pool serves.
+    pub fn n_seqs(&self) -> usize {
+        self.seqs.len()
     }
 
-    /// Bytes currently resident in the cache's buffers.
+    /// The configured pool cap in pages (`0` = unbounded).
+    pub fn page_budget(&self) -> usize {
+        self.page_budget
+    }
+
+    /// Filled positions of sequence 0 (the single-stream view).
+    pub fn len(&self) -> usize {
+        self.seqs[0].len
+    }
+
+    /// `true` when sequence 0 holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks sequence 0 as filled up to `n` positions (single-stream view
+    /// of [`KvCache::set_seq_len`]).
+    pub fn set_len(&mut self, n: usize) {
+        self.set_seq_len(0, n);
+    }
+
+    /// Filled positions of sequence `seq`.
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.seqs[seq].len
+    }
+
+    /// Marks sequence `seq` as filled up to `n` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the sequence's paged capacity or `seq_max`.
+    pub fn set_seq_len(&mut self, seq: usize, n: usize) {
+        assert!(n <= self.seq_max, "kv len beyond seq_max");
+        assert!(
+            n <= self.seqs[seq].pages.len() * PAGE_POSITIONS,
+            "kv len beyond paged capacity"
+        );
+        self.seqs[seq].len = n;
+    }
+
+    /// Positions sequence 0's block table currently addresses (page-granular
+    /// and lazy: grows as positions are stored).
+    pub fn seq_capacity(&self) -> usize {
+        self.seqs[0].pages.len() * PAGE_POSITIONS
+    }
+
+    /// Bytes resident in the pooled page arena (shared across every
+    /// sequence — this is the number `/metrics` KV gauges report).
     pub fn resident_bytes(&self) -> usize {
         match &self.store {
             Store::F32 { k, v } => (k.len() + v.len()) * 4,
@@ -155,29 +327,71 @@ impl KvCache {
         }
     }
 
-    /// Clears the cache (allocation is retained for reuse).
-    pub fn reset(&mut self) {
-        self.len = 0;
-        self.stored = 0;
+    /// Pool, sharing and eviction counters.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            pages_allocated: self.pages,
+            pages_free: self.free_pages.len(),
+            pages_in_use: self.pages - self.free_pages.len(),
+            page_budget: self.page_budget,
+            prefix_hits: self.prefix_hits,
+            prefix_hit_positions: self.prefix_hit_positions,
+            cow_forks: self.cow_forks,
+            evictions: self.evictions,
+            radix_nodes: self.nodes.iter().filter(|n| n.is_some()).count(),
+            resident_bytes: self.resident_bytes(),
+        }
     }
 
-    /// Grows storage so positions `0..need` are addressable.
-    fn ensure_capacity(&mut self, need: usize) {
-        if need <= self.seq_cap {
-            return;
+    /// Clears all sequences and the radix index; every page returns to the
+    /// free list (arena allocation is retained for reuse, counters keep
+    /// accumulating).
+    pub fn reset(&mut self) {
+        for s in &mut self.seqs {
+            s.pages.clear();
+            s.len = 0;
         }
-        assert!(need <= self.seq_max, "position beyond seq_max");
-        let new_cap = need
-            .div_ceil(KV_GROW_POSITIONS)
-            .saturating_mul(KV_GROW_POSITIONS)
-            .min(self.seq_max);
-        let streams = self.n_layers * self.n_kv_heads;
-        let filled = self.len.max(self.stored).min(self.seq_cap);
-        let (old_cap, hd) = (self.seq_cap, self.head_dim);
+        self.nodes.clear();
+        self.roots.clear();
+        self.free_nodes.clear();
+        for r in &mut self.refcnt {
+            *r = 0;
+        }
+        self.free_pages = (0..self.pages as u32).rev().collect();
+    }
+
+    /// Releases sequence `seq`: drops its page references (pages whose
+    /// refcount reaches zero return to the free list) and zeroes its
+    /// length. Pages still referenced by the radix index or other
+    /// sequences survive.
+    pub fn release_seq(&mut self, seq: usize) {
+        let pages = std::mem::take(&mut self.seqs[seq].pages);
+        for p in pages {
+            self.dec_ref(p);
+        }
+        self.seqs[seq].len = 0;
+    }
+
+    fn streams(&self) -> usize {
+        self.n_layers * self.n_kv_heads
+    }
+
+    fn page_elems(&self) -> usize {
+        self.streams() * PAGE_POSITIONS * self.head_dim
+    }
+
+    fn page_scales(&self) -> usize {
+        self.streams() * PAGE_POSITIONS
+    }
+
+    /// Appends storage for one more page to the arena.
+    fn push_page_storage(&mut self) {
+        let pe = self.page_elems();
+        let ps = self.page_scales();
         match &mut self.store {
             Store::F32 { k, v } => {
-                *k = regrow(k, streams, old_cap, new_cap, hd, filled);
-                *v = regrow(v, streams, old_cap, new_cap, hd, filled);
+                k.resize(k.len() + pe, 0.0);
+                v.resize(v.len() + pe, 0.0);
             }
             Store::I8 {
                 k,
@@ -185,38 +399,205 @@ impl KvCache {
                 k_scale,
                 v_scale,
             } => {
-                *k = regrow(k, streams, old_cap, new_cap, hd, filled);
-                *v = regrow(v, streams, old_cap, new_cap, hd, filled);
-                *k_scale = regrow(k_scale, streams, old_cap, new_cap, 1, filled);
-                *v_scale = regrow(v_scale, streams, old_cap, new_cap, 1, filled);
+                k.resize(k.len() + pe, 0);
+                v.resize(v.len() + pe, 0);
+                k_scale.resize(k_scale.len() + ps, 0.0);
+                v_scale.resize(v_scale.len() + ps, 0.0);
             }
         }
-        self.seq_cap = new_cap;
+        self.refcnt.push(0);
+        self.pages += 1;
+    }
+
+    /// Allocates one page with refcount 1: free list first, then fresh
+    /// arena growth under the budget, then LRU radix eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfPages`] when the budget is exhausted and nothing is
+    /// evictable; [`KvError::Injected`] from the `kv/page_alloc` failpoint.
+    fn alloc_page(&mut self) -> Result<u32, KvError> {
+        match failpoint::fire("kv/page_alloc") {
+            Some(FailAction::Panic) => panic!("failpoint kv/page_alloc"),
+            Some(FailAction::Delay(_)) | None => {}
+            Some(_) => return Err(KvError::Injected("kv/page_alloc")),
+        }
+        if let Some(p) = self.free_pages.pop() {
+            self.refcnt[p as usize] = 1;
+            return Ok(p);
+        }
+        if self.page_budget == 0 || self.pages < self.page_budget {
+            self.push_page_storage();
+            let p = (self.pages - 1) as u32;
+            self.refcnt[p as usize] = 1;
+            return Ok(p);
+        }
+        while self.free_pages.is_empty() && self.evict_one() {}
+        match self.free_pages.pop() {
+            Some(p) => {
+                self.refcnt[p as usize] = 1;
+                Ok(p)
+            }
+            None => Err(KvError::OutOfPages {
+                needed: 1,
+                budget: self.page_budget,
+            }),
+        }
+    }
+
+    fn dec_ref(&mut self, page: u32) {
+        let r = &mut self.refcnt[page as usize];
+        debug_assert!(*r > 0, "kv refcount underflow");
+        *r -= 1;
+        if *r == 0 {
+            self.free_pages.push(page);
+        }
+    }
+
+    /// Evicts the least-recently-used childless radix node whose page no
+    /// sequence references, freeing exactly one page. Returns `false` when
+    /// nothing is evictable.
+    fn evict_one(&mut self) -> bool {
+        let mut best: Option<(u32, u64)> = None;
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if let Some(n) = slot {
+                if n.children.is_empty()
+                    && self.refcnt[n.page as usize] == 1
+                    && best.is_none_or(|(_, t)| n.last_used < t)
+                {
+                    best = Some((i as u32, n.last_used));
+                }
+            }
+        }
+        let Some((id, _)) = best else {
+            return false;
+        };
+        let node = self.nodes[id as usize].take().expect("picked a live node");
+        if node.parent == NO_NODE {
+            self.roots.retain(|&r| r != id);
+        } else if let Some(p) = self.nodes[node.parent as usize].as_mut() {
+            p.children.retain(|&c| c != id);
+        }
+        self.free_nodes.push(id);
+        self.dec_ref(node.page);
+        self.evictions += 1;
+        true
+    }
+
+    fn add_node(&mut self, node: RadixNode) -> u32 {
+        if let Some(id) = self.free_nodes.pop() {
+            self.nodes[id as usize] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn touch(&mut self, id: u32) {
+        self.tick += 1;
+        if let Some(n) = self.nodes[id as usize].as_mut() {
+            n.last_used = self.tick;
+        }
+    }
+
+    /// Forks sequence `seq`'s `page_idx`-th page: copies the whole page
+    /// (all layers and heads — later layers of the same positions then see
+    /// refcount 1) into a private page and swaps the block-table entry.
+    fn cow_fork(&mut self, seq: usize, page_idx: usize) -> Result<u32, KvError> {
+        match failpoint::fire("kv/cow") {
+            Some(FailAction::Panic) => panic!("failpoint kv/cow"),
+            Some(FailAction::Delay(_)) | None => {}
+            Some(_) => return Err(KvError::Injected("kv/cow")),
+        }
+        let old = self.seqs[seq].pages[page_idx];
+        let new = self.alloc_page()?;
+        let pe = self.page_elems();
+        let ps = self.page_scales();
+        let (ob, nb) = (old as usize * pe, new as usize * pe);
+        let (osb, nsb) = (old as usize * ps, new as usize * ps);
+        match &mut self.store {
+            Store::F32 { k, v } => {
+                k.copy_within(ob..ob + pe, nb);
+                v.copy_within(ob..ob + pe, nb);
+            }
+            Store::I8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => {
+                k.copy_within(ob..ob + pe, nb);
+                v.copy_within(ob..ob + pe, nb);
+                k_scale.copy_within(osb..osb + ps, nsb);
+                v_scale.copy_within(osb..osb + ps, nsb);
+            }
+        }
+        self.seqs[seq].pages[page_idx] = new;
+        self.dec_ref(old);
+        self.cow_forks += 1;
+        Ok(new)
     }
 
     /// Stores one position's K/V rows (`kv_dim = n_kv_heads · head_dim`
-    /// each) for `layer`, splitting them per head into the head-major
-    /// streams; the `I8` store quantizes each head row symmetrically
-    /// (`max|x| / 127`) and records the scale.
-    ///
-    /// Public so benches and serving code can populate long contexts
-    /// directly; [`crate::Model::forward`] calls it once per layer.
+    /// each) for sequence 0 — the single-stream twin of
+    /// [`KvCache::store_seq`], kept panicking for engine/bench callers
+    /// whose unbounded pool cannot legitimately fail.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range `layer`/`pos` or mis-sized rows.
+    /// Panics on geometry violations or (failpoint-injected/budgeted)
+    /// allocation failure.
     pub fn store(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        if let Err(e) = self.store_seq(0, layer, pos, k, v) {
+            panic!("kv store: {e}");
+        }
+    }
+
+    /// Stores one position's K/V rows for sequence `seq`, allocating pages
+    /// up to the position's page (sparse stores pin every intermediate
+    /// page) and copy-on-write forking a shared page on first write. The
+    /// `I8` store quantizes each head row symmetrically (`max|x| / 127`)
+    /// and records the scale.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfPages`] under budget pressure,
+    /// [`KvError::Injected`] from the `kv/page_alloc` / `kv/cow`
+    /// failpoints. The sequence keeps the pages it already held.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `seq`/`layer`/`pos` or mis-sized rows.
+    pub fn store_seq(
+        &mut self,
+        seq: usize,
+        layer: usize,
+        pos: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), KvError> {
         let hd = self.head_dim;
+        assert!(seq < self.seqs.len(), "kv store: sequence out of range");
         assert!(layer < self.n_layers, "kv store: layer out of range");
         assert!(pos < self.seq_max, "kv store: position beyond seq_max");
         assert_eq!(k.len(), self.n_kv_heads * hd, "kv store: k row size");
         assert_eq!(v.len(), self.n_kv_heads * hd, "kv store: v row size");
-        self.ensure_capacity(pos + 1);
-        self.stored = self.stored.max(pos + 1);
-        let cap = self.seq_cap;
+        let page_idx = pos / PAGE_POSITIONS;
+        while self.seqs[seq].pages.len() <= page_idx {
+            let p = self.alloc_page()?;
+            self.seqs[seq].pages.push(p);
+        }
+        let mut page = self.seqs[seq].pages[page_idx];
+        if self.refcnt[page as usize] > 1 {
+            page = self.cow_fork(seq, page_idx)?;
+        }
+        let pp = pos % PAGE_POSITIONS;
+        let streams = self.streams();
         for h in 0..self.n_kv_heads {
             let stream = layer * self.n_kv_heads + h;
-            let o = (stream * cap + pos) * hd;
+            let row = (page as usize * streams + stream) * PAGE_POSITIONS + pp;
+            let o = row * hd;
             match &mut self.store {
                 Store::F32 { k: ks, v: vs } => {
                     ks[o..o + hd].copy_from_slice(&k[h * hd..(h + 1) * hd]);
@@ -228,45 +609,225 @@ impl KvCache {
                     k_scale,
                     v_scale,
                 } => {
-                    let so = stream * cap + pos;
-                    k_scale[so] = i8ops::quantize(&k[h * hd..(h + 1) * hd], &mut ks[o..o + hd]);
-                    v_scale[so] = i8ops::quantize(&v[h * hd..(h + 1) * hd], &mut vs[o..o + hd]);
+                    k_scale[row] = i8ops::quantize(&k[h * hd..(h + 1) * hd], &mut ks[o..o + hd]);
+                    v_scale[row] = i8ops::quantize(&v[h * hd..(h + 1) * hd], &mut vs[o..o + hd]);
                 }
             }
         }
+        Ok(())
     }
 
-    /// One head's contiguous `f32` K and V streams for `layer` (position
-    /// `t`'s row at `t * head_dim`). Only positions `< len` hold data.
+    /// Attaches the longest cached prefix of `tokens` to the fresh
+    /// sequence `seq`: every fully-matched radix node's page is
+    /// refcount-shared into the sequence's block table and its length set
+    /// to the matched position count, so prefill resumes *after* the
+    /// match. Returns the matched positions (0 = cold).
+    ///
+    /// Matching may end inside a node (a partial-page hit still shares the
+    /// page bit-exactly — causality means the extra positions beyond the
+    /// match are simply never read, and the first divergent store forks
+    /// the page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` already holds pages (match is an admission-time
+    /// operation on an empty sequence).
+    pub fn prefix_match(&mut self, seq: usize, tokens: &[u32]) -> usize {
+        assert!(
+            self.seqs[seq].pages.is_empty() && self.seqs[seq].len == 0,
+            "prefix_match needs a fresh sequence"
+        );
+        let mut matched = 0usize;
+        let mut children: Vec<u32> = self.roots.clone();
+        while matched < tokens.len() {
+            let rest = &tokens[matched..];
+            let mut best: Option<(u32, usize)> = None;
+            for &c in &children {
+                let n = self.nodes[c as usize].as_ref().expect("live child");
+                let common = n
+                    .tokens
+                    .iter()
+                    .zip(rest)
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                if common > 0 && best.is_none_or(|(_, bc)| common > bc) {
+                    best = Some((c, common));
+                }
+            }
+            let Some((id, common)) = best else { break };
+            self.touch(id);
+            let (page, node_len, kids) = {
+                let n = self.nodes[id as usize].as_ref().expect("live child");
+                (n.page, n.tokens.len(), n.children.clone())
+            };
+            self.refcnt[page as usize] += 1;
+            self.seqs[seq].pages.push(page);
+            matched += common;
+            if common == node_len && node_len == PAGE_POSITIONS {
+                children = kids;
+            } else {
+                break;
+            }
+        }
+        if matched > 0 {
+            self.prefix_hits += 1;
+            self.prefix_hit_positions += matched as u64;
+            self.seqs[seq].len = matched;
+        }
+        matched
+    }
+
+    /// Publishes sequence `seq`'s filled prefix of `tokens` into the radix
+    /// index so later requests can share it. Walks the trie page-chunk by
+    /// page-chunk: exact matches descend (LRU touch), a partial leaf that
+    /// this prompt extends is upgraded in place to the longer run, and
+    /// anything uncovered becomes a new node holding a reference to the
+    /// sequence's page.
+    pub fn prefix_insert(&mut self, seq: usize, tokens: &[u32]) {
+        let usable = tokens.len().min(self.seqs[seq].len);
+        let mut at = 0usize;
+        let mut parent = NO_NODE;
+        while at < usable {
+            let chunk_idx = at / PAGE_POSITIONS;
+            let end = (at + PAGE_POSITIONS).min(usable);
+            let chunk = &tokens[at..end];
+            let child_ids: Vec<u32> = if parent == NO_NODE {
+                self.roots.clone()
+            } else {
+                self.nodes[parent as usize]
+                    .as_ref()
+                    .expect("live parent")
+                    .children
+                    .clone()
+            };
+            // Decide without holding node borrows, then mutate.
+            enum Step {
+                Descend(u32),
+                Upgrade(u32),
+                Covered(u32),
+                New,
+            }
+            let mut step = Step::New;
+            for &c in &child_ids {
+                let n = self.nodes[c as usize].as_ref().expect("live child");
+                let common = n
+                    .tokens
+                    .iter()
+                    .zip(chunk.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                if common == n.tokens.len() && common == chunk.len() {
+                    step = Step::Descend(c);
+                    break;
+                }
+                if common == n.tokens.len() && common < chunk.len() && n.children.is_empty() {
+                    step = Step::Upgrade(c);
+                    break;
+                }
+                if common == chunk.len() && common < n.tokens.len() {
+                    step = Step::Covered(c);
+                    break;
+                }
+            }
+            let id = match step {
+                Step::Descend(c) => {
+                    self.touch(c);
+                    c
+                }
+                Step::Upgrade(c) => {
+                    // The leaf's page holds only its shorter run; ours holds
+                    // the full chunk (COW guarantees they differ once we
+                    // wrote past the shared run). Swap the node onto ours.
+                    let old = self.nodes[c as usize].as_ref().expect("live child").page;
+                    let newp = self.seqs[seq].pages[chunk_idx];
+                    if newp != old {
+                        self.refcnt[newp as usize] += 1;
+                        let n = self.nodes[c as usize].as_mut().expect("live child");
+                        n.tokens = chunk.to_vec();
+                        n.page = newp;
+                        self.dec_ref(old);
+                    } else {
+                        self.nodes[c as usize].as_mut().expect("live child").tokens =
+                            chunk.to_vec();
+                    }
+                    self.touch(c);
+                    c
+                }
+                Step::Covered(c) => {
+                    // An existing node already covers this (final, partial)
+                    // chunk; nothing new to publish.
+                    self.touch(c);
+                    break;
+                }
+                Step::New => {
+                    let pg = self.seqs[seq].pages[chunk_idx];
+                    self.refcnt[pg as usize] += 1;
+                    self.tick += 1;
+                    let id = self.add_node(RadixNode {
+                        tokens: chunk.to_vec(),
+                        page: pg,
+                        parent,
+                        children: Vec::new(),
+                        last_used: self.tick,
+                    });
+                    if parent == NO_NODE {
+                        self.roots.push(id);
+                    } else {
+                        self.nodes[parent as usize]
+                            .as_mut()
+                            .expect("live parent")
+                            .children
+                            .push(id);
+                    }
+                    id
+                }
+            };
+            parent = id;
+            at = end;
+        }
+    }
+
+    /// Sequence `seq`'s block table (one page per position range).
+    pub(crate) fn seq_pages(&self, seq: usize) -> &[u32] {
+        &self.seqs[seq].pages
+    }
+
+    /// One head's contiguous `f32` K and V streams for one page of `layer`
+    /// (position `t` *within the page* at `t * head_dim`).
     ///
     /// # Panics
     ///
     /// Panics if the cache is quantized or indices are out of range.
-    pub(crate) fn f32_streams(&self, layer: usize, kv_head: usize) -> (&[f32], &[f32]) {
-        let (cap, hd) = (self.seq_cap, self.head_dim);
+    pub(crate) fn f32_page(&self, page: u32, layer: usize, kv_head: usize) -> (&[f32], &[f32]) {
+        let hd = self.head_dim;
         let stream = layer * self.n_kv_heads + kv_head;
-        let o = stream * cap * hd;
+        let o = (page as usize * self.streams() + stream) * PAGE_POSITIONS * hd;
+        let n = PAGE_POSITIONS * hd;
         match &self.store {
-            Store::F32 { k, v } => (&k[o..o + cap * hd], &v[o..o + cap * hd]),
-            Store::I8 { .. } => panic!("f32_streams on an i8 cache"),
+            Store::F32 { k, v } => (&k[o..o + n], &v[o..o + n]),
+            Store::I8 { .. } => panic!("f32_page on an i8 cache"),
         }
     }
 
     /// One head's contiguous `i8` K/V code streams and their per-position
-    /// scale rows for `layer`: `(k_codes, k_scales, v_codes, v_scales)`.
+    /// scale rows for one page of `layer`:
+    /// `(k_codes, k_scales, v_codes, v_scales)`.
     ///
     /// # Panics
     ///
     /// Panics if the cache is `f32` or indices are out of range.
-    pub(crate) fn i8_streams(
+    pub(crate) fn i8_page(
         &self,
+        page: u32,
         layer: usize,
         kv_head: usize,
     ) -> (&[i8], &[f32], &[i8], &[f32]) {
-        let (cap, hd) = (self.seq_cap, self.head_dim);
+        let hd = self.head_dim;
         let stream = layer * self.n_kv_heads + kv_head;
-        let o = stream * cap * hd;
-        let so = stream * cap;
+        let row = page as usize * self.streams() + stream;
+        let o = row * PAGE_POSITIONS * hd;
+        let so = row * PAGE_POSITIONS;
+        let n = PAGE_POSITIONS * hd;
         match &self.store {
             Store::I8 {
                 k,
@@ -274,58 +835,75 @@ impl KvCache {
                 k_scale,
                 v_scale,
             } => (
-                &k[o..o + cap * hd],
-                &k_scale[so..so + cap],
-                &v[o..o + cap * hd],
-                &v_scale[so..so + cap],
+                &k[o..o + n],
+                &k_scale[so..so + PAGE_POSITIONS],
+                &v[o..o + n],
+                &v_scale[so..so + PAGE_POSITIONS],
             ),
-            Store::F32 { .. } => panic!("i8_streams on an f32 cache"),
+            Store::F32 { .. } => panic!("i8_page on an f32 cache"),
         }
     }
 
-    /// Dequantizes one stored K row back to `f32` (test/diagnostic helper;
-    /// the hot path consumes codes directly).
+    /// One stored K row of sequence 0 as `f32`, borrowed: the `f32` cache
+    /// returns the page slice directly, the `i8` cache dequantizes into
+    /// `buf` (which must hold at least `head_dim` elements). No per-call
+    /// allocation.
     ///
     /// # Panics
     ///
-    /// Panics if `pos >= len` or indices are out of range.
-    pub fn k_row_f32(&self, layer: usize, kv_head: usize, pos: usize) -> Vec<f32> {
-        assert!(pos < self.len, "k_row_f32: position not filled");
-        let hd = self.head_dim;
-        match self.precision() {
-            KvPrecision::F32 => {
-                let (k, _) = self.f32_streams(layer, kv_head);
-                k[pos * hd..(pos + 1) * hd].to_vec()
-            }
-            KvPrecision::I8 => {
-                let (k, ks, _, _) = self.i8_streams(layer, kv_head);
-                k[pos * hd..(pos + 1) * hd]
-                    .iter()
-                    .map(|&c| ks[pos] * c as f32)
-                    .collect()
-            }
-        }
+    /// Panics if `pos >= len`, indices are out of range, or `buf` is too
+    /// small for an `i8` cache.
+    pub fn k_row_f32<'a>(
+        &'a self,
+        layer: usize,
+        kv_head: usize,
+        pos: usize,
+        buf: &'a mut [f32],
+    ) -> &'a [f32] {
+        self.row_f32(layer, kv_head, pos, buf, true)
     }
 
     /// The V-side twin of [`KvCache::k_row_f32`].
     ///
     /// # Panics
     ///
-    /// Panics if `pos >= len` or indices are out of range.
-    pub fn v_row_f32(&self, layer: usize, kv_head: usize, pos: usize) -> Vec<f32> {
-        assert!(pos < self.len, "v_row_f32: position not filled");
+    /// Same contract as [`KvCache::k_row_f32`].
+    pub fn v_row_f32<'a>(
+        &'a self,
+        layer: usize,
+        kv_head: usize,
+        pos: usize,
+        buf: &'a mut [f32],
+    ) -> &'a [f32] {
+        self.row_f32(layer, kv_head, pos, buf, false)
+    }
+
+    fn row_f32<'a>(
+        &'a self,
+        layer: usize,
+        kv_head: usize,
+        pos: usize,
+        buf: &'a mut [f32],
+        key: bool,
+    ) -> &'a [f32] {
+        assert!(pos < self.seqs[0].len, "kv row: position not filled");
         let hd = self.head_dim;
+        let page = self.seqs[0].pages[pos / PAGE_POSITIONS];
+        let pp = pos % PAGE_POSITIONS;
         match self.precision() {
             KvPrecision::F32 => {
-                let (_, v) = self.f32_streams(layer, kv_head);
-                v[pos * hd..(pos + 1) * hd].to_vec()
+                let (k, v) = self.f32_page(page, layer, kv_head);
+                let s = if key { k } else { v };
+                &s[pp * hd..(pp + 1) * hd]
             }
             KvPrecision::I8 => {
-                let (_, _, v, vs) = self.i8_streams(layer, kv_head);
-                v[pos * hd..(pos + 1) * hd]
-                    .iter()
-                    .map(|&c| vs[pos] * c as f32)
-                    .collect()
+                assert!(buf.len() >= hd, "kv row: buf smaller than head_dim");
+                let (k, ks, v, vs) = self.i8_page(page, layer, kv_head);
+                let (codes, scale) = if key { (k, ks[pp]) } else { (v, vs[pp]) };
+                for (i, b) in buf[..hd].iter_mut().enumerate() {
+                    *b = scale * codes[pp * hd + i] as f32;
+                }
+                &buf[..hd]
             }
         }
     }
@@ -346,56 +924,64 @@ mod tests {
     }
 
     #[test]
-    fn allocation_is_lazy_and_chunked() {
+    fn allocation_is_lazy_and_paged() {
         let mut cfg = cfg();
         cfg.seq_max = 1024;
         let mut c = KvCache::with_precision(&cfg, KvPrecision::F32);
-        assert_eq!(c.resident_bytes(), 0, "fresh cache owns no buffers");
+        assert_eq!(c.resident_bytes(), 0, "fresh cache owns no pages");
         assert_eq!(c.seq_capacity(), 0);
         let kv = cfg.kv_dim();
         c.store(0, 0, &row(1, kv), &row(2, kv));
-        assert_eq!(c.seq_capacity(), KV_GROW_POSITIONS);
+        assert_eq!(c.seq_capacity(), PAGE_POSITIONS);
         let after_one = c.resident_bytes();
         assert!(after_one > 0);
-        // Staying inside the chunk does not grow...
-        c.store(0, KV_GROW_POSITIONS - 1, &row(3, kv), &row(4, kv));
+        // Staying inside the page does not grow...
+        c.store(0, PAGE_POSITIONS - 1, &row(3, kv), &row(4, kv));
         assert_eq!(c.resident_bytes(), after_one);
-        // ...crossing it adds exactly one chunk.
-        c.store(0, KV_GROW_POSITIONS, &row(5, kv), &row(6, kv));
-        assert_eq!(c.seq_capacity(), 2 * KV_GROW_POSITIONS);
+        // ...crossing it adds exactly one page.
+        c.store(0, PAGE_POSITIONS, &row(5, kv), &row(6, kv));
+        assert_eq!(c.seq_capacity(), 2 * PAGE_POSITIONS);
         assert_eq!(c.resident_bytes(), 2 * after_one);
+        assert_eq!(c.stats().pages_in_use, 2);
     }
 
     #[test]
-    fn capacity_clamps_to_seq_max() {
-        let cfg = cfg(); // seq_max = 64 < one growth chunk
+    fn sparse_store_pins_intermediate_pages() {
+        let mut cfg = cfg();
+        cfg.seq_max = 1024;
         let mut c = KvCache::new(&cfg);
         let kv = cfg.kv_dim();
-        c.store(0, cfg.seq_max - 1, &row(1, kv), &row(2, kv));
-        assert_eq!(c.seq_capacity(), cfg.seq_max);
+        c.store(0, 3 * PAGE_POSITIONS + 5, &row(1, kv), &row(2, kv));
+        assert_eq!(c.seq_capacity(), 4 * PAGE_POSITIONS);
+        assert_eq!(c.stats().pages_in_use, 4);
     }
 
     #[test]
-    fn growth_preserves_stored_rows() {
+    fn page_boundary_preserves_stored_rows() {
         let mut cfg = cfg();
         cfg.seq_max = 1024;
         for prec in [KvPrecision::F32, KvPrecision::I8] {
             let mut c = KvCache::with_precision(&cfg, prec);
             let kv = cfg.kv_dim();
             let hd = cfg.head_dim();
-            for pos in 0..KV_GROW_POSITIONS {
+            let mut buf = vec![0f32; hd];
+            for pos in 0..PAGE_POSITIONS {
                 c.store(1, pos, &row(pos, kv), &row(pos + 1000, kv));
-                c.len = pos + 1;
+                c.set_len(pos + 1);
             }
-            let before: Vec<Vec<f32>> = (0..KV_GROW_POSITIONS)
-                .map(|p| c.k_row_f32(1, 1, p))
+            let before: Vec<Vec<f32>> = (0..PAGE_POSITIONS)
+                .map(|p| c.k_row_f32(1, 1, p, &mut buf).to_vec())
                 .collect();
-            // Force a growth and verify every earlier row survived the
-            // re-lay bit-for-bit.
-            c.store(1, KV_GROW_POSITIONS, &row(7, kv), &row(8, kv));
-            c.len = KV_GROW_POSITIONS + 1;
+            // Cross a page boundary and verify every earlier row survives
+            // bit-for-bit (pages never re-lay).
+            c.store(1, PAGE_POSITIONS, &row(7, kv), &row(8, kv));
+            c.set_len(PAGE_POSITIONS + 1);
             for (p, want) in before.iter().enumerate() {
-                assert_eq!(&c.k_row_f32(1, 1, p), want, "{prec:?} pos {p}");
+                assert_eq!(
+                    &c.k_row_f32(1, 1, p, &mut buf).to_vec(),
+                    want,
+                    "{prec:?} pos {p}"
+                );
                 assert_eq!(want.len(), hd);
             }
         }
@@ -409,9 +995,10 @@ mod tests {
         let hd = cfg.head_dim();
         let k = row(42, kv);
         c.store(0, 3, &k, &row(43, kv));
-        c.len = 4;
+        c.set_len(4);
+        let mut buf = vec![0f32; hd];
         for h in 0..cfg.n_kv_heads {
-            let got = c.k_row_f32(0, h, 3);
+            let got = c.k_row_f32(0, h, 3, &mut buf).to_vec();
             let want = &k[h * hd..(h + 1) * hd];
             let amax = want.iter().fold(0f32, |m, x| m.max(x.abs()));
             for (g, w) in got.iter().zip(want) {
@@ -434,7 +1021,6 @@ mod tests {
         f.store(0, 200, &row(1, kv), &row(2, kv));
         q.store(0, 200, &row(1, kv), &row(2, kv));
         let ratio = f.resident_bytes() as f64 / q.resident_bytes() as f64;
-        // 4x codes, minus one f32 scale per (position, head) row.
         assert!(ratio > 3.5, "f32/i8 resident ratio {ratio}");
     }
 
@@ -444,10 +1030,157 @@ mod tests {
         let mut c = KvCache::new(&cfg);
         let kv = cfg.kv_dim();
         c.store(0, 5, &row(1, kv), &row(2, kv));
-        c.len = 6;
+        c.set_len(6);
         let bytes = c.resident_bytes();
         c.reset();
-        assert_eq!(c.len, 0);
+        assert_eq!(c.len(), 0);
         assert_eq!(c.resident_bytes(), bytes);
+        assert_eq!(c.stats().pages_in_use, 0);
+    }
+
+    /// Prefill `seq` with `tokens` via direct stores (layer-0 rows derived
+    /// from the token id so shared prefixes share content).
+    fn fill_seq(c: &mut KvCache, cfg: &ModelConfig, seq: usize, tokens: &[u32]) {
+        let kv = cfg.kv_dim();
+        let from = c.seq_len(seq);
+        for (i, &t) in tokens.iter().enumerate().skip(from) {
+            for l in 0..cfg.n_layers {
+                c.store_seq(
+                    seq,
+                    l,
+                    i,
+                    &row(t as usize + l, kv),
+                    &row(t as usize + 7 + l, kv),
+                )
+                .unwrap();
+            }
+        }
+        c.set_seq_len(seq, tokens.len());
+    }
+
+    #[test]
+    fn prefix_match_shares_pages_and_refcounts() {
+        let mut cfg = cfg();
+        cfg.seq_max = 512;
+        let mut c = KvCache::multi(&cfg, 3);
+        let prompt: Vec<u32> = (0..150).map(|i| i % 90).collect();
+        fill_seq(&mut c, &cfg, 0, &prompt);
+        c.prefix_insert(0, &prompt);
+        let used_before = c.stats().pages_in_use;
+
+        // A second sequence with the same prompt matches everything cached.
+        let matched = c.prefix_match(1, &prompt);
+        assert_eq!(matched, prompt.len(), "full prompt is indexed");
+        assert_eq!(c.seq_len(1), matched);
+        // Sharing allocates nothing.
+        assert_eq!(c.stats().pages_in_use, used_before);
+        assert_eq!(c.stats().prefix_hits, 1);
+        assert_eq!(c.stats().prefix_hit_positions, matched as u64);
+
+        // A diverging prompt matches only the common whole pages + the
+        // partial tail page.
+        let mut other = prompt.clone();
+        other[100] = 91; // diverges inside page 1
+        let m2 = c.prefix_match(2, &other);
+        assert_eq!(m2, 100, "match stops at the divergent token");
+        assert_eq!(c.seq_len(2), 100);
+    }
+
+    #[test]
+    fn cow_fork_diverges_without_disturbing_the_shared_page() {
+        let mut cfg = cfg();
+        cfg.seq_max = 512;
+        let mut c = KvCache::multi(&cfg, 2);
+        let prompt: Vec<u32> = (0..100).map(|i| i % 90).collect();
+        fill_seq(&mut c, &cfg, 0, &prompt);
+        c.prefix_insert(0, &prompt);
+        let matched = c.prefix_match(1, &prompt[..99]);
+        assert_eq!(matched, 99);
+        let hd = cfg.head_dim();
+        let mut buf = vec![0f32; hd];
+        let kv = cfg.kv_dim();
+        // Seq 1 writes a *different* row at position 99 (inside the shared
+        // second page) — the first store must fork.
+        let forks_before = c.stats().cow_forks;
+        c.store_seq(1, 0, 99, &row(999, kv), &row(998, kv)).unwrap();
+        assert_eq!(c.stats().cow_forks, forks_before + 1);
+        c.set_seq_len(1, 100);
+        // Seq 0's row at 99 is untouched...
+        let s0: Vec<f32> = c.k_row_f32(0, 0, 99, &mut buf).to_vec();
+        assert_eq!(s0, row(prompt[99] as usize, kv)[..hd].to_vec());
+        // ...and the sequences now own different pages for that range.
+        assert_ne!(c.seq_pages(0)[1], c.seq_pages(1)[1]);
+        // Only the written page forked; the first page stays shared.
+        assert_eq!(c.seq_pages(0)[0], c.seq_pages(1)[0]);
+    }
+
+    #[test]
+    fn eviction_frees_lru_unreferenced_nodes_under_budget() {
+        let mut cfg = cfg();
+        cfg.seq_max = 512;
+        // Budget of 2 pages: each 64-token prompt fills exactly one page.
+        let mut c = KvCache::multi(&cfg, 1).with_budget(2);
+        let p1: Vec<u32> = (0..64).map(|i| i % 90).collect();
+        let p2: Vec<u32> = (0..64).map(|i| (i + 1) % 90).collect();
+        let p3: Vec<u32> = (0..64).map(|i| (i + 2) % 90).collect();
+        for p in [&p1, &p2] {
+            fill_seq(&mut c, &cfg, 0, p);
+            c.prefix_insert(0, p);
+            c.release_seq(0);
+        }
+        assert_eq!(c.stats().pages_in_use, 2);
+        assert_eq!(c.stats().radix_nodes, 2);
+        // Touch p2 so p1 is the LRU entry.
+        assert_eq!(c.prefix_match(0, &p2), 64);
+        c.release_seq(0);
+        // A third prompt needs a page: p1's node must be evicted.
+        fill_seq(&mut c, &cfg, 0, &p3);
+        assert_eq!(c.stats().evictions, 1);
+        c.release_seq(0);
+        assert_eq!(c.prefix_match(0, &p1), 0, "p1 was evicted");
+        assert_eq!(c.prefix_match(0, &p2), 64, "p2 survived as the MRU entry");
+    }
+
+    #[test]
+    fn out_of_pages_when_everything_is_referenced() {
+        let cfg = cfg(); // seq_max 64 = one page
+        let mut c = KvCache::multi(&cfg, 2).with_budget(1);
+        let kv = cfg.kv_dim();
+        c.store_seq(0, 0, 0, &row(1, kv), &row(2, kv)).unwrap();
+        // The only page is pinned by seq 0; seq 1 cannot allocate.
+        let err = c.store_seq(1, 0, 0, &row(3, kv), &row(4, kv)).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::OutOfPages {
+                needed: 1,
+                budget: 1
+            }
+        );
+        // Releasing seq 0 frees the page for seq 1.
+        c.release_seq(0);
+        c.store_seq(1, 0, 0, &row(3, kv), &row(4, kv)).unwrap();
+    }
+
+    #[test]
+    fn partial_leaf_is_upgraded_in_place_by_a_longer_prompt() {
+        let mut cfg = cfg();
+        cfg.seq_max = 512;
+        let mut c = KvCache::multi(&cfg, 2);
+        let short: Vec<u32> = (0..20).map(|i| i % 90).collect();
+        let long: Vec<u32> = (0..40).map(|i| i % 90).collect();
+        fill_seq(&mut c, &cfg, 0, &short);
+        c.prefix_insert(0, &short);
+        assert_eq!(c.stats().radix_nodes, 1);
+        // The longer prompt matches the partial leaf, extends it, and the
+        // insert upgrades the node instead of adding a sibling.
+        let m = c.prefix_match(1, &long[..39]);
+        assert_eq!(m, 20);
+        fill_seq(&mut c, &cfg, 1, &long);
+        c.prefix_insert(1, &long);
+        assert_eq!(c.stats().radix_nodes, 1, "leaf upgraded, not duplicated");
+        c.release_seq(0);
+        c.release_seq(1);
+        let mut c2 = c.clone();
+        assert_eq!(c2.prefix_match(0, &long), long.len());
     }
 }

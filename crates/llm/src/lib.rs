@@ -63,7 +63,7 @@ pub use batch::{
 pub use config::{KvPrecision, ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine, GenOutput, PREFILL_CHUNK};
 pub use io::{LoadMode, ModelIoError};
-pub use kv::KvCache;
+pub use kv::{KvCache, KvError, KvStats, PAGE_POSITIONS};
 pub use model::{BatchScratch, Model, Scratch};
 pub use sampling::{GenRequest, Sampler, SamplingParams};
 pub use tmac_core::{ExecCtx, TableCacheStats};

@@ -344,7 +344,7 @@ impl Model {
         ops::rmsnorm(&mut s.xn, &s.x, &self.rms_final, 1e-5);
         ctx.next_activation();
         self.head.forward(&s.xn, &mut s.logits, ctx)?;
-        cache.len = cache.len.max(pos + 1);
+        cache.set_len(cache.len().max(pos + 1));
         let total = t_start.elapsed().as_secs_f64();
         Ok((layer_secs, total - layer_secs))
     }
@@ -355,29 +355,31 @@ impl Model {
     /// §3.2) and the batched table cache shares per-row builds across QKV
     /// and gate/up.
     ///
-    /// Row `r` decodes `tokens[r]` at `positions[r]` against the KV cache
-    /// `caches[cache_slots[r]]`: batched *decode* uses one cache per row,
-    /// while *prefill* points every row at the same cache with successive
-    /// positions. All rows' K/V are stored before any row attends, so
-    /// same-cache rows at increasing positions see each other causally.
-    /// Logits land row-major in `scratch.logits`.
+    /// Row `r` decodes `tokens[r]` at `positions[r]` against sequence
+    /// `cache_slots[r]` of the pooled `cache`: batched *decode* uses one
+    /// sequence per row, while *prefill* points every row at the same
+    /// sequence with successive positions. All rows' K/V are stored before
+    /// any row attends, so same-sequence rows at increasing positions see
+    /// each other causally. Logits land row-major in `scratch.logits`.
     ///
     /// Results are bit-identical to `B` independent [`Model::forward`]
-    /// calls with the same `(token, pos, cache)` rows (the batched-serving
-    /// equivalence; asserted by `tests/batch.rs`).
+    /// calls with the same `(token, pos, sequence)` rows (the
+    /// batched-serving equivalence; asserted by `tests/batch.rs`).
     ///
     /// # Errors
     ///
     /// Returns [`BackendError::Shape`] on length mismatches, out-of-range
     /// tokens/positions/slots, batch size beyond `scratch.capacity()`, or a
-    /// same-cache row group whose positions would attend over gaps (a
-    /// position neither already in the cache nor filled by this batch).
+    /// same-sequence row group whose positions would attend over gaps (a
+    /// position neither already in the cache nor filled by this batch);
+    /// [`BackendError::OutOfPages`] when the pool's page budget is
+    /// exhausted.
     pub fn forward_batch(
         &self,
         tokens: &[u32],
         positions: &[usize],
         cache_slots: &[usize],
-        caches: &mut [KvCache],
+        cache: &mut KvCache,
         scratch: &mut BatchScratch,
         ctx: &ExecCtx,
     ) -> Result<(), BackendError> {
@@ -414,19 +416,19 @@ impl Model {
                     cfg.seq_max
                 )));
             }
-            if cache_slots[r] >= caches.len() {
+            if cache_slots[r] >= cache.n_seqs() {
                 return Err(BackendError::Shape(format!(
                     "row {r}: cache slot {} out of {}",
                     cache_slots[r],
-                    caches.len()
+                    cache.n_seqs()
                 )));
             }
         }
-        // Same-cache rows must leave no attention gaps: every position up
-        // to a row's `pos` is either already in its cache or written by
-        // this batch (prefill chunks satisfy this with contiguous runs).
+        // Same-sequence rows must leave no attention gaps: every position
+        // up to a row's `pos` is either already in its sequence or written
+        // by this batch (prefill chunks satisfy this with contiguous runs).
         for (r, (&slot, &pos)) in cache_slots.iter().zip(positions).enumerate() {
-            let filled = caches[slot].len;
+            let filled = cache.seq_len(slot);
             for t in filled..pos {
                 let covered = cache_slots
                     .iter()
@@ -496,18 +498,20 @@ impl Model {
                 self.rope.apply(&mut s.q[r * dim..(r + 1) * dim], rc, rs);
                 self.rope
                     .apply(&mut s.k[r * kv_dim..(r + 1) * kv_dim], rc, rs);
-                caches[cache_slots[r]].store(
+                cache.store_seq(
+                    cache_slots[r],
                     l,
                     pos,
                     &s.k[r * kv_dim..(r + 1) * kv_dim],
                     &s.v[r * kv_dim..(r + 1) * kv_dim],
-                );
+                )?;
             }
             for r in 0..b {
-                attention::attend(
+                attention::attend_seq(
                     &s.q[r * dim..(r + 1) * dim],
                     &mut s.att[r * dim..(r + 1) * dim],
-                    &caches[cache_slots[r]],
+                    cache,
+                    cache_slots[r],
                     l,
                     positions[r],
                     &mut s.attn,
@@ -556,12 +560,12 @@ impl Model {
         self.head
             .forward_batch(&s.xn[..b * dim], b, &mut s.logits[..b * cfg.vocab], ctx)?;
         for (&slot, &pos) in cache_slots.iter().zip(positions) {
-            caches[slot].len = caches[slot].len.max(pos + 1);
+            cache.set_seq_len(slot, cache.seq_len(slot).max(pos + 1));
         }
         Ok(())
     }
 
-    /// Prefills `prompt` into `caches[slot]` at positions `0..len` as
+    /// Prefills `prompt` into sequence `seq` at positions `0..len` as
     /// chunked [`Model::forward_batch`] calls of up to `chunk` rows (capped
     /// by the scratch capacity), and returns the scratch row index holding
     /// the *last* prompt token's logits — the row greedy decoding samples
@@ -576,8 +580,33 @@ impl Model {
     pub fn prefill_chunked(
         &self,
         prompt: &[u32],
-        slot: usize,
-        caches: &mut [KvCache],
+        seq: usize,
+        cache: &mut KvCache,
+        scratch: &mut BatchScratch,
+        chunk: usize,
+        ctx: &ExecCtx,
+    ) -> Result<usize, BackendError> {
+        self.prefill_chunked_from(prompt, 0, seq, cache, scratch, chunk, ctx)
+    }
+
+    /// [`Model::prefill_chunked`] resuming at position `from`: positions
+    /// `0..from` must already be resident in sequence `seq` (typically via
+    /// [`KvCache::prefix_match`] sharing), and only `prompt[from..]` is
+    /// forwarded. The returned logits-row index refers to the rows of the
+    /// suffix's final chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Shape`] for an empty prompt, `from` not
+    /// strictly inside the prompt, or invalid rows; propagates forward
+    /// failures.
+    #[allow(clippy::too_many_arguments)] // prefill wiring: prompt window + sequence + buffers
+    pub fn prefill_chunked_from(
+        &self,
+        prompt: &[u32],
+        from: usize,
+        seq: usize,
+        cache: &mut KvCache,
         scratch: &mut BatchScratch,
         chunk: usize,
         ctx: &ExecCtx,
@@ -585,24 +614,30 @@ impl Model {
         if prompt.is_empty() {
             return Err(BackendError::Shape("empty prompt".into()));
         }
+        if from >= prompt.len() {
+            return Err(BackendError::Shape(format!(
+                "prefill from {from} leaves no suffix of a {}-token prompt",
+                prompt.len()
+            )));
+        }
         let chunk = chunk.clamp(1, scratch.capacity());
         let len = prompt.len();
-        let mut p0 = 0;
+        let mut p0 = from;
         while p0 < len {
             let take = chunk.min(len - p0);
             let positions: Vec<usize> = (p0..p0 + take).collect();
-            let slots = vec![slot; take];
+            let slots = vec![seq; take];
             self.forward_batch(
                 &prompt[p0..p0 + take],
                 &positions,
                 &slots,
-                caches,
+                cache,
                 scratch,
                 ctx,
             )?;
             p0 += take;
         }
-        Ok((len - 1) % chunk)
+        Ok((len - 1 - from) % chunk)
     }
 
     /// Display label of the backend the linear layers run on (derived from
@@ -683,7 +718,7 @@ mod tests {
                 .unwrap();
             assert!(s.logits.iter().all(|x| x.is_finite()), "pos {pos}");
         }
-        assert_eq!(cache.len, 4);
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]
@@ -763,18 +798,18 @@ mod tests {
         let ctx = ExecCtx::new(1);
         let m = tiny_model(BackendKind::Tmac(tmac_core::KernelOpts::tmac()));
         let b = 3;
-        let mut caches: Vec<KvCache> = (0..b).map(|_| KvCache::new(&m.cfg)).collect();
+        let mut cache = KvCache::multi(&m.cfg, b);
         let mut s = BatchScratch::new(&m.cfg, b);
         let slots: Vec<usize> = (0..b).collect();
-        m.forward_batch(&[1, 2, 3], &[0, 0, 0], &slots, &mut caches, &mut s, &ctx)
+        m.forward_batch(&[1, 2, 3], &[0, 0, 0], &slots, &mut cache, &mut s, &ctx)
             .unwrap();
         let layers = m.cfg.n_layers as u64;
         let stats = ctx.table_stats();
         assert_eq!(stats.misses, 4 * layers + 1);
         assert_eq!(stats.hits, 3 * layers);
         assert!(s.logits.iter().all(|x| x.is_finite()));
-        for c in &caches {
-            assert_eq!(c.len, 1);
+        for seq in 0..b {
+            assert_eq!(cache.seq_len(seq), 1);
         }
     }
 
@@ -782,36 +817,33 @@ mod tests {
     fn forward_batch_validates_rows() {
         let ctx = ExecCtx::new(1);
         let m = tiny_model(BackendKind::F32);
-        let mut caches = vec![KvCache::new(&m.cfg)];
+        let mut cache = KvCache::new(&m.cfg);
         let mut s = BatchScratch::new(&m.cfg, 2);
         // Mismatched lengths.
         assert!(m
-            .forward_batch(&[1, 2], &[0], &[0, 0], &mut caches, &mut s, &ctx)
+            .forward_batch(&[1, 2], &[0], &[0, 0], &mut cache, &mut s, &ctx)
             .is_err());
         // Capacity exceeded.
         assert!(m
-            .forward_batch(
-                &[1, 2, 3],
-                &[0, 1, 2],
-                &[0, 0, 0],
-                &mut caches,
-                &mut s,
-                &ctx
-            )
+            .forward_batch(&[1, 2, 3], &[0, 1, 2], &[0, 0, 0], &mut cache, &mut s, &ctx)
+            .is_err());
+        // Slot beyond the pool's sequence count.
+        assert!(m
+            .forward_batch(&[1, 2], &[0, 1], &[0, 1], &mut cache, &mut s, &ctx)
             .is_err());
         // Attention gap: position 1 never filled for slot 0.
         assert!(m
-            .forward_batch(&[1, 2], &[0, 2], &[0, 0], &mut caches, &mut s, &ctx)
+            .forward_batch(&[1, 2], &[0, 2], &[0, 0], &mut cache, &mut s, &ctx)
             .is_err());
         // Duplicate (slot, pos).
         assert!(m
-            .forward_batch(&[1, 2], &[0, 0], &[0, 0], &mut caches, &mut s, &ctx)
+            .forward_batch(&[1, 2], &[0, 0], &[0, 0], &mut cache, &mut s, &ctx)
             .is_err());
         // A valid contiguous prefill pair passes.
         assert!(m
-            .forward_batch(&[1, 2], &[0, 1], &[0, 0], &mut caches, &mut s, &ctx)
+            .forward_batch(&[1, 2], &[0, 1], &[0, 0], &mut cache, &mut s, &ctx)
             .is_ok());
-        assert_eq!(caches[0].len, 2);
+        assert_eq!(cache.seq_len(0), 2);
     }
 
     #[test]

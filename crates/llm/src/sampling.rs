@@ -130,6 +130,12 @@ pub struct GenRequest {
     /// output (already-streamed tokens cannot be retracted) and the
     /// request finishes with [`crate::FinishReason::Stop`].
     pub stop: Vec<Vec<u32>>,
+    /// Whether the scheduler may serve this prompt's prefix from the
+    /// radix prompt cache and publish its pages for reuse (default
+    /// `true`). Opting out (`"cache_prompt": false` over HTTP) forces a
+    /// full private prefill — useful for benchmarking and for prompts
+    /// that must not linger in shared cache state.
+    pub cache_prompt: bool,
 }
 
 impl GenRequest {
@@ -141,6 +147,7 @@ impl GenRequest {
             max_new,
             sampling: SamplingParams::default(),
             stop: Vec::new(),
+            cache_prompt: true,
         }
     }
 
@@ -148,6 +155,13 @@ impl GenRequest {
     #[must_use]
     pub fn with_sampling(mut self, sampling: SamplingParams) -> Self {
         self.sampling = sampling;
+        self
+    }
+
+    /// Sets prompt-cache participation (builder style).
+    #[must_use]
+    pub fn with_cache_prompt(mut self, cache_prompt: bool) -> Self {
+        self.cache_prompt = cache_prompt;
         self
     }
 

@@ -131,6 +131,10 @@ pub struct Submission {
     pub sampling: SamplingParams,
     /// Stop token-id sequences.
     pub stop: Vec<Vec<u32>>,
+    /// Whether the scheduler may serve this prompt from the shared radix
+    /// prompt cache and publish its pages (the API's `cache_prompt`
+    /// field; defaults to `true`).
+    pub cache_prompt: bool,
     /// Absolute deadline; the loop cancels the sequence when it passes.
     pub deadline: Option<Instant>,
     /// Client-disconnect flag; the loop cancels when it turns true.
@@ -596,6 +600,14 @@ fn step_loop(core: &mut LoopCore, h: &BridgeHandle, idle_wait: Duration) {
         h.metrics.active_seqs.set(core.sched.active_len() as u64);
         h.metrics.kv_slots_used.set(core.sched.active_len() as u64);
         h.metrics.quarantined.set(core.sched.quarantined_total());
+        let kv = core.sched.kv_stats();
+        h.metrics.kv_pages_used.set(kv.pages_in_use as u64);
+        h.metrics.kv_pages_total.set(kv.pages_allocated as u64);
+        h.metrics.kv_resident_bytes.set(kv.resident_bytes as u64);
+        h.metrics.prefix_hits.set(kv.prefix_hits);
+        h.metrics.prefix_hit_positions.set(kv.prefix_hit_positions);
+        h.metrics.kv_cow_forks.set(kv.cow_forks);
+        h.metrics.kv_evictions.set(kv.evictions);
     }
 }
 
@@ -620,6 +632,7 @@ fn intake(
         max_new: sub.max_new,
         sampling: sub.sampling,
         stop: sub.stop,
+        cache_prompt: sub.cache_prompt,
     };
     match sched.submit(req) {
         Ok(id) => {
@@ -737,6 +750,7 @@ mod tests {
                 max_new,
                 sampling: SamplingParams::default(),
                 stop: Vec::new(),
+                cache_prompt: true,
                 deadline: None,
                 cancel: Arc::new(AtomicBool::new(false)),
                 sink,

@@ -136,6 +136,21 @@ pub struct Metrics {
     pub kv_slots_used: Gauge,
     /// KV slot capacity (`SchedulerConfig::max_batch`).
     pub kv_slots_total: Gauge,
+    /// KV pages currently referenced by sequences or the prefix index.
+    pub kv_pages_used: Gauge,
+    /// KV pages allocated in the pool arena (used + free-listed).
+    pub kv_pages_total: Gauge,
+    /// Bytes resident in allocated KV pages.
+    pub kv_resident_bytes: Gauge,
+    /// Cumulative radix prompt-cache hits (submits that reused pages);
+    /// mirrors `KvStats::prefix_hits`, refreshed per step.
+    pub prefix_hits: Gauge,
+    /// Cumulative positions whose prefill was skipped via prefix reuse.
+    pub prefix_hit_positions: Gauge,
+    /// Cumulative copy-on-write page forks.
+    pub kv_cow_forks: Gauge,
+    /// Cumulative prefix-cache page evictions under budget pressure.
+    pub kv_evictions: Gauge,
     /// Open client connections.
     pub connections: Gauge,
     /// Step-loop restarts performed by the bridge supervisor (each one
@@ -176,6 +191,13 @@ impl Metrics {
             active_seqs: Gauge::default(),
             kv_slots_used: Gauge::default(),
             kv_slots_total: Gauge::default(),
+            kv_pages_used: Gauge::default(),
+            kv_pages_total: Gauge::default(),
+            kv_resident_bytes: Gauge::default(),
+            prefix_hits: Gauge::default(),
+            prefix_hit_positions: Gauge::default(),
+            kv_cow_forks: Gauge::default(),
+            kv_evictions: Gauge::default(),
             connections: Gauge::default(),
             step_loop_restarts: Counter::default(),
             quarantined: Gauge::default(),
@@ -312,6 +334,19 @@ impl Metrics {
         line("tmac_active_sequences", self.active_seqs.get() as f64);
         line("tmac_kv_slots_used", self.kv_slots_used.get() as f64);
         line("tmac_kv_slots_total", self.kv_slots_total.get() as f64);
+        line("tmac_kv_pages_used", self.kv_pages_used.get() as f64);
+        line("tmac_kv_pages_total", self.kv_pages_total.get() as f64);
+        line(
+            "tmac_kv_resident_bytes",
+            self.kv_resident_bytes.get() as f64,
+        );
+        line("tmac_prefix_hits_total", self.prefix_hits.get() as f64);
+        line(
+            "tmac_prefix_hit_positions_total",
+            self.prefix_hit_positions.get() as f64,
+        );
+        line("tmac_kv_cow_forks_total", self.kv_cow_forks.get() as f64);
+        line("tmac_kv_evictions_total", self.kv_evictions.get() as f64);
         line("tmac_connections_open", self.connections.get() as f64);
         line(
             "tmac_step_loop_restarts_total",

@@ -404,6 +404,14 @@ fn submit_completion(
         }
     }
 
+    let cache_prompt = match doc.get("cache_prompt") {
+        None => true,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return bad("invalid_request", "cache_prompt must be a boolean"),
+        },
+    };
+
     let deadline_ms = match doc.get("deadline_ms") {
         None => shared.cfg.default_deadline_ms,
         Some(v) => match v.as_u64() {
@@ -426,6 +434,7 @@ fn submit_completion(
         max_new,
         sampling: sampling.clone(),
         stop,
+        cache_prompt,
         deadline,
         cancel: Arc::clone(&cancel),
         sink,

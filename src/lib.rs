@@ -78,8 +78,9 @@ pub mod prelude {
     pub use tmac_llm::{
         AttnScratch, BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch,
         DecodeStats, DequantBackend, Engine, F32Backend, FinishReason, FinishedSeq, KvCache,
-        KvPrecision, Linear, LinearBackend, LoadMode, Model, ModelConfig, ModelIoError, Scheduler,
-        SchedulerConfig, Scratch, SeqId, StepToken, TmacBackend, WeightQuant,
+        KvError, KvPrecision, KvStats, Linear, LinearBackend, LoadMode, Model, ModelConfig,
+        ModelIoError, Scheduler, SchedulerConfig, Scratch, SeqId, StepToken, TmacBackend,
+        WeightQuant,
     };
     pub use tmac_quant::QuantizedMatrix;
     pub use tmac_threadpool::ThreadPool;

@@ -280,10 +280,11 @@ fn mixed_prefill_decode_rows_match_sequential_at_depth() {
             lb.push(sb.logits.clone());
         }
 
-        // Batched: rebuild stream A's cache to depth `deep - 1`, then one
-        // forward_batch with A's deep decode row + B's 3 prefill rows.
-        let mut caches = vec![KvCache::new(&m.cfg), KvCache::new(&m.cfg)];
-        let _ = decode_logits(&m, &mut caches[0], deep - 1, &ctx);
+        // Batched: rebuild stream A's sequence (seq 0 of a pooled cache) to
+        // depth `deep - 1`, then one forward_batch with A's deep decode row
+        // + B's 3 prefill rows into seq 1.
+        let mut caches = KvCache::multi(&m.cfg, 2);
+        let _ = decode_logits(&m, &mut caches, deep - 1, &ctx);
         // Recompute the token stream A fed at `deep - 1`.
         let a_token = (tmac::llm::ops::argmax(&la[deep - 2]) as u32) % m.cfg.vocab as u32;
         let mut scratch = BatchScratch::new(&m.cfg, 4);
@@ -302,8 +303,8 @@ fn mixed_prefill_decode_rows_match_sequential_at_depth() {
             &lb[2][..],
             "{prec:?}: prefill row diverged from sequential"
         );
-        assert_eq!(caches[0].len, deep);
-        assert_eq!(caches[1].len, 3);
+        assert_eq!(caches.seq_len(0), deep);
+        assert_eq!(caches.seq_len(1), 3);
     }
 }
 

@@ -52,14 +52,15 @@ fn assert_batch_equals_singles(m: &Model, b: usize, steps: usize, ctx: &ExecCtx)
         single_logits.push(per_step);
     }
 
-    // Batched: one forward_batch per step over all B rows.
-    let mut caches: Vec<KvCache> = (0..b).map(|_| KvCache::new(&m.cfg)).collect();
+    // Batched: one forward_batch per step over all B rows (one pooled
+    // paged cache, one sequence per row).
+    let mut cache = KvCache::multi(&m.cfg, b);
     let mut scratch = BatchScratch::new(&m.cfg, b);
     let slots: Vec<usize> = (0..b).collect();
     for pos in 0..steps {
         let tokens: Vec<u32> = (0..b).map(|r| tokens_at(pos, r)).collect();
         let positions = vec![pos; b];
-        m.forward_batch(&tokens, &positions, &slots, &mut caches, &mut scratch, ctx)
+        m.forward_batch(&tokens, &positions, &slots, &mut cache, &mut scratch, ctx)
             .unwrap();
         for r in 0..b {
             assert_eq!(

@@ -337,6 +337,79 @@ fn supervisor_exhaustion_degrades_healthz_and_rejects_work() {
 }
 
 #[test]
+fn kv_page_alloc_fault_errors_the_request_and_serving_recovers() {
+    let _g = fp_lock();
+    let _d = Disarm;
+    let expected = direct_tokens(&[3, 1, 4], 6);
+
+    let server = start_server(ConnMode::Threads, SupervisorOpts::default());
+    let addr = server.addr();
+    let metrics = server.metrics();
+
+    // Every page allocation fails: the victim's prefill cannot attach a
+    // page and must retire through the quarantine as an error, without
+    // taking the server down.
+    failpoint::configure("kv/page_alloc=error", SEED).unwrap();
+    let out = run_client(addr, &[3, 1, 4], 6, false);
+    assert!(out.errored, "prefill without pages must surface an error");
+    failpoint::clear();
+
+    // Disarmed, the same request must serve bit-exact — the fault leaked
+    // no pages and left no partial radix state behind.
+    let out = run_client(addr, &[3, 1, 4], 6, false);
+    assert!(!out.errored, "post-fault serving must recover");
+    assert_eq!(out.tokens, expected, "post-fault output must be bit-exact");
+
+    // Snapshot consistency before the healthz probe: its own connection
+    // would otherwise race the `connections` gauge back to non-zero.
+    assert!(wait_quiesce(&metrics), "gauges must drain");
+    assert!(metrics.quarantined.get() >= 1);
+    let violations = metrics.consistency_violations();
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(healthz(addr).0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn kv_cow_fault_quarantines_the_cached_rerun_only() {
+    let _g = fp_lock();
+    let _d = Disarm;
+    let ctx = ExecCtx::new(1);
+    let prompt = [5u32, 6, 7];
+    let expected = direct_tokens(&prompt, 4);
+
+    let mut sched = Scheduler::new(tiny_model(), SchedulerConfig::default());
+    // Round 1 (cold) publishes the prompt into the radix index.
+    let id = sched.submit(SubmitRequest::greedy(&prompt, 4)).unwrap();
+    let done = sched.run_to_completion(&ctx).unwrap();
+    let first = done.into_iter().find(|f| f.id == id).unwrap();
+    assert!(!first.reason.is_error());
+    assert_eq!(first.tokens, expected);
+
+    // Round 2 hits the cached prefix; its first divergent store forks the
+    // shared tail page, which the failpoint turns into an error the
+    // quarantine must contain.
+    failpoint::configure("kv/cow=error", SEED).unwrap();
+    let id = sched.submit(SubmitRequest::greedy(&prompt, 4)).unwrap();
+    let done = sched.run_to_completion(&ctx).unwrap();
+    let second = done.into_iter().find(|f| f.id == id).unwrap();
+    assert!(
+        second.reason.is_error(),
+        "injected COW failure must error the victim: {:?}",
+        second.reason
+    );
+    failpoint::clear();
+
+    // Disarmed, the cached prefix is still intact and serves bit-exact.
+    let id = sched.submit(SubmitRequest::greedy(&prompt, 4)).unwrap();
+    let done = sched.run_to_completion(&ctx).unwrap();
+    let third = done.into_iter().find(|f| f.id == id).unwrap();
+    assert!(!third.reason.is_error());
+    assert_eq!(third.tokens, expected, "cached rerun must be bit-exact");
+    assert!(sched.kv_stats().prefix_hits >= 2);
+}
+
+#[test]
 fn io_failpoints_surface_as_typed_errors() {
     let _g = fp_lock();
     let _d = Disarm;
