@@ -300,11 +300,13 @@ impl ExecCtx {
                 .find(|e| e.generation == generation && e.profile == profile && e.fingerprint == fp)
             {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                tmac_trace::instant("exec", "table_hit", generation, plan.k as u64);
                 return Ok(Arc::clone(&e.tables));
             }
         }
         // Build outside the lock: concurrent lookups of different profiles
         // must not serialize on each other's builds.
+        let _s = tmac_trace::span("exec", "table_build", generation, plan.k as u64);
         let tables = Arc::new(gemv::build_tables(plan, act)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut state = self.lock();
@@ -369,10 +371,12 @@ impl ExecCtx {
                     && e.fingerprint == fp
             }) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                tmac_trace::instant("exec", "table_hit", generation, n as u64);
                 return Ok(Arc::clone(&e.tables));
             }
         }
         // Build outside the lock (same rationale as `tables_for`).
+        let _s = tmac_trace::span("exec", "table_build_batch", generation, n as u64);
         let mut tables = Vec::with_capacity(n);
         for ni in 0..n {
             tables.push(gemv::build_tables(
@@ -443,6 +447,7 @@ impl ExecCtx {
             }
         }
         // Interleave outside the lock (same rationale as the builds).
+        let _s = tmac_trace::span("exec", "interleave", generation, n as u64);
         let mut blocks = Vec::new();
         for range in crate::gemm::row_partition(n, nb, rb) {
             blocks.push(BatchTables::interleave(&source[range])?);
@@ -513,7 +518,10 @@ impl ExecCtx {
                 b.resize(len, 0.0);
                 b
             }
-            None => vec![0.0; len],
+            None => {
+                tmac_trace::instant("exec", "scratch_alloc", 0, len as u64);
+                vec![0.0; len]
+            }
         }
     }
 

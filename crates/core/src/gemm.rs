@@ -234,6 +234,9 @@ fn sweep_register_block(
         let mut sb0 = 0;
         while sb0 < gpr {
             let sb1 = (sb0 + panel).min(gpr);
+            // One K-panel sweep over this thread's tiles (`id` = the
+            // panel's first scale block, `arg` = register-block rows).
+            let _panel = tmac_trace::span("gemm", "panel", sb0 as u64, rows as u64);
             for (ti, mt) in tiles.clone().enumerate() {
                 let bufs = &mut partials[ti * span..(ti + 1) * span];
                 match path {

@@ -17,6 +17,11 @@
 //!    directly on the identical workload (`served_vs_direct`), charging the
 //!    whole HTTP/bridge stack against raw scheduler throughput.
 //!
+//! With `--trace`, phase 1 additionally reports the *server-side* phase
+//! breakdown — queue / prefill / decode p50/p99 — read from the `timings`
+//! object every completion response carries, and asserts each breakdown
+//! sums to no more than the client-observed end-to-end latency.
+//!
 //! Shed requests (429) are retried up to [`MAX_RETRIES`] times with a
 //! seeded, jittered exponential backoff floored at the server's
 //! `Retry-After` hint; the summary reports total retries alongside the
@@ -60,6 +65,30 @@ use tmac_serve::{ConnMode, Json, ServerConfig};
 /// Attempts beyond the first for a shed (429) request.
 const MAX_RETRIES: u32 = 4;
 
+/// The server's per-request phase breakdown (the `timings` object carried
+/// by non-streaming responses and the final SSE frame).
+#[derive(Clone, Copy)]
+struct PhaseTimings {
+    queue_ms: f64,
+    prefill_ms: f64,
+    decode_ms: f64,
+}
+
+impl PhaseTimings {
+    fn from_json(doc: &Json) -> Option<PhaseTimings> {
+        let t = doc.get("timings")?;
+        Some(PhaseTimings {
+            queue_ms: t.get("queue_ms")?.as_f64()?,
+            prefill_ms: t.get("prefill_ms")?.as_f64()?,
+            decode_ms: t.get("decode_ms")?.as_f64()?,
+        })
+    }
+
+    fn sum_ms(&self) -> f64 {
+        self.queue_ms + self.prefill_ms + self.decode_ms
+    }
+}
+
 struct RequestResult {
     status: u16,
     tokens: usize,
@@ -69,6 +98,8 @@ struct RequestResult {
     retry_after: Option<u64>,
     /// 429-retries spent before this terminal outcome.
     retries: u32,
+    /// Server-side phase breakdown (200 responses only).
+    timings: Option<PhaseTimings>,
 }
 
 fn fail(t0: Instant) -> RequestResult {
@@ -79,6 +110,7 @@ fn fail(t0: Instant) -> RequestResult {
         ttft: None,
         retry_after: None,
         retries: 0,
+        timings: None,
     }
 }
 
@@ -184,19 +216,19 @@ impl HttpClient {
             match Self::keep_alive_roundtrip(sock, &body) {
                 Ok((status, head, body_text, keep_sock)) => {
                     self.sock = keep_sock;
-                    let tokens = if status != 200 {
-                        0
-                    } else {
-                        Json::parse(&body_text)
-                            .ok()
-                            .and_then(|d| {
-                                d.get("usage")?
-                                    .get("completion_tokens")?
-                                    .as_u64()
-                                    .map(|n| n as usize)
-                            })
-                            .unwrap_or(0)
-                    };
+                    let doc = (status == 200)
+                        .then(|| Json::parse(&body_text).ok())
+                        .flatten();
+                    let tokens = doc
+                        .as_ref()
+                        .and_then(|d| {
+                            d.get("usage")?
+                                .get("completion_tokens")?
+                                .as_u64()
+                                .map(|n| n as usize)
+                        })
+                        .unwrap_or(0);
+                    let timings = doc.as_ref().and_then(PhaseTimings::from_json);
                     return RequestResult {
                         status,
                         tokens,
@@ -204,6 +236,7 @@ impl HttpClient {
                         ttft: None,
                         retry_after: retry_after_secs(&head),
                         retries: 0,
+                        timings,
                     };
                 }
                 Err(()) if reused => continue,
@@ -304,6 +337,15 @@ impl HttpClient {
                 .filter(|l| l.starts_with("data: ") && l.contains("token_id"))
                 .count()
         };
+        // The phase breakdown rides the final frame (the one that carries
+        // `finish_reason`, just before `[DONE]`).
+        let timings = (status == 200)
+            .then(|| {
+                text.lines()
+                    .filter(|l| l.starts_with("data: ") && l.contains("\"timings\""))
+                    .find_map(|l| PhaseTimings::from_json(&Json::parse(&l["data: ".len()..]).ok()?))
+            })
+            .flatten();
         RequestResult {
             status,
             tokens,
@@ -311,6 +353,7 @@ impl HttpClient {
             ttft,
             retry_after: retry_after_secs(&text),
             retries: 0,
+            timings,
         }
     }
 }
@@ -333,11 +376,20 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e3
 }
 
+fn percentile_f(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
 fn main() {
     let quick = tmac_eval::quick();
     let do_assert = std::env::args().any(|a| a == "--assert");
     let do_chaos = std::env::args().any(|a| a == "--chaos");
     let do_shared = std::env::args().any(|a| a == "--shared-prefix");
+    let do_trace = std::env::args().any(|a| a == "--trace");
     let mode = match tmac_eval::arg("mode", "auto").as_str() {
         "auto" => ConnMode::Auto,
         "epoll" => ConnMode::Epoll,
@@ -540,6 +592,58 @@ fn main() {
             percentile_ms(&ttfts, 0.99)
         ),
     ]);
+
+    // `--trace`: the server-side phase breakdown (from the `timings`
+    // object each 200 carries), cross-checked against client-observed e2e.
+    if do_trace {
+        let timed: Vec<(&RequestResult, PhaseTimings)> =
+            ok.iter().filter_map(|r| Some((*r, r.timings?))).collect();
+        assert!(
+            !timed.is_empty(),
+            "--trace: no 200 response carried a timings object"
+        );
+        let sorted_phase = |f: &dyn Fn(&PhaseTimings) -> f64| -> Vec<f64> {
+            let mut v: Vec<f64> = timed.iter().map(|(_, t)| f(t)).collect();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite phase timing"));
+            v
+        };
+        for (label, phase) in [
+            (
+                "queue",
+                &(|t: &PhaseTimings| t.queue_ms) as &dyn Fn(&PhaseTimings) -> f64,
+            ),
+            ("prefill", &|t: &PhaseTimings| t.prefill_ms),
+            ("decode", &|t: &PhaseTimings| t.decode_ms),
+        ] {
+            let v = sorted_phase(phase);
+            table.row(vec![
+                format!("{label} p50/p99 ms"),
+                format!(
+                    "{:.1} / {:.1}",
+                    percentile_f(&v, 0.50),
+                    percentile_f(&v, 0.99)
+                ),
+            ]);
+        }
+        // Phases must be sane: non-negative, and their sum bounded by the
+        // client-observed e2e latency (the breakdown covers scheduler
+        // submit -> retire, a strict sub-interval of the HTTP round trip;
+        // 50ms of slack absorbs clock-read jitter on loaded CI machines).
+        for (r, t) in &timed {
+            let e2e_ms = r.latency.as_secs_f64() * 1e3;
+            assert!(
+                t.queue_ms >= 0.0 && t.prefill_ms >= 0.0 && t.decode_ms >= 0.0,
+                "--trace: negative phase timing {:?}",
+                (t.queue_ms, t.prefill_ms, t.decode_ms)
+            );
+            assert!(
+                t.sum_ms() <= e2e_ms + 50.0,
+                "--trace: phase sum {:.1}ms exceeds client e2e {:.1}ms",
+                t.sum_ms(),
+                e2e_ms
+            );
+        }
+    }
 
     // ---- Phase 2: saturation served-vs-direct ratio ----------------------
     let mut served_vs_direct = f64::NAN;

@@ -13,7 +13,10 @@
 //! ExecCtx threads), `--batch B` (KV slots), `--pending Q` (admission queue
 //! bound; 0 = unbounded), `--mode auto|epoll|threads` (connection driver),
 //! `--max-tokens N` (default when a request omits `max_tokens`),
-//! `--deadline-ms D` (default deadline; 0 = none), `--kv f32|i8`.
+//! `--deadline-ms D` (default deadline; 0 = none), `--kv f32|i8`,
+//! `--trace-out DIR` (dump the in-memory span rings as Chrome-trace JSON
+//! into `DIR` on every SIGUSR1 and once more when the drain completes;
+//! load the files in Perfetto or `chrome://tracing`).
 //!
 //! On SIGINT or SIGTERM the server stops accepting, finishes every
 //! in-flight sequence, then exits 0 (second signal: immediate abort).
@@ -28,6 +31,7 @@ use tmac_llm::{
 use tmac_serve::{ConnMode, ServerConfig};
 
 static SIGNALS: AtomicU32 = AtomicU32::new(0);
+static TRACE_DUMPS: AtomicU32 = AtomicU32::new(0);
 
 #[cfg(unix)]
 fn install_signal_handlers() {
@@ -38,16 +42,36 @@ fn install_signal_handlers() {
     extern "C" fn on_signal(_sig: c_int) {
         SIGNALS.fetch_add(1, Ordering::SeqCst);
     }
+    extern "C" fn on_sigusr1(_sig: c_int) {
+        TRACE_DUMPS.fetch_add(1, Ordering::SeqCst);
+    }
     const SIGINT: c_int = 2;
     const SIGTERM: c_int = 15;
+    const SIGUSR1: c_int = 10;
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGUSR1, on_sigusr1 as *const () as usize);
     }
 }
 
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
+
+/// Writes the current span rings to `dir/trace-<n>.json` (Chrome Trace
+/// Event Format). Serving continues; the rings are not reset, so later
+/// dumps are supersets until the per-thread buffers wrap.
+fn dump_trace(dir: &str, n: u32) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("tmac_serve: cannot create --trace-out dir {dir:?}: {e}");
+        return;
+    }
+    let path = format!("{dir}/trace-{n}.json");
+    match std::fs::write(&path, tmac_trace::chrome_trace_json()) {
+        Ok(()) => eprintln!("tmac_serve: wrote {path}"),
+        Err(e) => eprintln!("tmac_serve: cannot write {path}: {e}"),
+    }
+}
 
 fn main() {
     let model_name = tmac_eval::arg("model", "tiny");
@@ -72,6 +96,7 @@ fn main() {
         "i8" => KvPrecision::I8,
         other => panic!("unknown --kv {other:?} (f32|i8)"),
     };
+    let trace_out = tmac_eval::arg("trace-out", "");
 
     let from_file = ["tmac", "gguf"]
         .iter()
@@ -139,8 +164,17 @@ fn main() {
         threads
     );
 
+    let mut dumps_seen = 0u32;
     while SIGNALS.load(Ordering::SeqCst) == 0 {
         std::thread::sleep(Duration::from_millis(100));
+        // SIGUSR1: snapshot the trace without disturbing serving.
+        let dumps = TRACE_DUMPS.load(Ordering::SeqCst);
+        if dumps > dumps_seen && !trace_out.is_empty() {
+            for n in dumps_seen..dumps {
+                dump_trace(&trace_out, n);
+            }
+        }
+        dumps_seen = dumps;
     }
     eprintln!("tmac_serve: draining (signal again to abort)...");
     server.drain();
@@ -166,6 +200,11 @@ fn main() {
         server.abort();
     } else {
         server.join();
+    }
+    // Final snapshot once all in-flight work has finished, so a plain
+    // SIGTERM run still leaves a loadable trace behind.
+    if !trace_out.is_empty() {
+        dump_trace(&trace_out, dumps_seen);
     }
     eprintln!("tmac_serve: bye");
 }

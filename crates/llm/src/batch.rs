@@ -30,6 +30,7 @@ use crate::model::{BatchScratch, KvCache, Model};
 use crate::sampling::{self, Sampler};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
 
@@ -156,8 +157,26 @@ impl std::fmt::Display for FinishReason {
     }
 }
 
+/// Wall-clock phase breakdown of one sequence's life in the scheduler:
+/// queue wait (submit → KV slot claimed), prefill (slot claimed → first
+/// token sampled), decode (first token → retirement). Always measured —
+/// the serving layer's per-request `timings` breakdown exists in every
+/// build, independent of the `trace` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqTiming {
+    /// Microseconds queued before a KV slot was claimed.
+    pub queue_us: u64,
+    /// Microseconds from slot claim to the first sampled token (0 if the
+    /// sequence never reached prefill).
+    pub prefill_us: u64,
+    /// Microseconds from the first sampled token to retirement.
+    pub decode_us: u64,
+    /// Prompt positions served from the radix prefix cache at admission.
+    pub prefix_hit_positions: u64,
+}
+
 /// A completed sequence with its generated tokens.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FinishedSeq {
     /// The sequence handle returned by [`Scheduler::submit`].
     pub id: SeqId,
@@ -168,7 +187,21 @@ pub struct FinishedSeq {
     /// How the sequence ended (normal length completion, cancellation, or
     /// an error with its message).
     pub reason: FinishReason,
+    /// Phase timing breakdown (excluded from equality: wall-clock times
+    /// differ between otherwise bit-exact runs).
+    pub timing: SeqTiming,
 }
+
+impl PartialEq for FinishedSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.prompt == other.prompt
+            && self.tokens == other.tokens
+            && self.reason == other.reason
+    }
+}
+
+impl Eq for FinishedSeq {}
 
 /// Per-sequence serving state.
 #[derive(Debug)]
@@ -192,6 +225,15 @@ struct Sequence {
     /// Whether this request participates in the radix prompt cache
     /// (serve its prefix from shared pages, publish its own).
     cache_prompt: bool,
+    /// Wall-clock phase marks feeding [`SeqTiming`].
+    queued_at: Instant,
+    admitted_at: Option<Instant>,
+    prefill_done_at: Option<Instant>,
+    /// `queued_at` as a trace timestamp (for the retroactive queue-wait
+    /// span recorded at admission; 0 when tracing is compiled out).
+    queued_ns: u64,
+    /// Prompt positions attached from the radix index at admission.
+    prefix_hit_positions: u64,
 }
 
 impl Sequence {
@@ -267,6 +309,8 @@ pub struct Scheduler {
     /// Sequences retired with [`FinishReason::Error`] by the fault
     /// quarantine, ever (monotonic; survives [`Scheduler::reset`]).
     quarantined: u64,
+    /// Steps run, ever (the `id` tag of `sched/step` trace spans).
+    steps: u64,
     next_id: u64,
 }
 
@@ -296,6 +340,7 @@ impl Scheduler {
             finished: Vec::new(),
             scratch,
             quarantined: 0,
+            steps: 0,
             next_id: 0,
         }
     }
@@ -371,6 +416,7 @@ impl Scheduler {
         self.next_id += 1;
         let mut sampler = Sampler::new(&req.sampling, self.model.cfg.vocab);
         sampler.observe_all(&req.prompt);
+        tmac_trace::instant("sched", "submit", id.0, req.prompt.len() as u64);
         self.pending.push_back(Sequence {
             id,
             prompt: req.prompt,
@@ -383,6 +429,11 @@ impl Scheduler {
             stop: req.stop,
             stopped: false,
             cache_prompt: req.cache_prompt,
+            queued_at: Instant::now(),
+            admitted_at: None,
+            prefill_done_at: None,
+            queued_ns: tmac_trace::now_ns(),
+            prefix_hit_positions: 0,
         });
         Ok(id)
     }
@@ -505,6 +556,8 @@ impl Scheduler {
     /// emitted, so retrying is always safe.
     pub fn step_batch(&mut self, ctx: &ExecCtx) -> Result<Vec<StepToken>, BackendError> {
         scheduler_fault("scheduler/step")?;
+        self.steps += 1;
+        let _step = tmac_trace::span("sched", "step", self.steps, self.active.len() as u64);
         let mut emitted = Vec::new();
 
         // Admission: fill free batch slots from the queue; each admitted
@@ -518,6 +571,15 @@ impl Scheduler {
                 continue;
             }
             seq.slot = self.claim_slot();
+            seq.admitted_at = Some(Instant::now());
+            tmac_trace::complete(
+                "sched",
+                "queue_wait",
+                seq.id.0,
+                0,
+                seq.queued_ns,
+                tmac_trace::now_ns(),
+            );
             match self.prefill_active(&mut seq, ctx) {
                 Ok(token) => {
                     emitted.push(StepToken {
@@ -542,6 +604,7 @@ impl Scheduler {
 
         // Decode: one batched forward over all active rows.
         if !self.active.is_empty() {
+            let _decode = tmac_trace::span("sched", "decode", self.steps, self.active.len() as u64);
             let tokens: Vec<u32> = self.active.iter().map(|s| s.last_token).collect();
             let positions: Vec<usize> = self.active.iter().map(|s| s.pos).collect();
             let slots: Vec<usize> = self.active.iter().map(|s| s.slot).collect();
@@ -683,6 +746,7 @@ impl Scheduler {
     /// Error-retires a sequence through the quarantine, counting it.
     fn quarantine(&mut self, seq: Sequence, err: &BackendError) {
         self.quarantined += 1;
+        tmac_trace::instant("sched", "quarantine", seq.id.0, self.quarantined);
         self.retire(seq, FinishReason::Error(err.to_string()));
     }
 
@@ -713,12 +777,14 @@ impl Scheduler {
     /// surface as [`BackendError::Panic`] for the caller's quarantine;
     /// the retire path releases any pages the sequence attached.
     fn prefill_active(&mut self, seq: &mut Sequence, ctx: &ExecCtx) -> Result<u32, BackendError> {
+        let _prefill = tmac_trace::span("sched", "prefill", seq.id.0, seq.prompt.len() as u64);
         let matched = if seq.cache_prompt && seq.prompt.len() > 1 {
             self.cache
                 .prefix_match(seq.slot, &seq.prompt[..seq.prompt.len() - 1])
         } else {
             0
         };
+        seq.prefix_hit_positions = matched as u64;
         let model = &self.model;
         let cache = &mut self.cache;
         let scratch = &mut self.scratch;
@@ -736,6 +802,7 @@ impl Scheduler {
         // (nothing is discarded).
         let token = seq.advance(self.scratch.logits_row(last_row));
         seq.pos = seq.prompt.len();
+        seq.prefill_done_at = Some(Instant::now());
         if seq.cache_prompt {
             self.cache.prefix_insert(seq.slot, &seq.prompt);
         }
@@ -750,11 +817,24 @@ impl Scheduler {
             self.cache.release_seq(seq.slot);
             self.free_slots.push(seq.slot);
         }
+        let now = Instant::now();
+        let us = |a: Instant, b: Instant| b.saturating_duration_since(a).as_micros() as u64;
+        // Unreached phases contribute 0; a phase in progress at retirement
+        // (e.g. cancelled mid-prefill) absorbs the time up to `now`.
+        let timing = SeqTiming {
+            queue_us: us(seq.queued_at, seq.admitted_at.unwrap_or(now)),
+            prefill_us: seq
+                .admitted_at
+                .map_or(0, |a| us(a, seq.prefill_done_at.unwrap_or(now))),
+            decode_us: seq.prefill_done_at.map_or(0, |p| us(p, now)),
+            prefix_hit_positions: seq.prefix_hit_positions,
+        };
         self.finished.push(FinishedSeq {
             id: seq.id,
             prompt: seq.prompt,
             tokens: seq.generated,
             reason,
+            timing,
         });
     }
 }

@@ -481,6 +481,7 @@ impl KvCache {
         self.free_nodes.push(id);
         self.dec_ref(node.page);
         self.evictions += 1;
+        tmac_trace::instant("kv", "evict", u64::from(node.page), 0);
         true
     }
 
@@ -536,6 +537,7 @@ impl KvCache {
         self.seqs[seq].pages[page_idx] = new;
         self.dec_ref(old);
         self.cow_forks += 1;
+        tmac_trace::instant("kv", "cow_fork", seq as u64, u64::from(new));
         Ok(new)
     }
 
@@ -673,6 +675,7 @@ impl KvCache {
             self.prefix_hits += 1;
             self.prefix_hit_positions += matched as u64;
             self.seqs[seq].len = matched;
+            tmac_trace::instant("kv", "prefix_hit", seq as u64, matched as u64);
         }
         matched
     }

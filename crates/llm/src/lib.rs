@@ -58,7 +58,8 @@ pub use backend::{
     LinearBackend, TmacBackend,
 };
 pub use batch::{
-    FinishReason, FinishedSeq, Scheduler, SchedulerConfig, SeqId, StepToken, SubmitRequest,
+    FinishReason, FinishedSeq, Scheduler, SchedulerConfig, SeqId, SeqTiming, StepToken,
+    SubmitRequest,
 };
 pub use config::{KvPrecision, ModelConfig, WeightQuant};
 pub use engine::{DecodeStats, Engine, GenOutput, PREFILL_CHUNK};

@@ -452,6 +452,7 @@ impl Model {
             }
         }
 
+        let _fwd = tmac_trace::span("llm", "forward_batch", positions[0] as u64, b as u64);
         let (dim, kv_dim, ffn_dim) = (cfg.dim, cfg.kv_dim(), cfg.ffn_dim);
         let head_dim = cfg.head_dim();
         let s = scratch;
@@ -506,17 +507,20 @@ impl Model {
                     &s.v[r * kv_dim..(r + 1) * kv_dim],
                 )?;
             }
-            for r in 0..b {
-                attention::attend_seq(
-                    &s.q[r * dim..(r + 1) * dim],
-                    &mut s.att[r * dim..(r + 1) * dim],
-                    cache,
-                    cache_slots[r],
-                    l,
-                    positions[r],
-                    &mut s.attn,
-                    ctx,
-                );
+            {
+                let _att = tmac_trace::span("llm", "attention", l as u64, b as u64);
+                for r in 0..b {
+                    attention::attend_seq(
+                        &s.q[r * dim..(r + 1) * dim],
+                        &mut s.att[r * dim..(r + 1) * dim],
+                        cache,
+                        cache_slots[r],
+                        l,
+                        positions[r],
+                        &mut s.attn,
+                        ctx,
+                    );
+                }
             }
             ctx.next_activation();
             lw.wo
@@ -625,6 +629,7 @@ impl Model {
         let mut p0 = from;
         while p0 < len {
             let take = chunk.min(len - p0);
+            let _chunk = tmac_trace::span("llm", "prefill_chunk", seq as u64, take as u64);
             let positions: Vec<usize> = (p0..p0 + take).collect();
             let slots = vec![seq; take];
             self.forward_batch(

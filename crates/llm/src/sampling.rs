@@ -270,6 +270,7 @@ impl Sampler {
     /// With pure-greedy params this is exactly `ops::argmax(logits)` — the
     /// logits are never copied or modified.
     pub fn sample(&mut self, logits: &[f32]) -> u32 {
+        let _s = tmac_trace::span("llm", "sample", self.params.seed, logits.len() as u64);
         if self.params.is_pure_greedy() {
             return ops::argmax(logits) as u32;
         }

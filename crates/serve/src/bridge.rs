@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
-use tmac_llm::batch::{FinishReason, Scheduler, SeqId, SubmitRequest};
+use tmac_llm::batch::{FinishReason, Scheduler, SeqId, SeqTiming, SubmitRequest};
 use tmac_llm::sampling::SamplingParams;
 
 /// Wakes a connection driver (the epoll loop's eventfd/pipe) after events
@@ -83,6 +83,9 @@ pub enum SeqEvent {
         tokens: Vec<u32>,
         /// Why it ended.
         reason: EndReason,
+        /// The scheduler's phase breakdown (zeroed when the sequence never
+        /// reached the scheduler — pre-intake cancel, step-loop death).
+        timing: SeqTiming,
     },
 }
 
@@ -460,6 +463,7 @@ fn supervise(
             Err(_) => {
                 restarts += 1;
                 h.metrics.step_loop_restarts.inc();
+                tmac_trace::instant("serve", "step_loop_restart", 0, u64::from(restarts));
                 {
                     let mut guard = core.lock().unwrap_or_else(|p| p.into_inner());
                     scrub_after_panic(&mut guard, &h);
@@ -492,10 +496,11 @@ fn scrub_after_panic(core: &mut LoopCore, h: &BridgeHandle) {
         h.metrics.finished_error.inc();
         h.metrics
             .request_latency
-            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+            .observe(t.submitted_at.elapsed().as_secs_f64());
         t.sink.send(SeqEvent::Done {
             tokens: Vec::new(),
             reason: EndReason::Error("step loop restarted after a panic".into()),
+            timing: SeqTiming::default(),
         });
     }
     core.sched.reset();
@@ -566,6 +571,7 @@ fn step_loop(core: &mut LoopCore, h: &BridgeHandle, idle_wait: Duration) {
 
         // 3. One serving step.
         if !core.sched.is_idle() {
+            let step_started = Instant::now();
             match core.sched.step_batch(&core.ctx) {
                 Ok(tokens) => {
                     for st in tokens {
@@ -579,6 +585,14 @@ fn step_loop(core: &mut LoopCore, h: &BridgeHandle, idle_wait: Duration) {
                     // emitted nothing — the next iteration retries.
                 }
             }
+            h.metrics
+                .step_duration
+                .observe(step_started.elapsed().as_secs_f64());
+            // Occupancy at step end: sequences still holding batch slots
+            // (finished ones already retired inside step_batch).
+            h.metrics
+                .batch_occupancy
+                .observe(core.sched.active_len() as f64);
             route_finished(&mut core.sched, &mut core.tracked, h);
         } else if h.draining.load(Ordering::Acquire) || !core.channel_open {
             // Idle + no new work possible → exit (graceful drain complete).
@@ -623,6 +637,7 @@ fn intake(
         sub.sink.send(SeqEvent::Done {
             tokens: Vec::new(),
             reason: EndReason::Cancelled,
+            timing: SeqTiming::default(),
         });
         h.metrics.finished_cancelled.inc();
         return;
@@ -656,6 +671,7 @@ fn intake(
             sub.sink.send(SeqEvent::Done {
                 tokens: Vec::new(),
                 reason: EndReason::Error(e.to_string()),
+                timing: SeqTiming::default(),
             });
         }
     }
@@ -671,7 +687,8 @@ fn route_token(tracked: &mut HashMap<u64, Tracked>, h: &BridgeHandle, id: SeqId,
         h.queued.fetch_sub(1, Ordering::AcqRel);
         h.metrics
             .ttft
-            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+            .observe(t.submitted_at.elapsed().as_secs_f64());
+        tmac_trace::instant("serve", "ttft", id.0, 0);
     }
     h.metrics.tokens_out.inc();
     t.sink.send(SeqEvent::Token(token));
@@ -710,10 +727,12 @@ fn route_finished(sched: &mut Scheduler, tracked: &mut HashMap<u64, Tracked>, h:
         };
         h.metrics
             .request_latency
-            .observe_us(t.submitted_at.elapsed().as_micros() as u64);
+            .observe(t.submitted_at.elapsed().as_secs_f64());
+        h.metrics.queue_wait.observe(f.timing.queue_us as f64 / 1e6);
         t.sink.send(SeqEvent::Done {
             tokens: f.tokens,
             reason,
+            timing: f.timing,
         });
     }
 }
@@ -765,7 +784,7 @@ mod tests {
         loop {
             match rx.recv_timeout(Duration::from_secs(30)).expect("event") {
                 SeqEvent::Token(t) => streamed.push(t),
-                SeqEvent::Done { tokens, reason } => return (streamed, tokens, reason),
+                SeqEvent::Done { tokens, reason, .. } => return (streamed, tokens, reason),
             }
         }
     }

@@ -17,7 +17,7 @@ use crate::http;
 use crate::poll::{Event, Interest, Poller};
 use crate::server::{
     completion_response, handle_request, protocol_error_response, stream_chunk, stream_tail,
-    Outcome, PendingCompletion, Shared,
+    trace_request_done, Outcome, PendingCompletion, Shared,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -27,6 +27,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use tmac_core::failpoint::{self, FailAction};
+use tmac_llm::batch::SeqTiming;
 
 /// Pending response bytes beyond which a consumer is too slow to keep.
 const WRITE_CAP: usize = 4 * 1024 * 1024;
@@ -209,6 +210,7 @@ fn accept_ready(
                     drop(stream); // injected accept failure: client sees RST
                     continue;
                 }
+                tmac_trace::instant("serve", "accept", 0, 0);
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -283,8 +285,17 @@ fn read_ready(c: &mut Conn, shared: &Shared) {
 /// Parses one buffered request and routes it. Returns true when the state
 /// machine should run again immediately.
 fn process_idle(c: &mut Conn, shared: &Shared, wake: &WakeFn) -> bool {
+    let parse_started = tmac_trace::now_ns();
     match http::parse_request(&c.buf, &shared.cfg.limits) {
         Ok(Some((req, used))) => {
+            tmac_trace::complete(
+                "serve",
+                "parse",
+                0,
+                used as u64,
+                parse_started,
+                tmac_trace::now_ns(),
+            );
             c.buf.drain(..used);
             c.last_data = Instant::now();
             let keep = req.keep_alive() && !shared.is_draining();
@@ -329,8 +340,13 @@ fn pump_completion(c: &mut Conn, shared: &Shared) -> bool {
         State::Waiting(pc) => loop {
             match pc.rx.try_recv() {
                 Ok(SeqEvent::Token(_)) => continue,
-                Ok(SeqEvent::Done { tokens, reason }) => {
-                    let resp = completion_response(shared, &pc, &tokens, &reason);
+                Ok(SeqEvent::Done {
+                    tokens,
+                    reason,
+                    timing,
+                }) => {
+                    trace_request_done(&pc, tokens.len());
+                    let resp = completion_response(shared, &pc, &tokens, &reason, &timing);
                     shared.metrics.count_status(resp.status);
                     let bytes = resp.encode(c.keep);
                     c.push(&bytes);
@@ -352,11 +368,17 @@ fn pump_completion(c: &mut Conn, shared: &Shared) -> bool {
         State::Streaming(pc) => loop {
             match pc.rx.try_recv() {
                 Ok(SeqEvent::Token(t)) => {
+                    let _w = tmac_trace::span("serve", "sse_write", pc.id, t as u64);
                     let bytes = stream_chunk(shared, &pc, t);
                     c.push(&bytes);
                 }
-                Ok(SeqEvent::Done { tokens, reason }) => {
-                    let bytes = stream_tail(shared, &pc, &tokens, &reason);
+                Ok(SeqEvent::Done {
+                    tokens,
+                    reason,
+                    timing,
+                }) => {
+                    trace_request_done(&pc, tokens.len());
+                    let bytes = stream_tail(shared, &pc, &tokens, &reason, &timing);
                     c.push(&bytes);
                     c.keep = false;
                     return false; // Idle + !keep → close once flushed
@@ -373,6 +395,7 @@ fn pump_completion(c: &mut Conn, shared: &Shared) -> bool {
                         &pc,
                         &[],
                         &EndReason::Error("step loop exited".into()),
+                        &SeqTiming::default(),
                     );
                     c.push(&bytes);
                     c.keep = false;

@@ -251,6 +251,17 @@ impl Response {
         }
     }
 
+    /// A response whose body is already-serialized JSON (e.g. a trace dump
+    /// produced outside the [`Json`] tree).
+    pub fn json_raw(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
     /// A JSON error body in the OpenAI-ish `{"error": {...}}` shape.
     pub fn error(status: u16, kind: &str, msg: &str) -> Self {
         Response::json(

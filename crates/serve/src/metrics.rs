@@ -4,12 +4,15 @@
 //!
 //! Counters are monotonically increasing totals; gauges are
 //! point-in-time values the step loop refreshes every iteration. Latency
-//! aggregates (TTFT, request latency) keep sum + count + max so averages
-//! are cheap and worst cases visible; full percentile distributions are the
-//! load generator's job (client-side timing), not the server's.
+//! distributions (TTFT, end-to-end latency, queue wait, step duration,
+//! batch occupancy) are fixed-bucket [`Histogram`]s from `tmac-trace` —
+//! one implementation shared with the tracing layer, so the `_bucket`
+//! series and the legacy avg/max/observations lines (derived from the
+//! same histogram's sum/count/max) cannot drift apart.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use tmac_trace::{Histogram, LATENCY_BOUNDS_S, OCCUPANCY_BOUNDS, STEP_BOUNDS_S};
 
 /// One monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -62,34 +65,17 @@ impl Gauge {
     }
 }
 
-/// Sum/count/max aggregate over a microsecond-valued observation stream.
-#[derive(Debug, Default)]
-pub struct LatencyAgg {
-    sum_us: AtomicU64,
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LatencyAgg {
-    /// Records one observation.
-    pub fn observe_us(&self, us: u64) {
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// (average milliseconds, observation count, max milliseconds).
-    pub fn snapshot_ms(&self) -> (f64, u64, f64) {
-        let n = self.count.load(Ordering::Relaxed);
-        let sum = self.sum_us.load(Ordering::Relaxed);
-        let max = self.max_us.load(Ordering::Relaxed);
-        let avg = if n == 0 {
-            0.0
-        } else {
-            sum as f64 / n as f64 / 1e3
-        };
-        (avg, n, max as f64 / 1e3)
-    }
+/// (average milliseconds, observation count, max milliseconds) of a
+/// seconds-valued histogram — the legacy `/metrics` aggregate lines,
+/// derived from the same counters as the `_bucket` series.
+fn snapshot_ms(h: &Histogram) -> (f64, u64, f64) {
+    let n = h.count();
+    let avg = if n == 0 {
+        0.0
+    } else {
+        h.sum() / n as f64 * 1e3
+    };
+    (avg, n, h.max() * 1e3)
 }
 
 /// All serving metrics, shared (behind an `Arc`) between the listener,
@@ -162,10 +148,19 @@ pub struct Metrics {
     /// Micros since `start` at the step loop's last heartbeat; rendered
     /// as `tmac_last_step_age_seconds` (uptime minus this).
     pub heartbeat_us: Gauge,
-    /// Time from admission request to first token (prefill + queueing).
-    pub ttft: LatencyAgg,
-    /// Time from admission request to completion.
-    pub request_latency: LatencyAgg,
+    /// Time from admission request to first token (prefill + queueing),
+    /// seconds.
+    pub ttft: Histogram,
+    /// Time from admission request to completion, seconds.
+    pub request_latency: Histogram,
+    /// Time a request waited for a KV slot (scheduler submit → admit),
+    /// seconds.
+    pub queue_wait: Histogram,
+    /// Duration of one step-loop iteration (admission + batched decode),
+    /// seconds.
+    pub step_duration: Histogram,
+    /// Active sequences per scheduler step (batch occupancy; unitless).
+    pub batch_occupancy: Histogram,
 }
 
 impl Metrics {
@@ -202,8 +197,11 @@ impl Metrics {
             step_loop_restarts: Counter::default(),
             quarantined: Gauge::default(),
             heartbeat_us: Gauge::default(),
-            ttft: LatencyAgg::default(),
-            request_latency: LatencyAgg::default(),
+            ttft: Histogram::new(LATENCY_BOUNDS_S),
+            request_latency: Histogram::new(LATENCY_BOUNDS_S),
+            queue_wait: Histogram::new(LATENCY_BOUNDS_S),
+            step_duration: Histogram::new(STEP_BOUNDS_S),
+            batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
         }
     }
 
@@ -263,8 +261,8 @@ impl Metrics {
     pub fn render(&self) -> String {
         let uptime = self.start.elapsed().as_secs_f64().max(1e-9);
         let toks = self.tokens_out.get();
-        let (ttft_avg, ttft_n, ttft_max) = self.ttft.snapshot_ms();
-        let (lat_avg, lat_n, lat_max) = self.request_latency.snapshot_ms();
+        let (ttft_avg, ttft_n, ttft_max) = snapshot_ms(&self.ttft);
+        let (lat_avg, lat_n, lat_max) = snapshot_ms(&self.request_latency);
         let mut s = String::with_capacity(1024);
         let mut line = |k: &str, v: f64| {
             s.push_str(k);
@@ -360,6 +358,15 @@ impl Metrics {
         line("tmac_request_latency_ms_avg", lat_avg);
         line("tmac_request_latency_ms_max", lat_max);
         line("tmac_request_latency_observations", lat_n as f64);
+        self.ttft.render_prometheus("tmac_ttft_seconds", &mut s);
+        self.request_latency
+            .render_prometheus("tmac_e2e_latency_seconds", &mut s);
+        self.queue_wait
+            .render_prometheus("tmac_queue_wait_seconds", &mut s);
+        self.step_duration
+            .render_prometheus("tmac_step_duration_seconds", &mut s);
+        self.batch_occupancy
+            .render_prometheus("tmac_batch_occupancy", &mut s);
         s
     }
 }
@@ -383,7 +390,10 @@ mod tests {
         m.count_status(429);
         m.count_status(404);
         m.count_status(503);
-        m.ttft.observe_us(1500);
+        m.ttft.observe(0.0015);
+        m.queue_wait.observe(0.004);
+        m.step_duration.observe(0.0002);
+        m.batch_occupancy.observe(3.0);
         m.kv_slots_total.set(16);
         let text = m.render();
         for key in [
@@ -396,6 +406,15 @@ mod tests {
             "tmac_responses_total{class=\"5xx\"} 1",
             "tmac_ttft_ms_avg 1.5",
             "tmac_kv_slots_total 16",
+            // The five histogram families, cumulative-le with +Inf closing.
+            "tmac_ttft_seconds_bucket{le=\"0.0025\"} 1",
+            "tmac_ttft_seconds_bucket{le=\"+Inf\"} 1",
+            "tmac_ttft_seconds_count 1",
+            "tmac_e2e_latency_seconds_bucket{le=\"+Inf\"} 0",
+            "tmac_queue_wait_seconds_bucket{le=\"0.005\"} 1",
+            "tmac_step_duration_seconds_bucket{le=\"0.00025\"} 1",
+            "tmac_batch_occupancy_bucket{le=\"4\"} 1",
+            "tmac_batch_occupancy_bucket{le=\"2\"} 0",
         ] {
             assert!(text.contains(key), "missing {key:?} in:\n{text}");
         }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tmac_core::failpoint::{self, FailAction};
 use tmac_core::ExecCtx;
-use tmac_llm::batch::Scheduler;
+use tmac_llm::batch::{Scheduler, SeqTiming};
 use tmac_llm::sampling::SamplingParams;
 
 /// How connections are driven.
@@ -123,6 +123,21 @@ pub(crate) struct PendingCompletion {
     /// Effective sampling params (request fields over server defaults),
     /// echoed back so clients can audit what ran.
     pub(crate) sampling: SamplingParams,
+    /// Trace timestamp at submission; closes the request-lifecycle span.
+    pub(crate) submit_ns: u64,
+}
+
+/// Closes the request-lifecycle span (submit → terminal event). Both
+/// connection drivers call this when the `Done` event arrives.
+pub(crate) fn trace_request_done(pc: &PendingCompletion, tokens: usize) {
+    tmac_trace::complete(
+        "serve",
+        "request",
+        pc.id,
+        tokens as u64,
+        pc.submit_ns,
+        tmac_trace::now_ns(),
+    );
 }
 
 /// What routing decided for one request.
@@ -168,6 +183,13 @@ pub(crate) fn handle_request(
             m.req_metrics.inc();
             Outcome::Respond(Response::text(200, &m.render()))
         }
+        ("GET", "/debug/trace") => {
+            // The in-memory span rings as a Chrome Trace Event Format
+            // document (Perfetto-loadable). Valid-but-empty when the
+            // `trace` feature is compiled out.
+            m.req_other.inc();
+            Outcome::Respond(Response::json_raw(200, tmac_trace::chrome_trace_json()))
+        }
         ("POST", "/v1/completions") => {
             m.req_completions.inc();
             match submit_completion(shared, req, waker) {
@@ -175,7 +197,7 @@ pub(crate) fn handle_request(
                 Err(resp) => Outcome::Respond(resp),
             }
         }
-        (_, "/v1/completions") | (_, "/healthz") | (_, "/metrics") => {
+        (_, "/v1/completions") | (_, "/healthz") | (_, "/metrics") | (_, "/debug/trace") => {
             m.req_other.inc();
             let allow = if req.path.starts_with("/v1/") {
                 "POST"
@@ -440,15 +462,21 @@ fn submit_completion(
         sink,
         submitted_at: Instant::now(),
     };
+    let submit_ns = tmac_trace::now_ns();
     match shared.bridge.try_submit(sub) {
-        Ok(()) => Ok(PendingCompletion {
-            rx,
-            cancel,
-            stream,
-            id: shared.req_counter.fetch_add(1, Ordering::Relaxed),
-            prompt_len,
-            sampling,
-        }),
+        Ok(()) => {
+            let id = shared.req_counter.fetch_add(1, Ordering::Relaxed);
+            tmac_trace::instant("serve", "submit", id, prompt_len as u64);
+            Ok(PendingCompletion {
+                rx,
+                cancel,
+                stream,
+                id,
+                prompt_len,
+                sampling,
+                submit_ns,
+            })
+        }
         Err(SubmitError::QueueFull { pending }) => Err(Response::error(
             429,
             "queue_full",
@@ -476,6 +504,29 @@ pub(crate) fn sampling_json(s: &SamplingParams) -> Json {
     ])
 }
 
+/// The per-request timing breakdown embedded in non-streaming responses
+/// and the final SSE frame. Milliseconds per phase (queue wait, prefill,
+/// decode), decode+prefill throughput, and how many prompt positions the
+/// radix prefix cache served without recompute.
+pub(crate) fn timings_json(t: &SeqTiming, completion_tokens: usize) -> Json {
+    let busy_s = (t.prefill_us + t.decode_us) as f64 / 1e6;
+    let tok_s = if busy_s > 0.0 {
+        completion_tokens as f64 / busy_s
+    } else {
+        0.0
+    };
+    Json::obj(vec![
+        ("queue_ms", Json::num(t.queue_us as f64 / 1e3)),
+        ("prefill_ms", Json::num(t.prefill_us as f64 / 1e3)),
+        ("decode_ms", Json::num(t.decode_us as f64 / 1e3)),
+        ("tokens_per_s", Json::num(tok_s)),
+        (
+            "prefix_hit_positions",
+            Json::num(t.prefix_hit_positions as f64),
+        ),
+    ])
+}
+
 /// The non-streaming completion body (or typed error) for a finished
 /// sequence.
 pub(crate) fn completion_response(
@@ -483,6 +534,7 @@ pub(crate) fn completion_response(
     pc: &PendingCompletion,
     tokens: &[u32],
     reason: &EndReason,
+    timing: &SeqTiming,
 ) -> Response {
     let ids = Json::Arr(tokens.iter().map(|&t| Json::num(t as f64)).collect());
     match reason {
@@ -508,6 +560,7 @@ pub(crate) fn completion_response(
                         ("completion_tokens", Json::num(tokens.len() as f64)),
                     ]),
                 ),
+                ("timings", timings_json(timing, tokens.len())),
             ]),
         ),
         EndReason::Deadline => Response::json(
@@ -548,6 +601,7 @@ pub(crate) fn stream_tail(
     pc: &PendingCompletion,
     tokens: &[u32],
     reason: &EndReason,
+    timing: &SeqTiming,
 ) -> Vec<u8> {
     let mut out = http::sse_event(&Json::obj(vec![
         ("id", Json::str(&format!("cmpl-{}", pc.id))),
@@ -568,6 +622,7 @@ pub(crate) fn stream_tail(
                 ("completion_tokens", Json::num(tokens.len() as f64)),
             ]),
         ),
+        ("timings", timings_json(timing, tokens.len())),
     ]));
     out.extend_from_slice(http::sse_done());
     out
@@ -712,6 +767,7 @@ fn accept_loop_threads(listener: TcpListener, shared: Arc<Shared>) {
                     drop(stream);
                     continue;
                 }
+                tmac_trace::instant("serve", "accept", 0, 0);
                 let s = Arc::clone(&shared);
                 s.metrics.connections.inc();
                 let _ = std::thread::Builder::new()
@@ -790,8 +846,17 @@ fn serve_conn_blocking(mut stream: TcpStream, shared: &Shared) {
     loop {
         // Serve every fully buffered (possibly pipelined) request.
         loop {
+            let parse_started = tmac_trace::now_ns();
             match http::parse_request(&buf, &limits) {
                 Ok(Some((req, used))) => {
+                    tmac_trace::complete(
+                        "serve",
+                        "parse",
+                        0,
+                        used as u64,
+                        parse_started,
+                        tmac_trace::now_ns(),
+                    );
                     buf.drain(..used);
                     last_data = Instant::now();
                     let keep = req.keep_alive() && !shared.is_draining();
@@ -869,10 +934,10 @@ fn serve_one_blocking(stream: &mut TcpStream, shared: &Shared, req: &Request, ke
             false // SSE responses are close-delimited
         }
         Outcome::Completion(pc) => {
-            let Some((tokens, reason)) = wait_done_blocking(stream, &pc) else {
+            let Some((tokens, reason, timing)) = wait_done_blocking(stream, &pc) else {
                 return false; // client vanished; sequence already cancelled
             };
-            let resp = completion_response(shared, &pc, &tokens, &reason);
+            let resp = completion_response(shared, &pc, &tokens, &reason, &timing);
             shared.metrics.count_status(resp.status);
             write_all_fp(stream, &resp.encode(keep)).is_ok() && keep
         }
@@ -882,13 +947,21 @@ fn serve_one_blocking(stream: &mut TcpStream, shared: &Shared, req: &Request, ke
 /// Blocks until the sequence finishes, watching for client disconnect.
 /// `None` means the client went away (the sequence was cancelled and its
 /// terminal event consumed).
-fn wait_done_blocking(stream: &TcpStream, pc: &PendingCompletion) -> Option<(Vec<u32>, EndReason)> {
+fn wait_done_blocking(
+    stream: &TcpStream,
+    pc: &PendingCompletion,
+) -> Option<(Vec<u32>, EndReason, SeqTiming)> {
     let mut abandoned = false;
     loop {
         match pc.rx.recv_timeout(Duration::from_millis(100)) {
             Ok(SeqEvent::Token(_)) => {}
-            Ok(SeqEvent::Done { tokens, reason }) => {
-                return (!abandoned).then_some((tokens, reason));
+            Ok(SeqEvent::Done {
+                tokens,
+                reason,
+                timing,
+            }) => {
+                trace_request_done(pc, tokens.len());
+                return (!abandoned).then_some((tokens, reason, timing));
             }
             Err(RecvTimeoutError::Timeout) => {
                 if !abandoned && client_gone(stream) {
@@ -899,8 +972,13 @@ fn wait_done_blocking(stream: &TcpStream, pc: &PendingCompletion) -> Option<(Vec
             // The step loop died beyond recovery (sink dropped): surface a
             // terminal error instead of silently closing the connection.
             Err(RecvTimeoutError::Disconnected) => {
-                return (!abandoned)
-                    .then(|| (Vec::new(), EndReason::Error("step loop exited".into())));
+                return (!abandoned).then(|| {
+                    (
+                        Vec::new(),
+                        EndReason::Error("step loop exited".into()),
+                        SeqTiming::default(),
+                    )
+                });
             }
         }
     }
@@ -915,6 +993,7 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
                 if abandoned {
                     continue;
                 }
+                let _w = tmac_trace::span("serve", "sse_write", pc.id, t as u64);
                 if write_all_fp(stream, &stream_chunk(shared, pc, t)).is_err() {
                     pc.cancel.store(true, Ordering::Release);
                     abandoned = true;
@@ -922,10 +1001,16 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
                     sent += 1;
                 }
             }
-            Ok(SeqEvent::Done { tokens, reason }) => {
+            Ok(SeqEvent::Done {
+                tokens,
+                reason,
+                timing,
+            }) => {
                 let _ = sent;
+                trace_request_done(pc, tokens.len());
                 if !abandoned {
-                    let _ = write_all_fp(stream, &stream_tail(shared, pc, &tokens, &reason));
+                    let tail = stream_tail(shared, pc, &tokens, &reason, &timing);
+                    let _ = write_all_fp(stream, &tail);
                 }
                 return;
             }
@@ -944,6 +1029,7 @@ fn stream_events_blocking(stream: &mut TcpStream, shared: &Shared, pc: &PendingC
                         pc,
                         &[],
                         &EndReason::Error("step loop exited".into()),
+                        &SeqTiming::default(),
                     );
                     let _ = write_all_fp(stream, &tail);
                 }

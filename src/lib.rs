@@ -60,6 +60,7 @@ pub use tmac_quant as quant;
 pub use tmac_serve as serve;
 pub use tmac_simd as simd;
 pub use tmac_threadpool as threadpool;
+pub use tmac_trace as trace;
 
 /// The one-stop import for the unified execution API.
 ///
@@ -79,8 +80,8 @@ pub mod prelude {
         AttnScratch, BackendBuilder, BackendError, BackendKind, BackendRegistry, BatchScratch,
         DecodeStats, DequantBackend, Engine, F32Backend, FinishReason, FinishedSeq, KvCache,
         KvError, KvPrecision, KvStats, Linear, LinearBackend, LoadMode, Model, ModelConfig,
-        ModelIoError, Scheduler, SchedulerConfig, Scratch, SeqId, StepToken, TmacBackend,
-        WeightQuant,
+        ModelIoError, Scheduler, SchedulerConfig, Scratch, SeqId, SeqTiming, StepToken,
+        TmacBackend, WeightQuant,
     };
     pub use tmac_quant::QuantizedMatrix;
     pub use tmac_threadpool::ThreadPool;
